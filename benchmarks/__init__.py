@@ -1,0 +1,8 @@
+"""Benchmark harnesses for Graphitti.
+
+One module per experiment in DESIGN.md (figure reproductions FIG-1/2/3 and
+queries Q-1/Q-2, plus the performance-characterization ablations PERF-1..7).
+Each runs under ``pytest benchmarks/ --benchmark-only`` and also exposes a
+``report()`` function that prints the paper-style rows/series for
+EXPERIMENTS.md.
+"""

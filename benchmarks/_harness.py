@@ -1,0 +1,39 @@
+"""Shared measurement helpers for the benchmark report() functions.
+
+``pytest-benchmark`` drives the ``test_*`` functions; the ``report()``
+functions use :func:`time_call` so EXPERIMENTS.md can be regenerated with a
+plain ``python -m benchmarks.bench_x`` invocation that does not depend on the
+pytest-benchmark plugin.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def time_call(fn: Callable, repeat: int = 5, number: int = 1) -> float:
+    """Return the best per-call wall-clock time (seconds) over *repeat* rounds."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = (time.perf_counter() - start) / number
+        best = min(best, elapsed)
+    return best
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """Speed-up factor of candidate over baseline (guards divide-by-zero)."""
+    if candidate_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / candidate_seconds
+
+
+def format_row(values, widths) -> str:
+    """Format a table row with fixed column widths."""
+    cells = []
+    for value, width in zip(values, widths):
+        cells.append(str(value).ljust(width))
+    return "  ".join(cells)

@@ -1,0 +1,111 @@
+"""PERF-3 / FIG-1: a-graph path & connection primitives vs. naive search.
+
+Reproduces the a-graph's role as a "labeled join index": path() and connect()
+over the indexed multigraph vs. a naive unindexed edge-list BFS and networkx.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks._harness import format_row, speedup, time_call
+from repro.agraph.agraph import AGraph
+from repro.baselines.naive_graph import NaiveGraph, networkx_shortest_path
+
+SIZES = (200, 2000, 10000)
+
+
+def _build_agraph(content_count: int, seed: int = 3) -> tuple[AGraph, list, list]:
+    """Build a bipartite content/referent a-graph with shared referents."""
+    rng = random.Random(seed)
+    g = AGraph()
+    referent_count = max(2, content_count // 2)
+    referents = [f"r{i}" for i in range(referent_count)]
+    for referent in referents:
+        g.add_referent(referent)
+    contents = []
+    for index in range(content_count):
+        content = f"c{index}"
+        g.add_content(content)
+        contents.append(content)
+        for _ in range(rng.randint(1, 3)):
+            g.link_annotation(content, rng.choice(referents))
+    return g, contents, referents
+
+
+def _edges_of(agraph: AGraph) -> list:
+    return [(edge.source, edge.target) for edge in agraph.graph.edges()]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_agraph_path(benchmark, size):
+    g, contents, _ = _build_agraph(size)
+    source, target = contents[0], contents[-1]
+    benchmark(lambda: g.path(source, target))
+
+
+@pytest.mark.parametrize("size", (200, 2000))
+def test_naive_path(benchmark, size):
+    g, contents, _ = _build_agraph(size)
+    edges = _edges_of(g)
+    source, target = contents[0], contents[-1]
+
+    def run():
+        naive = NaiveGraph()
+        for s, t in edges:
+            naive.add_edge(s, t)
+        return naive.path(source, target)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_agraph_connect(benchmark, size):
+    g, contents, _ = _build_agraph(size)
+    terminals = contents[:5]
+    benchmark(lambda: g.connect(*terminals))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_agraph_related(benchmark, size):
+    g, contents, _ = _build_agraph(size)
+    target = contents[0]
+    benchmark(lambda: g.related_annotations(target))
+
+
+def report() -> str:
+    lines = ["PERF-3  a-graph path() vs naive edge-list BFS vs networkx"]
+    lines.append(format_row(["nodes", "agraph (us)", "naive (us)", "networkx (us)", "speedup"], [10, 13, 13, 14, 10]))
+    for size in SIZES:
+        g, contents, _ = _build_agraph(size)
+        edges = _edges_of(g)
+        source, target = contents[0], contents[-1]
+        agraph_time = time_call(lambda: g.path(source, target), repeat=10)
+
+        def naive_run():
+            naive = NaiveGraph()
+            for s, t in edges:
+                naive.add_edge(s, t)
+            return naive.path(source, target)
+
+        naive_time = time_call(naive_run, repeat=3)
+        nx_time = time_call(lambda: networkx_shortest_path(edges, source, target), repeat=3)
+        lines.append(
+            format_row(
+                [
+                    g.node_count,
+                    f"{agraph_time * 1e6:.2f}",
+                    f"{naive_time * 1e6:.1f}",
+                    f"{nx_time * 1e6:.1f}",
+                    f"{speedup(naive_time, agraph_time):.0f}x",
+                ],
+                [10, 13, 13, 14, 10],
+            )
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

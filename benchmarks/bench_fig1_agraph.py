@@ -1,0 +1,53 @@
+"""FIG-1: the influenza a-graph scenario (structure + primitives).
+
+Reproduces Fig. 1 as an executable artifact: build the influenza instance and
+measure/verify the a-graph structure (content/referent bipartite layout,
+indirect relatedness, connectivity) and the path/connect primitives over it.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import format_row, time_call
+from repro.workloads.scenarios import build_influenza_instance
+
+
+def test_build_influenza(benchmark):
+    benchmark(build_influenza_instance)
+
+
+def test_fig1_related(benchmark):
+    g = build_influenza_instance()
+    benchmark(lambda: g.related_annotations("flu-a1"))
+
+
+def test_fig1_connect(benchmark):
+    g = build_influenza_instance()
+    benchmark(lambda: g.connect_annotations("flu-a1", "flu-a3", "flu-a4"))
+
+
+def report() -> str:
+    g = build_influenza_instance()
+    stats = g.statistics()
+    components = g.agraph.connected_components()
+    lines = ["FIG-1  influenza a-graph scenario"]
+    lines.append(format_row(["metric", "value"], [28, 20]))
+    rows = [
+        ("data objects", stats["data_objects"]),
+        ("object types", len(stats["objects_by_type"])),
+        ("annotations (contents)", stats["annotations"]),
+        ("referent nodes", stats["referents"]),
+        ("a-graph nodes", stats["agraph_nodes"]),
+        ("a-graph edges", stats["agraph_edges"]),
+        ("connected components", len(components)),
+        ("flu-a1 related to", g.related_annotations("flu-a1")),
+        ("path flu-a1..flu-a3 len", len(g.path_between_annotations("flu-a1", "flu-a3") or [])),
+    ]
+    for name, value in rows:
+        lines.append(format_row([name, value], [28, 20]))
+    build_time = time_call(build_influenza_instance, repeat=3)
+    lines.append(format_row(["build time (ms)", f"{build_time * 1e3:.2f}"], [28, 20]))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

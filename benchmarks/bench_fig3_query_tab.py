@@ -1,0 +1,51 @@
+"""FIG-3: the query-tab scenario (annotation graph + correlated data).
+
+Reproduces Fig. 3 as an executable artifact: the query returning a connection
+subgraph of a sequence + image + phylogenetic tree related to alpha-synuclein,
+and the correlated-data view.
+"""
+
+from __future__ import annotations
+
+from benchmarks._harness import format_row, time_call
+from repro.query.builder import QueryBuilder
+from repro.workloads.scenarios import build_neuroscience_instance
+
+
+def _fig3_query(g):
+    return g.query(QueryBuilder.graph().refers("alpha-synuclein").build())
+
+
+def test_fig3_query(benchmark):
+    g = build_neuroscience_instance()
+    benchmark(lambda: _fig3_query(g))
+
+
+def test_fig3_correlated_data(benchmark):
+    g = build_neuroscience_instance()
+    benchmark(lambda: g.correlated_data("neuro-a1"))
+
+
+def report() -> str:
+    g = build_neuroscience_instance()
+    result = _fig3_query(g)
+    witness = g.witness_structure("neuro-a1")
+    types = {referent["type"] for referent in witness["referents"]}
+    lines = ["FIG-3  query-tab scenario (alpha-synuclein annotation graph)"]
+    lines.append(format_row(["metric", "value"], [30, 26]))
+    rows = [
+        ("result pages (subgraphs)", len(result.subgraphs)),
+        ("witness referent types", sorted(types)),
+        ("sequence+image+tree present", {"dna_sequence", "image", "phylogenetic_tree"} <= types),
+        ("correlated annotations", sum(len(v) for v in g.correlated_data("neuro-a1").values())),
+        ("path neuro-a1..neuro-a2 len", len(g.path_between_annotations("neuro-a1", "neuro-a2") or [])),
+    ]
+    for name, value in rows:
+        lines.append(format_row([name, value], [30, 26]))
+    query_time = time_call(lambda: _fig3_query(g), repeat=10)
+    lines.append(format_row(["query time (us)", f"{query_time * 1e6:.1f}"], [30, 26]))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

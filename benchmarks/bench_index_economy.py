@@ -1,0 +1,108 @@
+"""PERF-1/PERF-2 ablation: index economy and index-structure alternatives.
+
+Two ablations the paper's design implies:
+
+1. **Index economy** -- "a single interval tree per chromosome instead of per
+   annotated DNA sequence".  We build the same workload with all sequences
+   sharing one coordinate domain (one tree) vs. each sequence on its own domain
+   (many trees), and compare overlap-query latency and structure count.
+
+2. **Structure alternatives** -- interval tree vs. segment tree (1D), R-tree
+   (insert) vs. R-tree (STR bulk load) vs. KD-tree (2D).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks._harness import format_row, time_call
+from repro import Graphitti
+from repro.spatial.interval import Interval
+from repro.spatial.interval_tree import IntervalTree
+from repro.spatial.kdtree import KdTree
+from repro.spatial.rect import Rect
+from repro.spatial.rtree import RTree
+from repro.spatial.segment_tree import SegmentTree
+from repro.workloads.generators import WorkloadConfig, generate_annotation_workload
+
+
+def _economy_instance(shared: bool, annotation_count: int = 500) -> Graphitti:
+    g = Graphitti("economy")
+    config = WorkloadConfig(
+        seed=11,
+        sequence_count=30,
+        annotation_count=annotation_count,
+        image_count=0,
+        shared_domain=shared,
+    )
+    generate_annotation_workload(g, config)
+    return g
+
+
+def test_shared_domain_query(benchmark):
+    g = _economy_instance(shared=True)
+    domain = "genome:chrX"
+    benchmark(lambda: g.search_by_overlap_interval(domain, 1000, 1100))
+
+
+def test_per_sequence_query(benchmark):
+    g = _economy_instance(shared=False)
+    benchmark(lambda: g.search_by_overlap_interval("seq0:dom", 100, 200))
+
+
+def _make_intervals(n: int, seed: int = 1):
+    rng = random.Random(seed)
+    return [Interval(x := rng.randint(0, 1_000_000), x + rng.randint(1, 500)) for _ in range(n)]
+
+
+def _make_rects(n: int, seed: int = 2):
+    rng = random.Random(seed)
+    return [Rect((x := rng.uniform(0, 10000), y := rng.uniform(0, 10000)), (x + 20, y + 20)) for _ in range(n)]
+
+
+def report() -> str:
+    lines = ["PERF-1/2 ablation: index economy and structure alternatives", ""]
+
+    # 1. index economy
+    shared = _economy_instance(shared=True)
+    per_seq = _economy_instance(shared=False)
+    lines.append("index economy (30 sequences, 500 annotations):")
+    lines.append(format_row(["layout", "interval trees", "indexed intervals"], [16, 16, 18]))
+    lines.append(format_row(["shared domain", shared.statistics()["interval_trees"], shared.statistics()["indexed_intervals"]], [16, 16, 18]))
+    lines.append(format_row(["per sequence", per_seq.statistics()["interval_trees"], per_seq.statistics()["indexed_intervals"]], [16, 16, 18]))
+    lines.append("")
+
+    # 2. 1D structures
+    intervals = _make_intervals(10000)
+    it = IntervalTree.from_intervals(intervals)
+    stree = SegmentTree.from_intervals(intervals)
+    query = Interval(500_000, 500_200)
+    lines.append("1D query (10000 intervals): interval tree vs segment tree")
+    lines.append(format_row(["structure", "build (ms)", "stab (us)"], [16, 12, 12]))
+    it_build = time_call(lambda: IntervalTree.from_intervals(intervals), repeat=2)
+    st_build = time_call(lambda: SegmentTree.from_intervals(intervals), repeat=2)
+    it_q = time_call(lambda: it.stab(500_000), repeat=10)
+    st_q = time_call(lambda: stree.stab(500_000), repeat=5)
+    lines.append(format_row(["interval tree", f"{it_build*1e3:.1f}", f"{it_q*1e6:.2f}"], [16, 12, 12]))
+    lines.append(format_row(["segment tree", f"{st_build*1e3:.1f}", f"{st_q*1e6:.2f}"], [16, 12, 12]))
+    lines.append("")
+
+    # 3. 2D structures
+    rects = _make_rects(10000)
+    rt = RTree.from_rects(rects, max_entries=16)
+    rt_bulk = RTree.bulk_load(rects, max_entries=16)
+    kd = KdTree.from_rects(rects)
+    q = Rect((5000, 5000), (5200, 5200))
+    lines.append("2D query (10000 rects): R-tree insert vs R-tree STR vs KD-tree")
+    lines.append(format_row(["structure", "build (ms)", "query (us)"], [16, 12, 12]))
+    rt_build = time_call(lambda: RTree.from_rects(rects, max_entries=16), repeat=1)
+    bulk_build = time_call(lambda: RTree.bulk_load(rects, max_entries=16), repeat=2)
+    kd_build = time_call(lambda: KdTree.from_rects(rects), repeat=2)
+    lines.append(format_row(["R-tree insert", f"{rt_build*1e3:.1f}", f"{time_call(lambda: rt.search_overlap(q), repeat=10)*1e6:.2f}"], [16, 12, 12]))
+    lines.append(format_row(["R-tree STR", f"{bulk_build*1e3:.1f}", f"{time_call(lambda: rt_bulk.search_overlap(q), repeat=10)*1e6:.2f}"], [16, 12, 12]))
+    lines.append(format_row(["KD-tree", f"{kd_build*1e3:.1f}", f"{time_call(lambda: kd.search_overlap(q), repeat=10)*1e6:.2f}"], [16, 12, 12]))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,74 @@
+"""PERF-7: annotation ingest throughput, Graphitti vs. relational baseline.
+
+Reproduces the cost of the full commit path (content XML + referent indexing +
+a-graph edges) and compares it against a Bhagwat-style single-table relational
+annotation store that only inserts rows.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks._harness import format_row, time_call
+from repro import Graphitti
+from repro.baselines.relational_annotation import RelationalAnnotationStore
+from repro.datatypes import DnaSequence
+
+COUNTS = (100, 500, 2000)
+
+
+def _ingest_graphitti(count: int, seed: int = 7) -> Graphitti:
+    rng = random.Random(seed)
+    g = Graphitti("ingest")
+    g.register(DnaSequence("seq", "ACGT" * 5000, domain="chr1"))
+    for index in range(count):
+        start = rng.randint(0, 19_000)
+        (
+            g.new_annotation(f"a{index}", keywords=["protease"])
+            .mark_sequence("seq", start, start + rng.randint(5, 40))
+            .commit()
+        )
+    return g
+
+
+def _ingest_relational(count: int, seed: int = 7) -> RelationalAnnotationStore:
+    rng = random.Random(seed)
+    store = RelationalAnnotationStore(indexed=True)
+    for index in range(count):
+        start = rng.randint(0, 19_000)
+        store.add_referent_row(
+            f"a{index}", "protease", "seq", "dna", "chr1", start, start + rng.randint(5, 40), None
+        )
+    return store
+
+
+@pytest.mark.parametrize("count", COUNTS)
+def test_graphitti_ingest(benchmark, count):
+    benchmark(lambda: _ingest_graphitti(count))
+
+
+@pytest.mark.parametrize("count", COUNTS)
+def test_relational_ingest(benchmark, count):
+    benchmark(lambda: _ingest_relational(count))
+
+
+def report() -> str:
+    lines = ["PERF-7  annotation ingest: Graphitti (indexed) vs relational baseline"]
+    lines.append(format_row(["annos", "graphitti (ms)", "relational (ms)", "ratio"], [8, 16, 16, 8]))
+    for count in COUNTS:
+        g_time = time_call(lambda: _ingest_graphitti(count), repeat=3)
+        r_time = time_call(lambda: _ingest_relational(count), repeat=3)
+        ratio = g_time / r_time if r_time else float("inf")
+        lines.append(
+            format_row(
+                [count, f"{g_time * 1e3:.2f}", f"{r_time * 1e3:.2f}", f"{ratio:.1f}x"],
+                [8, 16, 16, 8],
+            )
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

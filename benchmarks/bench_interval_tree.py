@@ -1,0 +1,82 @@
+"""PERF-1: interval-tree overlap queries vs. linear scan.
+
+Reproduces the paper's claim that interval trees make 1D substructure overlap
+queries fast, and that one interval tree per chromosome (shared domain) keeps
+the structure count small.  The benchmark sweeps the number of indexed
+intervals and compares interval-tree overlap latency against a linear scan.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks._harness import format_row, speedup, time_call
+from repro.baselines.linear_scan import LinearIntervalIndex
+from repro.spatial.interval import Interval
+from repro.spatial.interval_tree import IntervalTree
+
+SIZES = (100, 1000, 10000)
+
+
+def _make_intervals(count: int, seed: int = 1) -> list[Interval]:
+    rng = random.Random(seed)
+    intervals = []
+    for _ in range(count):
+        start = rng.randint(0, 1_000_000)
+        intervals.append(Interval(start, start + rng.randint(1, 500)))
+    return intervals
+
+
+def _build_tree(intervals):
+    return IntervalTree.from_intervals(intervals)
+
+
+def _build_linear(intervals):
+    index = LinearIntervalIndex()
+    index.insert_many(intervals)
+    return index
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_interval_tree_query(benchmark, size):
+    tree = _build_tree(_make_intervals(size))
+    query = Interval(500_000, 500_200)
+    benchmark(lambda: tree.search_overlap(query))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_linear_scan_query(benchmark, size):
+    index = _build_linear(_make_intervals(size))
+    query = Interval(500_000, 500_200)
+    benchmark(lambda: index.search_overlap(query))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_interval_tree_build(benchmark, size):
+    intervals = _make_intervals(size)
+    benchmark(lambda: _build_tree(intervals))
+
+
+def report() -> str:
+    lines = ["PERF-1  interval-tree overlap vs linear scan"]
+    lines.append(format_row(["n", "tree (us)", "scan (us)", "speedup"], [10, 12, 12, 10]))
+    for size in SIZES:
+        intervals = _make_intervals(size)
+        tree = _build_tree(intervals)
+        linear = _build_linear(intervals)
+        query = Interval(500_000, 500_200)
+        tree_time = time_call(lambda: tree.search_overlap(query), repeat=20)
+        scan_time = time_call(lambda: linear.search_overlap(query), repeat=5)
+        lines.append(
+            format_row(
+                [size, f"{tree_time * 1e6:.2f}", f"{scan_time * 1e6:.2f}", f"{speedup(scan_time, tree_time):.1f}x"],
+                [10, 12, 12, 10],
+            )
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

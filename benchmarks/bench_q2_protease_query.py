@@ -1,0 +1,83 @@
+"""Q-2: the protease consecutive-intervals query (Section III).
+
+"Find annotated sequences of all proteins belonging to an ontological class,
+where 4 consecutive non-overlapping intervals in the sequence have annotations
+having the keyword 'protease' in each of them."  This benchmark builds
+sequences with varying numbers of protease-annotated intervals and measures
+the cost of the keyword+ontology query plus the consecutive/disjoint graph
+constraint check.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks._harness import format_row, time_call
+from repro import Graphitti
+from repro.datatypes import DnaSequence
+from repro.ontology.builtin import build_protein_ontology
+from repro.query.builder import QueryBuilder
+from repro.spatial.interval import Interval
+from repro.spatial.operators import are_consecutive, are_disjoint
+
+SIZES = (50, 200, 1000)
+
+
+def _build(sequence_count: int, seed: int = 9) -> Graphitti:
+    rng = random.Random(seed)
+    g = Graphitti("q2")
+    g.register_ontology(build_protein_ontology())
+    for seq_index in range(sequence_count):
+        domain = f"chr{seq_index}"
+        g.register(DnaSequence(f"seq{seq_index}", "ACGT" * 100, domain=domain))
+        # place 4 consecutive disjoint protease-annotated intervals
+        cursor = 0
+        for interval_index in range(4):
+            start = cursor
+            end = start + rng.randint(10, 20)
+            cursor = end + rng.randint(5, 15)
+            (
+                g.new_annotation(
+                    f"seq{seq_index}-int{interval_index}",
+                    keywords=["protease"],
+                    body="protease cleavage site",
+                )
+                .mark_sequence(f"seq{seq_index}", start, end, ontology_terms=["protein:protease"])
+                .commit()
+            )
+    return g
+
+
+def _run_query(g: Graphitti):
+    result = g.query(QueryBuilder.referents().contains("protease").refers("protein:protease").build())
+    # group referent intervals by sequence and check the graph constraint
+    by_sequence: dict[str, list[Interval]] = {}
+    for referent in result.referents:
+        if referent.ref.interval is not None:
+            by_sequence.setdefault(referent.ref.object_id, []).append(referent.ref.interval)
+    qualifying = []
+    for object_id, intervals in by_sequence.items():
+        ordered = sorted(intervals, key=lambda iv: (iv.start, iv.end))
+        if len(ordered) >= 4 and are_consecutive(ordered[:4]) and are_disjoint(ordered[:4]):
+            qualifying.append(object_id)
+    return qualifying
+
+
+def test_q2_query(benchmark):
+    g = _build(200)
+    benchmark(lambda: _run_query(g))
+
+
+def report() -> str:
+    lines = ["Q-2  protease 4-consecutive-interval query"]
+    lines.append(format_row(["sequences", "qualifying", "query (ms)"], [10, 12, 12]))
+    for size in SIZES:
+        g = _build(size)
+        qualifying = _run_query(g)
+        q_time = time_call(lambda: _run_query(g), repeat=5)
+        lines.append(format_row([size, len(qualifying), f"{q_time * 1e3:.2f}"], [10, 12, 12]))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

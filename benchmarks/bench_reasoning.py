@@ -1,0 +1,64 @@
+"""PERF-5 extension: ontology reasoning latency vs. ontology size.
+
+Times the reasoning-layer operations (lowest-common-ancestor, Wu-Palmer
+similarity, relation path) as the ontology grows, confirming they stay cheap
+on laptop-scale ontologies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks._harness import format_row, time_call
+from repro.ontology.reasoning import OntologyReasoner
+from repro.workloads.generators import generate_ontology_dag
+
+DEPTHS = (3, 4, 5)
+
+
+def _reasoner(depth: int) -> tuple[OntologyReasoner, str, str]:
+    ontology = generate_ontology_dag("O", depth=depth, branching=3, instances_per_leaf=1, rng=random.Random(5))
+    concepts = [term.term_id for term in ontology.concepts()]
+    return OntologyReasoner(ontology), concepts[0], concepts[-1]
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_lca(benchmark, depth):
+    reasoner, a, b = _reasoner(depth)
+    benchmark(lambda: reasoner.lowest_common_ancestors(a, b))
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_similarity(benchmark, depth):
+    reasoner, a, b = _reasoner(depth)
+    benchmark(lambda: reasoner.wu_palmer_similarity(a, b))
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_relation_path(benchmark, depth):
+    reasoner, a, b = _reasoner(depth)
+    benchmark(lambda: reasoner.relation_path(a, b))
+
+
+def report() -> str:
+    lines = ["PERF-5 ext  ontology reasoning latency vs size"]
+    lines.append(format_row(["depth", "terms", "lca (us)", "wu-palmer (us)", "path (us)"], [8, 8, 12, 16, 12]))
+    for depth in DEPTHS:
+        reasoner, a, b = _reasoner(depth)
+        terms = reasoner.ontology.term_count
+        lca_time = time_call(lambda: reasoner.lowest_common_ancestors(a, b), repeat=10)
+        sim_time = time_call(lambda: reasoner.wu_palmer_similarity(a, b), repeat=10)
+        path_time = time_call(lambda: reasoner.relation_path(a, b), repeat=10)
+        lines.append(
+            format_row(
+                [depth, terms, f"{lca_time*1e6:.2f}", f"{sim_time*1e6:.2f}", f"{path_time*1e6:.2f}"],
+                [8, 8, 12, 16, 12],
+            )
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,81 @@
+"""PERF-2: R-tree window queries vs. linear scan (2D and 3D).
+
+Reproduces the paper's claim that R-trees make 2D/3D region queries fast and
+that one R-tree per shared coordinate space keeps the structure count small.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks._harness import format_row, speedup, time_call
+from repro.baselines.linear_scan import LinearRegionIndex
+from repro.spatial.rect import Rect
+from repro.spatial.rtree import RTree
+
+SIZES = (100, 1000, 10000)
+
+
+def _make_rects(count: int, dimension: int = 2, seed: int = 2) -> list[Rect]:
+    rng = random.Random(seed)
+    rects = []
+    for _ in range(count):
+        lo = tuple(rng.uniform(0, 10_000) for _ in range(dimension))
+        hi = tuple(value + rng.uniform(1, 50) for value in lo)
+        rects.append(Rect(lo, hi))
+    return rects
+
+
+def _query(dimension: int) -> Rect:
+    center = tuple(5000 for _ in range(dimension))
+    lo = tuple(value - 100 for value in center)
+    hi = tuple(value + 100 for value in center)
+    return Rect(lo, hi)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_rtree_query_2d(benchmark, size):
+    tree = RTree.from_rects(_make_rects(size, 2), max_entries=16)
+    query = _query(2)
+    benchmark(lambda: tree.search_overlap(query))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_linear_scan_query_2d(benchmark, size):
+    index = LinearRegionIndex()
+    index.insert_many(_make_rects(size, 2))
+    query = _query(2)
+    benchmark(lambda: index.search_overlap(query))
+
+
+@pytest.mark.parametrize("size", (100, 1000))
+def test_rtree_query_3d(benchmark, size):
+    tree = RTree.from_rects(_make_rects(size, 3), max_entries=16)
+    query = _query(3)
+    benchmark(lambda: tree.search_overlap(query))
+
+
+def report() -> str:
+    lines = ["PERF-2  R-tree window query vs linear scan (2D)"]
+    lines.append(format_row(["n", "rtree (us)", "scan (us)", "speedup"], [10, 12, 12, 10]))
+    for size in SIZES:
+        rects = _make_rects(size, 2)
+        tree = RTree.from_rects(rects, max_entries=16)
+        index = LinearRegionIndex()
+        index.insert_many(rects)
+        query = _query(2)
+        tree_time = time_call(lambda: tree.search_overlap(query), repeat=20)
+        scan_time = time_call(lambda: index.search_overlap(query), repeat=5)
+        lines.append(
+            format_row(
+                [size, f"{tree_time * 1e6:.2f}", f"{scan_time * 1e6:.2f}", f"{speedup(scan_time, tree_time):.1f}x"],
+                [10, 12, 12, 10],
+            )
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,69 @@
+"""PERF-4: XML annotation-content keyword search, indexed vs. full scan.
+
+Reproduces the benefit of the inverted keyword index over the annotation
+content collection relative to scanning every XML document.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks._harness import format_row, speedup, time_call
+from repro.xmlstore.collection import DocumentCollection
+
+SIZES = (100, 1000, 5000)
+_TERMS = ["protease", "kinase", "binding", "mutation", "conserved", "cleavage", "epitope", "domain"]
+
+
+def _make_collection(count: int, indexed: bool, seed: int = 4) -> DocumentCollection:
+    rng = random.Random(seed)
+    collection = DocumentCollection("bench", indexed=indexed)
+    for index in range(count):
+        terms = rng.sample(_TERMS, 3)
+        xml = (
+            f"<annotation><dc:subject>{terms[0]}</dc:subject>"
+            f"<body>comment about {terms[1]} and {terms[2]} number {index}</body></annotation>"
+        )
+        collection.add_xml(xml, doc_id=f"doc{index}")
+    return collection
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_keyword_indexed(benchmark, size):
+    collection = _make_collection(size, indexed=True)
+    benchmark(lambda: collection.search_keyword("protease"))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_keyword_scan(benchmark, size):
+    collection = _make_collection(size, indexed=False)
+    benchmark(lambda: collection.scan_keyword("protease"))
+
+
+@pytest.mark.parametrize("size", (100, 1000))
+def test_xpath_select(benchmark, size):
+    collection = _make_collection(size, indexed=True)
+    benchmark(lambda: collection.select("//dc:subject"))
+
+
+def report() -> str:
+    lines = ["PERF-4  keyword search: inverted index vs full scan"]
+    lines.append(format_row(["docs", "indexed (us)", "scan (us)", "speedup"], [10, 14, 12, 10]))
+    for size in SIZES:
+        indexed = _make_collection(size, indexed=True)
+        scanned = _make_collection(size, indexed=False)
+        idx_time = time_call(lambda: indexed.search_keyword("protease"), repeat=10)
+        scan_time = time_call(lambda: scanned.scan_keyword("protease"), repeat=3)
+        lines.append(
+            format_row(
+                [size, f"{idx_time * 1e6:.2f}", f"{scan_time * 1e6:.1f}", f"{speedup(scan_time, idx_time):.1f}x"],
+                [10, 14, 12, 10],
+            )
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

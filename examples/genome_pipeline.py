@@ -1,0 +1,84 @@
+"""Genome annotation pipeline example (FASTA + features + GO + reasoning).
+
+Run with ``python examples/genome_pipeline.py``.  Demonstrates the native-format
+I/O and ontology-reasoning additions: load sequences from FASTA, bulk-import a
+feature table as annotations, attach Gene-Ontology references, and use the
+reasoner to rank the semantic similarity of the annotated functions.
+"""
+
+from repro import Graphitti
+from repro.datatypes.io import load_features, parse_fasta
+from repro.ontology import OntologyReasoner, build_gene_ontology_subset
+
+
+FASTA = """\
+>gene_A a demonstration gene
+ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT
+ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT
+>gene_B another gene
+TTTTGGGGCCCCAAAATTTTGGGGCCCCAAAATTTTGGGGCCCCAAAATTTTGGGGCCCC
+"""
+
+FEATURES = """\
+# object  start  end   label
+gene_A     10     40    peptidase
+gene_A     60     90    kinase
+gene_B     5      35    binding
+"""
+
+
+def main() -> None:
+    graphitti = Graphitti("genome-pipeline")
+    graphitti.register_ontology(build_gene_ontology_subset())
+
+    # 1. Load sequences from FASTA, placing both on one shared chromosome.
+    print("=== load sequences from FASTA ===")
+    for sequence in parse_fasta(FASTA, domain="demo:chr1"):
+        graphitti.register(sequence)
+        print(f"  registered {sequence.describe()}")
+
+    # 2. Bulk-import the feature table as annotations.
+    print("\n=== import feature table ===")
+    created = load_features(graphitti, FEATURES, creator="annotator")
+    print(f"  created {len(created)} feature annotations")
+
+    # 3. Attach GO references to the function annotations.
+    go = {"peptidase": "GO:0008233", "kinase": "GO:0016301", "binding": "GO:0005488"}
+    for annotation_id in created:
+        annotation = graphitti.annotation(annotation_id)
+        for keyword in annotation.content.keywords():
+            if keyword in go:
+                # a second, ontology-referencing annotation on the same region
+                ref = annotation.referents[0].ref
+                (
+                    graphitti.new_annotation(f"{annotation_id}-go", keywords=[keyword])
+                    .mark_sequence(ref.object_id, ref.descriptor["start"], ref.descriptor["end"],
+                                   ontology_terms=[go[keyword]])
+                    .commit()
+                )
+
+    print("\n=== keyword query: 'peptidase' ===")
+    print("  ", graphitti.search_by_keyword("peptidase"))
+
+    print("\n=== GO query: catalytic-activity instances via ontology ===")
+    print("  ", graphitti.search_by_ontology("GO:0003824"))
+
+    # 4. Rank semantic similarity of the annotated molecular functions.
+    print("\n=== Wu-Palmer similarity between annotated functions ===")
+    reasoner = OntologyReasoner(graphitti.ontology("gene-ontology"))
+    pairs = [
+        ("GO:0008233", "GO:0016301"),  # peptidase vs kinase (both catalytic)
+        ("GO:0008233", "GO:0005488"),  # peptidase vs binding (different branch)
+    ]
+    for left, right in pairs:
+        score = reasoner.wu_palmer_similarity(left, right)
+        print(f"  sim({left}, {right}) = {score:.3f}")
+
+    print("\n=== study report ===")
+    from repro.workloads.reporting import study_report
+
+    print(study_report(graphitti).split("## Most-annotated")[0])
+
+
+if __name__ == "__main__":
+    main()

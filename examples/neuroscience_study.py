@@ -1,0 +1,66 @@
+"""Neuroscience study example (reproduces the Fig. 3 query-tab scenario).
+
+Run with ``python examples/neuroscience_study.py``.  Builds the neuroscience
+instance (alpha-synuclein gene/protein, two mouse-brain images on a shared
+atlas, a synuclein phylogeny, a microarray record) and runs the Fig. 3 query:
+find the annotation graph of a sequence + an image + a phylogenetic tree
+related to alpha-synuclein, then browse the correlated data (another image and
+the array result).
+"""
+
+from repro.query import QueryBuilder, parse_query
+from repro.workloads import build_neuroscience_instance
+
+
+def main() -> None:
+    graphitti = build_neuroscience_instance()
+
+    print("=== Neuroscience study instance ===")
+    for key, value in graphitti.statistics().items():
+        print(f"  {key}: {value}")
+
+    # Fig. 3: "an annotation graph consisting of a sequence, an image and a
+    # phylogenetic tree related to the protein a-synuclein".
+    print("\n=== Fig. 3 query: annotation graph related to alpha-synuclein ===")
+    query = QueryBuilder.graph().refers("alpha-synuclein").build()
+    result = graphitti.query(query)
+    print("  result pages (connection subgraphs):", len(result.subgraphs))
+    for index, subgraph in enumerate(result.subgraphs, start=1):
+        contents = [node for node in subgraph.nodes if str(node).startswith("neuro-")]
+        print(f"  page {index}: annotations {sorted(contents)}, {subgraph.node_count} nodes")
+
+    # The witness structure: which heterogeneous substructures are annotated.
+    print("\n=== witness structure of neuro-a1 ===")
+    witness = graphitti.witness_structure("neuro-a1")
+    for referent in witness["referents"]:
+        print(f"  {referent['type']:24s} on {referent['object']:18s} {referent['descriptor'].get('clade', '')}")
+
+    # Correlated data: other annotations on the same referents (Fig. 3 right panel).
+    print("\n=== correlated data for neuro-a1 ===")
+    for referent_id, others in graphitti.correlated_data("neuro-a1").items():
+        if others:
+            print(f"  {referent_id} also annotated by {others}")
+
+    # The intro query Q1: annotations with a term + brain images with >= 2
+    # regions annotated with a deep-cerebellar term.
+    print("\n=== intro query Q1 (region count constraint) ===")
+    gql = """
+    SELECT contents WHERE {
+      REFERENT REFERS "Deep Cerebellar nuclei"
+      REGION OVERLAPS mouse-atlas [0,0] .. [512,512] MINCOUNT 2
+    }
+    """
+    # NOTE: the coordinate space name contains a hyphen and colon; GQL idents
+    # allow both, but the ':25um' suffix must be included to match the space.
+    gql = gql.replace("mouse-atlas", "mouse-atlas:25um")
+    q1 = parse_query(gql)
+    q1_result = graphitti.query(q1)
+    print("  annotations with >=2 DCN regions:", q1_result.annotation_ids)
+
+    # Path between the primary annotation and its replicate through the DCN term.
+    print("\n=== path(neuro-a1, neuro-a2) ===")
+    print("  ", graphitti.path_between_annotations("neuro-a1", "neuro-a2"))
+
+
+if __name__ == "__main__":
+    main()

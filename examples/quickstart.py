@@ -1,0 +1,77 @@
+"""Quickstart: annotate a sequence and an image, then query (reproduces Fig. 2).
+
+Run with ``python examples/quickstart.py``.  This walks the paper's annotation
+tab workflow programmatically: register heterogeneous data, mark substructures
+(a sequence interval and an image region), attach ontology references, commit
+the XML annotation content, then run keyword / ontology / spatial queries and
+inspect the a-graph.
+"""
+
+from repro import Graphitti
+from repro.datatypes import DnaSequence, Image
+from repro.ontology import build_brain_region_ontology, build_protein_ontology
+from repro.query import QueryBuilder
+
+
+def main() -> None:
+    graphitti = Graphitti("quickstart")
+
+    # 1. Register the ontologies the annotations will point at.
+    graphitti.register_ontology(build_protein_ontology())
+    graphitti.register_ontology(build_brain_region_ontology())
+
+    # 2. Register heterogeneous data objects (the "menu of registered data").
+    graphitti.register(DnaSequence("BRCA1", "ATG" + "ACGT" * 60 + "TAA", domain="chr17"))
+    graphitti.register(Image("slide_42", dimension=2, space="atlas:25um", size=(256, 256)))
+
+    # 3. Annotate: mark a sequence interval + an image region, attach ontology
+    #    references, write the content, and commit (the annotation tab).
+    annotation = (
+        graphitti.new_annotation(
+            title="Protease cleavage near BRCA1 exon",
+            creator="alice",
+            keywords=["protease", "cleavage"],
+            body="A predicted protease cleavage site overlapping the exon boundary.",
+        )
+        .mark_sequence("BRCA1", 10, 40, ontology_terms=["protein:protease"])
+        .mark_region("slide_42", (30, 30), (90, 90), ontology_terms=["Deep Cerebellar nuclei"])
+        .refer_ontology("TP53")
+        .commit()
+    )
+
+    print("Committed annotation:", annotation.annotation_id)
+    print("Referents:", annotation.referent_count)
+    print("\n--- committed annotation content (XML) ---")
+    print(annotation.to_xml())
+
+    # 4. Query the store three different ways.
+    print("--- keyword query: 'protease' ---")
+    print(graphitti.search_by_keyword("protease"))
+
+    print("\n--- ontology query: instances of 'Protease' (with descendants) ---")
+    print(graphitti.search_by_ontology("protein:protease"))
+
+    print("\n--- spatial query: overlaps chr17[20,30] ---")
+    print(graphitti.search_by_overlap_interval("chr17", 20, 30))
+
+    # 5. A GQL query combining all three predicates, returning contents.
+    query = (
+        QueryBuilder.contents()
+        .contains("protease")
+        .refers("protein:protease")
+        .overlaps_interval("chr17", 20, 30)
+        .build()
+    )
+    result = graphitti.query(query)
+    print("\n--- GQL query result (annotation ids) ---")
+    print(result.annotation_ids)
+    print("plan trace:")
+    print(result.explain_steps())
+
+    print("\n--- instance statistics ---")
+    for key, value in graphitti.statistics().items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

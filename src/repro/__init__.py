@@ -1,0 +1,25 @@
+"""Graphitti: an annotation management system for heterogeneous objects.
+
+A from-scratch Python reproduction of the ICDE 2008 demonstration paper
+"Graphitti: An Annotation Management System for Heterogeneous Objects" by
+Sandeep Gupta, Christopher Condit and Amarnath Gupta (San Diego Supercomputer
+Center).
+
+The public entry point is :class:`repro.core.Graphitti`.  See ``DESIGN.md``
+for the system inventory and ``EXPERIMENTS.md`` for the reproduced artifacts.
+"""
+
+from repro.core import Annotation, AnnotationContent, DublinCore, Graphitti, Referent
+from repro.errors import GraphittiError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graphitti",
+    "Annotation",
+    "AnnotationContent",
+    "Referent",
+    "DublinCore",
+    "GraphittiError",
+    "__version__",
+]

@@ -1,0 +1,354 @@
+"""The typed a-graph and its primitive operations.
+
+The a-graph has three node kinds:
+
+* ``CONTENT`` — an annotation content (the XML comment document),
+* ``REFERENT`` — a marked substructure of a data object,
+* ``ONTOLOGY`` — an ontology term a referent or content points at.
+
+Directed edges connect a content to each of its referents (label
+``annotates``) and referents/contents to ontology nodes (label
+``refers_to``).  Because the same referent can be annotated by two different
+contents, two annotations become "indirectly related" — which is exactly the
+structure the paper's queries traverse.
+
+The two primitives are:
+
+* :meth:`AGraph.path` — ``path(node1, node2)``: a path between two nodes,
+* :meth:`AGraph.connect` — ``connect(node1, node2, ...)``: a connection
+  subgraph intervening a set of nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+from typing import Any, Hashable, Iterable
+
+from repro.agraph.connection import ConnectionSubgraph
+from repro.agraph.multigraph import Edge, LabeledMultigraph
+from repro.errors import AGraphError, UnknownNodeError
+
+#: Edge label: content --annotates--> referent.
+ANNOTATES = "annotates"
+#: Edge label: content/referent --refers_to--> ontology term.
+REFERS_TO = "refers_to"
+#: Edge label: referent --same_object--> referent (share a data object).
+SAME_OBJECT = "same_object"
+#: Edge label: referent --relates--> referent (inter-substructure relation).
+RELATES = "relates"
+
+
+class NodeKind(enum.Enum):
+    """The kinds of node in the a-graph."""
+
+    CONTENT = "content"
+    REFERENT = "referent"
+    ONTOLOGY = "ontology"
+
+
+class AGraph:
+    """The annotation graph: a typed labeled multigraph + primitives.
+
+    The a-graph wraps a :class:`~repro.agraph.multigraph.LabeledMultigraph`
+    and adds the node-kind bookkeeping, the two primitive operations, and the
+    supporting graph algorithms (BFS/Dijkstra path search, bidirectional
+    connection-subgraph construction, component analysis).
+    """
+
+    def __init__(self) -> None:
+        self._graph = LabeledMultigraph()
+
+    # -- size / access --------------------------------------------------------
+
+    @property
+    def graph(self) -> LabeledMultigraph:
+        """The underlying multigraph (read-mostly; prefer the typed methods)."""
+        return self._graph
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return self._graph.node_count
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return self._graph.edge_count
+
+    def __contains__(self, node_id: Hashable) -> bool:
+        return node_id in self._graph
+
+    # -- typed node/edge construction -----------------------------------------
+
+    def add_content(self, content_id: Hashable, **attributes: Any) -> Hashable:
+        """Add (or update) an annotation-content node."""
+        self._graph.add_node(content_id, kind=NodeKind.CONTENT.value, **attributes)
+        return content_id
+
+    def add_referent(self, referent_id: Hashable, **attributes: Any) -> Hashable:
+        """Add (or update) a referent (marked-substructure) node."""
+        self._graph.add_node(referent_id, kind=NodeKind.REFERENT.value, **attributes)
+        return referent_id
+
+    def add_ontology_node(self, term_id: Hashable, **attributes: Any) -> Hashable:
+        """Add (or update) an ontology-term node."""
+        self._graph.add_node(term_id, kind=NodeKind.ONTOLOGY.value, **attributes)
+        return term_id
+
+    def link_annotation(self, content_id: Hashable, referent_id: Hashable, **attributes: Any) -> Edge:
+        """Add the ``content --annotates--> referent`` edge."""
+        self._require_kind(content_id, NodeKind.CONTENT)
+        self._require_kind(referent_id, NodeKind.REFERENT)
+        return self._graph.add_edge(content_id, referent_id, label=ANNOTATES, **attributes)
+
+    def link_ontology(self, source_id: Hashable, term_id: Hashable, **attributes: Any) -> Edge:
+        """Add a ``source --refers_to--> ontology`` edge."""
+        if term_id not in self._graph or self._graph.node(term_id).kind != NodeKind.ONTOLOGY.value:
+            raise AGraphError(f"{term_id!r} is not an ontology node")
+        return self._graph.add_edge(source_id, term_id, label=REFERS_TO, **attributes)
+
+    def link_referents(self, left_id: Hashable, right_id: Hashable, label: str = RELATES, **attributes: Any) -> Edge:
+        """Add an inter-referent edge (e.g. sub-sequence to sequence)."""
+        self._require_kind(left_id, NodeKind.REFERENT)
+        self._require_kind(right_id, NodeKind.REFERENT)
+        return self._graph.add_edge(left_id, right_id, label=label, **attributes)
+
+    def _require_kind(self, node_id: Hashable, kind: NodeKind) -> None:
+        if node_id not in self._graph:
+            raise UnknownNodeError(f"no node {node_id!r} in the a-graph")
+        actual = self._graph.node(node_id).kind
+        if actual != kind.value:
+            raise AGraphError(f"node {node_id!r} has kind {actual!r}, expected {kind.value!r}")
+
+    # -- typed accessors -------------------------------------------------------
+
+    def contents(self) -> list[Hashable]:
+        """Ids of every annotation-content node."""
+        return [node.node_id for node in self._graph.nodes_of_kind(NodeKind.CONTENT.value)]
+
+    def referents(self) -> list[Hashable]:
+        """Ids of every referent node."""
+        return [node.node_id for node in self._graph.nodes_of_kind(NodeKind.REFERENT.value)]
+
+    def ontology_nodes(self) -> list[Hashable]:
+        """Ids of every ontology node."""
+        return [node.node_id for node in self._graph.nodes_of_kind(NodeKind.ONTOLOGY.value)]
+
+    def referents_of(self, content_id: Hashable) -> list[Hashable]:
+        """Referents annotated by *content_id*."""
+        return self._graph.successors(content_id, label=ANNOTATES)
+
+    def contents_annotating(self, referent_id: Hashable) -> list[Hashable]:
+        """Contents that annotate *referent_id*."""
+        return self._graph.predecessors(referent_id, label=ANNOTATES)
+
+    def related_annotations(self, content_id: Hashable) -> set[Hashable]:
+        """Other contents indirectly related to *content_id* through a shared
+        referent.  This is the paper's "two annotations become indirectly
+        related" relation."""
+        related: set[Hashable] = set()
+        for referent_id in self.referents_of(content_id):
+            for other in self.contents_annotating(referent_id):
+                if other != content_id:
+                    related.add(other)
+        return related
+
+    def ontology_terms_of(self, node_id: Hashable) -> list[Hashable]:
+        """Ontology terms that *node_id* refers to."""
+        return self._graph.successors(node_id, label=REFERS_TO)
+
+    # -- primitive: path -------------------------------------------------------
+
+    def path(self, node1: Hashable, node2: Hashable, labels: Iterable[str] | None = None) -> list[Hashable] | None:
+        """``path(node1, node2)``: a shortest path between the two nodes.
+
+        Edges are followed ignoring direction (the a-graph's connection
+        semantics are symmetric: a content reaches its referents and vice
+        versa).  When *labels* is given, only edges with those labels are
+        traversed.  Returns the node-id sequence, or ``None`` when no path
+        exists.
+        """
+        if node1 not in self._graph:
+            raise UnknownNodeError(f"no node {node1!r} in the a-graph")
+        if node2 not in self._graph:
+            raise UnknownNodeError(f"no node {node2!r} in the a-graph")
+        if node1 == node2:
+            return [node1]
+        allowed = set(labels) if labels is not None else None
+        previous: dict[Hashable, Hashable] = {node1: node1}
+        queue: deque[Hashable] = deque([node1])
+        while queue:
+            current = queue.popleft()
+            for edge in self._incident_edges(current, allowed):
+                neighbor = edge.target if edge.source == current else edge.source
+                if neighbor not in previous:
+                    previous[neighbor] = current
+                    if neighbor == node2:
+                        return self._reconstruct(previous, node1, node2)
+                    queue.append(neighbor)
+        return None
+
+    def weighted_path(
+        self,
+        node1: Hashable,
+        node2: Hashable,
+        weight_attribute: str = "weight",
+        default_weight: float = 1.0,
+    ) -> tuple[list[Hashable], float] | None:
+        """Shortest *weighted* path (Dijkstra) between two nodes.
+
+        Returns ``(path, total_cost)`` or ``None``.  Used by the connection
+        primitive when edges carry a cost attribute.
+        """
+        if node1 not in self._graph or node2 not in self._graph:
+            raise UnknownNodeError("both endpoints must be nodes in the a-graph")
+        distances: dict[Hashable, float] = {node1: 0.0}
+        previous: dict[Hashable, Hashable] = {node1: node1}
+        heap: list[tuple[float, int, Hashable]] = [(0.0, 0, node1)]
+        counter = 0
+        visited: set[Hashable] = set()
+        while heap:
+            cost, _, current = heapq.heappop(heap)
+            if current in visited:
+                continue
+            visited.add(current)
+            if current == node2:
+                return self._reconstruct(previous, node1, node2), cost
+            for edge in self._incident_edges(current, None):
+                neighbor = edge.target if edge.source == current else edge.source
+                if neighbor in visited:
+                    continue
+                step = float(edge.attribute(weight_attribute, default_weight))
+                new_cost = cost + step
+                if new_cost < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = new_cost
+                    previous[neighbor] = current
+                    counter += 1
+                    heapq.heappush(heap, (new_cost, counter, neighbor))
+        return None
+
+    def all_paths(
+        self,
+        node1: Hashable,
+        node2: Hashable,
+        max_length: int = 6,
+    ) -> list[list[Hashable]]:
+        """Every simple path between two nodes up to *max_length* edges."""
+        if node1 not in self._graph or node2 not in self._graph:
+            raise UnknownNodeError("both endpoints must be nodes in the a-graph")
+        results: list[list[Hashable]] = []
+
+        def walk(current: Hashable, target: Hashable, visited: list[Hashable]) -> None:
+            if len(visited) - 1 > max_length:
+                return
+            if current == target:
+                results.append(list(visited))
+                return
+            for edge in self._incident_edges(current, None):
+                neighbor = edge.target if edge.source == current else edge.source
+                if neighbor not in visited:
+                    visited.append(neighbor)
+                    walk(neighbor, target, visited)
+                    visited.pop()
+
+        walk(node1, node2, [node1])
+        return results
+
+    # -- primitive: connect ----------------------------------------------------
+
+    def connect(self, *node_ids: Hashable, hub: Hashable | None = None) -> ConnectionSubgraph:
+        """``connect(node1, node2, ...)``: a connection subgraph.
+
+        Builds a subgraph that intervenes the requested terminals by joining
+        them through shortest paths.  When *hub* is given, every terminal is
+        connected to the hub; otherwise the first terminal acts as the hub and
+        every other terminal is linked to it (a star of shortest paths, which
+        is the connection structure the paper's query results render as a
+        result page).
+        """
+        terminals = tuple(node_ids)
+        if len(terminals) < 2:
+            raise AGraphError("connect() requires at least two nodes")
+        for terminal in terminals:
+            if terminal not in self._graph:
+                raise UnknownNodeError(f"no node {terminal!r} in the a-graph")
+        anchor = hub if hub is not None else terminals[0]
+        others = [terminal for terminal in terminals if terminal != anchor]
+        result = ConnectionSubgraph(terminals=terminals, nodes={anchor})
+        for terminal in others:
+            path = self.path(anchor, terminal)
+            if path is None:
+                continue
+            edges = self._edges_along(path)
+            result.add_path(path, edges)
+        return result
+
+    def connection_exists(self, *node_ids: Hashable) -> bool:
+        """True when every requested node lies in one connected component."""
+        return self.connect(*node_ids).is_connected
+
+    # -- component analysis -----------------------------------------------------
+
+    def connected_component(self, node_id: Hashable) -> set[Hashable]:
+        """All nodes reachable from *node_id* ignoring edge direction."""
+        if node_id not in self._graph:
+            raise UnknownNodeError(f"no node {node_id!r} in the a-graph")
+        seen = {node_id}
+        queue = deque([node_id])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._graph.neighbors_undirected(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return seen
+
+    def connected_components(self) -> list[set[Hashable]]:
+        """Partition the a-graph into connected components."""
+        seen: set[Hashable] = set()
+        components: list[set[Hashable]] = []
+        for node in self._graph.node_ids():
+            if node not in seen:
+                component = self.connected_component(node)
+                seen |= component
+                components.append(component)
+        return components
+
+    # -- internals --------------------------------------------------------------
+
+    def _incident_edges(self, node_id: Hashable, allowed: set[str] | None) -> list[Edge]:
+        edges = self._graph.out_edges(node_id) + self._graph.in_edges(node_id)
+        if allowed is None:
+            return edges
+        return [edge for edge in edges if edge.label in allowed]
+
+    def _edges_along(self, path: list[Hashable]) -> list[Edge]:
+        edges: list[Edge] = []
+        for source, target in zip(path, path[1:]):
+            edge = self._find_edge(source, target)
+            if edge is not None:
+                edges.append(edge)
+        return edges
+
+    def _find_edge(self, source: Hashable, target: Hashable) -> Edge | None:
+        for edge in self._graph.out_edges(source):
+            if edge.target == target:
+                return edge
+        for edge in self._graph.in_edges(source):
+            if edge.source == target:
+                return edge
+        return None
+
+    @staticmethod
+    def _reconstruct(previous: dict[Hashable, Hashable], start: Hashable, end: Hashable) -> list[Hashable]:
+        path = [end]
+        while path[-1] != start:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return path
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation of the whole a-graph."""
+        return self._graph.to_dict()

@@ -1,0 +1,117 @@
+"""Analytics over the a-graph.
+
+The a-graph is the structure a Graphitti user explores; these metrics quantify
+its shape — degree distribution, the ontology terms that act as hubs, pairwise
+annotation similarity by shared referents, and the articulation-point
+annotations whose removal would fragment the graph.  They power the admin /
+study-report views and the "browse through further related results" step of
+the paper's query tab.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable
+
+from repro.agraph.agraph import AGraph, NodeKind
+
+
+class AGraphMetrics:
+    """Structural analytics over one :class:`~repro.agraph.agraph.AGraph`."""
+
+    def __init__(self, agraph: AGraph):
+        self.agraph = agraph
+
+    def degree_distribution(self) -> dict[int, int]:
+        """Map of degree -> number of nodes with that degree."""
+        distribution: Counter[int] = Counter()
+        graph = self.agraph.graph
+        for node_id in graph.node_ids():
+            distribution[graph.degree(node_id)] += 1
+        return dict(sorted(distribution.items()))
+
+    def average_degree(self) -> float:
+        """Mean node degree (0 for an empty graph)."""
+        if self.agraph.node_count == 0:
+            return 0.0
+        total = sum(self.agraph.graph.degree(node_id) for node_id in self.agraph.graph.node_ids())
+        return total / self.agraph.node_count
+
+    def ontology_hubs(self, top: int = 5) -> list[tuple[Hashable, int]]:
+        """Ontology terms ranked by how many nodes point at them."""
+        graph = self.agraph.graph
+        ranked = [
+            (term_id, len(graph.in_edges(term_id)))
+            for term_id in self.agraph.ontology_nodes()
+        ]
+        ranked.sort(key=lambda item: (-item[1], str(item[0])))
+        return ranked[:top]
+
+    def annotation_similarity(self, a: Hashable, b: Hashable) -> float:
+        """Jaccard similarity of two annotations by their shared referents."""
+        refs_a = set(self.agraph.referents_of(a))
+        refs_b = set(self.agraph.referents_of(b))
+        if not refs_a and not refs_b:
+            return 0.0
+        union = refs_a | refs_b
+        return len(refs_a & refs_b) / len(union)
+
+    def most_similar(self, annotation_id: Hashable, top: int = 3) -> list[tuple[Hashable, float]]:
+        """Annotations most similar to *annotation_id* by shared referents."""
+        scores = []
+        for other in self.agraph.contents():
+            if other == annotation_id:
+                continue
+            score = self.annotation_similarity(annotation_id, other)
+            if score > 0:
+                scores.append((other, score))
+        scores.sort(key=lambda item: (-item[1], str(item[0])))
+        return scores[:top]
+
+    def referent_sharing(self) -> dict[Hashable, int]:
+        """For each referent shared by >1 annotation, how many annotations use it."""
+        shared = {}
+        for referent_id in self.agraph.referents():
+            count = len(self.agraph.contents_annotating(referent_id))
+            if count > 1:
+                shared[referent_id] = count
+        return shared
+
+    def component_sizes(self) -> list[int]:
+        """Sizes of the connected components, largest first."""
+        return sorted((len(component) for component in self.agraph.connected_components()), reverse=True)
+
+    def articulation_annotations(self) -> list[Hashable]:
+        """Annotation (content) nodes whose removal increases the component count.
+
+        These are the annotations that "hold the graph together" — removing one
+        would disconnect parts of the exploration graph.
+        """
+        baseline = len(self.agraph.connected_components())
+        articulation: list[Hashable] = []
+        for content_id in self.agraph.contents():
+            if self._removal_increases_components(content_id, baseline):
+                articulation.append(content_id)
+        return sorted(articulation, key=str)
+
+    def _removal_increases_components(self, node_id: Hashable, baseline: int) -> int:
+        graph = self.agraph.graph
+        # Work on an induced view: BFS over all nodes except node_id.
+        remaining = set(graph.node_ids())
+        remaining.discard(node_id)
+        seen: set[Hashable] = set()
+        components = 0
+        for start in remaining:
+            if start in seen:
+                continue
+            components += 1
+            stack = [start]
+            seen.add(start)
+            while stack:
+                current = stack.pop()
+                for neighbor in graph.neighbors_undirected(current):
+                    if neighbor != node_id and neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+        # Account for the removed node's own component contribution.
+        return components > baseline

@@ -1,0 +1,210 @@
+"""Directed labeled multigraph.
+
+The substrate of the a-graph: a directed graph that allows multiple, labeled
+edges between the same pair of nodes (hence *multi*-graph).  Nodes carry a
+kind and arbitrary attributes; edges carry a label and attributes.  Adjacency
+is stored both forward and backward so traversals in either direction are
+efficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator
+
+from repro.errors import AGraphError, UnknownNodeError
+
+
+@dataclass
+class Node:
+    """A graph node: an id, a kind tag, and free-form attributes."""
+
+    node_id: Hashable
+    kind: str = "node"
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed labeled edge between two nodes."""
+
+    source: Hashable
+    target: Hashable
+    label: str = ""
+    attributes: tuple[tuple[str, Any], ...] = ()
+
+    def attribute(self, name: str, default: Any = None) -> Any:
+        """Value of attribute *name*, or *default*."""
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return default
+
+    def reversed(self) -> "Edge":
+        """The same edge with source/target swapped (for reverse walks)."""
+        return Edge(self.target, self.source, self.label, self.attributes)
+
+
+class LabeledMultigraph:
+    """A directed labeled multigraph with forward and backward adjacency."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[Hashable, Node] = {}
+        self._out: dict[Hashable, list[Edge]] = {}
+        self._in: dict[Hashable, list[Edge]] = {}
+        self._edge_count = 0
+
+    # -- size ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: Hashable) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return self._edge_count
+
+    # -- nodes ----------------------------------------------------------------
+
+    def add_node(self, node_id: Hashable, kind: str = "node", **attributes: Any) -> Node:
+        """Add (or update) a node and return it."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            node = Node(node_id, kind, dict(attributes))
+            self._nodes[node_id] = node
+            self._out[node_id] = []
+            self._in[node_id] = []
+        else:
+            node.kind = kind
+            node.attributes.update(attributes)
+        return node
+
+    def node(self, node_id: Hashable) -> Node:
+        """The node with id *node_id* (raises when absent)."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(f"no node {node_id!r} in the graph") from None
+
+    def has_node(self, node_id: Hashable) -> bool:
+        """True when the node exists."""
+        return node_id in self._nodes
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over every node."""
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> tuple[Hashable, ...]:
+        """All node ids."""
+        return tuple(self._nodes)
+
+    def nodes_of_kind(self, kind: str) -> list[Node]:
+        """All nodes whose kind equals *kind*."""
+        return [node for node in self._nodes.values() if node.kind == kind]
+
+    def remove_node(self, node_id: Hashable) -> None:
+        """Remove a node and every incident edge."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(f"no node {node_id!r} in the graph")
+        for edge in list(self._out[node_id]):
+            self._in[edge.target] = [item for item in self._in[edge.target] if item is not edge]
+            self._edge_count -= 1
+        for edge in list(self._in[node_id]):
+            self._out[edge.source] = [item for item in self._out[edge.source] if item is not edge]
+            self._edge_count -= 1
+        del self._out[node_id]
+        del self._in[node_id]
+        del self._nodes[node_id]
+
+    # -- edges ----------------------------------------------------------------
+
+    def add_edge(
+        self,
+        source: Hashable,
+        target: Hashable,
+        label: str = "",
+        **attributes: Any,
+    ) -> Edge:
+        """Add a directed labeled edge (endpoints must already exist)."""
+        if source not in self._nodes:
+            raise UnknownNodeError(f"edge source {source!r} is not a node")
+        if target not in self._nodes:
+            raise UnknownNodeError(f"edge target {target!r} is not a node")
+        edge = Edge(source, target, label, tuple(sorted(attributes.items())))
+        self._out[source].append(edge)
+        self._in[target].append(edge)
+        self._edge_count += 1
+        return edge
+
+    def out_edges(self, node_id: Hashable) -> list[Edge]:
+        """Outgoing edges of *node_id*."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(f"no node {node_id!r} in the graph")
+        return list(self._out[node_id])
+
+    def in_edges(self, node_id: Hashable) -> list[Edge]:
+        """Incoming edges of *node_id*."""
+        if node_id not in self._nodes:
+            raise UnknownNodeError(f"no node {node_id!r} in the graph")
+        return list(self._in[node_id])
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over every edge."""
+        for edges in self._out.values():
+            yield from edges
+
+    def successors(self, node_id: Hashable, label: str | None = None) -> list[Hashable]:
+        """Targets of outgoing edges (optionally filtered by label)."""
+        return [
+            edge.target
+            for edge in self.out_edges(node_id)
+            if label is None or edge.label == label
+        ]
+
+    def predecessors(self, node_id: Hashable, label: str | None = None) -> list[Hashable]:
+        """Sources of incoming edges (optionally filtered by label)."""
+        return [
+            edge.source
+            for edge in self.in_edges(node_id)
+            if label is None or edge.label == label
+        ]
+
+    def neighbors_undirected(self, node_id: Hashable) -> set[Hashable]:
+        """All nodes connected to *node_id* ignoring edge direction."""
+        neighbors = {edge.target for edge in self.out_edges(node_id)}
+        neighbors |= {edge.source for edge in self.in_edges(node_id)}
+        return neighbors
+
+    def degree(self, node_id: Hashable) -> int:
+        """Total degree (in + out) of *node_id*."""
+        return len(self.out_edges(node_id)) + len(self.in_edges(node_id))
+
+    def labels(self) -> set[str]:
+        """Distinct edge labels present in the graph."""
+        return {edge.label for edge in self.edges()}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation."""
+        return {
+            "nodes": [
+                {"id": node.node_id, "kind": node.kind, "attributes": node.attributes}
+                for node in self._nodes.values()
+            ],
+            "edges": [
+                {
+                    "source": edge.source,
+                    "target": edge.target,
+                    "label": edge.label,
+                    "attributes": dict(edge.attributes),
+                }
+                for edge in self.edges()
+            ],
+        }

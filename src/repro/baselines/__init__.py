@@ -1,0 +1,33 @@
+"""Baseline implementations for benchmark comparison.
+
+The paper's design choices (interval trees, R-trees, the a-graph join index,
+an indexed XML content collection, a query planner) only justify themselves
+against the obvious alternatives.  This package provides those alternatives so
+the benchmark harness can quantify the speed-up:
+
+* :mod:`repro.baselines.linear_scan` -- substructure overlap by linear scan
+  (no interval tree / R-tree),
+* :mod:`repro.baselines.naive_graph` -- a-graph path/connection search over an
+  unindexed edge list, and a networkx-backed comparator,
+* :mod:`repro.baselines.relational_annotation` -- a Bhagwat-style single-table
+  relational annotation store (annotations as rows, searched by scan).
+"""
+
+from repro.baselines.linear_scan import (
+    LinearIntervalIndex,
+    LinearRegionIndex,
+    linear_interval_overlap,
+    linear_region_overlap,
+)
+from repro.baselines.naive_graph import NaiveGraph, networkx_shortest_path
+from repro.baselines.relational_annotation import RelationalAnnotationStore
+
+__all__ = [
+    "LinearIntervalIndex",
+    "LinearRegionIndex",
+    "linear_interval_overlap",
+    "linear_region_overlap",
+    "NaiveGraph",
+    "networkx_shortest_path",
+    "RelationalAnnotationStore",
+]

@@ -1,0 +1,82 @@
+"""Linear-scan baselines for substructure overlap queries.
+
+These reproduce "what you get without the index": every stored interval /
+rectangle is tested against the query.  They share the query API of
+:class:`~repro.spatial.interval_tree.IntervalTree` /
+:class:`~repro.spatial.rtree.RTree` so the benchmark harness can swap them in.
+"""
+
+from __future__ import annotations
+
+from repro.spatial.interval import Interval
+from repro.spatial.rect import Rect
+
+
+def linear_interval_overlap(intervals: list[Interval], query: Interval) -> list[Interval]:
+    """All intervals overlapping *query*, found by linear scan."""
+    return [interval for interval in intervals if interval.overlaps(query)]
+
+
+def linear_region_overlap(rects: list[Rect], query: Rect) -> list[Rect]:
+    """All rectangles overlapping *query*, found by linear scan."""
+    return [rect for rect in rects if rect.overlaps(query)]
+
+
+class LinearIntervalIndex:
+    """A no-op "index" over intervals: inserts append, queries scan."""
+
+    def __init__(self, domain: str | None = None):
+        self.domain = domain
+        self._intervals: list[Interval] = []
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def insert(self, interval: Interval) -> None:
+        """Append an interval (O(1))."""
+        self._intervals.append(interval)
+
+    def insert_many(self, intervals: list[Interval]) -> None:
+        """Append several intervals."""
+        self._intervals.extend(intervals)
+
+    def search_overlap(self, query: Interval) -> list[Interval]:
+        """Overlap query by linear scan (O(n))."""
+        results = linear_interval_overlap(self._intervals, query)
+        results.sort(key=lambda item: (item.start, item.end))
+        return results
+
+    def stab(self, point: float) -> list[Interval]:
+        """Point-stab query by linear scan."""
+        return self.search_overlap(Interval(point, point, domain=self.domain))
+
+    def count_overlap(self, query: Interval) -> int:
+        """Count of overlapping intervals."""
+        return sum(1 for interval in self._intervals if interval.overlaps(query))
+
+
+class LinearRegionIndex:
+    """A no-op "index" over rectangles: inserts append, queries scan."""
+
+    def __init__(self, space: str | None = None):
+        self.space = space
+        self._rects: list[Rect] = []
+
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    def insert(self, rect: Rect) -> None:
+        """Append a rectangle (O(1))."""
+        self._rects.append(rect)
+
+    def insert_many(self, rects: list[Rect]) -> None:
+        """Append several rectangles."""
+        self._rects.extend(rects)
+
+    def search_overlap(self, query: Rect) -> list[Rect]:
+        """Overlap query by linear scan (O(n))."""
+        return linear_region_overlap(self._rects, query)
+
+    def count_overlap(self, query: Rect) -> int:
+        """Count of overlapping rectangles."""
+        return sum(1 for rect in self._rects if rect.overlaps(query))

@@ -1,0 +1,95 @@
+"""Naive graph baselines for the a-graph primitives.
+
+:class:`NaiveGraph` stores edges in a flat list and answers path queries by
+re-deriving adjacency on every call (no persistent adjacency index).  It is
+the "unindexed edge list" comparator for the a-graph's ``path``/``connect``.
+A thin wrapper around networkx is also provided so the benchmark can compare
+against a mature library implementation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+
+class NaiveGraph:
+    """An undirected graph stored as a flat edge list (no adjacency index)."""
+
+    def __init__(self) -> None:
+        self._nodes: set[Hashable] = set()
+        self._edges: list[tuple[Hashable, Hashable]] = []
+
+    def add_node(self, node: Hashable) -> None:
+        """Add a node."""
+        self._nodes.add(node)
+
+    def add_edge(self, source: Hashable, target: Hashable) -> None:
+        """Add an undirected edge (endpoints created as needed)."""
+        self._nodes.add(source)
+        self._nodes.add(target)
+        self._edges.append((source, target))
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def _neighbors(self, node: Hashable) -> list[Hashable]:
+        """Derive neighbours by scanning the whole edge list (O(E))."""
+        neighbors = []
+        for source, target in self._edges:
+            if source == node:
+                neighbors.append(target)
+            elif target == node:
+                neighbors.append(source)
+        return neighbors
+
+    def path(self, source: Hashable, target: Hashable) -> list[Hashable] | None:
+        """Shortest path by BFS, re-scanning edges at every expansion."""
+        if source not in self._nodes or target not in self._nodes:
+            return None
+        if source == target:
+            return [source]
+        previous: dict[Hashable, Hashable] = {source: source}
+        queue: deque[Hashable] = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self._neighbors(current):
+                if neighbor not in previous:
+                    previous[neighbor] = current
+                    if neighbor == target:
+                        return self._reconstruct(previous, source, target)
+                    queue.append(neighbor)
+        return None
+
+    def connected(self, source: Hashable, target: Hashable) -> bool:
+        """True when a path exists between the two nodes."""
+        return self.path(source, target) is not None
+
+    @staticmethod
+    def _reconstruct(previous: dict, source: Hashable, target: Hashable) -> list[Hashable]:
+        path = [target]
+        while path[-1] != source:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return path
+
+
+def networkx_shortest_path(edges: list[tuple[Hashable, Hashable]], source: Hashable, target: Hashable):
+    """Shortest path via networkx (import is local so networkx stays optional)."""
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    if source not in graph or target not in graph:
+        return None
+    try:
+        return nx.shortest_path(graph, source, target)
+    except nx.NetworkXNoPath:
+        return None

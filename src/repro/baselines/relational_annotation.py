@@ -1,0 +1,115 @@
+"""Bhagwat-style relational annotation store baseline.
+
+Bhagwat et al. (VLDB 2004, reference [2] in the paper) store annotations as
+rows in a relational database and search them with SQL-ish scans.  This
+baseline reproduces that approach over the embedded relational engine: every
+annotation-referent pair is one row in a single flat table, and queries are
+answered by scanning/filtering rows rather than by a graph join index.  It is
+the comparator for the ingest and mixed-query benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.relational.database import Database
+from repro.relational.query import and_, eq, ge, le
+from repro.relational.schema import Column, ColumnType, TableSchema
+
+
+class RelationalAnnotationStore:
+    """A single-table relational annotation store (the flat baseline)."""
+
+    TABLE = "annotations"
+
+    def __init__(self, indexed: bool = False):
+        self._database = Database("relational-annotations")
+        schema = TableSchema(
+            name=self.TABLE,
+            columns=[
+                Column("row_id", ColumnType.INTEGER, nullable=False),
+                Column("annotation_id", ColumnType.TEXT, nullable=False),
+                Column("keywords", ColumnType.TEXT),
+                Column("object_id", ColumnType.TEXT),
+                Column("data_type", ColumnType.TEXT),
+                Column("domain", ColumnType.TEXT),
+                Column("start", ColumnType.FLOAT),
+                Column("end", ColumnType.FLOAT),
+                Column("ontology_term", ColumnType.TEXT),
+            ],
+            primary_key="row_id",
+        )
+        self._table = self._database.create_table(schema)
+        self._next_row = 1
+        if indexed:
+            self._table.create_index("annotation_id")
+            self._table.create_index("ontology_term")
+            self._table.create_sorted_index("start")
+
+    @property
+    def row_count(self) -> int:
+        """Number of annotation-referent rows."""
+        return len(self._table)
+
+    def add_referent_row(
+        self,
+        annotation_id: str,
+        keywords: str,
+        object_id: str,
+        data_type: str,
+        domain: str | None = None,
+        start: float | None = None,
+        end: float | None = None,
+        ontology_term: str | None = None,
+    ) -> int:
+        """Insert one annotation-referent row."""
+        row_id = self._next_row
+        self._next_row += 1
+        self._table.insert(
+            {
+                "row_id": row_id,
+                "annotation_id": annotation_id,
+                "keywords": keywords,
+                "object_id": object_id,
+                "data_type": data_type,
+                "domain": domain,
+                "start": start,
+                "end": end,
+                "ontology_term": ontology_term,
+            }
+        )
+        return row_id
+
+    def search_keyword(self, keyword: str) -> list[str]:
+        """Annotation ids whose keyword column contains *keyword* (scan)."""
+        needle = keyword.lower()
+        matches = {
+            row["annotation_id"]
+            for row in self._table
+            if row["keywords"] and needle in row["keywords"].lower()
+        }
+        return sorted(matches)
+
+    def search_ontology(self, term: str) -> list[str]:
+        """Annotation ids with a row pointing at *term*."""
+        matches = {row["annotation_id"] for row in self._table.select(eq("ontology_term", term))}
+        return sorted(matches)
+
+    def search_overlap(self, domain: str, start: float, end: float) -> list[str]:
+        """Annotation ids with a referent overlapping ``[start, end]``.
+
+        Overlap is ``row.start <= end AND row.end >= start`` evaluated by the
+        relational engine (which will scan when no index helps the range).
+        """
+        predicate = and_(eq("domain", domain), le("start", end), ge("end", start))
+        matches = {row["annotation_id"] for row in self._table.select(predicate)}
+        return sorted(matches)
+
+    def mixed_query(self, keyword: str, domain: str, start: float, end: float, term: str | None = None) -> list[str]:
+        """A mixed keyword + overlap (+ optional ontology) query by scanning."""
+        keyword_hits = set(self.search_keyword(keyword))
+        overlap_hits = set(self.search_overlap(domain, start, end))
+        result = keyword_hits & overlap_hits
+        if term is not None:
+            result &= set(self.search_ontology(term))
+        return sorted(result)

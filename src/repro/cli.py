@@ -1,0 +1,169 @@
+"""Command-line interface for Graphitti.
+
+Run as ``python -m repro <command>``.  The CLI drives the same workflows the
+paper's GUI does — build a study, inspect it, administer it, and query it —
+against a persisted instance snapshot.
+
+Commands
+--------
+``build {influenza,neuroscience} PATH``
+    Build a paper scenario and save it to PATH.
+``stats PATH``
+    Print instance statistics.
+``admin PATH``
+    Print the administrative report (integrity, economy, orphans, activity).
+``query PATH GQL``
+    Run a GQL query and print the result.
+``scenarios``
+    List the built-in scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.persistence import load_instance, save_instance
+from repro.errors import GraphittiError
+from repro.workloads import build_influenza_instance, build_neuroscience_instance
+
+_SCENARIOS = {
+    "influenza": build_influenza_instance,
+    "neuroscience": build_neuroscience_instance,
+}
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    print("Available scenarios:")
+    for name in _SCENARIOS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    if args.scenario not in _SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
+        return 2
+    instance = _SCENARIOS[args.scenario]()
+    path = save_instance(instance, args.path)
+    print(f"built {args.scenario} scenario ({instance.annotation_count} annotations) -> {path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    instance = load_instance(args.path)
+    for key, value in instance.statistics().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_admin(args: argparse.Namespace) -> int:
+    instance = load_instance(args.path)
+    admin = instance.administrator()
+    print(admin.check_integrity().summary())
+    print("\nindex economy:")
+    for key, value in admin.index_economy().items():
+        print(f"  {key}: {value}")
+    print("\norphan objects:", admin.orphan_objects() or "(none)")
+    print("\nleaderboard:")
+    for object_id, count in admin.annotation_leaderboard():
+        print(f"  {object_id}: {count}")
+    print("\ncreator activity:")
+    for creator, count in sorted(admin.creator_activity().items()):
+        print(f"  {creator}: {count}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.workloads.reporting import study_report
+
+    instance = load_instance(args.path)
+    print(study_report(instance))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    instance = load_instance(args.path)
+    try:
+        explanation = instance.explain(args.gql)
+    except GraphittiError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 1
+    print(explanation["plan"])
+    print(f"\nsubqueries: {explanation['subqueries']}")
+    print(f"estimated cost: {explanation['estimated_cost']}")
+    print(f"targets: {', '.join(explanation['targets'])}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    instance = load_instance(args.path)
+    try:
+        result = instance.query(args.gql)
+    except GraphittiError as exc:
+        print(f"query error: {exc}", file=sys.stderr)
+        return 1
+    print(f"return kind: {result.return_kind.value}")
+    print(f"result count: {result.count}")
+    if result.annotation_ids:
+        print("annotations:", ", ".join(result.annotation_ids))
+    if result.subgraphs:
+        for index, subgraph in enumerate(result.subgraphs, start=1):
+            print(f"  subgraph {index}: {subgraph.node_count} nodes, {subgraph.edge_count} edges")
+    if result.steps:
+        print("plan trace:")
+        print(result.explain_steps())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description="Graphitti command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_scen = sub.add_parser("scenarios", help="list built-in scenarios")
+    p_scen.set_defaults(func=_cmd_scenarios)
+
+    p_build = sub.add_parser("build", help="build a scenario and save it")
+    p_build.add_argument("scenario", choices=sorted(_SCENARIOS))
+    p_build.add_argument("path")
+    p_build.set_defaults(func=_cmd_build)
+
+    p_stats = sub.add_parser("stats", help="print instance statistics")
+    p_stats.add_argument("path")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_admin = sub.add_parser("admin", help="print the administrative report")
+    p_admin.add_argument("path")
+    p_admin.set_defaults(func=_cmd_admin)
+
+    p_report = sub.add_parser("report", help="print a Markdown study report")
+    p_report.add_argument("path")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_query = sub.add_parser("query", help="run a GQL query")
+    p_query.add_argument("path")
+    p_query.add_argument("gql")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_explain = sub.add_parser("explain", help="show a query plan without executing")
+    p_explain.add_argument("path")
+    p_explain.add_argument("gql")
+    p_explain.set_defaults(func=_cmd_explain)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except GraphittiError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

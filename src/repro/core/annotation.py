@@ -1,0 +1,182 @@
+"""The annotation model: content, referents, and the linker object.
+
+"We consider an annotation as a linker object that connects the annotation
+content (i.e., the comment itself) to one or more annotation referents (i.e.,
+the object fragments that are marked for annotation)."
+
+* :class:`AnnotationContent` wraps the XML comment document plus its Dublin
+  Core metadata and any ontology references the *content* itself points at.
+* :class:`Referent` wraps one marked substructure
+  (:class:`~repro.datatypes.base.SubstructureRef`) plus the ontology terms
+  that referent points at.
+* :class:`Annotation` is the linker object: a content id, its referents, and
+  helpers to render the whole thing as one XML document (for commit to the
+  annotation store and for the "view it as an XML-structured object" step in
+  the paper's annotation tab).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.dublin_core import DublinCore
+from repro.datatypes.base import SubstructureRef
+from repro.errors import AnnotationError
+from repro.xmlstore.document import XmlDocument, XmlElement
+
+
+@dataclass
+class Referent:
+    """One annotation referent: a marked substructure + ontology pointers."""
+
+    ref: SubstructureRef
+    ontology_terms: list[str] = field(default_factory=list)
+    referent_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.referent_id is None:
+            self.referent_id = self.ref.key()
+
+    def point_to(self, term_id: str) -> None:
+        """Make this referent point at an ontology term."""
+        if term_id not in self.ontology_terms:
+            self.ontology_terms.append(term_id)
+
+    def to_element(self) -> XmlElement:
+        """Render the referent as a ``referent`` XML element."""
+        element = XmlElement(
+            "referent",
+            attributes={
+                "id": self.referent_id or "",
+                "object": self.ref.object_id,
+                "type": self.ref.data_type.value,
+            },
+        )
+        if self.ref.label:
+            element.set("label", self.ref.label)
+        if self.ref.interval is not None:
+            element.add(
+                "interval",
+                start=str(self.ref.interval.start),
+                end=str(self.ref.interval.end),
+                domain=str(self.ref.interval.domain or ""),
+            )
+        if self.ref.rect is not None:
+            element.add(
+                "region",
+                lo=",".join(str(value) for value in self.ref.rect.lo),
+                hi=",".join(str(value) for value in self.ref.rect.hi),
+                space=str(self.ref.rect.space or ""),
+            )
+        for key, value in sorted(self.ref.descriptor.items()):
+            if key in ("residues", "block", "leaves", "nodes", "edges", "row_keys"):
+                element.add("descriptor", text=str(value), key=key)
+        for term in self.ontology_terms:
+            element.add("ontology-ref", term=term)
+        return element
+
+
+@dataclass
+class AnnotationContent:
+    """The annotation content: metadata, free-text body, ontology pointers."""
+
+    dublin_core: DublinCore
+    body: str = ""
+    ontology_terms: list[str] = field(default_factory=list)
+    user_tags: dict[str, str] = field(default_factory=dict)
+
+    def add_keyword(self, keyword: str) -> None:
+        """Add a Dublin Core subject keyword."""
+        if keyword not in self.dublin_core.subject:
+            self.dublin_core.subject.append(keyword)
+
+    def point_to(self, term_id: str) -> None:
+        """Make the content itself point at an ontology term."""
+        if term_id not in self.ontology_terms:
+            self.ontology_terms.append(term_id)
+
+    def keywords(self) -> list[str]:
+        """Subject keywords from the Dublin Core metadata."""
+        return self.dublin_core.keywords()
+
+    def text(self) -> str:
+        """All searchable text of the content (body + keywords + description)."""
+        parts = [self.body, self.dublin_core.description, self.dublin_core.title]
+        parts.extend(self.dublin_core.subject)
+        parts.extend(self.user_tags.values())
+        return " ".join(part for part in parts if part)
+
+
+class Annotation:
+    """The linker object connecting one content to one or more referents."""
+
+    def __init__(self, annotation_id: str, content: AnnotationContent):
+        if not annotation_id:
+            raise AnnotationError("annotation id must be non-empty")
+        self.annotation_id = annotation_id
+        self.content = content
+        self._referents: list[Referent] = []
+
+    @property
+    def referents(self) -> tuple[Referent, ...]:
+        """The annotation's referents, in attach order."""
+        return tuple(self._referents)
+
+    @property
+    def referent_count(self) -> int:
+        """Number of referents."""
+        return len(self._referents)
+
+    def add_referent(self, ref: SubstructureRef, ontology_terms: Iterable[str] = ()) -> Referent:
+        """Attach a marked substructure as a referent (the drag-to-commit step)."""
+        referent = Referent(ref=ref, ontology_terms=list(ontology_terms))
+        self._referents.append(referent)
+        return referent
+
+    def referent_ids(self) -> list[str]:
+        """Stable ids of every referent."""
+        return [referent.referent_id for referent in self._referents if referent.referent_id]
+
+    def ontology_terms(self) -> set[str]:
+        """Every ontology term pointed at by the content or any referent."""
+        terms = set(self.content.ontology_terms)
+        for referent in self._referents:
+            terms.update(referent.ontology_terms)
+        return terms
+
+    def object_ids(self) -> set[str]:
+        """Ids of every data object this annotation touches."""
+        return {referent.ref.object_id for referent in self._referents}
+
+    def to_document(self) -> XmlDocument:
+        """Render the whole annotation as one XML document.
+
+        This is the "view it as an XML-structured object (and edit it if
+        needed) before it is committed" step of the paper's annotation tab.
+        """
+        root = XmlElement("annotation", attributes={"id": self.annotation_id})
+        metadata = root.add("metadata")
+        for element in self.content.dublin_core.to_elements():
+            metadata.append(element)
+        if self.content.body:
+            root.add("body", text=self.content.body)
+        if self.content.user_tags:
+            tags = root.add("tags")
+            for key, value in self.content.user_tags.items():
+                tags.add(key, text=value)
+        for term in self.content.ontology_terms:
+            root.add("ontology-ref", term=term)
+        referents = root.add("referents")
+        for referent in self._referents:
+            referents.append(referent.to_element())
+        return XmlDocument(root, doc_id=self.annotation_id)
+
+    def to_xml(self) -> str:
+        """Serialize the annotation to XML text."""
+        from repro.xmlstore.parser import serialize_xml
+
+        return serialize_xml(self.to_document())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Annotation {self.annotation_id} referents={self.referent_count}>"

@@ -1,0 +1,97 @@
+"""Dublin Core metadata for annotation contents.
+
+"The annotation content produced by Graphitti is an XML document whose
+elements consist of Dublin core attributes and other user-defined tags."
+This module models the 15 Dublin Core elements and renders them as the
+``dc:*`` elements of an annotation content document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.xmlstore.document import XmlElement
+
+#: The 15 Dublin Core Metadata Element Set terms.
+DC_ELEMENTS = (
+    "title",
+    "creator",
+    "subject",
+    "description",
+    "publisher",
+    "contributor",
+    "date",
+    "type",
+    "format",
+    "identifier",
+    "source",
+    "language",
+    "relation",
+    "coverage",
+    "rights",
+)
+
+
+@dataclass
+class DublinCore:
+    """Dublin Core metadata for one annotation content.
+
+    Each attribute maps to a ``dc:<element>`` tag.  ``subject`` and
+    ``contributor`` are lists because an annotation commonly carries several
+    keywords / contributors; the rest are single-valued.
+    """
+
+    title: str = ""
+    creator: str = ""
+    subject: list[str] = field(default_factory=list)
+    description: str = ""
+    publisher: str = ""
+    contributor: list[str] = field(default_factory=list)
+    date: str = ""
+    type: str = "annotation"
+    format: str = "text/xml"
+    identifier: str = ""
+    source: str = ""
+    language: str = "en"
+    relation: str = ""
+    coverage: str = ""
+    rights: str = ""
+
+    def keywords(self) -> list[str]:
+        """The subject keywords (a common query target)."""
+        return list(self.subject)
+
+    def to_elements(self) -> list[XmlElement]:
+        """Render the populated elements as ``dc:*`` XML elements."""
+        elements: list[XmlElement] = []
+        for name in DC_ELEMENTS:
+            value = getattr(self, name)
+            if isinstance(value, list):
+                for item in value:
+                    if item:
+                        elements.append(XmlElement(f"dc:{name}", text=str(item)))
+            elif value:
+                elements.append(XmlElement(f"dc:{name}", text=str(value)))
+        return elements
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation."""
+        return {name: getattr(self, name) for name in DC_ELEMENTS}
+
+    @classmethod
+    def from_elements(cls, elements: list[XmlElement]) -> "DublinCore":
+        """Reconstruct Dublin Core metadata from ``dc:*`` elements."""
+        core = cls()
+        for element in elements:
+            if not element.tag.startswith("dc:"):
+                continue
+            name = element.tag[3:]
+            if name not in DC_ELEMENTS:
+                continue
+            current = getattr(core, name)
+            if isinstance(current, list):
+                current.append(element.text)
+            else:
+                setattr(core, name, element.text)
+        return core

@@ -1,0 +1,488 @@
+"""The Graphitti manager facade.
+
+:class:`Graphitti` is the single object a user interacts with.  It owns every
+substrate and wires them together on commit:
+
+* the :class:`~repro.datatypes.registry.DataTypeRegistry` of annotable objects,
+* the embedded relational :class:`~repro.relational.database.Database` holding
+  per-type metadata and raw data,
+* the :class:`~repro.xmlstore.collection.DocumentCollection` of annotation
+  contents,
+* the :class:`~repro.core.substructure_store.SubstructureStore` (interval
+  trees + R-trees) indexing referents,
+* the ontologies and their :class:`~repro.ontology.operations.OntologyOperations`,
+* the :class:`~repro.agraph.agraph.AGraph` join index.
+
+It exposes the paper's three workflows: **annotate** (``new_annotation`` +
+``commit``), **query** (keyword / ontology / spatial / path search), and
+**explore** (related annotations, correlated data).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.agraph.agraph import AGraph
+from repro.agraph.connection import ConnectionSubgraph
+from repro.core.annotation import Annotation
+from repro.core.builder import AnnotationBuilder
+from repro.core.dublin_core import DublinCore
+from repro.core.annotation import AnnotationContent
+from repro.core.substructure_store import SubstructureStore
+from repro.datatypes.base import DataObject, DataType
+from repro.datatypes.registry import DataTypeRegistry
+from repro.errors import AnnotationError, GraphittiError, UnknownObjectError
+from repro.ontology.model import Ontology
+from repro.ontology.operations import OntologyOperations
+from repro.relational.database import Database
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.spatial.coordinate import CoordinateSystemRegistry
+from repro.xmlstore.collection import DocumentCollection
+
+
+class Graphitti:
+    """The annotation management system facade.
+
+    Parameters
+    ----------
+    name:
+        Instance name (used to name the relational database and collection).
+    indexed_contents:
+        Whether the annotation-content collection maintains a keyword index
+        (default True; set False to benchmark the index-free path).
+    """
+
+    #: Metadata table schema shared by every registered data object.
+    _OBJECT_TABLE = "data_objects"
+
+    def __init__(self, name: str = "graphitti", indexed_contents: bool = True):
+        self.name = name
+        self.registry = DataTypeRegistry()
+        self.database = Database(name)
+        self.contents = DocumentCollection(f"{name}-annotations", indexed=indexed_contents)
+        self.substructures = SubstructureStore()
+        self.agraph = AGraph()
+        self.coordinate_systems = CoordinateSystemRegistry()
+        self._ontologies: dict[str, Ontology] = {}
+        self._ontology_ops: dict[str, OntologyOperations] = {}
+        self._annotations: dict[str, Annotation] = {}
+        self._next_annotation_serial = 1
+        #: True for instances rebuilt from a snapshot (data objects not
+        #: reconstructed; see :mod:`repro.core.persistence`).
+        self.catalogue_only = False
+        self._init_metadata_table()
+
+    def _init_metadata_table(self) -> None:
+        schema = TableSchema(
+            name=self._OBJECT_TABLE,
+            columns=[
+                Column("object_id", ColumnType.TEXT, nullable=False),
+                Column("data_type", ColumnType.TEXT, nullable=False),
+                Column("domain", ColumnType.TEXT),
+                Column("description", ColumnType.TEXT),
+                Column("metadata", ColumnType.JSON),
+                Column("raw", ColumnType.BLOB),
+            ],
+            primary_key="object_id",
+        )
+        table = self.database.create_table(schema)
+        table.create_index("data_type")
+
+    # -- ontology management --------------------------------------------------
+
+    def register_ontology(self, ontology: Ontology, cache: bool = True) -> OntologyOperations:
+        """Register an ontology and return its operation interface."""
+        if ontology.name in self._ontologies:
+            raise GraphittiError(f"ontology {ontology.name!r} already registered")
+        self._ontologies[ontology.name] = ontology
+        ops = OntologyOperations(ontology, cache=cache)
+        self._ontology_ops[ontology.name] = ops
+        return ops
+
+    def ontology(self, name: str) -> Ontology:
+        """The registered ontology named *name*."""
+        try:
+            return self._ontologies[name]
+        except KeyError:
+            raise GraphittiError(f"no ontology named {name!r}") from None
+
+    def ontology_ops(self, name: str) -> OntologyOperations:
+        """The :class:`OntologyOperations` for ontology *name*."""
+        try:
+            return self._ontology_ops[name]
+        except KeyError:
+            raise GraphittiError(f"no ontology named {name!r}") from None
+
+    def ontologies(self) -> list[str]:
+        """Names of every registered ontology."""
+        return list(self._ontologies)
+
+    def resolve_ontology_term(self, text: str) -> str:
+        """Resolve a term id or name against every registered ontology.
+
+        Returns the term id unchanged when it already exists; otherwise the
+        first matching ontology term id.  Raises when nothing matches and the
+        text is not already a bare id (so unknown raw ids pass through, which
+        lets callers reference terms before loading an ontology in tests).
+        """
+        for ontology in self._ontologies.values():
+            if text in ontology:
+                return text
+            matches = ontology.find_by_name(text)
+            if matches:
+                return matches[0].term_id
+        # Not found by name anywhere; treat as an opaque id.
+        return text
+
+    # -- data object registration ---------------------------------------------
+
+    def register(self, obj: DataObject, raw: bytes | None = None, **metadata: Any) -> DataObject:
+        """Register an annotable data object and record its metadata row."""
+        self.registry.register(obj)
+        combined = dict(obj.metadata)
+        combined.update(metadata)
+        self.database.table(self._OBJECT_TABLE).insert(
+            {
+                "object_id": obj.object_id,
+                "data_type": obj.data_type.value,
+                "domain": obj.coordinate_domain,
+                "description": obj.describe(),
+                "metadata": combined,
+                "raw": raw,
+            }
+        )
+        self._register_coordinate_system(obj)
+        return obj
+
+    def _register_coordinate_system(self, obj: DataObject) -> None:
+        from repro.datatypes.image import Image
+        from repro.datatypes.sequence import Sequence
+        from repro.datatypes.alignment import MultipleSequenceAlignment
+
+        if isinstance(obj, Image):
+            if obj.dimension == 2:
+                self.coordinate_systems.planar(obj.coordinate_space)
+            else:
+                self.coordinate_systems.volumetric(obj.coordinate_space)
+        elif isinstance(obj, (Sequence, MultipleSequenceAlignment)):
+            domain = obj.coordinate_domain
+            if domain is not None and domain not in self.coordinate_systems:
+                self.coordinate_systems.linear(domain)
+
+    def data_object(self, object_id: str) -> DataObject:
+        """The registered data object with id *object_id*."""
+        return self.registry.get(object_id)
+
+    def object_metadata(self, object_id: str) -> dict[str, Any]:
+        """The metadata row for *object_id* from the relational store."""
+        row = self.database.table(self._OBJECT_TABLE).get(object_id)
+        if row is None:
+            raise UnknownObjectError(f"no metadata for object {object_id!r}")
+        return row
+
+    # -- annotation workflow ---------------------------------------------------
+
+    def new_annotation(
+        self,
+        annotation_id: str | None = None,
+        title: str = "",
+        creator: str = "",
+        keywords: Iterable[str] = (),
+        body: str = "",
+        description: str = "",
+    ) -> AnnotationBuilder:
+        """Start building a new annotation (the annotation-tab workflow)."""
+        identifier = annotation_id or self._generate_annotation_id()
+        if identifier in self._annotations:
+            raise AnnotationError(f"annotation id {identifier!r} already exists")
+        dublin_core = DublinCore(
+            title=title,
+            creator=creator,
+            subject=list(keywords),
+            description=description,
+            identifier=identifier,
+        )
+        content = AnnotationContent(dublin_core=dublin_core, body=body)
+        return AnnotationBuilder(self, identifier, content)
+
+    def _generate_annotation_id(self) -> str:
+        while True:
+            identifier = f"anno-{self._next_annotation_serial:06d}"
+            self._next_annotation_serial += 1
+            if identifier not in self._annotations:
+                return identifier
+
+    def commit(self, annotation: Annotation) -> Annotation:
+        """Commit an annotation: store content, index referents, wire a-graph."""
+        if annotation.annotation_id in self._annotations:
+            raise AnnotationError(f"annotation {annotation.annotation_id!r} already committed")
+        # Validate referents reference registered objects.
+        for referent in annotation.referents:
+            if referent.ref.object_id not in self.registry:
+                raise UnknownObjectError(
+                    f"annotation references unregistered object {referent.ref.object_id!r}"
+                )
+        # 1. Store the annotation content as an XML document.
+        document = annotation.to_document()
+        self.contents.add(document, doc_id=annotation.annotation_id)
+        # 2. Create the content node in the a-graph.
+        self.agraph.add_content(
+            annotation.annotation_id,
+            title=annotation.content.dublin_core.title,
+            keywords=tuple(annotation.content.keywords()),
+        )
+        # 3. Index referents and wire content->referent edges.
+        for referent in annotation.referents:
+            referent_id = self.substructures.add(referent)
+            self.agraph.add_referent(
+                referent_id,
+                object=referent.ref.object_id,
+                data_type=referent.ref.data_type.value,
+            )
+            self.agraph.link_annotation(annotation.annotation_id, referent_id)
+            # 4. Wire referent->ontology edges.
+            for term in referent.ontology_terms:
+                self.agraph.add_ontology_node(term)
+                self.agraph.link_ontology(referent_id, term)
+            # 5. Link referents that share a data object (same_object edges).
+            self._link_same_object(referent_id, referent.ref.object_id, annotation)
+        # 6. Wire content->ontology edges.
+        for term in annotation.content.ontology_terms:
+            self.agraph.add_ontology_node(term)
+            self.agraph.link_ontology(annotation.annotation_id, term)
+        self._annotations[annotation.annotation_id] = annotation
+        return annotation
+
+    def _link_same_object(self, referent_id: str, object_id: str, annotation: Annotation) -> None:
+        """Within one annotation, link referents marking the same object."""
+        for other in annotation.referents:
+            other_id = other.referent_id
+            if other_id == referent_id or other_id is None:
+                continue
+            if other.ref.object_id == object_id and other_id in self.agraph:
+                from repro.agraph.agraph import SAME_OBJECT
+
+                self.agraph.link_referents(referent_id, other_id, label=SAME_OBJECT)
+
+    def annotation(self, annotation_id: str) -> Annotation:
+        """The committed annotation with id *annotation_id*."""
+        try:
+            return self._annotations[annotation_id]
+        except KeyError:
+            raise AnnotationError(f"no annotation {annotation_id!r}") from None
+
+    def delete_annotation(self, annotation_id: str) -> None:
+        """Remove a committed annotation and tidy the wired substrates.
+
+        The content document and content node are removed.  Referent nodes and
+        their indexed extents are removed only when no *other* annotation still
+        shares them (a referent shared by several annotations survives), which
+        keeps the indirect-relatedness structure correct.
+        """
+        annotation = self.annotation(annotation_id)
+        self.contents.remove(annotation_id)
+        for referent in annotation.referents:
+            referent_id = referent.referent_id
+            others = [
+                other
+                for other in self.agraph.contents_annotating(referent_id)
+                if other != annotation_id
+            ]
+            if not others:
+                # No other annotation needs this referent; drop its node and index.
+                if referent_id in self.agraph:
+                    self.agraph.graph.remove_node(referent_id)
+                self.substructures.discard(referent_id)
+        if annotation_id in self.agraph:
+            self.agraph.graph.remove_node(annotation_id)
+        del self._annotations[annotation_id]
+
+    def annotations(self) -> list[Annotation]:
+        """Every committed annotation."""
+        return list(self._annotations.values())
+
+    @property
+    def annotation_count(self) -> int:
+        """Number of committed annotations."""
+        return len(self._annotations)
+
+    # -- query workflow --------------------------------------------------------
+
+    def search_by_keyword(self, keyword: str, mode: str = "and") -> list[str]:
+        """Annotation ids whose content contains the keyword(s)."""
+        return self.contents.search_keyword(keyword, mode=mode)
+
+    def search_by_ontology(self, term: str, ontology: str | None = None, include_descendants: bool = True) -> list[str]:
+        """Annotation ids that point (directly or via a referent) at an
+        ontology term or any of its descendants."""
+        target_terms = self._expand_ontology_term(term, ontology, include_descendants)
+        matches: set[str] = set()
+        for term_id in target_terms:
+            if term_id not in self.agraph:
+                continue
+            for source in self.agraph.graph.predecessors(term_id):
+                node = self.agraph.graph.node(source)
+                if node.kind == "content":
+                    matches.add(source)
+                elif node.kind == "referent":
+                    matches.update(self.agraph.contents_annotating(source))
+        return sorted(matches)
+
+    def _expand_ontology_term(self, term: str, ontology: str | None, include_descendants: bool) -> set[str]:
+        names = [ontology] if ontology is not None else list(self._ontologies)
+        for name in names:
+            ops = self._ontology_ops.get(name)
+            if ops is None:
+                continue
+            try:
+                if include_descendants:
+                    return ops.concept_and_descendants(term)
+                return {ops.resolve_term(term)}
+            except GraphittiError:
+                continue
+        return {term}
+
+    def search_by_overlap_interval(self, domain: str, start: float, end: float) -> list[str]:
+        """Annotation ids whose referents overlap ``[start, end]`` in *domain*."""
+        referents = self.substructures.overlapping_intervals(domain, start, end)
+        return self._annotations_for_referents(referents)
+
+    def search_by_overlap_region(self, space: str, lo, hi) -> list[str]:
+        """Annotation ids whose referents overlap the query box in *space*."""
+        referents = self.substructures.overlapping_regions(space, lo, hi)
+        return self._annotations_for_referents(referents)
+
+    def _annotations_for_referents(self, referents: list) -> list[str]:
+        matches: set[str] = set()
+        for referent in referents:
+            matches.update(self.agraph.contents_annotating(referent.referent_id))
+        return sorted(matches)
+
+    def path_between_annotations(self, annotation1: str, annotation2: str) -> list | None:
+        """A path in the a-graph between two annotation contents."""
+        return self.agraph.path(annotation1, annotation2)
+
+    def query(self, text_or_query, enable_ordering: bool = True):
+        """Run a GQL query (text or :class:`~repro.query.ast.Query`) and return
+        its :class:`~repro.query.result.QueryResult`."""
+        from repro.query.ast import Query as _Query
+        from repro.query.executor import QueryExecutor
+        from repro.query.parser import parse_query
+        from repro.query.planner import QueryPlanner
+
+        query = text_or_query if isinstance(text_or_query, _Query) else parse_query(text_or_query)
+        executor = QueryExecutor(self, planner=QueryPlanner(enable_ordering=enable_ordering))
+        return executor.execute(query)
+
+    def explain(self, text_or_query, enable_ordering: bool = True) -> dict:
+        """Return the query plan and its estimated cost without executing it.
+
+        The returned dict holds the parsed query description, the ordered plan
+        explanation, the per-type subquery count, and the planner's static cost
+        estimate — the information a ``EXPLAIN`` would surface.
+        """
+        from repro.query.ast import Query as _Query
+        from repro.query.parser import parse_query
+        from repro.query.planner import QueryPlanner
+
+        query = text_or_query if isinstance(text_or_query, _Query) else parse_query(text_or_query)
+        planner = QueryPlanner(enable_ordering=enable_ordering)
+        plan = planner.plan(query)
+        return {
+            "query": query.describe(),
+            "plan": plan.explain(),
+            "subqueries": plan.subquery_count(),
+            "estimated_cost": QueryPlanner.estimated_cost(query),
+            "targets": [target.value for target in query.targets_present()],
+        }
+
+    def connect_annotations(self, *annotation_ids: str) -> ConnectionSubgraph:
+        """A connection subgraph intervening several annotations."""
+        return self.agraph.connect(*annotation_ids)
+
+    # -- explore workflow ------------------------------------------------------
+
+    def related_annotations(self, annotation_id: str) -> list[str]:
+        """Annotations indirectly related through a shared referent."""
+        return sorted(self.agraph.related_annotations(annotation_id))
+
+    def graph_metrics(self):
+        """Return an :class:`~repro.agraph.metrics.AGraphMetrics` over the a-graph."""
+        from repro.agraph.metrics import AGraphMetrics
+
+        return AGraphMetrics(self.agraph)
+
+    def similar_annotations(self, annotation_id: str, top: int = 3) -> list[tuple[str, float]]:
+        """Annotations most similar to *annotation_id* by shared referents.
+
+        Similarity is the Jaccard overlap of the two annotations' referent
+        sets — the "browse through further related results" step of the query
+        tab, ranked.
+        """
+        return self.graph_metrics().most_similar(annotation_id, top=top)
+
+    def correlated_data(self, annotation_id: str) -> dict[str, list[str]]:
+        """Correlated-data view: for each referent, the *other* annotations on
+        the same referent, plus the objects those annotations touch."""
+        annotation = self.annotation(annotation_id)
+        correlated: dict[str, list[str]] = {}
+        for referent in annotation.referents:
+            referent_id = referent.referent_id
+            others = [
+                other
+                for other in self.agraph.contents_annotating(referent_id)
+                if other != annotation_id
+            ]
+            correlated[referent_id] = sorted(others)
+        return correlated
+
+    def witness_structure(self, annotation_id: str) -> dict[str, Any]:
+        """The full witness structure of an annotation: content + the
+        substructures it annotates (the paper's "correlated data viewing")."""
+        annotation = self.annotation(annotation_id)
+        return {
+            "annotation": annotation_id,
+            "keywords": annotation.content.keywords(),
+            "referents": [
+                {
+                    "referent_id": referent.referent_id,
+                    "object": referent.ref.object_id,
+                    "type": referent.ref.data_type.value,
+                    "descriptor": referent.ref.descriptor,
+                    "ontology_terms": referent.ontology_terms,
+                }
+                for referent in annotation.referents
+            ],
+            "ontology_terms": sorted(annotation.ontology_terms()),
+        }
+
+    # -- administration --------------------------------------------------------
+
+    def administrator(self):
+        """Return an :class:`~repro.core.admin.Administrator` (admin tab)."""
+        from repro.core.admin import Administrator
+
+        return Administrator(self)
+
+    def check_integrity(self):
+        """Convenience: run a full integrity check and return the report."""
+        return self.administrator().check_integrity()
+
+    # -- stats -----------------------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """Summary statistics about the instance (sizes of every substrate)."""
+        interval_trees, rtrees = self.substructures.index_count()
+        return {
+            "data_objects": len(self.registry),
+            "objects_by_type": {dt.value: n for dt, n in self.registry.count_by_type().items()},
+            "annotations": self.annotation_count,
+            "referents": len(self.substructures),
+            "interval_trees": interval_trees,
+            "rtrees": rtrees,
+            "indexed_intervals": self.substructures.total_indexed_intervals(),
+            "indexed_regions": self.substructures.total_indexed_regions(),
+            "agraph_nodes": self.agraph.node_count,
+            "agraph_edges": self.agraph.edge_count,
+            "ontologies": len(self._ontologies),
+        }

@@ -1,0 +1,152 @@
+"""Whole-instance persistence for a Graphitti instance.
+
+Snapshots the independently reconstructable state of a
+:class:`~repro.core.manager.Graphitti` -- the registered ontologies, the
+object-metadata relation, the annotation-content collection, and every
+committed annotation's referents and a-graph links -- to a single JSON
+document, and rebuilds a **query- and explore-capable** instance from it.
+
+The reconstructed instance can be queried, explored, and administered exactly
+like the original.  It cannot mark *new* annotations against the old data
+objects, because the native data objects (sequence residues, image pixels,
+...) are not part of the snapshot; the metadata relation records their
+descriptors but not their bytes.  This mirrors how the paper's relational
+store holds metadata while the raw data lives alongside it -- a reloaded
+catalogue is enough to answer queries over existing annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.annotation import Referent
+from repro.datatypes.base import SubstructureRef
+from repro.errors import GraphittiError
+from repro.ontology.model import Ontology
+
+
+def snapshot(manager) -> dict[str, Any]:
+    """Produce a JSON-compatible snapshot of *manager*."""
+    annotations_payload = []
+    for annotation in manager.annotations():
+        annotations_payload.append(
+            {
+                "annotation_id": annotation.annotation_id,
+                "content_ontology_terms": list(annotation.content.ontology_terms),
+                "keywords": annotation.content.keywords(),
+                "referents": [
+                    {
+                        "referent_id": referent.referent_id,
+                        "ref": referent.ref.to_dict(),
+                        "ontology_terms": list(referent.ontology_terms),
+                    }
+                    for referent in annotation.referents
+                ],
+            }
+        )
+    return {
+        "name": manager.name,
+        "indexed_contents": manager.contents.indexed,
+        "ontologies": [manager.ontology(name).to_dict() for name in manager.ontologies()],
+        "object_metadata": manager.database.to_dict(),
+        "contents": {
+            doc_id: manager.contents.get(doc_id).to_dict() for doc_id in manager.contents.document_ids()
+        },
+        "annotations": annotations_payload,
+    }
+
+
+def save_instance(manager, path: str | Path) -> Path:
+    """Write a Graphitti snapshot to *path* as JSON."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(snapshot(manager), handle, indent=2)
+    return target
+
+
+def load_instance(path: str | Path):
+    """Rebuild a query/explore-capable Graphitti instance from a snapshot."""
+    source = Path(path)
+    if not source.exists():
+        raise GraphittiError(f"instance snapshot {source} does not exist")
+    with source.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return rebuild(payload)
+
+
+def rebuild(payload: dict[str, Any]):
+    """Rebuild a Graphitti instance from a :func:`snapshot` payload."""
+    from repro.core.manager import Graphitti
+    from repro.relational.database import Database
+    from repro.xmlstore.document import XmlDocument
+
+    manager = Graphitti.__new__(Graphitti)
+    manager.name = payload.get("name", "graphitti")
+    # Rebuild ontologies.
+    manager._ontologies = {}
+    manager._ontology_ops = {}
+    for ontology_payload in payload.get("ontologies", []):
+        manager.register_ontology(Ontology.from_dict(ontology_payload))
+    # Rebuild the metadata relation.
+    manager.database = Database.from_dict(payload["object_metadata"])
+    # Rebuild the content collection.
+    from repro.xmlstore.collection import DocumentCollection
+
+    manager.contents = DocumentCollection(
+        f"{manager.name}-annotations", indexed=payload.get("indexed_contents", True)
+    )
+    for doc_id, document_payload in payload.get("contents", {}).items():
+        manager.contents.add(XmlDocument.from_dict(document_payload), doc_id=doc_id)
+    # Fresh substructure store, a-graph, registry placeholder, annotations.
+    from repro.agraph.agraph import AGraph
+    from repro.core.substructure_store import SubstructureStore
+    from repro.datatypes.registry import DataTypeRegistry
+    from repro.spatial.coordinate import CoordinateSystemRegistry
+
+    manager.registry = DataTypeRegistry()
+    manager.substructures = SubstructureStore()
+    manager.agraph = AGraph()
+    manager.coordinate_systems = CoordinateSystemRegistry()
+    manager._annotations = {}
+    manager._next_annotation_serial = 1
+    manager.catalogue_only = True
+
+    # Re-wire the a-graph and indexes directly from the annotation payloads.
+    from repro.core.annotation import Annotation, AnnotationContent
+    from repro.core.dublin_core import DublinCore
+    from repro.agraph.agraph import SAME_OBJECT
+
+    for item in payload.get("annotations", []):
+        annotation_id = item["annotation_id"]
+        content = AnnotationContent(
+            dublin_core=DublinCore(identifier=annotation_id, subject=list(item.get("keywords", []))),
+            ontology_terms=list(item.get("content_ontology_terms", [])),
+        )
+        annotation = Annotation(annotation_id, content)
+        manager.agraph.add_content(annotation_id, keywords=tuple(content.keywords()))
+        per_object: dict[str, list[str]] = {}
+        for ref_payload in item["referents"]:
+            ref = SubstructureRef.from_dict(ref_payload["ref"])
+            referent = Referent(
+                ref=ref,
+                ontology_terms=list(ref_payload.get("ontology_terms", [])),
+                referent_id=ref_payload["referent_id"],
+            )
+            annotation._referents.append(referent)  # noqa: SLF001 - rebuild path
+            referent_id = manager.substructures.add(referent)
+            manager.agraph.add_referent(referent_id, object=ref.object_id, data_type=ref.data_type.value)
+            manager.agraph.link_annotation(annotation_id, referent_id)
+            for term in referent.ontology_terms:
+                manager.agraph.add_ontology_node(term)
+                manager.agraph.link_ontology(referent_id, term)
+            for other_id in per_object.get(ref.object_id, []):
+                manager.agraph.link_referents(referent_id, other_id, label=SAME_OBJECT)
+            per_object.setdefault(ref.object_id, []).append(referent_id)
+        for term in content.ontology_terms:
+            manager.agraph.add_ontology_node(term)
+            manager.agraph.link_ontology(annotation_id, term)
+        manager._annotations[annotation_id] = annotation
+    return manager

@@ -1,0 +1,145 @@
+"""Storage and indexing of annotation referents (marked substructures).
+
+The referent store is the bridge between the annotation model and the spatial
+substrate.  It keeps every :class:`~repro.core.annotation.Referent` keyed by
+id, routes each referent's spatial extent to the right index (an interval
+tree per coordinate domain, an R-tree per coordinate space), and answers the
+overlap / containment queries the query processor issues against substructures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.annotation import Referent
+from repro.datatypes.base import DataType
+from repro.spatial.interval import Interval
+from repro.spatial.interval_tree import IntervalIndexFamily
+from repro.spatial.rect import Rect
+from repro.spatial.rtree import RTreeFamily
+
+
+class SubstructureStore:
+    """Referent registry plus the interval-tree and R-tree families."""
+
+    def __init__(self, rtree_max_entries: int = 16):
+        self._referents: dict[str, Referent] = {}
+        self._intervals = IntervalIndexFamily()
+        self._rtrees = RTreeFamily(max_entries=rtree_max_entries)
+        # object id -> referent ids touching that object
+        self._by_object: dict[str, set[str]] = {}
+        # data type -> referent ids
+        self._by_type: dict[DataType, set[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._referents)
+
+    def __contains__(self, referent_id: str) -> bool:
+        return referent_id in self._referents
+
+    @property
+    def interval_family(self) -> IntervalIndexFamily:
+        """The interval-tree family (one tree per coordinate domain)."""
+        return self._intervals
+
+    @property
+    def rtree_family(self) -> RTreeFamily:
+        """The R-tree family (one tree per coordinate space)."""
+        return self._rtrees
+
+    def add(self, referent: Referent) -> str:
+        """Register a referent and index its spatial extent.
+
+        Re-adding a referent with an id already present returns the existing
+        id without re-indexing (referents are shared across annotations that
+        mark the same substructure, which is what makes the a-graph connect
+        two annotations).
+        """
+        referent_id = referent.referent_id
+        assert referent_id is not None
+        if referent_id in self._referents:
+            return referent_id
+        self._referents[referent_id] = referent
+        ref = referent.ref
+        self._by_object.setdefault(ref.object_id, set()).add(referent_id)
+        self._by_type.setdefault(ref.data_type, set()).add(referent_id)
+        if ref.interval is not None:
+            domain = ref.interval.domain or ref.object_id
+            indexed = Interval(ref.interval.start, ref.interval.end, domain=domain, payload=referent_id)
+            self._intervals.insert(domain, indexed)
+        elif ref.rect is not None:
+            space = ref.rect.space or ref.object_id
+            indexed = Rect(ref.rect.lo, ref.rect.hi, space=space, payload=referent_id)
+            self._rtrees.insert(space, indexed)
+        return referent_id
+
+    def discard(self, referent_id: str) -> bool:
+        """Remove a referent and its indexed extent; returns ``True`` if present."""
+        referent = self._referents.pop(referent_id, None)
+        if referent is None:
+            return False
+        ref = referent.ref
+        self._by_object.get(ref.object_id, set()).discard(referent_id)
+        self._by_type.get(ref.data_type, set()).discard(referent_id)
+        if ref.interval is not None:
+            domain = ref.interval.domain or ref.object_id
+            if domain in self._intervals:
+                indexed = Interval(
+                    ref.interval.start, ref.interval.end, domain=domain, payload=referent_id
+                )
+                self._intervals.tree(domain).remove(indexed)
+        elif ref.rect is not None:
+            space = ref.rect.space or ref.object_id
+            if space in self._rtrees:
+                indexed = Rect(ref.rect.lo, ref.rect.hi, space=space, payload=referent_id)
+                self._rtrees.tree(space).remove(indexed)
+        return True
+
+    def get(self, referent_id: str) -> Referent:
+        """The referent with id *referent_id* (raises KeyError when absent)."""
+        return self._referents[referent_id]
+
+    def all_referents(self) -> list[Referent]:
+        """Every registered referent."""
+        return list(self._referents.values())
+
+    def referents_on_object(self, object_id: str) -> list[Referent]:
+        """All referents that mark substructures of *object_id*."""
+        return [self._referents[rid] for rid in sorted(self._by_object.get(object_id, set()))]
+
+    def referents_of_type(self, data_type: DataType) -> list[Referent]:
+        """All referents of a given data type."""
+        return [self._referents[rid] for rid in sorted(self._by_type.get(data_type, set()))]
+
+    # -- spatial queries ------------------------------------------------------
+
+    def overlapping_intervals(self, domain: str, start: float, end: float) -> list[Referent]:
+        """Referents whose 1D extent overlaps ``[start, end]`` in *domain*."""
+        query = Interval(start, end, domain=domain)
+        hits = self._intervals.search_overlap(domain, query)
+        return [self._referents[interval.payload] for interval in hits if interval.payload in self._referents]
+
+    def overlapping_regions(self, space: str, lo: Iterable[float], hi: Iterable[float]) -> list[Referent]:
+        """Referents whose 2D/3D extent overlaps the query box in *space*."""
+        query = Rect(tuple(lo), tuple(hi), space=space)
+        hits = self._rtrees.search_overlap(space, query)
+        return [self._referents[rect.payload] for rect in hits if rect.payload in self._referents]
+
+    def point_intervals(self, domain: str, point: float) -> list[Referent]:
+        """Referents whose 1D extent contains *point*."""
+        return self.overlapping_intervals(domain, point, point)
+
+    # -- stats ----------------------------------------------------------------
+
+    def total_indexed_intervals(self) -> int:
+        """Number of intervals across every interval tree."""
+        return self._intervals.total_intervals()
+
+    def total_indexed_regions(self) -> int:
+        """Number of rectangles across every R-tree."""
+        return self._rtrees.total_rects()
+
+    def index_count(self) -> tuple[int, int]:
+        """``(interval-tree count, R-tree count)`` — the paper's "keep the
+        number of index structures small" metric."""
+        return (len(self._intervals), len(self._rtrees))

@@ -1,0 +1,65 @@
+"""Heterogeneous scientific data object models.
+
+The paper annotates "a wide variety of scientific data": DNA/RNA/protein
+sequences, multiple sequence alignments, phylogenetic trees, molecular
+interaction graphs, images with regions, and relational records.  Each type
+is modelled here with:
+
+* a native data representation,
+* a notion of *substructure* (what a mark selects: a sequence interval, an
+  image region, a record block, a tree clade, a subgraph),
+* a bridge to the spatial indexes (intervals/rects) for the types that have a
+  spatial extent.
+
+:class:`~repro.datatypes.registry.DataTypeRegistry` enumerates the types
+registered with a Graphitti instance (the paper's "menu button for each kind
+of data registered to the system").
+"""
+
+from repro.datatypes.base import DataObject, DataType, SubstructureRef
+from repro.datatypes.sequence import (
+    DnaSequence,
+    ProteinSequence,
+    RnaSequence,
+    Sequence,
+    SequenceType,
+)
+from repro.datatypes.alignment import MultipleSequenceAlignment
+from repro.datatypes.tree import PhylogeneticTree, TreeClade, parse_newick
+from repro.datatypes.graph import InteractionGraph
+from repro.datatypes.image import Image, ImageRegion
+from repro.datatypes.record import RecordBlock, RelationalRecord
+from repro.datatypes.registry import DataTypeRegistry
+from repro.datatypes.io import (
+    Feature,
+    load_features,
+    parse_fasta,
+    parse_features,
+    write_fasta,
+)
+
+__all__ = [
+    "DataObject",
+    "DataType",
+    "SubstructureRef",
+    "Sequence",
+    "SequenceType",
+    "DnaSequence",
+    "RnaSequence",
+    "ProteinSequence",
+    "MultipleSequenceAlignment",
+    "PhylogeneticTree",
+    "TreeClade",
+    "parse_newick",
+    "InteractionGraph",
+    "Image",
+    "ImageRegion",
+    "RelationalRecord",
+    "RecordBlock",
+    "DataTypeRegistry",
+    "Feature",
+    "parse_fasta",
+    "write_fasta",
+    "parse_features",
+    "load_features",
+]

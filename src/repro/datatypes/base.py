@@ -1,0 +1,170 @@
+"""Common base classes for heterogeneous data objects.
+
+Every annotable object in Graphitti is a :class:`DataObject` with a type, a
+stable object id, metadata, and (optionally) native raw data.  A *mark* on an
+object produces a :class:`SubstructureRef`: the minimal, type-specific
+description of the annotated fragment plus, when the fragment has a spatial
+extent, the interval or rectangle used to index it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import MarkError
+from repro.spatial.interval import Interval
+from repro.spatial.rect import Rect
+
+
+class DataType(enum.Enum):
+    """The heterogeneous data types the paper enumerates."""
+
+    DNA = "dna_sequence"
+    RNA = "rna_sequence"
+    PROTEIN = "protein_sequence"
+    ALIGNMENT = "multiple_sequence_alignment"
+    TREE = "phylogenetic_tree"
+    GRAPH = "interaction_graph"
+    IMAGE = "image"
+    RECORD = "relational_record"
+
+    @property
+    def is_sequence(self) -> bool:
+        """True for the sequence-like (1D, interval-marked) types."""
+        return self in (DataType.DNA, DataType.RNA, DataType.PROTEIN)
+
+    @property
+    def is_spatial_2d(self) -> bool:
+        """True for types marked with 2D/3D regions."""
+        return self is DataType.IMAGE
+
+
+@dataclass
+class SubstructureRef:
+    """A reference to an annotated fragment of a data object.
+
+    Parameters
+    ----------
+    object_id:
+        Id of the data object the fragment belongs to.
+    data_type:
+        The object's :class:`DataType`.
+    descriptor:
+        Type-specific description of the fragment (e.g. ``{"start": 10,
+        "end": 42}`` for a sequence interval, ``{"clade": "..."}`` for a tree
+        clade, ``{"rows": [...]}`` for a record block).
+    interval:
+        The :class:`~repro.spatial.interval.Interval` indexing this fragment,
+        for 1D types (``None`` otherwise).
+    rect:
+        The :class:`~repro.spatial.rect.Rect` indexing this fragment, for
+        2D/3D types (``None`` otherwise).
+    label:
+        Optional human-readable label for the fragment.
+    """
+
+    object_id: str
+    data_type: DataType
+    descriptor: dict[str, Any] = field(default_factory=dict)
+    interval: Interval | None = None
+    rect: Rect | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.interval is not None and self.rect is not None:
+            raise MarkError("a substructure reference cannot be both 1D and 2D/3D")
+
+    @property
+    def is_spatial(self) -> bool:
+        """True when the fragment has an indexable spatial extent."""
+        return self.interval is not None or self.rect is not None
+
+    @property
+    def domain(self) -> str | None:
+        """The coordinate domain/space this fragment is indexed in."""
+        if self.interval is not None:
+            return self.interval.domain
+        if self.rect is not None:
+            return self.rect.space
+        return None
+
+    def key(self) -> str:
+        """A stable string key identifying this exact fragment."""
+        if self.interval is not None:
+            return f"{self.object_id}:iv:{self.interval.start}-{self.interval.end}"
+        if self.rect is not None:
+            return f"{self.object_id}:box:{self.rect.lo}-{self.rect.hi}"
+        descriptor = ",".join(f"{k}={v}" for k, v in sorted(self.descriptor.items()))
+        return f"{self.object_id}:sub:{descriptor}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation."""
+        payload: dict[str, Any] = {
+            "object_id": self.object_id,
+            "data_type": self.data_type.value,
+            "descriptor": dict(self.descriptor),
+            "label": self.label,
+        }
+        if self.interval is not None:
+            payload["interval"] = {
+                "start": self.interval.start,
+                "end": self.interval.end,
+                "domain": self.interval.domain,
+            }
+        if self.rect is not None:
+            payload["rect"] = {
+                "lo": list(self.rect.lo),
+                "hi": list(self.rect.hi),
+                "space": self.rect.space,
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SubstructureRef":
+        """Reconstruct a substructure reference from :meth:`to_dict` output."""
+        interval = None
+        rect = None
+        if "interval" in payload:
+            item = payload["interval"]
+            interval = Interval(item["start"], item["end"], domain=item.get("domain"))
+        if "rect" in payload:
+            item = payload["rect"]
+            rect = Rect(tuple(item["lo"]), tuple(item["hi"]), space=item.get("space"))
+        return cls(
+            object_id=payload["object_id"],
+            data_type=DataType(payload["data_type"]),
+            descriptor=dict(payload.get("descriptor", {})),
+            interval=interval,
+            rect=rect,
+            label=payload.get("label"),
+        )
+
+
+class DataObject:
+    """Base class for every annotable scientific object."""
+
+    data_type: DataType
+
+    def __init__(self, object_id: str, metadata: dict[str, Any] | None = None):
+        if not object_id:
+            raise MarkError("data object id must be non-empty")
+        self.object_id = object_id
+        self.metadata: dict[str, Any] = dict(metadata or {})
+
+    @property
+    def coordinate_domain(self) -> str | None:
+        """The coordinate domain this object's marks are expressed in.
+
+        Subclasses that live in a shared coordinate system (sequences with a
+        chromosome, images with an atlas space) override this.
+        """
+        return self.object_id
+
+    def describe(self) -> str:
+        """Short human-readable description (used by the example scripts)."""
+        return f"{self.data_type.value} {self.object_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.object_id}>"

@@ -1,0 +1,107 @@
+"""Relational record data objects.
+
+The paper's annotation tab has "block set markers for relational records".  A
+relational record object wraps a set of rows (each a dict of field -> value);
+a mark selects a *block* of rows (by row key), modelled as a non-spatial
+substructure whose descriptor records the selected row keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.datatypes.base import DataObject, DataType, SubstructureRef
+from repro.errors import MarkError
+
+
+class RelationalRecord(DataObject):
+    """A set of keyed relational rows that can be block-annotated.
+
+    Parameters
+    ----------
+    object_id:
+        Stable id.
+    fields:
+        Ordered field names.
+    rows:
+        Mapping of row key -> field-value dict.
+    """
+
+    data_type = DataType.RECORD
+
+    def __init__(
+        self,
+        object_id: str,
+        fields: Iterable[str],
+        rows: dict[str, dict[str, Any]] | None = None,
+        metadata: dict | None = None,
+    ):
+        super().__init__(object_id, metadata)
+        self.fields = tuple(fields)
+        if not self.fields:
+            raise MarkError("relational record must declare at least one field")
+        self._rows: dict[str, dict[str, Any]] = {}
+        for key, values in (rows or {}).items():
+            self.add_row(key, values)
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows."""
+        return len(self._rows)
+
+    def row_keys(self) -> tuple[str, ...]:
+        """All row keys in insertion order."""
+        return tuple(self._rows)
+
+    def add_row(self, key: str, values: dict[str, Any]) -> None:
+        """Add a row; unknown fields are rejected."""
+        unknown = set(values) - set(self.fields)
+        if unknown:
+            raise MarkError(f"record {self.object_id!r}: unknown fields {sorted(unknown)!r}")
+        if key in self._rows:
+            raise MarkError(f"record {self.object_id!r}: duplicate row key {key!r}")
+        self._rows[key] = {field: values.get(field) for field in self.fields}
+
+    def row(self, key: str) -> dict[str, Any]:
+        """The row with the given key."""
+        try:
+            return dict(self._rows[key])
+        except KeyError:
+            raise MarkError(f"record {self.object_id!r} has no row {key!r}") from None
+
+    def select(self, field: str, value: Any) -> list[str]:
+        """Row keys whose *field* equals *value*."""
+        if field not in self.fields:
+            raise MarkError(f"record {self.object_id!r} has no field {field!r}")
+        return [key for key, row in self._rows.items() if row.get(field) == value]
+
+    def mark_block(self, row_keys: Iterable[str], label: str | None = None) -> SubstructureRef:
+        """Mark a block of rows by key (the paper's 'block set marker')."""
+        keys = list(row_keys)
+        unknown = set(keys) - set(self._rows)
+        if unknown:
+            raise MarkError(f"record {self.object_id!r} has no rows {sorted(unknown)!r}")
+        block = RecordBlock(self.object_id, keys)
+        return SubstructureRef(
+            object_id=self.object_id,
+            data_type=self.data_type,
+            descriptor={"row_keys": sorted(keys), "size": len(keys)},
+            label=label,
+        )
+
+    def describe(self) -> str:
+        return f"relational record {self.object_id} ({self.row_count} rows)"
+
+
+class RecordBlock:
+    """A selected block of record rows (value object for descriptors)."""
+
+    __slots__ = ("record_id", "row_keys")
+
+    def __init__(self, record_id: str, row_keys: Iterable[str]):
+        self.record_id = record_id
+        self.row_keys = frozenset(row_keys)
+
+    def overlaps(self, other: "RecordBlock") -> bool:
+        """True when two blocks of the same record share a row."""
+        return self.record_id == other.record_id and bool(self.row_keys & other.row_keys)

@@ -1,0 +1,177 @@
+"""Phylogenetic tree data objects.
+
+Trees are annotated by marking a *clade* (a subtree rooted at an internal or
+leaf node).  Trees have no linear coordinate, so clade marks are non-spatial
+substructures (their descriptor records the clade's leaf set); overlap between
+two clades is defined by leaf-set intersection at the query layer.  A Newick
+parser is provided because Newick is how the paper's phylogenetic trees would
+be stored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.datatypes.base import DataObject, DataType, SubstructureRef
+from repro.errors import MarkError
+
+
+class TreeClade:
+    """One node of a phylogenetic tree (a clade = node + its subtree)."""
+
+    __slots__ = ("name", "branch_length", "children", "parent")
+
+    def __init__(self, name: str | None = None, branch_length: float = 0.0):
+        self.name = name
+        self.branch_length = branch_length
+        self.children: list["TreeClade"] = []
+        self.parent: "TreeClade | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the clade has no children."""
+        return not self.children
+
+    def add_child(self, child: "TreeClade") -> "TreeClade":
+        """Attach *child* and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def iter_clades(self) -> Iterator["TreeClade"]:
+        """Depth-first iteration over this clade and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.iter_clades()
+
+    def leaves(self) -> list["TreeClade"]:
+        """All leaf descendants (or self when this is a leaf)."""
+        return [clade for clade in self.iter_clades() if clade.is_leaf]
+
+    def leaf_names(self) -> frozenset[str]:
+        """Names of every leaf under this clade."""
+        return frozenset(leaf.name for leaf in self.leaves() if leaf.name is not None)
+
+    def depth(self) -> int:
+        """Height of the subtree (0 for a leaf)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def total_branch_length(self) -> float:
+        """Sum of branch lengths in the subtree."""
+        return self.branch_length + sum(child.total_branch_length() for child in self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TreeClade {self.name or 'internal'} children={len(self.children)}>"
+
+
+class PhylogeneticTree(DataObject):
+    """A rooted phylogenetic tree."""
+
+    data_type = DataType.TREE
+
+    def __init__(self, object_id: str, root: TreeClade, metadata: dict | None = None):
+        super().__init__(object_id, metadata)
+        self.root = root
+
+    @property
+    def leaf_names(self) -> frozenset[str]:
+        """Names of all tree leaves (taxa)."""
+        return self.root.leaf_names()
+
+    def clade_count(self) -> int:
+        """Number of clades (nodes) in the tree."""
+        return sum(1 for _ in self.root.iter_clades())
+
+    def find_clade(self, name: str) -> TreeClade | None:
+        """The first clade with the given node name."""
+        for clade in self.root.iter_clades():
+            if clade.name == name:
+                return clade
+        return None
+
+    def common_ancestor(self, leaf_names: list[str]) -> TreeClade | None:
+        """Most-recent common ancestor of the named leaves."""
+        wanted = set(leaf_names)
+        best: TreeClade | None = None
+        for clade in self.root.iter_clades():
+            if wanted <= clade.leaf_names():
+                if best is None or clade.depth() < best.depth():
+                    best = clade
+        return best
+
+    def mark_clade(self, name: str, label: str | None = None) -> SubstructureRef:
+        """Mark the clade rooted at the node named *name*."""
+        clade = self.find_clade(name)
+        if clade is None:
+            raise MarkError(f"tree {self.object_id!r} has no clade named {name!r}")
+        return SubstructureRef(
+            object_id=self.object_id,
+            data_type=self.data_type,
+            descriptor={"clade": name, "leaves": sorted(clade.leaf_names())},
+            label=label,
+        )
+
+    def mark_clade_by_leaves(self, leaf_names: list[str], label: str | None = None) -> SubstructureRef:
+        """Mark the smallest clade containing all the named leaves."""
+        ancestor = self.common_ancestor(leaf_names)
+        if ancestor is None:
+            raise MarkError(f"tree {self.object_id!r} has no clade covering {leaf_names!r}")
+        return SubstructureRef(
+            object_id=self.object_id,
+            data_type=self.data_type,
+            descriptor={"clade": ancestor.name, "leaves": sorted(ancestor.leaf_names())},
+            label=label,
+        )
+
+    def describe(self) -> str:
+        return f"phylogenetic tree {self.object_id} ({len(self.leaf_names)} taxa)"
+
+
+def parse_newick(text: str, object_id: str = "tree") -> PhylogeneticTree:
+    """Parse a Newick string into a :class:`PhylogeneticTree`.
+
+    Supports named leaves and internal nodes, branch lengths (``:0.1``), and
+    nested clades.  Quoted labels and comments are not supported (annotation
+    trees in the paper use plain taxon names).
+    """
+    text = text.strip()
+    if not text.endswith(";"):
+        raise MarkError("Newick string must end with ';'")
+    position = 0
+
+    def parse_clade() -> TreeClade:
+        nonlocal position
+        clade = TreeClade()
+        if text[position] == "(":
+            position += 1  # consume '('
+            clade.add_child(parse_clade())
+            while text[position] == ",":
+                position += 1
+                clade.add_child(parse_clade())
+            if text[position] != ")":
+                raise MarkError(f"expected ')' at offset {position}")
+            position += 1  # consume ')'
+        # optional node name (stops at any structural delimiter)
+        name_chars = []
+        while position < len(text) and text[position] not in ",():;":
+            name_chars.append(text[position])
+            position += 1
+        name = "".join(name_chars)
+        if name:
+            clade.name = name
+        # optional branch length introduced by ':'
+        if position < len(text) and text[position] == ":":
+            position += 1
+            length_chars = []
+            while position < len(text) and text[position] not in ",():;":
+                length_chars.append(text[position])
+                position += 1
+            clade.branch_length = float("".join(length_chars)) if length_chars else 0.0
+        return clade
+
+    root = parse_clade()
+    if text[position] != ";":
+        raise MarkError(f"unexpected trailing content at offset {position}")
+    return PhylogeneticTree(object_id, root)

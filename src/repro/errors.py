@@ -1,0 +1,110 @@
+"""Exception hierarchy shared by every Graphitti subsystem.
+
+All errors raised by the library derive from :class:`GraphittiError`, so a
+caller can catch one base class to handle any library failure.  Each
+subsystem gets its own subclass so that callers who care about the origin of
+a failure (the relational substrate vs. the query parser, say) can
+discriminate without string matching.
+"""
+
+from __future__ import annotations
+
+
+class GraphittiError(Exception):
+    """Base class for every error raised by the Graphitti library."""
+
+
+class RelationalError(GraphittiError):
+    """Error raised by the embedded relational engine."""
+
+
+class SchemaError(RelationalError):
+    """A table schema is invalid or an operation violates it."""
+
+
+class ConstraintViolation(RelationalError):
+    """A primary-key, unique, or not-null constraint was violated."""
+
+
+class UnknownTableError(RelationalError):
+    """A query referenced a table that does not exist."""
+
+
+class UnknownColumnError(RelationalError):
+    """A query referenced a column that does not exist."""
+
+
+class XmlStoreError(GraphittiError):
+    """Error raised by the XML annotation-content store."""
+
+
+class XmlParseError(XmlStoreError):
+    """The XML text could not be parsed."""
+
+
+class XPathError(XmlStoreError):
+    """An XPath-subset expression is malformed or cannot be evaluated."""
+
+
+class SpatialError(GraphittiError):
+    """Error raised by the spatial (interval tree / R-tree) substrate."""
+
+
+class CoordinateSystemError(SpatialError):
+    """A substructure was registered against an incompatible coordinate system."""
+
+
+class OntologyError(GraphittiError):
+    """Error raised by the ontology subsystem."""
+
+
+class UnknownTermError(OntologyError):
+    """An ontology operation referenced a term that does not exist."""
+
+
+class UnknownRelationError(OntologyError):
+    """An ontology operation referenced a relation type that does not exist."""
+
+
+class AGraphError(GraphittiError):
+    """Error raised by the a-graph (annotation graph) subsystem."""
+
+
+class UnknownNodeError(AGraphError):
+    """An a-graph operation referenced a node that does not exist."""
+
+
+class AnnotationError(GraphittiError):
+    """Error raised by the core annotation model."""
+
+
+class UnknownDataTypeError(AnnotationError):
+    """A data type was used before being registered with the manager."""
+
+
+class UnknownObjectError(AnnotationError):
+    """A data object identifier does not resolve to a registered object."""
+
+
+class MarkError(AnnotationError):
+    """A substructure mark is invalid for the data object it targets."""
+
+
+class QueryError(GraphittiError):
+    """Error raised by the Graphitti query language subsystem."""
+
+
+class QuerySyntaxError(QueryError):
+    """The GQL text could not be tokenized or parsed."""
+
+
+class QueryPlanError(QueryError):
+    """The planner could not produce a feasible subquery ordering."""
+
+
+class QueryExecutionError(QueryError):
+    """A runtime failure occurred while executing a query plan."""
+
+
+class WorkloadError(GraphittiError):
+    """Error raised by the synthetic workload generators."""

@@ -1,0 +1,38 @@
+"""Ontology subsystem (the role OntoQuest plays in the paper).
+
+"In Graphitti we use OntoQuest where ontologies are modeled as graphs whose
+nodes correspond to terms and edges are domain-specific quantified binary
+relationships between term pairs.  An annotation only points to ontology
+nodes."
+
+This package provides the ontology graph model, the operation set the paper
+lists (CI, CRI, CmRI, mCmRI, SubTree, SubTree difference), an OBO-flavoured
+text format for IO, and small built-in ontologies used by the examples and
+tests (a brain-region ontology containing "Deep Cerebellar nuclei", a protein
+ontology containing TP53 and alpha-synuclein, and an influenza ontology).
+"""
+
+from repro.ontology.model import Ontology, Relation, Term
+from repro.ontology.operations import OntologyOperations
+from repro.ontology.reasoning import OntologyReasoner
+from repro.ontology.obo import parse_obo, serialize_obo
+from repro.ontology.builtin import (
+    build_brain_region_ontology,
+    build_gene_ontology_subset,
+    build_influenza_ontology,
+    build_protein_ontology,
+)
+
+__all__ = [
+    "Ontology",
+    "Term",
+    "Relation",
+    "OntologyOperations",
+    "OntologyReasoner",
+    "parse_obo",
+    "serialize_obo",
+    "build_brain_region_ontology",
+    "build_gene_ontology_subset",
+    "build_influenza_ontology",
+    "build_protein_ontology",
+]

@@ -1,0 +1,167 @@
+"""Small built-in ontologies used by examples, tests and benchmarks.
+
+These reproduce exactly the ontology terms the paper's example queries name:
+
+* a **brain-region** ontology containing "Deep Cerebellar nuclei" (intro
+  query) under a cerebellum/brain hierarchy,
+* a **protein** ontology containing TP53 ("protein.TP53", intro query) and
+  alpha-synuclein (Fig. 3),
+* an **influenza** ontology of viral proteins and host species for the Avian
+  Influenza study.
+
+Each builder returns a fully populated :class:`~repro.ontology.model.Ontology`.
+"""
+
+from __future__ import annotations
+
+from repro.ontology.model import INSTANCE_OF, IS_A, PART_OF, Ontology
+
+
+def build_brain_region_ontology() -> Ontology:
+    """A compact neuroanatomy ontology (brain -> ... -> Deep Cerebellar nuclei)."""
+    ontology = Ontology("brain-regions", relation_types=(IS_A, PART_OF))
+    ontology.add_concept("brain:brain", "Brain")
+    ontology.add_concept("brain:hindbrain", "Hindbrain")
+    ontology.add_concept("brain:cerebellum", "Cerebellum")
+    ontology.add_concept("brain:cerebellar_cortex", "Cerebellar cortex")
+    ontology.add_concept("brain:dcn", "Deep Cerebellar nuclei", synonyms=("DCN", "deep cerebellar nucleus"))
+    ontology.add_concept("brain:dentate", "Dentate nucleus")
+    ontology.add_concept("brain:interposed", "Interposed nucleus")
+    ontology.add_concept("brain:fastigial", "Fastigial nucleus")
+    ontology.add_concept("brain:forebrain", "Forebrain")
+    ontology.add_concept("brain:cortex", "Cerebral cortex")
+    ontology.add_concept("brain:basal_ganglia", "Basal ganglia")
+    ontology.add_concept("brain:substantia_nigra", "Substantia nigra")
+
+    ontology.add_relation("brain:hindbrain", PART_OF, "brain:brain")
+    ontology.add_relation("brain:forebrain", PART_OF, "brain:brain")
+    ontology.add_relation("brain:cerebellum", PART_OF, "brain:hindbrain")
+    ontology.add_relation("brain:cerebellar_cortex", PART_OF, "brain:cerebellum")
+    ontology.add_relation("brain:dcn", PART_OF, "brain:cerebellum")
+    ontology.add_relation("brain:dentate", IS_A, "brain:dcn")
+    ontology.add_relation("brain:interposed", IS_A, "brain:dcn")
+    ontology.add_relation("brain:fastigial", IS_A, "brain:dcn")
+    ontology.add_relation("brain:cortex", PART_OF, "brain:forebrain")
+    ontology.add_relation("brain:basal_ganglia", PART_OF, "brain:forebrain")
+    ontology.add_relation("brain:substantia_nigra", PART_OF, "brain:basal_ganglia")
+    return ontology
+
+
+def build_protein_ontology() -> Ontology:
+    """A small protein ontology including TP53 and alpha-synuclein."""
+    ontology = Ontology("proteins", relation_types=(IS_A, PART_OF, INSTANCE_OF))
+    ontology.add_concept("protein:protein", "Protein")
+    ontology.add_concept("protein:enzyme", "Enzyme")
+    ontology.add_concept("protein:protease", "Protease", synonyms=("peptidase",))
+    ontology.add_concept("protein:kinase", "Kinase")
+    ontology.add_concept("protein:tf", "Transcription factor")
+    ontology.add_concept("protein:tumor_suppressor", "Tumor suppressor")
+    ontology.add_concept("protein:synuclein", "Synuclein")
+    ontology.add_concept("protein:structural", "Structural protein")
+
+    ontology.add_relation("protein:enzyme", IS_A, "protein:protein")
+    ontology.add_relation("protein:protease", IS_A, "protein:enzyme")
+    ontology.add_relation("protein:kinase", IS_A, "protein:enzyme")
+    ontology.add_relation("protein:tf", IS_A, "protein:protein")
+    ontology.add_relation("protein:tumor_suppressor", IS_A, "protein:protein")
+    ontology.add_relation("protein:synuclein", IS_A, "protein:structural")
+    ontology.add_relation("protein:structural", IS_A, "protein:protein")
+
+    # Named instances referenced by the paper's queries.
+    ontology.add_instance("protein:TP53", "TP53", concept_id="protein:tumor_suppressor")
+    ontology.add_relation("protein:TP53", INSTANCE_OF, "protein:tf")
+    ontology.add_instance("protein:alpha_synuclein", "alpha-synuclein", concept_id="protein:synuclein")
+    ontology.add_instance("protein:trypsin", "Trypsin", concept_id="protein:protease")
+    ontology.add_instance("protein:pepsin", "Pepsin", concept_id="protein:protease")
+    ontology.add_instance("protein:ns3_protease", "NS3 protease", concept_id="protein:protease")
+    return ontology
+
+
+def build_gene_ontology_subset() -> Ontology:
+    """A small Gene-Ontology-style DAG (the three GO namespaces).
+
+    Reproduces the shape of GO: three roots (molecular function, biological
+    process, cellular component), an ``is_a`` hierarchy, and ``part_of`` links
+    from components into processes, with a handful of instance gene products.
+    Used to exercise the OntoQuest operations and reasoning on a multi-root DAG.
+    """
+    ontology = Ontology("gene-ontology", relation_types=(IS_A, PART_OF, INSTANCE_OF))
+    # Molecular function branch.
+    ontology.add_concept("GO:0003674", "molecular_function")
+    ontology.add_concept("GO:0003824", "catalytic activity")
+    ontology.add_concept("GO:0016787", "hydrolase activity")
+    ontology.add_concept("GO:0008233", "peptidase activity", synonyms=("protease activity",))
+    ontology.add_concept("GO:0016301", "kinase activity")
+    ontology.add_concept("GO:0005488", "binding")
+    ontology.add_concept("GO:0003677", "DNA binding")
+    ontology.add_relation("GO:0003824", IS_A, "GO:0003674")
+    ontology.add_relation("GO:0005488", IS_A, "GO:0003674")
+    ontology.add_relation("GO:0016787", IS_A, "GO:0003824")
+    ontology.add_relation("GO:0008233", IS_A, "GO:0016787")
+    ontology.add_relation("GO:0016301", IS_A, "GO:0003824")
+    ontology.add_relation("GO:0003677", IS_A, "GO:0005488")
+    # Biological process branch.
+    ontology.add_concept("GO:0008150", "biological_process")
+    ontology.add_concept("GO:0006508", "proteolysis")
+    ontology.add_concept("GO:0006468", "protein phosphorylation")
+    ontology.add_concept("GO:0006355", "regulation of transcription")
+    ontology.add_relation("GO:0006508", IS_A, "GO:0008150")
+    ontology.add_relation("GO:0006468", IS_A, "GO:0008150")
+    ontology.add_relation("GO:0006355", IS_A, "GO:0008150")
+    # Cellular component branch.
+    ontology.add_concept("GO:0005575", "cellular_component")
+    ontology.add_concept("GO:0005634", "nucleus")
+    ontology.add_concept("GO:0005737", "cytoplasm")
+    ontology.add_relation("GO:0005634", IS_A, "GO:0005575")
+    ontology.add_relation("GO:0005737", IS_A, "GO:0005575")
+    # part_of links crossing namespaces.
+    ontology.add_relation("GO:0006355", PART_OF, "GO:0005634")
+    # Instance gene products.
+    ontology.add_instance("GO:product:trypsin", "trypsin", concept_id="GO:0008233")
+    ontology.add_relation("GO:product:trypsin", INSTANCE_OF, "GO:0006508")
+    ontology.add_instance("GO:product:cdk1", "CDK1", concept_id="GO:0016301")
+    ontology.add_relation("GO:product:cdk1", INSTANCE_OF, "GO:0006468")
+    ontology.add_instance("GO:product:tp53", "TP53", concept_id="GO:0003677")
+    ontology.add_relation("GO:product:tp53", INSTANCE_OF, "GO:0006355")
+    return ontology
+
+
+def build_influenza_ontology() -> Ontology:
+    """An influenza ontology: viral proteins, segments, and host species."""
+    ontology = Ontology("influenza", relation_types=(IS_A, PART_OF, INSTANCE_OF, "encodes", "infects"))
+    ontology.add_concept("flu:virus", "Influenza virus")
+    ontology.add_concept("flu:type_a", "Influenza A")
+    ontology.add_concept("flu:segment", "Genome segment")
+    ontology.add_concept("flu:protein", "Viral protein")
+    ontology.add_concept("flu:surface_protein", "Surface glycoprotein")
+    ontology.add_concept("flu:polymerase", "Polymerase subunit")
+    ontology.add_concept("flu:host", "Host species")
+    ontology.add_concept("flu:avian_host", "Avian host")
+    ontology.add_concept("flu:mammalian_host", "Mammalian host")
+
+    ontology.add_relation("flu:type_a", IS_A, "flu:virus")
+    ontology.add_relation("flu:surface_protein", IS_A, "flu:protein")
+    ontology.add_relation("flu:polymerase", IS_A, "flu:protein")
+    ontology.add_relation("flu:avian_host", IS_A, "flu:host")
+    ontology.add_relation("flu:mammalian_host", IS_A, "flu:host")
+
+    for term_id, label, concept in [
+        ("flu:HA", "Hemagglutinin", "flu:surface_protein"),
+        ("flu:NA", "Neuraminidase", "flu:surface_protein"),
+        ("flu:PB1", "PB1", "flu:polymerase"),
+        ("flu:PB2", "PB2", "flu:polymerase"),
+        ("flu:PA", "PA", "flu:polymerase"),
+        ("flu:NP", "Nucleoprotein", "flu:protein"),
+        ("flu:M1", "Matrix protein 1", "flu:protein"),
+        ("flu:NS1", "Non-structural protein 1", "flu:protein"),
+    ]:
+        ontology.add_instance(term_id, label, concept_id=concept)
+
+    for term_id, label, concept in [
+        ("flu:chicken", "Chicken", "flu:avian_host"),
+        ("flu:duck", "Duck", "flu:avian_host"),
+        ("flu:swine", "Swine", "flu:mammalian_host"),
+        ("flu:human", "Human", "flu:mammalian_host"),
+    ]:
+        ontology.add_instance(term_id, label, concept_id=concept)
+    return ontology

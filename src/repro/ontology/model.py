@@ -1,0 +1,331 @@
+"""Ontology graph model.
+
+An ontology is a directed labeled graph: nodes are *terms* (concepts or
+instances), edges are *relations* drawn from a per-ontology relation
+vocabulary ("domain-specific quantified binary relationships between term
+pairs").  Classic relation names (``is_a``, ``part_of``, ``instance_of``) are
+pre-registered, and arbitrary additional relation types can be declared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import OntologyError, UnknownRelationError, UnknownTermError
+
+#: Relation name connecting an instance to its concept.
+INSTANCE_OF = "instance_of"
+#: Subclass relation between concepts.
+IS_A = "is_a"
+#: Mereological relation between concepts.
+PART_OF = "part_of"
+
+_DEFAULT_RELATIONS = (IS_A, PART_OF, INSTANCE_OF)
+
+
+@dataclass(frozen=True)
+class Term:
+    """One ontology term (a concept or an instance).
+
+    Parameters
+    ----------
+    term_id:
+        Stable identifier, e.g. ``"UBERON:0002037"`` or ``"brain:dcn"``.
+    name:
+        Human-readable name, e.g. ``"Deep Cerebellar nuclei"``.
+    is_instance:
+        True for instance terms (individuals), False for concepts (classes).
+    synonyms:
+        Alternative names matched by name lookups.
+    metadata:
+        Free-form extra attributes (definition, xrefs, ...).
+    """
+
+    term_id: str
+    name: str
+    is_instance: bool = False
+    synonyms: tuple[str, ...] = ()
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def matches_name(self, text: str) -> bool:
+        """Case-insensitive match against the name or any synonym."""
+        needle = text.strip().lower()
+        if needle == self.name.strip().lower():
+            return True
+        return any(needle == synonym.strip().lower() for synonym in self.synonyms)
+
+
+@dataclass(frozen=True)
+class Relation:
+    """One directed labeled edge: ``subject --predicate--> object``."""
+
+    subject: str
+    predicate: str
+    object: str
+    quantifier: str | None = None
+
+    def reversed(self) -> "Relation":
+        """The same edge with subject and object swapped (for inverse walks)."""
+        return Relation(self.object, self.predicate, self.subject, self.quantifier)
+
+
+class Ontology:
+    """A named ontology graph with typed relations.
+
+    Edges are stored in adjacency maps keyed by predicate so that operations
+    restricted to a relation set (CmRI, SubTree(X, R)) never touch edges of
+    other types.
+    """
+
+    def __init__(self, name: str, relation_types: Iterable[str] = ()):
+        self.name = name
+        self._terms: dict[str, Term] = {}
+        self._relation_types: set[str] = set(_DEFAULT_RELATIONS)
+        self._relation_types.update(relation_types)
+        # predicate -> subject -> set of objects
+        self._forward: dict[str, dict[str, set[str]]] = {}
+        # predicate -> object -> set of subjects
+        self._backward: dict[str, dict[str, set[str]]] = {}
+        self._edge_count = 0
+
+    # -- terms -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term_id: str) -> bool:
+        return term_id in self._terms
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._terms.values())
+
+    @property
+    def term_count(self) -> int:
+        """Number of terms."""
+        return len(self._terms)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of relation edges."""
+        return self._edge_count
+
+    @property
+    def relation_types(self) -> tuple[str, ...]:
+        """Declared relation type names."""
+        return tuple(sorted(self._relation_types))
+
+    def add_term(self, term: Term) -> Term:
+        """Add a term; re-adding an identical term is a no-op."""
+        existing = self._terms.get(term.term_id)
+        if existing is not None:
+            if existing == term:
+                return existing
+            raise OntologyError(f"term {term.term_id!r} already exists with different content")
+        self._terms[term.term_id] = term
+        return term
+
+    def add_concept(self, term_id: str, name: str, synonyms: Iterable[str] = (), **metadata: Any) -> Term:
+        """Convenience: add a concept term."""
+        return self.add_term(Term(term_id, name, is_instance=False, synonyms=tuple(synonyms), metadata=metadata))
+
+    def add_instance(self, term_id: str, name: str, concept_id: str | None = None, **metadata: Any) -> Term:
+        """Convenience: add an instance term, optionally linked to its concept."""
+        term = self.add_term(Term(term_id, name, is_instance=True, metadata=metadata))
+        if concept_id is not None:
+            self.add_relation(term_id, INSTANCE_OF, concept_id)
+        return term
+
+    def term(self, term_id: str) -> Term:
+        """The term with id *term_id* (raises when unknown)."""
+        try:
+            return self._terms[term_id]
+        except KeyError:
+            raise UnknownTermError(f"ontology {self.name!r} has no term {term_id!r}") from None
+
+    def find_by_name(self, text: str) -> list[Term]:
+        """Terms whose name or synonyms match *text* (case-insensitive)."""
+        return [term for term in self._terms.values() if term.matches_name(text)]
+
+    def concepts(self) -> list[Term]:
+        """All concept (class) terms."""
+        return [term for term in self._terms.values() if not term.is_instance]
+
+    def instances(self) -> list[Term]:
+        """All instance terms."""
+        return [term for term in self._terms.values() if term.is_instance]
+
+    # -- relations ---------------------------------------------------------------------
+
+    def declare_relation_type(self, predicate: str) -> None:
+        """Declare a new relation type name."""
+        if not predicate:
+            raise OntologyError("relation type name must be non-empty")
+        self._relation_types.add(predicate)
+
+    def _check_relation_type(self, predicate: str) -> None:
+        if predicate not in self._relation_types:
+            raise UnknownRelationError(
+                f"ontology {self.name!r} has no relation type {predicate!r}; "
+                f"declare it with declare_relation_type()"
+            )
+
+    def add_relation(self, subject: str, predicate: str, object_: str, quantifier: str | None = None) -> Relation:
+        """Add a directed edge ``subject --predicate--> object``."""
+        self._check_relation_type(predicate)
+        if subject not in self._terms:
+            raise UnknownTermError(f"ontology {self.name!r} has no term {subject!r}")
+        if object_ not in self._terms:
+            raise UnknownTermError(f"ontology {self.name!r} has no term {object_!r}")
+        forward = self._forward.setdefault(predicate, {}).setdefault(subject, set())
+        if object_ not in forward:
+            forward.add(object_)
+            self._backward.setdefault(predicate, {}).setdefault(object_, set()).add(subject)
+            self._edge_count += 1
+        return Relation(subject, predicate, object_, quantifier)
+
+    def has_relation(self, subject: str, predicate: str, object_: str) -> bool:
+        """True when the edge exists."""
+        return object_ in self._forward.get(predicate, {}).get(subject, set())
+
+    def objects(self, subject: str, predicate: str) -> set[str]:
+        """Direct objects of ``subject --predicate-->``."""
+        return set(self._forward.get(predicate, {}).get(subject, set()))
+
+    def subjects(self, object_: str, predicate: str) -> set[str]:
+        """Direct subjects of ``--predicate--> object``."""
+        return set(self._backward.get(predicate, {}).get(object_, set()))
+
+    def relations_from(self, subject: str) -> list[Relation]:
+        """Every outgoing edge of *subject*."""
+        edges = []
+        for predicate, adjacency in self._forward.items():
+            for object_ in adjacency.get(subject, ()):
+                edges.append(Relation(subject, predicate, object_))
+        return edges
+
+    def relations_to(self, object_: str) -> list[Relation]:
+        """Every incoming edge of *object_*."""
+        edges = []
+        for predicate, adjacency in self._backward.items():
+            for subject in adjacency.get(object_, ()):
+                edges.append(Relation(subject, predicate, object_))
+        return edges
+
+    def all_relations(self) -> Iterator[Relation]:
+        """Iterate every edge in the ontology."""
+        for predicate, adjacency in self._forward.items():
+            for subject, objects in adjacency.items():
+                for object_ in objects:
+                    yield Relation(subject, predicate, object_)
+
+    # -- hierarchy helpers -------------------------------------------------------------
+
+    def parents(self, term_id: str, predicates: Iterable[str] = (IS_A, PART_OF)) -> set[str]:
+        """Terms reachable by one hop along the given hierarchical predicates."""
+        self.term(term_id)
+        result: set[str] = set()
+        for predicate in predicates:
+            result.update(self.objects(term_id, predicate))
+        return result
+
+    def children(self, term_id: str, predicates: Iterable[str] = (IS_A, PART_OF)) -> set[str]:
+        """Terms whose one-hop hierarchical edges point at *term_id*."""
+        self.term(term_id)
+        result: set[str] = set()
+        for predicate in predicates:
+            result.update(self.subjects(term_id, predicate))
+        return result
+
+    def ancestors(self, term_id: str, predicates: Iterable[str] = (IS_A, PART_OF)) -> set[str]:
+        """Transitive closure of :meth:`parents`."""
+        predicates = tuple(predicates)
+        seen: set[str] = set()
+        frontier = [term_id]
+        while frontier:
+            current = frontier.pop()
+            for parent in self.parents(current, predicates):
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return seen
+
+    def descendants(self, term_id: str, predicates: Iterable[str] = (IS_A, PART_OF)) -> set[str]:
+        """Transitive closure of :meth:`children`."""
+        predicates = tuple(predicates)
+        seen: set[str] = set()
+        frontier = [term_id]
+        while frontier:
+            current = frontier.pop()
+            for child in self.children(current, predicates):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        return seen
+
+    def roots(self, predicates: Iterable[str] = (IS_A, PART_OF)) -> list[str]:
+        """Concept terms with no outgoing hierarchical edges."""
+        predicates = tuple(predicates)
+        return [
+            term.term_id
+            for term in self.concepts()
+            if not any(self.objects(term.term_id, predicate) for predicate in predicates)
+        ]
+
+    def depth(self, term_id: str, predicates: Iterable[str] = (IS_A, PART_OF)) -> int:
+        """Longest hierarchical path from *term_id* up to a root."""
+        predicates = tuple(predicates)
+        best = 0
+        frontier = [(term_id, 0)]
+        seen = {term_id: 0}
+        while frontier:
+            current, distance = frontier.pop()
+            parents = self.parents(current, predicates)
+            if not parents:
+                best = max(best, distance)
+            for parent in parents:
+                if seen.get(parent, -1) < distance + 1:
+                    seen[parent] = distance + 1
+                    frontier.append((parent, distance + 1))
+        return best
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation of the whole ontology."""
+        return {
+            "name": self.name,
+            "relation_types": sorted(self._relation_types),
+            "terms": [
+                {
+                    "term_id": term.term_id,
+                    "name": term.name,
+                    "is_instance": term.is_instance,
+                    "synonyms": list(term.synonyms),
+                    "metadata": dict(term.metadata),
+                }
+                for term in self._terms.values()
+            ],
+            "relations": [
+                {"subject": edge.subject, "predicate": edge.predicate, "object": edge.object}
+                for edge in self.all_relations()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Ontology":
+        """Reconstruct from :meth:`to_dict` output."""
+        ontology = cls(payload["name"], relation_types=payload.get("relation_types", ()))
+        for item in payload.get("terms", []):
+            ontology.add_term(
+                Term(
+                    term_id=item["term_id"],
+                    name=item["name"],
+                    is_instance=item.get("is_instance", False),
+                    synonyms=tuple(item.get("synonyms", ())),
+                    metadata=item.get("metadata", {}),
+                )
+            )
+        for item in payload.get("relations", []):
+            ontology.add_relation(item["subject"], item["predicate"], item["object"])
+        return ontology

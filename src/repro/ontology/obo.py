@@ -1,0 +1,110 @@
+"""OBO-flavoured text serialization for ontologies.
+
+OBO is the de-facto exchange format for the biomedical ontologies Graphitti
+annotates against (GO, UBERON, brain atlases).  This module reads and writes
+the small, widely used subset: ``[Term]`` stanzas with ``id``, ``name``,
+``synonym``, ``is_a``, ``relationship`` and ``is_instance_of`` tags.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OntologyError
+from repro.ontology.model import INSTANCE_OF, IS_A, Ontology, Term
+
+
+def serialize_obo(ontology: Ontology) -> str:
+    """Serialize an ontology to OBO-flavoured text."""
+    lines = [
+        "format-version: 1.2",
+        f"ontology: {ontology.name}",
+        "",
+    ]
+    for term in sorted(ontology, key=lambda item: item.term_id):
+        lines.append("[Term]")
+        lines.append(f"id: {term.term_id}")
+        lines.append(f"name: {term.name}")
+        for synonym in term.synonyms:
+            lines.append(f'synonym: "{synonym}" EXACT []')
+        if term.is_instance:
+            lines.append("is_instance: true")
+        for edge in sorted(
+            ontology.relations_from(term.term_id), key=lambda item: (item.predicate, item.object)
+        ):
+            if edge.predicate == IS_A:
+                lines.append(f"is_a: {edge.object}")
+            elif edge.predicate == INSTANCE_OF:
+                lines.append(f"is_instance_of: {edge.object}")
+            else:
+                lines.append(f"relationship: {edge.predicate} {edge.object}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def parse_obo(text: str, name: str | None = None) -> Ontology:
+    """Parse OBO-flavoured text into an :class:`~repro.ontology.model.Ontology`."""
+    if not text or not text.strip():
+        raise OntologyError("cannot parse empty OBO text")
+    header_name = name
+    stanzas: list[dict[str, list[str]]] = []
+    current: dict[str, list[str]] | None = None
+    in_term = False
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("!"):
+            continue
+        if line.startswith("["):
+            in_term = line == "[Term]"
+            if in_term:
+                current = {}
+                stanzas.append(current)
+            else:
+                current = None
+            continue
+        if ":" not in line:
+            raise OntologyError(f"malformed OBO line: {raw_line!r}")
+        key, _, value = line.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if current is None:
+            if key == "ontology" and header_name is None:
+                header_name = value
+            continue
+        current.setdefault(key, []).append(value)
+
+    ontology = Ontology(header_name or "ontology")
+    deferred_relations: list[tuple[str, str, str]] = []
+    for stanza in stanzas:
+        term_ids = stanza.get("id")
+        if not term_ids:
+            raise OntologyError("OBO [Term] stanza without an id")
+        term_id = term_ids[0]
+        term_name = stanza.get("name", [term_id])[0]
+        synonyms = tuple(_strip_synonym(value) for value in stanza.get("synonym", []))
+        is_instance = stanza.get("is_instance", ["false"])[0].lower() == "true"
+        ontology.add_term(Term(term_id, term_name, is_instance=is_instance, synonyms=synonyms))
+        for parent in stanza.get("is_a", []):
+            deferred_relations.append((term_id, IS_A, parent.split("!")[0].strip()))
+        for concept in stanza.get("is_instance_of", []):
+            deferred_relations.append((term_id, INSTANCE_OF, concept.split("!")[0].strip()))
+        for relationship in stanza.get("relationship", []):
+            parts = relationship.split("!")[0].split()
+            if len(parts) != 2:
+                raise OntologyError(f"malformed relationship line: {relationship!r}")
+            predicate, target = parts
+            deferred_relations.append((term_id, predicate, target))
+
+    for subject, predicate, object_ in deferred_relations:
+        if predicate not in ontology.relation_types:
+            ontology.declare_relation_type(predicate)
+        ontology.add_relation(subject, predicate, object_)
+    return ontology
+
+
+def _strip_synonym(value: str) -> str:
+    """Extract the quoted synonym text from an OBO synonym line."""
+    if '"' in value:
+        first = value.find('"')
+        second = value.find('"', first + 1)
+        if second > first:
+            return value[first + 1 : second]
+    return value

@@ -1,0 +1,135 @@
+"""Additional ontology reasoning built on the OntoQuest operation set.
+
+OntoQuest exposes ontologies as graphs; beyond the instance-retrieval
+operations the paper lists, common ontology reasoning over such a graph
+includes lowest-common-ancestor, information-content-based semantic
+similarity, and shortest relation paths between terms.  These are provided
+here as a reasoning layer the query processor and examples can use to rank or
+relate ontology terms.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Hashable
+
+from repro.errors import OntologyError, UnknownTermError
+from repro.ontology.model import IS_A, PART_OF, Ontology
+
+
+class OntologyReasoner:
+    """Reasoning helpers over one ontology."""
+
+    DEFAULT_HIERARCHY = (IS_A, PART_OF)
+
+    def __init__(self, ontology: Ontology):
+        self.ontology = ontology
+
+    def lowest_common_ancestors(self, term_a: str, term_b: str, predicates=DEFAULT_HIERARCHY) -> set[str]:
+        """The most-specific shared ancestors of two terms.
+
+        An ancestor is "lowest" when none of its own descendants is also a
+        shared ancestor.  Returns the empty set when the terms share no
+        ancestor (disjoint hierarchies).
+        """
+        predicates = tuple(predicates)
+        anc_a = self.ontology.ancestors(term_a, predicates) | {term_a}
+        anc_b = self.ontology.ancestors(term_b, predicates) | {term_b}
+        shared = anc_a & anc_b
+        if not shared:
+            return set()
+        lowest: set[str] = set()
+        for candidate in shared:
+            descendants = self.ontology.descendants(candidate, predicates)
+            if not (descendants & shared):
+                lowest.add(candidate)
+        return lowest
+
+    def depth(self, term: str, predicates=DEFAULT_HIERARCHY) -> int:
+        """Longest path from *term* up to a root (0 for a root)."""
+        return self.ontology.depth(term, predicates)
+
+    def wu_palmer_similarity(self, term_a: str, term_b: str, predicates=DEFAULT_HIERARCHY) -> float:
+        """Wu-Palmer semantic similarity in ``[0, 1]``.
+
+        ``2 * depth(LCA) / (depth(a) + depth(b) + 2 * depth(LCA))`` using the
+        deepest common ancestor.  Identical terms score 1.0; terms in disjoint
+        hierarchies score 0.0.
+        """
+        if term_a == term_b:
+            return 1.0
+        lcas = self.lowest_common_ancestors(term_a, term_b, predicates)
+        if not lcas:
+            return 0.0
+        lca_depth = max(self.depth(lca, predicates) for lca in lcas)
+        depth_a = self.depth(term_a, predicates)
+        depth_b = self.depth(term_b, predicates)
+        denominator = depth_a + depth_b
+        if denominator == 0:
+            return 1.0 if lca_depth == 0 and term_a == term_b else 0.0
+        return (2.0 * lca_depth + 1e-9) / (denominator + 2.0 * lca_depth + 1e-9)
+
+    def information_content(self, term: str, predicates=DEFAULT_HIERARCHY) -> float:
+        """Corpus-free information content: ``-log(|subtree| / |concepts|)``.
+
+        Deeper, more-specific concepts (smaller subtrees) carry more
+        information.  A leaf concept has the maximum IC for the ontology.
+        """
+        concepts = len(self.ontology.concepts())
+        if concepts == 0:
+            return 0.0
+        subtree = len(self.ontology.descendants(term, tuple(predicates))) + 1
+        return -math.log(subtree / concepts)
+
+    def relation_path(self, term_a: str, term_b: str) -> list[str] | None:
+        """Shortest undirected path of terms between two terms (any relation).
+
+        Returns the term-id sequence, or ``None`` when unconnected.
+        """
+        if term_a not in self.ontology:
+            raise UnknownTermError(f"no term {term_a!r}")
+        if term_b not in self.ontology:
+            raise UnknownTermError(f"no term {term_b!r}")
+        if term_a == term_b:
+            return [term_a]
+        previous: dict[str, str] = {term_a: term_a}
+        queue: deque[str] = deque([term_a])
+        while queue:
+            current = queue.popleft()
+            neighbors = set()
+            for edge in self.ontology.relations_from(current):
+                neighbors.add(edge.object)
+            for edge in self.ontology.relations_to(current):
+                neighbors.add(edge.subject)
+            for neighbor in neighbors:
+                if neighbor not in previous:
+                    previous[neighbor] = current
+                    if neighbor == term_b:
+                        return self._reconstruct(previous, term_a, term_b)
+                    queue.append(neighbor)
+        return None
+
+    def distance(self, term_a: str, term_b: str) -> int | None:
+        """Number of edges on the shortest relation path (None when unconnected)."""
+        path = self.relation_path(term_a, term_b)
+        return None if path is None else len(path) - 1
+
+    def most_specific(self, terms, predicates=DEFAULT_HIERARCHY) -> list[str]:
+        """Filter *terms* to those that are not ancestors of any other term."""
+        term_set = set(terms)
+        predicates = tuple(predicates)
+        result = []
+        for term in term_set:
+            descendants = self.ontology.descendants(term, predicates)
+            if not (descendants & term_set):
+                result.append(term)
+        return sorted(result)
+
+    @staticmethod
+    def _reconstruct(previous: dict, start: Hashable, end: Hashable) -> list[str]:
+        path = [end]
+        while path[-1] != start:
+            path.append(previous[path[-1]])
+        path.reverse()
+        return path

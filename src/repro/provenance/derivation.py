@@ -1,0 +1,96 @@
+"""Derivation relationships and coordinate transforms between data objects.
+
+A *derived* object (a cropped subsequence, a cropped image) is produced from a
+*source* object by a coordinate transform.  A :class:`Derivation` records that
+relationship and can map a source substructure into the derived object's
+coordinate frame (returning ``None`` when the substructure falls outside the
+derived region).  This is the "view" through which the paper's references
+describe annotation propagation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import GraphittiError
+from repro.spatial.interval import Interval
+from repro.spatial.rect import Rect
+
+
+class DerivationKind(enum.Enum):
+    """Supported derivation transforms."""
+
+    SUBSEQUENCE = "subsequence"   # derived = source[start:end], 1D crop+shift
+    IMAGE_CROP = "image_crop"     # derived = source region, 2D/3D crop+shift
+    IDENTITY = "identity"         # derived mirrors source (e.g. a renamed view)
+
+
+@dataclass
+class Derivation:
+    """A derivation from *source_id* to *derived_id*.
+
+    Parameters
+    ----------
+    source_id, derived_id:
+        Object ids of the source and derived data objects.
+    kind:
+        The transform kind.
+    source_domain, derived_domain:
+        Coordinate domain/space names on each side (for 1D: domains; for 2D:
+        coordinate-space names).
+    window:
+        The source region the derived object covers: ``(start, end)`` for a
+        subsequence, or ``(lo_tuple, hi_tuple)`` for an image crop.  ``None``
+        for identity derivations (the whole object).
+    """
+
+    source_id: str
+    derived_id: str
+    kind: DerivationKind
+    source_domain: str
+    derived_domain: str
+    window: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (DerivationKind.SUBSEQUENCE, DerivationKind.IMAGE_CROP) and self.window is None:
+            raise GraphittiError(f"{self.kind.value} derivation requires a window")
+
+    # -- 1D -------------------------------------------------------------------
+
+    def map_interval(self, interval: Interval) -> Interval | None:
+        """Map a source interval into the derived coordinate frame."""
+        if self.kind is DerivationKind.IDENTITY:
+            return Interval(interval.start, interval.end, domain=self.derived_domain)
+        if self.kind is not DerivationKind.SUBSEQUENCE:
+            raise GraphittiError("map_interval is only valid for 1D derivations")
+        start, end = self.window
+        clipped = interval.intersection(Interval(start, end, domain=interval.domain))
+        if clipped is None:
+            return None
+        return Interval(clipped.start - start, clipped.end - start, domain=self.derived_domain)
+
+    # -- 2D/3D ----------------------------------------------------------------
+
+    def map_rect(self, rect: Rect) -> Rect | None:
+        """Map a source rectangle into the derived coordinate frame."""
+        if self.kind is DerivationKind.IDENTITY:
+            return Rect(rect.lo, rect.hi, space=self.derived_domain)
+        if self.kind is not DerivationKind.IMAGE_CROP:
+            raise GraphittiError("map_rect is only valid for 2D/3D derivations")
+        lo, hi = self.window
+        window = Rect(tuple(lo), tuple(hi), space=rect.space)
+        clipped = rect.intersection(window)
+        if clipped is None:
+            return None
+        new_lo = tuple(value - origin for value, origin in zip(clipped.lo, lo))
+        new_hi = tuple(value - origin for value, origin in zip(clipped.hi, lo))
+        return Rect(new_lo, new_hi, space=self.derived_domain)
+
+    def covers_interval(self, interval: Interval) -> bool:
+        """True when the source interval overlaps the derived window (1D)."""
+        return self.map_interval(interval) is not None
+
+    def covers_rect(self, rect: Rect) -> bool:
+        """True when the source rect overlaps the derived window (2D/3D)."""
+        return self.map_rect(rect) is not None

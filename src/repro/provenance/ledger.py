@@ -1,0 +1,110 @@
+"""A provenance ledger recording annotation lineage.
+
+Every annotation created by propagation records a :class:`ProvenanceRecord`
+naming its parent annotation(s) and the operation that produced it.  The
+ledger answers lineage queries: ancestors (where did this come from?),
+descendants (what was derived from this?), and roots (original annotations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class ProvenanceRecord:
+    """One lineage record for an annotation."""
+
+    annotation_id: str
+    operation: str = "original"
+    parents: tuple[str, ...] = ()
+    detail: str = ""
+
+
+class ProvenanceLedger:
+    """Records and queries annotation lineage."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, ProvenanceRecord] = {}
+        self._children: dict[str, set[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, annotation_id: str) -> bool:
+        return annotation_id in self._records
+
+    def record(
+        self,
+        annotation_id: str,
+        operation: str = "original",
+        parents: tuple[str, ...] = (),
+        detail: str = "",
+    ) -> ProvenanceRecord:
+        """Add (or overwrite) a provenance record."""
+        record = ProvenanceRecord(annotation_id, operation=operation, parents=tuple(parents), detail=detail)
+        self._records[annotation_id] = record
+        for parent in parents:
+            self._children.setdefault(parent, set()).add(annotation_id)
+        return record
+
+    def get(self, annotation_id: str) -> ProvenanceRecord | None:
+        """The record for *annotation_id* (None when unrecorded)."""
+        return self._records.get(annotation_id)
+
+    def parents(self, annotation_id: str) -> tuple[str, ...]:
+        """Direct parents of *annotation_id*."""
+        record = self._records.get(annotation_id)
+        return record.parents if record is not None else ()
+
+    def children(self, annotation_id: str) -> set[str]:
+        """Direct children (propagated copies) of *annotation_id*."""
+        return set(self._children.get(annotation_id, set()))
+
+    def ancestors(self, annotation_id: str) -> set[str]:
+        """Transitive parents of *annotation_id*."""
+        seen: set[str] = set()
+        frontier = list(self.parents(annotation_id))
+        while frontier:
+            current = frontier.pop()
+            if current not in seen:
+                seen.add(current)
+                frontier.extend(self.parents(current))
+        return seen
+
+    def descendants(self, annotation_id: str) -> set[str]:
+        """Transitive children of *annotation_id* (deletion propagation set)."""
+        seen: set[str] = set()
+        frontier = list(self.children(annotation_id))
+        while frontier:
+            current = frontier.pop()
+            if current not in seen:
+                seen.add(current)
+                frontier.extend(self.children(current))
+        return seen
+
+    def roots(self) -> list[str]:
+        """Annotations with no recorded parents (original annotations)."""
+        return sorted(
+            annotation_id
+            for annotation_id, record in self._records.items()
+            if not record.parents
+        )
+
+    def lineage(self, annotation_id: str) -> list[str]:
+        """The full lineage path from a root down to *annotation_id*."""
+        chain = [annotation_id]
+        current = annotation_id
+        while True:
+            parents = self.parents(current)
+            if not parents:
+                break
+            current = parents[0]
+            chain.append(current)
+        chain.reverse()
+        return chain
+
+    def records(self) -> Iterator[ProvenanceRecord]:
+        """Iterate over every record."""
+        return iter(self._records.values())

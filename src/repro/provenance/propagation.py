@@ -1,0 +1,137 @@
+"""Forward annotation propagation and backward deletion propagation.
+
+Given a :class:`~repro.provenance.derivation.Derivation` from a source object
+to a derived object, :class:`AnnotationPropagator` copies every source
+annotation whose referent on the source falls within the derived window onto
+the derived object, remapping the referent's coordinates into the derived
+frame and recording the lineage in the ledger.  Deletion propagation walks the
+ledger the other way: deleting a source annotation cascades to the propagated
+copies derived from it.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.base import DataType, SubstructureRef
+from repro.errors import GraphittiError
+from repro.provenance.derivation import Derivation, DerivationKind
+from repro.provenance.ledger import ProvenanceLedger
+
+
+class AnnotationPropagator:
+    """Propagates annotations across derivations over a Graphitti instance."""
+
+    def __init__(self, manager, ledger: ProvenanceLedger | None = None):
+        self._manager = manager
+        self.ledger = ledger if ledger is not None else ProvenanceLedger()
+        self._derivations: dict[tuple[str, str], Derivation] = {}
+        # Record existing annotations as roots so lineage queries work.
+        for annotation in manager.annotations():
+            if annotation.annotation_id not in self.ledger:
+                self.ledger.record(annotation.annotation_id)
+
+    def register_derivation(self, derivation: Derivation) -> None:
+        """Register a source -> derived derivation."""
+        self._derivations[(derivation.source_id, derivation.derived_id)] = derivation
+
+    def derivations(self) -> list[Derivation]:
+        """Every registered derivation."""
+        return list(self._derivations.values())
+
+    # -- forward propagation --------------------------------------------------
+
+    def propagate(self, source_id: str, derived_id: str, creator: str = "propagation") -> list[str]:
+        """Propagate source annotations onto the derived object.
+
+        For each annotation on *source_id* whose referent maps into the derived
+        window, a new annotation is committed on *derived_id* carrying the same
+        content keywords/body/ontology terms and the remapped referent.  The
+        lineage is recorded.  Returns the ids of the created annotations.
+        """
+        key = (source_id, derived_id)
+        if key not in self._derivations:
+            raise GraphittiError(f"no derivation {source_id!r} -> {derived_id!r} registered")
+        derivation = self._derivations[key]
+        created: list[str] = []
+        for annotation in list(self._manager.annotations()):
+            for referent in annotation.referents:
+                if referent.ref.object_id != source_id:
+                    continue
+                mapped_ref = self._map_referent(referent.ref, derived_id, derivation)
+                if mapped_ref is None:
+                    continue
+                new_id = self._commit_propagated(annotation, mapped_ref, referent.ontology_terms, creator)
+                self.ledger.record(
+                    new_id,
+                    operation="propagate",
+                    parents=(annotation.annotation_id,),
+                    detail=f"{source_id}->{derived_id}",
+                )
+                created.append(new_id)
+        return created
+
+    def _map_referent(self, ref: SubstructureRef, derived_id: str, derivation: Derivation) -> SubstructureRef | None:
+        if ref.interval is not None:
+            mapped = derivation.map_interval(ref.interval)
+            if mapped is None:
+                return None
+            return SubstructureRef(
+                object_id=derived_id,
+                data_type=ref.data_type,
+                descriptor={"start": int(mapped.start), "end": int(mapped.end), "propagated_from": ref.object_id},
+                interval=mapped,
+                label=ref.label,
+            )
+        if ref.rect is not None:
+            mapped = derivation.map_rect(ref.rect)
+            if mapped is None:
+                return None
+            return SubstructureRef(
+                object_id=derived_id,
+                data_type=ref.data_type,
+                descriptor={"lo": list(mapped.lo), "hi": list(mapped.hi), "propagated_from": ref.object_id},
+                rect=mapped,
+                label=ref.label,
+            )
+        return None
+
+    def _commit_propagated(self, source_annotation, mapped_ref, ontology_terms, creator: str) -> str:
+        content = source_annotation.content
+        new_id = f"{source_annotation.annotation_id}~{mapped_ref.object_id}"
+        suffix = 0
+        while new_id in {a.annotation_id for a in self._manager.annotations()}:
+            suffix += 1
+            new_id = f"{source_annotation.annotation_id}~{mapped_ref.object_id}#{suffix}"
+        builder = self._manager.new_annotation(
+            new_id,
+            title=content.dublin_core.title,
+            creator=creator,
+            keywords=content.keywords(),
+            body=content.body,
+        )
+        builder.add_referent(mapped_ref, ontology_terms=ontology_terms)
+        for term in content.ontology_terms:
+            builder.refer_ontology(term)
+        builder.commit()
+        return new_id
+
+    # -- backward deletion propagation ----------------------------------------
+
+    def propagate_deletion(self, annotation_id: str, apply: bool = False) -> list[str]:
+        """Compute (and optionally apply) the deletion-propagation set.
+
+        Returns every annotation derived (transitively) from *annotation_id*.
+        When *apply* is True, those annotations and *annotation_id* itself are
+        deleted from the manager, oldest-derived last.  This is the paper's
+        "propagation of deletions ... through views".
+        """
+        descendants = self.ledger.descendants(annotation_id)
+        to_delete = [annotation_id] + sorted(descendants)
+        if apply:
+            # Delete descendants first, then the source, so shared referents
+            # are released in dependency order.
+            for target in sorted(descendants) + [annotation_id]:
+                try:
+                    self._manager.delete_annotation(target)
+                except Exception:  # pragma: no cover - already gone
+                    pass
+        return to_delete

@@ -1,0 +1,107 @@
+"""Programmatic query builder.
+
+For callers who prefer not to write GQL text, :class:`QueryBuilder` assembles
+the same :class:`~repro.query.ast.Query` AST fluently.  The example scripts use
+it so the queries read like the paper's prose.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.query.ast import (
+    Constraint,
+    KeywordConstraint,
+    NotConstraint,
+    OntologyConstraint,
+    OrConstraint,
+    OverlapConstraint,
+    PathConstraint,
+    Query,
+    RegionConstraint,
+    ReturnKind,
+    TypeConstraint,
+)
+
+
+class QueryBuilder:
+    """Fluent builder for :class:`~repro.query.ast.Query`."""
+
+    def __init__(self, return_kind: ReturnKind = ReturnKind.CONTENTS):
+        self._query = Query(return_kind=return_kind)
+
+    @classmethod
+    def contents(cls) -> "QueryBuilder":
+        """Start a query returning annotation contents."""
+        return cls(ReturnKind.CONTENTS)
+
+    @classmethod
+    def referents(cls) -> "QueryBuilder":
+        """Start a query returning heterogeneous substructures."""
+        return cls(ReturnKind.REFERENTS)
+
+    @classmethod
+    def graph(cls) -> "QueryBuilder":
+        """Start a query returning connection subgraphs."""
+        return cls(ReturnKind.GRAPH)
+
+    def contains(self, keyword: str, mode: str = "and") -> "QueryBuilder":
+        """Add a content keyword constraint."""
+        self._query.add(KeywordConstraint(keyword=keyword, mode=mode))
+        return self
+
+    def refers(self, term: str, ontology: str | None = None, include_descendants: bool = True) -> "QueryBuilder":
+        """Add an ontology-reference constraint."""
+        self._query.add(
+            OntologyConstraint(term=term, ontology=ontology, include_descendants=include_descendants)
+        )
+        return self
+
+    def overlaps_interval(self, domain: str, start: float, end: float, min_count: int = 1) -> "QueryBuilder":
+        """Add a 1D overlap constraint."""
+        self._query.add(OverlapConstraint(domain=domain, start=start, end=end, min_count=min_count))
+        return self
+
+    def overlaps_region(
+        self,
+        space: str,
+        lo: Sequence[float],
+        hi: Sequence[float],
+        min_count: int = 1,
+    ) -> "QueryBuilder":
+        """Add a 2D/3D overlap constraint."""
+        self._query.add(
+            RegionConstraint(space=space, lo=tuple(lo), hi=tuple(hi), min_count=min_count)
+        )
+        return self
+
+    def of_type(self, data_type: str) -> "QueryBuilder":
+        """Add a data-type constraint."""
+        self._query.add(TypeConstraint(data_type=data_type))
+        return self
+
+    def path(self, from_keyword: str, to_keyword: str, max_length: int = 6) -> "QueryBuilder":
+        """Add an a-graph path constraint."""
+        self._query.add(PathConstraint(from_keyword=from_keyword, to_keyword=to_keyword, max_length=max_length))
+        return self
+
+    def exclude(self, constraint: Constraint) -> "QueryBuilder":
+        """Add a negated constraint (annotations NOT matching *constraint*)."""
+        self._query.add(NotConstraint(constraint))
+        return self
+
+    def any_of(self, *constraints: Constraint) -> "QueryBuilder":
+        """Add a disjunction: annotations matching at least one *constraint*."""
+        if len(constraints) < 2:
+            raise ValueError("any_of() requires at least two constraints")
+        self._query.add(OrConstraint(tuple(constraints)))
+        return self
+
+    def limit(self, count: int) -> "QueryBuilder":
+        """Cap the number of results."""
+        self._query.limit = count
+        return self
+
+    def build(self) -> Query:
+        """Return the assembled :class:`~repro.query.ast.Query`."""
+        return self._query

@@ -1,0 +1,240 @@
+"""Recursive-descent parser for the Graphitti query language.
+
+Grammar (EBNF-ish)::
+
+    query       = "SELECT" return_kind "WHERE" "{" constraint* "}" [ "LIMIT" NUMBER ]
+    return_kind = "CONTENTS" | "REFERENTS" | "GRAPH"
+    constraint  = keyword | ontology | interval | region | type | path
+    keyword     = "CONTENT" "CONTAINS" STRING
+    ontology    = "REFERENT" "REFERS" STRING [ "IN" IDENT ]
+                  [ "WITH" "DESCENDANTS" | "NODESC" ]
+    interval    = "INTERVAL" "OVERLAPS" IDENT "[" NUMBER "," NUMBER "]"
+                  [ "MINCOUNT" NUMBER ]
+    region      = "REGION" "OVERLAPS" IDENT "[" coords "]" ".." "[" coords "]"
+                  [ "MINCOUNT" NUMBER ]
+    type        = "TYPE" IDENT
+    path        = "PATH" STRING "TO" STRING [ "MAXLEN" NUMBER ]
+    coords      = NUMBER ("," NUMBER)*
+
+The parser is intentionally forgiving about statement order inside the
+``WHERE`` block; ordering is the planner's job, not the grammar's.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import (
+    KeywordConstraint,
+    NotConstraint,
+    OntologyConstraint,
+    OrConstraint,
+    OverlapConstraint,
+    PathConstraint,
+    Query,
+    RegionConstraint,
+    ReturnKind,
+    TypeConstraint,
+)
+from repro.query.tokenizer import Token, TokenType, tokenize
+
+_RETURN_KINDS = {
+    "CONTENTS": ReturnKind.CONTENTS,
+    "REFERENTS": ReturnKind.REFERENTS,
+    "GRAPH": ReturnKind.GRAPH,
+}
+
+
+class Parser:
+    """Recursive-descent parser producing a :class:`Query`."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*names):
+            raise QuerySyntaxError(
+                f"expected one of {names} at offset {token.position}, got {token.value!r}"
+            )
+        return self._advance()
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(value):
+            raise QuerySyntaxError(
+                f"expected {value!r} at offset {token.position}, got {token.value!r}"
+            )
+        return self._advance()
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise QuerySyntaxError(
+                f"expected {token_type.value} at offset {token.position}, got {token.value!r}"
+            )
+        return self._advance()
+
+    def _number(self) -> float:
+        token = self._expect(TokenType.NUMBER)
+        value = float(token.value)
+        return value
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> Query:
+        """Parse the token stream into a :class:`Query`."""
+        self._expect_keyword("SELECT")
+        kind_token = self._expect_keyword("CONTENTS", "REFERENTS", "GRAPH")
+        query = Query(return_kind=_RETURN_KINDS[kind_token.value])
+        self._expect_keyword("WHERE")
+        self._expect_punct("{")
+        while not self._peek().is_punct("}"):
+            if self._peek().type is TokenType.EOF:
+                raise QuerySyntaxError("unterminated WHERE block")
+            query.add(self._parse_constraint())
+        self._expect_punct("}")
+        if self._peek().is_keyword("LIMIT"):
+            self._advance()
+            query.limit = int(self._number())
+        if self._peek().type is not TokenType.EOF:
+            token = self._peek()
+            raise QuerySyntaxError(f"trailing tokens after query at offset {token.position}")
+        return query
+
+    def _parse_constraint(self):
+        token = self._peek()
+        if token.is_keyword("CONTENT"):
+            return self._parse_keyword()
+        if token.is_keyword("REFERENT"):
+            return self._parse_ontology()
+        if token.is_keyword("INTERVAL"):
+            return self._parse_interval()
+        if token.is_keyword("REGION"):
+            return self._parse_region()
+        if token.is_keyword("TYPE"):
+            return self._parse_type()
+        if token.is_keyword("PATH"):
+            return self._parse_path()
+        if token.is_keyword("NOT"):
+            return self._parse_not()
+        if token.is_keyword("ANY"):
+            return self._parse_any()
+        raise QuerySyntaxError(
+            f"unexpected token {token.value!r} at offset {token.position} in WHERE block"
+        )
+
+    def _parse_not(self) -> NotConstraint:
+        self._expect_keyword("NOT")
+        self._expect_punct("{")
+        inner = self._parse_constraint()
+        self._expect_punct("}")
+        return NotConstraint(inner)
+
+    def _parse_any(self) -> OrConstraint:
+        self._expect_keyword("ANY")
+        self._expect_punct("{")
+        parts = []
+        while not self._peek().is_punct("}"):
+            if self._peek().type is TokenType.EOF:
+                raise QuerySyntaxError("unterminated ANY block")
+            parts.append(self._parse_constraint())
+        self._expect_punct("}")
+        if len(parts) < 2:
+            raise QuerySyntaxError("ANY block requires at least two constraints")
+        return OrConstraint(tuple(parts))
+
+    def _parse_keyword(self) -> KeywordConstraint:
+        self._expect_keyword("CONTENT")
+        self._expect_keyword("CONTAINS")
+        keyword = self._expect(TokenType.STRING).value
+        return KeywordConstraint(keyword=keyword)
+
+    def _parse_ontology(self) -> OntologyConstraint:
+        self._expect_keyword("REFERENT")
+        self._expect_keyword("REFERS")
+        term = self._expect(TokenType.STRING).value
+        ontology = None
+        include_descendants = True
+        if self._peek().is_keyword("IN"):
+            self._advance()
+            ontology = self._expect(TokenType.IDENT).value
+        if self._peek().is_keyword("WITH"):
+            self._advance()
+            self._expect_keyword("DESCENDANTS")
+            include_descendants = True
+        elif self._peek().is_keyword("NODESC"):
+            self._advance()
+            include_descendants = False
+        return OntologyConstraint(term=term, ontology=ontology, include_descendants=include_descendants)
+
+    def _parse_interval(self) -> OverlapConstraint:
+        self._expect_keyword("INTERVAL")
+        self._expect_keyword("OVERLAPS")
+        domain = self._expect(TokenType.IDENT).value
+        self._expect_punct("[")
+        start = self._number()
+        self._expect_punct(",")
+        end = self._number()
+        self._expect_punct("]")
+        min_count = 1
+        if self._peek().is_keyword("MINCOUNT"):
+            self._advance()
+            min_count = int(self._number())
+        return OverlapConstraint(domain=domain, start=start, end=end, min_count=min_count)
+
+    def _parse_region(self) -> RegionConstraint:
+        self._expect_keyword("REGION")
+        self._expect_keyword("OVERLAPS")
+        space = self._expect(TokenType.IDENT).value
+        lo = self._parse_coords()
+        self._expect_punct("..")
+        hi = self._parse_coords()
+        if len(lo) != len(hi):
+            raise QuerySyntaxError("region corners must have equal dimensionality")
+        min_count = 1
+        if self._peek().is_keyword("MINCOUNT"):
+            self._advance()
+            min_count = int(self._number())
+        return RegionConstraint(space=space, lo=lo, hi=hi, min_count=min_count)
+
+    def _parse_coords(self) -> tuple[float, ...]:
+        self._expect_punct("[")
+        coords = [self._number()]
+        while self._peek().is_punct(","):
+            self._advance()
+            coords.append(self._number())
+        self._expect_punct("]")
+        return tuple(coords)
+
+    def _parse_type(self) -> TypeConstraint:
+        self._expect_keyword("TYPE")
+        data_type = self._expect(TokenType.IDENT).value
+        return TypeConstraint(data_type=data_type)
+
+    def _parse_path(self) -> PathConstraint:
+        self._expect_keyword("PATH")
+        source = self._expect(TokenType.STRING).value
+        self._expect_keyword("TO")
+        target = self._expect(TokenType.STRING).value
+        max_length = 6
+        if self._peek().is_keyword("MAXLEN"):
+            self._advance()
+            max_length = int(self._number())
+        return PathConstraint(from_keyword=source, to_keyword=target, max_length=max_length)
+
+
+def parse_query(text: str) -> Query:
+    """Tokenize and parse GQL source text into a :class:`Query`."""
+    return Parser(tokenize(text)).parse()

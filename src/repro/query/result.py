@@ -1,0 +1,63 @@
+"""Query result model.
+
+A :class:`QueryResult` holds the collated output of a query in whichever of
+the three forms the paper describes: annotation contents, heterogeneous
+substructures (referents), or connection subgraphs.  It also records which
+annotations survived each subquery step, so callers (and the planner
+benchmarks) can inspect how the candidate set shrank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.agraph.connection import ConnectionSubgraph
+from repro.query.ast import ReturnKind
+
+
+@dataclass
+class QueryResult:
+    """The collated result of executing a query plan."""
+
+    return_kind: ReturnKind
+    annotation_ids: list[str] = field(default_factory=list)
+    referents: list[Any] = field(default_factory=list)
+    subgraphs: list[ConnectionSubgraph] = field(default_factory=list)
+    steps: list[tuple[str, int]] = field(default_factory=list)
+    fragments: list[Any] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        """Number of primary results (shape depends on the return kind)."""
+        if self.return_kind is ReturnKind.GRAPH:
+            return len(self.subgraphs)
+        if self.return_kind is ReturnKind.REFERENTS:
+            return len(self.referents)
+        return len(self.annotation_ids)
+
+    def is_empty(self) -> bool:
+        """True when the query produced no primary results."""
+        return self.count == 0
+
+    def record_step(self, label: str, survivors: int) -> None:
+        """Record the number of annotation candidates after a subquery step."""
+        self.steps.append((label, survivors))
+
+    def explain_steps(self) -> str:
+        """Human-readable trace of candidate-set sizes per subquery step."""
+        return "\n".join(f"  after {label}: {count} candidates" for label, count in self.steps)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation."""
+        return {
+            "return_kind": self.return_kind.value,
+            "count": self.count,
+            "annotation_ids": list(self.annotation_ids),
+            "referent_keys": [
+                referent.referent_id if hasattr(referent, "referent_id") else str(referent)
+                for referent in self.referents
+            ],
+            "subgraphs": [subgraph.to_dict() for subgraph in self.subgraphs],
+            "steps": list(self.steps),
+        }

@@ -1,0 +1,159 @@
+"""Lexer for the Graphitti query language.
+
+GQL is a small, line-friendly language.  The tokenizer produces a flat token
+stream the parser consumes.  Tokens: keywords (uppercase bare words that match
+the grammar), identifiers, quoted strings, numbers, and punctuation
+(``{ } ( ) [ ] , . @ ..``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+
+
+class TokenType(enum.Enum):
+    """Token categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words recognised as keywords (case-insensitive on input, stored
+#: upper-cased).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "WHERE", "LIMIT",
+        "CONTENTS", "REFERENTS", "GRAPH",
+        "CONTENT", "REFERENT", "TYPE", "PATH",
+        "CONTAINS", "REFERS", "OVERLAPS", "IN", "INTERVAL", "REGION",
+        "WITH", "DESCENDANTS", "NODESC", "MINCOUNT", "MAXLEN", "TO", "AND", "OR",
+        "NOT", "ANY",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """True when the token is a keyword equal to any of *names*."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def is_punct(self, *values: str) -> bool:
+        """True when the token is punctuation equal to any of *values*."""
+        return self.type is TokenType.PUNCT and self.value in values
+
+
+class Tokenizer:
+    """Converts GQL source text into a list of :class:`Token`."""
+
+    _TWO_CHAR = ("..",)
+    _SINGLE = set("{}()[],.@")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    def tokenize(self) -> list[Token]:
+        """Produce the full token list, ending with an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self.position >= len(self.text):
+            return Token(TokenType.EOF, "", self.position)
+        start = self.position
+        char = self.text[self.position]
+        if char in ('"', "'"):
+            return self._read_string(char)
+        if char.isdigit() or (char == "-" and self._peek_next_is_digit()):
+            return self._read_number()
+        if self.text[self.position : self.position + 2] in self._TWO_CHAR:
+            self.position += 2
+            return Token(TokenType.PUNCT, "..", start)
+        if char in self._SINGLE:
+            self.position += 1
+            return Token(TokenType.PUNCT, char, start)
+        if char.isalpha() or char == "_":
+            return self._read_word()
+        raise QuerySyntaxError(f"unexpected character {char!r} at offset {self.position}")
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char.isspace():
+                self.position += 1
+            elif char == "#":
+                while self.position < len(self.text) and self.text[self.position] != "\n":
+                    self.position += 1
+            else:
+                return
+
+    def _peek_next_is_digit(self) -> bool:
+        return self.position + 1 < len(self.text) and self.text[self.position + 1].isdigit()
+
+    def _read_string(self, quote: str) -> Token:
+        start = self.position
+        self.position += 1
+        chars = []
+        while self.position < len(self.text) and self.text[self.position] != quote:
+            if self.text[self.position] == "\\" and self.position + 1 < len(self.text):
+                self.position += 1
+            chars.append(self.text[self.position])
+            self.position += 1
+        if self.position >= len(self.text):
+            raise QuerySyntaxError(f"unterminated string starting at offset {start}")
+        self.position += 1  # closing quote
+        return Token(TokenType.STRING, "".join(chars), start)
+
+    def _read_number(self) -> Token:
+        start = self.position
+        if self.text[self.position] == "-":
+            self.position += 1
+        seen_dot = False
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char.isdigit():
+                self.position += 1
+            elif char == "." and not seen_dot and self._peek_next_is_digit():
+                seen_dot = True
+                self.position += 1
+            else:
+                break
+        return Token(TokenType.NUMBER, self.text[start : self.position], start)
+
+    def _read_word(self) -> Token:
+        start = self.position
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char.isalnum() or char in "_:-":
+                self.position += 1
+            else:
+                break
+        word = self.text[start : self.position]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, start)
+        return Token(TokenType.IDENT, word, start)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize GQL source text."""
+    return Tokenizer(text).tokenize()

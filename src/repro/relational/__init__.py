@@ -1,0 +1,67 @@
+"""Embedded relational engine used as Graphitti's data-object store.
+
+The paper stores "the data objects and their metadata ... as type-specific
+relations stored in a relational database".  This package provides a small
+but complete in-process relational substrate:
+
+* :mod:`repro.relational.schema` -- typed columns and table schemas,
+* :mod:`repro.relational.table` -- row storage with constraint enforcement,
+* :mod:`repro.relational.index` -- hash and sorted secondary indexes,
+* :mod:`repro.relational.query` -- a composable select/project/join API,
+* :mod:`repro.relational.database` -- the database object tying it together,
+* :mod:`repro.relational.persistence` -- JSON snapshot save/load.
+
+The engine is deliberately dependency-free so that benchmarks measure the
+algorithms in this repository and nothing else.
+"""
+
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.table import Row, Table
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.query import Predicate, Query, and_, eq, ge, gt, in_, le, lt, ne, like
+from repro.relational.database import Database
+from repro.relational.persistence import load_database, save_database
+from repro.relational.aggregate import (
+    Aggregate,
+    aggregate_all,
+    avg,
+    collect,
+    count,
+    group_by,
+    max_,
+    min_,
+    sum_,
+)
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "Row",
+    "Table",
+    "HashIndex",
+    "SortedIndex",
+    "Predicate",
+    "Query",
+    "Database",
+    "and_",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "in_",
+    "like",
+    "load_database",
+    "save_database",
+    "Aggregate",
+    "group_by",
+    "aggregate_all",
+    "count",
+    "sum_",
+    "avg",
+    "min_",
+    "max_",
+    "collect",
+]

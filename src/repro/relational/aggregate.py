@@ -1,0 +1,139 @@
+"""Grouping and aggregation over relational query results.
+
+The paper stores data-object metadata in relations; answering "how many
+sequences per organism?" or "mean length per chromosome?" needs grouping and
+aggregation on top of the select/project/join core.  This module adds a small
+group-by/aggregate layer that consumes the row dicts a
+:class:`~repro.relational.query.Query` produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import RelationalError
+
+
+def count(column: str | None = None) -> "Aggregate":
+    """COUNT aggregate (counts rows, or non-null values of *column*)."""
+    return Aggregate("count", column)
+
+
+def sum_(column: str) -> "Aggregate":
+    """SUM aggregate over *column*."""
+    return Aggregate("sum", column)
+
+
+def avg(column: str) -> "Aggregate":
+    """AVG (mean) aggregate over *column*."""
+    return Aggregate("avg", column)
+
+
+def min_(column: str) -> "Aggregate":
+    """MIN aggregate over *column*."""
+    return Aggregate("min", column)
+
+
+def max_(column: str) -> "Aggregate":
+    """MAX aggregate over *column*."""
+    return Aggregate("max", column)
+
+
+def collect(column: str) -> "Aggregate":
+    """Collect the column's values into a list (group array-agg)."""
+    return Aggregate("collect", column)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate specification (function + column + output alias)."""
+
+    func: str
+    column: str | None = None
+    alias: str | None = None
+
+    def as_(self, alias: str) -> "Aggregate":
+        """Return a copy with an explicit output alias."""
+        return Aggregate(self.func, self.column, alias)
+
+    @property
+    def output_name(self) -> str:
+        """Column name this aggregate writes into the result row."""
+        if self.alias is not None:
+            return self.alias
+        if self.column is None:
+            return self.func
+        return f"{self.func}_{self.column}"
+
+    def compute(self, rows: Sequence[dict[str, Any]]) -> Any:
+        """Compute the aggregate over a group of rows."""
+        if self.func == "count":
+            if self.column is None:
+                return len(rows)
+            return sum(1 for row in rows if row.get(self.column) is not None)
+        values = [row.get(self.column) for row in rows if row.get(self.column) is not None]
+        if self.func == "collect":
+            return values
+        if not values:
+            return None
+        if self.func == "sum":
+            return sum(values)
+        if self.func == "avg":
+            return sum(values) / len(values)
+        if self.func == "min":
+            return min(values)
+        if self.func == "max":
+            return max(values)
+        raise RelationalError(f"unknown aggregate function {self.func!r}")
+
+
+def group_by(
+    rows: Iterable[dict[str, Any]],
+    keys: Sequence[str],
+    aggregates: Sequence[Aggregate],
+    having: Callable[[dict[str, Any]], bool] | None = None,
+) -> list[dict[str, Any]]:
+    """Group *rows* by *keys* and compute *aggregates* per group.
+
+    Returns one result row per group: the group-key columns plus each
+    aggregate's output column.  An optional *having* predicate filters the
+    computed groups.  Groups are returned in ascending key order.
+    """
+    keys = tuple(keys)
+    grouped: dict[tuple, list[dict[str, Any]]] = {}
+    for row in rows:
+        group_key = tuple(row.get(key) for key in keys)
+        grouped.setdefault(group_key, []).append(row)
+    results: list[dict[str, Any]] = []
+    for group_key in sorted(grouped, key=_group_sort_key):
+        group_rows = grouped[group_key]
+        result_row: dict[str, Any] = dict(zip(keys, group_key))
+        for aggregate in aggregates:
+            result_row[aggregate.output_name] = aggregate.compute(group_rows)
+        if having is None or having(result_row):
+            results.append(result_row)
+    return results
+
+
+def aggregate_all(rows: Iterable[dict[str, Any]], aggregates: Sequence[Aggregate]) -> dict[str, Any]:
+    """Compute aggregates over *all* rows (a single implicit group)."""
+    materialized = list(rows)
+    return {aggregate.output_name: aggregate.compute(materialized) for aggregate in aggregates}
+
+
+def _group_sort_key(group_key: tuple) -> tuple:
+    """Total-order key for group tuples tolerating None / mixed types."""
+    parts = []
+    for value in group_key:
+        if value is None:
+            parts.append((0, 0))
+        elif isinstance(value, bool):
+            parts.append((1, int(value)))
+        elif isinstance(value, (int, float)):
+            parts.append((1, float(value)))
+        elif isinstance(value, str):
+            parts.append((2, value))
+        else:
+            parts.append((3, repr(value)))
+    return tuple(parts)

@@ -1,0 +1,95 @@
+"""The database object: a named collection of tables.
+
+Graphitti stores each registered data type's metadata in its own
+"type-specific relation"; the :class:`Database` is the container those
+relations live in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import RelationalError, UnknownTableError
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.table import Table
+
+
+class Database:
+    """A named collection of :class:`~repro.relational.table.Table` objects."""
+
+    def __init__(self, name: str = "graphitti"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def __contains__(self, table_name: str) -> bool:
+        return table_name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of every table, in creation order."""
+        return tuple(self._tables)
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from *schema*; fails if the name is taken."""
+        if schema.name in self._tables:
+            raise RelationalError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def create_table_from_columns(
+        self,
+        name: str,
+        columns: Mapping[str, ColumnType] | list[tuple[str, ColumnType]],
+        primary_key: str | None = None,
+    ) -> Table:
+        """Convenience: create a table from a ``{name: type}`` mapping."""
+        pairs = columns.items() if isinstance(columns, Mapping) else columns
+        schema = TableSchema(
+            name=name,
+            columns=[Column(column_name, column_type) for column_name, column_type in pairs],
+            primary_key=primary_key,
+        )
+        return self.create_table(schema)
+
+    def table(self, name: str) -> Table:
+        """Return the table named *name* or raise ``UnknownTableError``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"database {self.name!r} has no table {name!r}") from None
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and all its rows."""
+        if name not in self._tables:
+            raise UnknownTableError(f"database {self.name!r} has no table {name!r}")
+        del self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        """True when a table named *name* exists."""
+        return name in self._tables
+
+    def total_rows(self) -> int:
+        """Total number of rows across every table."""
+        return sum(len(table) for table in self._tables.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize the entire database to a JSON-compatible dict."""
+        return {
+            "name": self.name,
+            "tables": {name: table.to_dict() for name, table in self._tables.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Database":
+        """Reconstruct a database from :meth:`to_dict` output."""
+        database = cls(payload.get("name", "graphitti"))
+        for name, table_payload in payload.get("tables", {}).items():
+            database._tables[name] = Table.from_dict(table_payload)
+        return database

@@ -1,0 +1,186 @@
+"""Secondary indexes for the embedded relational engine.
+
+Two index structures are provided:
+
+* :class:`HashIndex` -- equality lookups in expected O(1),
+* :class:`SortedIndex` -- equality and range lookups in O(log n) via a
+  sorted key list maintained with :mod:`bisect`.
+
+Both index row identifiers (integers assigned by the owning
+:class:`~repro.relational.table.Table`), never the rows themselves, so a row
+update only has to touch the indexes whose key columns changed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from repro.errors import RelationalError
+
+#: Sentinel ordering key used so that ``None`` sorts before every real value.
+_NONE_KEY = (0, None)
+
+
+def _sort_key(value: Any) -> tuple[int, Any]:
+    """Produce a total-order key that tolerates ``None`` and mixed numerics."""
+    if value is None:
+        return _NONE_KEY
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    if isinstance(value, str):
+        return (2, value)
+    if isinstance(value, bytes):
+        return (3, value)
+    return (4, repr(value))
+
+
+class HashIndex:
+    """Equality index mapping a key value to the set of row ids holding it."""
+
+    def __init__(self, name: str, columns: tuple[str, ...]):
+        self.name = name
+        self.columns = tuple(columns)
+        self._buckets: dict[Any, set[int]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def key_for(self, row: dict[str, Any]) -> Any:
+        """Extract this index's key from a row dict."""
+        if len(self.columns) == 1:
+            return row[self.columns[0]]
+        return tuple(row[column] for column in self.columns)
+
+    def insert(self, key: Any, row_id: int) -> None:
+        """Add *row_id* under *key*."""
+        self._buckets.setdefault(key, set()).add(row_id)
+
+    def remove(self, key: Any, row_id: int) -> None:
+        """Remove *row_id* from *key*; silently ignores missing entries."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(row_id)
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, key: Any) -> set[int]:
+        """Row ids whose key equals *key* (empty set when absent)."""
+        return set(self._buckets.get(key, ()))
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate over distinct keys present in the index."""
+        return iter(self._buckets)
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._buckets.clear()
+
+
+class SortedIndex:
+    """Ordered index supporting equality and range lookups.
+
+    The index keeps a sorted list of ``(sort_key, original_key)`` pairs plus a
+    parallel hash map from original key to row ids, giving O(log n) range
+    scans and O(1) equality lookups.
+    """
+
+    def __init__(self, name: str, column: str):
+        self.name = name
+        self.column = column
+        self._keys: list[tuple[tuple[int, Any], Any]] = []
+        self._rows: dict[Any, set[int]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(ids) for ids in self._rows.values())
+
+    def key_for(self, row: dict[str, Any]) -> Any:
+        """Extract this index's key from a row dict."""
+        return row[self.column]
+
+    def insert(self, key: Any, row_id: int) -> None:
+        """Add *row_id* under *key*."""
+        if key not in self._rows:
+            entry = (_sort_key(key), key)
+            bisect.insort(self._keys, entry)
+            self._rows[key] = set()
+        self._rows[key].add(row_id)
+
+    def remove(self, key: Any, row_id: int) -> None:
+        """Remove *row_id* from *key*; silently ignores missing entries."""
+        ids = self._rows.get(key)
+        if ids is None:
+            return
+        ids.discard(row_id)
+        if not ids:
+            del self._rows[key]
+            entry = (_sort_key(key), key)
+            position = bisect.bisect_left(self._keys, entry)
+            if position < len(self._keys) and self._keys[position] == entry:
+                self._keys.pop(position)
+
+    def lookup(self, key: Any) -> set[int]:
+        """Row ids whose key equals *key*."""
+        return set(self._rows.get(key, ()))
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> set[int]:
+        """Row ids whose key lies within ``[low, high]`` (inclusive by default).
+
+        ``None`` bounds are open; ``range()`` with both bounds ``None`` returns
+        every indexed row id.
+        """
+        if low is not None and high is not None and _sort_key(low) > _sort_key(high):
+            return set()
+        if low is None:
+            start = 0
+        else:
+            low_entry = (_sort_key(low), low)
+            start = (
+                bisect.bisect_left(self._keys, low_entry)
+                if include_low
+                else bisect.bisect_right(self._keys, low_entry)
+            )
+        if high is None:
+            stop = len(self._keys)
+        else:
+            high_entry = (_sort_key(high), high)
+            stop = (
+                bisect.bisect_right(self._keys, high_entry)
+                if include_high
+                else bisect.bisect_left(self._keys, high_entry)
+            )
+        result: set[int] = set()
+        for _, key in self._keys[start:stop]:
+            result.update(self._rows[key])
+        return result
+
+    def min_key(self) -> Any:
+        """Smallest key in the index; raises when empty."""
+        if not self._keys:
+            raise RelationalError(f"index {self.name!r} is empty")
+        return self._keys[0][1]
+
+    def max_key(self) -> Any:
+        """Largest key in the index; raises when empty."""
+        if not self._keys:
+            raise RelationalError(f"index {self.name!r} is empty")
+        return self._keys[-1][1]
+
+    def ordered_keys(self) -> Iterable[Any]:
+        """Iterate keys in ascending order."""
+        for _, key in self._keys:
+            yield key
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._keys.clear()
+        self._rows.clear()

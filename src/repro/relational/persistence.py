@@ -1,0 +1,37 @@
+"""JSON snapshot persistence for the embedded relational engine.
+
+The paper's prototype persists its relations in an external RDBMS; this
+module provides the equivalent durability hook for the embedded engine:
+write the whole database to a JSON file and read it back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import RelationalError
+from repro.relational.database import Database
+
+
+def save_database(database: Database, path: str | Path) -> Path:
+    """Write *database* to *path* as JSON and return the resolved path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = database.to_dict()
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return target
+
+
+def load_database(path: str | Path) -> Database:
+    """Read a database previously written with :func:`save_database`."""
+    source = Path(path)
+    if not source.exists():
+        raise RelationalError(f"database snapshot {source} does not exist")
+    with source.open("r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise RelationalError(f"database snapshot {source} is not valid JSON: {exc}") from exc
+    return Database.from_dict(payload)

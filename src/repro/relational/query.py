@@ -1,0 +1,446 @@
+"""Predicate and query expression API for the embedded relational engine.
+
+Predicates are small composable objects (``eq``, ``lt``, ``like``, ``and_``,
+...) that can either be evaluated against a row dict or, when the shape
+allows, pushed down to a table index.  The :class:`Query` object is a fluent
+builder over a :class:`~repro.relational.table.Table` supporting ``where``,
+``order_by``, ``limit``, ``project`` and ``join``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import UnknownColumnError
+
+
+class Predicate:
+    """Base class for row predicates.
+
+    Subclasses implement :meth:`matches`; the optional hooks
+    :meth:`equality_key` and :meth:`range_bounds` let the table use an index
+    instead of scanning.
+    """
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        """Return ``True`` when *row* satisfies the predicate."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Column names referenced by this predicate."""
+        return set()
+
+    def equality_key(self) -> tuple[str, Any] | None:
+        """``(column, value)`` when the predicate is a simple equality."""
+        return None
+
+    def range_bounds(self) -> tuple[str, Any, Any, bool, bool] | None:
+        """``(column, low, high, include_low, include_high)`` for range predicates."""
+        return None
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """Compare one column against a constant with a named operator."""
+
+    column: str
+    op: str
+    value: Any
+
+    _OPS: tuple[str, ...] = ("==", "!=", "<", "<=", ">", ">=")
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        if self.column not in row:
+            raise UnknownColumnError(f"row has no column {self.column!r}")
+        actual = row[self.column]
+        if actual is None:
+            # SQL-ish semantics: NULL never satisfies a comparison except !=
+            return self.op == "!=" and self.value is not None
+        if self.op == "==":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        try:
+            if self.op == "<":
+                return actual < self.value
+            if self.op == "<=":
+                return actual <= self.value
+            if self.op == ">":
+                return actual > self.value
+            if self.op == ">=":
+                return actual >= self.value
+        except TypeError:
+            return False
+        raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def equality_key(self) -> tuple[str, Any] | None:
+        if self.op == "==":
+            return (self.column, self.value)
+        return None
+
+    def range_bounds(self) -> tuple[str, Any, Any, bool, bool] | None:
+        if self.op == "<":
+            return (self.column, None, self.value, True, False)
+        if self.op == "<=":
+            return (self.column, None, self.value, True, True)
+        if self.op == ">":
+            return (self.column, self.value, None, False, True)
+        if self.op == ">=":
+            return (self.column, self.value, None, True, True)
+        if self.op == "==":
+            return (self.column, self.value, self.value, True, True)
+        return None
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """Membership of a column value in a fixed collection."""
+
+    column: str
+    values: tuple[Any, ...]
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        if self.column not in row:
+            raise UnknownColumnError(f"row has no column {self.column!r}")
+        return row[self.column] in self.values
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class Like(Predicate):
+    """Glob-style pattern match (``*``, ``?``) on a text column."""
+
+    column: str
+    pattern: str
+    case_sensitive: bool = False
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        if self.column not in row:
+            raise UnknownColumnError(f"row has no column {self.column!r}")
+        value = row[self.column]
+        if not isinstance(value, str):
+            return False
+        if self.case_sensitive:
+            return fnmatch.fnmatchcase(value, self.pattern)
+        return fnmatch.fnmatchcase(value.lower(), self.pattern.lower())
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """True when the column value is ``None`` (or is not, when negated)."""
+
+    column: str
+    negated: bool = False
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        if self.column not in row:
+            raise UnknownColumnError(f"row has no column {self.column!r}")
+        is_null = row[self.column] is None
+        return not is_null if self.negated else is_null
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class Lambda(Predicate):
+    """Arbitrary row predicate supplied as a callable (never index-assisted)."""
+
+    fn: Callable[[dict[str, Any]], bool]
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return bool(self.fn(row))
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return all(part.matches(row) for part in self.parts)
+
+    def columns(self) -> set[str]:
+        result: set[str] = set()
+        for part in self.parts:
+            result.update(part.columns())
+        return result
+
+    def flattened(self) -> tuple[Predicate, ...]:
+        """Flatten nested conjunctions into a single tuple of conjuncts."""
+        parts: list[Predicate] = []
+        for part in self.parts:
+            if isinstance(part, And):
+                parts.extend(part.flattened())
+            else:
+                parts.append(part)
+        return tuple(parts)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return any(part.matches(row) for part in self.parts)
+
+    def columns(self) -> set[str]:
+        result: set[str] = set()
+        for part in self.parts:
+            result.update(part.columns())
+        return result
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    part: Predicate
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return not self.part.matches(row)
+
+    def columns(self) -> set[str]:
+        return self.part.columns()
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+
+
+def eq(column: str, value: Any) -> Comparison:
+    """``column == value``"""
+    return Comparison(column, "==", value)
+
+
+def ne(column: str, value: Any) -> Comparison:
+    """``column != value``"""
+    return Comparison(column, "!=", value)
+
+
+def lt(column: str, value: Any) -> Comparison:
+    """``column < value``"""
+    return Comparison(column, "<", value)
+
+
+def le(column: str, value: Any) -> Comparison:
+    """``column <= value``"""
+    return Comparison(column, "<=", value)
+
+
+def gt(column: str, value: Any) -> Comparison:
+    """``column > value``"""
+    return Comparison(column, ">", value)
+
+
+def ge(column: str, value: Any) -> Comparison:
+    """``column >= value``"""
+    return Comparison(column, ">=", value)
+
+
+def in_(column: str, values: Iterable[Any]) -> In:
+    """``column IN values``"""
+    return In(column, tuple(values))
+
+
+def like(column: str, pattern: str, case_sensitive: bool = False) -> Like:
+    """Glob match of *column* against *pattern* (``*`` and ``?`` wildcards)."""
+    return Like(column, pattern, case_sensitive)
+
+
+def is_null(column: str) -> IsNull:
+    """``column IS NULL``"""
+    return IsNull(column)
+
+
+def not_null(column: str) -> IsNull:
+    """``column IS NOT NULL``"""
+    return IsNull(column, negated=True)
+
+
+def and_(*parts: Predicate) -> Predicate:
+    """Conjunction of one or more predicates."""
+    if not parts:
+        raise ValueError("and_() requires at least one predicate")
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+def or_(*parts: Predicate) -> Predicate:
+    """Disjunction of one or more predicates."""
+    if not parts:
+        raise ValueError("or_() requires at least one predicate")
+    if len(parts) == 1:
+        return parts[0]
+    return Or(tuple(parts))
+
+
+def where(fn: Callable[[dict[str, Any]], bool]) -> Lambda:
+    """Wrap an arbitrary callable as a predicate."""
+    return Lambda(fn)
+
+
+# ---------------------------------------------------------------------------
+# Query builder
+
+
+class Query:
+    """Fluent query over one table, with optional joins.
+
+    A :class:`Query` is lazy: nothing is evaluated until :meth:`all`,
+    :meth:`first`, :meth:`count` or iteration.  Each builder method returns a
+    new query object, so queries can be shared and refined safely.
+    """
+
+    def __init__(self, table: "Any"):
+        self._table = table
+        self._predicates: list[Predicate] = []
+        self._order: list[tuple[str, bool]] = []
+        self._limit: int | None = None
+        self._offset: int = 0
+        self._projection: tuple[str, ...] | None = None
+        self._joins: list[tuple[Any, str, str, str]] = []
+
+    def _clone(self) -> "Query":
+        clone = Query(self._table)
+        clone._predicates = list(self._predicates)
+        clone._order = list(self._order)
+        clone._limit = self._limit
+        clone._offset = self._offset
+        clone._projection = self._projection
+        clone._joins = list(self._joins)
+        return clone
+
+    def where(self, predicate: Predicate) -> "Query":
+        """Add a predicate (conjunction with any existing predicates)."""
+        clone = self._clone()
+        clone._predicates.append(predicate)
+        return clone
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        """Sort results by *column* (stable, appended after prior orderings)."""
+        clone = self._clone()
+        clone._order.append((column, descending))
+        return clone
+
+    def limit(self, count: int) -> "Query":
+        """Keep at most *count* result rows."""
+        clone = self._clone()
+        clone._limit = count
+        return clone
+
+    def offset(self, count: int) -> "Query":
+        """Skip the first *count* result rows."""
+        clone = self._clone()
+        clone._offset = count
+        return clone
+
+    def project(self, *columns: str) -> "Query":
+        """Restrict result rows to the given columns."""
+        clone = self._clone()
+        clone._projection = tuple(columns)
+        return clone
+
+    def join(self, other: "Any", left_column: str, right_column: str, prefix: str | None = None) -> "Query":
+        """Equi-join with another table.
+
+        Joined columns are added to the result row under ``prefix.column``
+        (the prefix defaults to the other table's name).
+        """
+        clone = self._clone()
+        clone._joins.append((other, left_column, right_column, prefix or other.name))
+        return clone
+
+    # -- evaluation -------------------------------------------------------
+
+    def _combined_predicate(self) -> Predicate | None:
+        if not self._predicates:
+            return None
+        return and_(*self._predicates)
+
+    def _base_rows(self) -> Iterator[dict[str, Any]]:
+        predicate = self._combined_predicate()
+        yield from self._table.select(predicate)
+
+    def _joined_rows(self) -> Iterator[dict[str, Any]]:
+        rows: Iterable[dict[str, Any]] = self._base_rows()
+        for other, left_column, right_column, prefix in self._joins:
+            rows = self._apply_join(rows, other, left_column, right_column, prefix)
+        yield from rows
+
+    @staticmethod
+    def _apply_join(
+        rows: Iterable[dict[str, Any]],
+        other: "Any",
+        left_column: str,
+        right_column: str,
+        prefix: str,
+    ) -> Iterator[dict[str, Any]]:
+        for row in rows:
+            key = row.get(left_column)
+            for match in other.select(eq(right_column, key)):
+                merged = dict(row)
+                for column, value in match.items():
+                    merged[f"{prefix}.{column}"] = value
+                yield merged
+
+    def all(self) -> list[dict[str, Any]]:
+        """Evaluate the query and return all result rows."""
+        rows = list(self._joined_rows())
+        for column, descending in reversed(self._order):
+            rows.sort(key=lambda row: _order_key(row.get(column)), reverse=descending)
+        if self._offset:
+            rows = rows[self._offset:]
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        if self._projection is not None:
+            rows = [{column: row.get(column) for column in self._projection} for row in rows]
+        return rows
+
+    def first(self) -> dict[str, Any] | None:
+        """First result row or ``None``."""
+        results = self.limit(1).all() if self._limit is None else self.all()
+        return results[0] if results else None
+
+    def count(self) -> int:
+        """Number of result rows."""
+        return len(self.all())
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.all())
+
+
+def _order_key(value: Any) -> tuple[int, Any]:
+    """Total-order key tolerating ``None`` and mixed types for ORDER BY."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, float(value))
+    if isinstance(value, str):
+        return (2, value)
+    return (3, repr(value))

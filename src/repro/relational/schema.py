@@ -1,0 +1,266 @@
+"""Table schemas for the embedded relational engine.
+
+A :class:`TableSchema` is a named, ordered collection of :class:`Column`
+definitions plus the table-level constraints (primary key, unique keys).
+Schemas validate rows before they are stored so that every row inside a
+:class:`~repro.relational.table.Table` is structurally sound.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column value types.
+
+    ``BLOB`` holds arbitrary Python bytes (the paper stores "the raw actual
+    data ... in their native formats" alongside the metadata); ``JSON`` holds
+    any JSON-serialisable structure and is used for loosely structured
+    metadata.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    BLOB = "blob"
+    JSON = "json"
+
+    def validate(self, value: Any) -> bool:
+        """Return ``True`` when *value* is acceptable for this column type."""
+        if value is None:
+            return True
+        if self is ColumnType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.TEXT:
+            return isinstance(value, str)
+        if self is ColumnType.BOOLEAN:
+            return isinstance(value, bool)
+        if self is ColumnType.BLOB:
+            return isinstance(value, (bytes, bytearray))
+        if self is ColumnType.JSON:
+            return _is_jsonable(value)
+        return False  # pragma: no cover - exhaustive enum
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce *value* to the canonical Python representation for the type.
+
+        Coercion is intentionally conservative: only loss-free conversions are
+        performed (``int`` -> ``float`` for FLOAT columns, ``bytearray`` ->
+        ``bytes`` for BLOB columns).
+        """
+        if value is None:
+            return None
+        if self is ColumnType.FLOAT and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if self is ColumnType.BLOB and isinstance(value, bytearray):
+            return bytes(value)
+        return value
+
+
+def _is_jsonable(value: Any) -> bool:
+    """Check (recursively) that *value* only uses JSON-compatible types."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_is_jsonable(item) for item in value)
+    if isinstance(value, dict):
+        return all(isinstance(key, str) and _is_jsonable(item) for key, item in value.items())
+    return False
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be a valid identifier-ish string, unique per table.
+    type:
+        The :class:`ColumnType` governing accepted values.
+    nullable:
+        When ``False`` a ``None`` value is rejected on insert/update.
+    default:
+        Value used when an insert omits the column.
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("column name must be a non-empty string")
+        if self.name.strip() != self.name or " " in self.name:
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        if not isinstance(self.type, ColumnType):
+            raise SchemaError(f"column {self.name!r}: type must be a ColumnType")
+        if self.default is not None and not self.type.validate(self.default):
+            raise SchemaError(
+                f"column {self.name!r}: default {self.default!r} does not match type {self.type.value}"
+            )
+
+    def validate_value(self, value: Any) -> Any:
+        """Validate and coerce a value destined for this column.
+
+        Raises :class:`~repro.errors.SchemaError` when the value is not
+        acceptable, otherwise returns the coerced value.
+        """
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return None
+        if not self.type.validate(value):
+            raise SchemaError(
+                f"column {self.name!r}: value {value!r} does not match type {self.type.value}"
+            )
+        return self.type.coerce(value)
+
+
+@dataclass
+class TableSchema:
+    """Schema of one relational table.
+
+    Parameters
+    ----------
+    name:
+        Table name, unique within a :class:`~repro.relational.database.Database`.
+    columns:
+        Ordered column definitions.
+    primary_key:
+        Optional name of the primary-key column.  Primary keys are unique and
+        not nullable.
+    unique:
+        Optional sequence of column names (or tuples of names for composite
+        uniqueness) that must be unique across rows.
+    """
+
+    name: str
+    columns: Sequence[Column]
+    primary_key: str | None = None
+    unique: Sequence[str | tuple[str, ...]] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("table name must be a non-empty string")
+        self.columns = tuple(self.columns)
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have at least one column")
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {self.name!r} has duplicate column names")
+        self._by_name = {column.name: column for column in self.columns}
+        if self.primary_key is not None and self.primary_key not in self._by_name:
+            raise SchemaError(
+                f"table {self.name!r}: primary key {self.primary_key!r} is not a column"
+            )
+        normalized: list[tuple[str, ...]] = []
+        for key in self.unique:
+            cols = (key,) if isinstance(key, str) else tuple(key)
+            for col in cols:
+                if col not in self._by_name:
+                    raise SchemaError(f"table {self.name!r}: unique key column {col!r} is not a column")
+            normalized.append(cols)
+        self.unique = tuple(normalized)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Ordered tuple of column names."""
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` named *name* or raise ``SchemaError``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        """Return ``True`` when the schema defines a column named *name*."""
+        return name in self._by_name
+
+    def validate_row(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate an insert payload and return a complete, coerced row dict.
+
+        Missing columns receive their defaults; unknown keys raise
+        :class:`~repro.errors.SchemaError`.
+        """
+        unknown = set(values) - set(self._by_name)
+        if unknown:
+            raise SchemaError(
+                f"table {self.name!r}: unknown columns {sorted(unknown)!r}"
+            )
+        row: dict[str, Any] = {}
+        for column in self.columns:
+            value = values.get(column.name, column.default)
+            if column.name == self.primary_key and value is None:
+                raise SchemaError(
+                    f"table {self.name!r}: primary key {column.name!r} must not be null"
+                )
+            row[column.name] = column.validate_value(value)
+        return row
+
+    def unique_keys(self) -> tuple[tuple[str, ...], ...]:
+        """All uniqueness constraints, including the primary key."""
+        keys: list[tuple[str, ...]] = []
+        if self.primary_key is not None:
+            keys.append((self.primary_key,))
+        keys.extend(self.unique)
+        return tuple(keys)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize the schema to a JSON-compatible dictionary."""
+        return {
+            "name": self.name,
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": column.type.value,
+                    "nullable": column.nullable,
+                    "default": column.default if not isinstance(column.default, bytes) else None,
+                }
+                for column in self.columns
+            ],
+            "primary_key": self.primary_key,
+            "unique": [list(key) for key in self.unique],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TableSchema":
+        """Reconstruct a schema from :meth:`to_dict` output."""
+        columns = [
+            Column(
+                name=item["name"],
+                type=ColumnType(item["type"]),
+                nullable=item.get("nullable", True),
+                default=item.get("default"),
+            )
+            for item in payload["columns"]
+        ]
+        return cls(
+            name=payload["name"],
+            columns=columns,
+            primary_key=payload.get("primary_key"),
+            unique=[tuple(key) for key in payload.get("unique", [])],
+        )
+
+
+def schema(name: str, columns: Iterable[tuple[str, ColumnType]], primary_key: str | None = None) -> TableSchema:
+    """Convenience constructor for simple schemas.
+
+    ``schema("t", [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)], "id")``
+    """
+    return TableSchema(
+        name=name,
+        columns=[Column(col_name, col_type) for col_name, col_type in columns],
+        primary_key=primary_key,
+    )

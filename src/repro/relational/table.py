@@ -1,0 +1,283 @@
+"""Row storage with constraint enforcement and index maintenance.
+
+A :class:`Table` owns its rows (dicts keyed by column name), assigns a
+monotonically increasing internal row id to each row, enforces the schema's
+primary-key/unique/not-null constraints, and keeps any secondary indexes in
+sync on insert, update, and delete.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import ConstraintViolation, RelationalError, UnknownColumnError
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.query import Predicate, And, Query, eq
+from repro.relational.schema import TableSchema
+
+#: Alias used throughout the package: a row is just a plain dict.
+Row = dict
+
+
+class Table:
+    """One relational table: schema + rows + indexes.
+
+    The table automatically maintains a unique (hash) index per uniqueness
+    constraint declared in the schema; additional secondary indexes can be
+    created with :meth:`create_index` / :meth:`create_sorted_index`.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_row_id = 1
+        self._unique_indexes: dict[tuple[str, ...], HashIndex] = {}
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._sorted_indexes: dict[str, SortedIndex] = {}
+        for key in schema.unique_keys():
+            self._unique_indexes[key] = HashIndex(f"uniq:{schema.name}:{'+'.join(key)}", key)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The table's name (from its schema)."""
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return (dict(row) for row in self._rows.values())
+
+    def row_ids(self) -> Iterator[int]:
+        """Iterate the internal row ids (stable across updates)."""
+        return iter(self._rows)
+
+    # -- index management ---------------------------------------------------
+
+    def create_index(self, column: str) -> HashIndex:
+        """Create (or return an existing) hash index on *column*."""
+        if not self.schema.has_column(column):
+            raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        if column in self._hash_indexes:
+            return self._hash_indexes[column]
+        index = HashIndex(f"hash:{self.name}:{column}", (column,))
+        for row_id, row in self._rows.items():
+            index.insert(row[column], row_id)
+        self._hash_indexes[column] = index
+        return index
+
+    def create_sorted_index(self, column: str) -> SortedIndex:
+        """Create (or return an existing) sorted index on *column*."""
+        if not self.schema.has_column(column):
+            raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        if column in self._sorted_indexes:
+            return self._sorted_indexes[column]
+        index = SortedIndex(f"sorted:{self.name}:{column}", column)
+        for row_id, row in self._rows.items():
+            index.insert(row[column], row_id)
+        self._sorted_indexes[column] = index
+        return index
+
+    def has_index(self, column: str) -> bool:
+        """True when an equality-capable index exists on *column*."""
+        return (
+            column in self._hash_indexes
+            or column in self._sorted_indexes
+            or (column,) in self._unique_indexes
+        )
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, values: Mapping[str, Any]) -> int:
+        """Insert one row, returning its internal row id.
+
+        Raises :class:`~repro.errors.ConstraintViolation` when a uniqueness
+        constraint would be violated and :class:`~repro.errors.SchemaError`
+        when the payload does not match the schema.
+        """
+        row = self.schema.validate_row(values)
+        self._check_unique(row, exclude_row_id=None)
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = row
+        self._index_insert(row, row_id)
+        return row_id
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> list[int]:
+        """Insert several rows, returning their row ids (all-or-nothing is
+        *not* guaranteed; rows preceding a failure remain inserted)."""
+        return [self.insert(row) for row in rows]
+
+    def update(self, predicate: Predicate | None, changes: Mapping[str, Any]) -> int:
+        """Update every row matching *predicate* with *changes*.
+
+        Returns the number of rows updated.  Primary keys may be changed as
+        long as uniqueness is preserved.
+        """
+        for column in changes:
+            if not self.schema.has_column(column):
+                raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+        updated = 0
+        for row_id in list(self._candidate_row_ids(predicate)):
+            row = self._rows[row_id]
+            if predicate is not None and not predicate.matches(row):
+                continue
+            new_row = dict(row)
+            new_row.update(changes)
+            new_row = self.schema.validate_row(new_row)
+            self._check_unique(new_row, exclude_row_id=row_id)
+            self._index_remove(row, row_id)
+            self._rows[row_id] = new_row
+            self._index_insert(new_row, row_id)
+            updated += 1
+        return updated
+
+    def delete(self, predicate: Predicate | None) -> int:
+        """Delete every row matching *predicate*, returning the count."""
+        deleted = 0
+        for row_id in list(self._candidate_row_ids(predicate)):
+            row = self._rows.get(row_id)
+            if row is None:
+                continue
+            if predicate is not None and not predicate.matches(row):
+                continue
+            self._index_remove(row, row_id)
+            del self._rows[row_id]
+            deleted += 1
+        return deleted
+
+    def clear(self) -> None:
+        """Remove every row and reset the indexes (row ids keep counting up)."""
+        self._rows.clear()
+        for index in self._all_indexes():
+            index.clear()
+
+    # -- retrieval ----------------------------------------------------------
+
+    def get(self, primary_key_value: Any) -> dict[str, Any] | None:
+        """Fetch the row whose primary key equals *primary_key_value*."""
+        if self.schema.primary_key is None:
+            raise RelationalError(f"table {self.name!r} has no primary key")
+        rows = self.select(eq(self.schema.primary_key, primary_key_value))
+        return rows[0] if rows else None
+
+    def select(self, predicate: Predicate | None = None) -> list[dict[str, Any]]:
+        """Return copies of every row matching *predicate* (all rows if None)."""
+        results: list[dict[str, Any]] = []
+        for row_id in self._candidate_row_ids(predicate):
+            row = self._rows.get(row_id)
+            if row is None:
+                continue
+            if predicate is None or predicate.matches(row):
+                results.append(dict(row))
+        return results
+
+    def query(self) -> Query:
+        """Start a fluent :class:`~repro.relational.query.Query` over the table."""
+        return Query(self)
+
+    # -- internals ----------------------------------------------------------
+
+    def _all_indexes(self) -> Iterator[HashIndex | SortedIndex]:
+        yield from self._unique_indexes.values()
+        yield from self._hash_indexes.values()
+        yield from self._sorted_indexes.values()
+
+    def _index_insert(self, row: dict[str, Any], row_id: int) -> None:
+        for index in self._all_indexes():
+            index.insert(index.key_for(row), row_id)
+
+    def _index_remove(self, row: dict[str, Any], row_id: int) -> None:
+        for index in self._all_indexes():
+            index.remove(index.key_for(row), row_id)
+
+    def _check_unique(self, row: dict[str, Any], exclude_row_id: int | None) -> None:
+        for key, index in self._unique_indexes.items():
+            value = index.key_for(row)
+            if _key_has_null(value, key):
+                continue
+            existing = index.lookup(value)
+            existing.discard(exclude_row_id if exclude_row_id is not None else -1)
+            if existing:
+                raise ConstraintViolation(
+                    f"table {self.name!r}: duplicate value {value!r} for unique key {key!r}"
+                )
+
+    def _candidate_row_ids(self, predicate: Predicate | None) -> Iterable[int]:
+        """Pick an access path: index lookup when possible, else full scan."""
+        if predicate is None:
+            return list(self._rows)
+        conjuncts: tuple[Predicate, ...]
+        if isinstance(predicate, And):
+            conjuncts = predicate.flattened()
+        else:
+            conjuncts = (predicate,)
+        # Equality pushdown first (most selective in practice).
+        for part in conjuncts:
+            equality = part.equality_key()
+            if equality is None:
+                continue
+            column, value = equality
+            ids = self._lookup_equality(column, value)
+            if ids is not None:
+                return ids
+        # Range pushdown on sorted indexes.
+        for part in conjuncts:
+            bounds = part.range_bounds()
+            if bounds is None:
+                continue
+            column, low, high, include_low, include_high = bounds
+            index = self._sorted_indexes.get(column)
+            if index is not None:
+                return index.range(low, high, include_low, include_high)
+        return list(self._rows)
+
+    def _lookup_equality(self, column: str, value: Any) -> set[int] | None:
+        unique = self._unique_indexes.get((column,))
+        if unique is not None:
+            return unique.lookup(value)
+        hash_index = self._hash_indexes.get(column)
+        if hash_index is not None:
+            return hash_index.lookup(value)
+        sorted_index = self._sorted_indexes.get(column)
+        if sorted_index is not None:
+            return sorted_index.lookup(value)
+        return None
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize schema + rows to a JSON-compatible dict (BLOBs hex-encoded)."""
+        rows = []
+        for row in self._rows.values():
+            encoded = {}
+            for key, value in row.items():
+                if isinstance(value, bytes):
+                    encoded[key] = {"__blob__": value.hex()}
+                else:
+                    encoded[key] = value
+            rows.append(encoded)
+        return {"schema": self.schema.to_dict(), "rows": rows}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Table":
+        """Reconstruct a table from :meth:`to_dict` output."""
+        table = cls(TableSchema.from_dict(payload["schema"]))
+        for row in payload.get("rows", []):
+            decoded = {}
+            for key, value in row.items():
+                if isinstance(value, dict) and "__blob__" in value:
+                    decoded[key] = bytes.fromhex(value["__blob__"])
+                else:
+                    decoded[key] = value
+            table.insert(decoded)
+        return table
+
+
+def _key_has_null(value: Any, key: tuple[str, ...]) -> bool:
+    """Unique constraints ignore rows with NULL key parts (SQL semantics)."""
+    if len(key) == 1:
+        return value is None
+    return any(part is None for part in value)

@@ -1,0 +1,206 @@
+"""Coordinate systems shared by annotated substructures.
+
+The paper keeps "the number of the index structures small" by indexing all
+substructures that share a coordinate domain in one structure: one interval
+tree per chromosome, one R-tree per brain coordinate system (per resolution).
+A :class:`CoordinateSystem` names such a domain and records enough metadata
+to validate marks against it; the :class:`CoordinateSystemRegistry` is the
+authoritative list of systems known to a Graphitti instance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.errors import CoordinateSystemError
+
+
+class CoordinateKind(enum.Enum):
+    """Dimensionality class of a coordinate system."""
+
+    LINEAR = "linear"      # 1D ordered domain: sequences, chromosomes, time
+    PLANAR = "planar"      # 2D: image pixel / section coordinates
+    VOLUMETRIC = "volumetric"  # 3D: atlas / volumetric coordinates
+
+    @property
+    def dimension(self) -> int:
+        """Number of spatial dimensions."""
+        if self is CoordinateKind.LINEAR:
+            return 1
+        if self is CoordinateKind.PLANAR:
+            return 2
+        return 3
+
+
+@dataclass(frozen=True)
+class CoordinateSystem:
+    """A named coordinate domain that substructure marks are expressed in.
+
+    Parameters
+    ----------
+    name:
+        Unique name, e.g. ``"influenza:segment4"`` or ``"mouse-atlas:25um"``.
+    kind:
+        Dimensionality class.
+    extent:
+        Optional domain bounds.  For LINEAR systems a ``(lo, hi)`` pair; for
+        PLANAR/VOLUMETRIC systems a per-axis sequence of ``(lo, hi)`` pairs.
+    resolution:
+        Optional human-readable resolution tag (the paper groups brain images
+        "of the same resolution" into one system).
+    metadata:
+        Free-form extra attributes.
+    """
+
+    name: str
+    kind: CoordinateKind
+    extent: tuple | None = None
+    resolution: str | None = None
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CoordinateSystemError("coordinate system name must be non-empty")
+        if self.extent is not None:
+            object.__setattr__(self, "extent", self._normalize_extent(self.extent))
+
+    def _normalize_extent(self, extent: Any) -> tuple:
+        if self.kind is CoordinateKind.LINEAR:
+            lo, hi = extent
+            if hi < lo:
+                raise CoordinateSystemError("linear extent upper bound precedes lower bound")
+            return (float(lo), float(hi))
+        axes = tuple(tuple(map(float, axis)) for axis in extent)
+        if len(axes) != self.kind.dimension:
+            raise CoordinateSystemError(
+                f"{self.kind.value} extent must have {self.kind.dimension} axes, got {len(axes)}"
+            )
+        for lo, hi in axes:
+            if hi < lo:
+                raise CoordinateSystemError("extent upper bound precedes lower bound")
+        return axes
+
+    @property
+    def dimension(self) -> int:
+        """Number of spatial dimensions."""
+        return self.kind.dimension
+
+    def validate_interval(self, start: float, end: float) -> None:
+        """Check a 1D mark against the system (LINEAR systems only)."""
+        if self.kind is not CoordinateKind.LINEAR:
+            raise CoordinateSystemError(
+                f"coordinate system {self.name!r} is {self.kind.value}, not linear"
+            )
+        if end < start:
+            raise CoordinateSystemError("interval end precedes start")
+        if self.extent is not None:
+            lo, hi = self.extent
+            if start < lo or end > hi:
+                raise CoordinateSystemError(
+                    f"interval [{start}, {end}] outside extent [{lo}, {hi}] of {self.name!r}"
+                )
+
+    def validate_box(self, lo: Sequence[float], hi: Sequence[float]) -> None:
+        """Check a 2D/3D mark against the system (PLANAR/VOLUMETRIC only)."""
+        if self.kind is CoordinateKind.LINEAR:
+            raise CoordinateSystemError(
+                f"coordinate system {self.name!r} is linear, not {len(lo)}-dimensional"
+            )
+        if len(lo) != self.dimension or len(hi) != self.dimension:
+            raise CoordinateSystemError(
+                f"mark dimensionality {len(lo)} does not match {self.name!r} ({self.dimension}D)"
+            )
+        for axis, (low, high) in enumerate(zip(lo, hi)):
+            if high < low:
+                raise CoordinateSystemError("box upper corner precedes lower corner")
+            if self.extent is not None:
+                axis_lo, axis_hi = self.extent[axis]
+                if low < axis_lo or high > axis_hi:
+                    raise CoordinateSystemError(
+                        f"box axis {axis} [{low}, {high}] outside extent [{axis_lo}, {axis_hi}]"
+                    )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation."""
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "extent": self.extent,
+            "resolution": self.resolution,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CoordinateSystem":
+        """Reconstruct from :meth:`to_dict` output."""
+        extent = payload.get("extent")
+        if extent is not None:
+            extent = tuple(tuple(axis) if isinstance(axis, (list, tuple)) else axis for axis in extent)
+        return cls(
+            name=payload["name"],
+            kind=CoordinateKind(payload["kind"]),
+            extent=extent,
+            resolution=payload.get("resolution"),
+            metadata=payload.get("metadata", {}),
+        )
+
+
+class CoordinateSystemRegistry:
+    """Registry of the coordinate systems known to a Graphitti instance."""
+
+    def __init__(self) -> None:
+        self._systems: dict[str, CoordinateSystem] = {}
+
+    def __len__(self) -> int:
+        return len(self._systems)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._systems
+
+    def __iter__(self) -> Iterator[CoordinateSystem]:
+        return iter(self._systems.values())
+
+    def register(self, system: CoordinateSystem) -> CoordinateSystem:
+        """Register a coordinate system.
+
+        Re-registering an identical system is a no-op; registering a
+        different system under an existing name raises.
+        """
+        existing = self._systems.get(system.name)
+        if existing is not None:
+            if existing == system:
+                return existing
+            raise CoordinateSystemError(
+                f"coordinate system {system.name!r} already registered with different parameters"
+            )
+        self._systems[system.name] = system
+        return system
+
+    def linear(self, name: str, extent: tuple[float, float] | None = None, **metadata: Any) -> CoordinateSystem:
+        """Register (or fetch) a linear coordinate system."""
+        return self.register(CoordinateSystem(name, CoordinateKind.LINEAR, extent=extent, metadata=metadata))
+
+    def planar(self, name: str, extent: tuple | None = None, resolution: str | None = None) -> CoordinateSystem:
+        """Register (or fetch) a planar (2D) coordinate system."""
+        return self.register(
+            CoordinateSystem(name, CoordinateKind.PLANAR, extent=extent, resolution=resolution)
+        )
+
+    def volumetric(self, name: str, extent: tuple | None = None, resolution: str | None = None) -> CoordinateSystem:
+        """Register (or fetch) a volumetric (3D) coordinate system."""
+        return self.register(
+            CoordinateSystem(name, CoordinateKind.VOLUMETRIC, extent=extent, resolution=resolution)
+        )
+
+    def get(self, name: str) -> CoordinateSystem:
+        """The registered system named *name*; raises when unknown."""
+        try:
+            return self._systems[name]
+        except KeyError:
+            raise CoordinateSystemError(f"unknown coordinate system {name!r}") from None
+
+    def names(self) -> tuple[str, ...]:
+        """Names of every registered system."""
+        return tuple(self._systems)

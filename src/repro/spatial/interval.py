@@ -1,0 +1,150 @@
+"""1D intervals over ordered domains (sequence coordinates).
+
+An :class:`Interval` is a half-open-agnostic, *closed* integer-or-float
+interval ``[start, end]`` with ``start <= end``, optionally carrying a domain
+name (e.g. the chromosome or sequence accession it belongs to) and an
+arbitrary payload (typically a referent identifier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SpatialError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[start, end]`` on a 1D ordered domain.
+
+    The ordering of intervals is lexicographic on ``(start, end)`` which is
+    what the paper's ``next`` operator needs for "the sub-structure
+    encountered next in the ordering".
+    """
+
+    start: float
+    end: float
+    domain: str | None = field(default=None, compare=False)
+    payload: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SpatialError(f"interval end {self.end} precedes start {self.start}")
+
+    @property
+    def length(self) -> float:
+        """Length of the interval (0 for a point interval)."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two closed intervals share at least one point.
+
+        Intervals on different named domains never overlap.
+        """
+        if not self._same_domain(other):
+            return False
+        return self.start <= other.end and other.start <= self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """True when *other* lies entirely within this interval."""
+        if not self._same_domain(other):
+            return False
+        return self.start <= other.start and other.end <= self.end
+
+    def contains_point(self, point: float) -> bool:
+        """True when *point* lies within the closed interval."""
+        return self.start <= point <= self.end
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlapping sub-interval, or ``None`` when disjoint.
+
+        This is the paper's ``intersect`` operator for the sequence data
+        type ("valid for convex data types such as sequences").
+        """
+        if not self.overlaps(other):
+            return None
+        return Interval(
+            start=max(self.start, other.start),
+            end=min(self.end, other.end),
+            domain=self.domain,
+        )
+
+    def union_span(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both (they need not overlap)."""
+        if not self._same_domain(other):
+            raise SpatialError(
+                f"cannot span intervals on different domains {self.domain!r} and {other.domain!r}"
+            )
+        return Interval(min(self.start, other.start), max(self.end, other.end), domain=self.domain)
+
+    def distance_to(self, other: "Interval") -> float:
+        """Gap between the intervals (0 when they touch or overlap)."""
+        if not self._same_domain(other):
+            raise SpatialError("distance is undefined across domains")
+        if self.overlaps(other):
+            return 0.0
+        if self.end < other.start:
+            return float(other.start - self.end)
+        return float(self.start - other.end)
+
+    def precedes(self, other: "Interval", strict: bool = True) -> bool:
+        """True when this interval ends before *other* begins."""
+        if not self._same_domain(other):
+            return False
+        if strict:
+            return self.end < other.start
+        return self.end <= other.start
+
+    def shifted(self, offset: float) -> "Interval":
+        """A copy translated by *offset*."""
+        return Interval(self.start + offset, self.end + offset, domain=self.domain, payload=self.payload)
+
+    def with_payload(self, payload: Any) -> "Interval":
+        """A copy carrying *payload*."""
+        return Interval(self.start, self.end, domain=self.domain, payload=payload)
+
+    def _same_domain(self, other: "Interval") -> bool:
+        if self.domain is None or other.domain is None:
+            return True
+        return self.domain == other.domain
+
+    def as_tuple(self) -> tuple[float, float]:
+        """``(start, end)`` tuple."""
+        return (self.start, self.end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        domain = f" {self.domain}" if self.domain else ""
+        return f"Interval([{self.start}, {self.end}]{domain})"
+
+
+def merge_intervals(intervals: list[Interval]) -> list[Interval]:
+    """Merge overlapping/touching intervals into a minimal disjoint cover.
+
+    The input may be unsorted; the output is sorted by start.  Domains are
+    respected: intervals from different domains are never merged.
+    """
+    by_domain: dict[str | None, list[Interval]] = {}
+    for interval in intervals:
+        by_domain.setdefault(interval.domain, []).append(interval)
+    merged: list[Interval] = []
+    for domain, group in by_domain.items():
+        group = sorted(group, key=lambda item: (item.start, item.end))
+        current: Interval | None = None
+        for interval in group:
+            if current is None:
+                current = interval
+                continue
+            if interval.start <= current.end:
+                current = Interval(current.start, max(current.end, interval.end), domain=domain)
+            else:
+                merged.append(current)
+                current = interval
+        if current is not None:
+            merged.append(current)
+    return sorted(merged, key=lambda item: (item.domain or "", item.start, item.end))
+
+
+def total_coverage(intervals: list[Interval]) -> float:
+    """Total length covered by the (possibly overlapping) intervals."""
+    return sum(interval.length for interval in merge_intervals(intervals))

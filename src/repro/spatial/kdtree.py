@@ -1,0 +1,85 @@
+"""KD-tree over rectangle centers: an alternate 2D/3D index for ablation.
+
+The paper indexes 2D/3D substructures in R-trees.  A KD-tree on region centers
+is a common alternative for point/nearest queries; providing it lets the
+PERF-2 ablation contrast the two.  Window (overlap) queries on a KD-tree of
+centers are answered by pruning on the split axis and verifying candidate
+rectangles, so the structure is exact for the rectangle-overlap predicate the
+query layer needs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpatialError
+from repro.spatial.rect import Rect
+
+
+class _KdNode:
+    __slots__ = ("rect", "center", "axis", "left", "right", "max_hi")
+
+    def __init__(self, rect: Rect, axis: int):
+        self.rect = rect
+        self.center = rect.center
+        self.axis = axis
+        self.left: "_KdNode | None" = None
+        self.right: "_KdNode | None" = None
+        # Max upper-corner per axis in this subtree, for overlap pruning.
+        self.max_hi = list(rect.hi)
+
+
+class KdTree:
+    """A static KD-tree over rectangle centers."""
+
+    def __init__(self, rects: list[Rect], space: str | None = None):
+        self.space = space
+        self._rects = list(rects)
+        self._dimension = rects[0].dimension if rects else 2
+        self._root = self._build(list(rects), depth=0)
+
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    @classmethod
+    def from_rects(cls, rects: list[Rect], space: str | None = None) -> "KdTree":
+        """Build a KD-tree from a list of rectangles."""
+        return cls(rects, space=space)
+
+    def _build(self, rects: list[Rect], depth: int) -> _KdNode | None:
+        if not rects:
+            return None
+        axis = depth % self._dimension
+        rects.sort(key=lambda rect: rect.center[axis])
+        mid = len(rects) // 2
+        node = _KdNode(rects[mid], axis)
+        node.left = self._build(rects[:mid], depth + 1)
+        node.right = self._build(rects[mid + 1:], depth + 1)
+        for child in (node.left, node.right):
+            if child is not None:
+                node.max_hi = [max(a, b) for a, b in zip(node.max_hi, child.max_hi)]
+        return node
+
+    def search_overlap(self, query: Rect) -> list[Rect]:
+        """All stored rectangles overlapping *query*."""
+        if self.space is not None and query.space is not None and self.space != query.space:
+            raise SpatialError("coordinate-space mismatch")
+        results: list[Rect] = []
+        self._search(self._root, query, results)
+        return results
+
+    def _search(self, node: _KdNode | None, query: Rect, results: list[Rect]) -> None:
+        if node is None:
+            return
+        # Prune: if the whole subtree lies below the query on every axis, skip.
+        if all(node.max_hi[axis] >= query.lo[axis] for axis in range(self._dimension)):
+            if node.rect.overlaps(query):
+                results.append(node.rect)
+            self._search(node.left, query, results)
+            self._search(node.right, query, results)
+        else:
+            # Still may contain overlaps on the left (smaller) side.
+            self._search(node.left, query, results)
+            self._search(node.right, query, results)
+
+    def count_overlap(self, query: Rect) -> int:
+        """Number of stored rectangles overlapping *query*."""
+        return len(self.search_overlap(query))

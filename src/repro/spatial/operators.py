@@ -1,0 +1,115 @@
+"""The SUB-X operators defined in the paper.
+
+Section II lists the operations Graphitti applies to annotated substructures:
+
+* ``ifOverlap : SUB-X x SUB-X -> {0, 1}`` — true when two substructures
+  overlap (applies to every substructure type),
+* ``next : SUB-X -> SUB-X`` — the next substructure in the domain ordering
+  (only for types with a strict ordering, e.g. sequence intervals),
+* ``intersect : SUB-X x SUB-X -> SUB-X`` — the intersection of two
+  substructures (only for convex types such as sequences and rectangles).
+
+These module-level functions dispatch on the operand types
+(:class:`~repro.spatial.interval.Interval` or
+:class:`~repro.spatial.rect.Rect`) so that the query processor can treat
+substructures uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SpatialError
+from repro.spatial.interval import Interval
+from repro.spatial.rect import Rect
+
+#: Substructure union type used throughout the query layer.
+Substructure = Interval | Rect
+
+
+def if_overlap(left: Substructure, right: Substructure) -> bool:
+    """The paper's ``ifOverlap`` operator.
+
+    Substructures of incompatible kinds (an interval and a rectangle) never
+    overlap; substructures on different named domains/spaces never overlap.
+    """
+    if isinstance(left, Interval) and isinstance(right, Interval):
+        return left.overlaps(right)
+    if isinstance(left, Rect) and isinstance(right, Rect):
+        if left.dimension != right.dimension:
+            return False
+        if left.space is not None and right.space is not None and left.space != right.space:
+            return False
+        return left.overlaps(right)
+    return False
+
+
+def intersect(left: Substructure, right: Substructure) -> Substructure | None:
+    """The paper's ``intersect`` operator (convex types only).
+
+    Returns ``None`` when the operands do not overlap.  Raises
+    :class:`~repro.errors.SpatialError` when the operands are of different
+    kinds, because the intersection of e.g. an interval and a rectangle is
+    not defined.
+    """
+    if isinstance(left, Interval) and isinstance(right, Interval):
+        return left.intersection(right)
+    if isinstance(left, Rect) and isinstance(right, Rect):
+        if not if_overlap(left, right):
+            return None
+        return left.intersection(right)
+    raise SpatialError(
+        f"intersect is undefined between {type(left).__name__} and {type(right).__name__}"
+    )
+
+
+def next_substructure(current: Interval, ordered: Sequence[Interval]) -> Interval | None:
+    """The paper's ``next`` operator for strictly ordered domains.
+
+    Given the *current* substructure and the collection it belongs to,
+    returns the substructure encountered next in the (start, end) ordering,
+    or ``None`` when *current* is the last one.  Only 1D intervals have a
+    strict domain ordering; calling this with rectangles raises.
+    """
+    if not isinstance(current, Interval):
+        raise SpatialError("next is only defined for ordered (1D) substructures")
+    candidates = [
+        interval
+        for interval in ordered
+        if isinstance(interval, Interval)
+        and interval._same_domain(current)
+        and (interval.start, interval.end) > (current.start, current.end)
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda interval: (interval.start, interval.end))
+
+
+def are_consecutive(intervals: Sequence[Interval], max_gap: float | None = None) -> bool:
+    """True when the intervals are in increasing order and pairwise disjoint.
+
+    This is the graph constraint used by the paper's Figure-2 query ("4
+    consecutive non-overlapping intervals").  When *max_gap* is given, the
+    gap between successive intervals must not exceed it.
+    """
+    if len(intervals) < 2:
+        return True
+    ordered = list(intervals)
+    for earlier, later in zip(ordered, ordered[1:]):
+        if not isinstance(earlier, Interval) or not isinstance(later, Interval):
+            raise SpatialError("consecutive-ness is only defined for 1D intervals")
+        if not earlier.precedes(later, strict=True):
+            return False
+        if max_gap is not None and later.start - earlier.end > max_gap:
+            return False
+    return True
+
+
+def are_disjoint(substructures: Sequence[Substructure]) -> bool:
+    """True when no two substructures in the sequence overlap."""
+    items = list(substructures)
+    for position, left in enumerate(items):
+        for right in items[position + 1:]:
+            if if_overlap(left, right):
+                return False
+    return True

@@ -1,0 +1,44 @@
+"""Synthetic data and workload generators, plus paper scenario builders.
+
+The paper evaluates on proprietary scientific data (Avian Influenza sequence
+collections, mouse-brain image sets on a shared atlas, lab ontologies).  None
+of that is available offline, so this package generates seeded synthetic
+equivalents that exercise the same code paths (see DESIGN.md §2):
+
+* :mod:`repro.workloads.generators` -- genomes, sequences, alignments, trees,
+  interaction graphs, images/regions, ontology DAGs, and annotation workloads,
+* :mod:`repro.workloads.scenarios` -- the influenza and neuroscience study
+  builders that reproduce the Figure-1/2/3 scenarios on a populated instance.
+"""
+
+from repro.workloads.generators import (
+    WorkloadConfig,
+    generate_alignment,
+    generate_annotation_workload,
+    generate_image_regions,
+    generate_interaction_graph,
+    generate_ontology_dag,
+    generate_phylogenetic_tree,
+    generate_sequence,
+    random_dna,
+)
+from repro.workloads.scenarios import (
+    build_influenza_instance,
+    build_neuroscience_instance,
+)
+from repro.workloads.reporting import study_report
+
+__all__ = [
+    "WorkloadConfig",
+    "random_dna",
+    "generate_sequence",
+    "generate_alignment",
+    "generate_phylogenetic_tree",
+    "generate_interaction_graph",
+    "generate_image_regions",
+    "generate_ontology_dag",
+    "generate_annotation_workload",
+    "build_influenza_instance",
+    "build_neuroscience_instance",
+    "study_report",
+]

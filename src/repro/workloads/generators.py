@@ -1,0 +1,295 @@
+"""Seeded synthetic generators for data objects and annotation workloads.
+
+Every generator takes (or derives) a :class:`random.Random` so runs are fully
+reproducible: the same seed yields the same genome, the same region layout,
+the same ontology, and the same annotation stream.  Sizes and distributions
+are the knobs the benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.datatypes.alignment import MultipleSequenceAlignment
+from repro.datatypes.graph import InteractionGraph
+from repro.datatypes.image import Image
+from repro.datatypes.sequence import DnaSequence, ProteinSequence, Sequence
+from repro.datatypes.tree import PhylogeneticTree, TreeClade
+from repro.errors import WorkloadError
+from repro.ontology.model import INSTANCE_OF, IS_A, Ontology
+from repro.spatial.interval import Interval
+from repro.spatial.rect import Rect
+
+_DNA = "ACGT"
+_AMINO = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def random_dna(length: int, rng: random.Random) -> str:
+    """A random DNA string of the given length."""
+    if length < 0:
+        raise WorkloadError("sequence length must be non-negative")
+    return "".join(rng.choice(_DNA) for _ in range(length))
+
+
+def random_protein(length: int, rng: random.Random) -> str:
+    """A random protein string of the given length."""
+    if length < 0:
+        raise WorkloadError("sequence length must be non-negative")
+    return "".join(rng.choice(_AMINO) for _ in range(length))
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters controlling a synthetic annotation workload.
+
+    Attributes
+    ----------
+    seed:
+        RNG seed for reproducibility.
+    sequence_count / sequence_length:
+        Number and length of generated sequences.
+    image_count / regions_per_image:
+        Number of images and pre-segmented regions each.
+    annotation_count:
+        Number of annotations to generate.
+    referents_per_annotation:
+        Mean number of referents per annotation.
+    keyword_pool:
+        Keywords drawn for annotation content.
+    shared_domain:
+        When True, sequences share one coordinate domain (one interval tree);
+        when False, each sequence gets its own domain (many small trees).
+    """
+
+    seed: int = 1234
+    sequence_count: int = 20
+    sequence_length: int = 2000
+    image_count: int = 5
+    regions_per_image: int = 40
+    annotation_count: int = 200
+    referents_per_annotation: int = 3
+    keyword_pool: tuple[str, ...] = (
+        "protease", "kinase", "binding", "mutation", "conserved", "cleavage",
+        "epitope", "domain", "motif", "regulatory",
+    )
+    shared_domain: bool = True
+
+    def rng(self) -> random.Random:
+        """A fresh seeded RNG for this configuration."""
+        return random.Random(self.seed)
+
+
+def generate_sequence(
+    object_id: str,
+    length: int,
+    rng: random.Random,
+    domain: str | None = None,
+    offset: int = 0,
+    protein: bool = False,
+) -> Sequence:
+    """Generate one DNA or protein sequence."""
+    if protein:
+        return ProteinSequence(object_id, random_protein(length, rng), domain=domain, offset=offset)
+    return DnaSequence(object_id, random_dna(length, rng), domain=domain, offset=offset)
+
+
+def generate_alignment(
+    object_id: str,
+    rows: int,
+    width: int,
+    rng: random.Random,
+    gap_probability: float = 0.05,
+) -> MultipleSequenceAlignment:
+    """Generate a multiple sequence alignment with some conserved columns."""
+    if rows < 1 or width < 1:
+        raise WorkloadError("alignment needs at least one row and column")
+    # Seed a consensus, then mutate per row; inject conserved columns.
+    consensus = random_dna(width, rng)
+    conserved = {index for index in range(width) if rng.random() < 0.3}
+    aligned: dict[str, str] = {}
+    for row in range(rows):
+        residues = []
+        for index, base in enumerate(consensus):
+            if index in conserved:
+                residues.append(base)
+            elif rng.random() < gap_probability:
+                residues.append("-")
+            elif rng.random() < 0.2:
+                residues.append(rng.choice(_DNA))
+            else:
+                residues.append(base)
+        aligned[f"{object_id}_row{row}"] = "".join(residues)
+    return MultipleSequenceAlignment(object_id, aligned)
+
+
+def generate_phylogenetic_tree(object_id: str, taxa: Iterable[str], rng: random.Random) -> PhylogeneticTree:
+    """Generate a random binary phylogenetic tree over the given taxa."""
+    leaves = [TreeClade(name=name, branch_length=round(rng.uniform(0.01, 1.0), 3)) for name in taxa]
+    if not leaves:
+        raise WorkloadError("a tree needs at least one taxon")
+    counter = 0
+    clades = list(leaves)
+    while len(clades) > 1:
+        rng.shuffle(clades)
+        left = clades.pop()
+        right = clades.pop()
+        counter += 1
+        parent = TreeClade(name=f"{object_id}_node{counter}", branch_length=round(rng.uniform(0.01, 0.5), 3))
+        parent.add_child(left)
+        parent.add_child(right)
+        clades.append(parent)
+    return PhylogeneticTree(object_id, clades[0])
+
+
+def generate_interaction_graph(
+    object_id: str,
+    node_count: int,
+    edge_probability: float,
+    rng: random.Random,
+) -> InteractionGraph:
+    """Generate a random molecular interaction graph (Erdos-Renyi-ish)."""
+    graph = InteractionGraph(object_id)
+    nodes = [f"{object_id}_p{index}" for index in range(node_count)]
+    for node in nodes:
+        graph.add_node(node)
+    interactions = ("binds", "activates", "inhibits", "phosphorylates")
+    for i in range(node_count):
+        for j in range(i + 1, node_count):
+            if rng.random() < edge_probability:
+                graph.add_edge(nodes[i], nodes[j], interaction=rng.choice(interactions), weight=round(rng.random(), 3))
+    return graph
+
+
+def generate_image_regions(
+    image: Image,
+    region_count: int,
+    rng: random.Random,
+    max_extent: float = 100.0,
+    region_size: float = 10.0,
+) -> list[Rect]:
+    """Generate random regions within an image's coordinate space."""
+    regions: list[Rect] = []
+    for _ in range(region_count):
+        coords_lo = []
+        coords_hi = []
+        for _axis in range(image.dimension):
+            low = rng.uniform(0, max_extent - region_size)
+            size = rng.uniform(region_size * 0.5, region_size * 1.5)
+            coords_lo.append(round(low, 2))
+            coords_hi.append(round(low + size, 2))
+        regions.append(Rect(tuple(coords_lo), tuple(coords_hi), space=image.coordinate_space))
+    return regions
+
+
+def generate_ontology_dag(
+    name: str,
+    depth: int,
+    branching: int,
+    instances_per_leaf: int,
+    rng: random.Random,
+) -> Ontology:
+    """Generate a layered ontology DAG with instances under the leaves.
+
+    Produces a tree of concepts ``depth`` levels deep with ``branching``
+    children per node, then attaches ``instances_per_leaf`` instances to each
+    leaf concept.  Useful for sweeping ontology size in PERF-5.
+    """
+    if depth < 1 or branching < 1:
+        raise WorkloadError("ontology depth and branching must be >= 1")
+    ontology = Ontology(name, relation_types=(IS_A, INSTANCE_OF))
+    root_id = f"{name}:0"
+    ontology.add_concept(root_id, f"{name} root")
+    frontier = [root_id]
+    counter = 1
+    leaf_ids: list[str] = []
+    for level in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            children_created = 0
+            for _ in range(branching):
+                concept_id = f"{name}:{counter}"
+                ontology.add_concept(concept_id, f"{name} concept {counter}")
+                ontology.add_relation(concept_id, IS_A, parent)
+                next_frontier.append(concept_id)
+                counter += 1
+                children_created += 1
+            if children_created == 0:
+                leaf_ids.append(parent)
+        frontier = next_frontier
+    leaf_ids.extend(frontier)
+    instance_counter = 0
+    for leaf in leaf_ids:
+        for _ in range(instances_per_leaf):
+            instance_id = f"{name}:i{instance_counter}"
+            ontology.add_instance(instance_id, f"{name} instance {instance_counter}", concept_id=leaf)
+            instance_counter += 1
+    return ontology
+
+
+def generate_annotation_workload(manager, config: WorkloadConfig) -> dict:
+    """Populate *manager* with synthetic objects and annotations.
+
+    Returns a summary dict with the ids created and the generation parameters,
+    so benchmarks can drive follow-up queries against known data.
+    """
+    from repro.datatypes.base import DataType
+
+    rng = config.rng()
+    sequence_ids: list[str] = []
+    shared = "genome:chrX" if config.shared_domain else None
+    offset = 0
+    for index in range(config.sequence_count):
+        domain = shared if config.shared_domain else f"seq{index}:dom"
+        seq = generate_sequence(
+            f"seq{index}",
+            config.sequence_length,
+            rng,
+            domain=domain,
+            offset=offset if config.shared_domain else 0,
+        )
+        manager.register(seq)
+        sequence_ids.append(seq.object_id)
+        if config.shared_domain:
+            offset += config.sequence_length
+
+    image_ids: list[str] = []
+    region_pool: dict[str, list] = {}
+    for index in range(config.image_count):
+        image = Image(f"img{index}", dimension=2, space="atlas:25um", size=(100.0, 100.0))
+        manager.register(image)
+        image_ids.append(image.object_id)
+        region_pool[image.object_id] = generate_image_regions(image, config.regions_per_image, rng)
+
+    annotation_ids: list[str] = []
+    for index in range(config.annotation_count):
+        keyword_count = rng.randint(1, 3)
+        keywords = rng.sample(config.keyword_pool, keyword_count)
+        builder = manager.new_annotation(
+            f"wl-anno-{index:06d}",
+            title=f"synthetic annotation {index}",
+            creator=f"scientist{rng.randint(1, 8)}",
+            keywords=keywords,
+            body=f"Synthetic annotation about {' and '.join(keywords)}.",
+        )
+        referent_count = max(1, int(rng.gauss(config.referents_per_annotation, 1)))
+        for _ in range(referent_count):
+            if image_ids and rng.random() < 0.35:
+                image_id = rng.choice(image_ids)
+                region = rng.choice(region_pool[image_id])
+                builder.mark_region(image_id, region.lo, region.hi)
+            else:
+                seq_id = rng.choice(sequence_ids)
+                seq = manager.data_object(seq_id)
+                start = rng.randint(0, max(0, len(seq) - 20))
+                end = min(len(seq) - 1, start + rng.randint(5, 20))
+                builder.mark_sequence(seq_id, start, end)
+        annotation_ids.append(builder.commit().annotation_id)
+
+    return {
+        "sequence_ids": sequence_ids,
+        "image_ids": image_ids,
+        "annotation_ids": annotation_ids,
+        "config": config,
+    }

@@ -1,0 +1,80 @@
+"""Human-readable study reports over a Graphitti instance.
+
+Produces a Markdown summary of an instance — its data inventory, annotation
+activity, index economy, ontology usage, and a-graph connectivity — suitable
+for the "system administration" view or a study write-up.
+"""
+
+from __future__ import annotations
+
+
+def study_report(manager, title: str | None = None) -> str:
+    """Render a Markdown study report for *manager*."""
+    stats = manager.statistics()
+    admin = manager.administrator()
+    lines: list[str] = []
+    lines.append(f"# {title or manager.name} — study report")
+    lines.append("")
+
+    lines.append("## Data inventory")
+    lines.append("")
+    lines.append("| data type | objects |")
+    lines.append("|---|---|")
+    for data_type, count in sorted(stats["objects_by_type"].items()):
+        lines.append(f"| {data_type} | {count} |")
+    lines.append(f"| **total** | **{stats['data_objects']}** |")
+    lines.append("")
+
+    lines.append("## Annotations")
+    lines.append("")
+    lines.append(f"- annotations committed: {stats['annotations']}")
+    lines.append(f"- referents (marked substructures): {stats['referents']}")
+    lines.append(f"- a-graph: {stats['agraph_nodes']} nodes, {stats['agraph_edges']} edges")
+    components = manager.agraph.connected_components()
+    lines.append(f"- connected components: {len(components)}")
+    if components:
+        lines.append(f"- largest component: {max(len(component) for component in components)} nodes")
+    lines.append("")
+
+    lines.append("## Index economy")
+    lines.append("")
+    for key, value in admin.index_economy().items():
+        lines.append(f"- {key}: {value}")
+    lines.append("")
+
+    lines.append("## Most-annotated objects")
+    lines.append("")
+    for object_id, count in admin.annotation_leaderboard(top=5):
+        lines.append(f"- {object_id}: {count} referent(s)")
+    lines.append("")
+
+    lines.append("## Creator activity")
+    lines.append("")
+    for creator, count in sorted(admin.creator_activity().items()):
+        lines.append(f"- {creator}: {count} annotation(s)")
+    lines.append("")
+
+    lines.append("## Ontologies")
+    lines.append("")
+    for name in manager.ontologies():
+        ontology = manager.ontology(name)
+        lines.append(f"- {name}: {ontology.term_count} terms, {ontology.edge_count} edges")
+    lines.append("")
+
+    lines.append("## Graph analytics")
+    lines.append("")
+    metrics = manager.graph_metrics()
+    lines.append(f"- average node degree: {metrics.average_degree():.2f}")
+    sizes = metrics.component_sizes()
+    lines.append(f"- component sizes: {sizes[:5]}")
+    hubs = metrics.ontology_hubs(top=3)
+    if hubs:
+        lines.append("- ontology hubs: " + ", ".join(f"{term} ({count})" for term, count in hubs))
+    shared = metrics.referent_sharing()
+    lines.append(f"- shared referents (relate annotations): {len(shared)}")
+    lines.append("")
+
+    lines.append("## Integrity")
+    lines.append("")
+    lines.append(f"- {admin.check_integrity().summary()}")
+    return "\n".join(lines)

@@ -1,0 +1,257 @@
+"""Paper scenario builders.
+
+These construct fully populated :class:`~repro.core.manager.Graphitti`
+instances that reproduce the scenarios behind the paper's three figures:
+
+* :func:`build_influenza_instance` -- the interdisciplinary Influenza study
+  (Fig. 1): heterogeneous data (DNA/RNA/protein sequences, an alignment, a
+  phylogenetic tree, an interaction graph, relational records) tied together
+  by an a-graph through shared referents and ontology terms.
+* :func:`build_neuroscience_instance` -- the neuroscience study (Fig. 3): a
+  sequence, an image, and a phylogenetic tree related to alpha-synuclein,
+  plus correlated data (another image and a microarray record).
+
+The builders are deterministic (seeded) so tests and benchmarks can assert on
+exact ids and counts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.manager import Graphitti
+from repro.datatypes.graph import InteractionGraph
+from repro.datatypes.image import Image
+from repro.datatypes.record import RelationalRecord
+from repro.datatypes.sequence import DnaSequence, ProteinSequence, RnaSequence
+from repro.datatypes.tree import parse_newick
+from repro.ontology.builtin import (
+    build_brain_region_ontology,
+    build_influenza_ontology,
+    build_protein_ontology,
+)
+from repro.workloads.generators import generate_alignment
+
+
+def build_influenza_instance(seed: int = 7) -> Graphitti:
+    """Build the Avian Influenza study instance (Fig. 1 scenario)."""
+    rng = random.Random(seed)
+    g = Graphitti("influenza-study")
+    g.register_ontology(build_influenza_ontology())
+    g.register_ontology(build_protein_ontology())
+
+    # --- heterogeneous data objects -----------------------------------------
+    # Two HA gene DNA sequences from different isolates, on a shared "segment4"
+    # coordinate domain (one interval tree per genome segment).
+    ha_len = 1700
+    dna_chicken = DnaSequence(
+        "HA_chicken", _seeded_dna(ha_len, rng), domain="flu:segment4", offset=0
+    )
+    dna_duck = DnaSequence(
+        "HA_duck", _seeded_dna(ha_len, rng), domain="flu:segment4", offset=ha_len
+    )
+    g.register(dna_chicken, organism="chicken", segment=4)
+    g.register(dna_duck, organism="duck", segment=4)
+
+    # The transcribed RNA and translated protein of the chicken HA.
+    rna = RnaSequence("HA_chicken_mRNA", dna_chicken.residues.replace("T", "U"), domain="flu:segment4_rna")
+    g.register(rna)
+    protein = ProteinSequence("HA_protein", _seeded_protein(560, rng), domain="flu:HA_protein")
+    g.register(protein)
+
+    # A multiple sequence alignment of HA across isolates.
+    alignment = generate_alignment("HA_alignment", rows=6, width=300, rng=rng)
+    g.register(alignment)
+
+    # A phylogenetic tree of the isolates.
+    tree = parse_newick(
+        "((chicken:0.1,duck:0.12):0.05,(swine:0.2,human:0.22):0.07);",
+        object_id="HA_phylogeny",
+    )
+    g.register(tree)
+
+    # A protein-protein interaction graph around HA.
+    graph = InteractionGraph("HA_interactions")
+    for protein_name in ["HA", "NA", "M1", "NP", "PB1", "host_receptor", "sialic_acid"]:
+        graph.add_node(protein_name)
+    graph.add_edge("HA", "sialic_acid", interaction="binds")
+    graph.add_edge("HA", "host_receptor", interaction="binds")
+    graph.add_edge("HA", "M1", interaction="associates")
+    graph.add_edge("NA", "sialic_acid", interaction="cleaves")
+    graph.add_edge("NP", "PB1", interaction="binds")
+    g.register(graph)
+
+    # A relational record of isolate metadata.
+    record = RelationalRecord(
+        "isolate_table",
+        fields=("isolate", "host", "year", "subtype"),
+        rows={
+            "r1": {"isolate": "A/chicken/HK/97", "host": "chicken", "year": 1997, "subtype": "H5N1"},
+            "r2": {"isolate": "A/duck/Guangdong/96", "host": "duck", "year": 1996, "subtype": "H5N1"},
+            "r3": {"isolate": "A/swine/Iowa/30", "host": "swine", "year": 1930, "subtype": "H1N1"},
+        },
+    )
+    g.register(record)
+
+    # --- annotations (the a-graph edges) -------------------------------------
+    # A1: the HA receptor-binding site on the chicken HA gene + protein, tied to
+    # the surface-protein ontology term; also marks the interaction subgraph.
+    (
+        g.new_annotation(
+            "flu-a1",
+            title="HA receptor binding site",
+            creator="virologist1",
+            keywords=["binding", "receptor", "cleavage"],
+            body="Receptor binding site in HA; key host-range determinant.",
+        )
+        .mark_sequence("HA_chicken", 300, 360, ontology_terms=["flu:HA"])
+        .mark_sequence("HA_protein", 98, 118, ontology_terms=["flu:HA"])
+        .mark_subgraph("HA_interactions", ["HA", "sialic_acid", "host_receptor"])
+        .refer_ontology("flu:surface_protein")
+        .commit()
+    )
+
+    # A2: the same HA gene region annotated by a second scientist (shares the
+    # sequence referent with A1 -> the two annotations become related).
+    (
+        g.new_annotation(
+            "flu-a2",
+            title="Cleavage site polybasic motif",
+            creator="virologist2",
+            keywords=["cleavage", "mutation", "pathogenicity"],
+            body="Polybasic cleavage site associated with high pathogenicity.",
+        )
+        .mark_sequence("HA_chicken", 300, 360, ontology_terms=["flu:HA"])
+        .mark_alignment_columns("HA_alignment", 120, 160)
+        .commit()
+    )
+
+    # A3: links the phylogeny clade and the isolate record and the duck HA gene.
+    (
+        g.new_annotation(
+            "flu-a3",
+            title="Avian lineage clade",
+            creator="phylogeneticist",
+            keywords=["conserved", "lineage"],
+            body="Avian H5N1 lineage clade across chicken and duck isolates.",
+        )
+        .mark_clade_by_leaves("HA_phylogeny", ["chicken", "duck"])
+        .mark_record_block("isolate_table", ["r1", "r2"])
+        .mark_sequence("HA_duck", 300, 360)
+        .refer_ontology("flu:avian_host", "flu:surface_protein")
+        .commit()
+    )
+
+    # A4: the RNA transcript region corresponding to the HA binding site.
+    (
+        g.new_annotation(
+            "flu-a4",
+            title="mRNA region",
+            creator="virologist1",
+            keywords=["regulatory", "binding"],
+            body="HA mRNA region overlapping the receptor binding site.",
+        )
+        .mark_sequence("HA_chicken_mRNA", 300, 360)
+        .refer_ontology("flu:HA")
+        .commit()
+    )
+
+    return g
+
+
+def build_neuroscience_instance(seed: int = 11) -> Graphitti:
+    """Build the neuroscience study instance (Fig. 3 scenario)."""
+    rng = random.Random(seed)
+    g = Graphitti("neuroscience-study")
+    g.register_ontology(build_brain_region_ontology())
+    g.register_ontology(build_protein_ontology())
+
+    # alpha-synuclein gene (SNCA) and protein.
+    snca = DnaSequence("SNCA_gene", _seeded_dna(1400, rng), domain="chr4", offset=0)
+    g.register(snca, gene="SNCA", chromosome=4)
+    asyn_protein = ProteinSequence("alpha_synuclein", _seeded_protein(140, rng), domain="asyn:protein")
+    g.register(asyn_protein)
+
+    # Two mouse-brain images in one shared atlas coordinate space (one R-tree).
+    brain1 = Image("mouse_brain_1", dimension=2, space="mouse-atlas:25um", size=(512.0, 512.0))
+    brain2 = Image("mouse_brain_2", dimension=2, space="mouse-atlas:25um", size=(512.0, 512.0))
+    g.register(brain1)
+    g.register(brain2)
+
+    # A phylogenetic tree of synuclein orthologs.
+    tree = parse_newick(
+        "((human:0.05,mouse:0.06):0.02,(rat:0.07,zebrafish:0.3):0.04);",
+        object_id="synuclein_phylogeny",
+    )
+    g.register(tree)
+
+    # A microarray expression record (the "µ-array result" in Fig. 3).
+    array = RelationalRecord(
+        "expression_array",
+        fields=("probe", "region", "expression"),
+        rows={
+            "p1": {"probe": "SNCA_probe_1", "region": "cerebellum", "expression": 8.3},
+            "p2": {"probe": "SNCA_probe_2", "region": "dentate", "expression": 7.1},
+            "p3": {"probe": "SNCA_probe_3", "region": "cortex", "expression": 3.2},
+        },
+    )
+    g.register(array)
+
+    # Primary annotation: alpha-synuclein expression in a deep cerebellar region
+    # of brain image 1, tied to the gene, protein and phylogeny (the Fig.3 graph
+    # of a sequence + an image + a phylogenetic tree).
+    (
+        g.new_annotation(
+            "neuro-a1",
+            title="alpha-synuclein expression in DCN",
+            creator="neuroscientist1",
+            keywords=["expression", "synuclein", "cerebellum"],
+            body="alpha-synuclein expression localized to deep cerebellar nuclei.",
+        )
+        .mark_sequence("SNCA_gene", 200, 320)
+        .mark_region("mouse_brain_1", (120, 130), (180, 195), ontology_terms=["Deep Cerebellar nuclei"])
+        .mark_region("mouse_brain_1", (200, 210), (250, 260), ontology_terms=["Dentate nucleus"])
+        .mark_clade_by_leaves("synuclein_phylogeny", ["human", "mouse"])
+        .refer_ontology("alpha-synuclein")
+        .commit()
+    )
+
+    # Correlated data: another image region on brain image 2 and the array
+    # result, sharing the DCN ontology term with the primary annotation.
+    (
+        g.new_annotation(
+            "neuro-a2",
+            title="DCN region (replicate)",
+            creator="neuroscientist2",
+            keywords=["cerebellum", "replicate"],
+            body="Replicate deep cerebellar nuclei region in a second brain.",
+        )
+        .mark_region("mouse_brain_2", (118, 128), (182, 198), ontology_terms=["Deep Cerebellar nuclei"])
+        .mark_record_block("expression_array", ["p1", "p2"])
+        .commit()
+    )
+
+    # A third annotation on the same gene region as neuro-a1 (makes them
+    # related through the shared SNCA sequence referent).
+    (
+        g.new_annotation(
+            "neuro-a3",
+            title="SNCA promoter variant",
+            creator="geneticist",
+            keywords=["mutation", "regulatory"],
+            body="Promoter variant in the SNCA gene region.",
+        )
+        .mark_sequence("SNCA_gene", 200, 320)
+        .refer_ontology("protein:synuclein")
+        .commit()
+    )
+
+    return g
+
+
+def _seeded_dna(length: int, rng: random.Random) -> str:
+    return "".join(rng.choice("ACGT") for _ in range(length))
+
+
+def _seeded_protein(length: int, rng: random.Random) -> str:
+    return "".join(rng.choice("ACDEFGHIKLMNPQRSTVWY") for _ in range(length))

@@ -1,0 +1,36 @@
+"""The XML annotation-content store.
+
+"The annotation content produced by Graphitti is an XML document whose
+elements consist of Dublin core attributes and other user-defined tags.  The
+collection of all annotations constitutes a database of XML documents.  The
+collection-searching operations is performed using standard XQuery."
+
+This package provides:
+
+* :mod:`repro.xmlstore.document` -- a lightweight XML element/document model,
+* :mod:`repro.xmlstore.parser` -- text parsing and serialization,
+* :mod:`repro.xmlstore.xpath` -- an XPath-subset evaluator,
+* :mod:`repro.xmlstore.flwor` -- a FLWOR-lite (XQuery-style) query engine,
+* :mod:`repro.xmlstore.text_index` -- an inverted keyword index,
+* :mod:`repro.xmlstore.collection` -- the document collection tying it together.
+"""
+
+from repro.xmlstore.document import XmlDocument, XmlElement
+from repro.xmlstore.parser import parse_xml, serialize_xml
+from repro.xmlstore.xpath import XPath, evaluate_xpath
+from repro.xmlstore.flwor import FlworQuery
+from repro.xmlstore.text_index import InvertedIndex, tokenize
+from repro.xmlstore.collection import DocumentCollection
+
+__all__ = [
+    "XmlDocument",
+    "XmlElement",
+    "parse_xml",
+    "serialize_xml",
+    "XPath",
+    "evaluate_xpath",
+    "FlworQuery",
+    "InvertedIndex",
+    "tokenize",
+    "DocumentCollection",
+]

@@ -1,0 +1,233 @@
+"""The annotation-content document collection.
+
+"The collection of all annotations constitutes a database of XML documents."
+The :class:`DocumentCollection` stores those documents, keeps an inverted
+keyword index over their text, and exposes the search operations Graphitti's
+query processor needs: keyword search (candidate-then-verify for phrases),
+XPath selection across the collection, and FLWOR-lite queries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import XmlStoreError
+from repro.xmlstore.document import XmlDocument, XmlElement
+from repro.xmlstore.flwor import FlworQuery
+from repro.xmlstore.parser import parse_xml, serialize_xml
+from repro.xmlstore.text_index import InvertedIndex
+from repro.xmlstore.xpath import XPath
+
+
+class DocumentCollection:
+    """A keyed collection of XML documents with a keyword index."""
+
+    def __init__(self, name: str = "annotations", indexed: bool = True):
+        self.name = name
+        self._documents: dict[str, XmlDocument] = {}
+        self._index: InvertedIndex | None = InvertedIndex() if indexed else None
+        self._next_serial = 1
+
+    # -- container protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def __iter__(self) -> Iterator[XmlDocument]:
+        return iter(self._documents.values())
+
+    @property
+    def indexed(self) -> bool:
+        """Whether an inverted keyword index is maintained."""
+        return self._index is not None
+
+    def document_ids(self) -> tuple[str, ...]:
+        """Ids of every stored document, in insertion order."""
+        return tuple(self._documents)
+
+    # -- mutation ------------------------------------------------------------------
+
+    def add(self, document: XmlDocument, doc_id: str | None = None) -> str:
+        """Store a document and return its id.
+
+        The id is taken from (in priority order) the *doc_id* argument, the
+        document's own ``doc_id``, or a generated serial id.
+        """
+        identifier = doc_id or document.doc_id or self._generate_id()
+        if identifier in self._documents:
+            raise XmlStoreError(f"document id {identifier!r} already present in {self.name!r}")
+        document.doc_id = identifier
+        self._documents[identifier] = document
+        if self._index is not None:
+            self._index.add_document(identifier, self._searchable_text(document))
+        return identifier
+
+    def add_xml(self, text: str, doc_id: str | None = None) -> str:
+        """Parse XML text and store the resulting document."""
+        return self.add(parse_xml(text), doc_id=doc_id)
+
+    def replace(self, doc_id: str, document: XmlDocument) -> None:
+        """Replace a stored document under the same id."""
+        if doc_id not in self._documents:
+            raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
+        document.doc_id = doc_id
+        self._documents[doc_id] = document
+        if self._index is not None:
+            self._index.add_document(doc_id, self._searchable_text(document))
+
+    def remove(self, doc_id: str) -> None:
+        """Remove a document (raises when absent)."""
+        if doc_id not in self._documents:
+            raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
+        del self._documents[doc_id]
+        if self._index is not None:
+            self._index.remove_document(doc_id)
+
+    def _generate_id(self) -> str:
+        while True:
+            identifier = f"{self.name}-{self._next_serial:06d}"
+            self._next_serial += 1
+            if identifier not in self._documents:
+                return identifier
+
+    @staticmethod
+    def _searchable_text(document: XmlDocument) -> str:
+        """Text + attribute values, so keyword search also sees attributes."""
+        parts = [document.text_content()]
+        for element in document.iter():
+            parts.extend(element.attributes.values())
+        return " ".join(parts)
+
+    # -- retrieval ------------------------------------------------------------------
+
+    def get(self, doc_id: str) -> XmlDocument:
+        """The stored document with id *doc_id* (raises when absent)."""
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}") from None
+
+    def search_keyword(self, keyword: str, mode: str = "and") -> list[str]:
+        """Document ids whose content contains the keyword(s).
+
+        Uses the inverted index for candidate generation when available, then
+        verifies each candidate against the raw text (so multi-word phrases
+        behave like substring search, matching the paper's "'protease' should
+        be a substring" condition).
+        """
+        phrase = keyword.strip().lower()
+        if not phrase:
+            return []
+        if self._index is not None:
+            candidates = self._index.search(keyword, mode=mode)
+        else:
+            candidates = set(self._documents)
+        if mode == "or":
+            return sorted(candidates)
+        matches = []
+        for doc_id in candidates:
+            text = self._searchable_text(self._documents[doc_id]).lower()
+            if phrase in text or all(token in text for token in phrase.split()):
+                matches.append(doc_id)
+        return sorted(matches)
+
+    def scan_keyword(self, keyword: str) -> list[str]:
+        """Index-free keyword search (full scan); baseline for benchmarks."""
+        phrase = keyword.strip().lower()
+        matches = []
+        for doc_id, document in self._documents.items():
+            text = self._searchable_text(document).lower()
+            if phrase in text or all(token in text for token in phrase.split()):
+                matches.append(doc_id)
+        return sorted(matches)
+
+    def select(self, xpath: str) -> list[tuple[str, Any]]:
+        """Evaluate an XPath-subset expression against every document.
+
+        Returns ``(doc_id, node_or_value)`` pairs.
+        """
+        compiled = XPath(xpath)
+        results: list[tuple[str, Any]] = []
+        for doc_id, document in self._documents.items():
+            for node in compiled.evaluate(document):
+                results.append((doc_id, node))
+        return results
+
+    def query(self) -> FlworQuery:
+        """Start a FLWOR-lite query over the whole collection."""
+        return FlworQuery(self._documents.values())
+
+    def filter_documents(self, predicate: Callable[[XmlDocument], bool]) -> list[XmlDocument]:
+        """Documents satisfying an arbitrary predicate."""
+        return [document for document in self._documents.values() if predicate(document)]
+
+    def fragments(self, xpath: str) -> list[XmlElement]:
+        """All element fragments matching *xpath* across the collection."""
+        return [node for _, node in self.select(xpath) if isinstance(node, XmlElement)]
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the collection to a JSON file."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "name": self.name,
+            "indexed": self.indexed,
+            "documents": {doc_id: document.to_dict() for doc_id, document in self._documents.items()},
+        }
+        with target.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DocumentCollection":
+        """Read a collection previously written with :meth:`save`."""
+        source = Path(path)
+        if not source.exists():
+            raise XmlStoreError(f"collection snapshot {source} does not exist")
+        with source.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        collection = cls(name=payload.get("name", "annotations"), indexed=payload.get("indexed", True))
+        for doc_id, document_payload in payload.get("documents", {}).items():
+            collection.add(XmlDocument.from_dict(document_payload), doc_id=doc_id)
+        return collection
+
+    def export_xml(self, doc_id: str) -> str:
+        """Serialize one stored document back to XML text."""
+        return serialize_xml(self.get(doc_id))
+
+    def to_corpus_xml(self) -> str:
+        """Serialize the whole collection as one ``<corpus>`` XML document.
+
+        The paper notes "the collection of all annotations constitutes a
+        database of XML documents"; this renders that database as a single
+        corpus document that :meth:`from_corpus_xml` can read back.
+        """
+        root = XmlElement("corpus", attributes={"name": self.name})
+        for doc_id in self._documents:
+            document = self._documents[doc_id]
+            wrapper = root.add("document", id=doc_id)
+            wrapper.append(document.root.copy())
+        return serialize_xml(XmlDocument(root, doc_id=self.name))
+
+    @classmethod
+    def from_corpus_xml(cls, text: str, indexed: bool = True) -> "DocumentCollection":
+        """Reconstruct a collection from :meth:`to_corpus_xml` output."""
+        document = parse_xml(text)
+        if document.root.tag != "corpus":
+            raise XmlStoreError("expected a <corpus> root element")
+        collection = cls(name=document.root.get("name", "annotations"), indexed=indexed)
+        for wrapper in document.root.find_all("document"):
+            doc_id = wrapper.get("id")
+            children = wrapper.children
+            if not children:
+                raise XmlStoreError(f"corpus <document id={doc_id!r}> is empty")
+            inner = children[0].copy()
+            collection.add(XmlDocument(inner, doc_id=doc_id), doc_id=doc_id)
+        return collection

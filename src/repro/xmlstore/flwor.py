@@ -1,0 +1,183 @@
+"""FLWOR-lite query engine over the annotation document collection.
+
+XQuery's core construct is the FLWOR expression (``for``-``let``-``where``-
+``order by``-``return``).  Graphitti only needs a pragmatic subset of it to
+search annotation contents and extract fragments, so this module provides a
+fluent builder with exactly those clauses:
+
+``FlworQuery(collection).for_each("//referent").where(...).order_by(...).select(...)``
+
+The bindings flowing through the pipeline are :class:`Binding` objects
+pairing the document with the element bound by the ``for`` clause, so
+``where`` and ``select`` callbacks can look at either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import XmlStoreError
+from repro.xmlstore.document import XmlDocument, XmlElement
+from repro.xmlstore.xpath import XPath
+
+
+@dataclass
+class Binding:
+    """One tuple in the FLWOR pipeline: a document plus a bound item."""
+
+    document: XmlDocument
+    item: Any
+    lets: dict[str, Any]
+
+    def let(self, name: str) -> Any:
+        """Value bound by a previous ``let`` clause."""
+        try:
+            return self.lets[name]
+        except KeyError:
+            raise XmlStoreError(f"no let-binding named {name!r}") from None
+
+
+class FlworQuery:
+    """A FLWOR-lite query over a sequence of documents.
+
+    The query is lazy and immutable: every clause returns a new query object
+    and nothing is evaluated until :meth:`execute`, :meth:`first` or
+    iteration.
+    """
+
+    def __init__(self, documents: Iterable[XmlDocument]):
+        self._documents = list(documents)
+        self._for_path: XPath | None = None
+        self._lets: list[tuple[str, Callable[[Binding], Any]]] = []
+        self._wheres: list[Callable[[Binding], bool]] = []
+        self._order: list[tuple[Callable[[Binding], Any], bool]] = []
+        self._select: Callable[[Binding], Any] | None = None
+
+    def _clone(self) -> "FlworQuery":
+        clone = FlworQuery(self._documents)
+        clone._for_path = self._for_path
+        clone._lets = list(self._lets)
+        clone._wheres = list(self._wheres)
+        clone._order = list(self._order)
+        clone._select = self._select
+        return clone
+
+    # -- clauses ---------------------------------------------------------------
+
+    def for_each(self, xpath: str) -> "FlworQuery":
+        """``for $x in collection()//path`` — bind each node matching *xpath*.
+
+        Without a ``for_each`` clause the query binds each document once
+        (item = the document root).
+        """
+        clone = self._clone()
+        clone._for_path = XPath(xpath)
+        return clone
+
+    def let(self, name: str, fn: Callable[[Binding], Any]) -> "FlworQuery":
+        """``let $name := fn(binding)`` — add a named derived value."""
+        clone = self._clone()
+        clone._lets.append((name, fn))
+        return clone
+
+    def where(self, fn: Callable[[Binding], bool]) -> "FlworQuery":
+        """``where fn(binding)`` — keep bindings for which *fn* is true."""
+        clone = self._clone()
+        clone._wheres.append(fn)
+        return clone
+
+    def where_contains(self, keyword: str) -> "FlworQuery":
+        """Shorthand: keep bindings whose bound item's text contains *keyword*."""
+        lowered = keyword.lower()
+
+        def check(binding: Binding) -> bool:
+            item = binding.item
+            if isinstance(item, XmlElement):
+                return lowered in item.text_content().lower()
+            if isinstance(item, XmlDocument):
+                return lowered in item.text_content().lower()
+            return lowered in str(item).lower()
+
+        return self.where(check)
+
+    def where_path_equals(self, xpath: str, expected: str) -> "FlworQuery":
+        """Shorthand: keep bindings where *xpath* (relative to the bound
+        element) yields a value equal to *expected*."""
+        compiled = XPath(xpath)
+
+        def check(binding: Binding) -> bool:
+            context = binding.item if isinstance(binding.item, (XmlElement, XmlDocument)) else binding.document
+            values = compiled.evaluate(context)
+            for value in values:
+                text = value.text if isinstance(value, XmlElement) else str(value)
+                if text == expected:
+                    return True
+            return False
+
+        return self.where(check)
+
+    def order_by(self, fn: Callable[[Binding], Any], descending: bool = False) -> "FlworQuery":
+        """``order by fn(binding)``."""
+        clone = self._clone()
+        clone._order.append((fn, descending))
+        return clone
+
+    def select(self, fn: Callable[[Binding], Any]) -> "FlworQuery":
+        """``return fn(binding)`` — shape the output of each binding."""
+        clone = self._clone()
+        clone._select = fn
+        return clone
+
+    def select_path(self, xpath: str) -> "FlworQuery":
+        """Shorthand ``return``: evaluate *xpath* relative to the bound item."""
+        compiled = XPath(xpath)
+
+        def project(binding: Binding) -> Any:
+            context = binding.item if isinstance(binding.item, (XmlElement, XmlDocument)) else binding.document
+            return compiled.evaluate(context)
+
+        return self.select(project)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _bindings(self) -> Iterator[Binding]:
+        for document in self._documents:
+            if self._for_path is None:
+                items: list[Any] = [document.root]
+            else:
+                items = self._for_path.evaluate(document)
+            for item in items:
+                binding = Binding(document=document, item=item, lets={})
+                for name, fn in self._lets:
+                    binding.lets[name] = fn(binding)
+                if all(where(binding) for where in self._wheres):
+                    yield binding
+
+    def execute(self) -> list[Any]:
+        """Run the query and return the projected results."""
+        bindings = list(self._bindings())
+        for key_fn, descending in reversed(self._order):
+            bindings.sort(key=key_fn, reverse=descending)
+        if self._select is None:
+            return [binding.item for binding in bindings]
+        return [self._select(binding) for binding in bindings]
+
+    def bindings(self) -> list[Binding]:
+        """Run the query but return the raw bindings (document + item)."""
+        bindings = list(self._bindings())
+        for key_fn, descending in reversed(self._order):
+            bindings.sort(key=key_fn, reverse=descending)
+        return bindings
+
+    def first(self) -> Any | None:
+        """First projected result or ``None``."""
+        results = self.execute()
+        return results[0] if results else None
+
+    def count(self) -> int:
+        """Number of bindings surviving the ``where`` clauses."""
+        return len(list(self._bindings()))
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.execute())

@@ -1,0 +1,221 @@
+"""XML text parsing and serialization for the annotation store.
+
+A self-contained recursive-descent parser for the XML subset annotation
+contents use (elements, attributes, character data, comments, CDATA,
+processing instructions are skipped).  The serializer produces
+pretty-printed, properly escaped XML text that round-trips through the
+parser.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlParseError
+from repro.xmlstore.document import XmlDocument, XmlElement
+
+_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+    "'": "&apos;",
+}
+
+_UNESCAPES = {value: key for key, value in _ESCAPES.items()}
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for inclusion in XML text."""
+    result = text
+    for raw, escaped in _ESCAPES.items():
+        result = result.replace(raw, escaped)
+    return result
+
+
+def unescape_text(text: str) -> str:
+    """Reverse :func:`escape_text` (also handles numeric character references)."""
+    result = text
+    for escaped, raw in _UNESCAPES.items():
+        result = result.replace(escaped, raw)
+    return result
+
+
+class _Parser:
+    """Recursive-descent parser over the raw XML text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    def error(self, message: str) -> XmlParseError:
+        line = self.text.count("\n", 0, self.position) + 1
+        return XmlParseError(f"{message} (line {line}, offset {self.position})")
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.text)
+
+    def peek(self, count: int = 1) -> str:
+        return self.text[self.position : self.position + count]
+
+    def advance(self, count: int = 1) -> str:
+        value = self.text[self.position : self.position + count]
+        self.position += count
+        return value
+
+    def skip_whitespace(self) -> None:
+        while not self.at_end() and self.text[self.position].isspace():
+            self.position += 1
+
+    def skip_prolog_and_comments(self) -> None:
+        while True:
+            self.skip_whitespace()
+            if self.peek(2) == "<?":
+                end = self.text.find("?>", self.position)
+                if end == -1:
+                    raise self.error("unterminated processing instruction")
+                self.position = end + 2
+                continue
+            if self.peek(4) == "<!--":
+                end = self.text.find("-->", self.position)
+                if end == -1:
+                    raise self.error("unterminated comment")
+                self.position = end + 3
+                continue
+            if self.peek(2) == "<!":
+                end = self.text.find(">", self.position)
+                if end == -1:
+                    raise self.error("unterminated declaration")
+                self.position = end + 1
+                continue
+            return
+
+    def parse_document(self) -> XmlElement:
+        self.skip_prolog_and_comments()
+        if self.at_end() or self.peek() != "<":
+            raise self.error("expected root element")
+        root = self.parse_element()
+        self.skip_prolog_and_comments()
+        if not self.at_end():
+            raise self.error("trailing content after root element")
+        return root
+
+    def parse_name(self) -> str:
+        start = self.position
+        while not self.at_end():
+            char = self.text[self.position]
+            if char.isalnum() or char in "_-.:":
+                self.position += 1
+            else:
+                break
+        if start == self.position:
+            raise self.error("expected a name")
+        return self.text[start : self.position]
+
+    def parse_attributes(self) -> dict[str, str]:
+        attributes: dict[str, str] = {}
+        while True:
+            self.skip_whitespace()
+            if self.at_end():
+                raise self.error("unterminated start tag")
+            if self.peek() in (">", "/"):
+                return attributes
+            name = self.parse_name()
+            self.skip_whitespace()
+            if self.peek() != "=":
+                raise self.error(f"expected '=' after attribute {name!r}")
+            self.advance()
+            self.skip_whitespace()
+            quote = self.peek()
+            if quote not in ('"', "'"):
+                raise self.error(f"attribute {name!r} value must be quoted")
+            self.advance()
+            end = self.text.find(quote, self.position)
+            if end == -1:
+                raise self.error(f"unterminated value for attribute {name!r}")
+            value = self.text[self.position : end]
+            self.position = end + 1
+            attributes[name] = unescape_text(value)
+
+    def parse_element(self) -> XmlElement:
+        if self.advance() != "<":
+            raise self.error("expected '<'")
+        tag = self.parse_name()
+        attributes = self.parse_attributes()
+        element = XmlElement(tag, attributes=attributes)
+        self.skip_whitespace()
+        if self.peek(2) == "/>":
+            self.advance(2)
+            return element
+        if self.advance() != ">":
+            raise self.error(f"malformed start tag for <{tag}>")
+        text_parts: list[str] = []
+        while True:
+            if self.at_end():
+                raise self.error(f"unterminated element <{tag}>")
+            if self.peek(4) == "<!--":
+                end = self.text.find("-->", self.position)
+                if end == -1:
+                    raise self.error("unterminated comment")
+                self.position = end + 3
+                continue
+            if self.peek(9) == "<![CDATA[":
+                end = self.text.find("]]>", self.position)
+                if end == -1:
+                    raise self.error("unterminated CDATA section")
+                text_parts.append(self.text[self.position + 9 : end])
+                self.position = end + 3
+                continue
+            if self.peek(2) == "</":
+                self.advance(2)
+                closing = self.parse_name()
+                if closing != tag:
+                    raise self.error(f"mismatched end tag </{closing}> for <{tag}>")
+                self.skip_whitespace()
+                if self.advance() != ">":
+                    raise self.error(f"malformed end tag </{closing}>")
+                element.text = unescape_text("".join(text_parts)).strip()
+                return element
+            if self.peek() == "<":
+                element.append(self.parse_element())
+                continue
+            start = self.position
+            next_tag = self.text.find("<", self.position)
+            if next_tag == -1:
+                raise self.error(f"unterminated element <{tag}>")
+            text_parts.append(self.text[start:next_tag])
+            self.position = next_tag
+
+
+def parse_xml(text: str, doc_id: str | None = None) -> XmlDocument:
+    """Parse XML *text* into an :class:`~repro.xmlstore.document.XmlDocument`."""
+    if not text or not text.strip():
+        raise XmlParseError("cannot parse empty XML text")
+    root = _Parser(text).parse_document()
+    return XmlDocument(root, doc_id=doc_id)
+
+
+def _serialize_element(element: XmlElement, indent: int, pretty: bool) -> str:
+    pad = "  " * indent if pretty else ""
+    newline = "\n" if pretty else ""
+    attributes = "".join(
+        f' {name}="{escape_text(value)}"' for name, value in element.attributes.items()
+    )
+    text = escape_text(element.text) if element.text else ""
+    if not element.children and not text:
+        return f"{pad}<{element.tag}{attributes}/>{newline}"
+    if not element.children:
+        return f"{pad}<{element.tag}{attributes}>{text}</{element.tag}>{newline}"
+    parts = [f"{pad}<{element.tag}{attributes}>"]
+    if text:
+        parts.append(text)
+    parts.append(newline)
+    for child in element.children:
+        parts.append(_serialize_element(child, indent + 1, pretty))
+    parts.append(f"{pad}</{element.tag}>{newline}")
+    return "".join(parts)
+
+
+def serialize_xml(document: XmlDocument | XmlElement, pretty: bool = True, declaration: bool = True) -> str:
+    """Serialize a document or element subtree to XML text."""
+    root = document.root if isinstance(document, XmlDocument) else document
+    header = '<?xml version="1.0" encoding="UTF-8"?>\n' if declaration else ""
+    return header + _serialize_element(root, 0, pretty)

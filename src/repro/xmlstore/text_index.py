@@ -1,0 +1,142 @@
+"""Inverted keyword index over annotation contents.
+
+Keyword conditions ("the annotation content contains 'protease'") are the
+most common predicate in Graphitti queries.  The inverted index maps each
+token to the set of document ids containing it, so keyword searches avoid
+scanning every XML document.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable, Iterator
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.\-]*")
+
+#: Minimal English stop-word list; annotation text is mostly technical terms.
+STOP_WORDS = frozenset(
+    {
+        "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has",
+        "in", "is", "it", "its", "of", "on", "that", "the", "to", "was",
+        "were", "will", "with",
+    }
+)
+
+
+def tokenize(text: str, drop_stop_words: bool = True) -> list[str]:
+    """Split *text* into lower-cased tokens.
+
+    Tokens keep internal dots, dashes and underscores so identifiers like
+    ``protein.TP53`` survive as single searchable terms (and are *also*
+    indexed by their dot-separated parts by :class:`InvertedIndex`).
+    """
+    tokens = [token.lower() for token in _TOKEN_RE.findall(text or "")]
+    if drop_stop_words:
+        tokens = [token for token in tokens if token not in STOP_WORDS]
+    return tokens
+
+
+def _expand_token(token: str) -> set[str]:
+    """A token plus its dot/dash separated sub-terms."""
+    expansion = {token}
+    for separator in (".", "-", "_"):
+        if separator in token:
+            expansion.update(part for part in token.split(separator) if part)
+    return expansion
+
+
+class InvertedIndex:
+    """Token -> document-id inverted index with term-frequency counts."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[str, int]] = {}
+        self._doc_lengths: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_lengths
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct indexed tokens."""
+        return len(self._postings)
+
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Index (or re-index) a document's text."""
+        if doc_id in self._doc_lengths:
+            self.remove_document(doc_id)
+        tokens = tokenize(text)
+        counts = Counter()
+        for token in tokens:
+            for term in _expand_token(token):
+                counts[term] += 1
+        for term, count in counts.items():
+            self._postings.setdefault(term, {})[doc_id] = count
+        self._doc_lengths[doc_id] = len(tokens)
+
+    def remove_document(self, doc_id: str) -> None:
+        """Remove a document from the index (no-op when absent)."""
+        if doc_id not in self._doc_lengths:
+            return
+        empty_terms = []
+        for term, postings in self._postings.items():
+            postings.pop(doc_id, None)
+            if not postings:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+        del self._doc_lengths[doc_id]
+
+    def search(self, query: str, mode: str = "and") -> set[str]:
+        """Document ids matching the query keywords.
+
+        ``mode='and'`` (default) requires every query token; ``mode='or'``
+        requires at least one.
+        """
+        tokens = tokenize(query)
+        if not tokens:
+            return set()
+        postings_per_token = [self._lookup(token) for token in tokens]
+        if mode == "and":
+            result = postings_per_token[0]
+            for postings in postings_per_token[1:]:
+                result &= postings
+            return result
+        if mode == "or":
+            result = set()
+            for postings in postings_per_token:
+                result |= postings
+            return result
+        raise ValueError(f"unknown search mode {mode!r}")
+
+    def search_phrase_documents(self, phrase: str) -> set[str]:
+        """Conservative phrase search: documents containing every phrase token.
+
+        Exact adjacency is not tracked by the index; callers that need true
+        phrase semantics re-check the raw text of the candidates (this is the
+        standard candidate-then-verify pattern and is what
+        :class:`~repro.xmlstore.collection.DocumentCollection` does).
+        """
+        return self.search(phrase, mode="and")
+
+    def term_frequency(self, term: str, doc_id: str) -> int:
+        """Occurrences of *term* in *doc_id* (0 when absent)."""
+        return self._postings.get(term.lower(), {}).get(doc_id, 0)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing *term*."""
+        return len(self._lookup(term.lower()))
+
+    def terms(self) -> Iterator[str]:
+        """Iterate over the indexed vocabulary."""
+        return iter(self._postings)
+
+    def document_ids(self) -> Iterable[str]:
+        """Ids of every indexed document."""
+        return self._doc_lengths.keys()
+
+    def _lookup(self, token: str) -> set[str]:
+        return set(self._postings.get(token, ()))

@@ -1,0 +1,218 @@
+"""XPath-subset evaluator for annotation content documents.
+
+The paper searches the annotation collection "using standard XQuery"; the
+path-navigation core of that is XPath.  The subset implemented here covers
+what Graphitti queries need:
+
+* absolute and relative location paths: ``/annotation/dc:subject``,
+* the descendant-or-self shorthand ``//keyword``,
+* wildcards ``*``,
+* attribute access ``@name`` as the final step,
+* predicates on steps: positional (``[2]``), attribute equality
+  (``[@lang='en']``), child-text equality (``[title='x']``), and
+  ``contains(., 'text')`` / ``contains(@attr, 'text')``,
+* the ``text()`` node selector as the final step.
+
+Evaluation returns a list of :class:`~repro.xmlstore.document.XmlElement`
+or, for ``@attr`` / ``text()`` terminal steps, a list of strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import XPathError
+from repro.xmlstore.document import XmlDocument, XmlElement
+
+_STEP_RE = re.compile(r"^(?P<axis>//|/)?(?P<name>@?[\w:.\-*]+|text\(\))(?P<predicates>(\[[^\]]*\])*)$")
+_PREDICATE_RE = re.compile(r"\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One parsed location step."""
+
+    descendant: bool
+    name: str
+    predicates: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def is_attribute(self) -> bool:
+        return self.name.startswith("@")
+
+    @property
+    def is_text(self) -> bool:
+        return self.name == "text()"
+
+
+class XPath:
+    """A compiled XPath-subset expression."""
+
+    def __init__(self, expression: str):
+        if not expression or not expression.strip():
+            raise XPathError("empty XPath expression")
+        self.expression = expression.strip()
+        self.absolute = self.expression.startswith("/")
+        self._steps = self._compile(self.expression)
+
+    @staticmethod
+    def _split_steps(expression: str) -> list[str]:
+        """Split on '/' while keeping '//' attached to the following step and
+        ignoring slashes inside predicate brackets."""
+        steps: list[str] = []
+        current = ""
+        depth = 0
+        index = 0
+        while index < len(expression):
+            char = expression[index]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            if char == "/" and depth == 0:
+                if expression[index : index + 2] == "//":
+                    if current:
+                        steps.append(current)
+                    current = "//"
+                    index += 2
+                    continue
+                if current:
+                    steps.append(current)
+                current = "/"
+                index += 1
+                continue
+            current += char
+            index += 1
+        if current:
+            steps.append(current)
+        return steps
+
+    def _compile(self, expression: str) -> tuple[_Step, ...]:
+        raw_steps = self._split_steps(expression)
+        steps: list[_Step] = []
+        for raw in raw_steps:
+            if raw in ("/", "//"):
+                raise XPathError(f"malformed path {expression!r}")
+            match = _STEP_RE.match(raw)
+            if match is None:
+                raise XPathError(f"unsupported location step {raw!r} in {expression!r}")
+            descendant = match.group("axis") == "//"
+            name = match.group("name")
+            predicates = tuple(_PREDICATE_RE.findall(match.group("predicates") or ""))
+            steps.append(_Step(descendant=descendant, name=name, predicates=predicates))
+        if not steps:
+            raise XPathError(f"no steps in XPath {expression!r}")
+        for step in steps[:-1]:
+            if step.is_attribute or step.is_text:
+                raise XPathError("@attribute and text() selectors must be the final step")
+        return tuple(steps)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, context: XmlDocument | XmlElement) -> list[Any]:
+        """Evaluate against a document or element and return matching nodes."""
+        root = context.root if isinstance(context, XmlDocument) else context
+        if self.absolute:
+            current: list[XmlElement] = [root.root() if isinstance(context, XmlElement) else root]
+            # An absolute path's first step names the root element itself.
+            first = self._steps[0]
+            if not first.is_attribute and not first.is_text:
+                current = [
+                    node
+                    for node in self._initial_candidates(current, first)
+                    if self._step_matches(node, first)
+                ]
+                remaining = self._steps[1:]
+            else:
+                remaining = self._steps
+        else:
+            current = [root]
+            remaining = self._steps
+        for step in remaining:
+            if step.is_attribute or step.is_text:
+                return self._terminal_values(current, step)
+            next_nodes: list[XmlElement] = []
+            for node in current:
+                candidates = list(node.descendants()) if step.descendant else list(node.children)
+                next_nodes.extend(
+                    candidate for candidate in candidates if self._step_matches(candidate, step)
+                )
+            current = next_nodes
+        return current
+
+    def _initial_candidates(self, roots: list[XmlElement], step: _Step) -> list[XmlElement]:
+        if step.descendant:
+            candidates: list[XmlElement] = []
+            for root in roots:
+                candidates.append(root)
+                candidates.extend(root.descendants())
+            return candidates
+        return roots
+
+    def _terminal_values(self, nodes: Sequence[XmlElement], step: _Step) -> list[Any]:
+        values: list[Any] = []
+        for node in nodes:
+            candidates = list(node.descendants()) if step.descendant else [node]
+            for candidate in candidates:
+                if step.is_text:
+                    if candidate.text:
+                        values.append(candidate.text)
+                else:
+                    attribute = step.name[1:]
+                    if attribute in candidate.attributes:
+                        values.append(candidate.attributes[attribute])
+        return values
+
+    def _step_matches(self, element: XmlElement, step: _Step) -> bool:
+        if step.name != "*" and element.tag != step.name:
+            return False
+        for predicate in step.predicates:
+            if not self._predicate_matches(element, predicate.strip()):
+                return False
+        return True
+
+    def _predicate_matches(self, element: XmlElement, predicate: str) -> bool:
+        if not predicate:
+            raise XPathError("empty predicate")
+        if predicate.isdigit():
+            parent = element.parent
+            siblings = (
+                [sibling for sibling in parent.children if sibling.tag == element.tag]
+                if parent is not None
+                else [element]
+            )
+            return siblings.index(element) + 1 == int(predicate)
+        contains_match = re.match(
+            r"contains\(\s*(\.|@[\w:.\-]+)\s*,\s*'([^']*)'\s*\)", predicate
+        )
+        if contains_match is not None:
+            target, needle = contains_match.groups()
+            if target == ".":
+                haystack = element.text_content()
+            else:
+                haystack = element.attributes.get(target[1:], "")
+            return needle.lower() in haystack.lower()
+        equality_match = re.match(r"(@?[\w:.\-]+)\s*=\s*'([^']*)'", predicate)
+        if equality_match is not None:
+            target, expected = equality_match.groups()
+            if target.startswith("@"):
+                return element.attributes.get(target[1:]) == expected
+            child = element.find(target)
+            return child is not None and child.text == expected
+        existence_match = re.match(r"^(@?[\w:.\-]+)$", predicate)
+        if existence_match is not None:
+            target = existence_match.group(1)
+            if target.startswith("@"):
+                return target[1:] in element.attributes
+            return element.find(target) is not None
+        raise XPathError(f"unsupported predicate [{predicate}]")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XPath({self.expression!r})"
+
+
+def evaluate_xpath(expression: str, context: XmlDocument | XmlElement) -> list[Any]:
+    """Compile and evaluate an XPath-subset expression in one call."""
+    return XPath(expression).evaluate(context)

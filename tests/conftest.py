@@ -1,0 +1,68 @@
+"""Shared pytest fixtures for the Graphitti test suite."""
+
+import random
+
+import pytest
+
+from repro import Graphitti
+from repro.datatypes import DnaSequence, Image, ProteinSequence
+from repro.ontology import build_brain_region_ontology, build_protein_ontology
+from repro.workloads import build_influenza_instance, build_neuroscience_instance
+from repro.workloads.generators import WorkloadConfig, generate_annotation_workload
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG."""
+    return random.Random(20240617)
+
+
+@pytest.fixture
+def empty_graphitti():
+    """A Graphitti instance with the two built-in ontologies registered."""
+    graphitti = Graphitti("test")
+    graphitti.register_ontology(build_protein_ontology())
+    graphitti.register_ontology(build_brain_region_ontology())
+    return graphitti
+
+
+@pytest.fixture
+def small_graphitti(empty_graphitti):
+    """A Graphitti instance with a sequence, an image and two annotations."""
+    graphitti = empty_graphitti
+    graphitti.register(DnaSequence("seq1", "ACGT" * 50, domain="chr1"))
+    graphitti.register(ProteinSequence("prot1", "ACDEFGHIKLMNPQRSTVWY" * 5, domain="prot1:dom"))
+    graphitti.register(Image("img1", dimension=2, space="atlas:25um", size=(100, 100)))
+    (
+        graphitti.new_annotation("a1", keywords=["protease"], body="a protease site")
+        .mark_sequence("seq1", 10, 40, ontology_terms=["protein:protease"])
+        .mark_region("img1", (10, 10), (40, 40), ontology_terms=["Deep Cerebellar nuclei"])
+        .commit()
+    )
+    (
+        graphitti.new_annotation("a2", keywords=["kinase"], body="a kinase site")
+        .mark_sequence("seq1", 10, 40)
+        .commit()
+    )
+    return graphitti
+
+
+@pytest.fixture
+def influenza():
+    """The Fig. 1 influenza study instance."""
+    return build_influenza_instance()
+
+
+@pytest.fixture
+def neuroscience():
+    """The Fig. 3 neuroscience study instance."""
+    return build_neuroscience_instance()
+
+
+@pytest.fixture
+def workload_graphitti():
+    """A Graphitti instance populated with a small synthetic workload."""
+    graphitti = Graphitti("workload")
+    config = WorkloadConfig(seed=42, sequence_count=8, annotation_count=60, image_count=3)
+    summary = generate_annotation_workload(graphitti, config)
+    return graphitti, summary

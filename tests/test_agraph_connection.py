@@ -1,0 +1,45 @@
+"""Tests for the connection subgraph value object."""
+
+from repro.agraph.connection import ConnectionSubgraph
+from repro.agraph.multigraph import Edge
+
+
+def test_empty_connection():
+    subgraph = ConnectionSubgraph(terminals=("a", "b"))
+    assert not subgraph.is_connected
+    assert subgraph.node_count == 0
+
+
+def test_add_path():
+    subgraph = ConnectionSubgraph(terminals=("a", "c"), nodes={"a"})
+    edge1 = Edge("a", "b", "x")
+    edge2 = Edge("b", "c", "x")
+    subgraph.add_path(["a", "b", "c"], [edge1, edge2])
+    assert subgraph.is_connected
+    assert subgraph.node_count == 3
+    assert subgraph.edge_count == 2
+    assert subgraph.intervening_nodes == {"b"}
+
+
+def test_add_path_deduplicates_edges():
+    subgraph = ConnectionSubgraph(terminals=("a", "b"), nodes={"a"})
+    edge = Edge("a", "b", "x")
+    subgraph.add_path(["a", "b"], [edge])
+    subgraph.add_path(["a", "b"], [edge])
+    assert subgraph.edge_count == 1
+
+
+def test_merge():
+    first = ConnectionSubgraph(terminals=("a", "b"), nodes={"a", "b"}, edges=[Edge("a", "b", "x")])
+    second = ConnectionSubgraph(terminals=("b", "c"), nodes={"b", "c"}, edges=[Edge("b", "c", "y")])
+    first.merge(second)
+    assert first.node_count == 3
+    assert first.edge_count == 2
+
+
+def test_to_dict():
+    subgraph = ConnectionSubgraph(terminals=("a", "b"), nodes={"a", "b"}, edges=[Edge("a", "b", "x")])
+    payload = subgraph.to_dict()
+    assert payload["connected"] is True
+    assert payload["terminals"] == ["a", "b"]
+    assert len(payload["edges"]) == 1

@@ -1,0 +1,113 @@
+"""Tests for the directed labeled multigraph."""
+
+import pytest
+
+from repro.agraph.multigraph import Edge, LabeledMultigraph, Node
+from repro.errors import UnknownNodeError
+
+
+def make_graph():
+    g = LabeledMultigraph()
+    g.add_node("a", kind="content")
+    g.add_node("b", kind="referent")
+    g.add_node("c", kind="referent")
+    g.add_edge("a", "b", label="annotates")
+    g.add_edge("a", "c", label="annotates")
+    g.add_edge("b", "c", label="relates", weight=2)
+    return g
+
+
+def test_node_count_edge_count():
+    g = make_graph()
+    assert g.node_count == 3
+    assert g.edge_count == 3
+
+
+def test_add_node_updates_attributes():
+    g = LabeledMultigraph()
+    g.add_node("a", kind="content", title="x")
+    g.add_node("a", kind="content", extra="y")
+    assert g.node("a").attributes["title"] == "x"
+    assert g.node("a").attributes["extra"] == "y"
+
+
+def test_unknown_node():
+    g = make_graph()
+    with pytest.raises(UnknownNodeError):
+        g.node("ghost")
+
+
+def test_edge_requires_existing_nodes():
+    g = LabeledMultigraph()
+    g.add_node("a")
+    with pytest.raises(UnknownNodeError):
+        g.add_edge("a", "missing")
+
+
+def test_multigraph_allows_parallel_edges():
+    g = LabeledMultigraph()
+    g.add_node("a")
+    g.add_node("b")
+    g.add_edge("a", "b", label="x")
+    g.add_edge("a", "b", label="y")
+    assert g.edge_count == 2
+
+
+def test_successors_predecessors():
+    g = make_graph()
+    assert set(g.successors("a")) == {"b", "c"}
+    assert set(g.predecessors("c")) == {"a", "b"}
+
+
+def test_successors_by_label():
+    g = make_graph()
+    assert set(g.successors("a", label="annotates")) == {"b", "c"}
+    assert g.successors("b", label="annotates") == []
+
+
+def test_neighbors_undirected():
+    g = make_graph()
+    assert g.neighbors_undirected("c") == {"a", "b"}
+
+
+def test_degree():
+    g = make_graph()
+    assert g.degree("a") == 2
+    assert g.degree("c") == 2
+
+
+def test_edge_attribute():
+    g = make_graph()
+    relate = [e for e in g.edges() if e.label == "relates"][0]
+    assert relate.attribute("weight") == 2
+    assert relate.attribute("missing", 0) == 0
+
+
+def test_edge_reversed():
+    edge = Edge("a", "b", "x", (("w", 1),))
+    assert edge.reversed() == Edge("b", "a", "x", (("w", 1),))
+
+
+def test_remove_node_removes_edges():
+    g = make_graph()
+    g.remove_node("a")
+    assert "a" not in g
+    assert g.edge_count == 1  # only b->c remains
+    assert g.in_edges("c") == [e for e in g.in_edges("c")]
+
+
+def test_nodes_of_kind():
+    g = make_graph()
+    assert {n.node_id for n in g.nodes_of_kind("referent")} == {"b", "c"}
+
+
+def test_labels():
+    g = make_graph()
+    assert g.labels() == {"annotates", "relates"}
+
+
+def test_to_dict():
+    g = make_graph()
+    payload = g.to_dict()
+    assert len(payload["nodes"]) == 3
+    assert len(payload["edges"]) == 3

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_scenarios(capsys):
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "influenza" in out
+    assert "neuroscience" in out
+
+
+def test_build_and_stats(tmp_path, capsys):
+    path = str(tmp_path / "flu.json")
+    assert main(["build", "influenza", path]) == 0
+    capsys.readouterr()
+    assert main(["stats", path]) == 0
+    out = capsys.readouterr().out
+    assert "annotations: 4" in out
+
+
+def test_build_neuroscience(tmp_path, capsys):
+    path = str(tmp_path / "neuro.json")
+    assert main(["build", "neuroscience", path]) == 0
+    out = capsys.readouterr().out
+    assert "neuroscience" in out
+
+
+def test_admin(tmp_path, capsys):
+    path = str(tmp_path / "flu.json")
+    main(["build", "influenza", path])
+    capsys.readouterr()
+    assert main(["admin", path]) == 0
+    out = capsys.readouterr().out
+    assert "integrity" in out
+    assert "index economy" in out
+    assert "leaderboard" in out
+
+
+def test_query(tmp_path, capsys):
+    path = str(tmp_path / "flu.json")
+    main(["build", "influenza", path])
+    capsys.readouterr()
+    assert main(["query", path, 'SELECT contents WHERE { CONTENT CONTAINS "cleavage" }']) == 0
+    out = capsys.readouterr().out
+    assert "result count: 2" in out
+    assert "flu-a1" in out
+
+
+def test_query_syntax_error(tmp_path, capsys):
+    path = str(tmp_path / "flu.json")
+    main(["build", "influenza", path])
+    capsys.readouterr()
+    assert main(["query", path, "NOT VALID GQL"]) == 1
+    err = capsys.readouterr().err
+    assert "query error" in err
+
+
+def test_query_graph_return(tmp_path, capsys):
+    path = str(tmp_path / "neuro.json")
+    main(["build", "neuroscience", path])
+    capsys.readouterr()
+    main(["query", path, 'SELECT graph WHERE { REFERENT REFERS "Deep Cerebellar nuclei" }'])
+    out = capsys.readouterr().out
+    assert "subgraph" in out
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

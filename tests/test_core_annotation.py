@@ -1,0 +1,126 @@
+"""Tests for the annotation model (content, referent, linker)."""
+
+import pytest
+
+from repro.core.annotation import Annotation, AnnotationContent, Referent
+from repro.core.dublin_core import DublinCore
+from repro.datatypes.base import DataType, SubstructureRef
+from repro.errors import AnnotationError
+from repro.spatial.interval import Interval
+from repro.spatial.rect import Rect
+from repro.xmlstore.parser import serialize_xml
+
+
+def make_interval_ref(object_id="seq1"):
+    return SubstructureRef(
+        object_id=object_id,
+        data_type=DataType.DNA,
+        descriptor={"start": 10, "end": 40, "residues": "ACGT"},
+        interval=Interval(10, 40, domain="chr1"),
+    )
+
+
+def make_region_ref(object_id="img1"):
+    return SubstructureRef(
+        object_id=object_id,
+        data_type=DataType.IMAGE,
+        descriptor={"lo": [0, 0], "hi": [5, 5]},
+        rect=Rect((0, 0), (5, 5), space="atlas"),
+    )
+
+
+def test_substructure_ref_cannot_be_both():
+    with pytest.raises(Exception):
+        SubstructureRef(
+            object_id="x",
+            data_type=DataType.DNA,
+            interval=Interval(1, 2),
+            rect=Rect((0, 0), (1, 1)),
+        )
+
+
+def test_referent_auto_id():
+    referent = Referent(ref=make_interval_ref())
+    assert referent.referent_id is not None
+    assert "seq1" in referent.referent_id
+
+
+def test_referent_point_to():
+    referent = Referent(ref=make_interval_ref())
+    referent.point_to("t1")
+    referent.point_to("t1")  # idempotent
+    assert referent.ontology_terms == ["t1"]
+
+
+def test_referent_to_element_interval():
+    referent = Referent(ref=make_interval_ref(), ontology_terms=["t1"])
+    element = referent.to_element()
+    assert element.tag == "referent"
+    assert element.find("interval") is not None
+    assert any(child.get("term") == "t1" for child in element.find_all("ontology-ref"))
+
+
+def test_referent_to_element_region():
+    referent = Referent(ref=make_region_ref())
+    element = referent.to_element()
+    assert element.find("region") is not None
+
+
+def test_annotation_content_keywords():
+    content = AnnotationContent(dublin_core=DublinCore())
+    content.add_keyword("protease")
+    content.add_keyword("protease")
+    assert content.keywords() == ["protease"]
+
+
+def test_annotation_content_text():
+    content = AnnotationContent(
+        dublin_core=DublinCore(title="T", subject=["protease"], description="desc"),
+        body="body text",
+    )
+    text = content.text()
+    assert "body text" in text and "protease" in text and "desc" in text
+
+
+def test_annotation_requires_id():
+    with pytest.raises(AnnotationError):
+        Annotation("", AnnotationContent(dublin_core=DublinCore()))
+
+
+def test_annotation_add_referent():
+    annotation = Annotation("a1", AnnotationContent(dublin_core=DublinCore()))
+    annotation.add_referent(make_interval_ref(), ontology_terms=["t1"])
+    assert annotation.referent_count == 1
+    assert annotation.ontology_terms() == {"t1"}
+
+
+def test_annotation_object_ids():
+    annotation = Annotation("a1", AnnotationContent(dublin_core=DublinCore()))
+    annotation.add_referent(make_interval_ref("seq1"))
+    annotation.add_referent(make_region_ref("img1"))
+    assert annotation.object_ids() == {"seq1", "img1"}
+
+
+def test_annotation_to_document():
+    content = AnnotationContent(dublin_core=DublinCore(title="T"), body="comment")
+    content.point_to("ont1")
+    annotation = Annotation("a1", content)
+    annotation.add_referent(make_interval_ref())
+    document = annotation.to_document()
+    assert document.root.tag == "annotation"
+    assert document.root.get("id") == "a1"
+    assert document.root.find("body").text == "comment"
+    assert document.root.find("referents").find("referent") is not None
+
+
+def test_annotation_to_xml_roundtrip():
+    content = AnnotationContent(dublin_core=DublinCore(title="T", subject=["protease"]))
+    annotation = Annotation("a1", content)
+    annotation.add_referent(make_interval_ref())
+    xml = annotation.to_xml()
+    assert "protease" in xml
+    # the XML must reparse
+    from repro.xmlstore.parser import parse_xml
+
+    reparsed = parse_xml(xml)
+    assert reparsed.root.get("id") == "a1"

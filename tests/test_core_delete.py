@@ -1,0 +1,77 @@
+"""Tests for annotation deletion and its a-graph / index effects."""
+
+import pytest
+
+from repro import Graphitti
+from repro.datatypes import DnaSequence, Image
+from repro.errors import AnnotationError, XmlStoreError
+
+
+def make_instance():
+    g = Graphitti("del")
+    g.register(DnaSequence("seq", "ACGT" * 100, domain="chr1"))
+    g.register(Image("img", dimension=2, space="atlas", size=(100, 100)))
+    return g
+
+
+def test_delete_sole_owner_removes_referent():
+    g = make_instance()
+    g.new_annotation("a1").mark_sequence("seq", 10, 40).commit()
+    assert g.statistics()["indexed_intervals"] == 1
+    g.delete_annotation("a1")
+    assert g.statistics()["referents"] == 0
+    assert g.statistics()["indexed_intervals"] == 0
+    assert "a1" not in g.contents
+
+
+def test_delete_keeps_shared_referent():
+    g = make_instance()
+    g.new_annotation("a1").mark_sequence("seq", 10, 40).commit()
+    g.new_annotation("a2").mark_sequence("seq", 10, 40).commit()
+    assert g.statistics()["referents"] == 1
+    g.delete_annotation("a1")
+    # referent survives because a2 still needs it
+    assert g.statistics()["referents"] == 1
+    assert g.statistics()["indexed_intervals"] == 1
+    assert g.related_annotations("a2") == []
+
+
+def test_delete_unknown_raises():
+    g = make_instance()
+    with pytest.raises(AnnotationError):
+        g.delete_annotation("ghost")
+
+
+def test_delete_removes_content_document():
+    g = make_instance()
+    g.new_annotation("a1").mark_sequence("seq", 10, 40).commit()
+    g.delete_annotation("a1")
+    with pytest.raises(XmlStoreError):
+        g.contents.get("a1")
+
+
+def test_delete_then_reindex_correct():
+    g = make_instance()
+    g.new_annotation("a1").mark_sequence("seq", 10, 40).commit()
+    g.delete_annotation("a1")
+    # the interval is gone from overlap queries
+    assert g.search_by_overlap_interval("chr1", 20, 30) == []
+    # a fresh annotation on the same region works
+    g.new_annotation("a2").mark_sequence("seq", 10, 40).commit()
+    assert g.search_by_overlap_interval("chr1", 20, 30) == ["a2"]
+
+
+def test_delete_region_annotation():
+    g = make_instance()
+    g.new_annotation("a1").mark_region("img", (10, 10), (40, 40)).commit()
+    assert g.statistics()["indexed_regions"] == 1
+    g.delete_annotation("a1")
+    assert g.statistics()["indexed_regions"] == 0
+
+
+def test_delete_preserves_integrity():
+    g = make_instance()
+    g.new_annotation("a1").mark_sequence("seq", 10, 40).commit()
+    g.new_annotation("a2").mark_sequence("seq", 50, 70).commit()
+    g.delete_annotation("a1")
+    assert g.check_integrity().ok

@@ -1,0 +1,43 @@
+"""Tests for Dublin Core metadata."""
+
+from repro.core.dublin_core import DC_ELEMENTS, DublinCore
+
+
+def test_keywords():
+    dc = DublinCore(subject=["protease", "cleavage"])
+    assert dc.keywords() == ["protease", "cleavage"]
+
+
+def test_to_elements_skips_empty():
+    dc = DublinCore(title="T", creator="")
+    tags = {element.tag for element in dc.to_elements()}
+    assert "dc:title" in tags
+    assert "dc:creator" not in tags
+
+
+def test_to_elements_multi_subject():
+    dc = DublinCore(subject=["a", "b"])
+    subjects = [e for e in dc.to_elements() if e.tag == "dc:subject"]
+    assert len(subjects) == 2
+
+
+def test_from_elements_roundtrip():
+    dc = DublinCore(title="T", creator="alice", subject=["x", "y"], description="d")
+    restored = DublinCore.from_elements(dc.to_elements())
+    assert restored.title == "T"
+    assert restored.creator == "alice"
+    assert restored.subject == ["x", "y"]
+
+
+def test_to_dict_covers_all_elements():
+    dc = DublinCore(title="T")
+    payload = dc.to_dict()
+    for element in DC_ELEMENTS:
+        assert element in payload
+
+
+def test_from_elements_ignores_non_dc():
+    from repro.xmlstore.document import XmlElement
+
+    dc = DublinCore.from_elements([XmlElement("notdc", text="x"), XmlElement("dc:title", text="T")])
+    assert dc.title == "T"

@@ -1,0 +1,49 @@
+"""Tests for the manager's graph-analytics-backed explore methods."""
+
+import pytest
+
+from repro import Graphitti
+from repro.datatypes import DnaSequence
+
+
+def build():
+    g = Graphitti("explore")
+    g.register(DnaSequence("seq", "ACGT" * 100, domain="chr1"))
+    # a1 and a2 share the same region; a3 is on a different region
+    g.new_annotation("a1").mark_sequence("seq", 10, 40).commit()
+    g.new_annotation("a2").mark_sequence("seq", 10, 40).commit()
+    g.new_annotation("a3").mark_sequence("seq", 200, 240).commit()
+    return g
+
+
+def test_graph_metrics_accessor():
+    g = build()
+    metrics = g.graph_metrics()
+    assert metrics.average_degree() > 0
+
+
+def test_similar_annotations():
+    g = build()
+    similar = g.similar_annotations("a1")
+    assert similar
+    assert similar[0][0] == "a2"
+    assert similar[0][1] == pytest.approx(1.0)  # identical referent sets
+
+
+def test_similar_excludes_self():
+    g = build()
+    similar = g.similar_annotations("a1")
+    assert all(other != "a1" for other, _ in similar)
+
+
+def test_similar_none_for_isolated():
+    g = build()
+    assert g.similar_annotations("a3") == []
+
+
+def test_report_includes_graph_analytics():
+    from repro.workloads.reporting import study_report
+
+    report = study_report(build())
+    assert "## Graph analytics" in report
+    assert "average node degree" in report

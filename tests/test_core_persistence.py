@@ -1,0 +1,80 @@
+"""Tests for whole-instance persistence (snapshot / save / load)."""
+
+import pytest
+
+from repro.core.persistence import load_instance, rebuild, save_instance, snapshot
+from repro.errors import GraphittiError
+from repro.query.builder import QueryBuilder
+
+
+def test_snapshot_structure(small_graphitti):
+    payload = snapshot(small_graphitti)
+    assert payload["name"] == small_graphitti.name
+    assert len(payload["annotations"]) == small_graphitti.annotation_count
+    assert "object_metadata" in payload
+    assert "contents" in payload
+
+
+def test_roundtrip_preserves_statistics(influenza):
+    reloaded = rebuild(snapshot(influenza))
+    original_stats = influenza.statistics()
+    reloaded_stats = reloaded.statistics()
+    for key in ("annotations", "referents", "agraph_nodes", "agraph_edges"):
+        assert reloaded_stats[key] == original_stats[key]
+
+
+def test_roundtrip_preserves_queries(neuroscience):
+    reloaded = rebuild(snapshot(neuroscience))
+    original = set(neuroscience.search_by_keyword("cerebellum"))
+    restored = set(reloaded.search_by_keyword("cerebellum"))
+    assert original == restored
+
+
+def test_roundtrip_preserves_relatedness(influenza):
+    reloaded = rebuild(snapshot(influenza))
+    assert reloaded.related_annotations("flu-a1") == influenza.related_annotations("flu-a1")
+
+
+def test_roundtrip_preserves_paths(neuroscience):
+    reloaded = rebuild(snapshot(neuroscience))
+    original = neuroscience.path_between_annotations("neuro-a1", "neuro-a2")
+    restored = reloaded.path_between_annotations("neuro-a1", "neuro-a2")
+    assert (original is None) == (restored is None)
+    assert len(original) == len(restored)
+
+
+def test_roundtrip_preserves_ontology(influenza):
+    reloaded = rebuild(snapshot(influenza))
+    assert set(reloaded.ontologies()) == set(influenza.ontologies())
+    assert reloaded.resolve_ontology_term("Hemagglutinin") == "flu:HA"
+
+
+def test_reloaded_is_catalogue_only(influenza):
+    reloaded = rebuild(snapshot(influenza))
+    assert reloaded.catalogue_only is True
+    report = reloaded.check_integrity()
+    assert report.ok
+    assert report.warnings  # data objects not reconstructed -> warnings
+
+
+def test_reloaded_query_graph(neuroscience):
+    reloaded = rebuild(snapshot(neuroscience))
+    result = reloaded.query(QueryBuilder.graph().refers("alpha-synuclein").build())
+    assert result.count >= 1
+
+
+def test_save_load_file(tmp_path, influenza):
+    path = save_instance(influenza, tmp_path / "instance.json")
+    reloaded = load_instance(path)
+    assert reloaded.annotation_count == influenza.annotation_count
+
+
+def test_load_missing(tmp_path):
+    with pytest.raises(GraphittiError):
+        load_instance(tmp_path / "missing.json")
+
+
+def test_metadata_preserved(influenza):
+    reloaded = rebuild(snapshot(influenza))
+    meta = reloaded.object_metadata("HA_chicken")
+    assert meta["data_type"] == "dna_sequence"

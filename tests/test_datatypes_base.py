@@ -1,0 +1,71 @@
+"""Tests for the data object base classes and SubstructureRef."""
+
+import pytest
+
+from repro.datatypes.base import DataObject, DataType, SubstructureRef
+from repro.errors import MarkError
+from repro.spatial.interval import Interval
+from repro.spatial.rect import Rect
+
+
+def test_datatype_is_sequence():
+    assert DataType.DNA.is_sequence
+    assert DataType.RNA.is_sequence
+    assert DataType.PROTEIN.is_sequence
+    assert not DataType.IMAGE.is_sequence
+
+
+def test_datatype_is_spatial_2d():
+    assert DataType.IMAGE.is_spatial_2d
+    assert not DataType.DNA.is_spatial_2d
+
+
+def test_substructure_ref_interval_key():
+    ref = SubstructureRef("seq", DataType.DNA, interval=Interval(10, 40, domain="chr1"))
+    assert ref.is_spatial
+    assert ref.domain == "chr1"
+    assert "10" in ref.key() and "40" in ref.key()
+
+
+def test_substructure_ref_rect_key():
+    ref = SubstructureRef("img", DataType.IMAGE, rect=Rect((0, 0), (5, 5), space="atlas"))
+    assert ref.is_spatial
+    assert ref.domain == "atlas"
+    assert "box" in ref.key()
+
+
+def test_substructure_ref_nonspatial_key():
+    ref = SubstructureRef("tree", DataType.TREE, descriptor={"clade": "x", "leaves": 3})
+    assert not ref.is_spatial
+    assert ref.domain is None
+    assert "sub" in ref.key()
+
+
+def test_substructure_ref_cannot_be_both():
+    with pytest.raises(MarkError):
+        SubstructureRef("x", DataType.DNA, interval=Interval(1, 2), rect=Rect((0, 0), (1, 1)))
+
+
+def test_substructure_ref_roundtrip_interval():
+    ref = SubstructureRef("seq", DataType.DNA, descriptor={"start": 10}, interval=Interval(10, 40, domain="chr1"))
+    restored = SubstructureRef.from_dict(ref.to_dict())
+    assert restored.object_id == "seq"
+    assert restored.interval.start == 10
+    assert restored.interval.domain == "chr1"
+
+
+def test_substructure_ref_roundtrip_rect():
+    ref = SubstructureRef("img", DataType.IMAGE, rect=Rect((0, 0), (5, 5), space="atlas"))
+    restored = SubstructureRef.from_dict(ref.to_dict())
+    assert restored.rect.lo == (0, 0)
+    assert restored.rect.space == "atlas"
+
+
+def test_data_object_requires_id():
+    with pytest.raises(MarkError):
+        DataObject("")
+
+
+def test_data_object_default_domain_is_id():
+    obj = DataObject("x")
+    assert obj.coordinate_domain == "x"

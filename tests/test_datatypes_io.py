@@ -1,0 +1,102 @@
+"""Tests for FASTA and feature-table I/O."""
+
+import pytest
+
+from repro import Graphitti
+from repro.datatypes.io import (
+    Feature,
+    load_features,
+    parse_fasta,
+    parse_features,
+    write_fasta,
+)
+from repro.datatypes.sequence import DnaSequence, ProteinSequence, RnaSequence
+from repro.errors import WorkloadError
+
+
+def test_parse_fasta_single():
+    seqs = parse_fasta(">seq1 description\nACGTACGT\nACGT\n")
+    assert len(seqs) == 1
+    assert seqs[0].object_id == "seq1"
+    assert seqs[0].residues == "ACGTACGT" + "ACGT"
+    assert isinstance(seqs[0], DnaSequence)
+
+
+def test_parse_fasta_multi():
+    seqs = parse_fasta(">a\nACGT\n>b\nGGCC\n")
+    assert [s.object_id for s in seqs] == ["a", "b"]
+
+
+def test_parse_fasta_infers_rna():
+    seqs = parse_fasta(">r\nACGU\n")
+    assert isinstance(seqs[0], RnaSequence)
+
+
+def test_parse_fasta_infers_protein():
+    seqs = parse_fasta(">p\nMKLVWY\n")
+    assert isinstance(seqs[0], ProteinSequence)
+
+
+def test_parse_fasta_empty():
+    with pytest.raises(WorkloadError):
+        parse_fasta("\n\n")
+
+
+def test_parse_fasta_residue_before_header():
+    with pytest.raises(WorkloadError):
+        parse_fasta("ACGT\n>a\nACGT\n")
+
+
+def test_write_fasta_roundtrip():
+    seqs = [DnaSequence("a", "ACGT" * 30), DnaSequence("b", "GGGG")]
+    text = write_fasta(seqs, width=60)
+    reparsed = parse_fasta(text)
+    assert [s.object_id for s in reparsed] == ["a", "b"]
+    assert reparsed[0].residues == "ACGT" * 30
+
+
+def test_write_fasta_wraps():
+    text = write_fasta([DnaSequence("a", "A" * 150)], width=60)
+    residue_lines = [line for line in text.splitlines() if not line.startswith(">")]
+    assert all(len(line) <= 60 for line in residue_lines)
+
+
+def test_parse_features():
+    features = parse_features("seq1 10 40 promoter\nseq1 50 80\n# comment\n")
+    assert len(features) == 2
+    assert features[0] == Feature("seq1", 10, 40, "promoter")
+    assert features[1].label == ""
+
+
+def test_parse_features_too_few_columns():
+    with pytest.raises(WorkloadError):
+        parse_features("seq1 10\n")
+
+
+def test_parse_features_bad_bounds():
+    with pytest.raises(WorkloadError):
+        parse_features("seq1 ten forty\n")
+
+
+def test_load_features_creates_annotations():
+    g = Graphitti()
+    g.register(DnaSequence("seq1", "ACGT" * 50, domain="chr1"))
+    created = load_features(g, "seq1 10 40 promoter\nseq1 60 90 exon\n")
+    assert len(created) == 2
+    assert g.annotation_count == 2
+    # the promoter annotation has a marked interval
+    anno = g.annotation(created[0])
+    assert anno.referents[0].ref.interval.start == 10
+
+
+def test_load_features_unregistered_object():
+    g = Graphitti()
+    with pytest.raises(WorkloadError):
+        load_features(g, "ghost 10 40\n")
+
+
+def test_load_features_searchable():
+    g = Graphitti()
+    g.register(DnaSequence("seq1", "ACGT" * 50, domain="chr1"))
+    load_features(g, "seq1 10 40 promoter\n")
+    assert g.search_by_keyword("promoter")

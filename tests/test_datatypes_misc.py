@@ -1,0 +1,238 @@
+"""Tests for alignment, tree, graph, image, and record data objects."""
+
+import pytest
+
+from repro.datatypes.alignment import MultipleSequenceAlignment
+from repro.datatypes.graph import InteractionGraph
+from repro.datatypes.image import Image, ImageRegion
+from repro.datatypes.record import RecordBlock, RelationalRecord
+from repro.datatypes.tree import TreeClade, parse_newick
+from repro.errors import MarkError
+
+
+# -- alignment --------------------------------------------------------------
+
+
+def test_alignment_requires_equal_width():
+    with pytest.raises(MarkError):
+        MultipleSequenceAlignment("a", {"r1": "ACGT", "r2": "ACG"})
+
+
+def test_alignment_properties():
+    msa = MultipleSequenceAlignment("a", {"r1": "ACGT", "r2": "A-GT"})
+    assert msa.width == 4
+    assert msa.depth == 2
+    assert msa.column(1) == {"r1": "C", "r2": "-"}
+
+
+def test_alignment_conservation():
+    msa = MultipleSequenceAlignment("a", {"r1": "AAAA", "r2": "AAAA", "r3": "AACA"})
+    assert msa.column_conservation(0) == 1.0
+    assert msa.column_conservation(2) < 1.0
+
+
+def test_alignment_conserved_columns():
+    msa = MultipleSequenceAlignment("a", {"r1": "AAAA", "r2": "AATA"})
+    conserved = msa.conserved_columns(threshold=1.0)
+    assert 0 in conserved and 2 not in conserved
+
+
+def test_alignment_mark_columns():
+    msa = MultipleSequenceAlignment("a", {"r1": "ACGTACGT", "r2": "ACGTACGT"})
+    ref = msa.mark_columns(2, 4)
+    assert ref.interval.start == 2 and ref.interval.end == 4
+    assert ref.descriptor["block"]["r1"] == "GTA"
+
+
+def test_alignment_mark_out_of_bounds():
+    msa = MultipleSequenceAlignment("a", {"r1": "ACGT"})
+    with pytest.raises(MarkError):
+        msa.mark_columns(0, 10)
+
+
+# -- tree -------------------------------------------------------------------
+
+
+def test_parse_newick_simple():
+    tree = parse_newick("(A,B,C);")
+    assert tree.leaf_names == frozenset({"A", "B", "C"})
+
+
+def test_parse_newick_branch_lengths():
+    tree = parse_newick("(A:0.1,B:0.2):0.0;")
+    leaves = {leaf.name: leaf.branch_length for leaf in tree.root.leaves()}
+    assert leaves["A"] == 0.1
+
+
+def test_parse_newick_requires_semicolon():
+    with pytest.raises(MarkError):
+        parse_newick("(A,B)")
+
+
+def test_tree_clade_operations():
+    tree = parse_newick("((A,B),(C,D));")
+    assert tree.clade_count() == 7
+    ancestor = tree.common_ancestor(["A", "B"])
+    assert ancestor.leaf_names() == frozenset({"A", "B"})
+
+
+def test_tree_mark_clade_by_leaves():
+    tree = parse_newick("((A:0.1,B:0.1)clade1:0.2,C:0.3);")
+    ref = tree.mark_clade_by_leaves(["A", "B"])
+    assert set(ref.descriptor["leaves"]) == {"A", "B"}
+
+
+def test_tree_mark_clade_missing():
+    tree = parse_newick("(A,B);")
+    with pytest.raises(MarkError):
+        tree.mark_clade("ghost")
+
+
+def test_tree_depth():
+    clade = TreeClade("root")
+    child = clade.add_child(TreeClade("a"))
+    child.add_child(TreeClade("b"))
+    assert clade.depth() == 2
+
+
+# -- interaction graph ------------------------------------------------------
+
+
+def test_graph_add_edge_and_neighbors():
+    graph = InteractionGraph("g")
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    assert graph.neighbors("b") == {"a", "c"}
+    assert graph.degree("b") == 2
+
+
+def test_graph_no_self_loops():
+    graph = InteractionGraph("g")
+    with pytest.raises(MarkError):
+        graph.add_edge("a", "a")
+
+
+def test_graph_neighborhood():
+    graph = InteractionGraph("g")
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    graph.add_edge("c", "d")
+    assert graph.neighborhood("a", radius=2) == {"a", "b", "c"}
+
+
+def test_graph_connected_component():
+    graph = InteractionGraph("g")
+    graph.add_edge("a", "b")
+    graph.add_node("x")
+    assert graph.connected_component("a") == {"a", "b"}
+
+
+def test_graph_mark_subgraph():
+    graph = InteractionGraph("g")
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    ref = graph.mark_subgraph(["a", "b"])
+    assert ref.descriptor["nodes"] == ["a", "b"]
+    assert ("a", "b") in [tuple(e) for e in ref.descriptor["edges"]]
+
+
+def test_graph_mark_unknown_node():
+    graph = InteractionGraph("g")
+    graph.add_node("a")
+    with pytest.raises(MarkError):
+        graph.mark_subgraph(["a", "ghost"])
+
+
+def test_graph_counts():
+    graph = InteractionGraph("g")
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    assert graph.node_count == 3
+    assert graph.edge_count == 2
+
+
+# -- image ------------------------------------------------------------------
+
+
+def test_image_mark_region():
+    image = Image("img", dimension=2, space="atlas")
+    ref = image.mark_region((10, 10), (20, 20))
+    assert ref.rect.lo == (10, 10)
+    assert ref.rect.space == "atlas"
+
+
+def test_image_dimension_mismatch():
+    image = Image("img", dimension=2)
+    with pytest.raises(MarkError):
+        image.mark_region((1, 1, 1), (2, 2, 2))
+
+
+def test_image_invalid_dimension():
+    with pytest.raises(MarkError):
+        Image("img", dimension=4)
+
+
+def test_image_shared_space():
+    a = Image("a", dimension=2, space="atlas")
+    b = Image("b", dimension=2, space="atlas")
+    assert a.coordinate_space == b.coordinate_space
+
+
+def test_image_mark_regions():
+    image = Image("img", dimension=2, space="atlas")
+    refs = image.mark_regions([ImageRegion((0, 0), (5, 5), "r1"), ImageRegion((5, 5), (9, 9), "r2")])
+    assert len(refs) == 2
+    assert refs[0].label == "r1"
+
+
+def test_3d_image():
+    image = Image("vol", dimension=3, space="volume")
+    ref = image.mark_region((0, 0, 0), (5, 5, 5))
+    assert ref.rect.dimension == 3
+
+
+# -- records ----------------------------------------------------------------
+
+
+def test_record_add_and_select():
+    record = RelationalRecord("r", fields=("host", "year"))
+    record.add_row("k1", {"host": "chicken", "year": 1997})
+    record.add_row("k2", {"host": "duck", "year": 1996})
+    assert record.row_count == 2
+    assert record.select("host", "chicken") == ["k1"]
+
+
+def test_record_unknown_field():
+    record = RelationalRecord("r", fields=("host",))
+    with pytest.raises(MarkError):
+        record.add_row("k1", {"ghost": 1})
+
+
+def test_record_duplicate_key():
+    record = RelationalRecord("r", fields=("host",))
+    record.add_row("k1", {"host": "x"})
+    with pytest.raises(MarkError):
+        record.add_row("k1", {"host": "y"})
+
+
+def test_record_mark_block():
+    record = RelationalRecord("r", fields=("host",))
+    record.add_row("k1", {"host": "x"})
+    record.add_row("k2", {"host": "y"})
+    ref = record.mark_block(["k1", "k2"])
+    assert ref.descriptor["size"] == 2
+
+
+def test_record_mark_unknown_rows():
+    record = RelationalRecord("r", fields=("host",))
+    record.add_row("k1", {"host": "x"})
+    with pytest.raises(MarkError):
+        record.mark_block(["k1", "ghost"])
+
+
+def test_record_block_overlaps():
+    a = RecordBlock("r", ["k1", "k2"])
+    b = RecordBlock("r", ["k2", "k3"])
+    c = RecordBlock("r", ["k4"])
+    assert a.overlaps(b)
+    assert not a.overlaps(c)

@@ -1,0 +1,70 @@
+"""Tests for the data type registry."""
+
+import pytest
+
+from repro.datatypes.base import DataType
+from repro.datatypes.registry import DataTypeRegistry
+from repro.datatypes.sequence import DnaSequence, ProteinSequence
+from repro.datatypes.image import Image
+from repro.errors import UnknownObjectError
+
+
+def test_register_and_get():
+    registry = DataTypeRegistry()
+    seq = DnaSequence("s", "ACGT")
+    registry.register(seq)
+    assert registry.get("s") is seq
+    assert "s" in registry
+
+
+def test_register_duplicate():
+    registry = DataTypeRegistry()
+    registry.register(DnaSequence("s", "ACGT"))
+    with pytest.raises(UnknownObjectError):
+        registry.register(DnaSequence("s", "ACGT"))
+
+
+def test_get_unknown():
+    registry = DataTypeRegistry()
+    with pytest.raises(UnknownObjectError):
+        registry.get("missing")
+
+
+def test_of_type():
+    registry = DataTypeRegistry()
+    registry.register(DnaSequence("a", "ACGT"))
+    registry.register(DnaSequence("b", "ACGT"))
+    registry.register(Image("img", dimension=2))
+    assert len(registry.of_type(DataType.DNA)) == 2
+    assert len(registry.of_type(DataType.IMAGE)) == 1
+
+
+def test_types_present():
+    registry = DataTypeRegistry()
+    registry.register(DnaSequence("a", "ACGT"))
+    registry.register(ProteinSequence("p", "ACDE"))
+    present = registry.types_present()
+    assert DataType.DNA in present
+    assert DataType.PROTEIN in present
+    assert DataType.IMAGE not in present
+
+
+def test_count_by_type():
+    registry = DataTypeRegistry()
+    registry.register(DnaSequence("a", "ACGT"))
+    registry.register(DnaSequence("b", "ACGT"))
+    counts = registry.count_by_type()
+    assert counts[DataType.DNA] == 2
+
+
+def test_object_ids():
+    registry = DataTypeRegistry()
+    registry.register(DnaSequence("a", "ACGT"))
+    registry.register(Image("img", dimension=2))
+    assert set(registry.object_ids()) == {"a", "img"}
+
+
+def test_len():
+    registry = DataTypeRegistry()
+    registry.register(DnaSequence("a", "ACGT"))
+    assert len(registry) == 1

@@ -1,0 +1,102 @@
+"""Tests for sequence data objects."""
+
+import pytest
+
+from repro.datatypes.base import DataType
+from repro.datatypes.sequence import DnaSequence, ProteinSequence, RnaSequence, SequenceType
+from repro.errors import MarkError
+
+
+def test_dna_alphabet_validation():
+    with pytest.raises(MarkError):
+        DnaSequence("s", "ACGTX")
+
+
+def test_rna_alphabet():
+    seq = RnaSequence("s", "ACGU")
+    assert seq.sequence_type is SequenceType.RNA
+
+
+def test_protein_alphabet():
+    seq = ProteinSequence("p", "ACDEFG")
+    assert seq.data_type is DataType.PROTEIN
+
+
+def test_length_and_subsequence():
+    seq = DnaSequence("s", "ACGTACGT")
+    assert len(seq) == 8
+    assert seq.subsequence(2, 4) == "GTA"
+
+
+def test_mark_produces_interval():
+    seq = DnaSequence("s", "ACGTACGT", domain="chr1")
+    ref = seq.mark(2, 4)
+    assert ref.interval.start == 2
+    assert ref.interval.end == 4
+    assert ref.interval.domain == "chr1"
+    assert ref.descriptor["residues"] == "GTA"
+
+
+def test_mark_with_offset():
+    seq = DnaSequence("s", "ACGT", domain="chr1", offset=100)
+    ref = seq.mark(0, 1)
+    assert ref.interval.start == 100
+    assert ref.interval.end == 101
+
+
+def test_mark_out_of_bounds():
+    seq = DnaSequence("s", "ACGT")
+    with pytest.raises(MarkError):
+        seq.mark(0, 10)
+
+
+def test_mark_inverted_range():
+    seq = DnaSequence("s", "ACGTACGT")
+    with pytest.raises(MarkError):
+        seq.mark(5, 2)
+
+
+def test_mark_many():
+    seq = DnaSequence("s", "ACGT" * 10)
+    refs = seq.mark_many([(0, 2), (5, 8)])
+    assert len(refs) == 2
+
+
+def test_coordinate_domain_defaults_to_id():
+    seq = DnaSequence("s", "ACGT")
+    assert seq.coordinate_domain == "s"
+
+
+def test_coordinate_domain_shared():
+    a = DnaSequence("a", "ACGT", domain="chr1")
+    b = DnaSequence("b", "ACGT", domain="chr1")
+    assert a.coordinate_domain == b.coordinate_domain == "chr1"
+
+
+def test_gc_content():
+    seq = DnaSequence("s", "GCGC")
+    assert seq.gc_content() == 1.0
+    assert DnaSequence("s2", "ATAT").gc_content() == 0.0
+
+
+def test_gc_content_protein_raises():
+    with pytest.raises(MarkError):
+        ProteinSequence("p", "ACDEF").gc_content()
+
+
+def test_reverse_complement():
+    seq = DnaSequence("s", "ACGT")
+    assert seq.reverse_complement().residues == "ACGT"  # palindrome
+    assert DnaSequence("s", "AACC").reverse_complement().residues == "GGTT"
+
+
+def test_transcribe_back_transcribe():
+    dna = DnaSequence("s", "ACGT")
+    rna = dna.transcribe()
+    assert rna.residues == "ACGU"
+    assert rna.back_transcribe().residues == "ACGT"
+
+
+def test_describe():
+    seq = DnaSequence("s", "ACGT")
+    assert "sequence" in seq.describe()

@@ -1,0 +1,106 @@
+"""Cross-module integration tests exercising full Graphitti workflows."""
+
+import pytest
+
+from repro import Graphitti
+from repro.datatypes import DnaSequence, Image, InteractionGraph, RelationalRecord, parse_newick
+from repro.ontology.builtin import build_brain_region_ontology, build_protein_ontology
+from repro.query.builder import QueryBuilder
+
+
+def test_full_annotate_query_explore_cycle():
+    g = Graphitti("integration")
+    g.register_ontology(build_protein_ontology())
+    g.register_ontology(build_brain_region_ontology())
+
+    g.register(DnaSequence("gene", "ACGT" * 100, domain="chr1"))
+    g.register(Image("slide", dimension=2, space="atlas", size=(200, 200)))
+    g.register(parse_newick("((a,b),(c,d));", object_id="tree"))
+
+    a1 = (
+        g.new_annotation("ann1", keywords=["protease"], body="a protease site")
+        .mark_sequence("gene", 10, 50, ontology_terms=["protein:protease"])
+        .mark_region("slide", (10, 10), (50, 50), ontology_terms=["Deep Cerebellar nuclei"])
+        .mark_clade_by_leaves("tree", ["a", "b"])
+        .commit()
+    )
+    a2 = (
+        g.new_annotation("ann2", keywords=["binding"], body="a binding region")
+        .mark_sequence("gene", 10, 50)
+        .commit()
+    )
+
+    # annotate wired the a-graph
+    assert g.related_annotations("ann1") == ["ann2"]
+
+    # query across content, ontology, spatial
+    result = g.query(
+        QueryBuilder.contents()
+        .contains("protease")
+        .refers("protein:protease")
+        .overlaps_interval("chr1", 20, 30)
+        .build()
+    )
+    assert result.annotation_ids == ["ann1"]
+
+    # explore
+    witness = g.witness_structure("ann1")
+    assert len(witness["referents"]) == 3
+    correlated = g.correlated_data("ann1")
+    assert any("ann2" in others for others in correlated.values())
+
+
+def test_xml_content_searchable_after_commit():
+    g = Graphitti("x")
+    g.register(DnaSequence("s", "ACGT" * 10, domain="c"))
+    g.new_annotation("a", keywords=["unique_keyword_xyz"]).mark_sequence("s", 0, 5).commit()
+    # the content document must be in the collection and keyword-searchable
+    assert "a" in g.contents
+    assert g.search_by_keyword("unique_keyword_xyz") == ["a"]
+
+
+def test_shared_referent_creates_single_node():
+    g = Graphitti("x")
+    g.register(DnaSequence("s", "ACGT" * 10, domain="c"))
+    g.new_annotation("a1").mark_sequence("s", 0, 5).commit()
+    g.new_annotation("a2").mark_sequence("s", 0, 5).commit()
+    # the identical mark is one referent node shared by both annotations
+    assert g.substructures.total_indexed_intervals() == 1
+    assert len(g.substructures) == 1
+
+
+def test_distinct_marks_create_distinct_nodes():
+    g = Graphitti("x")
+    g.register(DnaSequence("s", "ACGT" * 10, domain="c"))
+    g.new_annotation("a1").mark_sequence("s", 0, 5).commit()
+    g.new_annotation("a2").mark_sequence("s", 6, 10).commit()
+    assert len(g.substructures) == 2
+
+
+def test_heterogeneous_join_via_ontology():
+    g = Graphitti("x")
+    g.register_ontology(build_protein_ontology())
+    g.register(DnaSequence("seq", "ACGT" * 10, domain="c"))
+    g.register(Image("img", dimension=2, space="atlas"))
+    # two annotations on different data types share an ontology term
+    g.new_annotation("seq-anno").mark_sequence("seq", 0, 5, ontology_terms=["protein:protease"]).commit()
+    g.new_annotation("img-anno").mark_region("img", (0, 0), (5, 5), ontology_terms=["protein:protease"]).commit()
+    # they are connected through the shared ontology node
+    path = g.path_between_annotations("seq-anno", "img-anno")
+    assert path is not None
+    assert "protein:protease" in path
+
+
+def test_statistics_consistency(workload_graphitti):
+    g, summary = workload_graphitti
+    stats = g.statistics()
+    assert stats["annotations"] == len(summary["annotation_ids"])
+    assert stats["agraph_nodes"] >= stats["annotations"]
+
+
+def test_query_on_large_workload(workload_graphitti):
+    g, summary = workload_graphitti
+    result = g.query(QueryBuilder.contents().contains("protease").build())
+    # every returned annotation really contains the keyword
+    for annotation_id in result.annotation_ids:
+        assert "protease" in g.annotation(annotation_id).content.text().lower()

@@ -1,0 +1,50 @@
+"""Tests for the GO-style ontology and reasoning over a multi-root DAG."""
+
+import pytest
+
+from repro.ontology.builtin import build_gene_ontology_subset
+from repro.ontology.operations import OntologyOperations
+from repro.ontology.reasoning import OntologyReasoner
+
+
+def test_three_roots():
+    ontology = build_gene_ontology_subset()
+    roots = set(ontology.roots())
+    assert {"GO:0003674", "GO:0008150", "GO:0005575"} <= roots
+
+
+def test_peptidase_is_hydrolase():
+    ontology = build_gene_ontology_subset()
+    assert "GO:0016787" in ontology.ancestors("GO:0008233")
+
+
+def test_ci_peptidase_instances():
+    ops = OntologyOperations(build_gene_ontology_subset())
+    assert "GO:product:trypsin" in ops.ci("GO:0008233")
+
+
+def test_ci_catalytic_activity_includes_subclasses():
+    ops = OntologyOperations(build_gene_ontology_subset())
+    instances = ops.ci("GO:0003824")
+    assert {"GO:product:trypsin", "GO:product:cdk1"} <= instances
+
+
+def test_reasoner_similarity_within_branch():
+    r = OntologyReasoner(build_gene_ontology_subset())
+    close = r.wu_palmer_similarity("GO:0008233", "GO:0016301")  # both catalytic
+    far = r.wu_palmer_similarity("GO:0008233", "GO:0003677")    # catalytic vs binding
+    assert close >= far
+
+
+def test_part_of_crosses_namespace():
+    ontology = build_gene_ontology_subset()
+    # regulation of transcription part_of nucleus
+    assert ontology.has_relation("GO:0006355", "part_of", "GO:0005634")
+
+
+def test_obo_roundtrip_go():
+    from repro.ontology.obo import parse_obo, serialize_obo
+
+    ontology = build_gene_ontology_subset()
+    restored = parse_obo(serialize_obo(ontology), name="gene-ontology")
+    assert restored.term_count == ontology.term_count

@@ -1,0 +1,143 @@
+"""Tests for the ontology graph model."""
+
+import pytest
+
+from repro.errors import OntologyError, UnknownRelationError, UnknownTermError
+from repro.ontology.model import INSTANCE_OF, IS_A, PART_OF, Ontology, Relation, Term
+
+
+def make_ontology():
+    o = Ontology("test")
+    o.add_concept("animal", "Animal")
+    o.add_concept("mammal", "Mammal")
+    o.add_concept("dog", "Dog", synonyms=("canine",))
+    o.add_relation("mammal", IS_A, "animal")
+    o.add_relation("dog", IS_A, "mammal")
+    o.add_instance("rex", "Rex", concept_id="dog")
+    o.add_instance("fido", "Fido", concept_id="dog")
+    return o
+
+
+def test_term_matches_name():
+    term = Term("t", "Dog", synonyms=("canine",))
+    assert term.matches_name("dog")
+    assert term.matches_name("CANINE")
+    assert not term.matches_name("cat")
+
+
+def test_add_duplicate_term_conflict():
+    o = Ontology("t")
+    o.add_concept("x", "X")
+    with pytest.raises(OntologyError):
+        o.add_concept("x", "Different")
+
+
+def test_add_duplicate_identical_is_noop():
+    o = Ontology("t")
+    o.add_concept("x", "X")
+    o.add_concept("x", "X")
+    assert o.term_count == 1
+
+
+def test_term_lookup():
+    o = make_ontology()
+    assert o.term("dog").name == "Dog"
+    with pytest.raises(UnknownTermError):
+        o.term("missing")
+
+
+def test_find_by_name():
+    o = make_ontology()
+    assert o.find_by_name("canine")[0].term_id == "dog"
+
+
+def test_concepts_and_instances():
+    o = make_ontology()
+    assert {t.term_id for t in o.concepts()} == {"animal", "mammal", "dog"}
+    assert {t.term_id for t in o.instances()} == {"rex", "fido"}
+
+
+def test_undeclared_relation():
+    o = Ontology("t")
+    o.add_concept("a", "A")
+    o.add_concept("b", "B")
+    with pytest.raises(UnknownRelationError):
+        o.add_relation("a", "custom_rel", "b")
+
+
+def test_declare_relation_type():
+    o = Ontology("t")
+    o.add_concept("a", "A")
+    o.add_concept("b", "B")
+    o.declare_relation_type("regulates")
+    o.add_relation("a", "regulates", "b")
+    assert o.has_relation("a", "regulates", "b")
+
+
+def test_relation_to_unknown_term():
+    o = make_ontology()
+    with pytest.raises(UnknownTermError):
+        o.add_relation("dog", IS_A, "ghost")
+
+
+def test_objects_and_subjects():
+    o = make_ontology()
+    assert o.objects("dog", IS_A) == {"mammal"}
+    assert o.subjects("mammal", IS_A) == {"dog"}
+
+
+def test_ancestors_descendants():
+    o = make_ontology()
+    assert o.ancestors("dog") == {"mammal", "animal"}
+    assert o.descendants("animal") == {"mammal", "dog"}
+
+
+def test_parents_children():
+    o = make_ontology()
+    assert o.parents("dog") == {"mammal"}
+    assert o.children("mammal") == {"dog"}
+
+
+def test_roots():
+    o = make_ontology()
+    assert o.roots() == ["animal"]
+
+
+def test_depth():
+    o = make_ontology()
+    assert o.depth("dog") == 2
+    assert o.depth("animal") == 0
+
+
+def test_relations_from_to():
+    o = make_ontology()
+    assert len(o.relations_from("dog")) == 1
+    assert any(r.predicate == INSTANCE_OF for r in o.relations_to("dog"))
+
+
+def test_edge_count():
+    o = make_ontology()
+    # 2 is_a + 2 instance_of
+    assert o.edge_count == 4
+
+
+def test_duplicate_edge_not_double_counted():
+    o = Ontology("t")
+    o.add_concept("a", "A")
+    o.add_concept("b", "B")
+    o.add_relation("a", IS_A, "b")
+    o.add_relation("a", IS_A, "b")
+    assert o.edge_count == 1
+
+
+def test_relation_reversed():
+    r = Relation("a", IS_A, "b")
+    assert r.reversed() == Relation("b", IS_A, "a")
+
+
+def test_ontology_roundtrip():
+    o = make_ontology()
+    restored = Ontology.from_dict(o.to_dict())
+    assert restored.term_count == o.term_count
+    assert restored.edge_count == o.edge_count
+    assert restored.descendants("animal") == {"mammal", "dog"}

@@ -1,0 +1,87 @@
+"""Tests for OBO serialization and parsing."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology.builtin import build_brain_region_ontology, build_protein_ontology
+from repro.ontology.obo import parse_obo, serialize_obo
+from repro.ontology.model import IS_A
+
+SAMPLE_OBO = """
+format-version: 1.2
+ontology: sample
+
+[Term]
+id: X:1
+name: Root
+
+[Term]
+id: X:2
+name: Child
+synonym: "kid" EXACT []
+is_a: X:1
+
+[Term]
+id: X:3
+name: Instance
+is_instance: true
+is_instance_of: X:2
+"""
+
+
+def test_parse_obo_basic():
+    o = parse_obo(SAMPLE_OBO)
+    assert o.name == "sample"
+    assert o.term("X:2").name == "Child"
+    assert o.has_relation("X:2", IS_A, "X:1")
+
+
+def test_parse_obo_synonym():
+    o = parse_obo(SAMPLE_OBO)
+    assert "kid" in o.term("X:2").synonyms
+
+
+def test_parse_obo_instance():
+    o = parse_obo(SAMPLE_OBO)
+    assert o.term("X:3").is_instance
+    assert o.has_relation("X:3", "instance_of", "X:2")
+
+
+def test_parse_obo_empty_raises():
+    with pytest.raises(OntologyError):
+        parse_obo("   ")
+
+
+def test_parse_obo_missing_id():
+    bad = "[Term]\nname: NoId\n"
+    with pytest.raises(OntologyError):
+        parse_obo(bad)
+
+
+def test_parse_obo_relationship():
+    text = """
+ontology: rel
+[Term]
+id: A
+name: A
+[Term]
+id: B
+name: B
+relationship: regulates A
+"""
+    o = parse_obo(text)
+    assert o.has_relation("B", "regulates", "A")
+
+
+def test_roundtrip_protein_ontology():
+    original = build_protein_ontology()
+    text = serialize_obo(original)
+    restored = parse_obo(text, name="proteins")
+    assert restored.term_count == original.term_count
+    assert restored.descendants("protein:enzyme") == original.descendants("protein:enzyme")
+
+
+def test_roundtrip_brain_ontology():
+    original = build_brain_region_ontology()
+    restored = parse_obo(serialize_obo(original), name="brain-regions")
+    assert restored.edge_count == original.edge_count

@@ -1,0 +1,124 @@
+"""Tests for the OntoQuest operation set."""
+
+import pytest
+
+from repro.errors import OntologyError, UnknownTermError
+from repro.ontology.builtin import build_brain_region_ontology, build_protein_ontology
+from repro.ontology.model import INSTANCE_OF, IS_A, Ontology
+from repro.ontology.operations import OntologyOperations
+
+
+def make_ops(cache=True):
+    o = build_protein_ontology()
+    return OntologyOperations(o, cache=cache)
+
+
+def test_ci_collects_instances_of_subconcepts():
+    ops = make_ops()
+    # Protease has instances trypsin, pepsin, ns3_protease.
+    assert ops.ci("protein:protease") == {"protein:trypsin", "protein:pepsin", "protein:ns3_protease"}
+
+
+def test_ci_of_parent_includes_descendant_instances():
+    ops = make_ops()
+    # Enzyme is_a parent of protease and kinase; CI should include protease instances.
+    enzyme_instances = ops.ci("protein:enzyme")
+    assert {"protein:trypsin", "protein:pepsin"} <= enzyme_instances
+
+
+def test_ci_on_instance_raises():
+    ops = make_ops()
+    with pytest.raises(OntologyError):
+        ops.ci("protein:trypsin")
+
+
+def test_cri_restricts_relation():
+    ops = make_ops()
+    # Using only is_a from protease (no sub-concepts below protease) -> just its instances.
+    assert ops.cri("protein:protease", IS_A) == {"protein:trypsin", "protein:pepsin", "protein:ns3_protease"}
+
+
+def test_cmri_requires_relations():
+    ops = make_ops()
+    with pytest.raises(OntologyError):
+        ops.cmri("protein:protease", [])
+
+
+def test_cmri():
+    ops = make_ops()
+    result = ops.cmri("protein:enzyme", [IS_A])
+    assert {"protein:trypsin", "protein:pepsin"} <= result
+
+
+def test_mcmri_union():
+    ops = make_ops()
+    result = ops.mcmri(["protein:protease", "protein:kinase"], [IS_A])
+    assert {"protein:trypsin", "protein:pepsin"} <= result
+
+
+def test_mcmri_requires_concepts():
+    ops = make_ops()
+    with pytest.raises(OntologyError):
+        ops.mcmri([], [IS_A])
+
+
+def test_subtree():
+    ops = OntologyOperations(build_brain_region_ontology())
+    subtree = ops.subtree("brain:cerebellum", "part_of")
+    assert "brain:cerebellum" in subtree
+    assert "brain:dcn" in subtree
+
+
+def test_subtree_difference():
+    ops = OntologyOperations(build_brain_region_ontology())
+    full = ops.subtree("brain:cerebellum", "part_of")
+    difference = ops.subtree_difference("brain:cerebellum", "brain:dcn", "part_of")
+    assert "brain:dcn" not in difference
+    assert "brain:cerebellum" in difference
+    assert difference < full
+
+
+def test_subtree_difference_requires_descendant():
+    ops = OntologyOperations(build_brain_region_ontology())
+    with pytest.raises(OntologyError):
+        ops.subtree_difference("brain:dcn", "brain:cerebellum", "part_of")
+
+
+def test_subtree_edges():
+    ops = OntologyOperations(build_brain_region_ontology())
+    edges = ops.subtree_edges("brain:dcn", "is_a")
+    assert ("brain:dentate", "brain:dcn") in edges
+
+
+def test_resolve_term_by_id_and_name():
+    ops = make_ops()
+    assert ops.resolve_term("protein:protease") == "protein:protease"
+    assert ops.resolve_term("Protease") == "protein:protease"
+
+
+def test_resolve_term_unknown():
+    ops = make_ops()
+    with pytest.raises(UnknownTermError):
+        ops.resolve_term("Nonexistent")
+
+
+def test_concept_and_descendants():
+    ops = OntologyOperations(build_brain_region_ontology())
+    result = ops.concept_and_descendants("Deep Cerebellar nuclei")
+    assert "brain:dcn" in result
+    assert "brain:dentate" in result
+
+
+def test_cache_consistency():
+    ops_cached = make_ops(cache=True)
+    ops_uncached = make_ops(cache=False)
+    assert ops_cached.ci("protein:enzyme") == ops_uncached.ci("protein:enzyme")
+    # cached call again returns same
+    assert ops_cached.ci("protein:enzyme") == ops_uncached.ci("protein:enzyme")
+
+
+def test_invalidate_cache():
+    ops = make_ops(cache=True)
+    _ = ops.ci("protein:protease")
+    ops.invalidate_cache()
+    assert ops.ci("protein:protease")  # still works after invalidation

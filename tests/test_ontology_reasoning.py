@@ -1,0 +1,90 @@
+"""Tests for the ontology reasoning layer."""
+
+import pytest
+
+from repro.errors import UnknownTermError
+from repro.ontology.builtin import build_brain_region_ontology, build_protein_ontology
+from repro.ontology.reasoning import OntologyReasoner
+
+
+def protein_reasoner():
+    return OntologyReasoner(build_protein_ontology())
+
+
+def brain_reasoner():
+    return OntologyReasoner(build_brain_region_ontology())
+
+
+def test_lca_basic():
+    r = protein_reasoner()
+    # protease and kinase are both is_a enzyme
+    lcas = r.lowest_common_ancestors("protein:protease", "protein:kinase")
+    assert "protein:enzyme" in lcas
+
+
+def test_lca_self():
+    r = protein_reasoner()
+    assert r.lowest_common_ancestors("protein:protease", "protein:protease") == {"protein:protease"}
+
+
+def test_lca_disjoint_returns_common_root_if_any():
+    r = protein_reasoner()
+    # synuclein (structural) and protease (enzyme) share 'protein' root
+    lcas = r.lowest_common_ancestors("protein:synuclein", "protein:protease")
+    assert "protein:protein" in lcas
+
+
+def test_wu_palmer_identical():
+    r = protein_reasoner()
+    assert r.wu_palmer_similarity("protein:protease", "protein:protease") == 1.0
+
+
+def test_wu_palmer_related_more_than_distant():
+    r = protein_reasoner()
+    close = r.wu_palmer_similarity("protein:protease", "protein:kinase")
+    far = r.wu_palmer_similarity("protein:protease", "protein:synuclein")
+    assert 0.0 < far < close <= 1.0
+
+
+def test_information_content_leaf_higher():
+    r = brain_reasoner()
+    leaf = r.information_content("brain:dentate")
+    root = r.information_content("brain:brain")
+    assert leaf > root
+
+
+def test_relation_path():
+    r = brain_reasoner()
+    path = r.relation_path("brain:dentate", "brain:brain")
+    assert path[0] == "brain:dentate"
+    assert path[-1] == "brain:brain"
+
+
+def test_relation_path_self():
+    r = protein_reasoner()
+    assert r.relation_path("protein:protease", "protein:protease") == ["protein:protease"]
+
+
+def test_relation_path_unknown():
+    r = protein_reasoner()
+    with pytest.raises(UnknownTermError):
+        r.relation_path("ghost", "protein:protease")
+
+
+def test_distance():
+    r = brain_reasoner()
+    assert r.distance("brain:dentate", "brain:dcn") == 1
+    assert r.distance("brain:dcn", "brain:dentate") == 1
+
+
+def test_most_specific():
+    r = brain_reasoner()
+    # given cerebellum and its descendant dcn, only dcn is most specific
+    result = r.most_specific(["brain:cerebellum", "brain:dcn"])
+    assert result == ["brain:dcn"]
+
+
+def test_most_specific_independent():
+    r = protein_reasoner()
+    result = r.most_specific(["protein:protease", "protein:kinase"])
+    assert set(result) == {"protein:protease", "protein:kinase"}

@@ -1,0 +1,75 @@
+"""Property-based tests for Graphitti manager invariants."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Graphitti
+from repro.datatypes import DnaSequence, Image
+from repro.ontology.builtin import build_protein_ontology
+
+
+def _build(num_annotations, seed):
+    rng = random.Random(seed)
+    g = Graphitti(f"prop{seed}")
+    g.register_ontology(build_protein_ontology())
+    g.register(DnaSequence("seq", "ACGT" * 200, domain="chr1"))
+    g.register(Image("img", dimension=2, space="atlas", size=(100, 100)))
+    keywords = ["protease", "kinase", "binding", "mutation"]
+    for index in range(num_annotations):
+        builder = g.new_annotation(f"a{index}", keywords=[rng.choice(keywords)])
+        start = rng.randint(0, 700)
+        builder.mark_sequence("seq", start, start + rng.randint(5, 40))
+        if rng.random() < 0.4:
+            x = rng.uniform(0, 80)
+            builder.mark_region("img", (x, x), (x + 10, x + 10))
+        builder.commit()
+    return g
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(num_annotations=st.integers(1, 20), seed=st.integers(0, 1000))
+def test_integrity_always_holds(num_annotations, seed):
+    g = _build(num_annotations, seed)
+    assert g.check_integrity().ok
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(num_annotations=st.integers(1, 20), seed=st.integers(0, 1000))
+def test_statistics_consistent(num_annotations, seed):
+    g = _build(num_annotations, seed)
+    stats = g.statistics()
+    assert stats["annotations"] == num_annotations
+    # every annotation is a content node in the a-graph
+    assert len(g.agraph.contents()) == num_annotations
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(num_annotations=st.integers(1, 15), seed=st.integers(0, 1000))
+def test_keyword_search_sound(num_annotations, seed):
+    g = _build(num_annotations, seed)
+    for keyword in ["protease", "kinase", "binding", "mutation"]:
+        for annotation_id in g.search_by_keyword(keyword):
+            assert keyword in g.annotation(annotation_id).content.text().lower()
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(num_annotations=st.integers(2, 15), seed=st.integers(0, 1000))
+def test_snapshot_roundtrip_preserves_counts(num_annotations, seed):
+    from repro.core.persistence import rebuild, snapshot
+
+    g = _build(num_annotations, seed)
+    reloaded = rebuild(snapshot(g))
+    assert reloaded.statistics()["annotations"] == g.statistics()["annotations"]
+    assert reloaded.statistics()["agraph_edges"] == g.statistics()["agraph_edges"]
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(num_annotations=st.integers(1, 15), seed=st.integers(0, 1000))
+def test_delete_keeps_integrity(num_annotations, seed):
+    g = _build(num_annotations, seed)
+    victim = f"a{seed % num_annotations}"
+    g.delete_annotation(victim)
+    assert g.check_integrity().ok
+    assert victim not in [a.annotation_id for a in g.annotations()]

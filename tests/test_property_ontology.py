@@ -1,0 +1,110 @@
+"""Property-based tests for ontology operation invariants."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ontology.operations import OntologyOperations
+from repro.ontology.reasoning import OntologyReasoner
+from repro.workloads.generators import generate_ontology_dag
+
+
+def _ontology(depth, branching, instances, seed):
+    return generate_ontology_dag("O", depth=depth, branching=branching, instances_per_leaf=instances, rng=random.Random(seed))
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    depth=st.integers(1, 4),
+    branching=st.integers(1, 3),
+    instances=st.integers(1, 3),
+    seed=st.integers(0, 500),
+)
+def test_ci_of_root_covers_all_instances(depth, branching, instances, seed):
+    ontology = _ontology(depth, branching, instances, seed)
+    ops = OntologyOperations(ontology)
+    all_instances = {term.term_id for term in ontology.instances()}
+    assert ops.ci("O:0") == all_instances
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    depth=st.integers(2, 4),
+    branching=st.integers(2, 3),
+    instances=st.integers(1, 2),
+    seed=st.integers(0, 500),
+)
+def test_ci_is_monotone_down_the_hierarchy(depth, branching, instances, seed):
+    ontology = _ontology(depth, branching, instances, seed)
+    ops = OntologyOperations(ontology)
+    # a child concept's instances are a subset of its parent's instances
+    for term in ontology.concepts():
+        parents = ontology.parents(term.term_id)
+        for parent in parents:
+            assert ops.ci(term.term_id) <= ops.ci(parent)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    depth=st.integers(1, 4),
+    branching=st.integers(1, 3),
+    seed=st.integers(0, 500),
+)
+def test_subtree_contains_root(depth, branching, seed):
+    ontology = _ontology(depth, branching, 1, seed)
+    ops = OntologyOperations(ontology)
+    for term in ontology.concepts():
+        subtree = ops.subtree(term.term_id, "is_a")
+        assert term.term_id in subtree
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    depth=st.integers(2, 4),
+    branching=st.integers(2, 3),
+    seed=st.integers(0, 500),
+)
+def test_descendants_subset_of_subtree(depth, branching, seed):
+    ontology = _ontology(depth, branching, 1, seed)
+    ops = OntologyOperations(ontology)
+    for term in ontology.concepts():
+        subtree = ops.subtree(term.term_id, "is_a")
+        descendants = ontology.descendants(term.term_id, ("is_a",))
+        assert descendants <= subtree
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    depth=st.integers(2, 4),
+    branching=st.integers(2, 3),
+    seed=st.integers(0, 500),
+)
+def test_similarity_symmetric_and_bounded(depth, branching, seed):
+    ontology = _ontology(depth, branching, 1, seed)
+    reasoner = OntologyReasoner(ontology)
+    concepts = [term.term_id for term in ontology.concepts()][:6]
+    for a in concepts:
+        for b in concepts:
+            sim_ab = reasoner.wu_palmer_similarity(a, b)
+            sim_ba = reasoner.wu_palmer_similarity(b, a)
+            assert sim_ab == pytest.approx(sim_ba)
+            assert 0.0 <= sim_ab <= 1.0
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    depth=st.integers(2, 4),
+    branching=st.integers(2, 3),
+    seed=st.integers(0, 500),
+)
+def test_lca_is_common_ancestor(depth, branching, seed):
+    ontology = _ontology(depth, branching, 1, seed)
+    reasoner = OntologyReasoner(ontology)
+    concepts = [term.term_id for term in ontology.concepts()][:6]
+    for a in concepts:
+        for b in concepts:
+            for lca in reasoner.lowest_common_ancestors(a, b):
+                anc_a = ontology.ancestors(a) | {a}
+                anc_b = ontology.ancestors(b) | {b}
+                assert lca in anc_a and lca in anc_b

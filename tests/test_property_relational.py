@@ -1,0 +1,86 @@
+"""Property-based tests for the relational engine invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.query import and_, eq, ge, gt, le, lt
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.table import Table
+
+
+def _make_table():
+    return Table(
+        TableSchema(
+            "t",
+            [Column("id", ColumnType.INTEGER, nullable=False), Column("v", ColumnType.INTEGER)],
+            primary_key="id",
+        )
+    )
+
+
+@settings(max_examples=60)
+@given(values=st.lists(st.integers(-1000, 1000), min_size=0, max_size=80, unique=True))
+def test_insert_then_select_all(values):
+    table = _make_table()
+    for index, value in enumerate(values):
+        table.insert({"id": index, "v": value})
+    assert len(table) == len(values)
+    assert {row["v"] for row in table.select()} == set(values)
+
+
+@settings(max_examples=60)
+@given(
+    values=st.lists(st.integers(-500, 500), min_size=1, max_size=80, unique=True),
+    low=st.integers(-500, 500),
+    high=st.integers(-500, 500),
+)
+def test_range_query_matches_bruteforce(values, low, high):
+    if low > high:
+        low, high = high, low
+    table = _make_table()
+    table.create_sorted_index("v")
+    for index, value in enumerate(values):
+        table.insert({"id": index, "v": value})
+    rows = table.select(and_(ge("v", low), le("v", high)))
+    got = {row["v"] for row in rows}
+    expected = {value for value in values if low <= value <= high}
+    assert got == expected
+
+
+@settings(max_examples=50)
+@given(values=st.lists(st.integers(-500, 500), min_size=1, max_size=60, unique=True))
+def test_index_and_scan_agree(values):
+    indexed = _make_table()
+    indexed.create_index("v")
+    plain = _make_table()
+    for index, value in enumerate(values):
+        indexed.insert({"id": index, "v": value})
+        plain.insert({"id": index, "v": value})
+    target = values[0]
+    assert {r["id"] for r in indexed.select(eq("v", target))} == {
+        r["id"] for r in plain.select(eq("v", target))
+    }
+
+
+@settings(max_examples=50)
+@given(values=st.lists(st.integers(-500, 500), min_size=1, max_size=60, unique=True))
+def test_delete_then_count(values):
+    table = _make_table()
+    for index, value in enumerate(values):
+        table.insert({"id": index, "v": value})
+    threshold = 0
+    deleted = table.delete(gt("v", threshold))
+    assert deleted == sum(1 for value in values if value > threshold)
+    assert all(row["v"] <= threshold for row in table.select())
+
+
+@settings(max_examples=40)
+@given(values=st.lists(st.integers(-500, 500), min_size=1, max_size=40, unique=True))
+def test_update_preserves_row_count(values):
+    table = _make_table()
+    for index, value in enumerate(values):
+        table.insert({"id": index, "v": value})
+    before = len(table)
+    table.update(None, {"v": 0})
+    assert len(table) == before
+    assert all(row["v"] == 0 for row in table.select())

@@ -1,0 +1,81 @@
+"""Property-based tests for spatial index invariants and round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.linear_scan import linear_interval_overlap, linear_region_overlap
+from repro.spatial.interval import Interval
+from repro.spatial.interval_tree import IntervalTree
+from repro.spatial.rect import Rect
+from repro.spatial.rtree import RTree
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 100), st.integers(0, 30), st.integers(0, 1)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_interval_tree_insert_remove_roundtrip(ops):
+    tree = IntervalTree()
+    inserted = []
+    for position, (start, length, should_remove) in enumerate(ops):
+        interval = Interval(start, start + length, payload=position)
+        tree.insert(interval)
+        inserted.append(interval)
+    # remove half of them and check size bookkeeping
+    for interval in inserted[::2]:
+        assert tree.remove(interval)
+    assert len(tree) == len(inserted) - len(inserted[::2])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    intervals=st.lists(st.tuples(st.integers(0, 200), st.integers(0, 40)), min_size=0, max_size=70),
+    qstart=st.integers(0, 200),
+    qlen=st.integers(0, 40),
+)
+def test_interval_tree_overlap_is_complete_and_sound(intervals, qstart, qlen):
+    items = [Interval(s, s + length, payload=i) for i, (s, length) in enumerate(intervals)]
+    tree = IntervalTree.from_intervals(items)
+    query = Interval(qstart, qstart + qlen)
+    got = {iv.payload for iv in tree.search_overlap(query)}
+    expected = {iv.payload for iv in linear_interval_overlap(items, query)}
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rects=st.lists(
+        st.tuples(st.integers(0, 200), st.integers(0, 200), st.integers(1, 30), st.integers(1, 30)),
+        min_size=1,
+        max_size=60,
+    ),
+)
+def test_rtree_insert_remove_size(rects):
+    items = [Rect((x, y), (x + w, y + h), payload=i) for i, (x, y, w, h) in enumerate(rects)]
+    tree = RTree.from_rects(items, max_entries=6)
+    assert len(tree) == len(items)
+    for rect in items[::3]:
+        assert tree.remove(rect)
+    assert len(tree) == len(items) - len(items[::3])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rects=st.lists(
+        st.tuples(st.integers(0, 200), st.integers(0, 200), st.integers(1, 30), st.integers(1, 30)),
+        min_size=1,
+        max_size=60,
+    ),
+    query=st.tuples(st.integers(0, 200), st.integers(0, 200), st.integers(1, 60), st.integers(1, 60)),
+)
+def test_rtree_bulk_load_matches_scan(rects, query):
+    items = [Rect((x, y), (x + w, y + h), payload=i) for i, (x, y, w, h) in enumerate(rects)]
+    tree = RTree.bulk_load(items, max_entries=8)
+    q = Rect((query[0], query[1]), (query[0] + query[2], query[1] + query[3]))
+    got = {rect.payload for rect in tree.search_overlap(q)}
+    expected = {rect.payload for rect in linear_region_overlap(items, q)}
+    assert got == expected

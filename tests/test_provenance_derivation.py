@@ -1,0 +1,68 @@
+"""Tests for derivation coordinate transforms."""
+
+import pytest
+
+from repro.errors import GraphittiError
+from repro.provenance.derivation import Derivation, DerivationKind
+from repro.spatial.interval import Interval
+from repro.spatial.rect import Rect
+
+
+def test_subsequence_requires_window():
+    with pytest.raises(GraphittiError):
+        Derivation("a", "b", DerivationKind.SUBSEQUENCE, "da", "db")
+
+
+def test_map_interval_inside_window():
+    d = Derivation("a", "b", DerivationKind.SUBSEQUENCE, "da", "db", window=(40, 120))
+    mapped = d.map_interval(Interval(50, 90, domain="da"))
+    assert mapped.start == 10 and mapped.end == 50
+    assert mapped.domain == "db"
+
+
+def test_map_interval_outside_window():
+    d = Derivation("a", "b", DerivationKind.SUBSEQUENCE, "da", "db", window=(40, 120))
+    assert d.map_interval(Interval(200, 240, domain="da")) is None
+
+
+def test_map_interval_clipped_to_window():
+    d = Derivation("a", "b", DerivationKind.SUBSEQUENCE, "da", "db", window=(40, 120))
+    mapped = d.map_interval(Interval(30, 60, domain="da"))
+    # clipped to [40,60] -> [0,20]
+    assert mapped.start == 0 and mapped.end == 20
+
+
+def test_covers_interval():
+    d = Derivation("a", "b", DerivationKind.SUBSEQUENCE, "da", "db", window=(40, 120))
+    assert d.covers_interval(Interval(50, 90, domain="da"))
+    assert not d.covers_interval(Interval(200, 240, domain="da"))
+
+
+def test_map_rect_inside():
+    d = Derivation("a", "b", DerivationKind.IMAGE_CROP, "sa", "sb", window=((10, 10), (100, 100)))
+    mapped = d.map_rect(Rect((20, 20), (40, 40), space="sa"))
+    assert mapped.lo == (10, 10) and mapped.hi == (30, 30)
+    assert mapped.space == "sb"
+
+
+def test_map_rect_outside():
+    d = Derivation("a", "b", DerivationKind.IMAGE_CROP, "sa", "sb", window=((10, 10), (100, 100)))
+    assert d.map_rect(Rect((200, 200), (210, 210), space="sa")) is None
+
+
+def test_identity_derivation():
+    d = Derivation("a", "b", DerivationKind.IDENTITY, "da", "db")
+    mapped = d.map_interval(Interval(5, 9, domain="da"))
+    assert mapped.start == 5 and mapped.domain == "db"
+
+
+def test_map_interval_wrong_kind():
+    d = Derivation("a", "b", DerivationKind.IMAGE_CROP, "sa", "sb", window=((0, 0), (1, 1)))
+    with pytest.raises(GraphittiError):
+        d.map_interval(Interval(0, 1, domain="sa"))
+
+
+def test_map_rect_wrong_kind():
+    d = Derivation("a", "b", DerivationKind.SUBSEQUENCE, "da", "db", window=(0, 10))
+    with pytest.raises(GraphittiError):
+        d.map_rect(Rect((0, 0), (1, 1), space="da"))

@@ -1,0 +1,67 @@
+"""Tests for the provenance ledger."""
+
+import pytest
+
+from repro.provenance.ledger import ProvenanceLedger, ProvenanceRecord
+
+
+def make_ledger():
+    ledger = ProvenanceLedger()
+    ledger.record("root")
+    ledger.record("child1", operation="propagate", parents=("root",))
+    ledger.record("child2", operation="propagate", parents=("root",))
+    ledger.record("grandchild", operation="propagate", parents=("child1",))
+    return ledger
+
+
+def test_record_and_get():
+    ledger = make_ledger()
+    record = ledger.get("child1")
+    assert record.operation == "propagate"
+    assert record.parents == ("root",)
+
+
+def test_parents_and_children():
+    ledger = make_ledger()
+    assert ledger.parents("child1") == ("root",)
+    assert ledger.children("root") == {"child1", "child2"}
+
+
+def test_ancestors():
+    ledger = make_ledger()
+    assert ledger.ancestors("grandchild") == {"child1", "root"}
+
+
+def test_descendants():
+    ledger = make_ledger()
+    assert ledger.descendants("root") == {"child1", "child2", "grandchild"}
+
+
+def test_roots():
+    ledger = make_ledger()
+    assert ledger.roots() == ["root"]
+
+
+def test_lineage():
+    ledger = make_ledger()
+    assert ledger.lineage("grandchild") == ["root", "child1", "grandchild"]
+
+
+def test_unknown_record():
+    ledger = ProvenanceLedger()
+    assert ledger.get("nope") is None
+    assert ledger.parents("nope") == ()
+    assert ledger.descendants("nope") == set()
+
+
+def test_len_and_contains():
+    ledger = make_ledger()
+    assert len(ledger) == 4
+    assert "root" in ledger
+    assert "ghost" not in ledger
+
+
+def test_records_iter():
+    ledger = make_ledger()
+    ids = {record.annotation_id for record in ledger.records()}
+    assert ids == {"root", "child1", "child2", "grandchild"}

@@ -1,0 +1,100 @@
+"""Tests for annotation propagation and deletion propagation."""
+
+import pytest
+
+from repro import Graphitti
+from repro.datatypes import DnaSequence, Image
+from repro.errors import GraphittiError
+from repro.provenance.derivation import Derivation, DerivationKind
+from repro.provenance.propagation import AnnotationPropagator
+
+
+def build_sequence_instance():
+    g = Graphitti()
+    g.register(DnaSequence("gene", "ACGT" * 100, domain="gene:dom"))
+    g.register(DnaSequence("gene_frag", "ACGT" * 20, domain="frag:dom"))
+    g.new_annotation("src1", keywords=["promoter"]).mark_sequence("gene", 50, 90).commit()
+    g.new_annotation("src2", keywords=["exon"]).mark_sequence("gene", 200, 240).commit()
+    prop = AnnotationPropagator(g)
+    prop.register_derivation(
+        Derivation("gene", "gene_frag", DerivationKind.SUBSEQUENCE, "gene:dom", "frag:dom", window=(40, 120))
+    )
+    return g, prop
+
+
+def test_propagation_maps_coordinates():
+    g, prop = build_sequence_instance()
+    created = prop.propagate("gene", "gene_frag")
+    assert len(created) == 1  # only src1 is inside the window
+    ref = g.annotation(created[0]).referents[0].ref
+    assert ref.interval.start == 10 and ref.interval.end == 50
+    assert ref.object_id == "gene_frag"
+
+
+def test_propagation_copies_content():
+    g, prop = build_sequence_instance()
+    created = prop.propagate("gene", "gene_frag")
+    assert "promoter" in g.annotation(created[0]).content.keywords()
+
+
+def test_propagation_records_lineage():
+    g, prop = build_sequence_instance()
+    created = prop.propagate("gene", "gene_frag")
+    assert prop.ledger.parents(created[0]) == ("src1",)
+    assert created[0] in prop.ledger.descendants("src1")
+
+
+def test_propagation_unknown_derivation():
+    g, prop = build_sequence_instance()
+    with pytest.raises(GraphittiError):
+        prop.propagate("gene", "unknown")
+
+
+def test_deletion_propagation_plan():
+    g, prop = build_sequence_instance()
+    created = prop.propagate("gene", "gene_frag")
+    plan = prop.propagate_deletion("src1", apply=False)
+    assert "src1" in plan
+    assert created[0] in plan
+    # nothing actually deleted
+    assert "src1" in {a.annotation_id for a in g.annotations()}
+
+
+def test_deletion_propagation_apply():
+    g, prop = build_sequence_instance()
+    created = prop.propagate("gene", "gene_frag")
+    prop.propagate_deletion("src1", apply=True)
+    remaining = {a.annotation_id for a in g.annotations()}
+    assert "src1" not in remaining
+    assert created[0] not in remaining
+    assert "src2" in remaining  # untouched
+    assert g.check_integrity().ok
+
+
+def test_image_propagation():
+    g = Graphitti()
+    g.register(Image("big", dimension=2, space="big:space", size=(200, 200)))
+    g.register(Image("crop", dimension=2, space="crop:space", size=(100, 100)))
+    g.new_annotation("img-src").mark_region("big", (60, 60), (90, 90)).commit()
+    prop = AnnotationPropagator(g)
+    prop.register_derivation(
+        Derivation("big", "crop", DerivationKind.IMAGE_CROP, "big:space", "crop:space", window=((50, 50), (150, 150)))
+    )
+    created = prop.propagate("big", "crop")
+    assert len(created) == 1
+    rect = g.annotation(created[0]).referents[0].ref.rect
+    assert rect.lo == (10, 10) and rect.hi == (40, 40)
+
+
+def test_propagation_idempotent_ids():
+    g, prop = build_sequence_instance()
+    first = prop.propagate("gene", "gene_frag")
+    second = prop.propagate("gene", "gene_frag")
+    # second propagation gets fresh ids (suffix) so no collision
+    assert set(first).isdisjoint(set(second))
+
+
+def test_existing_annotations_recorded_as_roots():
+    g, prop = build_sequence_instance()
+    assert "src1" in prop.ledger
+    assert prop.ledger.parents("src1") == ()

@@ -1,0 +1,84 @@
+"""Tests for the programmatic query builder."""
+
+import pytest
+
+from repro.query.ast import (
+    KeywordConstraint,
+    OntologyConstraint,
+    OverlapConstraint,
+    PathConstraint,
+    RegionConstraint,
+    ReturnKind,
+    TypeConstraint,
+)
+from repro.query.builder import QueryBuilder
+
+
+def test_return_kinds():
+    assert QueryBuilder.contents().build().return_kind is ReturnKind.CONTENTS
+    assert QueryBuilder.referents().build().return_kind is ReturnKind.REFERENTS
+    assert QueryBuilder.graph().build().return_kind is ReturnKind.GRAPH
+
+
+def test_contains():
+    query = QueryBuilder.contents().contains("protease").build()
+    assert isinstance(query.constraints[0], KeywordConstraint)
+    assert query.constraints[0].keyword == "protease"
+
+
+def test_refers():
+    query = QueryBuilder.contents().refers("t", ontology="o", include_descendants=False).build()
+    c = query.constraints[0]
+    assert isinstance(c, OntologyConstraint)
+    assert c.ontology == "o"
+    assert c.include_descendants is False
+
+
+def test_overlaps_interval():
+    query = QueryBuilder.contents().overlaps_interval("chr1", 10, 40, min_count=2).build()
+    c = query.constraints[0]
+    assert isinstance(c, OverlapConstraint)
+    assert c.min_count == 2
+
+
+def test_overlaps_region():
+    query = QueryBuilder.graph().overlaps_region("atlas", (0, 0), (5, 5)).build()
+    c = query.constraints[0]
+    assert isinstance(c, RegionConstraint)
+    assert c.lo == (0, 0) and c.hi == (5, 5)
+
+
+def test_of_type():
+    query = QueryBuilder.contents().of_type("dna").build()
+    assert isinstance(query.constraints[0], TypeConstraint)
+
+
+def test_path():
+    query = QueryBuilder.graph().path("a", "b", max_length=3).build()
+    c = query.constraints[0]
+    assert isinstance(c, PathConstraint)
+    assert c.max_length == 3
+
+
+def test_limit():
+    query = QueryBuilder.contents().contains("x").limit(5).build()
+    assert query.limit == 5
+
+
+def test_chaining_builds_conjunction():
+    query = (
+        QueryBuilder.contents()
+        .contains("protease")
+        .refers("protein:protease")
+        .overlaps_interval("chr1", 1, 2)
+        .of_type("dna")
+        .build()
+    )
+    assert len(query.constraints) == 4
+
+
+def test_describe_includes_all():
+    query = QueryBuilder.contents().contains("x").of_type("dna").build()
+    description = query.describe()
+    assert "CONTAINS" in description
+    assert "type dna" in description

@@ -1,0 +1,46 @@
+"""Tests for query EXPLAIN (plan + cost without execution)."""
+
+import pytest
+
+from repro.query.builder import QueryBuilder
+
+
+def test_explain_structure(small_graphitti):
+    explanation = small_graphitti.explain(
+        QueryBuilder.contents().contains("protease").overlaps_interval("chr1", 10, 40).build()
+    )
+    assert "PLAN" in explanation["plan"]
+    assert explanation["subqueries"] == 2
+    assert explanation["estimated_cost"] > 0
+    assert "content" in explanation["targets"]
+
+
+def test_explain_text_query(small_graphitti):
+    explanation = small_graphitti.explain('SELECT contents WHERE { CONTENT CONTAINS "protease" }')
+    assert "CONTAINS" in explanation["plan"]
+
+
+def test_explain_ordering_changes_plan(small_graphitti):
+    query = QueryBuilder.contents().of_type("dna_sequence").contains("protease").build()
+    ordered = small_graphitti.explain(query, enable_ordering=True)["plan"]
+    naive = small_graphitti.explain(query, enable_ordering=False)["plan"]
+    assert "ordering=on" in ordered
+    assert "ordering=off" in naive
+
+
+def test_explain_does_not_execute(small_graphitti):
+    before = small_graphitti.annotation_count
+    small_graphitti.explain(QueryBuilder.contents().contains("protease").build())
+    assert small_graphitti.annotation_count == before
+
+
+def test_cli_explain(tmp_path, capsys):
+    from repro.cli import main
+
+    path = str(tmp_path / "flu.json")
+    main(["build", "influenza", path])
+    capsys.readouterr()
+    assert main(["explain", path, 'SELECT contents WHERE { CONTENT CONTAINS "cleavage" }']) == 0
+    out = capsys.readouterr().out
+    assert "PLAN" in out
+    assert "estimated cost" in out

@@ -1,0 +1,86 @@
+"""End-to-end tests for the specific queries the paper names (Q1, Q2, Fig-3)."""
+
+import pytest
+
+from repro.query.builder import QueryBuilder
+from repro.query.parser import parse_query
+from repro.spatial.operators import are_consecutive, are_disjoint
+from repro.spatial.interval import Interval
+
+
+def test_fig3_alpha_synuclein_graph(neuroscience):
+    """Fig. 3: annotation graph related to alpha-synuclein."""
+    result = neuroscience.query(QueryBuilder.graph().refers("alpha-synuclein").build())
+    assert result.count >= 1
+    # the primary annotation touches a sequence, images, and a tree
+    witness = neuroscience.witness_structure("neuro-a1")
+    types = {referent["type"] for referent in witness["referents"]}
+    assert {"dna_sequence", "image", "phylogenetic_tree"} <= types
+
+
+def test_q1_mixed_keyword_ontology_region(neuroscience):
+    """Intro query Q1 shape: term 'Deep Cerebellar nuclei' + >=2 regions."""
+    gql = (
+        'SELECT contents WHERE { '
+        'REFERENT REFERS "Deep Cerebellar nuclei" '
+        'REGION OVERLAPS mouse-atlas:25um [0,0] .. [512,512] MINCOUNT 2 }'
+    )
+    result = neuroscience.query(parse_query(gql))
+    assert "neuro-a1" in result.annotation_ids
+
+
+def test_q2_protease_consecutive_intervals(empty_graphitti):
+    """Section III query Q2: 4 consecutive non-overlapping intervals each
+    annotated with 'protease'."""
+    from repro.datatypes import DnaSequence
+
+    g = empty_graphitti
+    g.register(DnaSequence("mainseq", "ACGT" * 100, domain="chrQ"))
+    # Four consecutive, disjoint subsequence annotations, each with 'protease'.
+    ranges = [(0, 20), (25, 45), (50, 70), (75, 95)]
+    for index, (start, end) in enumerate(ranges):
+        (
+            g.new_annotation(f"q2-{index}", keywords=["protease"], body="protease cleavage")
+            .mark_sequence("mainseq", start, end, ontology_terms=["protein:protease"])
+            .commit()
+        )
+    # All four must be found by the keyword + ontology query.
+    result = g.query(
+        QueryBuilder.contents().contains("protease").refers("protein:protease").build()
+    )
+    assert len(result.annotation_ids) == 4
+    # And the marked intervals are indeed consecutive & disjoint.
+    marks = [Interval(start, end, domain="chrQ") for start, end in ranges]
+    assert are_consecutive(marks)
+    assert are_disjoint(marks)
+
+
+def test_q2_rejects_overlapping(empty_graphitti):
+    """The disjointness graph constraint must reject overlapping intervals."""
+    overlapping = [Interval(0, 30, domain="c"), Interval(20, 50, domain="c")]
+    assert not are_disjoint(overlapping)
+    assert not are_consecutive(overlapping)
+
+
+def test_intro_query_protein_tp53_keyword(empty_graphitti):
+    """Intro query fragment: annotations containing 'protein.TP53'."""
+    from repro.datatypes import DnaSequence
+
+    g = empty_graphitti
+    g.register(DnaSequence("tp53gene", "ACGT" * 40, domain="chr17"))
+    (
+        g.new_annotation("tp53-anno", keywords=["protein.TP53"], body="mutation in protein.TP53 domain")
+        .mark_sequence("tp53gene", 10, 30)
+        .refer_ontology("TP53")
+        .commit()
+    )
+    assert "tp53-anno" in g.search_by_keyword("TP53")
+    assert "tp53-anno" in g.search_by_keyword("protein.TP53")
+
+
+def test_connection_subgraph_is_result_page(influenza):
+    """Fig. 3/III: each connected subgraph forms a result page."""
+    result = influenza.query(QueryBuilder.graph().contains("cleavage").build())
+    # cleavage matches flu-a1 and flu-a2, which are connected -> one page
+    assert len(result.subgraphs) >= 1
+    assert all(subgraph.node_count >= 1 for subgraph in result.subgraphs)

@@ -1,0 +1,54 @@
+"""Tests for the QueryResult model."""
+
+import pytest
+
+from repro.agraph.connection import ConnectionSubgraph
+from repro.query.ast import ReturnKind
+from repro.query.result import QueryResult
+
+
+def test_count_contents():
+    result = QueryResult(return_kind=ReturnKind.CONTENTS, annotation_ids=["a", "b"])
+    assert result.count == 2
+    assert not result.is_empty()
+
+
+def test_count_referents():
+    result = QueryResult(return_kind=ReturnKind.REFERENTS, referents=[1, 2, 3])
+    assert result.count == 3
+
+
+def test_count_graph():
+    subgraph = ConnectionSubgraph(terminals=("a",), nodes={"a"})
+    result = QueryResult(return_kind=ReturnKind.GRAPH, subgraphs=[subgraph])
+    assert result.count == 1
+
+
+def test_is_empty():
+    result = QueryResult(return_kind=ReturnKind.CONTENTS)
+    assert result.is_empty()
+
+
+def test_record_and_explain_steps():
+    result = QueryResult(return_kind=ReturnKind.CONTENTS)
+    result.record_step("keyword", 10)
+    result.record_step("overlap", 3)
+    explanation = result.explain_steps()
+    assert "keyword" in explanation and "10" in explanation
+    assert "overlap" in explanation and "3" in explanation
+
+
+def test_to_dict():
+    result = QueryResult(return_kind=ReturnKind.CONTENTS, annotation_ids=["a"])
+    result.record_step("keyword", 1)
+    payload = result.to_dict()
+    assert payload["return_kind"] == "contents"
+    assert payload["count"] == 1
+    assert payload["steps"] == [["keyword", 1]] or payload["steps"] == [("keyword", 1)]
+
+
+def test_to_dict_with_subgraphs():
+    subgraph = ConnectionSubgraph(terminals=("a", "b"), nodes={"a", "b"})
+    result = QueryResult(return_kind=ReturnKind.GRAPH, subgraphs=[subgraph])
+    payload = result.to_dict()
+    assert len(payload["subgraphs"]) == 1

@@ -1,0 +1,67 @@
+"""Tests for the GQL tokenizer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.tokenizer import TokenType, tokenize
+
+
+def test_keywords_uppercased():
+    tokens = tokenize("select contents where")
+    assert [t.value for t in tokens[:3]] == ["SELECT", "CONTENTS", "WHERE"]
+    assert all(t.type is TokenType.KEYWORD for t in tokens[:3])
+
+
+def test_string_tokens():
+    tokens = tokenize("'protease'")
+    assert tokens[0].type is TokenType.STRING
+    assert tokens[0].value == "protease"
+
+
+def test_double_quoted_string():
+    tokens = tokenize('"deep nuclei"')
+    assert tokens[0].value == "deep nuclei"
+
+
+def test_numbers():
+    tokens = tokenize("10 -5 3.14")
+    values = [t.value for t in tokens if t.type is TokenType.NUMBER]
+    assert values == ["10", "-5", "3.14"]
+
+
+def test_punctuation():
+    tokens = tokenize("{ } [ ] , ..")
+    puncts = [t.value for t in tokens if t.type is TokenType.PUNCT]
+    assert puncts == ["{", "}", "[", "]", ",", ".."]
+
+
+def test_identifiers_with_colon_and_dash():
+    tokens = tokenize("mouse-atlas:25um")
+    assert tokens[0].type is TokenType.IDENT
+    assert tokens[0].value == "mouse-atlas:25um"
+
+
+def test_comments_skipped():
+    tokens = tokenize("SELECT # comment\n CONTENTS")
+    keywords = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+    assert keywords == ["SELECT", "CONTENTS"]
+
+
+def test_eof_token():
+    tokens = tokenize("SELECT")
+    assert tokens[-1].type is TokenType.EOF
+
+
+def test_unterminated_string():
+    with pytest.raises(QuerySyntaxError):
+        tokenize("'unterminated")
+
+
+def test_unexpected_character():
+    with pytest.raises(QuerySyntaxError):
+        tokenize("SELECT $")
+
+
+def test_escaped_quote_in_string():
+    tokens = tokenize(r"'it\'s'")
+    assert tokens[0].value == "it's"

@@ -1,0 +1,74 @@
+"""Tests for type-extended connection subgraphs."""
+
+import pytest
+
+from repro import Graphitti
+from repro.datatypes import DnaSequence, Image
+from repro.ontology.builtin import build_protein_ontology
+from repro.query.builder import QueryBuilder
+
+
+def test_type_extension_records_referents(neuroscience):
+    result = neuroscience.query(QueryBuilder.graph().refers("Deep Cerebellar nuclei").build())
+    assert result.subgraphs
+    subgraph = result.subgraphs[0]
+    assert "image" in subgraph.types_present()
+    assert subgraph.type_extensions["image"]["referents"]
+
+
+def test_type_extension_multiple_types(neuroscience):
+    result = neuroscience.query(QueryBuilder.graph().refers("alpha-synuclein").build())
+    subgraph = result.subgraphs[0]
+    types = set(subgraph.types_present())
+    assert {"dna_sequence", "image", "phylogenetic_tree"} <= types
+
+
+def test_intersection_computed_for_overlapping_referents():
+    g = Graphitti()
+    g.register_ontology(build_protein_ontology())
+    g.register(DnaSequence("seq", "ACGT" * 100, domain="chr1"))
+    # two annotations mark overlapping (but distinct) intervals on the same seq
+    g.new_annotation("a1", keywords=["x"]).mark_sequence("seq", 10, 50).commit()
+    g.new_annotation("a2", keywords=["x"]).mark_sequence("seq", 30, 70).commit()
+    result = g.query(QueryBuilder.graph().contains("x").build())
+    # a1 and a2 are connected only if they share a node; here they don't share a
+    # referent, so force membership by querying all and checking each subgraph
+    found_intersection = False
+    for subgraph in result.subgraphs:
+        ext = subgraph.type_extensions.get("dna_sequence")
+        if ext and ext["intersections"]:
+            found_intersection = True
+    # a1 and a2 are in separate components (no shared node), so no intersection
+    # is recorded across them; the feature is exercised within a component below.
+    assert found_intersection is False
+
+
+def test_intersection_within_one_annotation():
+    g = Graphitti()
+    g.register(DnaSequence("seq", "ACGT" * 100, domain="chr1"))
+    # one annotation with two overlapping marks on the same sequence
+    (
+        g.new_annotation("a1", keywords=["x"])
+        .mark_sequence("seq", 10, 50)
+        .mark_sequence("seq", 30, 70)
+        .commit()
+    )
+    result = g.query(QueryBuilder.graph().contains("x").build())
+    subgraph = result.subgraphs[0]
+    ext = subgraph.type_extensions["dna_sequence"]
+    assert len(ext["intersections"]) == 1
+    assert ext["intersections"][0]["object"] == "seq"
+
+
+def test_no_intersection_for_disjoint():
+    g = Graphitti()
+    g.register(DnaSequence("seq", "ACGT" * 100, domain="chr1"))
+    (
+        g.new_annotation("a1", keywords=["x"])
+        .mark_sequence("seq", 10, 20)
+        .mark_sequence("seq", 50, 70)
+        .commit()
+    )
+    result = g.query(QueryBuilder.graph().contains("x").build())
+    ext = result.subgraphs[0].type_extensions["dna_sequence"]
+    assert ext["intersections"] == []

@@ -1,0 +1,117 @@
+"""Tests for relational grouping and aggregation."""
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational.aggregate import (
+    Aggregate,
+    aggregate_all,
+    avg,
+    collect,
+    count,
+    group_by,
+    max_,
+    min_,
+    sum_,
+)
+
+
+ROWS = [
+    {"org": "chicken", "len": 100, "subtype": "H5N1"},
+    {"org": "chicken", "len": 200, "subtype": "H5N1"},
+    {"org": "duck", "len": 300, "subtype": "H5N1"},
+    {"org": "duck", "len": None, "subtype": "H1N1"},
+]
+
+
+def test_count_rows():
+    result = group_by(ROWS, ["org"], [count()])
+    counts = {row["org"]: row["count"] for row in result}
+    assert counts == {"chicken": 2, "duck": 2}
+
+
+def test_count_non_null_column():
+    result = group_by(ROWS, ["org"], [count("len")])
+    counts = {row["org"]: row["count_len"] for row in result}
+    assert counts == {"chicken": 2, "duck": 1}
+
+
+def test_sum_and_avg():
+    result = group_by(ROWS, ["org"], [sum_("len"), avg("len")])
+    by_org = {row["org"]: row for row in result}
+    assert by_org["chicken"]["sum_len"] == 300
+    assert by_org["chicken"]["avg_len"] == 150
+
+
+def test_min_max():
+    result = group_by(ROWS, ["org"], [min_("len"), max_("len")])
+    by_org = {row["org"]: row for row in result}
+    assert by_org["chicken"]["min_len"] == 100
+    assert by_org["chicken"]["max_len"] == 200
+
+
+def test_collect():
+    result = group_by(ROWS, ["org"], [collect("len")])
+    by_org = {row["org"]: row["collect_len"] for row in result}
+    assert sorted(by_org["chicken"]) == [100, 200]
+
+
+def test_alias():
+    result = group_by(ROWS, ["org"], [count().as_("n")])
+    assert "n" in result[0]
+
+
+def test_having():
+    result = group_by(ROWS, ["org"], [count()], having=lambda row: row["count"] > 2)
+    assert result == []
+    result2 = group_by(ROWS, ["subtype"], [count()], having=lambda row: row["count"] >= 3)
+    assert len(result2) == 1 and result2[0]["subtype"] == "H5N1"
+
+
+def test_multi_key_group():
+    result = group_by(ROWS, ["org", "subtype"], [count()])
+    assert len(result) == 3  # chicken/H5N1, duck/H5N1, duck/H1N1
+
+
+def test_groups_sorted():
+    result = group_by(ROWS, ["org"], [count()])
+    assert [row["org"] for row in result] == ["chicken", "duck"]
+
+
+def test_aggregate_all():
+    result = aggregate_all(ROWS, [count(), sum_("len")])
+    assert result["count"] == 4
+    assert result["sum_len"] == 600
+
+
+def test_empty_group_avg_none():
+    rows = [{"g": "x", "v": None}]
+    result = group_by(rows, ["g"], [avg("v")])
+    assert result[0]["avg_v"] is None
+
+
+def test_unknown_aggregate():
+    with pytest.raises(RelationalError):
+        Aggregate("median", "len").compute(ROWS)
+
+
+def test_integration_with_table():
+    from repro.relational.schema import Column, ColumnType, TableSchema
+    from repro.relational.table import Table
+
+    table = Table(
+        TableSchema(
+            "iso",
+            [Column("id", ColumnType.INTEGER, nullable=False), Column("org", ColumnType.TEXT), Column("len", ColumnType.INTEGER)],
+            primary_key="id",
+        )
+    )
+    table.insert_many([
+        {"id": 1, "org": "chicken", "len": 100},
+        {"id": 2, "org": "chicken", "len": 200},
+        {"id": 3, "org": "duck", "len": 300},
+    ])
+    result = group_by(table.select(), ["org"], [count(), avg("len")])
+    by_org = {row["org"]: row for row in result}
+    assert by_org["chicken"]["count"] == 2
+    assert by_org["duck"]["avg_len"] == 300

@@ -1,0 +1,85 @@
+"""Tests for the database container and JSON persistence."""
+
+import pytest
+
+from repro.errors import RelationalError, UnknownTableError
+from repro.relational import Database, load_database, save_database
+from repro.relational.schema import Column, ColumnType, TableSchema
+
+
+def test_create_and_fetch_table():
+    db = Database("d")
+    db.create_table_from_columns("t", {"id": ColumnType.INTEGER, "n": ColumnType.TEXT}, primary_key="id")
+    assert db.has_table("t")
+    assert "t" in db
+    assert db.table("t").name == "t"
+
+
+def test_create_duplicate_table():
+    db = Database()
+    db.create_table_from_columns("t", {"id": ColumnType.INTEGER}, primary_key="id")
+    with pytest.raises(RelationalError):
+        db.create_table_from_columns("t", {"id": ColumnType.INTEGER}, primary_key="id")
+
+
+def test_unknown_table():
+    db = Database()
+    with pytest.raises(UnknownTableError):
+        db.table("nope")
+
+
+def test_drop_table():
+    db = Database()
+    db.create_table_from_columns("t", {"id": ColumnType.INTEGER}, primary_key="id")
+    db.drop_table("t")
+    assert not db.has_table("t")
+    with pytest.raises(UnknownTableError):
+        db.drop_table("t")
+
+
+def test_total_rows():
+    db = Database()
+    t = db.create_table_from_columns("t", {"id": ColumnType.INTEGER}, primary_key="id")
+    t.insert({"id": 1})
+    t.insert({"id": 2})
+    assert db.total_rows() == 2
+
+
+def test_table_names_in_order():
+    db = Database()
+    db.create_table_from_columns("a", {"id": ColumnType.INTEGER}, primary_key="id")
+    db.create_table_from_columns("b", {"id": ColumnType.INTEGER}, primary_key="id")
+    assert db.table_names == ("a", "b")
+
+
+def test_database_roundtrip(tmp_path):
+    db = Database("persist")
+    t = db.create_table_from_columns("t", {"id": ColumnType.INTEGER, "n": ColumnType.TEXT}, primary_key="id")
+    t.insert({"id": 1, "n": "x"})
+    t.insert({"id": 2, "n": "y"})
+    path = save_database(db, tmp_path / "db.json")
+    loaded = load_database(path)
+    assert loaded.name == "persist"
+    assert loaded.table("t").get(1)["n"] == "x"
+    assert len(loaded.table("t")) == 2
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(RelationalError):
+        load_database(tmp_path / "ghost.json")
+
+
+def test_load_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("not json{{")
+    with pytest.raises(RelationalError):
+        load_database(path)
+
+
+def test_database_dict_roundtrip_preserves_indexes_data():
+    db = Database()
+    t = db.create_table_from_columns("t", {"id": ColumnType.INTEGER, "v": ColumnType.INTEGER}, primary_key="id")
+    for i in range(5):
+        t.insert({"id": i, "v": i * 10})
+    restored = Database.from_dict(db.to_dict())
+    assert restored.table("t").get(3)["v"] == 30

@@ -1,0 +1,125 @@
+"""Tests for the hash and sorted secondary indexes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.index import HashIndex, SortedIndex
+
+
+def test_hash_index_insert_lookup():
+    index = HashIndex("h", ("x",))
+    index.insert(1, 100)
+    index.insert(1, 101)
+    index.insert(2, 200)
+    assert index.lookup(1) == {100, 101}
+    assert index.lookup(2) == {200}
+    assert index.lookup(3) == set()
+
+
+def test_hash_index_remove():
+    index = HashIndex("h", ("x",))
+    index.insert(1, 100)
+    index.insert(1, 101)
+    index.remove(1, 100)
+    assert index.lookup(1) == {101}
+    index.remove(1, 101)
+    assert index.lookup(1) == set()
+    assert 1 not in list(index.keys())
+
+
+def test_hash_index_composite_key():
+    index = HashIndex("h", ("a", "b"))
+    key = index.key_for({"a": 1, "b": "x"})
+    assert key == (1, "x")
+
+
+def test_hash_index_len():
+    index = HashIndex("h", ("x",))
+    index.insert("a", 1)
+    index.insert("b", 2)
+    index.insert("b", 3)
+    assert len(index) == 3
+
+
+def test_sorted_index_range_inclusive():
+    index = SortedIndex("s", "x")
+    for value in range(10):
+        index.insert(value, value)
+    assert index.range(2, 5) == {2, 3, 4, 5}
+
+
+def test_sorted_index_range_exclusive():
+    index = SortedIndex("s", "x")
+    for value in range(10):
+        index.insert(value, value)
+    assert index.range(2, 5, include_low=False, include_high=False) == {3, 4}
+
+
+def test_sorted_index_open_bounds():
+    index = SortedIndex("s", "x")
+    for value in range(5):
+        index.insert(value, value)
+    assert index.range(None, 2) == {0, 1, 2}
+    assert index.range(2, None) == {2, 3, 4}
+    assert index.range(None, None) == {0, 1, 2, 3, 4}
+
+
+def test_sorted_index_inverted_bounds_empty():
+    index = SortedIndex("s", "x")
+    index.insert(5, 1)
+    assert index.range(10, 1) == set()
+
+
+def test_sorted_index_min_max():
+    index = SortedIndex("s", "x")
+    for value in [5, 1, 9, 3]:
+        index.insert(value, value)
+    assert index.min_key() == 1
+    assert index.max_key() == 9
+
+
+def test_sorted_index_remove_maintains_order():
+    index = SortedIndex("s", "x")
+    for value in [5, 1, 9, 3]:
+        index.insert(value, value)
+    index.remove(1, 1)
+    assert list(index.ordered_keys()) == [3, 5, 9]
+
+
+def test_sorted_index_handles_none():
+    index = SortedIndex("s", "x")
+    index.insert(None, 1)
+    index.insert(5, 2)
+    assert index.lookup(None) == {1}
+    assert index.range(None, None) == {1, 2}
+
+
+def test_sorted_index_mixed_numeric():
+    index = SortedIndex("s", "x")
+    index.insert(1, 1)
+    index.insert(2.5, 2)
+    assert index.range(1, 3) == {1, 2}
+
+
+@given(
+    values=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=80),
+    low=st.integers(min_value=-100, max_value=100),
+    high=st.integers(min_value=-100, max_value=100),
+)
+def test_sorted_index_range_matches_bruteforce(values, low, high):
+    if low > high:
+        low, high = high, low
+    index = SortedIndex("s", "x")
+    for position, value in enumerate(values):
+        index.insert(value, position)
+    expected = {position for position, value in enumerate(values) if low <= value <= high}
+    assert index.range(low, high) == expected
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=50))
+def test_sorted_index_ordered_keys_sorted(values):
+    index = SortedIndex("s", "x")
+    for position, value in enumerate(values):
+        index.insert(value, position)
+    keys = list(index.ordered_keys())
+    assert keys == sorted(set(values))

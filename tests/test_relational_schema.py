@@ -1,0 +1,147 @@
+"""Tests for relational schemas and column validation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Column, ColumnType, TableSchema, schema
+
+
+def test_column_type_validate_integer():
+    assert ColumnType.INTEGER.validate(5)
+    assert not ColumnType.INTEGER.validate(5.0)
+    assert not ColumnType.INTEGER.validate(True)
+    assert ColumnType.INTEGER.validate(None)
+
+
+def test_column_type_validate_float_accepts_int():
+    assert ColumnType.FLOAT.validate(5)
+    assert ColumnType.FLOAT.validate(5.5)
+    assert not ColumnType.FLOAT.validate("x")
+
+
+def test_column_type_coerce_float():
+    assert ColumnType.FLOAT.coerce(3) == 3.0
+    assert isinstance(ColumnType.FLOAT.coerce(3), float)
+
+
+def test_column_type_coerce_blob_bytearray():
+    result = ColumnType.BLOB.coerce(bytearray(b"abc"))
+    assert result == b"abc"
+    assert isinstance(result, bytes)
+
+
+def test_column_type_boolean_not_integer():
+    assert ColumnType.BOOLEAN.validate(True)
+    assert not ColumnType.BOOLEAN.validate(1)
+
+
+def test_column_type_json_nested():
+    assert ColumnType.JSON.validate({"a": [1, 2, {"b": "c"}]})
+    assert not ColumnType.JSON.validate({1: "non-str-key"})
+    assert not ColumnType.JSON.validate({"f": object()})
+
+
+def test_column_rejects_empty_name():
+    with pytest.raises(SchemaError):
+        Column("", ColumnType.TEXT)
+
+
+def test_column_rejects_space_in_name():
+    with pytest.raises(SchemaError):
+        Column("bad name", ColumnType.TEXT)
+
+
+def test_column_rejects_bad_default():
+    with pytest.raises(SchemaError):
+        Column("x", ColumnType.INTEGER, default="not-int")
+
+
+def test_column_validate_value_not_nullable():
+    column = Column("x", ColumnType.INTEGER, nullable=False)
+    with pytest.raises(SchemaError):
+        column.validate_value(None)
+
+
+def test_column_validate_value_type_mismatch():
+    column = Column("x", ColumnType.INTEGER)
+    with pytest.raises(SchemaError):
+        column.validate_value("text")
+
+
+def test_table_schema_requires_columns():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [])
+
+
+def test_table_schema_duplicate_columns():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [Column("x", ColumnType.INTEGER), Column("x", ColumnType.TEXT)])
+
+
+def test_table_schema_bad_primary_key():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [Column("x", ColumnType.INTEGER)], primary_key="missing")
+
+
+def test_table_schema_bad_unique_column():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [Column("x", ColumnType.INTEGER)], unique=[("missing",)])
+
+
+def test_table_schema_column_names():
+    s = schema("t", [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)], "id")
+    assert s.column_names == ("id", "name")
+
+
+def test_table_schema_column_lookup():
+    s = schema("t", [("id", ColumnType.INTEGER)], "id")
+    assert s.column("id").type is ColumnType.INTEGER
+    with pytest.raises(SchemaError):
+        s.column("missing")
+
+
+def test_validate_row_fills_defaults():
+    s = TableSchema(
+        "t",
+        [Column("id", ColumnType.INTEGER), Column("flag", ColumnType.BOOLEAN, default=False)],
+        primary_key="id",
+    )
+    row = s.validate_row({"id": 1})
+    assert row == {"id": 1, "flag": False}
+
+
+def test_validate_row_unknown_column():
+    s = schema("t", [("id", ColumnType.INTEGER)], "id")
+    with pytest.raises(SchemaError):
+        s.validate_row({"id": 1, "ghost": 2})
+
+
+def test_validate_row_primary_key_null():
+    s = schema("t", [("id", ColumnType.INTEGER), ("n", ColumnType.TEXT)], "id")
+    with pytest.raises(SchemaError):
+        s.validate_row({"n": "x"})
+
+
+def test_unique_keys_includes_primary():
+    s = TableSchema(
+        "t",
+        [Column("id", ColumnType.INTEGER), Column("email", ColumnType.TEXT)],
+        primary_key="id",
+        unique=[("email",)],
+    )
+    assert ("id",) in s.unique_keys()
+    assert ("email",) in s.unique_keys()
+
+
+def test_schema_roundtrip_to_from_dict():
+    s = TableSchema(
+        "t",
+        [Column("id", ColumnType.INTEGER, nullable=False), Column("name", ColumnType.TEXT)],
+        primary_key="id",
+        unique=[("name",)],
+    )
+    restored = TableSchema.from_dict(s.to_dict())
+    assert restored.name == "t"
+    assert restored.column_names == ("id", "name")
+    assert restored.primary_key == "id"
+    assert restored.unique == (("name",),)

@@ -1,0 +1,216 @@
+"""Tests for table storage, constraints, indexes, and queries."""
+
+import pytest
+
+from repro.errors import ConstraintViolation, RelationalError, SchemaError, UnknownColumnError
+from repro.relational.query import and_, eq, ge, gt, in_, le, like, lt, not_null
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.table import Table
+
+
+def make_people_table():
+    schema = TableSchema(
+        "people",
+        [
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("name", ColumnType.TEXT),
+            Column("age", ColumnType.INTEGER),
+            Column("email", ColumnType.TEXT),
+        ],
+        primary_key="id",
+        unique=[("email",)],
+    )
+    table = Table(schema)
+    table.insert({"id": 1, "name": "Alice", "age": 30, "email": "a@x.com"})
+    table.insert({"id": 2, "name": "Bob", "age": 25, "email": "b@x.com"})
+    table.insert({"id": 3, "name": "Carol", "age": 40, "email": "c@x.com"})
+    return table
+
+
+def test_insert_and_get():
+    table = make_people_table()
+    assert table.get(1)["name"] == "Alice"
+    assert len(table) == 3
+
+
+def test_primary_key_duplicate():
+    table = make_people_table()
+    with pytest.raises(ConstraintViolation):
+        table.insert({"id": 1, "name": "Dup"})
+
+
+def test_unique_violation():
+    table = make_people_table()
+    with pytest.raises(ConstraintViolation):
+        table.insert({"id": 4, "email": "a@x.com"})
+
+
+def test_unique_allows_multiple_nulls():
+    table = make_people_table()
+    table.insert({"id": 4, "email": None})
+    table.insert({"id": 5, "email": None})
+    assert len(table) == 5
+
+
+def test_select_equality():
+    table = make_people_table()
+    rows = table.select(eq("name", "Bob"))
+    assert len(rows) == 1 and rows[0]["id"] == 2
+
+
+def test_select_range():
+    table = make_people_table()
+    rows = table.select(and_(ge("age", 30), le("age", 40)))
+    assert {row["name"] for row in rows} == {"Alice", "Carol"}
+
+
+def test_select_in():
+    table = make_people_table()
+    rows = table.select(in_("id", [1, 3]))
+    assert {row["name"] for row in rows} == {"Alice", "Carol"}
+
+
+def test_select_like():
+    table = make_people_table()
+    rows = table.select(like("name", "a*"))
+    assert {row["name"] for row in rows} == {"Alice"}
+
+
+def test_update_rows():
+    table = make_people_table()
+    changed = table.update(eq("name", "Bob"), {"age": 26})
+    assert changed == 1
+    assert table.get(2)["age"] == 26
+
+
+def test_update_unknown_column():
+    table = make_people_table()
+    with pytest.raises(UnknownColumnError):
+        table.update(None, {"ghost": 1})
+
+
+def test_update_preserving_unique():
+    table = make_people_table()
+    # changing Bob's email to a fresh value is fine
+    assert table.update(eq("id", 2), {"email": "new@x.com"}) == 1
+    # but to Alice's existing email is a violation
+    with pytest.raises(ConstraintViolation):
+        table.update(eq("id", 2), {"email": "a@x.com"})
+
+
+def test_delete_rows():
+    table = make_people_table()
+    deleted = table.delete(eq("name", "Alice"))
+    assert deleted == 1
+    assert table.get(1) is None
+    assert len(table) == 2
+
+
+def test_delete_all():
+    table = make_people_table()
+    assert table.delete(None) == 3
+    assert len(table) == 0
+
+
+def test_clear():
+    table = make_people_table()
+    table.clear()
+    assert len(table) == 0
+
+
+def test_secondary_hash_index_used():
+    table = make_people_table()
+    index = table.create_index("name")
+    assert table.has_index("name")
+    rows = table.select(eq("name", "Carol"))
+    assert rows[0]["id"] == 3
+    assert len(index) == 3
+
+
+def test_sorted_index_range_query():
+    table = make_people_table()
+    table.create_sorted_index("age")
+    rows = table.select(gt("age", 28))
+    assert {row["name"] for row in rows} == {"Alice", "Carol"}
+
+
+def test_index_maintained_on_update():
+    table = make_people_table()
+    table.create_index("name")
+    table.update(eq("id", 1), {"name": "Alicia"})
+    assert table.select(eq("name", "Alice")) == []
+    assert table.select(eq("name", "Alicia"))[0]["id"] == 1
+
+
+def test_index_maintained_on_delete():
+    table = make_people_table()
+    table.create_index("name")
+    table.delete(eq("name", "Bob"))
+    assert table.select(eq("name", "Bob")) == []
+
+
+def test_query_builder_order_limit():
+    table = make_people_table()
+    rows = table.query().order_by("age", descending=True).limit(2).all()
+    assert [row["name"] for row in rows] == ["Carol", "Alice"]
+
+
+def test_query_builder_project():
+    table = make_people_table()
+    rows = table.query().where(eq("id", 1)).project("name").all()
+    assert rows == [{"name": "Alice"}]
+
+
+def test_query_builder_offset():
+    table = make_people_table()
+    rows = table.query().order_by("id").offset(1).all()
+    assert [row["id"] for row in rows] == [2, 3]
+
+
+def test_query_not_null():
+    table = make_people_table()
+    table.insert({"id": 9, "email": None, "name": None})
+    rows = table.query().where(not_null("name")).all()
+    assert all(row["name"] is not None for row in rows)
+
+
+def test_join():
+    people = make_people_table()
+    orders_schema = TableSchema(
+        "orders",
+        [Column("oid", ColumnType.INTEGER, nullable=False), Column("person", ColumnType.INTEGER), Column("total", ColumnType.FLOAT)],
+        primary_key="oid",
+    )
+    orders = Table(orders_schema)
+    orders.insert({"oid": 1, "person": 1, "total": 9.99})
+    orders.insert({"oid": 2, "person": 1, "total": 4.99})
+    orders.insert({"oid": 3, "person": 2, "total": 1.00})
+    joined = people.query().where(eq("id", 1)).join(orders, "id", "person").all()
+    assert len(joined) == 2
+    assert all(row["orders.person"] == 1 for row in joined)
+
+
+def test_table_roundtrip_with_blob():
+    schema = TableSchema(
+        "raw",
+        [Column("id", ColumnType.INTEGER, nullable=False), Column("data", ColumnType.BLOB)],
+        primary_key="id",
+    )
+    table = Table(schema)
+    table.insert({"id": 1, "data": b"\x00\x01\x02"})
+    restored = Table.from_dict(table.to_dict())
+    assert restored.get(1)["data"] == b"\x00\x01\x02"
+
+
+def test_get_without_primary_key_raises():
+    schema = TableSchema("t", [Column("x", ColumnType.INTEGER)])
+    table = Table(schema)
+    with pytest.raises(RelationalError):
+        table.get(1)
+
+
+def test_iter_returns_copies():
+    table = make_people_table()
+    rows = list(table)
+    rows[0]["name"] = "MUTATED"
+    assert table.get(rows[0]["id"])["name"] != "MUTATED"

@@ -1,0 +1,94 @@
+"""Tests for coordinate systems and the registry."""
+
+import pytest
+
+from repro.errors import CoordinateSystemError
+from repro.spatial.coordinate import (
+    CoordinateKind,
+    CoordinateSystem,
+    CoordinateSystemRegistry,
+)
+
+
+def test_kind_dimensions():
+    assert CoordinateKind.LINEAR.dimension == 1
+    assert CoordinateKind.PLANAR.dimension == 2
+    assert CoordinateKind.VOLUMETRIC.dimension == 3
+
+
+def test_linear_extent_validation():
+    system = CoordinateSystem("chr1", CoordinateKind.LINEAR, extent=(0, 100))
+    system.validate_interval(10, 20)
+    with pytest.raises(CoordinateSystemError):
+        system.validate_interval(10, 200)
+
+
+def test_linear_rejects_inverted_extent():
+    with pytest.raises(CoordinateSystemError):
+        CoordinateSystem("c", CoordinateKind.LINEAR, extent=(50, 0))
+
+
+def test_validate_interval_on_non_linear():
+    system = CoordinateSystem("atlas", CoordinateKind.PLANAR)
+    with pytest.raises(CoordinateSystemError):
+        system.validate_interval(1, 2)
+
+
+def test_planar_box_validation():
+    system = CoordinateSystem("atlas", CoordinateKind.PLANAR, extent=((0, 100), (0, 100)))
+    system.validate_box((10, 10), (20, 20))
+    with pytest.raises(CoordinateSystemError):
+        system.validate_box((10, 10), (200, 20))
+
+
+def test_box_dimension_mismatch():
+    system = CoordinateSystem("atlas", CoordinateKind.PLANAR)
+    with pytest.raises(CoordinateSystemError):
+        system.validate_box((1, 1, 1), (2, 2, 2))
+
+
+def test_volumetric_extent_axes():
+    with pytest.raises(CoordinateSystemError):
+        CoordinateSystem("vol", CoordinateKind.VOLUMETRIC, extent=((0, 1), (0, 1)))
+
+
+def test_registry_register_and_get():
+    registry = CoordinateSystemRegistry()
+    registry.linear("chr1", extent=(0, 1000))
+    assert "chr1" in registry
+    assert registry.get("chr1").kind is CoordinateKind.LINEAR
+
+
+def test_registry_idempotent():
+    registry = CoordinateSystemRegistry()
+    first = registry.linear("chr1", extent=(0, 1000))
+    second = registry.linear("chr1", extent=(0, 1000))
+    assert first is second
+
+
+def test_registry_conflict():
+    registry = CoordinateSystemRegistry()
+    registry.linear("chr1", extent=(0, 1000))
+    with pytest.raises(CoordinateSystemError):
+        registry.linear("chr1", extent=(0, 2000))
+
+
+def test_registry_unknown():
+    registry = CoordinateSystemRegistry()
+    with pytest.raises(CoordinateSystemError):
+        registry.get("missing")
+
+
+def test_registry_planar_volumetric():
+    registry = CoordinateSystemRegistry()
+    registry.planar("atlas", resolution="25um")
+    registry.volumetric("volume")
+    assert registry.get("atlas").kind is CoordinateKind.PLANAR
+    assert registry.get("volume").kind is CoordinateKind.VOLUMETRIC
+    assert set(registry.names()) == {"atlas", "volume"}
+
+
+def test_coordinate_system_roundtrip():
+    system = CoordinateSystem("atlas", CoordinateKind.PLANAR, extent=((0, 10), (0, 20)), resolution="25um")
+    restored = CoordinateSystem.from_dict(system.to_dict())
+    assert restored == system

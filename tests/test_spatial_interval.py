@@ -1,0 +1,125 @@
+"""Tests for 1D intervals."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpatialError
+from repro.spatial.interval import Interval, merge_intervals, total_coverage
+
+
+def test_interval_rejects_inverted():
+    with pytest.raises(SpatialError):
+        Interval(5, 1)
+
+
+def test_interval_length():
+    assert Interval(2, 7).length == 5
+    assert Interval(3, 3).length == 0
+
+
+def test_overlaps_closed():
+    assert Interval(1, 5).overlaps(Interval(5, 9))  # touch at 5
+    assert not Interval(1, 5).overlaps(Interval(6, 9))
+
+
+def test_overlaps_respects_domain():
+    assert not Interval(1, 5, domain="a").overlaps(Interval(1, 5, domain="b"))
+    assert Interval(1, 5, domain="a").overlaps(Interval(1, 5, domain="a"))
+    assert Interval(1, 5, domain="a").overlaps(Interval(1, 5))  # None domain matches
+
+
+def test_contains():
+    assert Interval(1, 10).contains(Interval(3, 5))
+    assert not Interval(3, 5).contains(Interval(1, 10))
+
+
+def test_contains_point():
+    assert Interval(1, 5).contains_point(3)
+    assert not Interval(1, 5).contains_point(6)
+
+
+def test_intersection():
+    assert Interval(1, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+    assert Interval(1, 2).intersection(Interval(5, 9)) is None
+
+
+def test_union_span():
+    assert Interval(1, 3).union_span(Interval(7, 9)) == Interval(1, 9)
+
+
+def test_union_span_cross_domain():
+    with pytest.raises(SpatialError):
+        Interval(1, 3, domain="a").union_span(Interval(7, 9, domain="b"))
+
+
+def test_distance_to():
+    assert Interval(1, 3).distance_to(Interval(7, 9)) == 4
+    assert Interval(1, 5).distance_to(Interval(3, 9)) == 0
+
+
+def test_precedes():
+    assert Interval(1, 3).precedes(Interval(4, 8))
+    assert not Interval(1, 5).precedes(Interval(4, 8))
+    assert Interval(1, 4).precedes(Interval(4, 8), strict=False)
+
+
+def test_shifted_and_payload():
+    shifted = Interval(1, 3, payload="x").shifted(10)
+    assert shifted.start == 11 and shifted.end == 13 and shifted.payload == "x"
+    assert Interval(1, 3).with_payload("p").payload == "p"
+
+
+def test_ordering_is_lexicographic():
+    assert Interval(1, 5) < Interval(1, 6)
+    assert Interval(1, 5) < Interval(2, 0 + 2)
+
+
+def test_merge_intervals():
+    merged = merge_intervals([Interval(1, 3), Interval(2, 5), Interval(8, 9)])
+    assert merged == [Interval(1, 5), Interval(8, 9)]
+
+
+def test_merge_intervals_per_domain():
+    merged = merge_intervals([Interval(1, 5, domain="a"), Interval(2, 9, domain="b")])
+    assert len(merged) == 2
+
+
+def test_total_coverage():
+    assert total_coverage([Interval(1, 3), Interval(2, 5)]) == 4
+    assert total_coverage([Interval(0, 2), Interval(4, 6)]) == 4
+
+
+@given(
+    a=st.integers(min_value=-50, max_value=50),
+    b=st.integers(min_value=-50, max_value=50),
+    c=st.integers(min_value=-50, max_value=50),
+    d=st.integers(min_value=-50, max_value=50),
+)
+def test_overlap_symmetric(a, b, c, d):
+    left = Interval(min(a, b), max(a, b))
+    right = Interval(min(c, d), max(c, d))
+    assert left.overlaps(right) == right.overlaps(left)
+
+
+@given(
+    a=st.integers(min_value=-50, max_value=50),
+    b=st.integers(min_value=-50, max_value=50),
+    c=st.integers(min_value=-50, max_value=50),
+    d=st.integers(min_value=-50, max_value=50),
+)
+def test_intersection_implies_overlap(a, b, c, d):
+    left = Interval(min(a, b), max(a, b))
+    right = Interval(min(c, d), max(c, d))
+    shared = left.intersection(right)
+    if shared is not None:
+        assert left.overlaps(right)
+        assert left.contains(shared)
+        assert right.contains(shared)
+
+
+@given(st.lists(st.tuples(st.integers(-30, 30), st.integers(0, 20)), min_size=0, max_size=20))
+def test_merge_is_disjoint(raw):
+    intervals = [Interval(start, start + length) for start, length in raw]
+    merged = merge_intervals(intervals)
+    for earlier, later in zip(merged, merged[1:]):
+        assert earlier.end < later.start

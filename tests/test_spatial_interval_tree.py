@@ -1,0 +1,158 @@
+"""Tests for the augmented interval tree and the interval index family."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpatialError
+from repro.spatial.interval import Interval
+from repro.spatial.interval_tree import IntervalIndexFamily, IntervalTree
+from repro.baselines.linear_scan import linear_interval_overlap
+
+
+def test_empty_tree():
+    tree = IntervalTree()
+    assert len(tree) == 0
+    assert not tree
+    assert tree.search_overlap(Interval(1, 5)) == []
+    assert tree.span() is None
+
+
+def test_insert_and_overlap():
+    tree = IntervalTree()
+    tree.insert(Interval(1, 5))
+    tree.insert(Interval(3, 9))
+    tree.insert(Interval(20, 30))
+    assert len(tree.search_overlap(Interval(4, 4))) == 2
+    assert len(tree.search_overlap(Interval(25, 25))) == 1
+    assert tree.search_overlap(Interval(12, 15)) == []
+
+
+def test_stab():
+    tree = IntervalTree.from_intervals([Interval(1, 5), Interval(4, 8), Interval(10, 12)])
+    assert len(tree.stab(4)) == 2
+    assert len(tree.stab(11)) == 1
+
+
+def test_contained_in():
+    tree = IntervalTree.from_intervals([Interval(2, 4), Interval(1, 10), Interval(3, 3)])
+    contained = tree.search_contained_in(Interval(0, 5))
+    assert Interval(2, 4) in contained
+    assert Interval(1, 10) not in contained
+
+
+def test_next_after():
+    tree = IntervalTree.from_intervals([Interval(1, 5), Interval(6, 9), Interval(10, 12)])
+    nxt = tree.next_after(Interval(1, 5))
+    assert nxt == Interval(6, 9)
+    assert tree.next_after(Interval(10, 12)) is None
+
+
+def test_span():
+    tree = IntervalTree.from_intervals([Interval(5, 9), Interval(1, 3), Interval(2, 20)])
+    span = tree.span()
+    assert span.start == 1 and span.end == 20
+
+
+def test_count_overlap():
+    tree = IntervalTree.from_intervals([Interval(1, 5), Interval(2, 6), Interval(10, 12)])
+    assert tree.count_overlap(Interval(3, 4)) == 2
+
+
+def test_domain_enforced():
+    tree = IntervalTree(domain="chr1")
+    tree.insert(Interval(1, 5, domain="chr1"))
+    tree.insert(Interval(2, 6))  # None domain allowed
+    with pytest.raises(SpatialError):
+        tree.insert(Interval(1, 5, domain="chr2"))
+
+
+def test_remove():
+    tree = IntervalTree()
+    a = Interval(1, 5, payload="a")
+    b = Interval(1, 5, payload="b")
+    tree.insert(a)
+    tree.insert(b)
+    assert tree.remove(a)
+    assert len(tree) == 1
+    assert not tree.remove(Interval(1, 5, payload="missing"))
+
+
+def test_duplicate_keys_distinct_payloads():
+    tree = IntervalTree()
+    tree.insert(Interval(1, 5, payload="a"))
+    tree.insert(Interval(1, 5, payload="b"))
+    hits = tree.search_overlap(Interval(2, 3))
+    assert {hit.payload for hit in hits} == {"a", "b"}
+
+
+def test_balance_stays_logarithmic():
+    tree = IntervalTree()
+    for value in range(1000):  # sorted inserts are the AVL worst case
+        tree.insert(Interval(value, value + 1))
+    # Perfectly balanced height would be ~10; AVL guarantees < 1.45*log2(n)+1.
+    assert tree.height() <= 16
+
+
+@settings(max_examples=50)
+@given(
+    intervals=st.lists(
+        st.tuples(st.integers(0, 200), st.integers(0, 50)), min_size=0, max_size=60
+    ),
+    query=st.tuples(st.integers(0, 200), st.integers(0, 50)),
+)
+def test_overlap_matches_linear_scan(intervals, query):
+    items = [Interval(start, start + length) for start, length in intervals]
+    tree = IntervalTree.from_intervals(items)
+    q = Interval(query[0], query[0] + query[1])
+    expected = sorted(
+        (iv.start, iv.end) for iv in linear_interval_overlap(items, q)
+    )
+    actual = sorted((iv.start, iv.end) for iv in tree.search_overlap(q))
+    assert actual == expected
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, 500), min_size=1, max_size=100))
+def test_next_after_is_monotone(starts):
+    items = [Interval(start, start + 1) for start in starts]
+    tree = IntervalTree.from_intervals(items)
+    current = tree.next_after(Interval(-1, -1))
+    previous_key = (float("-inf"), float("-inf"))
+    count = 0
+    while current is not None and count < len(items) + 5:
+        key = (current.start, current.end)
+        assert key > previous_key
+        previous_key = key
+        current = tree.next_after(current)
+        count += 1
+
+
+# -- interval index family ---------------------------------------------------
+
+
+def test_index_family_groups_by_domain():
+    family = IntervalIndexFamily()
+    family.insert("chr1", Interval(1, 5, domain="chr1"))
+    family.insert("chr2", Interval(1, 5, domain="chr2"))
+    family.insert("chr1", Interval(3, 8, domain="chr1"))
+    assert len(family) == 2
+    assert family.total_intervals() == 3
+    assert len(family.search_overlap("chr1", Interval(4, 4, domain="chr1"))) == 2
+    assert family.search_overlap("chrX", Interval(1, 1)) == []
+
+
+def test_index_family_domains():
+    family = IntervalIndexFamily()
+    family.insert("a", Interval(1, 2, domain="a"))
+    assert "a" in family
+    assert family.domains == ("a",)
+
+
+def test_index_family_apply():
+    family = IntervalIndexFamily()
+    family.insert("a", Interval(1, 2, domain="a"))
+    family.insert("b", Interval(3, 4, domain="b"))
+    counts = family.apply(lambda domain, tree: len(tree))
+    assert sorted(counts) == [1, 1]

@@ -1,0 +1,96 @@
+"""Tests for the SUB-X operators (ifOverlap, next, intersect)."""
+
+import pytest
+
+from repro.errors import SpatialError
+from repro.spatial.interval import Interval
+from repro.spatial.operators import (
+    are_consecutive,
+    are_disjoint,
+    if_overlap,
+    intersect,
+    next_substructure,
+)
+from repro.spatial.rect import Rect
+
+
+def test_if_overlap_intervals():
+    assert if_overlap(Interval(1, 5), Interval(4, 8))
+    assert not if_overlap(Interval(1, 5), Interval(6, 8))
+
+
+def test_if_overlap_rects():
+    assert if_overlap(Rect((0, 0), (5, 5)), Rect((4, 4), (9, 9)))
+    assert not if_overlap(Rect((0, 0), (2, 2)), Rect((5, 5), (9, 9)))
+
+
+def test_if_overlap_mixed_kinds_false():
+    assert not if_overlap(Interval(1, 5), Rect((0, 0), (5, 5)))
+
+
+def test_if_overlap_dimension_mismatch():
+    assert not if_overlap(Rect((0, 0), (2, 2)), Rect((0, 0, 0), (2, 2, 2)))
+
+
+def test_if_overlap_space_mismatch():
+    assert not if_overlap(
+        Rect((0, 0), (5, 5), space="a"), Rect((1, 1), (2, 2), space="b")
+    )
+
+
+def test_intersect_intervals():
+    assert intersect(Interval(1, 5), Interval(3, 9)) == Interval(3, 5)
+    assert intersect(Interval(1, 2), Interval(5, 9)) is None
+
+
+def test_intersect_rects():
+    assert intersect(Rect((0, 0), (5, 5)), Rect((3, 3), (9, 9))) == Rect((3, 3), (5, 5))
+
+
+def test_intersect_mixed_raises():
+    with pytest.raises(SpatialError):
+        intersect(Interval(1, 5), Rect((0, 0), (5, 5)))
+
+
+def test_next_substructure():
+    ordered = [Interval(1, 5), Interval(6, 9), Interval(10, 12)]
+    assert next_substructure(Interval(1, 5), ordered) == Interval(6, 9)
+    assert next_substructure(Interval(10, 12), ordered) is None
+
+
+def test_next_substructure_requires_interval():
+    with pytest.raises(SpatialError):
+        next_substructure(Rect((0, 0), (1, 1)), [])
+
+
+def test_next_substructure_respects_domain():
+    ordered = [Interval(6, 9, domain="a"), Interval(7, 8, domain="b")]
+    nxt = next_substructure(Interval(1, 5, domain="a"), ordered)
+    assert nxt == Interval(6, 9, domain="a")
+
+
+def test_are_consecutive_true():
+    assert are_consecutive([Interval(1, 3), Interval(4, 6), Interval(7, 9)])
+
+
+def test_are_consecutive_overlap_false():
+    assert not are_consecutive([Interval(1, 5), Interval(4, 8)])
+
+
+def test_are_consecutive_max_gap():
+    assert not are_consecutive([Interval(1, 3), Interval(50, 60)], max_gap=5)
+    assert are_consecutive([Interval(1, 3), Interval(5, 7)], max_gap=5)
+
+
+def test_are_consecutive_single():
+    assert are_consecutive([Interval(1, 3)])
+
+
+def test_are_disjoint():
+    assert are_disjoint([Interval(1, 3), Interval(5, 7)])
+    assert not are_disjoint([Interval(1, 5), Interval(4, 8)])
+
+
+def test_are_disjoint_rects():
+    assert are_disjoint([Rect((0, 0), (1, 1)), Rect((5, 5), (6, 6))])
+    assert not are_disjoint([Rect((0, 0), (5, 5)), Rect((3, 3), (9, 9))])

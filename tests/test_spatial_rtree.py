@@ -1,0 +1,165 @@
+"""Tests for the R-tree and R-tree family."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpatialError
+from repro.spatial.rect import Rect
+from repro.spatial.rtree import RTree, RTreeFamily
+from repro.baselines.linear_scan import linear_region_overlap
+
+
+def test_empty_rtree():
+    tree = RTree()
+    assert len(tree) == 0
+    assert tree.search_overlap(Rect((0, 0), (1, 1))) == []
+    assert tree.nearest((0, 0)) == []
+
+
+def test_rtree_min_entries_guard():
+    with pytest.raises(SpatialError):
+        RTree(max_entries=3)
+
+
+def test_insert_and_overlap():
+    tree = RTree(max_entries=4)
+    tree.insert(Rect((0, 0), (2, 2), payload="a"))
+    tree.insert(Rect((5, 5), (7, 7), payload="b"))
+    tree.insert(Rect((1, 1), (6, 6), payload="c"))
+    hits = {rect.payload for rect in tree.search_overlap(Rect((1, 1), (1.5, 1.5)))}
+    assert hits == {"a", "c"}
+
+
+def test_contained_query():
+    tree = RTree()
+    tree.insert(Rect((1, 1), (2, 2), payload="inside"))
+    tree.insert(Rect((0, 0), (100, 100), payload="huge"))
+    contained = {rect.payload for rect in tree.search_contained_in(Rect((0, 0), (10, 10)))}
+    assert contained == {"inside"}
+
+
+def test_point_query():
+    tree = RTree()
+    tree.insert(Rect((0, 0), (10, 10), payload="a"))
+    tree.insert(Rect((20, 20), (30, 30), payload="b"))
+    assert {rect.payload for rect in tree.search_point((5, 5))} == {"a"}
+
+
+def test_many_inserts_overlap_correct():
+    rng = random.Random(1)
+    tree = RTree(max_entries=8)
+    rects = []
+    for index in range(400):
+        x = rng.uniform(0, 1000)
+        y = rng.uniform(0, 1000)
+        rect = Rect((x, y), (x + rng.uniform(1, 20), y + rng.uniform(1, 20)), payload=index)
+        rects.append(rect)
+        tree.insert(rect)
+    assert len(tree) == 400
+    query = Rect((100, 100), (300, 300))
+    expected = {rect.payload for rect in linear_region_overlap(rects, query)}
+    actual = {rect.payload for rect in tree.search_overlap(query)}
+    assert actual == expected
+
+
+def test_height_grows_with_data():
+    tree = RTree(max_entries=4)
+    for index in range(100):
+        tree.insert(Rect((index, 0), (index + 1, 1), payload=index))
+    assert tree.height() >= 2
+
+
+def test_nearest():
+    tree = RTree()
+    tree.insert(Rect((0, 0), (1, 1), payload="close"))
+    tree.insert(Rect((100, 100), (101, 101), payload="far"))
+    nearest = tree.nearest((0, 0), count=1)
+    assert nearest[0].payload == "close"
+
+
+def test_nearest_k():
+    rng = random.Random(3)
+    tree = RTree()
+    for index in range(50):
+        x = rng.uniform(0, 100)
+        tree.insert(Rect((x, x), (x + 1, x + 1), payload=index))
+    result = tree.nearest((0, 0), count=5)
+    assert len(result) == 5
+
+
+def test_remove():
+    tree = RTree()
+    rect = Rect((0, 0), (2, 2), payload="a")
+    tree.insert(rect)
+    tree.insert(Rect((5, 5), (7, 7), payload="b"))
+    assert tree.remove(rect)
+    assert len(tree) == 1
+    assert not tree.remove(Rect((0, 0), (2, 2), payload="ghost"))
+
+
+def test_remove_then_query():
+    rng = random.Random(5)
+    tree = RTree(max_entries=4)
+    rects = []
+    for index in range(60):
+        x = rng.uniform(0, 100)
+        rect = Rect((x, x), (x + 2, x + 2), payload=index)
+        rects.append(rect)
+        tree.insert(rect)
+    for rect in rects[:20]:
+        tree.remove(rect)
+    assert len(tree) == 40
+    remaining = set(rect.payload for rect in tree)
+    assert remaining == {rect.payload for rect in rects[20:]}
+
+
+def test_3d_rtree():
+    tree = RTree(space="vol")
+    tree.insert(Rect((0, 0, 0), (2, 2, 2), space="vol", payload="a"))
+    tree.insert(Rect((10, 10, 10), (12, 12, 12), space="vol", payload="b"))
+    hits = {rect.payload for rect in tree.search_overlap(Rect((1, 1, 1), (1, 1, 1), space="vol"))}
+    assert hits == {"a"}
+
+
+def test_space_mismatch_rejected():
+    tree = RTree(space="x")
+    with pytest.raises(SpatialError):
+        tree.insert(Rect((0, 0), (1, 1), space="y"))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rects=st.lists(
+        st.tuples(st.integers(0, 200), st.integers(0, 200), st.integers(1, 30), st.integers(1, 30)),
+        min_size=1,
+        max_size=80,
+    ),
+    query=st.tuples(st.integers(0, 200), st.integers(0, 200), st.integers(1, 60), st.integers(1, 60)),
+)
+def test_rtree_overlap_matches_linear(rects, query):
+    items = [Rect((x, y), (x + w, y + h), payload=i) for i, (x, y, w, h) in enumerate(rects)]
+    tree = RTree.from_rects(items, max_entries=6)
+    q = Rect((query[0], query[1]), (query[0] + query[2], query[1] + query[3]))
+    expected = {rect.payload for rect in linear_region_overlap(items, q)}
+    actual = {rect.payload for rect in tree.search_overlap(q)}
+    assert actual == expected
+
+
+# -- R-tree family -----------------------------------------------------------
+
+
+def test_rtree_family_groups_by_space():
+    family = RTreeFamily()
+    family.insert("atlas", Rect((0, 0), (2, 2), space="atlas", payload="a"))
+    family.insert("slide", Rect((0, 0), (2, 2), space="slide", payload="b"))
+    assert len(family) == 2
+    assert family.total_rects() == 2
+    hits = family.search_overlap("atlas", Rect((1, 1), (1, 1), space="atlas"))
+    assert {rect.payload for rect in hits} == {"a"}
+
+
+def test_rtree_family_unknown_space_empty():
+    family = RTreeFamily()
+    assert family.search_overlap("ghost", Rect((0, 0), (1, 1))) == []

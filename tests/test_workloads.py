@@ -1,0 +1,134 @@
+"""Tests for the synthetic workload generators and scenario builders."""
+
+import random
+
+import pytest
+
+from repro import Graphitti
+from repro.errors import WorkloadError
+from repro.workloads.generators import (
+    WorkloadConfig,
+    generate_alignment,
+    generate_annotation_workload,
+    generate_interaction_graph,
+    generate_ontology_dag,
+    generate_phylogenetic_tree,
+    generate_sequence,
+    random_dna,
+)
+from repro.workloads.scenarios import build_influenza_instance, build_neuroscience_instance
+
+
+def test_random_dna_deterministic():
+    assert random_dna(20, random.Random(5)) == random_dna(20, random.Random(5))
+
+
+def test_random_dna_length():
+    assert len(random_dna(50, random.Random(0))) == 50
+
+
+def test_generate_sequence_dna_and_protein():
+    dna = generate_sequence("s", 100, random.Random(0))
+    protein = generate_sequence("p", 50, random.Random(0), protein=True)
+    assert len(dna) == 100
+    assert protein.sequence_type.value == "protein"
+
+
+def test_generate_alignment_equal_width():
+    msa = generate_alignment("a", rows=5, width=60, rng=random.Random(0))
+    assert msa.depth == 5
+    assert msa.width == 60
+    assert len(msa.conserved_columns()) >= 0
+
+
+def test_generate_phylogenetic_tree():
+    tree = generate_phylogenetic_tree("t", ["A", "B", "C", "D"], random.Random(0))
+    assert tree.leaf_names == frozenset({"A", "B", "C", "D"})
+
+
+def test_generate_tree_requires_taxa():
+    with pytest.raises(WorkloadError):
+        generate_phylogenetic_tree("t", [], random.Random(0))
+
+
+def test_generate_interaction_graph():
+    graph = generate_interaction_graph("g", node_count=10, edge_probability=0.3, rng=random.Random(0))
+    assert graph.node_count == 10
+    assert graph.edge_count >= 0
+
+
+def test_generate_ontology_dag():
+    dag = generate_ontology_dag("T", depth=3, branching=2, instances_per_leaf=2, rng=random.Random(0))
+    assert dag.term_count > 0
+    assert len(dag.instances()) > 0
+    # every instance is under the root
+    from repro.ontology.operations import OntologyOperations
+
+    ops = OntologyOperations(dag)
+    assert len(ops.ci("T:0")) == len(dag.instances())
+
+
+def test_generate_ontology_dag_invalid():
+    with pytest.raises(WorkloadError):
+        generate_ontology_dag("T", depth=0, branching=1, instances_per_leaf=1, rng=random.Random(0))
+
+
+def test_generate_annotation_workload_deterministic():
+    g1 = Graphitti("w1")
+    g2 = Graphitti("w2")
+    config = WorkloadConfig(seed=99, sequence_count=4, annotation_count=20, image_count=2)
+    s1 = generate_annotation_workload(g1, config)
+    s2 = generate_annotation_workload(g2, config)
+    assert s1["annotation_ids"] == s2["annotation_ids"]
+    assert g1.statistics()["referents"] == g2.statistics()["referents"]
+
+
+def test_workload_shared_domain_single_tree():
+    g = Graphitti("w")
+    config = WorkloadConfig(seed=1, sequence_count=10, annotation_count=10, image_count=0, shared_domain=True)
+    generate_annotation_workload(g, config)
+    # all sequences share one coordinate domain -> one interval tree
+    assert g.statistics()["interval_trees"] == 1
+
+
+def test_workload_per_sequence_trees():
+    g = Graphitti("w")
+    config = WorkloadConfig(seed=1, sequence_count=10, annotation_count=30, image_count=0, shared_domain=False)
+    generate_annotation_workload(g, config)
+    # per-sequence domains -> up to 10 trees
+    assert g.statistics()["interval_trees"] > 1
+
+
+def test_build_influenza_instance():
+    g = build_influenza_instance()
+    stats = g.statistics()
+    assert stats["annotations"] == 4
+    assert stats["data_objects"] == 8
+    # the whole study forms one connected component
+    assert len(g.agraph.connected_components()) == 1
+
+
+def test_influenza_indirect_relatedness():
+    g = build_influenza_instance()
+    # flu-a1 and flu-a2 share the HA_chicken[300,360] referent
+    assert "flu-a2" in g.related_annotations("flu-a1")
+
+
+def test_build_neuroscience_instance():
+    g = build_neuroscience_instance()
+    stats = g.statistics()
+    assert stats["annotations"] == 3
+    assert stats["rtrees"] == 1  # shared atlas space
+
+
+def test_neuroscience_path_through_ontology():
+    g = build_neuroscience_instance()
+    path = g.path_between_annotations("neuro-a1", "neuro-a2")
+    assert path is not None
+    assert any("dcn" in str(node) for node in path)
+
+
+def test_scenarios_are_reproducible():
+    a = build_influenza_instance()
+    b = build_influenza_instance()
+    assert a.statistics() == b.statistics()

@@ -1,0 +1,42 @@
+"""Tests for the study-report generator and the CLI report command."""
+
+import pytest
+
+from repro.workloads import study_report
+from repro.workloads.scenarios import build_influenza_instance
+
+
+def test_report_contains_sections():
+    report = study_report(build_influenza_instance())
+    for heading in (
+        "# influenza-study",
+        "## Data inventory",
+        "## Annotations",
+        "## Index economy",
+        "## Ontologies",
+        "## Integrity",
+    ):
+        assert heading in report
+
+
+def test_report_custom_title():
+    report = study_report(build_influenza_instance(), title="My Study")
+    assert report.startswith("# My Study")
+
+
+def test_report_counts_match():
+    g = build_influenza_instance()
+    report = study_report(g)
+    assert f"annotations committed: {g.annotation_count}" in report
+
+
+def test_cli_report(tmp_path, capsys):
+    from repro.cli import main
+
+    path = str(tmp_path / "flu.json")
+    main(["build", "influenza", path])
+    capsys.readouterr()
+    assert main(["report", path]) == 0
+    out = capsys.readouterr().out
+    assert "study report" in out
+    assert "Integrity" in out

@@ -1,0 +1,172 @@
+"""Tests for the document collection, keyword index, and FLWOR queries."""
+
+import pytest
+
+from repro.errors import XmlStoreError
+from repro.xmlstore.collection import DocumentCollection
+from repro.xmlstore.text_index import InvertedIndex, tokenize
+
+
+def make_collection(indexed=True):
+    collection = DocumentCollection("test", indexed=indexed)
+    collection.add_xml(
+        "<annotation><dc:subject>protease</dc:subject><body>cleavage site of protein.TP53</body></annotation>",
+        doc_id="a1",
+    )
+    collection.add_xml(
+        "<annotation><dc:subject>kinase</dc:subject><body>phosphorylation</body></annotation>",
+        doc_id="a2",
+    )
+    collection.add_xml(
+        "<annotation><dc:subject>protease</dc:subject><body>another protease comment</body></annotation>",
+        doc_id="a3",
+    )
+    return collection
+
+
+def test_add_and_get():
+    collection = make_collection()
+    assert len(collection) == 3
+    assert "a1" in collection
+    assert collection.get("a1").root.tag == "annotation"
+
+
+def test_duplicate_id():
+    collection = make_collection()
+    with pytest.raises(XmlStoreError):
+        collection.add_xml("<a/>", doc_id="a1")
+
+
+def test_generated_ids():
+    collection = DocumentCollection("c")
+    first = collection.add_xml("<a/>")
+    second = collection.add_xml("<a/>")
+    assert first != second
+
+
+def test_keyword_search_indexed():
+    collection = make_collection(indexed=True)
+    assert collection.search_keyword("protease") == ["a1", "a3"]
+    assert collection.search_keyword("kinase") == ["a2"]
+
+
+def test_keyword_search_unindexed_matches_indexed():
+    indexed = make_collection(indexed=True)
+    scanned = make_collection(indexed=False)
+    assert indexed.search_keyword("protease") == scanned.search_keyword("protease")
+
+
+def test_scan_keyword():
+    collection = make_collection()
+    assert collection.scan_keyword("protease") == ["a1", "a3"]
+
+
+def test_keyword_search_dotted_term():
+    collection = make_collection()
+    # protein.TP53 should be findable by its parts too
+    assert "a1" in collection.search_keyword("TP53")
+
+
+def test_remove_updates_index():
+    collection = make_collection()
+    collection.remove("a1")
+    assert collection.search_keyword("protease") == ["a3"]
+    assert "a1" not in collection
+
+
+def test_replace():
+    collection = make_collection()
+    from repro.xmlstore.parser import parse_xml
+
+    collection.replace("a2", parse_xml("<annotation><body>protease now</body></annotation>"))
+    assert "a2" in collection.search_keyword("protease")
+
+
+def test_select_xpath():
+    collection = make_collection()
+    results = collection.select("//dc:subject")
+    assert len(results) == 3
+
+
+def test_fragments():
+    collection = make_collection()
+    fragments = collection.fragments("//body")
+    assert len(fragments) == 3
+
+
+def test_flwor_query():
+    collection = make_collection()
+    results = (
+        collection.query()
+        .for_each("//annotation")
+        .where_contains("protease")
+        .select(lambda binding: binding.document.doc_id)
+        .execute()
+    )
+    assert set(results) == {"a1", "a3"}
+
+
+def test_flwor_where_path_equals():
+    collection = make_collection()
+    results = (
+        collection.query()
+        .for_each("//annotation")
+        .where_path_equals("dc:subject", "kinase")
+        .select(lambda binding: binding.document.doc_id)
+        .execute()
+    )
+    assert results == ["a2"]
+
+
+def test_collection_save_load(tmp_path):
+    collection = make_collection()
+    path = collection.save(tmp_path / "c.json")
+    loaded = DocumentCollection.load(path)
+    assert len(loaded) == 3
+    assert loaded.search_keyword("protease") == ["a1", "a3"]
+
+
+def test_export_xml():
+    collection = make_collection()
+    xml = collection.export_xml("a1")
+    assert "protease" in xml
+
+
+# -- inverted index ---------------------------------------------------------
+
+
+def test_tokenize_drops_stopwords():
+    tokens = tokenize("the protease and the kinase")
+    assert "the" not in tokens
+    assert "protease" in tokens
+
+
+def test_inverted_index_basic():
+    index = InvertedIndex()
+    index.add_document("d1", "protease cleavage")
+    index.add_document("d2", "kinase activity")
+    assert index.search("protease") == {"d1"}
+    assert index.search("protease kinase", mode="or") == {"d1", "d2"}
+    assert index.search("protease kinase", mode="and") == set()
+
+
+def test_inverted_index_reindex():
+    index = InvertedIndex()
+    index.add_document("d1", "protease")
+    index.add_document("d1", "kinase")  # re-index replaces
+    assert index.search("protease") == set()
+    assert index.search("kinase") == {"d1"}
+
+
+def test_inverted_index_document_frequency():
+    index = InvertedIndex()
+    index.add_document("d1", "protease protease")
+    index.add_document("d2", "protease")
+    assert index.document_frequency("protease") == 2
+    assert index.term_frequency("protease", "d1") == 2
+
+
+def test_inverted_index_vocabulary():
+    index = InvertedIndex()
+    index.add_document("d1", "alpha beta gamma")
+    assert index.vocabulary_size >= 3

@@ -1,0 +1,54 @@
+"""Tests for XML corpus export/import of the annotation collection."""
+
+import pytest
+
+from repro.errors import XmlStoreError
+from repro.xmlstore.collection import DocumentCollection
+
+
+def make_collection():
+    c = DocumentCollection("ann")
+    c.add_xml("<annotation><dc:subject>protease</dc:subject><body>cleavage site</body></annotation>", doc_id="a1")
+    c.add_xml("<annotation><dc:subject>kinase</dc:subject><body>phospho</body></annotation>", doc_id="a2")
+    return c
+
+
+def test_corpus_roundtrip_preserves_ids():
+    c = make_collection()
+    restored = DocumentCollection.from_corpus_xml(c.to_corpus_xml())
+    assert sorted(restored.document_ids()) == ["a1", "a2"]
+
+
+def test_corpus_roundtrip_preserves_content():
+    c = make_collection()
+    restored = DocumentCollection.from_corpus_xml(c.to_corpus_xml())
+    assert restored.get("a1").root.child_text("dc:subject") == "protease"
+
+
+def test_corpus_roundtrip_preserves_search():
+    c = make_collection()
+    restored = DocumentCollection.from_corpus_xml(c.to_corpus_xml())
+    assert restored.search_keyword("cleavage") == ["a1"]
+
+
+def test_corpus_name_preserved():
+    c = make_collection()
+    restored = DocumentCollection.from_corpus_xml(c.to_corpus_xml())
+    assert restored.name == "ann"
+
+
+def test_corpus_rejects_non_corpus_root():
+    with pytest.raises(XmlStoreError):
+        DocumentCollection.from_corpus_xml("<notcorpus/>")
+
+
+def test_corpus_empty_collection():
+    c = DocumentCollection("empty")
+    restored = DocumentCollection.from_corpus_xml(c.to_corpus_xml())
+    assert len(restored) == 0
+
+
+def test_corpus_roundtrip_via_manager(influenza):
+    corpus = influenza.contents.to_corpus_xml()
+    restored = DocumentCollection.from_corpus_xml(corpus)
+    assert len(restored) == influenza.annotation_count

@@ -1,0 +1,128 @@
+"""Tests for the FLWOR-lite query engine."""
+
+import pytest
+
+from repro.errors import XmlStoreError
+from repro.xmlstore.document import XmlDocument, XmlElement
+from repro.xmlstore.flwor import Binding, FlworQuery
+from repro.xmlstore.parser import parse_xml
+
+
+def make_docs():
+    docs = []
+    for index, (subject, keyword) in enumerate(
+        [("protease", "cleavage"), ("kinase", "phospho"), ("protease", "active")]
+    ):
+        doc = parse_xml(
+            f"<annotation><dc:subject>{subject}</dc:subject><body>{keyword} site</body></annotation>",
+            doc_id=f"d{index}",
+        )
+        docs.append(doc)
+    return docs
+
+
+def test_for_each_binds_nodes():
+    docs = make_docs()
+    results = FlworQuery(docs).for_each("//dc:subject").execute()
+    assert len(results) == 3
+
+
+def test_where_contains():
+    docs = make_docs()
+    results = (
+        FlworQuery(docs)
+        .for_each("//annotation")
+        .where_contains("protease")
+        .select(lambda b: b.document.doc_id)
+        .execute()
+    )
+    assert set(results) == {"d0", "d2"}
+
+
+def test_where_path_equals():
+    docs = make_docs()
+    results = (
+        FlworQuery(docs)
+        .for_each("//annotation")
+        .where_path_equals("dc:subject", "kinase")
+        .select(lambda b: b.document.doc_id)
+        .execute()
+    )
+    assert results == ["d1"]
+
+
+def test_let_binding():
+    docs = make_docs()
+    query = (
+        FlworQuery(docs)
+        .for_each("//annotation")
+        .let("subj", lambda b: b.item.child_text("dc:subject"))
+        .where(lambda b: b.let("subj") == "protease")
+        .select(lambda b: b.let("subj"))
+    )
+    assert query.execute() == ["protease", "protease"]
+
+
+def test_let_missing_raises():
+    docs = make_docs()
+    query = FlworQuery(docs).for_each("//annotation").select(lambda b: b.let("absent"))
+    with pytest.raises(XmlStoreError):
+        query.execute()
+
+
+def test_order_by():
+    docs = make_docs()
+    results = (
+        FlworQuery(docs)
+        .for_each("//annotation")
+        .order_by(lambda b: b.item.child_text("dc:subject"))
+        .select(lambda b: b.item.child_text("dc:subject"))
+        .execute()
+    )
+    assert results == ["kinase", "protease", "protease"]
+
+
+def test_order_by_descending():
+    docs = make_docs()
+    results = (
+        FlworQuery(docs)
+        .for_each("//annotation")
+        .order_by(lambda b: b.document.doc_id, descending=True)
+        .select(lambda b: b.document.doc_id)
+        .execute()
+    )
+    assert results == ["d2", "d1", "d0"]
+
+
+def test_select_path():
+    docs = make_docs()
+    results = FlworQuery(docs).for_each("//annotation").select_path("dc:subject").execute()
+    assert all(isinstance(hit, list) for hit in results)
+
+
+def test_first_and_count():
+    docs = make_docs()
+    query = FlworQuery(docs).for_each("//annotation").where_contains("protease")
+    assert query.count() == 2
+    assert query.first() is not None
+
+
+def test_bindings_returns_raw():
+    docs = make_docs()
+    bindings = FlworQuery(docs).for_each("//annotation").bindings()
+    assert all(isinstance(b, Binding) for b in bindings)
+
+
+def test_no_for_each_binds_document_root():
+    docs = make_docs()
+    results = FlworQuery(docs).select(lambda b: b.item.tag).execute()
+    assert results == ["annotation", "annotation", "annotation"]
+
+
+def test_immutability():
+    docs = make_docs()
+    base = FlworQuery(docs).for_each("//annotation")
+    filtered = base.where_contains("kinase")
+    # base query is unchanged
+    assert base.count() == 3
+    assert filtered.count() == 1

@@ -1,0 +1,94 @@
+"""Tests for the XML parser and serializer."""
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.xmlstore.parser import escape_text, parse_xml, serialize_xml, unescape_text
+
+
+def test_parse_simple():
+    doc = parse_xml("<root><a>hello</a></root>")
+    assert doc.root.tag == "root"
+    assert doc.root.child_text("a") == "hello"
+
+
+def test_parse_attributes():
+    doc = parse_xml('<e k="v" n="5"/>')
+    assert doc.root.get("k") == "v"
+    assert doc.root.get("n") == "5"
+
+
+def test_parse_self_closing():
+    doc = parse_xml("<root><empty/></root>")
+    assert doc.root.find("empty") is not None
+
+
+def test_parse_nested():
+    doc = parse_xml("<a><b><c>x</c></b></a>")
+    assert doc.root.find("b").find("c").text == "x"
+
+
+def test_parse_prolog_and_comment():
+    doc = parse_xml('<?xml version="1.0"?><!-- note --><root/>')
+    assert doc.root.tag == "root"
+
+
+def test_parse_cdata():
+    doc = parse_xml("<root><![CDATA[<not parsed>]]></root>")
+    assert "<not parsed>" in doc.root.text
+
+
+def test_parse_entities():
+    doc = parse_xml("<root>a &lt; b &amp; c</root>")
+    assert doc.root.text == "a < b & c"
+
+
+def test_parse_empty_raises():
+    with pytest.raises(XmlParseError):
+        parse_xml("   ")
+
+
+def test_parse_mismatched_tag():
+    with pytest.raises(XmlParseError):
+        parse_xml("<a></b>")
+
+
+def test_parse_unterminated():
+    with pytest.raises(XmlParseError):
+        parse_xml("<a><b></a>")
+
+
+def test_parse_trailing_content():
+    with pytest.raises(XmlParseError):
+        parse_xml("<a/><b/>")
+
+
+def test_escape_unescape_roundtrip():
+    text = 'a < b & c > d "e" \'f\''
+    assert unescape_text(escape_text(text)) == text
+
+
+def test_serialize_roundtrip():
+    original = "<annotation><metadata><dc:title>T</dc:title></metadata></annotation>"
+    doc = parse_xml(original)
+    serialized = serialize_xml(doc)
+    reparsed = parse_xml(serialized)
+    assert reparsed.root.equals(doc.root)
+
+
+def test_serialize_escapes_text():
+    doc = parse_xml("<root>a &lt; b</root>")
+    serialized = serialize_xml(doc, declaration=False)
+    assert "&lt;" in serialized
+
+
+def test_serialize_without_declaration():
+    doc = parse_xml("<root/>")
+    assert not serialize_xml(doc, declaration=False).startswith("<?xml")
+
+
+def test_roundtrip_attributes_with_special_chars():
+    doc = parse_xml('<e note="a &amp; b"/>')
+    assert doc.root.get("note") == "a & b"
+    reparsed = parse_xml(serialize_xml(doc))
+    assert reparsed.root.get("note") == "a & b"

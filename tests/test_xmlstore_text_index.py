@@ -1,0 +1,88 @@
+"""Focused tests for the inverted keyword index and tokenizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmlstore.text_index import STOP_WORDS, InvertedIndex, tokenize
+
+
+def test_tokenize_lowercases():
+    assert tokenize("Protease KINASE") == ["protease", "kinase"]
+
+
+def test_tokenize_keeps_identifiers():
+    assert "protein.tp53" in tokenize("the protein.TP53 gene")
+
+
+def test_tokenize_drops_stopwords():
+    tokens = tokenize("the quick and the dead")
+    assert not (set(tokens) & STOP_WORDS)
+
+
+def test_tokenize_keep_stopwords():
+    tokens = tokenize("the protease", drop_stop_words=False)
+    assert "the" in tokens
+
+
+def test_index_expands_dotted_terms():
+    index = InvertedIndex()
+    index.add_document("d1", "protein.TP53 mutation")
+    # findable by the whole token and by its parts
+    assert index.search("protein.tp53") == {"d1"}
+    assert index.search("tp53") == {"d1"}
+    assert index.search("protein") == {"d1"}
+
+
+def test_index_and_or_modes():
+    index = InvertedIndex()
+    index.add_document("d1", "alpha beta")
+    index.add_document("d2", "beta gamma")
+    assert index.search("alpha beta", mode="and") == {"d1"}
+    assert index.search("alpha gamma", mode="or") == {"d1", "d2"}
+
+
+def test_index_unknown_mode():
+    index = InvertedIndex()
+    index.add_document("d1", "x")
+    with pytest.raises(ValueError):
+        index.search("x", mode="xor")
+
+
+def test_index_empty_query():
+    index = InvertedIndex()
+    index.add_document("d1", "x")
+    assert index.search("") == set()
+
+
+def test_term_and_document_frequency():
+    index = InvertedIndex()
+    index.add_document("d1", "gene gene gene")
+    index.add_document("d2", "gene")
+    assert index.term_frequency("gene", "d1") == 3
+    assert index.document_frequency("gene") == 2
+
+
+def test_remove_document():
+    index = InvertedIndex()
+    index.add_document("d1", "alpha")
+    index.add_document("d2", "alpha")
+    index.remove_document("d1")
+    assert index.search("alpha") == {"d2"}
+    assert "d1" not in index
+
+
+def test_remove_unknown_is_noop():
+    index = InvertedIndex()
+    index.remove_document("ghost")  # should not raise
+    assert len(index) == 0
+
+
+@given(st.lists(st.text(alphabet="abcdef ", min_size=1, max_size=10), min_size=1, max_size=20))
+def test_indexed_documents_are_searchable(words_list):
+    index = InvertedIndex()
+    for position, text in enumerate(words_list):
+        index.add_document(f"d{position}", text)
+    # any token present in a document must retrieve that document
+    for position, text in enumerate(words_list):
+        for token in tokenize(text):
+            assert f"d{position}" in index.search(token, mode="or")

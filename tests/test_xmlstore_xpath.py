@@ -1,0 +1,106 @@
+"""Tests for the XPath-subset evaluator."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xmlstore.parser import parse_xml
+from repro.xmlstore.xpath import XPath, evaluate_xpath
+
+SAMPLE = """
+<annotation id="a1">
+  <metadata>
+    <dc:title>Protease site</dc:title>
+    <dc:subject>protease</dc:subject>
+    <dc:subject>cleavage</dc:subject>
+    <dc:creator lang="en">alice</dc:creator>
+  </metadata>
+  <referents>
+    <referent type="dna">
+      <interval start="10" end="40"/>
+    </referent>
+    <referent type="image">
+      <region lo="0,0" hi="5,5"/>
+    </referent>
+  </referents>
+</annotation>
+"""
+
+
+@pytest.fixture
+def doc():
+    return parse_xml(SAMPLE)
+
+
+def test_absolute_path(doc):
+    result = evaluate_xpath("/annotation/metadata/dc:title", doc)
+    assert len(result) == 1
+    assert result[0].text == "Protease site"
+
+
+def test_descendant_shorthand(doc):
+    result = evaluate_xpath("//referent", doc)
+    assert len(result) == 2
+
+
+def test_wildcard(doc):
+    result = evaluate_xpath("/annotation/metadata/*", doc)
+    assert len(result) == 4
+
+
+def test_attribute_selector(doc):
+    result = evaluate_xpath("//referent/@type", doc)
+    assert result == ["dna", "image"]
+
+
+def test_text_selector(doc):
+    result = evaluate_xpath("//dc:subject/text()", doc)
+    assert result == ["protease", "cleavage"]
+
+
+def test_positional_predicate(doc):
+    result = evaluate_xpath("/annotation/metadata/dc:subject[2]", doc)
+    assert result[0].text == "cleavage"
+
+
+def test_attribute_equality_predicate(doc):
+    result = evaluate_xpath("//referent[@type='image']", doc)
+    assert len(result) == 1
+
+
+def test_child_text_equality_predicate(doc):
+    result = evaluate_xpath("/annotation/metadata[dc:title='Protease site']", doc)
+    assert len(result) == 1
+
+
+def test_contains_predicate_on_text(doc):
+    result = evaluate_xpath("//dc:title[contains(., 'Protease')]", doc)
+    assert len(result) == 1
+
+
+def test_contains_predicate_on_attribute(doc):
+    result = evaluate_xpath("//dc:creator[contains(@lang, 'en')]", doc)
+    assert len(result) == 1
+
+
+def test_attribute_existence_predicate(doc):
+    result = evaluate_xpath("//referent[@type]", doc)
+    assert len(result) == 2
+
+
+def test_empty_expression():
+    with pytest.raises(XPathError):
+        XPath("")
+
+
+def test_attribute_not_final_step():
+    with pytest.raises(XPathError):
+        XPath("/a/@attr/b")
+
+
+def test_nonmatching_path(doc):
+    assert evaluate_xpath("/annotation/ghost", doc) == []
+
+
+def test_descendant_attribute(doc):
+    result = evaluate_xpath("//interval/@start", doc)
+    assert result == ["10"]
