@@ -8,8 +8,12 @@ pytest-benchmark plugin.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import time
-from typing import Callable
+from pathlib import Path
+from typing import Any, Callable
 
 
 def time_call(fn: Callable, repeat: int = 5, number: int = 1) -> float:
@@ -37,3 +41,37 @@ def format_row(values, widths) -> str:
     for value, width in zip(values, widths):
         cells.append(str(value).ljust(width))
     return "  ".join(cells)
+
+
+def results_dir() -> Path:
+    """Directory machine-readable results are written to.
+
+    Defaults to ``benchmarks/results/`` next to this file; override with the
+    ``BENCH_RESULTS_DIR`` environment variable (CI points it at a workspace
+    artifact path).
+    """
+    configured = os.environ.get("BENCH_RESULTS_DIR")
+    base = Path(configured) if configured else Path(__file__).parent / "results"
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+
+def write_results(name: str, rows: list[dict[str, Any]], **metadata: Any) -> Path:
+    """Write one benchmark's results as machine-readable ``BENCH_<name>.json``.
+
+    *rows* is a list of flat dicts (one measurement each, times in seconds).
+    The file is what tracks the performance trajectory across PRs: each CI
+    run uploads it, and any regression shows up as a diff of numbers rather
+    than of prose.  Returns the path written.
+    """
+    payload = {
+        "benchmark": name,
+        "unit": "seconds",
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "rows": rows,
+    }
+    payload.update(metadata)
+    path = results_dir() / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+    return path

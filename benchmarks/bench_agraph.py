@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from benchmarks._harness import format_row, speedup, time_call
+from benchmarks._harness import format_row, speedup, time_call, write_results
 from repro.agraph.agraph import AGraph
 from repro.baselines.naive_graph import NaiveGraph, networkx_shortest_path
 
@@ -78,6 +78,7 @@ def test_agraph_related(benchmark, size):
 def report() -> str:
     lines = ["PERF-3  a-graph path() vs naive edge-list BFS vs networkx"]
     lines.append(format_row(["nodes", "agraph (us)", "naive (us)", "networkx (us)", "speedup"], [10, 13, 13, 14, 10]))
+    rows = []
     for size in SIZES:
         g, contents, _ = _build_agraph(size)
         edges = _edges_of(g)
@@ -92,6 +93,15 @@ def report() -> str:
 
         naive_time = time_call(naive_run, repeat=3)
         nx_time = time_call(lambda: networkx_shortest_path(edges, source, target), repeat=3)
+        rows.append(
+            {
+                "nodes": g.node_count,
+                "agraph_seconds": agraph_time,
+                "naive_seconds": naive_time,
+                "networkx_seconds": nx_time,
+                "speedup": speedup(naive_time, agraph_time),
+            }
+        )
         lines.append(
             format_row(
                 [
@@ -104,6 +114,7 @@ def report() -> str:
                 [10, 13, 13, 14, 10],
             )
         )
+    write_results("agraph_path", rows)
     return "\n".join(lines)
 
 

@@ -17,13 +17,18 @@ The two primitives are:
 * :meth:`AGraph.path` — ``path(node1, node2)``: a path between two nodes,
 * :meth:`AGraph.connect` — ``connect(node1, node2, ...)``: a connection
   subgraph intervening a set of nodes.
+
+Traversals expand through the multigraph's zero-copy ``iter_incident``
+adjacency index, edge lookup along a reconstructed path uses the pair index,
+and component queries are answered by the multigraph's incremental union-find
+instead of a per-call BFS.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-from collections import deque
+from collections import Counter, deque
 from typing import Any, Hashable, Iterable
 
 from repro.agraph.connection import ConnectionSubgraph
@@ -53,7 +58,7 @@ class AGraph:
 
     The a-graph wraps a :class:`~repro.agraph.multigraph.LabeledMultigraph`
     and adds the node-kind bookkeeping, the two primitive operations, and the
-    supporting graph algorithms (BFS/Dijkstra path search, bidirectional
+    supporting graph algorithms (BFS/Dijkstra path search, BFS-tree
     connection-subgraph construction, component analysis).
     """
 
@@ -144,15 +149,32 @@ class AGraph:
         """Contents that annotate *referent_id*."""
         return self._graph.predecessors(referent_id, label=ANNOTATES)
 
+    def annotation_counts(self, referent_ids: Iterable[Hashable]) -> Counter:
+        """For a batch of referents, how many of them each content annotates.
+
+        One indexed ``annotates`` in-edge walk per referent; the counter keys
+        are content ids.  Referent ids absent from the graph are skipped, so
+        callers can feed store-level hits straight in.
+        """
+        counts: Counter = Counter()
+        graph = self._graph
+        for referent_id in referent_ids:
+            if referent_id not in graph:
+                continue
+            for edge in graph.iter_in_edges(referent_id, label=ANNOTATES):
+                counts[edge.source] += 1
+        return counts
+
     def related_annotations(self, content_id: Hashable) -> set[Hashable]:
         """Other contents indirectly related to *content_id* through a shared
         referent.  This is the paper's "two annotations become indirectly
         related" relation."""
         related: set[Hashable] = set()
-        for referent_id in self.referents_of(content_id):
-            for other in self.contents_annotating(referent_id):
-                if other != content_id:
-                    related.add(other)
+        graph = self._graph
+        for edge in graph.iter_out_edges(content_id, label=ANNOTATES):
+            for back in graph.iter_in_edges(edge.target, label=ANNOTATES):
+                if back.source != content_id:
+                    related.add(back.source)
         return related
 
     def ontology_terms_of(self, node_id: Hashable) -> list[Hashable]:
@@ -169,6 +191,12 @@ class AGraph:
         versa).  When *labels* is given, only edges with those labels are
         traversed.  Returns the node-id sequence, or ``None`` when no path
         exists.
+
+        The search is a level-synchronous bidirectional BFS over the
+        multigraph's neighbor-id index: the smaller frontier expands one full
+        level at a time, and the best meeting node of a level yields a
+        provably shortest path while visiting a fraction of the nodes a
+        one-sided sweep would touch.
         """
         if node1 not in self._graph:
             raise UnknownNodeError(f"no node {node1!r} in the a-graph")
@@ -176,18 +204,54 @@ class AGraph:
             raise UnknownNodeError(f"no node {node2!r} in the a-graph")
         if node1 == node2:
             return [node1]
-        allowed = set(labels) if labels is not None else None
-        previous: dict[Hashable, Hashable] = {node1: node1}
-        queue: deque[Hashable] = deque([node1])
-        while queue:
-            current = queue.popleft()
-            for edge in self._incident_edges(current, allowed):
-                neighbor = edge.target if edge.source == current else edge.source
-                if neighbor not in previous:
-                    previous[neighbor] = current
-                    if neighbor == node2:
-                        return self._reconstruct(previous, node1, node2)
-                    queue.append(neighbor)
+        # The component index refutes most unreachable pairs without a BFS.
+        if labels is None and not self._graph.same_component(node1, node2):
+            return None
+        allowed = tuple(set(labels)) if labels is not None else None
+        adjacency = self._graph.undirected_adjacency
+        prev_from_1: dict[Hashable, Hashable] = {node1: node1}
+        prev_from_2: dict[Hashable, Hashable] = {node2: node2}
+        frontier_1: list[Hashable] = [node1]
+        frontier_2: list[Hashable] = [node2]
+        while frontier_1 and frontier_2:
+            if len(frontier_1) <= len(frontier_2):
+                frontier, prev_here, prev_other = frontier_1, prev_from_1, prev_from_2
+                expanding_from_1 = True
+            else:
+                frontier, prev_here, prev_other = frontier_2, prev_from_2, prev_from_1
+                expanding_from_1 = False
+            next_frontier: list[Hashable] = []
+            meets: list[Hashable] = []
+            for current in frontier:
+                buckets = adjacency[current]
+                if allowed is None:
+                    groups = buckets.values()
+                else:
+                    groups = [buckets[label] for label in allowed if label in buckets]
+                for ids in groups:
+                    for neighbor in ids:
+                        if neighbor not in prev_here:
+                            prev_here[neighbor] = current
+                            if neighbor in prev_other:
+                                meets.append(neighbor)
+                            else:
+                                next_frontier.append(neighbor)
+            if meets:
+                # Every meet closes a path at this level; the one whose chain
+                # on the *other* side is shortest closes the shortest path.
+                other_root = node2 if expanding_from_1 else node1
+                meet = min(
+                    meets,
+                    key=lambda node: len(self._reconstruct(prev_other, other_root, node)),
+                )
+                left = self._reconstruct(prev_from_1, node1, meet)
+                right = self._reconstruct(prev_from_2, node2, meet)
+                right.reverse()
+                return left + right[1:]
+            if expanding_from_1:
+                frontier_1 = next_frontier
+            else:
+                frontier_2 = next_frontier
         return None
 
     def weighted_path(
@@ -204,11 +268,14 @@ class AGraph:
         """
         if node1 not in self._graph or node2 not in self._graph:
             raise UnknownNodeError("both endpoints must be nodes in the a-graph")
+        if not self._graph.same_component(node1, node2):
+            return None
         distances: dict[Hashable, float] = {node1: 0.0}
         previous: dict[Hashable, Hashable] = {node1: node1}
         heap: list[tuple[float, int, Hashable]] = [(0.0, 0, node1)]
         counter = 0
         visited: set[Hashable] = set()
+        graph = self._graph
         while heap:
             cost, _, current = heapq.heappop(heap)
             if current in visited:
@@ -216,7 +283,7 @@ class AGraph:
             visited.add(current)
             if current == node2:
                 return self._reconstruct(previous, node1, node2), cost
-            for edge in self._incident_edges(current, None):
+            for edge in graph.iter_incident(current):
                 neighbor = edge.target if edge.source == current else edge.source
                 if neighbor in visited:
                     continue
@@ -239,6 +306,7 @@ class AGraph:
         if node1 not in self._graph or node2 not in self._graph:
             raise UnknownNodeError("both endpoints must be nodes in the a-graph")
         results: list[list[Hashable]] = []
+        graph = self._graph
 
         def walk(current: Hashable, target: Hashable, visited: list[Hashable]) -> None:
             if len(visited) - 1 > max_length:
@@ -246,8 +314,7 @@ class AGraph:
             if current == target:
                 results.append(list(visited))
                 return
-            for edge in self._incident_edges(current, None):
-                neighbor = edge.target if edge.source == current else edge.source
+            for neighbor in graph.iter_neighbors(current):
                 if neighbor not in visited:
                     visited.append(neighbor)
                     walk(neighbor, target, visited)
@@ -255,6 +322,98 @@ class AGraph:
 
         walk(node1, node2, [node1])
         return results
+
+    # -- multi-source traversal ------------------------------------------------
+
+    def multi_source_distances(
+        self,
+        sources: Iterable[Hashable],
+        max_depth: int | None = None,
+        labels: Iterable[str] | None = None,
+    ) -> dict[Hashable, int]:
+        """Hop distance from the nearest of *sources* to every reachable node.
+
+        One breadth-first sweep seeded with the whole source set (undirected
+        edge semantics, optional label filter, optional depth bound).  This is
+        the building block that lets the query executor evaluate a path
+        constraint with two BFS passes instead of one BFS per
+        (source, target) pair.  Unknown source ids are ignored.
+        """
+        allowed = tuple(set(labels)) if labels is not None else None
+        graph = self._graph
+        distances: dict[Hashable, int] = {}
+        frontier: list[Hashable] = []
+        for source in sources:
+            if source in graph and source not in distances:
+                distances[source] = 0
+                frontier.append(source)
+        depth = 0
+        adjacency = graph.undirected_adjacency
+        while frontier and (max_depth is None or depth < max_depth):
+            depth += 1
+            next_frontier: list[Hashable] = []
+            for current in frontier:
+                buckets = adjacency[current]
+                if allowed is None:
+                    groups = buckets.values()
+                else:
+                    groups = [buckets[label] for label in allowed if label in buckets]
+                for ids in groups:
+                    for neighbor in ids:
+                        if neighbor not in distances:
+                            distances[neighbor] = depth
+                            next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    def bfs_tree(
+        self,
+        root: Hashable,
+        stop_nodes: Iterable[Hashable] | None = None,
+        labels: Iterable[str] | None = None,
+    ) -> dict[Hashable, Hashable]:
+        """Predecessor map of an undirected BFS from *root*.
+
+        The returned mapping sends every reached node to its BFS parent (the
+        root maps to itself); :meth:`path_from_tree` reconstructs the shortest
+        root-to-node path.  When *stop_nodes* is given the search ends early
+        once every stop node has been reached — ``connect`` uses this to grow
+        one tree that serves all terminals instead of one BFS per terminal.
+        """
+        if root not in self._graph:
+            raise UnknownNodeError(f"no node {root!r} in the a-graph")
+        pending = set(stop_nodes) if stop_nodes is not None else None
+        if pending is not None:
+            pending.discard(root)
+        allowed = tuple(set(labels)) if labels is not None else None
+        adjacency = self._graph.undirected_adjacency
+        previous: dict[Hashable, Hashable] = {root: root}
+        queue: deque[Hashable] = deque([root])
+        while queue:
+            if pending is not None and not pending:
+                break
+            current = queue.popleft()
+            buckets = adjacency[current]
+            if allowed is None:
+                groups = buckets.values()
+            else:
+                groups = [buckets[label] for label in allowed if label in buckets]
+            for ids in groups:
+                for neighbor in ids:
+                    if neighbor not in previous:
+                        previous[neighbor] = current
+                        if pending is not None:
+                            pending.discard(neighbor)
+                        queue.append(neighbor)
+        return previous
+
+    def path_from_tree(
+        self, tree: dict[Hashable, Hashable], root: Hashable, node: Hashable
+    ) -> list[Hashable] | None:
+        """The root-to-*node* path recorded in a :meth:`bfs_tree` result."""
+        if node not in tree:
+            return None
+        return self._reconstruct(tree, root, node)
 
     # -- primitive: connect ----------------------------------------------------
 
@@ -266,7 +425,8 @@ class AGraph:
         connected to the hub; otherwise the first terminal acts as the hub and
         every other terminal is linked to it (a star of shortest paths, which
         is the connection structure the paper's query results render as a
-        result page).
+        result page).  A single BFS tree grown from the anchor serves every
+        terminal.
         """
         terminals = tuple(node_ids)
         if len(terminals) < 2:
@@ -274,11 +434,14 @@ class AGraph:
         for terminal in terminals:
             if terminal not in self._graph:
                 raise UnknownNodeError(f"no node {terminal!r} in the a-graph")
+        if hub is not None and hub not in self._graph:
+            raise UnknownNodeError(f"no hub node {hub!r} in the a-graph")
         anchor = hub if hub is not None else terminals[0]
         others = [terminal for terminal in terminals if terminal != anchor]
         result = ConnectionSubgraph(terminals=terminals, nodes={anchor})
+        tree = self.bfs_tree(anchor, stop_nodes=others)
         for terminal in others:
-            path = self.path(anchor, terminal)
+            path = self.path_from_tree(tree, anchor, terminal)
             if path is None:
                 continue
             edges = self._edges_along(path)
@@ -287,59 +450,49 @@ class AGraph:
 
     def connection_exists(self, *node_ids: Hashable) -> bool:
         """True when every requested node lies in one connected component."""
-        return self.connect(*node_ids).is_connected
+        terminals = tuple(node_ids)
+        if len(terminals) < 2:
+            raise AGraphError("connect() requires at least two nodes")
+        first = terminals[0]
+        return all(self._graph.same_component(first, terminal) for terminal in terminals[1:])
 
     # -- component analysis -----------------------------------------------------
 
     def connected_component(self, node_id: Hashable) -> set[Hashable]:
-        """All nodes reachable from *node_id* ignoring edge direction."""
+        """All nodes reachable from *node_id* ignoring edge direction.
+
+        Answered from the multigraph's incremental component index; no
+        per-call BFS.
+        """
         if node_id not in self._graph:
             raise UnknownNodeError(f"no node {node_id!r} in the a-graph")
-        seen = {node_id}
-        queue = deque([node_id])
-        while queue:
-            current = queue.popleft()
-            for neighbor in self._graph.neighbors_undirected(current):
-                if neighbor not in seen:
-                    seen.add(neighbor)
-                    queue.append(neighbor)
-        return seen
+        return self._graph.component_members(node_id)
 
     def connected_components(self) -> list[set[Hashable]]:
         """Partition the a-graph into connected components."""
-        seen: set[Hashable] = set()
-        components: list[set[Hashable]] = []
-        for node in self._graph.node_ids():
-            if node not in seen:
-                component = self.connected_component(node)
-                seen |= component
-                components.append(component)
-        return components
+        return self._graph.components()
+
+    def component_root(self, node_id: Hashable) -> Hashable:
+        """Canonical representative of *node_id*'s component (O(alpha))."""
+        return self._graph.component_root(node_id)
 
     # -- internals --------------------------------------------------------------
 
-    def _incident_edges(self, node_id: Hashable, allowed: set[str] | None) -> list[Edge]:
-        edges = self._graph.out_edges(node_id) + self._graph.in_edges(node_id)
-        if allowed is None:
-            return edges
-        return [edge for edge in edges if edge.label in allowed]
+    def _incident_edges(self, node_id: Hashable, allowed: Iterable[str] | None) -> Iterable[Edge]:
+        """Incident edges of *node_id*, optionally label-filtered (zero-copy)."""
+        return self._graph.iter_incident(node_id, allowed)
 
     def _edges_along(self, path: list[Hashable]) -> list[Edge]:
+        find_edge = self._graph.find_edge
         edges: list[Edge] = []
         for source, target in zip(path, path[1:]):
-            edge = self._find_edge(source, target)
+            edge = find_edge(source, target)
             if edge is not None:
                 edges.append(edge)
         return edges
 
     def _find_edge(self, source: Hashable, target: Hashable) -> Edge | None:
-        for edge in self._graph.out_edges(source):
-            if edge.target == target:
-                return edge
-        for edge in self._graph.in_edges(source):
-            if edge.source == target:
-                return edge
-        return None
+        return self._graph.find_edge(source, target)
 
     @staticmethod
     def _reconstruct(previous: dict[Hashable, Hashable], start: Hashable, end: Hashable) -> list[Hashable]:

@@ -36,6 +36,12 @@ class ConnectionSubgraph:
     nodes: set[Hashable] = field(default_factory=set)
     edges: list[Edge] = field(default_factory=list)
     paths: list[list[Hashable]] = field(default_factory=list)
+    #: Set mirror of ``edges`` so membership checks stay O(1) as subgraphs
+    #: grow (``Edge`` is a frozen, hashable dataclass).
+    _edge_set: set[Edge] = field(default_factory=set, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._edge_set = set(self.edges)
 
     @property
     def is_connected(self) -> bool:
@@ -62,14 +68,16 @@ class ConnectionSubgraph:
         self.paths.append(list(path))
         self.nodes.update(path)
         for edge in edges:
-            if edge not in self.edges:
+            if edge not in self._edge_set:
+                self._edge_set.add(edge)
                 self.edges.append(edge)
 
     def merge(self, other: "ConnectionSubgraph") -> None:
         """Merge another connection subgraph into this one."""
         self.nodes.update(other.nodes)
         for edge in other.edges:
-            if edge not in self.edges:
+            if edge not in self._edge_set:
+                self._edge_set.add(edge)
                 self.edges.append(edge)
         self.paths.extend(other.paths)
 

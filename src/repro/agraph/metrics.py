@@ -41,7 +41,7 @@ class AGraphMetrics:
         """Ontology terms ranked by how many nodes point at them."""
         graph = self.agraph.graph
         ranked = [
-            (term_id, len(graph.in_edges(term_id)))
+            (term_id, graph.in_degree(term_id))
             for term_id in self.agraph.ontology_nodes()
         ]
         ranked.sort(key=lambda item: (-item[1], str(item[0])))

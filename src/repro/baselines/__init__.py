@@ -9,6 +9,9 @@ the benchmark harness can quantify the speed-up:
   (no interval tree / R-tree),
 * :mod:`repro.baselines.naive_graph` -- a-graph path/connection search over an
   unindexed edge list, and a networkx-backed comparator,
+* :mod:`repro.baselines.unindexed_multigraph` -- the pre-indexing multigraph
+  engine (flat per-node edge lists, list-concatenating BFS, per-query
+  component sweeps, pairwise path evaluation),
 * :mod:`repro.baselines.relational_annotation` -- a Bhagwat-style single-table
   relational annotation store (annotations as rows, searched by scan).
 """
@@ -21,6 +24,7 @@ from repro.baselines.linear_scan import (
 )
 from repro.baselines.naive_graph import NaiveGraph, networkx_shortest_path
 from repro.baselines.relational_annotation import RelationalAnnotationStore
+from repro.baselines.unindexed_multigraph import UnindexedMultigraph, mirror_agraph
 
 __all__ = [
     "LinearIntervalIndex",
@@ -30,4 +34,6 @@ __all__ = [
     "NaiveGraph",
     "networkx_shortest_path",
     "RelationalAnnotationStore",
+    "UnindexedMultigraph",
+    "mirror_agraph",
 ]

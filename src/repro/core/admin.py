@@ -127,7 +127,7 @@ class Administrator:
         """Ontology nodes in the a-graph that nothing points at."""
         orphans = []
         for term_id in self._manager.agraph.ontology_nodes():
-            if not self._manager.agraph.graph.in_edges(term_id):
+            if self._manager.agraph.graph.in_degree(term_id) == 0:
                 orphans.append(term_id)
         return sorted(orphans)
 

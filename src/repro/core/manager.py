@@ -317,15 +317,16 @@ class Graphitti:
         ontology term or any of its descendants."""
         target_terms = self._expand_ontology_term(term, ontology, include_descendants)
         matches: set[str] = set()
+        graph = self.agraph.graph
         for term_id in target_terms:
             if term_id not in self.agraph:
                 continue
-            for source in self.agraph.graph.predecessors(term_id):
-                node = self.agraph.graph.node(source)
+            for edge in graph.iter_in_edges(term_id):
+                node = graph.node(edge.source)
                 if node.kind == "content":
-                    matches.add(source)
+                    matches.add(edge.source)
                 elif node.kind == "referent":
-                    matches.update(self.agraph.contents_annotating(source))
+                    matches.update(self.agraph.contents_annotating(edge.source))
         return sorted(matches)
 
     def _expand_ontology_term(self, term: str, ontology: str | None, include_descendants: bool) -> set[str]:
@@ -353,10 +354,10 @@ class Graphitti:
         return self._annotations_for_referents(referents)
 
     def _annotations_for_referents(self, referents: list) -> list[str]:
-        matches: set[str] = set()
-        for referent in referents:
-            matches.update(self.agraph.contents_annotating(referent.referent_id))
-        return sorted(matches)
+        counts = self.agraph.annotation_counts(
+            referent.referent_id for referent in referents
+        )
+        return sorted(counts)
 
     def path_between_annotations(self, annotation1: str, annotation2: str) -> list | None:
         """A path in the a-graph between two annotation contents."""
@@ -483,6 +484,7 @@ class Graphitti:
             "indexed_intervals": self.substructures.total_indexed_intervals(),
             "indexed_regions": self.substructures.total_indexed_regions(),
             "agraph_nodes": self.agraph.node_count,
+            "agraph_nodes_by_kind": self.agraph.graph.kind_counts(),
             "agraph_edges": self.agraph.edge_count,
             "ontologies": len(self._ontologies),
         }

@@ -95,7 +95,15 @@ class QueryExecutor:
                 matched |= self._evaluate(part, candidates)
             return matched
         if isinstance(constraint, NotConstraint):
-            universe = set(self._all_annotation_ids())
+            # Negation only needs to rule annotations *out of the running*:
+            # when earlier subqueries already shrank the candidate set, that
+            # set is the universe — materializing every annotation id again
+            # would be wasted work (the executor intersects with candidates
+            # right after anyway).
+            if candidates is not None:
+                universe = set(candidates)
+            else:
+                universe = set(self._all_annotation_ids())
             return universe - self._evaluate(constraint.inner, universe)
         raise QueryExecutionError(f"unknown constraint type {type(constraint).__name__}")
 
@@ -115,12 +123,13 @@ class QueryExecutor:
         """Annotations with at least *min_count* of the matching referents.
 
         This implements the paper's "images having at least 2 regions
-        annotated with T" style count constraint.
+        annotated with T" style count constraint.  The whole referent batch is
+        handed to the a-graph in one call, which walks the label-indexed
+        ``annotates`` in-edges and accumulates a :class:`collections.Counter`.
         """
-        counts: dict[str, int] = {}
-        for referent in referents:
-            for annotation_id in self._manager.agraph.contents_annotating(referent.referent_id):
-                counts[annotation_id] = counts.get(annotation_id, 0) + 1
+        counts = self._manager.agraph.annotation_counts(
+            referent.referent_id for referent in referents
+        )
         return {annotation_id for annotation_id, count in counts.items() if count >= min_count}
 
     def _evaluate_type(self, constraint: TypeConstraint, candidates: set[str] | None = None) -> set[str]:
@@ -138,21 +147,33 @@ class QueryExecutor:
         return matches
 
     def _evaluate_path(self, constraint: PathConstraint) -> set[str]:
+        """Contents lying on a bounded a-graph path from a source to a target.
+
+        Two multi-source bounded BFS sweeps replace the former
+        |sources| x |targets| pairwise ``path()`` loop: one sweep from the
+        source set, one from the target set, each depth-limited to
+        ``max_length``.  A node is part of a qualifying connection exactly
+        when its distance-to-nearest-source plus distance-to-nearest-target
+        stays within the bound — a superset of the nodes the pairwise
+        shortest-path walk used to collect (which kept only one witness path
+        per pair).
+        """
         sources = set(self._manager.search_by_keyword(constraint.from_keyword))
         targets = set(self._manager.search_by_keyword(constraint.to_keyword))
+        if not sources or not targets:
+            return set()
+        agraph = self._manager.agraph
+        bound = constraint.max_length
+        from_sources = agraph.multi_source_distances(sources, max_depth=bound)
+        from_targets = agraph.multi_source_distances(targets, max_depth=bound)
+        graph = agraph.graph
         reachable: set[str] = set()
-        for source in sources:
-            for target in targets:
-                if source == target:
-                    reachable.update({source, target})
-                    continue
-                path = self._manager.agraph.path(source, target)
-                if path is not None and len(path) - 1 <= constraint.max_length:
-                    reachable.update(
-                        node
-                        for node in path
-                        if self._manager.agraph.graph.node(node).kind == "content"
-                    )
+        for node, source_distance in from_sources.items():
+            target_distance = from_targets.get(node)
+            if target_distance is None or source_distance + target_distance > bound:
+                continue
+            if graph.node(node).kind == "content":
+                reachable.add(node)
         return reachable
 
     # -- collation ------------------------------------------------------------
@@ -183,16 +204,21 @@ class QueryExecutor:
         "each connected subgraph forms a result page".  Every subgraph is then
         decorated with its per-type witness metadata so the result is a
         "type-extended connection subgraph".
+
+        Grouping asks the a-graph's incremental component index for each
+        annotation's component root (O(alpha) per id) instead of running a
+        BFS component sweep per result page.
         """
-        remaining = set(annotation_ids)
+        agraph = self._manager.agraph
+        by_component: dict = {}
+        for annotation_id in annotation_ids:
+            root = agraph.component_root(annotation_id)
+            by_component.setdefault(root, []).append(annotation_id)
         subgraphs: list[ConnectionSubgraph] = []
-        while remaining:
-            seed = next(iter(remaining))
-            component = self._manager.agraph.connected_component(seed)
-            members = sorted(remaining & component)
-            remaining -= component
+        for grouped in by_component.values():
+            members = sorted(grouped)
             if len(members) >= 2:
-                subgraph = self._manager.agraph.connect(*members)
+                subgraph = agraph.connect(*members)
             else:
                 subgraph = ConnectionSubgraph(terminals=tuple(members), nodes=set(members))
             self._extend_with_types(subgraph, members)

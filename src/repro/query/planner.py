@@ -33,15 +33,18 @@ from repro.query.ast import (
 #: Lower score == more selective == scheduled earlier.  These reflect the
 #: rough selectivity order the paper's design implies: an exact keyword or a
 #: spatial window is far more selective than "has a referent of type X".
+#: Path constraints cost two bounded multi-source BFS sweeps over the indexed
+#: adjacency (not a pairwise BFS per endpoint combination), so they sit just
+#: behind the index-backed lookups.
 _SELECTIVITY: dict[type, int] = {
     KeywordConstraint: 10,
     OntologyConstraint: 20,
     OverlapConstraint: 15,
     RegionConstraint: 15,
-    PathConstraint: 40,
+    PathConstraint: 30,
     OrConstraint: 45,
     TypeConstraint: 60,
-    NotConstraint: 90,   # negation needs the full universe; schedule last
+    NotConstraint: 90,   # negation restricts the surviving candidates; last
 }
 
 
