@@ -11,11 +11,14 @@ for the system inventory and ``EXPERIMENTS.md`` for the reproduced artifacts.
 
 from repro.core import Annotation, AnnotationContent, DublinCore, Graphitti, Referent
 from repro.errors import GraphittiError
+from repro.service import GraphittiService, ServiceConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graphitti",
+    "GraphittiService",
+    "ServiceConfig",
     "Annotation",
     "AnnotationContent",
     "Referent",

@@ -446,6 +446,25 @@ class LabeledMultigraph:
         if self._components_stale:
             self._rebuild_components()
 
+    @property
+    def components_stale(self) -> bool:
+        """True when a ``remove_node`` left the component index pending rebuild."""
+        return self._components_stale
+
+    def rebuild_components(self) -> bool:
+        """Rebuild the component index now if (and only if) it is stale.
+
+        ``remove_node`` marks the union-find index stale and defers the
+        rebuild to the next component query.  Callers with a natural quiesce
+        point (the serving layer's checkpoint, a bulk ingest boundary) invoke
+        this explicitly so the first query after recovery or a delete never
+        pays a surprise O(V + E) rebuild.  Returns True when a rebuild ran.
+        """
+        if not self._components_stale:
+            return False
+        self._rebuild_components()
+        return True
+
     def component_root(self, node_id: Hashable) -> Hashable:
         """Canonical representative of the component containing *node_id*.
 

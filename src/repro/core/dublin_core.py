@@ -80,6 +80,26 @@ class DublinCore:
         return {name: getattr(self, name) for name in DC_ELEMENTS}
 
     @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DublinCore":
+        """Reconstruct Dublin Core metadata from :meth:`to_dict` output.
+
+        Unknown keys are ignored and missing keys keep their defaults, so the
+        codec tolerates payloads written by older snapshot versions.
+        """
+        core = cls()
+        for name in DC_ELEMENTS:
+            value = payload.get(name)
+            if value is None:
+                continue
+            if isinstance(getattr(core, name), list):
+                if isinstance(value, str):  # a scalar where a list is expected
+                    value = [value]
+                setattr(core, name, [str(item) for item in value])
+            else:
+                setattr(core, name, str(value))
+        return core
+
+    @classmethod
     def from_elements(cls, elements: list[XmlElement]) -> "DublinCore":
         """Reconstruct Dublin Core metadata from ``dc:*`` elements."""
         core = cls()

@@ -20,7 +20,7 @@ It exposes the paper's three workflows: **annotate** (``new_annotation`` +
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.agraph.agraph import AGraph
 from repro.agraph.connection import ConnectionSubgraph
@@ -70,7 +70,20 @@ class Graphitti:
         #: True for instances rebuilt from a snapshot (data objects not
         #: reconstructed; see :mod:`repro.core.persistence`).
         self.catalogue_only = False
+        #: Monotonic counter bumped by every mutation (register / commit /
+        #: delete).  The serving layer's query-result cache tags entries with
+        #: the epoch they were computed at and treats any entry from an older
+        #: epoch as invalid, which makes cache invalidation a single compare.
+        self.mutation_epoch = 0
+        #: Extra statistics sources merged into :meth:`statistics` (the
+        #: serving layer registers its cache/WAL counters here).
+        self.stats_providers: list[Callable[[], dict[str, Any]]] = []
         self._init_metadata_table()
+
+    def _bump_epoch(self) -> int:
+        """Advance the mutation epoch (called after every state mutation)."""
+        self.mutation_epoch += 1
+        return self.mutation_epoch
 
     def _init_metadata_table(self) -> None:
         schema = TableSchema(
@@ -97,6 +110,7 @@ class Graphitti:
         self._ontologies[ontology.name] = ontology
         ops = OntologyOperations(ontology, cache=cache)
         self._ontology_ops[ontology.name] = ops
+        self._bump_epoch()
         return ops
 
     def ontology(self, name: str) -> Ontology:
@@ -152,6 +166,7 @@ class Graphitti:
             }
         )
         self._register_coordinate_system(obj)
+        self._bump_epoch()
         return obj
 
     def _register_coordinate_system(self, obj: DataObject) -> None:
@@ -212,8 +227,15 @@ class Graphitti:
             if identifier not in self._annotations:
                 return identifier
 
-    def commit(self, annotation: Annotation) -> Annotation:
-        """Commit an annotation: store content, index referents, wire a-graph."""
+    def commit(self, annotation: Annotation, defer_index: bool = False) -> Annotation:
+        """Commit an annotation: store content, index referents, wire a-graph.
+
+        With ``defer_index=True`` the content document's keyword indexing is
+        deferred (see :meth:`DocumentCollection.add
+        <repro.xmlstore.collection.DocumentCollection.add>`); keyword searches
+        flush the deferred work before reading, so results are unaffected.
+        :meth:`commit_many` uses this to amortize indexing out of bulk ingest.
+        """
         if annotation.annotation_id in self._annotations:
             raise AnnotationError(f"annotation {annotation.annotation_id!r} already committed")
         # Validate referents reference registered objects.
@@ -224,7 +246,7 @@ class Graphitti:
                 )
         # 1. Store the annotation content as an XML document.
         document = annotation.to_document()
-        self.contents.add(document, doc_id=annotation.annotation_id)
+        self.contents.add(document, doc_id=annotation.annotation_id, defer_index=defer_index)
         # 2. Create the content node in the a-graph.
         self.agraph.add_content(
             annotation.annotation_id,
@@ -251,7 +273,37 @@ class Graphitti:
             self.agraph.add_ontology_node(term)
             self.agraph.link_ontology(annotation.annotation_id, term)
         self._annotations[annotation.annotation_id] = annotation
+        self._bump_epoch()
         return annotation
+
+    def commit_many(self, annotations: Iterable[Annotation]) -> list[Annotation]:
+        """Commit a batch of annotations with deferred content indexing.
+
+        The whole batch is validated up front (no annotation already
+        committed, every referent's object registered, no duplicate ids
+        inside the batch), so a bad batch fails before any member is applied.
+        Each member then commits with ``defer_index=True``: the per-commit
+        keyword-index bookkeeping — the dominant cost of a small commit — is
+        queued and performed once, lazily, on the first subsequent keyword
+        search.  This is the manager half of the serving layer's bulk-commit
+        fast path.
+        """
+        batch = list(annotations)
+        seen: set[str] = set()
+        for annotation in batch:
+            if annotation.annotation_id in self._annotations or annotation.annotation_id in seen:
+                raise AnnotationError(
+                    f"annotation {annotation.annotation_id!r} already committed"
+                )
+            seen.add(annotation.annotation_id)
+            for referent in annotation.referents:
+                if referent.ref.object_id not in self.registry:
+                    raise UnknownObjectError(
+                        f"annotation references unregistered object {referent.ref.object_id!r}"
+                    )
+        for annotation in batch:
+            self.commit(annotation, defer_index=True)
+        return batch
 
     def _link_same_object(self, referent_id: str, object_id: str, annotation: Annotation) -> None:
         """Within one annotation, link referents marking the same object."""
@@ -296,6 +348,7 @@ class Graphitti:
         if annotation_id in self.agraph:
             self.agraph.graph.remove_node(annotation_id)
         del self._annotations[annotation_id]
+        self._bump_epoch()
 
     def annotations(self) -> list[Annotation]:
         """Every committed annotation."""
@@ -472,9 +525,13 @@ class Graphitti:
     # -- stats -----------------------------------------------------------------
 
     def statistics(self) -> dict[str, Any]:
-        """Summary statistics about the instance (sizes of every substrate)."""
+        """Summary statistics about the instance (sizes of every substrate).
+
+        Extra sources registered in :attr:`stats_providers` (the serving
+        layer's cache / WAL counters) are merged into the returned dict.
+        """
         interval_trees, rtrees = self.substructures.index_count()
-        return {
+        stats = {
             "data_objects": len(self.registry),
             "objects_by_type": {dt.value: n for dt, n in self.registry.count_by_type().items()},
             "annotations": self.annotation_count,
@@ -487,4 +544,8 @@ class Graphitti:
             "agraph_nodes_by_kind": self.agraph.graph.kind_counts(),
             "agraph_edges": self.agraph.edge_count,
             "ontologies": len(self._ontologies),
+            "mutation_epoch": self.mutation_epoch,
         }
+        for provider in self.stats_providers:
+            stats.update(provider())
+        return stats

@@ -13,6 +13,14 @@ objects, because the native data objects (sequence residues, image pixels,
 descriptors but not their bytes.  This mirrors how the paper's relational
 store holds metadata while the raw data lives alongside it -- a reloaded
 catalogue is enough to answer queries over existing annotations.
+
+The module also exposes the **record codec** the serving layer's write-ahead
+log shares with the snapshot format: :func:`encode_annotation` /
+:func:`decode_annotation` round-trip one annotation (including its full
+Dublin Core metadata, body and user tags), :func:`wire_annotation` applies a
+decoded annotation to an instance exactly like a live commit would, and
+:func:`encode_register` / :func:`apply_register_record` do the same for data
+object registrations (as catalogue entries).
 """
 
 from __future__ import annotations
@@ -21,31 +29,231 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.core.annotation import Referent
-from repro.datatypes.base import SubstructureRef
+from repro.core.annotation import Annotation, AnnotationContent, Referent
+from repro.core.dublin_core import DublinCore
+from repro.datatypes.base import DataObject, DataType, SubstructureRef
 from repro.errors import GraphittiError
 from repro.ontology.model import Ontology
 
 
-def snapshot(manager) -> dict[str, Any]:
-    """Produce a JSON-compatible snapshot of *manager*."""
-    annotations_payload = []
-    for annotation in manager.annotations():
-        annotations_payload.append(
+# -- annotation record codec ---------------------------------------------------
+
+
+def encode_annotation(annotation: Annotation) -> dict[str, Any]:
+    """Encode one annotation as a JSON-compatible record.
+
+    Carries the *complete* content — Dublin Core metadata, free-text body,
+    user tags and ontology pointers — so a decoded annotation is
+    indistinguishable from the committed original (``keywords`` is kept as a
+    derived field for readers of older snapshots).
+    """
+    content = annotation.content
+    return {
+        "annotation_id": annotation.annotation_id,
+        "dublin_core": content.dublin_core.to_dict(),
+        "body": content.body,
+        "user_tags": dict(content.user_tags),
+        "content_ontology_terms": list(content.ontology_terms),
+        "keywords": content.keywords(),
+        "referents": [
             {
-                "annotation_id": annotation.annotation_id,
-                "content_ontology_terms": list(annotation.content.ontology_terms),
-                "keywords": annotation.content.keywords(),
-                "referents": [
-                    {
-                        "referent_id": referent.referent_id,
-                        "ref": referent.ref.to_dict(),
-                        "ontology_terms": list(referent.ontology_terms),
-                    }
-                    for referent in annotation.referents
-                ],
+                "referent_id": referent.referent_id,
+                "ref": referent.ref.to_dict(),
+                "ontology_terms": list(referent.ontology_terms),
+            }
+            for referent in annotation.referents
+        ],
+    }
+
+
+def decode_annotation(payload: dict[str, Any]) -> Annotation:
+    """Rebuild an :class:`Annotation` from :func:`encode_annotation` output.
+
+    Tolerates records written before the full-content codec (no
+    ``dublin_core`` key): those fall back to the legacy keywords-only
+    reconstruction.
+    """
+    annotation_id = payload["annotation_id"]
+    if "dublin_core" in payload:
+        dublin_core = DublinCore.from_dict(payload["dublin_core"])
+        if not dublin_core.identifier:
+            dublin_core.identifier = annotation_id
+    else:
+        dublin_core = DublinCore(identifier=annotation_id, subject=list(payload.get("keywords", [])))
+    content = AnnotationContent(
+        dublin_core=dublin_core,
+        body=payload.get("body", ""),
+        ontology_terms=list(payload.get("content_ontology_terms", [])),
+        user_tags=dict(payload.get("user_tags", {})),
+    )
+    annotation = Annotation(annotation_id, content)
+    for ref_payload in payload.get("referents", []):
+        referent = Referent(
+            ref=SubstructureRef.from_dict(ref_payload["ref"]),
+            ontology_terms=list(ref_payload.get("ontology_terms", [])),
+            referent_id=ref_payload["referent_id"],
+        )
+        annotation._referents.append(referent)  # noqa: SLF001 - codec rebuild path
+    return annotation
+
+
+def wire_annotation(manager, annotation: Annotation, add_content_document: bool = False) -> None:
+    """Wire a decoded annotation into *manager*'s substrates.
+
+    Performs the same a-graph / substructure wiring as a live
+    :meth:`~repro.core.manager.Graphitti.commit` but skips registry
+    validation, so it works on catalogue-only instances whose native data
+    objects were not reconstructed.  With ``add_content_document=True`` the
+    content document is regenerated and stored too (the WAL replay path; the
+    snapshot path loads documents from the snapshot's own collection dump).
+    """
+    from repro.agraph.agraph import SAME_OBJECT
+
+    annotation_id = annotation.annotation_id
+    if add_content_document and annotation_id not in manager.contents:
+        manager.contents.add(annotation.to_document(), doc_id=annotation_id)
+    manager.agraph.add_content(
+        annotation_id,
+        title=annotation.content.dublin_core.title,
+        keywords=tuple(annotation.content.keywords()),
+    )
+    per_object: dict[str, list[str]] = {}
+    for referent in annotation.referents:
+        referent_id = manager.substructures.add(referent)
+        manager.agraph.add_referent(
+            referent_id,
+            object=referent.ref.object_id,
+            data_type=referent.ref.data_type.value,
+        )
+        manager.agraph.link_annotation(annotation_id, referent_id)
+        for term in referent.ontology_terms:
+            manager.agraph.add_ontology_node(term)
+            manager.agraph.link_ontology(referent_id, term)
+        for other_id in per_object.get(referent.ref.object_id, []):
+            manager.agraph.link_referents(referent_id, other_id, label=SAME_OBJECT)
+        per_object.setdefault(referent.ref.object_id, []).append(referent_id)
+    for term in annotation.content.ontology_terms:
+        manager.agraph.add_ontology_node(term)
+        manager.agraph.link_ontology(annotation_id, term)
+    manager._annotations[annotation_id] = annotation  # noqa: SLF001 - rebuild path
+    manager._bump_epoch()  # noqa: SLF001 - rebuild path
+
+
+# -- data-object (catalogue) record codec --------------------------------------
+
+
+class CatalogueObject(DataObject):
+    """A placeholder for a data object whose native payload is unavailable.
+
+    Recovery registers one per logged ``register`` record so the rebuilt
+    instance has the same registry counts, passes commit validation and runs
+    integrity checks cleanly.  It cannot be marked (no native substructures),
+    matching the catalogue-only contract of :func:`rebuild`.
+    """
+
+    def __init__(
+        self,
+        object_id: str,
+        data_type: DataType,
+        domain: str | None = None,
+        description: str = "",
+        metadata: dict[str, Any] | None = None,
+    ):
+        super().__init__(object_id, metadata)
+        self.data_type = data_type
+        self._domain = domain
+        self._description = description or f"{data_type.value} {object_id} (catalogue entry)"
+
+    @property
+    def coordinate_domain(self) -> str | None:
+        return self._domain
+
+    def describe(self) -> str:
+        return self._description
+
+
+def encode_register(obj: DataObject, metadata: dict[str, Any]) -> dict[str, Any]:
+    """Encode a data-object registration as a catalogue record.
+
+    *metadata* is the combined metadata row the manager stores (the object's
+    own metadata plus the register-call keywords).  Raw bytes are not logged
+    -- the WAL, like the snapshot, persists the catalogue, not native data.
+    """
+    return {
+        "object_id": obj.object_id,
+        "data_type": obj.data_type.value,
+        "domain": obj.coordinate_domain,
+        "description": obj.describe(),
+        "metadata": dict(metadata),
+    }
+
+
+def apply_register_record(manager, payload: dict[str, Any]) -> None:
+    """Replay a :func:`encode_register` record onto *manager*.
+
+    Registers a :class:`CatalogueObject` and inserts the metadata row, so the
+    recovered instance's registry and relational store match the original's
+    counts.  Records for objects already present (e.g. replayed over a
+    snapshot that carried the metadata row) only fill the registry gap.
+    """
+    object_id = payload["object_id"]
+    if object_id not in manager.registry:
+        manager.registry.register(
+            CatalogueObject(
+                object_id,
+                DataType(payload["data_type"]),
+                domain=payload.get("domain"),
+                description=payload.get("description", ""),
+                metadata=payload.get("metadata"),
+            )
+        )
+    table = manager.database.table(manager._OBJECT_TABLE)  # noqa: SLF001 - replay path
+    if table.get(object_id) is None:
+        table.insert(
+            {
+                "object_id": object_id,
+                "data_type": payload["data_type"],
+                "domain": payload.get("domain"),
+                "description": payload.get("description"),
+                "metadata": payload.get("metadata", {}),
+                "raw": None,
             }
         )
+    manager._bump_epoch()  # noqa: SLF001 - replay path
+
+
+def hydrate_catalogue(manager) -> int:
+    """Register a :class:`CatalogueObject` for every metadata row missing from
+    the registry.  Returns how many placeholders were created.
+
+    The serving layer's recovery path calls this after a snapshot rebuild so
+    registry-based statistics and commit validation match the pre-crash
+    instance even though native data objects are gone.
+    """
+    created = 0
+    table = manager.database.table(manager._OBJECT_TABLE)  # noqa: SLF001 - recovery path
+    for row in table:
+        if row["object_id"] in manager.registry:
+            continue
+        manager.registry.register(
+            CatalogueObject(
+                row["object_id"],
+                DataType(row["data_type"]),
+                domain=row.get("domain"),
+                description=row.get("description") or "",
+                metadata=row.get("metadata"),
+            )
+        )
+        created += 1
+    return created
+
+
+# -- whole-instance snapshot ---------------------------------------------------
+
+
+def snapshot(manager) -> dict[str, Any]:
+    """Produce a JSON-compatible snapshot of *manager*."""
+    manager.contents.flush_index()
     return {
         "name": manager.name,
         "indexed_contents": manager.contents.indexed,
@@ -54,7 +262,7 @@ def snapshot(manager) -> dict[str, Any]:
         "contents": {
             doc_id: manager.contents.get(doc_id).to_dict() for doc_id in manager.contents.document_ids()
         },
-        "annotations": annotations_payload,
+        "annotations": [encode_annotation(annotation) for annotation in manager.annotations()],
     }
 
 
@@ -85,6 +293,8 @@ def rebuild(payload: dict[str, Any]):
 
     manager = Graphitti.__new__(Graphitti)
     manager.name = payload.get("name", "graphitti")
+    manager.mutation_epoch = 0
+    manager.stats_providers = []
     # Rebuild ontologies.
     manager._ontologies = {}
     manager._ontology_ops = {}
@@ -114,39 +324,8 @@ def rebuild(payload: dict[str, Any]):
     manager._next_annotation_serial = 1
     manager.catalogue_only = True
 
-    # Re-wire the a-graph and indexes directly from the annotation payloads.
-    from repro.core.annotation import Annotation, AnnotationContent
-    from repro.core.dublin_core import DublinCore
-    from repro.agraph.agraph import SAME_OBJECT
-
+    # Re-wire the a-graph and indexes directly from the annotation payloads
+    # (content documents were loaded above from the snapshot's own dump).
     for item in payload.get("annotations", []):
-        annotation_id = item["annotation_id"]
-        content = AnnotationContent(
-            dublin_core=DublinCore(identifier=annotation_id, subject=list(item.get("keywords", []))),
-            ontology_terms=list(item.get("content_ontology_terms", [])),
-        )
-        annotation = Annotation(annotation_id, content)
-        manager.agraph.add_content(annotation_id, keywords=tuple(content.keywords()))
-        per_object: dict[str, list[str]] = {}
-        for ref_payload in item["referents"]:
-            ref = SubstructureRef.from_dict(ref_payload["ref"])
-            referent = Referent(
-                ref=ref,
-                ontology_terms=list(ref_payload.get("ontology_terms", [])),
-                referent_id=ref_payload["referent_id"],
-            )
-            annotation._referents.append(referent)  # noqa: SLF001 - rebuild path
-            referent_id = manager.substructures.add(referent)
-            manager.agraph.add_referent(referent_id, object=ref.object_id, data_type=ref.data_type.value)
-            manager.agraph.link_annotation(annotation_id, referent_id)
-            for term in referent.ontology_terms:
-                manager.agraph.add_ontology_node(term)
-                manager.agraph.link_ontology(referent_id, term)
-            for other_id in per_object.get(ref.object_id, []):
-                manager.agraph.link_referents(referent_id, other_id, label=SAME_OBJECT)
-            per_object.setdefault(ref.object_id, []).append(referent_id)
-        for term in content.ontology_terms:
-            manager.agraph.add_ontology_node(term)
-            manager.agraph.link_ontology(annotation_id, term)
-        manager._annotations[annotation_id] = annotation
+        wire_annotation(manager, decode_annotation(item), add_content_document=False)
     return manager

@@ -108,3 +108,15 @@ class QueryExecutionError(QueryError):
 
 class WorkloadError(GraphittiError):
     """Error raised by the synthetic workload generators."""
+
+
+class ServiceError(GraphittiError):
+    """Error raised by the serving layer (:mod:`repro.service`)."""
+
+
+class WalCorruptionError(ServiceError):
+    """The write-ahead log contains an unreadable record before its tail.
+
+    A truncated *final* record is expected after a crash and is tolerated by
+    replay; corruption anywhere earlier means the log cannot be trusted and
+    recovery refuses to guess."""

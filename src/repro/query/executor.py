@@ -47,7 +47,7 @@ class QueryExecutor:
     def execute_plan(self, plan: QueryPlan) -> QueryResult:
         """Execute a pre-built :class:`QueryPlan`."""
         query = plan.query
-        result = QueryResult(return_kind=query.return_kind)
+        result = QueryResult(return_kind=query.return_kind, plan_fingerprint=plan.fingerprint())
         candidates: set[str] | None = None
         for constraint in plan.ordered_constraints:
             matched = self._evaluate(constraint, candidates)

@@ -14,6 +14,7 @@ grouping, which the executor runs step by step.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.query.ast import (
@@ -70,6 +71,7 @@ class QueryPlan:
     ordered_constraints: list[Constraint]
     groups: dict[Target, list[Constraint]] = field(default_factory=dict)
     ordering_enabled: bool = True
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
     def explain(self) -> str:
         """Human-readable plan explanation."""
@@ -81,6 +83,30 @@ class QueryPlan:
     def subquery_count(self) -> int:
         """Number of distinct per-type subqueries."""
         return len(self.groups)
+
+    def fingerprint(self) -> str:
+        """A stable digest of the plan's semantics.
+
+        Two queries share a fingerprint exactly when they produce the same
+        return kind and the same ordered constraint sequence under the same
+        planner configuration — which makes the fingerprint (together with the
+        normalized query text) a sound cache key for query results: any
+        planner change that alters execution changes the fingerprint and
+        naturally misses the old cache entries.  Computed once per plan (the
+        executor stamps it on every result, so it is on the execution path).
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        digest = hashlib.sha256()
+        digest.update(self.query.return_kind.value.encode())
+        digest.update(b"|ordering=1" if self.ordering_enabled else b"|ordering=0")
+        for constraint in self.ordered_constraints:
+            digest.update(b"|")
+            digest.update(constraint.target.value.encode())
+            digest.update(b":")
+            digest.update(constraint.describe().encode())
+        self._fingerprint = digest.hexdigest()[:16]
+        return self._fingerprint
 
 
 class QueryPlanner:

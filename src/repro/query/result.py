@@ -26,6 +26,10 @@ class QueryResult:
     subgraphs: list[ConnectionSubgraph] = field(default_factory=list)
     steps: list[tuple[str, int]] = field(default_factory=list)
     fragments: list[Any] = field(default_factory=list)
+    #: Fingerprint of the plan that produced this result (see
+    #: :meth:`repro.query.planner.QueryPlan.fingerprint`); the serving layer
+    #: uses it as part of the result-cache key.
+    plan_fingerprint: str = ""
 
     @property
     def count(self) -> int:
@@ -53,6 +57,7 @@ class QueryResult:
         return {
             "return_kind": self.return_kind.value,
             "count": self.count,
+            "plan_fingerprint": self.plan_fingerprint,
             "annotation_ids": list(self.annotation_ids),
             "referent_keys": [
                 referent.referent_id if hasattr(referent, "referent_id") else str(referent)

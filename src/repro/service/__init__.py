@@ -1,0 +1,31 @@
+"""The Graphitti serving layer.
+
+Wraps a :class:`~repro.core.manager.Graphitti` instance in the machinery a
+multi-user deployment needs — single-writer/multi-reader locking, a
+write-ahead log with snapshot checkpoints and crash recovery, an
+epoch-invalidated query-result cache, and a group-committed bulk ingest path:
+
+* :mod:`repro.service.locks` -- the writer-preference readers-writer lock,
+* :mod:`repro.service.cache` -- the epoch-tagged LRU result cache,
+* :mod:`repro.service.wal` -- the append-only JSONL write-ahead log,
+* :mod:`repro.service.durability` -- snapshot+WAL lifecycle and recovery,
+* :mod:`repro.service.service` -- the :class:`GraphittiService` facade.
+"""
+
+from repro.service.cache import QueryResultCache, normalize_gql
+from repro.service.durability import DurableStore, recover_manager
+from repro.service.locks import ReadWriteLock
+from repro.service.service import GraphittiService, ServiceConfig
+from repro.service.wal import WriteAheadLog, read_records
+
+__all__ = [
+    "GraphittiService",
+    "ServiceConfig",
+    "ReadWriteLock",
+    "QueryResultCache",
+    "normalize_gql",
+    "WriteAheadLog",
+    "read_records",
+    "DurableStore",
+    "recover_manager",
+]

@@ -1,0 +1,166 @@
+"""Durability for a served Graphitti instance: snapshot + WAL lifecycle.
+
+A served instance lives in one directory::
+
+    <root>/
+      snapshot.json   # the latest checkpoint (embeds "wal_seq")
+      wal.jsonl       # records appended after that checkpoint
+
+**Checkpoint** writes the snapshot to a temp file, atomically renames it over
+``snapshot.json`` (embedding the last logged sequence number), then truncates
+the WAL.  A crash between the rename and the truncate merely leaves records
+the next recovery recognizes as already-applied (their ``seq`` is at or below
+the snapshot's ``wal_seq``) and skips — checkpointing is idempotent.
+
+**Recovery** rebuilds the manager from the snapshot (or a fresh instance when
+none exists), hydrates catalogue placeholders for every metadata row so
+registry-backed statistics and commit validation match the pre-crash
+instance, then replays the WAL records logged after the snapshot through the
+same record codec live operations use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.core.persistence import (
+    apply_register_record,
+    decode_annotation,
+    hydrate_catalogue,
+    rebuild,
+    snapshot as make_snapshot,
+    wire_annotation,
+)
+from repro.errors import ServiceError
+from repro.ontology.model import Ontology
+from repro.service.wal import WriteAheadLog, read_records
+
+SNAPSHOT_FILE = "snapshot.json"
+WAL_FILE = "wal.jsonl"
+
+
+class DurableStore:
+    """Paths and lifecycle of one served instance's on-disk state."""
+
+    def __init__(self, root: str | Path, durability: str = "always"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.snapshot_path = self.root / SNAPSHOT_FILE
+        self.wal = WriteAheadLog(self.root / WAL_FILE, durability=durability)
+        # The log alone cannot know the sequence high-water mark after a
+        # checkpoint truncated it: numbering must continue ABOVE the
+        # snapshot's wal_seq, or records appended after a reopen would be
+        # skipped at recovery as already-applied.
+        snapshot_seq = self._snapshot_wal_seq()
+        if snapshot_seq > self.wal.last_seq:
+            self.wal.last_seq = snapshot_seq
+        self.checkpoints = 0
+
+    def _snapshot_wal_seq(self) -> int:
+        """The ``wal_seq`` embedded in the current snapshot (0 when absent)."""
+        if not self.snapshot_path.exists():
+            return 0
+        try:
+            with self.snapshot_path.open("r", encoding="utf-8") as handle:
+                return int(json.load(handle).get("wal_seq", 0))
+        except (OSError, ValueError, json.JSONDecodeError):
+            return 0
+
+    @property
+    def wal_path(self) -> Path:
+        return self.wal.path
+
+    def checkpoint(self, manager) -> Path:
+        """Snapshot *manager*, embed the WAL high-water mark, truncate the log.
+
+        The snapshot lands via write-to-temp + atomic rename so a crash while
+        checkpointing can never destroy the previous good snapshot.
+        """
+        self.wal.sync()
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        payload = make_snapshot(manager)
+        payload["wal_seq"] = self.wal.last_seq
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+        # The rename itself is only durable once the directory entry reaches
+        # disk; fsync the directory BEFORE truncating the log, or a power
+        # failure could leave the old snapshot next to an already-empty WAL.
+        directory_fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+        self.wal.truncate()
+        self.checkpoints += 1
+        return self.snapshot_path
+
+    def close(self) -> None:
+        self.wal.close()
+
+
+def apply_record(manager, record: dict[str, Any]) -> None:
+    """Apply one WAL record to *manager* (the replay half of the op codec)."""
+    op = record["op"]
+    payload = record["payload"]
+    if op == "register_ontology":
+        manager.register_ontology(Ontology.from_dict(payload))
+    elif op == "register":
+        apply_register_record(manager, payload)
+    elif op == "commit":
+        wire_annotation(manager, decode_annotation(payload), add_content_document=True)
+    elif op == "delete_annotation":
+        manager.delete_annotation(payload["annotation_id"])
+    else:  # pragma: no cover - read_records already validates ops
+        raise ServiceError(f"unknown WAL op {op!r}")
+
+
+def recover_manager(root: str | Path):
+    """Rebuild the manager for the instance at *root*.
+
+    Returns ``(manager, info)`` where *info* reports what recovery saw:
+    ``{"snapshot": bool, "base_seq": int, "replayed": int, "skipped": int,
+    "torn_tail": bool}``.  Raises when the directory holds no state at all.
+    """
+    root = Path(root)
+    snapshot_path = root / SNAPSHOT_FILE
+    wal_path = root / WAL_FILE
+    records, torn_tail = read_records(wal_path)
+    if not snapshot_path.exists() and not records:
+        raise ServiceError(f"no snapshot or WAL records to recover from in {root}")
+
+    base_seq = 0
+    if snapshot_path.exists():
+        with snapshot_path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        manager = rebuild(payload)
+        base_seq = int(payload.get("wal_seq", 0))
+    else:
+        from repro.core.manager import Graphitti
+
+        manager = Graphitti(root.name or "graphitti")
+
+    replayed = skipped = 0
+    for record in records:
+        if record["seq"] <= base_seq:
+            skipped += 1  # superseded by the snapshot (crash mid-checkpoint)
+            continue
+        apply_record(manager, record)
+        replayed += 1
+
+    hydrate_catalogue(manager)
+    # Recovery is a natural quiesce point: rebuild the component index now so
+    # the first query after a crash never pays a surprise rebuild.
+    manager.agraph.graph.rebuild_components()
+    return manager, {
+        "snapshot": snapshot_path.exists(),
+        "base_seq": base_seq,
+        "replayed": replayed,
+        "skipped": skipped,
+        "torn_tail": torn_tail,
+    }

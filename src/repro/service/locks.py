@@ -1,0 +1,96 @@
+"""A single-writer / multi-reader lock for the serving layer.
+
+Annotation workloads are overwhelmingly read-heavy, so the serving layer
+coordinates with a classic readers-writer lock: any number of readers share
+the lock concurrently, writers get it exclusively, and *writer preference*
+keeps a steady stream of readers from starving mutations (a waiting writer
+blocks new readers from entering).
+
+The implementation is a plain condition-variable monitor — no busy waiting —
+and exposes context managers so call sites read as ``with lock.read_locked():``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """A writer-preference readers-writer lock.
+
+    Not reentrant: a thread must not acquire the write side while holding the
+    read side (or vice versa) — the serving layer's call structure never
+    nests acquisitions.
+    """
+
+    def __init__(self) -> None:
+        self._monitor = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- read side -------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter as a reader."""
+        with self._monitor:
+            while self._writer_active or self._writers_waiting:
+                self._monitor.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Leave the reader side, waking writers when the last reader exits."""
+        with self._monitor:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._monitor.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Hold the read side for the duration of the block."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- write side ------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Block until the lock is free of readers and writers, then own it."""
+        with self._monitor:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._monitor.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Release exclusive ownership and wake every waiter."""
+        with self._monitor:
+            self._writer_active = False
+            self._monitor.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Hold the write side for the duration of the block."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (for tests / stats) --------------------------------------
+
+    def snapshot(self) -> dict[str, int | bool]:
+        """A point-in-time view of the lock state (diagnostics only)."""
+        with self._monitor:
+            return {
+                "active_readers": self._active_readers,
+                "writer_active": self._writer_active,
+                "writers_waiting": self._writers_waiting,
+            }

@@ -1,0 +1,466 @@
+"""The Graphitti serving layer: concurrent, durable, cache-fronted access.
+
+:class:`GraphittiService` wraps one :class:`~repro.core.manager.Graphitti`
+instance in the coordination a multi-user deployment needs:
+
+* **single-writer / multi-reader locking** — queries and explore calls share
+  a read lock and never block each other; mutations serialize behind a
+  writer-preference write lock;
+* **durability** — every acknowledged mutation is appended to a write-ahead
+  log layered on snapshots (see :mod:`repro.service.durability`), and
+  :meth:`recover` rebuilds the exact pre-crash state from snapshot + replay;
+* **query-result caching** — results are cached under (normalized GQL text,
+  plan fingerprint) and invalidated wholesale by mutation-epoch compare (see
+  :mod:`repro.service.cache`), with a prepared-plan memo so a cache hit
+  skips parsing and planning entirely;
+* **bulk ingest** — :meth:`bulk_commit` groups many annotations into one
+  lock acquisition and one group-committed WAL batch, deferring per-commit
+  keyword-index bookkeeping to the first subsequent search.
+
+The service's counters surface through ``Graphitti.statistics()`` under the
+``"service"`` key, so existing stats tooling sees cache hit rates, WAL depth
+and checkpoint counts without new plumbing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+from contextlib import contextmanager
+
+from repro.core.annotation import Annotation
+from repro.core.builder import AnnotationBuilder
+from repro.core.manager import Graphitti
+from repro.core.persistence import encode_annotation, encode_register
+from repro.errors import ServiceError
+from repro.query.ast import Query
+from repro.query.executor import QueryExecutor
+from repro.query.parser import parse_query
+from repro.query.planner import QueryPlan, QueryPlanner
+from repro.query.result import QueryResult
+from repro.service.cache import QueryResultCache, normalize_gql
+from repro.service.durability import SNAPSHOT_FILE, WAL_FILE, DurableStore, recover_manager
+from repro.service.locks import ReadWriteLock
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`GraphittiService`."""
+
+    #: Result-cache entries kept (LRU); 0 disables result caching.
+    cache_capacity: int = 256
+    #: Prepared-plan memo entries kept (LRU); 0 disables the memo.
+    plan_cache_capacity: int = 512
+    #: Mutations between automatic checkpoints; 0 means checkpoint manually.
+    checkpoint_interval: int = 0
+    #: WAL fsync policy: "always" (per record), "batch", or "never".
+    durability: str = "always"
+    #: Whether the planner applies selectivity ordering.
+    enable_ordering: bool = True
+    #: Checkpoint once more when the service closes.
+    checkpoint_on_close: bool = True
+
+
+class GraphittiService:
+    """A concurrent, durable, cache-fronted facade over one Graphitti.
+
+    Cached :class:`~repro.query.result.QueryResult` objects are shared across
+    callers — treat them as read-only.
+    """
+
+    def __init__(
+        self,
+        manager: Graphitti | None = None,
+        root: str | Path | None = None,
+        config: ServiceConfig | None = None,
+    ):
+        self._manager = manager if manager is not None else Graphitti()
+        self.config = config or ServiceConfig()
+        self._lock = ReadWriteLock()
+        self._cache = QueryResultCache(self.config.cache_capacity)
+        self._plans: OrderedDict[str, tuple[QueryPlan, str]] = OrderedDict()
+        self._plans_mutex = threading.Lock()
+        self._store = DurableStore(root, durability=self.config.durability) if root else None
+        self._wal_failed = False
+        self._ops_since_checkpoint = 0
+        self._recovery_info: dict[str, Any] | None = None
+        self._closed = False
+        self._planner = QueryPlanner(enable_ordering=self.config.enable_ordering)
+        self._manager.stats_providers.append(self._service_stats)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        root: str | Path,
+        config: ServiceConfig | None = None,
+        manager_factory: Callable[[], Graphitti] | None = None,
+    ) -> "GraphittiService":
+        """Open the instance at *root*: recover prior state or start fresh.
+
+        When the directory holds a snapshot or WAL records, this is
+        :meth:`recover`.  Otherwise a new instance is created (from
+        *manager_factory* when given) and immediately checkpointed so the
+        baseline is durable before any traffic is served.
+        """
+        # Probe with plain stats — no WAL open (which would repair a torn
+        # tail before recover_manager can report it) and no full log parse
+        # (recovery and the WAL constructor each parse it once already).
+        root_path = Path(root)
+        wal_file = root_path / WAL_FILE
+        has_state = (root_path / SNAPSHOT_FILE).exists() or (
+            wal_file.exists() and wal_file.stat().st_size > 0
+        )
+        if has_state:
+            return cls.recover(root, config=config)
+        manager = manager_factory() if manager_factory is not None else None
+        service = cls(manager=manager, root=root, config=config)
+        service.checkpoint()
+        return service
+
+    @classmethod
+    def recover(cls, root: str | Path, config: ServiceConfig | None = None) -> "GraphittiService":
+        """Rebuild the service at *root* from its snapshot + WAL replay."""
+        manager, info = recover_manager(root)
+        service = cls(manager=manager, root=root, config=config)
+        service._recovery_info = info
+        return service
+
+    @property
+    def manager(self) -> Graphitti:
+        """The wrapped instance.  Route mutations through the service —
+        touching the manager directly bypasses locking, logging and cache
+        invalidation."""
+        return self._manager
+
+    @property
+    def recovery_info(self) -> dict[str, Any] | None:
+        """What recovery saw (None when this service did not recover)."""
+        return self._recovery_info
+
+    def close(self) -> None:
+        """Checkpoint (per config) and release the WAL file handle."""
+        if self._closed:
+            return
+        if self._store is not None and self.config.checkpoint_on_close and not self._wal_failed:
+            self.checkpoint()
+        if self._store is not None:
+            self._store.close()
+        # Detach our stats provider so a long-lived manager neither reports a
+        # dead service's counters nor keeps it (and its cached results) alive.
+        try:
+            self._manager.stats_providers.remove(self._service_stats)
+        except ValueError:
+            pass
+        self._closed = True
+
+    def __enter__(self) -> "GraphittiService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- locking helpers -------------------------------------------------------
+
+    @contextmanager
+    def _read_view(self) -> Iterator[None]:
+        """A consistent read view: shared lock + fully flushed keyword index.
+
+        Deferred index work (from bulk commits) must not be flushed by a
+        reader mid-search, so when pending work exists the view first drains
+        it under the write lock, then downgrades to the shared lock.  The
+        re-check loop covers a writer sneaking new deferred work in between
+        the drain and the read acquisition.
+        """
+        while True:
+            if self._manager.contents.pending_index_count:
+                with self._lock.write_locked():
+                    self._manager.contents.flush_index()
+            self._lock.acquire_read()
+            if self._manager.contents.pending_index_count:
+                self._lock.release_read()
+                continue
+            break
+        try:
+            yield
+        finally:
+            self._lock.release_read()
+
+    # -- write path ------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    def register_ontology(self, ontology, cache: bool = True):
+        """Register an ontology (serialized with other writers; WAL-logged)."""
+        self._ensure_open()
+        with self._lock.write_locked():
+            ops = self._manager.register_ontology(ontology, cache=cache)
+            self._log("register_ontology", ontology.to_dict())
+            self._after_mutation_locked(1)
+        return ops
+
+    def register(self, obj, raw: bytes | None = None, **metadata: Any):
+        """Register a data object (serialized with other writers; WAL-logged).
+
+        The WAL record carries the catalogue entry (type, domain, metadata
+        row), not the native bytes — recovery restores the catalogue exactly
+        as snapshots do.
+        """
+        self._ensure_open()
+        with self._lock.write_locked():
+            registered = self._manager.register(obj, raw=raw, **metadata)
+            # Log exactly the metadata row the manager stored, so the WAL can
+            # never drift from the relational table's contents.
+            stored = self._manager.object_metadata(obj.object_id)
+            self._log("register", encode_register(obj, stored["metadata"]))
+            self._after_mutation_locked(1)
+        return registered
+
+    def new_annotation(self, *args: Any, **kwargs: Any) -> AnnotationBuilder:
+        """Start building an annotation whose commit routes through the service.
+
+        Returns the familiar fluent :class:`AnnotationBuilder`; its
+        ``commit()`` lands here (lock + WAL + cache invalidation), not on the
+        bare manager.
+        """
+        with self._lock.write_locked():
+            builder = self._manager.new_annotation(*args, **kwargs)
+        builder._manager = self  # noqa: SLF001 - route the builder's commit here
+        return builder
+
+    def commit(self, annotation: Annotation | AnnotationBuilder) -> Annotation:
+        """Commit one annotation (serialized with other writers; WAL-logged)."""
+        if isinstance(annotation, AnnotationBuilder):
+            annotation = annotation.build()
+        self._ensure_open()
+        with self._lock.write_locked():
+            committed = self._manager.commit(annotation)
+            self._log("commit", encode_annotation(committed))
+            self._after_mutation_locked(1)
+        return committed
+
+    def bulk_commit(self, annotations: Iterable[Annotation | AnnotationBuilder]) -> list[Annotation]:
+        """Commit a batch under ONE lock acquisition and ONE WAL group commit.
+
+        The batch validates atomically (nothing applies if any member is
+        invalid), commits with deferred keyword indexing, and appends its WAL
+        records with a single flush + fsync — the group-commit fast path the
+        ingest benchmark measures.
+        """
+        batch = [
+            item.build() if isinstance(item, AnnotationBuilder) else item for item in annotations
+        ]
+        if not batch:
+            return []
+        self._ensure_open()
+        with self._lock.write_locked():
+            if self._store is not None and self._wal_failed:
+                raise ServiceError(
+                    "a WAL append failed earlier; the log may end in a torn record — "
+                    "recover from the existing snapshot + WAL before writing again"
+                )
+            committed = self._manager.commit_many(batch)
+            if self._store is not None:
+                try:
+                    self._store.wal.append_many(
+                        ("commit", encode_annotation(annotation)) for annotation in committed
+                    )
+                except Exception:
+                    self._wal_failed = True
+                    raise
+            self._after_mutation_locked(len(committed))
+        return committed
+
+    def delete_annotation(self, annotation_id: str) -> None:
+        """Delete an annotation (serialized with other writers; WAL-logged)."""
+        self._ensure_open()
+        with self._lock.write_locked():
+            self._manager.delete_annotation(annotation_id)
+            # Deleting removes a-graph nodes, which marks the component index
+            # stale; rebuild before any reader can race the lazy rebuild.
+            self._manager.agraph.graph.rebuild_components()
+            self._log("delete_annotation", {"annotation_id": annotation_id})
+            self._after_mutation_locked(1)
+
+    def _log(self, op: str, payload: dict[str, Any]) -> None:
+        if self._store is None:
+            return
+        # A failed append may have left a torn line; appending MORE records
+        # after it would bury valid data behind mid-file corruption that
+        # recovery rightly refuses to read past.  Refuse instead.
+        if self._wal_failed:
+            raise ServiceError(
+                "a WAL append failed earlier; the log may end in a torn record — "
+                "recover from the existing snapshot + WAL before writing again"
+            )
+        try:
+            self._store.wal.append(op, payload)
+        except Exception:
+            # The in-memory apply preceded the append; the caller sees this
+            # exception (the op is NOT acknowledged), and poisoning the
+            # service stops any later checkpoint from durably persisting
+            # state the log never acknowledged.
+            self._wal_failed = True
+            raise
+
+    def _after_mutation_locked(self, ops: int) -> None:
+        """Post-mutation bookkeeping; caller holds the write lock."""
+        self._ops_since_checkpoint += ops
+        interval = self.config.checkpoint_interval
+        if self._store is not None and interval and self._ops_since_checkpoint >= interval:
+            self._checkpoint_locked()
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self) -> Path | None:
+        """Snapshot + WAL truncation at a quiesce point (takes the write lock).
+
+        Also drains deferred index work and rebuilds the a-graph component
+        index, so recovery (and the next reader) starts from a fully indexed
+        state.  Returns the snapshot path, or None for a non-durable service
+        (the index/component drain still runs).
+        """
+        with self._lock.write_locked():
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> Path | None:
+        self._manager.contents.flush_index()
+        self._manager.agraph.graph.rebuild_components()
+        self._ops_since_checkpoint = 0
+        if self._store is None:
+            return None
+        if self._wal_failed:
+            raise ServiceError(
+                "a WAL append failed earlier; refusing to checkpoint state the "
+                "log never acknowledged — recover from the existing snapshot + WAL"
+            )
+        return self._store.checkpoint(self._manager)
+
+    # -- read path -------------------------------------------------------------
+
+    def query(self, text_or_query: str | Query) -> QueryResult:
+        """Run a GQL query through the result cache.
+
+        Cache key: (normalized GQL text, plan fingerprint); entries are valid
+        only at the mutation epoch they were computed at.  A hit for repeated
+        text also skips parsing and planning via the prepared-plan memo.
+        """
+        normalized, plan, fingerprint = self._prepare(text_or_query)
+        key = (normalized, fingerprint)
+        with self._read_view():
+            epoch = self._manager.mutation_epoch
+            cached = self._cache.get(key, epoch)
+            if cached is not None:
+                return cached
+            executor = QueryExecutor(self._manager, planner=self._planner)
+            result = executor.execute_plan(plan)
+            self._cache.put(key, epoch, result)
+        return result
+
+    def _prepare(self, text_or_query: str | Query) -> tuple[str, QueryPlan, str]:
+        """Normalize + parse + plan, memoized on the normalized text."""
+        if isinstance(text_or_query, Query):
+            plan = self._planner.plan(text_or_query)
+            return text_or_query.describe(), plan, plan.fingerprint()
+        normalized = normalize_gql(text_or_query)
+        with self._plans_mutex:
+            prepared = self._plans.get(normalized)
+            if prepared is not None:
+                self._plans.move_to_end(normalized)
+                return (normalized, *prepared)
+        plan = self._planner.plan(parse_query(text_or_query))
+        fingerprint = plan.fingerprint()
+        if self.config.plan_cache_capacity:
+            with self._plans_mutex:
+                self._plans[normalized] = (plan, fingerprint)
+                self._plans.move_to_end(normalized)
+                while len(self._plans) > self.config.plan_cache_capacity:
+                    self._plans.popitem(last=False)
+        return normalized, plan, fingerprint
+
+    def explain(self, text_or_query: str | Query) -> dict:
+        """Plan explanation without execution (read-locked)."""
+        with self._read_view():
+            return self._manager.explain(
+                text_or_query, enable_ordering=self.config.enable_ordering
+            )
+
+    # -- read-locked passthroughs ----------------------------------------------
+
+    def annotation(self, annotation_id: str) -> Annotation:
+        """The committed annotation with id *annotation_id*."""
+        with self._read_view():
+            return self._manager.annotation(annotation_id)
+
+    def search_by_keyword(self, keyword: str, mode: str = "and") -> list[str]:
+        """Keyword search (read-locked)."""
+        with self._read_view():
+            return self._manager.search_by_keyword(keyword, mode=mode)
+
+    def search_by_ontology(self, term: str, **kwargs: Any) -> list[str]:
+        """Ontology search (read-locked)."""
+        with self._read_view():
+            return self._manager.search_by_ontology(term, **kwargs)
+
+    def related_annotations(self, annotation_id: str) -> list[str]:
+        """Indirectly related annotations (read-locked)."""
+        with self._read_view():
+            return self._manager.related_annotations(annotation_id)
+
+    def check_integrity(self):
+        """Full integrity report under a consistent read view."""
+        with self._read_view():
+            return self._manager.check_integrity()
+
+    def statistics(self) -> dict[str, Any]:
+        """Instance statistics, including THIS service's own counters.
+
+        Several services can share one manager (the benchmarks do); the
+        ``"service"`` key is overwritten with this instance's counters so the
+        caller never reads a sibling's cache statistics.
+        """
+        with self._read_view():
+            stats = self._manager.statistics()
+        stats.update(self._service_stats())
+        return stats
+
+    @property
+    def annotation_count(self) -> int:
+        with self._read_view():
+            return self._manager.annotation_count
+
+    # -- builder support (the AnnotationBuilder calls these on its manager) -----
+
+    def resolve_ontology_term(self, text: str) -> str:
+        """Term resolution for builders (read-locked)."""
+        with self._read_view():
+            return self._manager.resolve_ontology_term(text)
+
+    def data_object(self, object_id: str):
+        """Data-object lookup for builders (read-locked)."""
+        with self._read_view():
+            return self._manager.data_object(object_id)
+
+    # -- stats provider ---------------------------------------------------------
+
+    def _service_stats(self) -> dict[str, Any]:
+        stats: dict[str, Any] = {
+            "query_cache": self._cache.stats(),
+            "prepared_plans": len(self._plans),
+            "ops_since_checkpoint": self._ops_since_checkpoint,
+            "durable": self._store is not None,
+        }
+        if self._store is not None:
+            stats["wal"] = {
+                "records": self._store.wal.record_count,
+                "last_seq": self._store.wal.last_seq,
+                "durability": self._store.wal.durability,
+            }
+            stats["checkpoints"] = self._store.checkpoints
+        return {"service": stats}

@@ -1,0 +1,178 @@
+"""Append-only write-ahead log of serving-layer mutations.
+
+One JSON record per line (JSONL), each ``{"seq": n, "op": ..., "payload": ...}``.
+The log layers on :mod:`repro.core.persistence` snapshots: a checkpoint writes
+a snapshot embedding the last logged sequence number and truncates the log, so
+recovery is *snapshot + replay of the records logged after it*.
+
+Crash semantics:
+
+* every append is flushed; with ``durability="always"`` it is also fsynced,
+  so an acknowledged mutation survives a machine crash;
+* a crash mid-append leaves a **torn final line**; :func:`read_records`
+  tolerates exactly that (the unacknowledged tail op is lost, as it must be)
+  but raises :class:`~repro.errors.WalCorruptionError` for damage anywhere
+  before the tail — a log that lies about acknowledged history must not be
+  silently replayed.
+
+Batched appends (:meth:`WriteAheadLog.append_many`) write the whole group and
+sync **once** — the group-commit optimization behind the serving layer's bulk
+ingest path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import ServiceError, WalCorruptionError
+
+#: Operations the serving layer logs.
+WAL_OPS = ("register_ontology", "register", "commit", "delete_annotation")
+
+#: fsync policies: every record, every batch/explicit sync, or never.
+DURABILITY_MODES = ("always", "batch", "never")
+
+
+def read_records(path: str | Path) -> tuple[list[dict[str, Any]], bool]:
+    """Parse the log at *path*; returns ``(records, torn_tail)``.
+
+    ``torn_tail`` is True when the final line was unreadable (the signature a
+    crash mid-append leaves).  An unreadable or malformed record *before* the
+    final line raises :class:`WalCorruptionError`.
+    """
+    source = Path(path)
+    if not source.exists():
+        return [], False
+    raw = source.read_bytes()
+    if not raw:
+        return [], False
+    lines = raw.split(b"\n")
+    # A complete log ends with a newline, leaving one empty trailing chunk.
+    if lines and lines[-1] == b"":
+        lines.pop()
+    records: list[dict[str, Any]] = []
+    last = len(lines) - 1
+    for position, line in enumerate(lines):
+        record = _parse_record(line)
+        if record is None:
+            if position == last:
+                return records, True
+            raise WalCorruptionError(
+                f"unreadable WAL record at line {position + 1} of {source} (not the tail)"
+            )
+        records.append(record)
+    return records, False
+
+
+def _parse_record(line: bytes) -> dict[str, Any] | None:
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    if not isinstance(record.get("seq"), int) or record.get("op") not in WAL_OPS:
+        return None
+    if "payload" not in record:
+        return None
+    return record
+
+
+class WriteAheadLog:
+    """An append-only JSONL log opened for the lifetime of a service.
+
+    The log continues the sequence numbering of whatever records already
+    exist at *path* (reopening after recovery appends, never rewrites).
+    """
+
+    def __init__(self, path: str | Path, durability: str = "always"):
+        if durability not in DURABILITY_MODES:
+            raise ServiceError(
+                f"unknown durability mode {durability!r}; expected one of {DURABILITY_MODES}"
+            )
+        self.path = Path(path)
+        self.durability = durability
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existing, torn = read_records(self.path)
+        self.last_seq = existing[-1]["seq"] if existing else 0
+        self.record_count = len(existing)
+        if torn:
+            # Drop the torn tail so new appends start on a clean line.
+            self._truncate_to_records(existing)
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    # -- appends ---------------------------------------------------------------
+
+    def append(self, op: str, payload: dict[str, Any]) -> int:
+        """Append one record and make it durable per the configured policy."""
+        seq = self._write(op, payload)
+        self._handle.flush()
+        if self.durability == "always":
+            os.fsync(self._handle.fileno())
+        return seq
+
+    def append_many(self, operations: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
+        """Append a batch of records with a single flush + sync (group commit)."""
+        seqs = [self._write(op, payload) for op, payload in operations]
+        if not seqs:
+            return seqs
+        self._handle.flush()
+        if self.durability in ("always", "batch"):
+            os.fsync(self._handle.fileno())
+        return seqs
+
+    def _write(self, op: str, payload: dict[str, Any]) -> int:
+        if op not in WAL_OPS:
+            raise ServiceError(f"unknown WAL op {op!r}")
+        self.last_seq += 1
+        record = {"seq": self.last_seq, "op": op, "payload": payload}
+        self._handle.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+        self.record_count += 1
+        return self.last_seq
+
+    # -- maintenance -----------------------------------------------------------
+
+    def sync(self) -> None:
+        """Flush and fsync whatever has been written so far."""
+        self._handle.flush()
+        if self.durability != "never":
+            os.fsync(self._handle.fileno())
+
+    def truncate(self) -> None:
+        """Drop every record (sequence numbering continues where it left off).
+
+        Called after a checkpoint whose snapshot embeds ``last_seq``; records
+        at or below that mark are superseded by the snapshot.
+        """
+        self._handle.truncate(0)
+        self._handle.seek(0)
+        self._handle.flush()
+        if self.durability != "never":
+            os.fsync(self._handle.fileno())
+        self.record_count = 0
+
+    def _truncate_to_records(self, records: list[dict[str, Any]]) -> None:
+        """Rewrite the file to exactly *records* (tears a damaged tail off)."""
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def close(self) -> None:
+        """Flush, sync and close the underlying file."""
+        if self._handle.closed:
+            return
+        self.sync()
+        self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

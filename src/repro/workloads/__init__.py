@@ -27,6 +27,11 @@ from repro.workloads.scenarios import (
     build_neuroscience_instance,
 )
 from repro.workloads.reporting import study_report
+from repro.workloads.service_scenario import (
+    READER_QUERIES,
+    run_service_workload,
+    seed_service_objects,
+)
 
 __all__ = [
     "WorkloadConfig",
@@ -41,4 +46,7 @@ __all__ = [
     "build_influenza_instance",
     "build_neuroscience_instance",
     "study_report",
+    "READER_QUERIES",
+    "run_service_workload",
+    "seed_service_objects",
 ]

@@ -1,0 +1,211 @@
+"""Concurrent mixed read/write workload against a :class:`GraphittiService`.
+
+Models the serving-layer traffic shape the paper's deployment implies: many
+scientists browsing and querying (read-heavy, with heavily repeated
+structural queries) while a few annotate (writes), occasionally retracting an
+annotation.  Used by the ``repro serve`` CLI demo, the concurrency stress
+test, and as a template for custom drivers.
+
+The driver is deterministic per thread (seeded RNGs) and returns a summary of
+what every thread did plus the service's own counters, so callers can assert
+on coherence afterwards.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import uuid
+from typing import Any
+
+from repro.datatypes.sequence import DnaSequence
+from repro.errors import GraphittiError
+
+#: The repeated structural queries readers cycle through (heavy repetition is
+#: the point: it is what the result cache exploits).
+READER_QUERIES = (
+    'SELECT contents WHERE { CONTENT CONTAINS "workload" }',
+    'SELECT contents WHERE { CONTENT CONTAINS "binding" }',
+    "SELECT contents WHERE { INTERVAL OVERLAPS svc:chr1 [50, 400] }",
+    'SELECT contents WHERE { CONTENT CONTAINS "binding" INTERVAL OVERLAPS svc:chr1 [10, 900] }',
+    "SELECT referents WHERE { INTERVAL OVERLAPS svc:chr1 [100, 300] }",
+)
+
+_KEYWORD_POOL = ("workload", "binding", "cleavage", "regulatory", "conserved", "mutation")
+
+
+def seed_service_objects(service, sequences: int = 4, length: int = 1200, seed: int = 97) -> list[str]:
+    """Register a pool of sequences (shared domain ``svc:chr1``) to annotate.
+
+    Ids carry a generation suffix chosen to avoid whatever a previous run (or
+    a recovered instance holding unmarkable catalogue placeholders) already
+    registered, so the pool is always freshly markable.
+    """
+    rng = random.Random(seed)
+    generation = 0
+    while True:
+        try:
+            service.data_object(f"svc_seq_g{generation}_0")
+        except GraphittiError:
+            break
+        generation += 1
+    object_ids = []
+    for index in range(sequences):
+        object_id = f"svc_seq_g{generation}_{index}"
+        residues = "".join(rng.choice("ACGT") for _ in range(length))
+        service.register(
+            DnaSequence(
+                object_id,
+                residues,
+                domain="svc:chr1",
+                offset=(generation * sequences + index) * length,
+            )
+        )
+        object_ids.append(object_id)
+    return object_ids
+
+
+def run_service_workload(
+    service,
+    object_ids: list[str],
+    readers: int = 4,
+    writers: int = 2,
+    queries_per_reader: int = 200,
+    commits_per_writer: int = 40,
+    delete_every: int = 10,
+    bulk_every: int = 8,
+    bulk_size: int = 5,
+    integrity_every: int = 50,
+    seed: int = 7,
+    run_tag: str | None = None,
+) -> dict[str, Any]:
+    """Drive *service* with concurrent readers and writers; return a summary.
+
+    Writers mix single commits, periodic bulk commits and occasional deletes
+    of their own annotations.  Readers cycle the repeated query set, check
+    that every returned annotation id denotes a committed annotation, and
+    periodically run a full integrity check (which would fail on any torn
+    read).  Thread errors are captured and re-raised as a summary field so
+    test callers can assert ``not summary["errors"]``.
+    """
+    # Distinguishes this run's annotation ids from earlier runs against the
+    # same (reopened) instance.
+    tag = run_tag if run_tag is not None else uuid.uuid4().hex[:8]
+    errors: list[str] = []
+    counters = {
+        "queries": 0,
+        "query_results": 0,
+        "commits": 0,
+        "bulk_commits": 0,
+        "deletes": 0,
+        "integrity_checks": 0,
+    }
+    counters_mutex = threading.Lock()
+    committed_ids: list[str] = []
+    deleted_ids: list[str] = []
+    ledger_mutex = threading.Lock()
+
+    def _count(key: str, amount: int = 1) -> None:
+        with counters_mutex:
+            counters[key] += amount
+
+    def writer_loop(worker: int) -> None:
+        rng = random.Random(seed * 1000 + worker)
+        try:
+            serial = 0
+            since_delete = 0
+            own_ids: list[str] = []
+            while serial < commits_per_writer:
+                if bulk_every and serial and serial % bulk_every == 0:
+                    batch = []
+                    for _ in range(bulk_size):
+                        batch.append(_build(worker, serial, rng))
+                        serial += 1
+                    committed = service.bulk_commit(batch)
+                    _count("bulk_commits")
+                    _count("commits", len(committed))
+                    new_ids = [annotation.annotation_id for annotation in committed]
+                else:
+                    annotation = service.commit(_build(worker, serial, rng))
+                    serial += 1
+                    _count("commits")
+                    new_ids = [annotation.annotation_id]
+                own_ids.extend(new_ids)
+                with ledger_mutex:
+                    committed_ids.extend(new_ids)
+                since_delete += len(new_ids)
+                if delete_every and since_delete >= delete_every and own_ids:
+                    since_delete = 0
+                    victim = own_ids.pop(rng.randrange(len(own_ids)))
+                    service.delete_annotation(victim)
+                    _count("deletes")
+                    with ledger_mutex:
+                        deleted_ids.append(victim)
+        except Exception as exc:  # pragma: no cover - surfaced via summary
+            errors.append(f"writer {worker}: {type(exc).__name__}: {exc}")
+
+    def _build(worker: int, serial: int, rng: random.Random):
+        object_id = rng.choice(object_ids)
+        start = rng.randrange(0, 900)
+        keywords = ["workload", rng.choice(_KEYWORD_POOL)]
+        return (
+            service.new_annotation(
+                f"svc-w-{tag}-{worker}-{serial}",
+                title=f"workload annotation {worker}/{serial}",
+                creator=f"writer-{worker}",
+                keywords=keywords,
+                body=f"service workload mark on {object_id}",
+            )
+            .mark_sequence(object_id, start, start + rng.randrange(10, 120))
+        )
+
+    def reader_loop(worker: int) -> None:
+        rng = random.Random(seed * 2000 + worker)
+        try:
+            for iteration in range(queries_per_reader):
+                text = READER_QUERIES[rng.randrange(len(READER_QUERIES))]
+                result = service.query(text)
+                _count("queries")
+                _count("query_results", result.count)
+                for annotation_id in result.annotation_ids:
+                    # A returned id must always denote a committed annotation
+                    # (it may have been deleted *after* the query ran, so a
+                    # miss is only an error if it was never committed at all).
+                    try:
+                        service.annotation(annotation_id)
+                    except GraphittiError:
+                        if annotation_id.startswith("svc-w"):
+                            with ledger_mutex:
+                                known = annotation_id in committed_ids
+                        else:
+                            known = True  # pre-existing annotation, deleted by no one
+                        if not known:
+                            errors.append(f"reader {worker}: unknown id {annotation_id!r}")
+                if integrity_every and iteration % integrity_every == integrity_every - 1:
+                    report = service.check_integrity()
+                    _count("integrity_checks")
+                    if not report.ok:
+                        errors.append(f"reader {worker}: integrity failed: {report.errors}")
+        except Exception as exc:  # pragma: no cover - surfaced via summary
+            errors.append(f"reader {worker}: {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=writer_loop, args=(worker,), name=f"svc-writer-{worker}")
+        for worker in range(writers)
+    ] + [
+        threading.Thread(target=reader_loop, args=(worker,), name=f"svc-reader-{worker}")
+        for worker in range(readers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    live_ids = sorted(set(committed_ids) - set(deleted_ids))
+    summary: dict[str, Any] = dict(counters)
+    summary["errors"] = errors
+    summary["committed_ids"] = sorted(set(committed_ids))
+    summary["deleted_ids"] = sorted(set(deleted_ids))
+    summary["live_ids"] = live_ids
+    summary["cache"] = service.statistics()["service"]["query_cache"]
+    return summary

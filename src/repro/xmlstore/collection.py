@@ -28,6 +28,9 @@ class DocumentCollection:
         self.name = name
         self._documents: dict[str, XmlDocument] = {}
         self._index: InvertedIndex | None = InvertedIndex() if indexed else None
+        # Documents stored with ``defer_index=True`` whose text has not been
+        # fed to the inverted index yet (an ordered set of doc ids).
+        self._pending_index: dict[str, None] = {}
         self._next_serial = 1
 
     # -- container protocol -----------------------------------------------------
@@ -52,11 +55,17 @@ class DocumentCollection:
 
     # -- mutation ------------------------------------------------------------------
 
-    def add(self, document: XmlDocument, doc_id: str | None = None) -> str:
+    def add(self, document: XmlDocument, doc_id: str | None = None, defer_index: bool = False) -> str:
         """Store a document and return its id.
 
         The id is taken from (in priority order) the *doc_id* argument, the
         document's own ``doc_id``, or a generated serial id.
+
+        With ``defer_index=True`` the document is stored immediately but its
+        keyword indexing (text extraction + tokenization, the dominant cost of
+        an add) is queued and performed lazily by :meth:`flush_index` — which
+        every index reader calls first, so searches never see a stale index.
+        Bulk ingest paths use this to amortize indexing out of the commit loop.
         """
         identifier = doc_id or document.doc_id or self._generate_id()
         if identifier in self._documents:
@@ -64,8 +73,31 @@ class DocumentCollection:
         document.doc_id = identifier
         self._documents[identifier] = document
         if self._index is not None:
-            self._index.add_document(identifier, self._searchable_text(document))
+            if defer_index:
+                self._pending_index[identifier] = None
+            else:
+                self._index.add_document(identifier, self._searchable_text(document))
         return identifier
+
+    @property
+    def pending_index_count(self) -> int:
+        """Number of stored documents whose indexing is still deferred."""
+        return len(self._pending_index)
+
+    def flush_index(self) -> int:
+        """Index every deferred document now; returns how many were indexed.
+
+        Reading paths (keyword search, save/export) call this before touching
+        the inverted index, so deferral is invisible to queries.
+        """
+        if self._index is None or not self._pending_index:
+            return 0
+        pending, self._pending_index = self._pending_index, {}
+        for identifier in pending:
+            document = self._documents.get(identifier)
+            if document is not None:
+                self._index.add_document(identifier, self._searchable_text(document))
+        return len(pending)
 
     def add_xml(self, text: str, doc_id: str | None = None) -> str:
         """Parse XML text and store the resulting document."""
@@ -77,7 +109,7 @@ class DocumentCollection:
             raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
         document.doc_id = doc_id
         self._documents[doc_id] = document
-        if self._index is not None:
+        if self._index is not None and doc_id not in self._pending_index:
             self._index.add_document(doc_id, self._searchable_text(document))
 
     def remove(self, doc_id: str) -> None:
@@ -85,7 +117,9 @@ class DocumentCollection:
         if doc_id not in self._documents:
             raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
         del self._documents[doc_id]
-        if self._index is not None:
+        if doc_id in self._pending_index:
+            del self._pending_index[doc_id]  # never reached the index
+        elif self._index is not None:
             self._index.remove_document(doc_id)
 
     def _generate_id(self) -> str:
@@ -124,6 +158,7 @@ class DocumentCollection:
         if not phrase:
             return []
         if self._index is not None:
+            self.flush_index()
             candidates = self._index.search(keyword, mode=mode)
         else:
             candidates = set(self._documents)

@@ -111,3 +111,28 @@ def test_to_dict():
     payload = g.to_dict()
     assert len(payload["nodes"]) == 3
     assert len(payload["edges"]) == 3
+
+
+def test_rebuild_components_clears_stale_flag():
+    g = make_graph()
+    assert g.components_stale is False
+    g.remove_node("a")
+    assert g.components_stale is True  # remove defers the rebuild
+    assert g.rebuild_components() is True
+    assert g.components_stale is False
+    # The rebuilt index is correct: b and c stay connected, a is gone.
+    assert g.same_component("b", "c")
+    # A second call is a no-op.
+    assert g.rebuild_components() is False
+
+
+def test_rebuild_components_matches_lazy_rebuild():
+    g = make_graph()
+    g.remove_node("a")
+    g.rebuild_components()
+    eager = sorted(sorted(component) for component in g.components())
+
+    h = make_graph()
+    h.remove_node("a")
+    lazy = sorted(sorted(component) for component in h.components())  # lazy path
+    assert eager == lazy

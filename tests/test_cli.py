@@ -71,3 +71,29 @@ def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+def test_serve_fresh_and_reopen(tmp_path, capsys):
+    root = str(tmp_path / "served")
+    args = [
+        "serve", root, "--scenario", "influenza",
+        "--readers", "2", "--writers", "1", "--queries", "20", "--commits", "6",
+        "--durability", "never",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "opened fresh instance" in out
+    assert "cache:" in out and "checkpoints:" in out
+    # Second invocation recovers the durable state and keeps serving.
+    assert main([
+        "serve", root, "--readers", "2", "--writers", "1",
+        "--queries", "10", "--commits", "4", "--durability", "never",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "recovered instance" in out
+
+
+def test_serve_help_lists_options():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "somewhere"])
+    assert args.readers == 4 and args.durability == "always"

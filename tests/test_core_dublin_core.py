@@ -41,3 +41,15 @@ def test_from_elements_ignores_non_dc():
 
     dc = DublinCore.from_elements([XmlElement("notdc", text="x"), XmlElement("dc:title", text="T")])
     assert dc.title == "T"
+
+
+def test_from_dict_tolerates_null_and_scalar_fields():
+    """Codec robustness: older/hand-edited payloads may hold null or scalar
+    values where lists are expected; decoding must not crash or char-split."""
+    from repro.core.dublin_core import DublinCore
+
+    core = DublinCore.from_dict({"subject": None, "title": None})
+    assert core.subject == [] and core.title == ""
+    core = DublinCore.from_dict({"subject": "influenza", "contributor": ["a", "b"]})
+    assert core.subject == ["influenza"]
+    assert core.contributor == ["a", "b"]

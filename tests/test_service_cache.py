@@ -1,0 +1,78 @@
+"""Tests for the epoch-tagged LRU query-result cache."""
+
+import pytest
+
+from repro.service.cache import QueryResultCache, normalize_gql
+
+
+def test_normalize_gql_collapses_whitespace():
+    a = normalize_gql('SELECT contents WHERE { CONTENT CONTAINS "x" }')
+    b = normalize_gql('  SELECT   contents\nWHERE  { CONTENT CONTAINS "x" }  ')
+    assert a == b
+    # Content differences survive normalization.
+    assert a != normalize_gql('SELECT contents WHERE { CONTENT CONTAINS "y" }')
+
+
+def test_hit_and_miss():
+    cache = QueryResultCache(capacity=4)
+    assert cache.get("k", epoch=1) is None
+    cache.put("k", epoch=1, value="v")
+    assert cache.get("k", epoch=1) == "v"
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def test_epoch_bump_invalidates():
+    cache = QueryResultCache(capacity=4)
+    cache.put("k", epoch=1, value="v")
+    assert cache.get("k", epoch=2) is None  # stale epoch -> dropped
+    assert len(cache) == 0
+    stats = cache.stats()
+    assert stats["invalidations"] == 1
+    # And the old value never resurfaces, even at the old epoch.
+    assert cache.get("k", epoch=1) is None
+
+
+def test_lru_eviction_order():
+    cache = QueryResultCache(capacity=2)
+    cache.put("a", 1, "A")
+    cache.put("b", 1, "B")
+    assert cache.get("a", 1) == "A"  # touch a -> b becomes LRU
+    cache.put("c", 1, "C")
+    assert cache.get("b", 1) is None
+    assert cache.get("a", 1) == "A"
+    assert cache.get("c", 1) == "C"
+    assert cache.stats()["evictions"] == 1
+
+
+def test_capacity_zero_disables():
+    cache = QueryResultCache(capacity=0)
+    cache.put("k", 1, "v")
+    assert cache.get("k", 1) is None
+    assert len(cache) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        QueryResultCache(capacity=-1)
+
+
+def test_clear_and_hit_rate():
+    cache = QueryResultCache(capacity=4)
+    cache.put("k", 1, "v")
+    cache.get("k", 1)
+    cache.get("other", 1)
+    assert cache.clear() == 1
+    stats = cache.stats()
+    assert stats["entries"] == 0
+    assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+def test_normalize_gql_preserves_quoted_whitespace():
+    """Regression: whitespace inside quoted literals is semantic and must not
+    be collapsed, or the plan memo would alias different queries."""
+    a = normalize_gql('SELECT contents WHERE { CONTENT CONTAINS "foo bar" }')
+    b = normalize_gql('SELECT contents WHERE { CONTENT CONTAINS "foo  bar" }')
+    assert a != b
+    # Outside quotes still collapses.
+    assert normalize_gql('A   "x y"  B') == normalize_gql('A "x y" B')

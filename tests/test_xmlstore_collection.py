@@ -170,3 +170,47 @@ def test_inverted_index_vocabulary():
     index = InvertedIndex()
     index.add_document("d1", "alpha beta gamma")
     assert index.vocabulary_size >= 3
+
+
+def test_deferred_index_flushes_on_search():
+    collection = make_collection()
+    from repro.xmlstore.parser import parse_xml
+
+    collection.add(parse_xml("<annotation><body>deferred protease</body></annotation>"),
+                   doc_id="d1", defer_index=True)
+    assert collection.pending_index_count == 1
+    # The search flushes pending work first, so results are never stale.
+    assert "d1" in collection.search_keyword("deferred")
+    assert collection.pending_index_count == 0
+
+
+def test_deferred_then_removed_never_indexed():
+    collection = make_collection()
+    from repro.xmlstore.parser import parse_xml
+
+    collection.add(parse_xml("<annotation><body>ephemeral marker</body></annotation>"),
+                   doc_id="d1", defer_index=True)
+    collection.remove("d1")
+    assert collection.pending_index_count == 0
+    assert collection.search_keyword("ephemeral") == []
+
+
+def test_deferred_then_replaced_indexes_new_text():
+    collection = make_collection()
+    from repro.xmlstore.parser import parse_xml
+
+    collection.add(parse_xml("<annotation><body>first text</body></annotation>"),
+                   doc_id="d1", defer_index=True)
+    collection.replace("d1", parse_xml("<annotation><body>second text</body></annotation>"))
+    assert collection.search_keyword("second") == ["d1"]
+    assert collection.search_keyword("first") == []
+
+
+def test_explicit_flush_index():
+    collection = make_collection()
+    from repro.xmlstore.parser import parse_xml
+
+    collection.add(parse_xml("<annotation><body>flushme now</body></annotation>"),
+                   doc_id="d1", defer_index=True)
+    assert collection.flush_index() == 1
+    assert collection.flush_index() == 0
