@@ -1,20 +1,47 @@
-"""PERF-6 / Q-2: query planner ordering on vs. off.
+"""PERF-6 / Q-2: query planning — static constants vs. stats-driven adaptive.
 
-Reproduces the benefit of the paper's "find a feasible order among the
-subqueries" step: a selective keyword/ontology subquery scheduled first
-shrinks the candidate set the less-selective subqueries scan.
+Two workloads:
+
+* **ordering on vs. off** (the original PERF-6 reproduction): the benefit of
+  the paper's "find a feasible order among the subqueries" step at all.
+* **skewed cardinalities** (the PR-3 tentpole): one low-selectivity keyword
+  (matching ~90% of a >=10k-annotation corpus) conjoined with one
+  high-selectivity spatial window (matching a handful).  The static
+  constant-table planner schedules the keyword first and materializes its
+  ~10k-row match set; the statistics-driven planner measures both
+  cardinalities, runs the window first, and **semi-join probes** the
+  surviving candidates against the keyword index.  Floor: **>= 3x**.
+
+``python -m benchmarks.bench_query_planner`` prints the table, writes
+``BENCH_query_planner.json`` via the harness, and exits non-zero below the
+floor (the CI benchmark job runs exactly that).
 """
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
-from benchmarks._harness import format_row, speedup, time_call
+from benchmarks._harness import format_row, speedup, time_call, write_results
 from repro import Graphitti
+from repro.datatypes import DnaSequence
 from repro.query.builder import QueryBuilder
 from repro.workloads.generators import WorkloadConfig, generate_annotation_workload
 
 SIZES = (200, 1000, 3000)
+
+#: Minimum acceptable speedup of the adaptive pipeline over the static
+#: constant-table planner on the skewed workload.
+ADAPTIVE_SPEEDUP_FLOOR = 3.0
+
+#: Skewed-workload scale (>= 10k annotations per the acceptance criteria).
+SKEW_ANNOTATIONS = 12_000
+#: Fraction of the corpus carrying the low-selectivity keyword.
+SKEW_KEYWORD_FRACTION = 0.9
+#: The selective window: only annotations marking [0, _WINDOW_END] match.
+_WINDOW_END = 400
+_DOMAIN = "genome:chrB"
 
 
 def _make_graphitti(annotation_count: int) -> Graphitti:
@@ -40,6 +67,75 @@ def _query():
     )
 
 
+def build_skewed_corpus(annotation_count: int = SKEW_ANNOTATIONS) -> Graphitti:
+    """A corpus where the keyword is broad and the spatial window is narrow.
+
+    ~90% of annotations contain the keyword ``ubiquitous`` but mark intervals
+    far from the query window; only ~0.2% mark inside ``[0, 400]``.  The
+    per-class constant table cannot see that skew — the live statistics can.
+    """
+    rng = random.Random(20260726)
+    manager = Graphitti("planner-skew")
+    length = 500_000
+    manager.register(DnaSequence("chrB", "ACGT" * (length // 4), domain=_DOMAIN))
+    window_members = max(annotation_count // 500, 8)
+    batch = []
+    for index in range(annotation_count):
+        in_window = index < window_members
+        has_keyword = rng.random() < SKEW_KEYWORD_FRACTION or in_window
+        if in_window:
+            start = rng.randrange(0, _WINDOW_END - 50)
+        else:
+            start = rng.randrange(_WINDOW_END + 100, length - 200)
+        keywords = ["ubiquitous"] if has_keyword else ["rare"]
+        builder = manager.new_annotation(
+            f"skew-{index:06d}",
+            title=f"skew annotation {index}",
+            keywords=keywords,
+            body=f"annotation {index} is {'ubiquitous' if has_keyword else 'rare'} text",
+        ).mark_sequence("chrB", start, start + rng.randrange(20, 120))
+        batch.append(builder.build())
+    manager.commit_many(batch)
+    manager.contents.flush_index()
+    return manager
+
+
+def skewed_query():
+    return (
+        QueryBuilder.contents()
+        .contains("ubiquitous")
+        .overlaps_interval(_DOMAIN, 0, _WINDOW_END)
+        .build()
+    )
+
+
+def measure_skewed() -> dict[str, float]:
+    """Skewed conjunction: static constant-table planner vs. adaptive."""
+    manager = build_skewed_corpus()
+    query = skewed_query()
+    adaptive_result = manager.query(query, mode="cost")
+    static_result = manager.query(query, mode="static")
+    assert adaptive_result.annotation_ids == static_result.annotation_ids, (
+        "adaptive and static planners disagree"
+    )
+    probe_steps = [d for d in adaptive_result.step_details if d["mode"] == "probe"]
+    static_seconds = time_call(lambda: manager.query(query, mode="static"), repeat=5)
+    adaptive_seconds = time_call(lambda: manager.query(query, mode="cost"), repeat=5)
+    return {
+        "workload": "skewed_cardinalities",
+        "annotations": SKEW_ANNOTATIONS,
+        "matches": len(adaptive_result.annotation_ids),
+        "baseline_seconds": static_seconds,
+        "candidate_seconds": adaptive_seconds,
+        "speedup": speedup(static_seconds, adaptive_seconds),
+        "probe_steps": len(probe_steps),
+        "speedup_floor": ADAPTIVE_SPEEDUP_FLOOR,
+    }
+
+
+# -- pytest-benchmark entry points --------------------------------------------
+
+
 @pytest.mark.parametrize("size", SIZES)
 def test_query_ordered(benchmark, size):
     g = _make_graphitti(size)
@@ -54,22 +150,84 @@ def test_query_unordered(benchmark, size):
     benchmark(lambda: g.query(query, enable_ordering=False))
 
 
-def report() -> str:
-    lines = ["PERF-6  query planner ordering on vs off"]
+@pytest.fixture(scope="module")
+def skewed_corpus():
+    return build_skewed_corpus()
+
+
+def test_skewed_static(benchmark, skewed_corpus):
+    query = skewed_query()
+    benchmark(lambda: skewed_corpus.query(query, mode="static"))
+
+
+def test_skewed_adaptive(benchmark, skewed_corpus):
+    query = skewed_query()
+    benchmark(lambda: skewed_corpus.query(query, mode="cost"))
+
+
+# -- report -------------------------------------------------------------------
+
+
+def report() -> tuple[str, bool]:
+    lines = ["PERF-6  query planner: ordering modes and stats-driven adaptivity"]
     lines.append(format_row(["annos", "ordered (us)", "naive (us)", "speedup"], [8, 14, 13, 10]))
+    ordering_rows = []
     for size in SIZES:
         g = _make_graphitti(size)
         query = _query()
         ordered = time_call(lambda: g.query(query, enable_ordering=True), repeat=5)
         naive = time_call(lambda: g.query(query, enable_ordering=False), repeat=5)
+        ordering_rows.append(
+            {
+                "workload": "ordering_on_vs_off",
+                "annotations": size,
+                "baseline_seconds": naive,
+                "candidate_seconds": ordered,
+                "speedup": speedup(naive, ordered),
+            }
+        )
         lines.append(
             format_row(
                 [size, f"{ordered * 1e6:.1f}", f"{naive * 1e6:.1f}", f"{speedup(naive, ordered):.2f}x"],
                 [8, 14, 13, 10],
             )
         )
-    return "\n".join(lines)
+
+    skew_row = measure_skewed()
+    lines.append("")
+    lines.append(
+        f"skewed cardinalities ({skew_row['annotations']} annotations, "
+        f"{skew_row['matches']} matches, {skew_row['probe_steps']} probe step(s))"
+    )
+    widths = [24, 16, 16, 10, 8]
+    lines.append(format_row(["workload", "static (ms)", "adaptive (ms)", "speedup", "floor"], widths))
+    lines.append(
+        format_row(
+            [
+                skew_row["workload"],
+                f"{skew_row['baseline_seconds'] * 1e3:.3f}",
+                f"{skew_row['candidate_seconds'] * 1e3:.3f}",
+                f"{skew_row['speedup']:.1f}x",
+                f"{ADAPTIVE_SPEEDUP_FLOOR:.0f}x",
+            ],
+            widths,
+        )
+    )
+    ok = skew_row["speedup"] >= ADAPTIVE_SPEEDUP_FLOOR
+    path = write_results(
+        "query_planner",
+        ordering_rows + [skew_row],
+        skew_annotations=SKEW_ANNOTATIONS,
+        skew_keyword_fraction=SKEW_KEYWORD_FRACTION,
+        adaptive_speedup_floor=ADAPTIVE_SPEEDUP_FLOOR,
+    )
+    lines.append(f"results written to {path}")
+    if not ok:
+        lines.append("FAIL: adaptive pipeline is below its speedup floor")
+    return "\n".join(lines), ok
 
 
 if __name__ == "__main__":
-    print(report())
+    text, ok = report()
+    print(text)
+    raise SystemExit(0 if ok else 1)

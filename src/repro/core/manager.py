@@ -34,6 +34,8 @@ from repro.datatypes.registry import DataTypeRegistry
 from repro.errors import AnnotationError, GraphittiError, UnknownObjectError
 from repro.ontology.model import Ontology
 from repro.ontology.operations import OntologyOperations
+from repro.query.idspace import AnnotationIdSpace
+from repro.query.stats import StatisticsCatalogue
 from repro.relational.database import Database
 from repro.relational.schema import Column, ColumnType, TableSchema
 from repro.spatial.coordinate import CoordinateSystemRegistry
@@ -78,6 +80,12 @@ class Graphitti:
         #: Extra statistics sources merged into :meth:`statistics` (the
         #: serving layer registers its cache/WAL counters here).
         self.stats_providers: list[Callable[[], dict[str, Any]]] = []
+        #: Dense annotation-id interner backing the executor's bitset
+        #: candidate sets (see :mod:`repro.query.idspace`).
+        self.idspace = AnnotationIdSpace()
+        #: Live statistics catalogue feeding the cost-based planner; updated
+        #: on every commit/delete and rebuilt by snapshot load / WAL replay.
+        self.stats_catalogue = StatisticsCatalogue()
         self._init_metadata_table()
 
     def _bump_epoch(self) -> int:
@@ -273,6 +281,8 @@ class Graphitti:
             self.agraph.add_ontology_node(term)
             self.agraph.link_ontology(annotation.annotation_id, term)
         self._annotations[annotation.annotation_id] = annotation
+        self.idspace.intern(annotation.annotation_id)
+        self.stats_catalogue.on_commit(annotation)
         self._bump_epoch()
         return annotation
 
@@ -348,6 +358,8 @@ class Graphitti:
         if annotation_id in self.agraph:
             self.agraph.graph.remove_node(annotation_id)
         del self._annotations[annotation_id]
+        self.idspace.release(annotation_id)
+        self.stats_catalogue.on_delete(annotation)
         self._bump_epoch()
 
     def annotations(self) -> list[Annotation]:
@@ -416,39 +428,56 @@ class Graphitti:
         """A path in the a-graph between two annotation contents."""
         return self.agraph.path(annotation1, annotation2)
 
-    def query(self, text_or_query, enable_ordering: bool = True):
+    def query(self, text_or_query, enable_ordering: bool = True, mode: str | None = None):
         """Run a GQL query (text or :class:`~repro.query.ast.Query`) and return
-        its :class:`~repro.query.result.QueryResult`."""
+        its :class:`~repro.query.result.QueryResult`.
+
+        With ordering enabled the planner is **cost-based**: constraint order
+        comes from live cardinality estimates (see
+        :mod:`repro.query.stats`) and the executor adapts as the candidate
+        set shrinks.  *mode* overrides the planning mode explicitly
+        (``"off"``, ``"static"``, ``"cost"``) — the benchmarks use
+        ``"static"`` to measure the old constant-table planner.
+        """
         from repro.query.ast import Query as _Query
         from repro.query.executor import QueryExecutor
         from repro.query.parser import parse_query
         from repro.query.planner import QueryPlanner
 
         query = text_or_query if isinstance(text_or_query, _Query) else parse_query(text_or_query)
-        executor = QueryExecutor(self, planner=QueryPlanner(enable_ordering=enable_ordering))
+        planner = QueryPlanner(enable_ordering=enable_ordering, manager=self, mode=mode)
+        executor = QueryExecutor(self, planner=planner)
         return executor.execute(query)
 
-    def explain(self, text_or_query, enable_ordering: bool = True) -> dict:
+    def explain(self, text_or_query, enable_ordering: bool = True, mode: str | None = None) -> dict:
         """Return the query plan and its estimated cost without executing it.
 
         The returned dict holds the parsed query description, the ordered plan
-        explanation, the per-type subquery count, and the planner's static cost
-        estimate — the information a ``EXPLAIN`` would surface.
+        explanation (with per-constraint row estimates in cost mode), the
+        per-type subquery count, the planner's static cost estimate, and the
+        catalogue's estimated rows — the information an ``EXPLAIN`` surfaces.
         """
         from repro.query.ast import Query as _Query
         from repro.query.parser import parse_query
         from repro.query.planner import QueryPlanner
 
         query = text_or_query if isinstance(text_or_query, _Query) else parse_query(text_or_query)
-        planner = QueryPlanner(enable_ordering=enable_ordering)
+        planner = QueryPlanner(enable_ordering=enable_ordering, manager=self, mode=mode)
         plan = planner.plan(query)
-        return {
+        explanation = {
             "query": query.describe(),
             "plan": plan.explain(),
             "subqueries": plan.subquery_count(),
             "estimated_cost": QueryPlanner.estimated_cost(query),
             "targets": [target.value for target in query.targets_present()],
+            "mode": plan.mode,
         }
+        if plan.estimated_rows is not None:
+            explanation["estimated_rows"] = [
+                (constraint.describe(), rows)
+                for constraint, rows in zip(plan.ordered_constraints, plan.estimated_rows)
+            ]
+        return explanation
 
     def connect_annotations(self, *annotation_ids: str) -> ConnectionSubgraph:
         """A connection subgraph intervening several annotations."""
@@ -545,6 +574,8 @@ class Graphitti:
             "agraph_edges": self.agraph.edge_count,
             "ontologies": len(self._ontologies),
             "mutation_epoch": self.mutation_epoch,
+            "catalogue": self.stats_catalogue.summary(),
+            "extent_summaries": self.substructures.extent_summaries(),
         }
         for provider in self.stats_providers:
             stats.update(provider())

@@ -136,6 +136,11 @@ def wire_annotation(manager, annotation: Annotation, add_content_document: bool 
         manager.agraph.add_ontology_node(term)
         manager.agraph.link_ontology(annotation_id, term)
     manager._annotations[annotation_id] = annotation  # noqa: SLF001 - rebuild path
+    # Same bookkeeping as a live commit: the statistics catalogue and the
+    # id interner are rebuilt record by record during snapshot load and WAL
+    # replay, so the recovered planner statistics match the pre-crash state.
+    manager.idspace.intern(annotation_id)
+    manager.stats_catalogue.on_commit(annotation)
     manager._bump_epoch()  # noqa: SLF001 - rebuild path
 
 
@@ -316,6 +321,9 @@ def rebuild(payload: dict[str, Any]):
     from repro.datatypes.registry import DataTypeRegistry
     from repro.spatial.coordinate import CoordinateSystemRegistry
 
+    from repro.query.idspace import AnnotationIdSpace
+    from repro.query.stats import StatisticsCatalogue
+
     manager.registry = DataTypeRegistry()
     manager.substructures = SubstructureStore()
     manager.agraph = AGraph()
@@ -323,6 +331,8 @@ def rebuild(payload: dict[str, Any]):
     manager._annotations = {}
     manager._next_annotation_serial = 1
     manager.catalogue_only = True
+    manager.idspace = AnnotationIdSpace()
+    manager.stats_catalogue = StatisticsCatalogue()
 
     # Re-wire the a-graph and indexes directly from the annotation payloads
     # (content documents were loaded above from the snapshot's own dump).

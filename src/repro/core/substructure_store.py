@@ -9,6 +9,7 @@ overlap / containment queries the query processor issues against substructures.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.annotation import Referent
@@ -17,6 +18,30 @@ from repro.spatial.interval import Interval
 from repro.spatial.interval_tree import IntervalIndexFamily
 from repro.spatial.rect import Rect
 from repro.spatial.rtree import RTreeFamily
+
+
+@dataclass
+class ExtentSummary:
+    """Count and summed measure of the extents indexed in one domain/space.
+
+    Both fields are maintained *exactly* on add and discard (so a recovered
+    instance's summaries equal a pre-crash instance's).  Bounding extents are
+    deliberately not kept here: the interval trees and R-trees already
+    maintain tight bounds (:meth:`~repro.spatial.interval_tree.IntervalTree.span`,
+    :meth:`~repro.spatial.rtree.RTree.bounds`) that shrink on removal, and
+    the store reads them live via :meth:`SubstructureStore.interval_bounds` /
+    :meth:`SubstructureStore.region_bounds`.
+    """
+
+    count: int = 0
+    total_measure: float = 0.0
+
+    def mean_measure(self) -> float:
+        """Mean extent measure of the indexed substructures."""
+        return self.total_measure / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total_measure": self.total_measure}
 
 
 class SubstructureStore:
@@ -30,6 +55,10 @@ class SubstructureStore:
         self._by_object: dict[str, set[str]] = {}
         # data type -> referent ids
         self._by_type: dict[DataType, set[str]] = {}
+        # coordinate domain -> summary of its indexed intervals
+        self._interval_summaries: dict[str, ExtentSummary] = {}
+        # coordinate space -> summary of its indexed regions
+        self._region_summaries: dict[str, ExtentSummary] = {}
 
     def __len__(self) -> int:
         return len(self._referents)
@@ -67,10 +96,16 @@ class SubstructureStore:
             domain = ref.interval.domain or ref.object_id
             indexed = Interval(ref.interval.start, ref.interval.end, domain=domain, payload=referent_id)
             self._intervals.insert(domain, indexed)
+            summary = self._interval_summaries.setdefault(domain, ExtentSummary())
+            summary.count += 1
+            summary.total_measure += indexed.length
         elif ref.rect is not None:
             space = ref.rect.space or ref.object_id
             indexed = Rect(ref.rect.lo, ref.rect.hi, space=space, payload=referent_id)
             self._rtrees.insert(space, indexed)
+            summary = self._region_summaries.setdefault(space, ExtentSummary())
+            summary.count += 1
+            summary.total_measure += indexed.area()
         return referent_id
 
     def discard(self, referent_id: str) -> bool:
@@ -88,11 +123,23 @@ class SubstructureStore:
                     ref.interval.start, ref.interval.end, domain=domain, payload=referent_id
                 )
                 self._intervals.tree(domain).remove(indexed)
+            summary = self._interval_summaries.get(domain)
+            if summary is not None:
+                summary.count -= 1
+                summary.total_measure -= ref.interval.end - ref.interval.start
+                if summary.count <= 0:
+                    del self._interval_summaries[domain]
         elif ref.rect is not None:
             space = ref.rect.space or ref.object_id
             if space in self._rtrees:
                 indexed = Rect(ref.rect.lo, ref.rect.hi, space=space, payload=referent_id)
                 self._rtrees.tree(space).remove(indexed)
+            summary = self._region_summaries.get(space)
+            if summary is not None:
+                summary.count -= 1
+                summary.total_measure -= Rect(ref.rect.lo, ref.rect.hi).area()
+                if summary.count <= 0:
+                    del self._region_summaries[space]
         return True
 
     def get(self, referent_id: str) -> Referent:
@@ -130,6 +177,39 @@ class SubstructureStore:
         return self.overlapping_intervals(domain, point, point)
 
     # -- stats ----------------------------------------------------------------
+
+    def interval_summary(self, domain: str) -> ExtentSummary | None:
+        """Extent summary of *domain*'s indexed intervals (None when empty)."""
+        return self._interval_summaries.get(domain)
+
+    def region_summary(self, space: str) -> ExtentSummary | None:
+        """Extent summary of *space*'s indexed regions (None when empty)."""
+        return self._region_summaries.get(space)
+
+    def interval_bounds(self, domain: str) -> tuple[float, float] | None:
+        """Exact ``(lo, hi)`` bounds of *domain*'s indexed intervals."""
+        if domain not in self._intervals:
+            return None
+        span = self._intervals.tree(domain).span()
+        if span is None:
+            return None
+        return (span.start, span.end)
+
+    def region_bounds(self, space: str) -> tuple[tuple[float, ...], tuple[float, ...]] | None:
+        """Exact ``(lo, hi)`` corner bounds of *space*'s indexed regions."""
+        if space not in self._rtrees:
+            return None
+        bounds = self._rtrees.tree(space).bounds()
+        if bounds is None:
+            return None
+        return (bounds.lo, bounds.hi)
+
+    def extent_summaries(self) -> dict[str, dict]:
+        """JSON-compatible dump of every per-domain/per-space extent summary."""
+        return {
+            "intervals": {domain: s.to_dict() for domain, s in self._interval_summaries.items()},
+            "regions": {space: s.to_dict() for space, s in self._region_summaries.items()},
+        }
 
     def total_indexed_intervals(self) -> int:
         """Number of intervals across every interval tree."""

@@ -14,8 +14,14 @@ This package implements GQL end to end:
 * :mod:`repro.query.ast` -- the query AST (constraints + return spec),
 * :mod:`repro.query.tokenizer` -- the lexer,
 * :mod:`repro.query.parser` -- the recursive-descent parser,
-* :mod:`repro.query.planner` -- per-type subquery separation + ordering,
-* :mod:`repro.query.executor` -- constraint evaluation and result collation,
+* :mod:`repro.query.planner` -- per-type subquery separation + cost-based
+  ordering (modes: off / static / cost),
+* :mod:`repro.query.stats` -- the live statistics catalogue and cardinality
+  estimator feeding the cost-based planner,
+* :mod:`repro.query.idspace` -- the dense annotation-id interner backing the
+  executor's bitset candidate sets,
+* :mod:`repro.query.executor` -- adaptive constraint evaluation (semi-join
+  probes, bitset narrowing) and result collation,
 * :mod:`repro.query.result` -- the result model,
 * :mod:`repro.query.builder` -- a programmatic query builder.
 """
@@ -35,9 +41,11 @@ from repro.query.ast import (
 )
 from repro.query.builder import QueryBuilder
 from repro.query.executor import QueryExecutor
+from repro.query.idspace import AnnotationIdSpace
 from repro.query.parser import parse_query
 from repro.query.planner import QueryPlan, QueryPlanner
 from repro.query.result import QueryResult
+from repro.query.stats import CardinalityEstimator, StatisticsCatalogue
 
 __all__ = [
     "Query",
@@ -56,5 +64,8 @@ __all__ = [
     "QueryPlan",
     "QueryExecutor",
     "QueryResult",
+    "AnnotationIdSpace",
+    "StatisticsCatalogue",
+    "CardinalityEstimator",
     "parse_query",
 ]

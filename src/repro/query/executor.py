@@ -1,11 +1,28 @@
 """Query executor: run a plan against a Graphitti instance and collate results.
 
-The executor walks the planned constraints in order, maintaining a candidate
-set of annotation ids that shrinks as each per-type subquery applies.  When
-the candidate set is settled it collates the surviving annotations into the
+The executor walks the planned constraints, maintaining a candidate set of
+annotation ids that shrinks as each per-type subquery applies.  When the
+candidate set is settled it collates the surviving annotations into the
 requested result form (contents, referents, or connection subgraphs), exactly
 the "collating partial results from these subqueries into a set of
 type-extended connection subgraphs" step the paper describes.
+
+Under a cost-mode plan the executor is **adaptive**:
+
+* candidate sets are big-int **bitsets** over the manager's dense
+  :class:`~repro.query.idspace.AnnotationIdSpace` (AND/OR/NOT are single
+  big-int ops, cardinality is one popcount) instead of ``set[str]``;
+* after each step it re-picks the cheapest remaining constraint *relative to
+  the current candidate count* — a constraint whose estimated match set
+  dwarfs the survivors is deferred, because probing beats materializing it;
+* index-backed constraints (keyword, ontology, overlap, region, type)
+  switch into **semi-join probe mode** whenever the surviving candidate set
+  is far below the constraint's estimated match set: each candidate is
+  verified against the index in O(1)-ish instead of materializing and
+  intersecting the full match set.
+
+Static / off plans keep the original materialize-then-intersect execution,
+which is what the planner benchmarks measure the adaptive pipeline against.
 """
 
 from __future__ import annotations
@@ -13,6 +30,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.query.ast import (
+    Constraint,
     KeywordConstraint,
     NotConstraint,
     OntologyConstraint,
@@ -24,10 +42,25 @@ from repro.query.ast import (
     ReturnKind,
     TypeConstraint,
 )
-from repro.query.planner import QueryPlan, QueryPlanner
+from repro.query.planner import MODE_COST, QueryPlan, QueryPlanner
 from repro.query.result import QueryResult
 from repro.agraph.connection import ConnectionSubgraph
 from repro.errors import QueryExecutionError
+
+#: Verifying one candidate against an index costs roughly this many times a
+#: single row of a materialized match set (annotation lookup + per-referent
+#: checks vs. one set insertion).  Probe mode wins when
+#: ``|candidates| * PROBE_COST_FACTOR < estimated match rows``.
+PROBE_COST_FACTOR = 4
+
+#: Constraint types the executor can verify per-candidate against an index.
+_PROBEABLE = (
+    KeywordConstraint,
+    OntologyConstraint,
+    OverlapConstraint,
+    RegionConstraint,
+    TypeConstraint,
+)
 
 
 class QueryExecutor:
@@ -35,7 +68,7 @@ class QueryExecutor:
 
     def __init__(self, manager, planner: QueryPlanner | None = None):
         self._manager = manager
-        self._planner = planner or QueryPlanner()
+        self._planner = planner or QueryPlanner(manager=manager)
 
     # -- entry points ---------------------------------------------------------
 
@@ -48,28 +81,188 @@ class QueryExecutor:
         """Execute a pre-built :class:`QueryPlan`."""
         query = plan.query
         result = QueryResult(return_kind=query.return_kind, plan_fingerprint=plan.fingerprint())
-        candidates: set[str] | None = None
-        for constraint in plan.ordered_constraints:
-            matched = self._evaluate(constraint, candidates)
-            candidates = matched if candidates is None else (candidates & matched)
-            result.record_step(constraint.describe(), len(candidates))
-            if not candidates:
-                break
-        surviving = sorted(candidates) if candidates is not None else sorted(self._all_annotation_ids())
+        if plan.mode == MODE_COST and getattr(self._manager, "idspace", None) is not None:
+            surviving = self._run_adaptive(plan, result)
+        else:
+            surviving = self._run_static(plan, result)
         self._collate(query, surviving, result)
         return result
+
+    # -- static (materialize-and-intersect) execution -------------------------
+
+    def _run_static(self, plan: QueryPlan, result: QueryResult) -> list[str]:
+        candidates: set[str] | None = None
+        for position, constraint in enumerate(plan.ordered_constraints):
+            matched = self._evaluate(constraint, candidates)
+            candidates = matched if candidates is None else (candidates & matched)
+            result.record_step(constraint.describe(), len(candidates), position=position)
+            if not candidates:
+                break
+        if candidates is None:
+            return sorted(self._all_annotation_ids())
+        return sorted(candidates)
+
+    # -- adaptive (bitset + semi-join) execution ------------------------------
+
+    def _run_adaptive(self, plan: QueryPlan, result: QueryResult) -> list[str]:
+        idspace = self._manager.idspace
+        estimates = plan.estimated_rows or [0] * len(plan.ordered_constraints)
+        remaining: list[tuple[int, Constraint, int]] = [
+            (position, constraint, estimates[position])
+            for position, constraint in enumerate(plan.ordered_constraints)
+        ]
+        candidates: int | None = None
+        while remaining:
+            if candidates is None:
+                # Plan order already has the smallest estimate first.
+                index = 0
+            else:
+                count = candidates.bit_count()
+                index = min(
+                    range(len(remaining)),
+                    key=lambda i: self._step_cost(remaining[i][1], remaining[i][2], count),
+                )
+            position, constraint, estimate = remaining.pop(index)
+            probe = (
+                candidates is not None
+                and isinstance(constraint, _PROBEABLE)
+                and candidates.bit_count() * PROBE_COST_FACTOR < estimate
+            )
+            if probe:
+                matched_ids = self._probe(constraint, idspace.iter_ids(candidates))
+                candidates &= idspace.to_bits(matched_ids)
+                mode = "probe"
+            else:
+                # Only the universe-restricted evaluators (type, NOT, OR —
+                # whose parts may be either) read the candidate set; skip the
+                # bitset -> string-set conversion for the rest.
+                consumes_candidates = isinstance(
+                    constraint, (TypeConstraint, NotConstraint, OrConstraint)
+                )
+                candidate_ids = (
+                    set(idspace.iter_ids(candidates))
+                    if candidates is not None and consumes_candidates
+                    else None
+                )
+                matched_bits = idspace.to_bits(self._evaluate(constraint, candidate_ids))
+                candidates = matched_bits if candidates is None else candidates & matched_bits
+                mode = "materialize"
+            survivors = candidates.bit_count()
+            result.record_step(
+                constraint.describe(), survivors, estimated=estimate, mode=mode, position=position
+            )
+            if not candidates:
+                break
+        if candidates is None:
+            return sorted(self._all_annotation_ids())
+        return sorted(idspace.iter_ids(candidates))
+
+    @staticmethod
+    def _step_cost(constraint: Constraint, estimate: int, candidate_count: int) -> int:
+        """Estimated work to apply *constraint* to the current candidates."""
+        if isinstance(constraint, _PROBEABLE):
+            return min(estimate, candidate_count * PROBE_COST_FACTOR)
+        return estimate
+
+    # -- semi-join probes ------------------------------------------------------
+
+    def _probe(self, constraint: Constraint, candidate_ids: Iterable[str]) -> set[str]:
+        """Verify each candidate against the constraint's index directly.
+
+        Semantics match the materializing evaluators exactly; only the
+        access pattern differs (per-candidate membership checks instead of a
+        full match-set materialization).
+        """
+        manager = self._manager
+        if isinstance(constraint, KeywordConstraint):
+            contents = manager.contents
+            return {
+                annotation_id
+                for annotation_id in candidate_ids
+                if contents.document_matches_keyword(
+                    annotation_id, constraint.keyword, mode=constraint.mode
+                )
+            }
+        if isinstance(constraint, OntologyConstraint):
+            targets = manager._expand_ontology_term(  # noqa: SLF001 - same expansion as search_by_ontology
+                constraint.term, constraint.ontology, constraint.include_descendants
+            )
+            # Walk the a-graph, not the in-memory annotation: referents are
+            # SHARED across annotations that mark the same substructure, so a
+            # term linked by another annotation's copy of the referent still
+            # reaches this annotation through the shared referent node
+            # (exactly what search_by_ontology's edge walk sees).
+            agraph = manager.agraph
+            matched: set[str] = set()
+            for annotation_id in candidate_ids:
+                if not targets.isdisjoint(agraph.ontology_terms_of(annotation_id)):
+                    matched.add(annotation_id)
+                    continue
+                for referent_id in agraph.referents_of(annotation_id):
+                    if not targets.isdisjoint(agraph.ontology_terms_of(referent_id)):
+                        matched.add(annotation_id)
+                        break
+            return matched
+        if isinstance(constraint, OverlapConstraint):
+            return self._probe_interval(constraint, candidate_ids)
+        if isinstance(constraint, RegionConstraint):
+            return self._probe_region(constraint, candidate_ids)
+        if isinstance(constraint, TypeConstraint):
+            of_type = manager.stats_catalogue.members_of_type(constraint.data_type)
+            return {annotation_id for annotation_id in candidate_ids if annotation_id in of_type}
+        raise QueryExecutionError(f"constraint {type(constraint).__name__} is not probeable")
+
+    def _probe_interval(self, constraint: OverlapConstraint, candidate_ids: Iterable[str]) -> set[str]:
+        manager = self._manager
+        matched: set[str] = set()
+        for annotation_id in candidate_ids:
+            count = 0
+            for referent in manager.annotation(annotation_id).referents:
+                interval = referent.ref.interval
+                if interval is None:
+                    continue
+                if (interval.domain or referent.ref.object_id) != constraint.domain:
+                    continue
+                if interval.start <= constraint.end and constraint.start <= interval.end:
+                    count += 1
+                    if count >= constraint.min_count:
+                        matched.add(annotation_id)
+                        break
+        return matched
+
+    def _probe_region(self, constraint: RegionConstraint, candidate_ids: Iterable[str]) -> set[str]:
+        manager = self._manager
+        lo, hi = constraint.lo, constraint.hi
+        matched: set[str] = set()
+        for annotation_id in candidate_ids:
+            count = 0
+            for referent in manager.annotation(annotation_id).referents:
+                rect = referent.ref.rect
+                if rect is None or len(rect.lo) != len(lo):
+                    continue
+                if (rect.space or referent.ref.object_id) != constraint.space:
+                    continue
+                if all(
+                    rect.lo[axis] <= hi[axis] and lo[axis] <= rect.hi[axis]
+                    for axis in range(len(lo))
+                ):
+                    count += 1
+                    if count >= constraint.min_count:
+                        matched.add(annotation_id)
+                        break
+        return matched
 
     # -- per-constraint evaluation --------------------------------------------
 
     def _evaluate(self, constraint, candidates: set[str] | None = None) -> set[str]:
-        """Evaluate one constraint.
+        """Evaluate one constraint, materializing its match set.
 
         *candidates* is the set of annotation ids that survived the previous
-        (more selective) subqueries.  Constraints whose natural evaluation is
-        a full scan (type, path) restrict their work to *candidates* when it
-        is available -- this is where the planner's "feasible order among the
-        subqueries" pays off: a selective keyword/ontology subquery runs first
-        and shrinks the set the expensive scan has to touch.
+        (more selective) subqueries.  Constraints whose natural evaluation
+        restricts to a universe (type, NOT) use *candidates* when available
+        -- this is where the planner's "feasible order among the subqueries"
+        pays off: a selective subquery runs first and shrinks the set the
+        expensive evaluation has to touch.
         """
         if isinstance(constraint, KeywordConstraint):
             return set(self._manager.search_by_keyword(constraint.keyword, mode=constraint.mode))
@@ -133,6 +326,19 @@ class QueryExecutor:
         return {annotation_id for annotation_id, count in counts.items() if count >= min_count}
 
     def _evaluate_type(self, constraint: TypeConstraint, candidates: set[str] | None = None) -> set[str]:
+        """Annotations with a referent of the requested data type.
+
+        Reads the per-data-type annotation-id index the statistics catalogue
+        maintains on commit/delete — O(answer), never a full annotation scan.
+        Falls back to the scan for manager objects without a catalogue.
+        """
+        catalogue = getattr(self._manager, "stats_catalogue", None)
+        if catalogue is not None:
+            of_type = catalogue.members_of_type(constraint.data_type)
+            if candidates is None:
+                return set(of_type)
+            # set.__and__ iterates the smaller operand; no copy of the index.
+            return candidates & of_type
         matches: set[str] = set()
         wanted = constraint.data_type.lower()
         if candidates is None:
@@ -233,35 +439,70 @@ class QueryExecutor:
         that type and the intersection of any co-located (overlapping) referents
         of the same type on the same object, using the SUB-X ``intersect``
         operator.
-        """
-        from repro.spatial.operators import if_overlap, intersect
 
+        Overlapping pairs are found with a group-by-object, sort-by-extent
+        sweep (intervals and rectangles swept separately on their first
+        axis) instead of testing every referent pair — O(n log n + pairs)
+        instead of O(n^2) per type.
+        """
         by_type: dict[str, list] = {}
         for annotation_id in members:
             for referent in self._manager.annotation(annotation_id).referents:
                 by_type.setdefault(referent.ref.data_type.value, []).append(referent)
         for data_type, referents in by_type.items():
-            intersections = []
-            for position, left in enumerate(referents):
-                for right in referents[position + 1:]:
-                    if left.ref.object_id != right.ref.object_id:
-                        continue
-                    left_extent = left.ref.interval or left.ref.rect
-                    right_extent = right.ref.interval or right.ref.rect
-                    if left_extent is None or right_extent is None:
-                        continue
-                    if if_overlap(left_extent, right_extent):
-                        shared = intersect(left_extent, right_extent)
-                        if shared is not None:
-                            intersections.append(
-                                {
-                                    "object": left.ref.object_id,
-                                    "referents": [left.referent_id, right.referent_id],
-                                }
-                            )
+            intersections = [
+                {
+                    "object": left.ref.object_id,
+                    "referents": [left.referent_id, right.referent_id],
+                }
+                for left, right in _overlapping_pairs(referents)
+            ]
             subgraph.attach_type_extension(
                 data_type, [referent.referent_id for referent in referents], intersections
             )
 
     def _all_annotation_ids(self) -> list[str]:
         return [annotation.annotation_id for annotation in self._manager.annotations()]
+
+
+def _overlapping_pairs(referents: list) -> list[tuple]:
+    """Co-located same-object referent pairs with a usable intersection.
+
+    Semantically identical to the quadratic all-pairs loop (each unordered
+    pair in input order, same-object, both extents present, overlapping,
+    non-None ``intersect``), found by grouping on object id and sweeping the
+    extents in start order: an active extent whose end precedes the current
+    start can never overlap anything later, so each pair is examined at most
+    once past the pruning.
+    """
+    from repro.spatial.operators import if_overlap, intersect
+
+    by_object: dict[str, tuple[list, list]] = {}
+    for position, referent in enumerate(referents):
+        extent = referent.ref.interval or referent.ref.rect
+        if extent is None:
+            continue
+        intervals, rects = by_object.setdefault(referent.ref.object_id, ([], []))
+        if referent.ref.interval is not None:
+            intervals.append((extent.start, extent.end, position, referent, extent))
+        else:
+            rects.append((extent.lo[0], extent.hi[0], position, referent, extent))
+
+    pairs: list[tuple[int, int, object, object]] = []
+    for intervals, rects in by_object.values():
+        for items in (intervals, rects):
+            if len(items) < 2:
+                continue
+            items.sort(key=lambda item: (item[0], item[1]))
+            active: list[tuple[float, float, int, object, object]] = []
+            for start, end, position, referent, extent in items:
+                active = [item for item in active if item[1] >= start]
+                for _, _, other_position, other_referent, other_extent in active:
+                    if if_overlap(other_extent, extent) and intersect(other_extent, extent) is not None:
+                        first, second = sorted(
+                            ((other_position, other_referent), (position, referent))
+                        , key=lambda pair: pair[0])
+                        pairs.append((first[0], second[0], first[1], second[1]))
+                active.append((start, end, position, referent, extent))
+    pairs.sort(key=lambda pair: (pair[0], pair[1]))
+    return [(left, right) for _, _, left, right in pairs]

@@ -1,0 +1,101 @@
+"""Dense annotation-id interning and big-int bitset candidate sets.
+
+The query executor narrows a *candidate set* of annotation ids constraint by
+constraint.  Hash sets of string ids make every intersection pay per-element
+hashing; interning each annotation id into a dense integer slot lets the
+executor represent candidate sets as plain Python ``int`` bitmaps instead,
+where AND/OR/NOT are single big-int operations and cardinality is one
+``int.bit_count()`` call.  Ids convert back to strings only at collation.
+
+Slots freed by :meth:`AnnotationIdSpace.release` are recycled so the bitmaps
+stay dense across delete-heavy workloads, and :attr:`live_mask` always equals
+the bitset of every live annotation (the NOT-constraint universe).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class AnnotationIdSpace:
+    """A bidirectional annotation-id <-> dense-slot interner."""
+
+    def __init__(self) -> None:
+        self._slot_of: dict[str, int] = {}
+        self._id_at: list[str | None] = []
+        self._free: list[int] = []
+        #: Bitset with one bit set per live (interned, not released) slot.
+        self.live_mask: int = 0
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, annotation_id: str) -> bool:
+        return annotation_id in self._slot_of
+
+    def intern(self, annotation_id: str) -> int:
+        """Assign (or return) the dense slot for *annotation_id*."""
+        slot = self._slot_of.get(annotation_id)
+        if slot is not None:
+            return slot
+        if self._free:
+            slot = self._free.pop()
+            self._id_at[slot] = annotation_id
+        else:
+            slot = len(self._id_at)
+            self._id_at.append(annotation_id)
+        self._slot_of[annotation_id] = slot
+        self.live_mask |= 1 << slot
+        return slot
+
+    def release(self, annotation_id: str) -> bool:
+        """Free the slot for *annotation_id*; returns True when it was interned."""
+        slot = self._slot_of.pop(annotation_id, None)
+        if slot is None:
+            return False
+        self._id_at[slot] = None
+        self._free.append(slot)
+        self.live_mask &= ~(1 << slot)
+        return True
+
+    def slot(self, annotation_id: str) -> int | None:
+        """The slot for *annotation_id*, or None when not interned."""
+        return self._slot_of.get(annotation_id)
+
+    def id_at(self, slot: int) -> str | None:
+        """The annotation id occupying *slot* (None for freed slots)."""
+        if 0 <= slot < len(self._id_at):
+            return self._id_at[slot]
+        return None
+
+    # -- bitset conversion -----------------------------------------------------
+
+    def to_bits(self, annotation_ids: Iterable[str]) -> int:
+        """Bitset of every *interned* id in the iterable (unknown ids dropped)."""
+        bits = 0
+        slot_of = self._slot_of
+        for annotation_id in annotation_ids:
+            slot = slot_of.get(annotation_id)
+            if slot is not None:
+                bits |= 1 << slot
+        return bits
+
+    def iter_ids(self, bits: int) -> Iterator[str]:
+        """Iterate the annotation ids of every set bit (lowest slot first)."""
+        id_at = self._id_at
+        while bits:
+            low = bits & -bits
+            slot = low.bit_length() - 1
+            bits ^= low
+            annotation_id = id_at[slot]
+            if annotation_id is not None:
+                yield annotation_id
+
+    def ids(self, bits: int) -> list[str]:
+        """The annotation ids of every set bit, as a list."""
+        return list(self.iter_ids(bits))
+
+    @staticmethod
+    def count(bits: int) -> int:
+        """Population count of a candidate bitset."""
+        return bits.bit_count()

@@ -1,4 +1,4 @@
-"""Query planner: per-type subquery separation and feasible ordering.
+"""Query planner: per-type subquery separation and cost-based ordering.
 
 "The query processor operates by separating subqueries that belong to the
 different types of data elements, finding a feasible order among these
@@ -6,10 +6,22 @@ subqueries, and collating partial results."
 
 The planner groups the query's constraints by the data element they target
 (content, ontology, 1D substructure, 2D/3D substructure, type, path), then
-orders the groups by a static selectivity estimate so the most selective
-subquery runs first and shrinks the candidate set the others filter.  The
-result is a :class:`QueryPlan`: an ordered list of constraints plus the
-grouping, which the executor runs step by step.
+orders them for execution.  Three ordering modes exist:
+
+* ``cost`` (default when a manager is available) — each constraint gets a
+  cardinality estimate from the live :class:`~repro.query.stats.StatisticsCatalogue`
+  and the constraints run smallest-estimate first; the adaptive executor
+  then re-orders the remainder after every step and switches index-backed
+  constraints into semi-join probe mode when the surviving candidate set is
+  far smaller than a constraint's estimated match set.
+* ``static`` — the pre-statistics behaviour: a hard-coded per-class
+  selectivity constant table (kept as the benchmark baseline and as the
+  fallback when no manager is attached).
+* ``off`` — declaration order (the naive baseline).
+
+The result is a :class:`QueryPlan`: an ordered list of constraints plus the
+grouping and (in cost mode) the per-constraint row estimates, which the
+executor runs step by step.
 """
 
 from __future__ import annotations
@@ -31,12 +43,10 @@ from repro.query.ast import (
     TypeConstraint,
 )
 
-#: Lower score == more selective == scheduled earlier.  These reflect the
-#: rough selectivity order the paper's design implies: an exact keyword or a
-#: spatial window is far more selective than "has a referent of type X".
-#: Path constraints cost two bounded multi-source BFS sweeps over the indexed
-#: adjacency (not a pairwise BFS per endpoint combination), so they sit just
-#: behind the index-backed lookups.
+#: Lower score == more selective == scheduled earlier.  The pre-statistics
+#: guess table: kept as the ``static`` planning mode (the measured baseline
+#: the cost-based planner is benchmarked against) and as the tie-breaker
+#: between equal cardinality estimates.
 _SELECTIVITY: dict[type, int] = {
     KeywordConstraint: 10,
     OntologyConstraint: 20,
@@ -48,6 +58,11 @@ _SELECTIVITY: dict[type, int] = {
     NotConstraint: 90,   # negation restricts the surviving candidates; last
 }
 
+#: Planner modes.
+MODE_OFF = "off"
+MODE_STATIC = "static"
+MODE_COST = "cost"
+
 
 @dataclass
 class QueryPlan:
@@ -58,26 +73,49 @@ class QueryPlan:
     query:
         The query being planned.
     ordered_constraints:
-        Constraints in execution order (most selective first).
+        Constraints in planned execution order (most selective first).
     groups:
         Constraints grouped by the data element they target (the per-type
         subqueries).
     ordering_enabled:
-        Whether selectivity ordering was applied (False reproduces the naive
+        Whether any ordering was applied (False reproduces the naive
         declaration-order execution used as the PERF-6 baseline).
+    mode:
+        The planning mode that produced this plan (off / static / cost).
+    estimated_rows:
+        Cost mode only: the catalogue's cardinality estimate per constraint,
+        aligned with ``ordered_constraints``.
     """
 
     query: Query
     ordered_constraints: list[Constraint]
     groups: dict[Target, list[Constraint]] = field(default_factory=dict)
     ordering_enabled: bool = True
+    mode: str = MODE_STATIC
+    estimated_rows: list[int] | None = None
     _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
-    def explain(self) -> str:
-        """Human-readable plan explanation."""
-        lines = [f"PLAN (return {self.query.return_kind.value}, ordering={'on' if self.ordering_enabled else 'off'}):"]
+    def explain(self, actual_rows: dict[int, int] | None = None) -> str:
+        """Human-readable plan explanation (estimated vs. actual rows).
+
+        *actual_rows* maps plan positions to surviving candidate counts —
+        pass :meth:`QueryResult.actual_rows
+        <repro.query.result.QueryResult.actual_rows>` after executing to see
+        ``est~`` against ``act=``.  Actuals live on the result, not the
+        plan: plans are memoized and shared across concurrent executions.
+        """
+        ordering = f"on ({self.mode})" if self.ordering_enabled else "off"
+        lines = [f"PLAN (return {self.query.return_kind.value}, ordering={ordering}):"]
         for position, constraint in enumerate(self.ordered_constraints, start=1):
-            lines.append(f"  {position}. [{constraint.target.value}] {constraint.describe()}")
+            line = f"  {position}. [{constraint.target.value}] {constraint.describe()}"
+            annotations = []
+            if self.estimated_rows is not None:
+                annotations.append(f"est~{self.estimated_rows[position - 1]}")
+            if actual_rows is not None and position - 1 in actual_rows:
+                annotations.append(f"act={actual_rows[position - 1]}")
+            if annotations:
+                line += f"  ({', '.join(annotations)})"
+            lines.append(line)
         return "\n".join(lines)
 
     def subquery_count(self) -> int:
@@ -89,17 +127,21 @@ class QueryPlan:
 
         Two queries share a fingerprint exactly when they produce the same
         return kind and the same ordered constraint sequence under the same
-        planner configuration — which makes the fingerprint (together with the
-        normalized query text) a sound cache key for query results: any
-        planner change that alters execution changes the fingerprint and
-        naturally misses the old cache entries.  Computed once per plan (the
+        planner mode — so the fingerprint reflects the order the cost-based
+        planner actually chose, and (together with the normalized query
+        text) is a sound cache key for query results: a stats-driven re-plan
+        that picks a different order changes the fingerprint and naturally
+        misses the old cache entries, while a re-plan with the same order
+        relies on the cache's epoch tagging.  Computed once per plan (the
         executor stamps it on every result, so it is on the execution path).
+        ``estimated_rows`` and ``actual_rows`` are observational — they do
+        not change which annotations a plan returns — and are excluded.
         """
         if self._fingerprint is not None:
             return self._fingerprint
         digest = hashlib.sha256()
         digest.update(self.query.return_kind.value.encode())
-        digest.update(b"|ordering=1" if self.ordering_enabled else b"|ordering=0")
+        digest.update(f"|mode={self.mode}".encode())
         for constraint in self.ordered_constraints:
             digest.update(b"|")
             digest.update(constraint.target.value.encode())
@@ -110,10 +152,32 @@ class QueryPlan:
 
 
 class QueryPlanner:
-    """Builds a :class:`QueryPlan` from a :class:`Query`."""
+    """Builds a :class:`QueryPlan` from a :class:`Query`.
 
-    def __init__(self, enable_ordering: bool = True):
-        self.enable_ordering = enable_ordering
+    Parameters
+    ----------
+    enable_ordering:
+        False forces declaration-order planning (the naive baseline).
+    manager:
+        The :class:`~repro.core.manager.Graphitti` whose statistics catalogue
+        feeds cardinality estimates.  Without one, cost mode degrades to the
+        static constant table.
+    mode:
+        Explicit mode override (``"off"``, ``"static"``, ``"cost"``); by
+        default ordering uses cost mode when a manager is attached and
+        static otherwise.
+    """
+
+    def __init__(self, enable_ordering: bool = True, manager=None, mode: str | None = None):
+        if mode is None:
+            mode = (MODE_COST if manager is not None else MODE_STATIC) if enable_ordering else MODE_OFF
+        if mode not in (MODE_OFF, MODE_STATIC, MODE_COST):
+            raise ValueError(f"unknown planner mode {mode!r}")
+        if mode == MODE_COST and manager is None:
+            mode = MODE_STATIC
+        self.mode = mode
+        self.enable_ordering = mode != MODE_OFF
+        self._manager = manager
 
     def plan(self, query: Query) -> QueryPlan:
         """Produce an execution plan for *query*."""
@@ -121,7 +185,22 @@ class QueryPlanner:
         for constraint in query.constraints:
             groups.setdefault(constraint.target, []).append(constraint)
 
-        if self.enable_ordering:
+        estimated_rows: list[int] | None = None
+        if self.mode == MODE_COST:
+            from repro.query.stats import CardinalityEstimator
+
+            estimator = CardinalityEstimator(self._manager)
+            estimates = {id(constraint): estimator.estimate(constraint) for constraint in query.constraints}
+            ordered = sorted(
+                query.constraints,
+                key=lambda constraint: (
+                    estimates[id(constraint)],
+                    _SELECTIVITY.get(type(constraint), 50),
+                    constraint.describe(),
+                ),
+            )
+            estimated_rows = [estimates[id(constraint)] for constraint in ordered]
+        elif self.mode == MODE_STATIC:
             ordered = sorted(
                 query.constraints,
                 key=lambda constraint: (_SELECTIVITY.get(type(constraint), 50), constraint.describe()),
@@ -134,6 +213,8 @@ class QueryPlanner:
             ordered_constraints=ordered,
             groups=groups,
             ordering_enabled=self.enable_ordering,
+            mode=self.mode,
+            estimated_rows=estimated_rows,
         )
 
     @staticmethod

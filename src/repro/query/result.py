@@ -24,7 +24,11 @@ class QueryResult:
     annotation_ids: list[str] = field(default_factory=list)
     referents: list[Any] = field(default_factory=list)
     subgraphs: list[ConnectionSubgraph] = field(default_factory=list)
-    steps: list[tuple[str, int]] = field(default_factory=list)
+    #: Per-step execution detail: constraint label, surviving candidates,
+    #: the planner's estimated rows (None outside cost mode), how the step
+    #: ran ("materialize" or "probe" — the adaptive semi-join path), and the
+    #: constraint's plan position.  ``steps`` is derived from this.
+    step_details: list[dict[str, Any]] = field(default_factory=list)
     fragments: list[Any] = field(default_factory=list)
     #: Fingerprint of the plan that produced this result (see
     #: :meth:`repro.query.planner.QueryPlan.fingerprint`); the serving layer
@@ -44,13 +48,51 @@ class QueryResult:
         """True when the query produced no primary results."""
         return self.count == 0
 
-    def record_step(self, label: str, survivors: int) -> None:
-        """Record the number of annotation candidates after a subquery step."""
-        self.steps.append((label, survivors))
+    def record_step(
+        self,
+        label: str,
+        survivors: int,
+        estimated: int | None = None,
+        mode: str = "materialize",
+        position: int | None = None,
+    ) -> None:
+        """Record the number of annotation candidates after a subquery step.
+
+        *position* is the constraint's index in the plan's ordered list (the
+        adaptive executor may execute steps out of plan order).
+        """
+        self.step_details.append(
+            {
+                "label": label,
+                "survivors": survivors,
+                "estimated": estimated,
+                "mode": mode,
+                "position": position,
+            }
+        )
+
+    @property
+    def steps(self) -> list[tuple[str, int]]:
+        """``(label, surviving candidates)`` per executed step (derived)."""
+        return [(detail["label"], detail["survivors"]) for detail in self.step_details]
+
+    def actual_rows(self) -> dict[int, int]:
+        """Plan position -> surviving candidates, for ``QueryPlan.explain``."""
+        return {
+            detail["position"]: detail["survivors"]
+            for detail in self.step_details
+            if detail.get("position") is not None
+        }
 
     def explain_steps(self) -> str:
         """Human-readable trace of candidate-set sizes per subquery step."""
-        return "\n".join(f"  after {label}: {count} candidates" for label, count in self.steps)
+        lines = []
+        for detail in self.step_details:
+            line = f"  after {detail['label']}: {detail['survivors']} candidates"
+            if detail.get("estimated") is not None:
+                line += f" (est~{detail['estimated']}, {detail['mode']})"
+            lines.append(line)
+        return "\n".join(lines)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-compatible representation."""
@@ -65,4 +107,5 @@ class QueryResult:
             ],
             "subgraphs": [subgraph.to_dict() for subgraph in self.subgraphs],
             "steps": list(self.steps),
+            "step_details": [dict(detail) for detail in self.step_details],
         }

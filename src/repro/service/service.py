@@ -81,14 +81,21 @@ class GraphittiService:
         self.config = config or ServiceConfig()
         self._lock = ReadWriteLock()
         self._cache = QueryResultCache(self.config.cache_capacity)
-        self._plans: OrderedDict[str, tuple[QueryPlan, str]] = OrderedDict()
+        # normalized text -> (mutation epoch the plan was computed at, plan,
+        # fingerprint).  Cost-based plans depend on live statistics, so a
+        # memoized plan is only valid at the epoch it was planned at; any
+        # mutation forces a re-plan, whose fingerprint (covering the chosen
+        # order and estimates) keys the result cache.
+        self._plans: OrderedDict[str, tuple[int, QueryPlan, str]] = OrderedDict()
         self._plans_mutex = threading.Lock()
         self._store = DurableStore(root, durability=self.config.durability) if root else None
         self._wal_failed = False
         self._ops_since_checkpoint = 0
         self._recovery_info: dict[str, Any] | None = None
         self._closed = False
-        self._planner = QueryPlanner(enable_ordering=self.config.enable_ordering)
+        self._planner = QueryPlanner(
+            enable_ordering=self.config.enable_ordering, manager=self._manager
+        )
         self._manager.stats_providers.append(self._service_stats)
 
     # -- lifecycle -------------------------------------------------------------
@@ -350,10 +357,15 @@ class GraphittiService:
         Cache key: (normalized GQL text, plan fingerprint); entries are valid
         only at the mutation epoch they were computed at.  A hit for repeated
         text also skips parsing and planning via the prepared-plan memo.
+
+        Planning happens *inside* the read view: the cost-based planner
+        reads live structures (interval-tree spans, catalogue dicts, the
+        ontology registry) that a concurrent writer may be mutating, so the
+        estimate pass needs the same shared lock the execution does.
         """
-        normalized, plan, fingerprint = self._prepare(text_or_query)
-        key = (normalized, fingerprint)
         with self._read_view():
+            normalized, plan, fingerprint = self._prepare(text_or_query)
+            key = (normalized, fingerprint)
             epoch = self._manager.mutation_epoch
             cached = self._cache.get(key, epoch)
             if cached is not None:
@@ -364,21 +376,30 @@ class GraphittiService:
         return result
 
     def _prepare(self, text_or_query: str | Query) -> tuple[str, QueryPlan, str]:
-        """Normalize + parse + plan, memoized on the normalized text."""
+        """Normalize + parse + plan, memoized on (normalized text, epoch).
+
+        A memoized plan is reused only while the manager's mutation epoch
+        matches the epoch it was planned at: cost-based plans embed live
+        cardinality estimates, and a mutation may change which order (and
+        which fingerprint) the planner picks.  Re-planning after a mutation
+        is what makes stats-driven plan changes miss stale result-cache
+        entries naturally — the fingerprint is part of the result key.
+        """
+        epoch = self._manager.mutation_epoch
         if isinstance(text_or_query, Query):
             plan = self._planner.plan(text_or_query)
             return text_or_query.describe(), plan, plan.fingerprint()
         normalized = normalize_gql(text_or_query)
         with self._plans_mutex:
             prepared = self._plans.get(normalized)
-            if prepared is not None:
+            if prepared is not None and prepared[0] == epoch:
                 self._plans.move_to_end(normalized)
-                return (normalized, *prepared)
+                return (normalized, prepared[1], prepared[2])
         plan = self._planner.plan(parse_query(text_or_query))
         fingerprint = plan.fingerprint()
         if self.config.plan_cache_capacity:
             with self._plans_mutex:
-                self._plans[normalized] = (plan, fingerprint)
+                self._plans[normalized] = (epoch, plan, fingerprint)
                 self._plans.move_to_end(normalized)
                 while len(self._plans) > self.config.plan_cache_capacity:
                     self._plans.popitem(last=False)

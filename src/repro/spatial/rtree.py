@@ -69,6 +69,16 @@ class RTree:
     def __bool__(self) -> bool:
         return self._size > 0
 
+    def bounds(self) -> Rect | None:
+        """Exact minimum bounding rect of every stored rect (None when empty).
+
+        Read from the root's maintained entry MBRs — O(root fan-out), kept
+        tight by insert/remove adjustment, so deletions shrink it.
+        """
+        if self._size == 0:
+            return None
+        return self._root.mbr()
+
     def __iter__(self) -> Iterator[Rect]:
         yield from self._iterate(self._root)
 

@@ -171,6 +171,50 @@ class DocumentCollection:
                 matches.append(doc_id)
         return sorted(matches)
 
+    def document_matches_keyword(self, doc_id: str, keyword: str, mode: str = "and") -> bool:
+        """Membership probe: would *doc_id* appear in ``search_keyword``?
+
+        Exactly the candidate-then-verify semantics of :meth:`search_keyword`
+        restricted to one document, so the adaptive query executor can verify
+        a surviving candidate in O(query tokens) instead of materializing the
+        keyword's whole match set.
+        """
+        phrase = keyword.strip().lower()
+        if not phrase or doc_id not in self._documents:
+            return False
+        if self._index is not None:
+            self.flush_index()
+            if not self._index.document_contains(doc_id, keyword, mode=mode):
+                return False
+            if mode == "or":
+                return True
+        elif mode == "or":
+            # Mirrors search_keyword's index-free OR path (every document).
+            return True
+        text = self._searchable_text(self._documents[doc_id]).lower()
+        return phrase in text or all(token in text for token in phrase.split())
+
+    def keyword_document_frequency(self, keyword: str, mode: str = "and") -> int:
+        """Estimated number of documents matching *keyword* (planner input).
+
+        AND takes the rarest token's document frequency (an upper bound on
+        the intersection), OR sums the frequencies (an upper bound on the
+        union).  Documents whose indexing is still deferred are not counted —
+        the estimate is a planning input, not an answer, and reading the
+        index without forcing a flush keeps this callable from any thread.
+        """
+        if self._index is None:
+            return len(self._documents)
+        from repro.xmlstore.text_index import tokenize
+
+        tokens = tokenize(keyword)
+        if not tokens:
+            return 0
+        frequencies = [self._index.document_frequency(token) for token in tokens]
+        if mode == "or":
+            return min(sum(frequencies), len(self._documents))
+        return min(frequencies)
+
     def scan_keyword(self, keyword: str) -> list[str]:
         """Index-free keyword search (full scan); baseline for benchmarks."""
         phrase = keyword.strip().lower()

@@ -52,6 +52,9 @@ class InvertedIndex:
     def __init__(self) -> None:
         self._postings: dict[str, dict[str, int]] = {}
         self._doc_lengths: dict[str, int] = {}
+        # doc id -> the terms indexed for that document, so removal walks the
+        # document's own postings instead of the whole vocabulary.
+        self._doc_terms: dict[str, tuple[str, ...]] = {}
 
     def __len__(self) -> int:
         return len(self._doc_lengths)
@@ -76,18 +79,23 @@ class InvertedIndex:
         for term, count in counts.items():
             self._postings.setdefault(term, {})[doc_id] = count
         self._doc_lengths[doc_id] = len(tokens)
+        self._doc_terms[doc_id] = tuple(counts)
 
     def remove_document(self, doc_id: str) -> None:
-        """Remove a document from the index (no-op when absent)."""
+        """Remove a document from the index (no-op when absent).
+
+        O(terms in the document): the reverse map names exactly the postings
+        lists holding the document, so the vocabulary is never scanned.
+        """
         if doc_id not in self._doc_lengths:
             return
-        empty_terms = []
-        for term, postings in self._postings.items():
+        for term in self._doc_terms.pop(doc_id, ()):
+            postings = self._postings.get(term)
+            if postings is None:
+                continue
             postings.pop(doc_id, None)
             if not postings:
-                empty_terms.append(term)
-        for term in empty_terms:
-            del self._postings[term]
+                del self._postings[term]
         del self._doc_lengths[doc_id]
 
     def search(self, query: str, mode: str = "and") -> set[str]:
@@ -122,13 +130,30 @@ class InvertedIndex:
         """
         return self.search(phrase, mode="and")
 
+    def document_contains(self, doc_id: str, query: str, mode: str = "and") -> bool:
+        """Membership probe: would *doc_id* appear in ``search(query, mode)``?
+
+        One postings-dict lookup per query token — the semi-join building
+        block the adaptive query executor uses to verify a surviving
+        candidate against the index instead of materializing the full match
+        set.
+        """
+        tokens = tokenize(query)
+        if not tokens:
+            return False
+        if mode == "and":
+            return all(doc_id in self._postings.get(token, ()) for token in tokens)
+        if mode == "or":
+            return any(doc_id in self._postings.get(token, ()) for token in tokens)
+        raise ValueError(f"unknown search mode {mode!r}")
+
     def term_frequency(self, term: str, doc_id: str) -> int:
         """Occurrences of *term* in *doc_id* (0 when absent)."""
         return self._postings.get(term.lower(), {}).get(doc_id, 0)
 
     def document_frequency(self, term: str) -> int:
         """Number of documents containing *term*."""
-        return len(self._lookup(term.lower()))
+        return len(self._postings.get(term.lower(), ()))
 
     def terms(self) -> Iterator[str]:
         """Iterate over the indexed vocabulary."""

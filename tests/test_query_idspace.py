@@ -1,0 +1,74 @@
+"""Tests for the dense annotation-id interner and bitset candidate sets."""
+
+from repro.query.idspace import AnnotationIdSpace
+
+
+def test_intern_assigns_dense_slots():
+    space = AnnotationIdSpace()
+    assert space.intern("a") == 0
+    assert space.intern("b") == 1
+    assert space.intern("a") == 0  # idempotent
+    assert len(space) == 2
+    assert "a" in space and "c" not in space
+    assert space.slot("b") == 1
+    assert space.id_at(1) == "b"
+    assert space.id_at(99) is None
+
+
+def test_release_recycles_slots():
+    space = AnnotationIdSpace()
+    for name in "abc":
+        space.intern(name)
+    assert space.release("b") is True
+    assert space.release("b") is False
+    assert space.slot("b") is None
+    assert space.id_at(1) is None
+    # The freed slot is reused before new slots are appended.
+    assert space.intern("d") == 1
+    assert space.intern("e") == 3
+
+
+def test_live_mask_tracks_membership():
+    space = AnnotationIdSpace()
+    for name in "abcd":
+        space.intern(name)
+    assert space.live_mask == 0b1111
+    space.release("c")
+    assert space.live_mask == 0b1011
+    assert space.ids(space.live_mask) == ["a", "b", "d"]
+
+
+def test_to_bits_and_back():
+    space = AnnotationIdSpace()
+    for name in ("x", "y", "z"):
+        space.intern(name)
+    bits = space.to_bits(["z", "x", "unknown"])
+    assert AnnotationIdSpace.count(bits) == 2
+    assert space.ids(bits) == ["x", "z"]  # slot order
+    assert space.to_bits([]) == 0
+    assert space.ids(0) == []
+
+
+def test_bitset_algebra_matches_set_algebra():
+    space = AnnotationIdSpace()
+    universe = [f"anno-{i}" for i in range(200)]
+    for name in universe:
+        space.intern(name)
+    evens = {name for i, name in enumerate(universe) if i % 2 == 0}
+    thirds = {name for i, name in enumerate(universe) if i % 3 == 0}
+    even_bits = space.to_bits(evens)
+    third_bits = space.to_bits(thirds)
+    assert set(space.ids(even_bits & third_bits)) == evens & thirds
+    assert set(space.ids(even_bits | third_bits)) == evens | thirds
+    assert set(space.ids(space.live_mask & ~even_bits)) == set(universe) - evens
+    assert (even_bits & third_bits).bit_count() == len(evens & thirds)
+
+
+def test_released_slot_bits_are_skipped():
+    space = AnnotationIdSpace()
+    for name in "abc":
+        space.intern(name)
+    bits = space.to_bits(["a", "b", "c"])
+    space.release("b")
+    # A stale bitset mentioning the freed slot yields only live ids.
+    assert space.ids(bits) == ["a", "c"]

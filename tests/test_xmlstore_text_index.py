@@ -86,3 +86,46 @@ def test_indexed_documents_are_searchable(words_list):
     for position, text in enumerate(words_list):
         for token in tokenize(text):
             assert f"d{position}" in index.search(token, mode="or")
+
+
+def test_remove_document_touches_only_own_postings():
+    """Removal walks the doc's reverse-mapped terms, not the vocabulary."""
+    index = InvertedIndex()
+    index.add_document("d1", "alpha beta")
+    index.add_document("d2", "gamma delta epsilon")
+    touched = []
+
+    class SpyingPostings(dict):
+        def get(self, term, default=None):
+            touched.append(term)
+            return super().get(term, default)
+
+    index._postings = SpyingPostings(index._postings)
+    index.remove_document("d1")
+    assert sorted(touched) == ["alpha", "beta"]
+    assert index.search("beta") == set()
+    assert index.search("gamma") == {"d2"}
+    assert index.vocabulary_size == 3
+
+
+def test_remove_document_after_reindex_uses_fresh_terms():
+    index = InvertedIndex()
+    index.add_document("d1", "alpha beta")
+    index.add_document("d1", "gamma")  # re-index replaces the old terms
+    assert index.search("alpha") == set()
+    index.remove_document("d1")
+    assert index.vocabulary_size == 0
+    assert len(index) == 0
+
+
+def test_document_contains_probe_matches_search():
+    index = InvertedIndex()
+    index.add_document("d1", "alpha beta gamma")
+    index.add_document("d2", "beta delta")
+    for query in ("alpha", "beta", "alpha beta", "delta epsilon", ""):
+        for mode in ("and", "or"):
+            expected = index.search(query, mode=mode)
+            for doc_id in ("d1", "d2", "ghost"):
+                assert index.document_contains(doc_id, query, mode=mode) == (
+                    doc_id in expected
+                ), (query, mode, doc_id)
