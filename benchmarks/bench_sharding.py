@@ -1,0 +1,267 @@
+"""PERF-9: scatter-gather sharding throughput, with an enforced floor.
+
+The mixed concurrent workload models the serving traffic shape the paper's
+deployment implies — four worker threads interleaving repeated structural
+queries (~87%) with single-annotation commits (~13%) over a shared corpus.
+On a single :class:`~repro.service.GraphittiService`, every commit bumps the
+one mutation epoch, so every hot query re-executes from scratch after every
+write.  On a :class:`~repro.shard.ShardedGraphittiService`, a commit routes
+to one shard and invalidates only that shard's cache: the same hot query
+re-executes 1/N of its work and serves the rest from the other shards'
+still-valid entries.
+
+Measured throughput (ops/second, best of three rounds per system):
+
+* baseline — one unsharded ``GraphittiService``;
+* candidate — ``ShardedGraphittiService`` with :data:`SHARD_COUNT` shards.
+
+Floor: **>= 2x** at 4 shards.  A bit-identical oracle check runs first: the
+same deterministic mixed workload applied to a sharded and an unsharded
+instance must produce identical query results, ordering included.
+
+``python -m benchmarks.bench_sharding`` prints the table, writes
+``BENCH_sharding.json`` via the harness, and exits non-zero below the floor
+(or on an oracle mismatch).  Set ``BENCH_SMOKE=1`` for the CI-sized run
+(the floor still applies).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from benchmarks._harness import format_row, speedup, write_results
+from repro.core.manager import Graphitti
+from repro.datatypes.sequence import DnaSequence
+from repro.service import GraphittiService
+from repro.shard import ShardedGraphittiService
+
+#: Minimum acceptable mixed-workload throughput multiple at SHARD_COUNT shards.
+SHARDING_SPEEDUP_FLOOR = 2.0
+
+#: Shards in the candidate configuration.
+SHARD_COUNT = 4
+
+_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+#: (corpus annotations, ops per worker thread, measurement rounds).
+SCALE = (2000, 80, 3) if _SMOKE else (2400, 120, 3)
+
+#: Worker threads driving the mixed workload.
+THREADS = 4
+
+#: One commit per this many operations per thread (~13% writes).
+WRITE_EVERY = 8
+
+OBJECTS = 16
+
+#: The repeated structural queries the readers cycle through — selective
+#: enough that re-execution (not result copying) dominates a cache miss.
+QUERIES = (
+    'SELECT contents WHERE { CONTENT CONTAINS "alpha" INTERVAL OVERLAPS mix:chr1 [0, 8000] }',
+    'SELECT contents WHERE { CONTENT CONTAINS "beta" INTERVAL OVERLAPS mix:chr1 [0, 9000] }',
+    "SELECT contents WHERE { INTERVAL OVERLAPS mix:chr1 [500, 4000] MINCOUNT 1 }",
+    'SELECT contents WHERE { ANY { CONTENT CONTAINS "gamma" CONTENT CONTAINS "delta" } }',
+    'SELECT contents WHERE { CONTENT CONTAINS "epsilon" INTERVAL OVERLAPS mix:chr1 [1000, 12000] }',
+    "SELECT referents WHERE { INTERVAL OVERLAPS mix:chr1 [2000, 6000] }",
+)
+
+_KEYWORDS = ("alpha", "beta", "gamma", "delta", "epsilon")
+
+
+def seed_corpus(service, corpus: int) -> list[str]:
+    """Register the shared object pool and bulk-load the query corpus."""
+    object_ids = []
+    for index in range(OBJECTS):
+        obj = DnaSequence(
+            f"mix{index}", "ACGT" * 250, domain="mix:chr1", offset=index * 1000
+        )
+        service.register(obj)
+        object_ids.append(obj.object_id)
+    rng = random.Random(11)
+    batch = []
+    for index in range(corpus):
+        batch.append(
+            service.new_annotation(
+                f"seed-{index:05d}",
+                title=f"seed annotation {index}",
+                keywords=[rng.choice(_KEYWORDS), "common"],
+                body=f"sharding benchmark corpus {index}",
+            ).mark_sequence(object_ids[index % OBJECTS], (index * 13) % 900, (index * 13) % 900 + 40)
+        )
+    service.bulk_commit(batch)
+    return object_ids
+
+
+def run_mixed_workload(service, object_ids: list[str], ops: int, tag: str) -> float:
+    """Drive THREADS concurrent workers; returns elapsed wall-clock seconds."""
+
+    def worker(worker_id: int) -> None:
+        rng = random.Random(1000 + worker_id)
+        serial = 0
+        for op in range(ops):
+            if op % WRITE_EVERY == WRITE_EVERY - 1:
+                (
+                    service.new_annotation(
+                        f"{tag}-w{worker_id}-{serial}",
+                        title="mixed workload write",
+                        keywords=[rng.choice(_KEYWORDS)],
+                        body="written mid-workload",
+                    )
+                    .mark_sequence(
+                        object_ids[rng.randrange(OBJECTS)],
+                        rng.randrange(900),
+                        rng.randrange(900, 950),
+                    )
+                    .commit()
+                )
+                serial += 1
+            else:
+                service.query(QUERIES[rng.randrange(len(QUERIES))])
+
+    threads = [
+        threading.Thread(target=worker, args=(worker_id,), name=f"bench-shard-{worker_id}")
+        for worker_id in range(THREADS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+def check_oracle_equivalence() -> None:
+    """Sharded and unsharded must answer bit-identically on the same corpus.
+
+    Applies the same deterministic mixed sequence (commits, deletes, and the
+    full query set) to both systems and compares every result's annotation
+    ids — ordering included — plus referent pages.
+    """
+    sharded = ShardedGraphittiService(shards=SHARD_COUNT, name="oracle-sharded")
+    single = GraphittiService(manager=Graphitti("oracle-single"))
+    corpus = 300
+    for service in (sharded, single):
+        seed_corpus(service, corpus)
+    rng = random.Random(5)
+    victims = sorted(rng.sample(range(corpus), 12))
+    for service in (sharded, single):
+        for victim in victims:
+            service.delete_annotation(f"seed-{victim:05d}")
+    probes = QUERIES + (
+        'SELECT contents WHERE { NOT { CONTENT CONTAINS "alpha" } }',
+        'SELECT contents WHERE { CONTENT CONTAINS "common" } LIMIT 17',
+    )
+    for text in probes:
+        left = sharded.query(text)
+        right = single.query(text)
+        if left.annotation_ids != right.annotation_ids:
+            raise AssertionError(f"sharded result diverges from oracle for {text!r}")
+        left_refs = [referent.referent_id for referent in left.referents]
+        right_refs = [referent.referent_id for referent in right.referents]
+        if left_refs != right_refs:
+            raise AssertionError(f"sharded referent page diverges for {text!r}")
+    sharded.close()
+    single.close()
+
+
+def measure() -> list[dict[str, float]]:
+    """Best-of-rounds mixed-workload throughput for both systems."""
+    corpus, ops, rounds = SCALE
+    single = GraphittiService(manager=Graphitti("bench-shard-single"))
+    sharded = ShardedGraphittiService(shards=SHARD_COUNT, name="bench-sharded")
+    single_objects = seed_corpus(single, corpus)
+    sharded_objects = seed_corpus(sharded, corpus)
+    for text in QUERIES:  # warm both caches once
+        single.query(text)
+        sharded.query(text)
+    total_ops = THREADS * ops
+    best = {"single": 0.0, "sharded": 0.0}
+    # Alternate systems per round so machine drift hits both equally.
+    for round_index in range(rounds):
+        elapsed_single = run_mixed_workload(single, single_objects, ops, f"s{round_index}")
+        elapsed_sharded = run_mixed_workload(sharded, sharded_objects, ops, f"h{round_index}")
+        best["single"] = max(best["single"], total_ops / elapsed_single)
+        best["sharded"] = max(best["sharded"], total_ops / elapsed_sharded)
+    single_stats = single.statistics()["service"]["query_cache"]
+    sharded_stats = sharded.statistics()["service"]["query_cache"]
+    single.close()
+    sharded.close()
+    return [
+        {
+            "workload": "mixed_concurrent",
+            "shards": 1,
+            "ops_per_second": best["single"],
+            "cache_hit_rate": single_stats["hit_rate"],
+            "threads": THREADS,
+            "corpus": corpus,
+        },
+        {
+            "workload": "mixed_concurrent",
+            "shards": SHARD_COUNT,
+            "ops_per_second": best["sharded"],
+            "cache_hit_rate": sharded_stats["hit_rate"],
+            "threads": THREADS,
+            "corpus": corpus,
+            "speedup": speedup(1.0 / best["single"], 1.0 / best["sharded"]),
+        },
+    ]
+
+
+def report() -> int:
+    check_oracle_equivalence()
+    print("oracle check: sharded == unsharded (bit-identical, ordering included)")
+    rows = measure()
+    widths = (18, 8, 14, 14, 10)
+    print(format_row(("workload", "shards", "ops/second", "cache hit", "speedup"), widths))
+    for row in rows:
+        print(
+            format_row(
+                (
+                    row["workload"],
+                    row["shards"],
+                    f"{row['ops_per_second']:.0f}",
+                    f"{row['cache_hit_rate']:.1%}",
+                    f"{row.get('speedup', 1.0):.2f}x",
+                ),
+                widths,
+            )
+        )
+    write_results(
+        "sharding",
+        rows,
+        smoke=_SMOKE,
+        floor=SHARDING_SPEEDUP_FLOOR,
+        shard_count=SHARD_COUNT,
+        write_every=WRITE_EVERY,
+    )
+    achieved = rows[-1].get("speedup", 0.0)
+    if achieved < SHARDING_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: {SHARD_COUNT}-shard mixed-workload speedup {achieved:.2f}x "
+            f"is below the {SHARDING_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        return 1
+    print(
+        f"sharding floor OK: {achieved:.2f}x >= {SHARDING_SPEEDUP_FLOOR:.1f}x "
+        f"at {SHARD_COUNT} shards"
+    )
+    return 0
+
+
+def test_sharded_matches_unsharded_oracle():
+    check_oracle_equivalence()
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_sharding_throughput_floor(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert rows[-1]["speedup"] >= SHARDING_SPEEDUP_FLOOR
+
+
+if __name__ == "__main__":
+    raise SystemExit(report())

@@ -1,22 +1,27 @@
 """Crash-recovery smoke check: kill a serving process mid-ingest, recover.
 
-The parent spawns a child Python process that opens a durable
-:class:`~repro.service.GraphittiService`, checkpoints a seeded baseline, and
-then commits annotations forever — until the parent SIGKILLs it mid-ingest
-(a real crash: no atexit hooks, no flushes, possibly a torn WAL tail).  The
-parent then recovers the instance and verifies:
+The parent spawns a child Python process that opens a durable service
+(single :class:`~repro.service.GraphittiService`, or a
+:class:`~repro.shard.ShardedGraphittiService` when ``CRASH_SMOKE_SHARDS`` is
+greater than 1), checkpoints a seeded baseline, and then commits annotations
+forever — until the parent SIGKILLs it mid-ingest (a real crash: no atexit
+hooks, no flushes, possibly a torn WAL tail — on any shard).  The parent
+then recovers the instance and verifies:
 
 * recovery succeeds (a torn tail is tolerated, never corruption),
 * every recovered annotation is fully wired (``check_integrity()`` passes),
-* the recovered annotation count matches the WAL's acknowledged history,
+* the recovered annotation count matches the WALs' acknowledged history
+  (summed across every shard),
 * the recovered instance answers queries.
 
 Run as ``PYTHONPATH=src python -m benchmarks.crash_recovery_smoke``; exits
-non-zero on any failure.  Used as a CI step.
+non-zero on any failure.  CI runs it twice: unsharded and with
+``CRASH_SMOKE_SHARDS=4``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import subprocess
@@ -28,14 +33,26 @@ from pathlib import Path
 #: How long to let the child ingest before killing it (seconds).
 INGEST_WINDOW = float(os.environ.get("CRASH_SMOKE_WINDOW", "1.0"))
 
+#: Shard count; 1 runs the original single-service smoke.
+SHARDS = int(os.environ.get("CRASH_SMOKE_SHARDS", "1"))
+
 _CHILD_CODE = """
 import sys
 from repro.datatypes.sequence import DnaSequence
-from repro.service import GraphittiService, ServiceConfig
 
-root = sys.argv[1]
-service = GraphittiService.open(root, config=ServiceConfig(durability="always"))
-service.register(DnaSequence("crash_seq", "ACGT" * 300, domain="crash:chr1"))
+root, shards = sys.argv[1], int(sys.argv[2])
+from repro.service import GraphittiService, ServiceConfig
+config = ServiceConfig(durability="always")
+if shards > 1:
+    from repro.shard import ShardedGraphittiService
+    service = ShardedGraphittiService.open(root, shards=shards, config=config)
+else:
+    service = GraphittiService.open(root, config=config)
+objects = [f"crash_seq_{index}" for index in range(8)]
+for index, object_id in enumerate(objects):
+    service.register(
+        DnaSequence(object_id, "ACGT" * 300, domain="crash:chr1", offset=index * 1200)
+    )
 service.checkpoint()
 print("READY", flush=True)
 serial = 0
@@ -48,17 +65,36 @@ while True:
             keywords=["crash", "smoke"],
             body="annotation committed while waiting to be killed",
         )
-        .mark_sequence("crash_seq", serial % 1000, serial % 1000 + 20)
+        .mark_sequence(objects[serial % len(objects)], serial % 1000, serial % 1000 + 20)
         .commit()
     )
     serial += 1
 """
 
 
+def _acknowledged_commits(shard_root: Path) -> int:
+    """Commit records acknowledged at *shard_root* and not yet snapshotted,
+    plus annotations already inside the snapshot."""
+    from repro.service import read_records
+
+    snapshot_annotations = 0
+    snapshot_seq = 0
+    snapshot_path = shard_root / "snapshot.json"
+    if snapshot_path.exists():
+        payload = json.loads(snapshot_path.read_text())
+        snapshot_annotations = len(payload.get("annotations", []))
+        snapshot_seq = int(payload.get("wal_seq", 0))
+    records, _ = read_records(shard_root / "wal.jsonl")
+    replayable = sum(
+        1 for record in records if record["op"] == "commit" and record["seq"] > snapshot_seq
+    )
+    return snapshot_annotations + replayable
+
+
 def main() -> int:
     root = Path(tempfile.mkdtemp(prefix="crash-smoke-"))
     child = subprocess.Popen(
-        [sys.executable, "-c", _CHILD_CODE, str(root)],
+        [sys.executable, "-c", _CHILD_CODE, str(root), str(SHARDS)],
         stdout=subprocess.PIPE,
         text=True,
         env=dict(os.environ),
@@ -76,23 +112,36 @@ def main() -> int:
             child.kill()
             child.wait()
 
-    from repro.service import GraphittiService, read_records
+    if SHARDS > 1:
+        from repro.shard import ShardedGraphittiService
 
-    records, torn_tail = read_records(root / "wal.jsonl")
-    acknowledged_commits = sum(1 for record in records if record["op"] == "commit")
-    service = GraphittiService.recover(root)
-    info = service.recovery_info
+        shard_roots = sorted(root.glob("shard-*"))
+        acknowledged_commits = sum(_acknowledged_commits(path) for path in shard_roots)
+        torn_tails = 0
+        service = ShardedGraphittiService.recover(root)
+        info = service.recovery_info or {}
+        torn_tails = info.get("torn_tails", 0)
+        replayed = info.get("replayed", 0)
+    else:
+        from repro.service import GraphittiService, read_records
+
+        _, torn = read_records(root / "wal.jsonl")
+        torn_tails = int(torn)
+        acknowledged_commits = _acknowledged_commits(root)
+        service = GraphittiService.recover(root)
+        replayed = service.recovery_info["replayed"]
+
     stats = service.statistics()
     report = service.check_integrity()
     probe = service.query('SELECT contents WHERE { CONTENT CONTAINS "smoke" }')
     service.close()
 
     print(
-        f"killed mid-ingest after {INGEST_WINDOW:.1f}s: "
-        f"{acknowledged_commits} acknowledged commits, torn tail: {torn_tail}"
+        f"killed mid-ingest after {INGEST_WINDOW:.1f}s ({SHARDS} shard(s)): "
+        f"{acknowledged_commits} acknowledged commits, torn tails: {torn_tails}"
     )
     print(
-        f"recovered: replayed {info['replayed']} records over snapshot; "
+        f"recovered: replayed {replayed} records over snapshot(s); "
         f"{stats['annotations']} annotations, integrity ok: {report.ok}, "
         f"probe query hits: {probe.count}"
     )
@@ -101,7 +150,7 @@ def main() -> int:
         failures.append("child was killed before committing anything; raise CRASH_SMOKE_WINDOW")
     if stats["annotations"] != acknowledged_commits:
         failures.append(
-            f"recovered {stats['annotations']} annotations but the WAL acknowledged "
+            f"recovered {stats['annotations']} annotations but the WAL(s) acknowledged "
             f"{acknowledged_commits}"
         )
     if not report.ok:

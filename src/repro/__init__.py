@@ -12,12 +12,14 @@ for the system inventory and ``EXPERIMENTS.md`` for the reproduced artifacts.
 from repro.core import Annotation, AnnotationContent, DublinCore, Graphitti, Referent
 from repro.errors import GraphittiError
 from repro.service import GraphittiService, ServiceConfig
+from repro.shard import ShardedGraphittiService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graphitti",
     "GraphittiService",
+    "ShardedGraphittiService",
     "ServiceConfig",
     "Annotation",
     "AnnotationContent",

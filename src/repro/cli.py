@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.persistence import load_instance, save_instance
@@ -111,22 +112,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
     )
     factory = _SCENARIOS[args.scenario] if args.scenario else None
-    service = GraphittiService.open(args.root, config=config, manager_factory=factory)
-    if service.recovery_info is not None:
-        info = service.recovery_info
-        print(
-            f"recovered instance at {args.root}: snapshot={info['snapshot']}, "
-            f"replayed {info['replayed']} WAL record(s)"
-            + (", torn tail dropped" if info["torn_tail"] else "")
-        )
+    # A previously sharded root fixes the topology: serving it unsharded
+    # (the --shards default) would open a fresh empty instance NEXT TO the
+    # shard directories and look like data loss.
+    from repro.shard import read_manifest
+
+    manifest = read_manifest(args.root) if Path(args.root).exists() else None
+    sharded_root = manifest is not None or any(Path(args.root).glob("shard-*"))
+    if (args.shards is not None and args.shards > 1) or sharded_root:
+        from repro.shard import ShardedGraphittiService
+
         if args.scenario:
             print(
-                f"note: --scenario {args.scenario} ignored — the root already holds "
-                "state (scenarios only seed fresh instances)",
+                "note: --scenario is ignored for sharded roots (scenario instances "
+                "are single-manager; sharded roots start empty)",
                 file=sys.stderr,
             )
+        service = ShardedGraphittiService.open(args.root, shards=args.shards, config=config)
+        if service.recovery_info is not None:
+            info = service.recovery_info
+            print(
+                f"recovered {info['shards']}-shard instance at {args.root}: "
+                f"replayed {info['replayed']} WAL record(s), "
+                f"{info['torn_tails']} torn tail(s) dropped"
+            )
+        else:
+            print(f"opened fresh {service.shard_count}-shard instance at {args.root}")
     else:
-        print(f"opened fresh instance at {args.root}")
+        service = GraphittiService.open(args.root, config=config, manager_factory=factory)
+        if service.recovery_info is not None:
+            info = service.recovery_info
+            print(
+                f"recovered instance at {args.root}: snapshot={info['snapshot']}, "
+                f"replayed {info['replayed']} WAL record(s)"
+                + (", torn tail dropped" if info["torn_tail"] else "")
+            )
+            if args.scenario:
+                print(
+                    f"note: --scenario {args.scenario} ignored — the root already holds "
+                    "state (scenarios only seed fresh instances)",
+                    file=sys.stderr,
+                )
+        else:
+            print(f"opened fresh instance at {args.root}")
     object_ids = seed_service_objects(service)
     summary = run_service_workload(
         service,
@@ -149,6 +177,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     stats = service.statistics()
     print(f"annotations served: {stats['annotations']}, mutation epoch: {stats['mutation_epoch']}")
     print(f"checkpoints: {stats['service']['checkpoints']}")
+    if "sharding" in stats:
+        per_shard = ", ".join(
+            str(row["annotations"]) for row in stats["sharding"]["per_shard"]
+        )
+        print(
+            f"shards: {stats['sharding']['shards']} "
+            f"({stats['sharding']['routing']}); annotations per shard: {per_shard}"
+        )
     service.close()
     if summary["errors"]:
         for error in summary["errors"]:
@@ -216,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="open/recover a durable served instance and drive a mixed workload"
     )
     p_serve.add_argument("root", help="directory holding snapshot.json + wal.jsonl")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="serve N hash-routed shards under ROOT (scatter-gather queries). "
+                              "A previously sharded root fixes N: reopening adopts its manifest "
+                              "and a conflicting value is an error")
     p_serve.add_argument("--scenario", choices=sorted(_SCENARIOS), default=None,
                          help="seed a fresh instance from a paper scenario")
     p_serve.add_argument("--readers", type=int, default=4)

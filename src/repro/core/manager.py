@@ -52,13 +52,24 @@ class Graphitti:
     indexed_contents:
         Whether the annotation-content collection maintains a keyword index
         (default True; set False to benchmark the index-free path).
+    id_namespace:
+        Optional namespace woven into generated annotation ids
+        (``anno-<namespace>-000001``).  The sharded serving layer sets one
+        per shard so every generated id *encodes the shard that owns it* and
+        point lookups route without a scatter.
     """
 
     #: Metadata table schema shared by every registered data object.
     _OBJECT_TABLE = "data_objects"
 
-    def __init__(self, name: str = "graphitti", indexed_contents: bool = True):
+    def __init__(
+        self,
+        name: str = "graphitti",
+        indexed_contents: bool = True,
+        id_namespace: str | None = None,
+    ):
         self.name = name
+        self.id_namespace = id_namespace
         self.registry = DataTypeRegistry()
         self.database = Database(name)
         self.contents = DocumentCollection(f"{name}-annotations", indexed=indexed_contents)
@@ -229,8 +240,9 @@ class Graphitti:
         return AnnotationBuilder(self, identifier, content)
 
     def _generate_annotation_id(self) -> str:
+        prefix = f"anno-{self.id_namespace}-" if self.id_namespace else "anno-"
         while True:
-            identifier = f"anno-{self._next_annotation_serial:06d}"
+            identifier = f"{prefix}{self._next_annotation_serial:06d}"
             self._next_annotation_serial += 1
             if identifier not in self._annotations:
                 return identifier

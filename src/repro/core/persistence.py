@@ -261,6 +261,7 @@ def snapshot(manager) -> dict[str, Any]:
     manager.contents.flush_index()
     return {
         "name": manager.name,
+        "id_namespace": manager.id_namespace,
         "indexed_contents": manager.contents.indexed,
         "ontologies": [manager.ontology(name).to_dict() for name in manager.ontologies()],
         "object_metadata": manager.database.to_dict(),
@@ -298,6 +299,7 @@ def rebuild(payload: dict[str, Any]):
 
     manager = Graphitti.__new__(Graphitti)
     manager.name = payload.get("name", "graphitti")
+    manager.id_namespace = payload.get("id_namespace")
     manager.mutation_epoch = 0
     manager.stats_providers = []
     # Rebuild ontologies.

@@ -35,6 +35,25 @@ class QueryResult:
     #: uses it as part of the result-cache key.
     plan_fingerprint: str = ""
 
+    def copy(self) -> "QueryResult":
+        """An independent shallow copy (fresh page lists, shared elements).
+
+        The serving layer's result cache hands copies to every caller so a
+        client that consumes its result in place (pops ids, truncates pages,
+        rewrites step details) can never corrupt the cached entry another
+        reader is about to receive.  Elements (fragments, referents,
+        subgraphs) are shared and must still be treated as read-only.
+        """
+        return QueryResult(
+            return_kind=self.return_kind,
+            annotation_ids=list(self.annotation_ids),
+            referents=list(self.referents),
+            subgraphs=list(self.subgraphs),
+            step_details=[dict(detail) for detail in self.step_details],
+            fragments=list(self.fragments),
+            plan_fingerprint=self.plan_fingerprint,
+        )
+
     @property
     def count(self) -> int:
         """Number of primary results (shape depends on the return kind)."""

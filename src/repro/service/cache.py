@@ -25,6 +25,14 @@ from collections import OrderedDict
 from typing import Any, Hashable
 
 
+#: Marker appended to the normalized form of a query whose quotes never
+#: close.  It contains a character the normalizer strips from every balanced
+#: query (a bare newline outside quotes), so no well-formed query's key can
+#: collide with a malformed one's — a malformed text must never alias a
+#: cached well-formed query's plan or result.
+_UNBALANCED_MARK = "\n<unbalanced-quote>"
+
+
 def normalize_gql(text: str) -> str:
     """Normalize GQL text for cache keying.
 
@@ -32,13 +40,23 @@ def normalize_gql(text: str) -> str:
     quoted content is preserved verbatim, so two texts normalize equal only
     when they tokenize identically and normalization can never alias two
     different queries (e.g. ``"foo bar"`` vs ``"foo  bar"`` stay distinct).
+
+    A text with an unbalanced trailing quote keeps its open tail verbatim
+    and is additionally tagged with a marker no balanced query's normal form
+    can contain: the cache/plan-memo key of a malformed query therefore
+    never equals a well-formed one's, so a malformed submission can only
+    ever reach the parser (and fail there), not a memoized plan.
     """
     segments = text.split('"')
     # Even segments are outside quotes, odd segments are inside (GQL has no
-    # escaped quotes); an unbalanced trailing quote degrades gracefully.
+    # escaped quotes).  An even segment count means an odd number of quote
+    # characters: the final quote never closes.
     for index in range(0, len(segments), 2):
         segments[index] = " ".join(segments[index].split())
-    return '"'.join(segments)
+    normalized = '"'.join(segments)
+    if len(segments) % 2 == 0:
+        normalized += _UNBALANCED_MARK
+    return normalized
 
 
 class QueryResultCache:

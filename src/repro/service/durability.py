@@ -34,7 +34,7 @@ from repro.core.persistence import (
     snapshot as make_snapshot,
     wire_annotation,
 )
-from repro.errors import ServiceError
+from repro.errors import ServiceError, WalCorruptionError
 from repro.ontology.model import Ontology
 from repro.service.wal import WriteAheadLog, read_records
 
@@ -132,6 +132,19 @@ def recover_manager(root: str | Path):
     wal_path = root / WAL_FILE
     records, torn_tail = read_records(wal_path)
     if not snapshot_path.exists() and not records:
+        if torn_tail:
+            # A crash mid-append of the very first record: the only line is
+            # torn, so nothing was ever acknowledged.  The correct recovered
+            # state is a fresh instance, not a refusal to open the root.
+            from repro.core.manager import Graphitti
+
+            return Graphitti(root.name or "graphitti"), {
+                "snapshot": False,
+                "base_seq": 0,
+                "replayed": 0,
+                "skipped": 0,
+                "torn_tail": True,
+            }
         raise ServiceError(f"no snapshot or WAL records to recover from in {root}")
 
     base_seq = 0
@@ -146,7 +159,16 @@ def recover_manager(root: str | Path):
         manager = Graphitti(root.name or "graphitti")
 
     replayed = skipped = 0
+    previous_seq = 0
     for record in records:
+        # Sequence numbers are assigned monotonically and never rewritten; a
+        # repeated or regressing seq means the log was damaged or doctored,
+        # and replaying it would double-apply an acknowledged mutation.
+        if record["seq"] <= previous_seq:
+            raise WalCorruptionError(
+                f"WAL seq {record['seq']} does not advance past {previous_seq} in {wal_path}"
+            )
+        previous_seq = record["seq"]
         if record["seq"] <= base_seq:
             skipped += 1  # superseded by the snapshot (crash mid-checkpoint)
             continue

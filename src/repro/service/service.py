@@ -67,8 +67,9 @@ class ServiceConfig:
 class GraphittiService:
     """A concurrent, durable, cache-fronted facade over one Graphitti.
 
-    Cached :class:`~repro.query.result.QueryResult` objects are shared across
-    callers — treat them as read-only.
+    Every :meth:`query` call returns its own :class:`~repro.query.result.QueryResult`
+    copy — the cache never hands the same object to two callers, so consuming
+    a result in place cannot corrupt another reader's view.
     """
 
     def __init__(
@@ -229,6 +230,17 @@ class GraphittiService:
             self._after_mutation_locked(1)
         return registered
 
+    def reserve_annotation_id(self) -> str:
+        """Generate (and reserve) a fresh annotation id on this instance.
+
+        The sharded router calls this on the shard an annotation routes to,
+        so auto-generated ids carry the owning shard's namespace.  The
+        underlying serial only advances, so two reservations never collide
+        even if the first id is never committed.
+        """
+        with self._lock.write_locked():
+            return self._manager._generate_annotation_id()  # noqa: SLF001 - id authority
+
     def new_annotation(self, *args: Any, **kwargs: Any) -> AnnotationBuilder:
         """Start building an annotation whose commit routes through the service.
 
@@ -369,10 +381,15 @@ class GraphittiService:
             epoch = self._manager.mutation_epoch
             cached = self._cache.get(key, epoch)
             if cached is not None:
-                return cached
+                # Defensive copy: concurrent readers share the hot entry, and
+                # a caller consuming its pages in place must not corrupt the
+                # entry for everyone else.
+                return cached.copy()
             executor = QueryExecutor(self._manager, planner=self._planner)
             result = executor.execute_plan(plan)
-            self._cache.put(key, epoch, result)
+            # Cache a private copy so post-return mutations by THIS caller
+            # cannot leak into future hits either.
+            self._cache.put(key, epoch, result.copy())
         return result
 
     def _prepare(self, text_or_query: str | Query) -> tuple[str, QueryPlan, str]:

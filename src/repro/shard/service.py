@@ -1,0 +1,691 @@
+"""Scatter-gather serving over hash-routed :class:`GraphittiService` shards.
+
+:class:`ShardedGraphittiService` presents the single-service API over N
+independent :class:`~repro.service.service.GraphittiService` shards:
+
+* **writes route** — an annotation lands on the shard its annotated object
+  hashes to (see :mod:`repro.shard.router`), so annotations of one data
+  object — and the a-graph edges between them — stay co-located; data
+  objects and ontologies are broadcast to every shard so any shard can
+  validate and index any annotation.
+* **queries scatter-gather** — the query text runs on every shard in
+  parallel on a thread pool (each shard plans against its own statistics
+  catalogue and serves from its own epoch-tagged result cache), and the
+  per-shard :class:`~repro.query.result.QueryResult` pages merge with a
+  stable global ordering: annotation ids merge-sort lexicographically (the
+  executor's own collation order), ``LIMIT`` is re-applied globally, and
+  fragments/referents/subgraphs follow the merged order.
+* **durability is per shard, coordination is a manifest** — every shard
+  keeps its own WAL + snapshot directory; :meth:`checkpoint` checkpoints all
+  shards in parallel and then atomically lands a ``shards.json`` manifest
+  recording the topology and per-shard WAL high-water marks;
+  :meth:`recover` replays every shard (same torn-tail rules as a single
+  service) before the router accepts traffic.
+* **bulk ingest stays grouped** — :meth:`bulk_commit` groups the batch by
+  shard and group-commits the per-shard batches concurrently.
+
+Because each shard caches and invalidates independently, a mutation only
+evicts cached results on the shard it touched: a hot scatter-gather query
+re-executes 1/N of its work after a typical write instead of all of it —
+the effect ``benchmarks/bench_sharding.py`` measures and floors.
+
+Known divergences from a single service (both inherent to shard-local
+a-graphs): ``GRAPH`` results group connection subgraphs per shard, so two
+annotations connected *only* through a replicated ontology term node appear
+as separate pages; ``PATH`` constraints likewise only see shard-local paths.
+Annotation-level constraints (keyword / ontology / overlap / region / type /
+NOT / OR) are per-annotation predicates and merge exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.annotation import Annotation, AnnotationContent
+from repro.core.builder import AnnotationBuilder
+from repro.core.dublin_core import DublinCore
+from repro.core.manager import Graphitti
+from repro.errors import AnnotationError, ServiceError
+from repro.query.ast import Query, ReturnKind
+from repro.query.parser import parse_query
+from repro.query.result import QueryResult
+from repro.service.cache import normalize_gql
+from repro.service.service import GraphittiService, ServiceConfig
+from repro.shard.router import (
+    MANIFEST_FILE,
+    ROUTING_SCHEME,
+    read_manifest,
+    shard_dir_name,
+    shard_for_annotation,
+    shard_from_annotation_id,
+    shard_namespace,
+    write_manifest,
+)
+
+_PENDING_PREFIX = "anno-pending-"
+
+#: Top-level statistics keys describing broadcast (replicated) substrates:
+#: every shard holds the same value, so aggregation reports it once instead
+#: of summing N copies.
+_REPLICATED_STATS_KEYS = ("data_objects", "objects_by_type", "ontologies")
+
+
+@dataclass
+class ShardedIntegrityReport:
+    """Integrity verdict across every shard."""
+
+    reports: list = field(default_factory=list)
+    #: Shard-attributed error strings (empty when every shard passed).
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def _sum_tree(values: Sequence[Any]) -> Any:
+    """Recursively sum numeric leaves across parallel per-shard dicts."""
+    head = values[0]
+    if isinstance(head, dict):
+        merged: dict[str, Any] = {}
+        for item in values:
+            for key in item:
+                if key not in merged:
+                    merged[key] = _sum_tree([it[key] for it in values if key in it])
+        return merged
+    if isinstance(head, bool):
+        return all(values)
+    if isinstance(head, (int, float)):
+        return sum(values)
+    return head
+
+
+class ShardedGraphittiService:
+    """Hash-routed scatter-gather facade over N GraphittiService shards."""
+
+    def __init__(
+        self,
+        shards: int | None = None,
+        root: str | Path | None = None,
+        config: ServiceConfig | None = None,
+        name: str = "graphitti",
+        services: list[GraphittiService] | None = None,
+    ):
+        if services is not None:
+            self._shards = services
+        else:
+            count = shards if shards is not None else 4
+            if count < 1:
+                raise ServiceError("a sharded service needs at least one shard")
+            self._shards = []
+            for index in range(count):
+                namespace = shard_namespace(index)
+                manager = Graphitti(f"{name}-{namespace}", id_namespace=namespace)
+                shard_root = Path(root) / shard_dir_name(index) if root is not None else None
+                self._shards.append(
+                    GraphittiService(manager=manager, root=shard_root, config=config)
+                )
+        self.config = self._shards[0].config
+        self._root = Path(root) if root is not None else None
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, len(self._shards)), thread_name_prefix="shard"
+        )
+        self._checkpoints = 0
+        self._closed = False
+        self._recovery_info: dict[str, Any] | None = None
+        # normalized GQL -> (return kind, limit); the merge step needs the
+        # query shape, and parsing it once per distinct text is enough (the
+        # shape does not depend on data, unlike plans).
+        self._shapes: OrderedDict[str, tuple[ReturnKind, int | None]] = OrderedDict()
+        self._shapes_mutex = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        root: str | Path,
+        shards: int | None = None,
+        config: ServiceConfig | None = None,
+        name: str = "graphitti",
+    ) -> "ShardedGraphittiService":
+        """Open (or recover) the sharded deployment at *root*.
+
+        A root with a ``shards.json`` manifest fixes the topology: the
+        manifest's shard count wins, and passing a different *shards* value
+        raises (resharding is a data migration, not an open-time flag).  A
+        fresh root lays out ``shard-00..shard-NN`` directories, checkpoints
+        each shard's empty baseline, and writes the manifest.  Every shard
+        holding prior state is recovered — WAL replay, torn-tail rules and
+        all — before the instance is returned.
+        """
+        root = Path(root)
+        manifest = read_manifest(root)
+        existing_dirs = len(list(root.glob("shard-*"))) if root.exists() else 0
+        if manifest is not None:
+            count = int(manifest["shards"])
+            if shards is not None and shards != count:
+                raise ServiceError(
+                    f"root {root} is sharded {count} ways (per {MANIFEST_FILE}); "
+                    f"got shards={shards} — resharding requires a migration"
+                )
+        elif existing_dirs:
+            # A lost/never-landed manifest must not default the topology:
+            # opening an 8-shard root 4 ways would serve half the data and
+            # misroute every write.  The shard directories ARE the topology.
+            count = existing_dirs
+            if shards is not None and shards != count:
+                raise ServiceError(
+                    f"root {root} holds {count} shard director(ies) but no "
+                    f"{MANIFEST_FILE}; got shards={shards} — resharding requires "
+                    "a migration"
+                )
+        else:
+            # Refuse to lay shards over a single-service root: creating N
+            # empty shard directories (and a manifest every later open
+            # adopts) next to an existing snapshot/WAL would permanently
+            # hide that data behind an empty sharded instance.
+            from repro.service.durability import SNAPSHOT_FILE, WAL_FILE
+
+            wal_path = root / WAL_FILE
+            if (root / SNAPSHOT_FILE).exists() or (
+                wal_path.exists() and wal_path.stat().st_size > 0
+            ):
+                raise ServiceError(
+                    f"root {root} holds unsharded service state "
+                    f"({SNAPSHOT_FILE}/{WAL_FILE}); open it with "
+                    "GraphittiService, or migrate it before sharding"
+                )
+            count = shards if shards is not None else 4
+        services = []
+        recovery: list[dict[str, Any] | None] = []
+        for index in range(count):
+            namespace = shard_namespace(index)
+            factory: Callable[[], Graphitti] = (
+                lambda namespace=namespace: Graphitti(
+                    f"{name}-{namespace}", id_namespace=namespace
+                )
+            )
+            service = GraphittiService.open(
+                root / shard_dir_name(index), config=config, manager_factory=factory
+            )
+            # WAL-only recoveries predate the namespace; (re)pin it so ids
+            # generated after a failover still encode their shard.
+            service.manager.id_namespace = namespace
+            services.append(service)
+            recovery.append(service.recovery_info)
+        instance = cls(root=root, services=services)
+        instance._root = root
+        if any(info is not None for info in recovery):
+            instance._recovery_info = {
+                "shards": len(services),
+                "replayed": sum((info or {}).get("replayed", 0) for info in recovery),
+                "skipped": sum((info or {}).get("skipped", 0) for info in recovery),
+                "torn_tails": sum(1 for info in recovery if (info or {}).get("torn_tail")),
+                "per_shard": recovery,
+            }
+        if manifest is None:
+            instance._write_manifest()
+        else:
+            instance._checkpoints = int(manifest.get("checkpoints", 0))
+        return instance
+
+    @classmethod
+    def recover(
+        cls, root: str | Path, config: ServiceConfig | None = None
+    ) -> "ShardedGraphittiService":
+        """Recover the deployment at *root*; raises when it holds no state."""
+        root = Path(root)
+        if read_manifest(root) is None and not any(root.glob("shard-*")):
+            raise ServiceError(f"no shard manifest or shard directories under {root}")
+        return cls.open(root, config=config)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[GraphittiService, ...]:
+        """The underlying shard services (route writes through the router —
+        mutating a shard directly bypasses id namespacing and the manifest)."""
+        return tuple(self._shards)
+
+    @property
+    def recovery_info(self) -> dict[str, Any] | None:
+        """Aggregated recovery report (None when no shard recovered)."""
+        return self._recovery_info
+
+    def close(self) -> None:
+        """Checkpoint (per shard config), close every shard, stop the pool."""
+        if self._closed:
+            return
+        for shard in self._shards:
+            shard.close()
+        if self._root is not None:
+            self._write_manifest()
+        self._pool.shutdown(wait=True)
+        self._closed = True
+
+    def __enter__(self) -> "ShardedGraphittiService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- scatter helpers -------------------------------------------------------
+
+    def _scatter(self, call: Callable[[GraphittiService], Any]) -> list[Any]:
+        """Run *call* against every shard in parallel; results in shard order.
+
+        Shard tasks never re-enter the pool (a shard call is self-contained),
+        so waiting on the futures from the caller thread cannot deadlock.
+        """
+        futures = [self._pool.submit(call, shard) for shard in self._shards]
+        return [future.result() for future in futures]
+
+    def _owning_shard(self, annotation_id: str) -> int | None:
+        """The shard holding *annotation_id*, or None.
+
+        Generated ids encode their shard and resolve in O(1); foreign
+        (caller-chosen) ids fall back to probing each shard's committed-id
+        dict — a GIL-atomic membership read, cheap enough for point lookups
+        and re-validated under the owning shard's lock by whatever operation
+        follows.
+        """
+        encoded = shard_from_annotation_id(annotation_id)
+        if encoded is not None and encoded < len(self._shards):
+            if self._shard_holds(encoded, annotation_id):
+                return encoded
+        # Fall through to a full probe even when the id *looks* shard-encoded:
+        # ids imported from another deployment (a different topology, a
+        # migration) route by referent hash, not by their legacy encoding.
+        for index in range(len(self._shards)):
+            if index == encoded:
+                continue
+            if self._shard_holds(index, annotation_id):
+                return index
+        return None
+
+    def _shard_holds(self, index: int, annotation_id: str) -> bool:
+        return annotation_id in self._shards[index].manager._annotations  # noqa: SLF001
+
+    # -- write path ------------------------------------------------------------
+
+    def register_ontology(self, ontology, cache: bool = True):
+        """Broadcast an ontology registration to every shard."""
+        results = self._scatter(
+            lambda shard: shard.register_ontology(ontology, cache=cache)
+        )
+        return results[0]
+
+    def register(self, obj, raw: bytes | None = None, **metadata: Any):
+        """Broadcast a data-object registration to every shard.
+
+        Replication is what lets any shard validate and spatially index any
+        annotation; object registrations are rare and small next to
+        annotation traffic, so N copies of the catalogue row are cheap.
+        """
+        self._scatter(lambda shard: shard.register(obj, raw=raw, **metadata))
+        return obj
+
+    def new_annotation(
+        self,
+        annotation_id: str | None = None,
+        title: str = "",
+        creator: str = "",
+        keywords: Iterable[str] = (),
+        body: str = "",
+        description: str = "",
+    ) -> AnnotationBuilder:
+        """Start building an annotation whose commit routes through the router.
+
+        With no explicit id the definitive, shard-encoding id is assigned at
+        commit time — only then is the annotated object (and therefore the
+        owning shard) known.  Until then the builder carries an opaque
+        placeholder.
+        """
+        if annotation_id is None:
+            identifier = _PENDING_PREFIX + uuid.uuid4().hex
+        else:
+            identifier = annotation_id
+            if self._owning_shard(identifier) is not None:
+                raise AnnotationError(f"annotation id {identifier!r} already exists")
+        dublin_core = DublinCore(
+            title=title,
+            creator=creator,
+            subject=list(keywords),
+            description=description,
+            identifier=identifier,
+        )
+        content = AnnotationContent(dublin_core=dublin_core, body=body)
+        return AnnotationBuilder(self, identifier, content)
+
+    def _finalize_routing(self, annotation: Annotation) -> int:
+        """Pick the owning shard; materialize a pending id on that shard.
+
+        Explicit ids are re-checked against EVERY shard here, at commit
+        time: the owning shard's own commit only rejects duplicates it
+        holds, and two same-id annotations routing to different shards would
+        otherwise both land — a ghost duplicate no single service allows.
+        """
+        index = shard_for_annotation(annotation, len(self._shards))
+        if annotation.annotation_id.startswith(_PENDING_PREFIX):
+            identifier = self._shards[index].reserve_annotation_id()
+            annotation.annotation_id = identifier
+            annotation.content.dublin_core.identifier = identifier
+        elif self._owning_shard(annotation.annotation_id) is not None:
+            raise AnnotationError(
+                f"annotation {annotation.annotation_id!r} already committed"
+            )
+        return index
+
+    def commit(self, annotation: Annotation | AnnotationBuilder) -> Annotation:
+        """Commit one annotation on the shard its annotated object routes to."""
+        if isinstance(annotation, AnnotationBuilder):
+            annotation = annotation.build()
+        index = self._finalize_routing(annotation)
+        return self._shards[index].commit(annotation)
+
+    def bulk_commit(
+        self, annotations: Iterable[Annotation | AnnotationBuilder]
+    ) -> list[Annotation]:
+        """Group a batch by shard and group-commit the groups concurrently.
+
+        Each per-shard group commits atomically (one lock acquisition, one
+        WAL group commit on that shard); atomicity across shards is not
+        provided — a batch that fails validation on one shard leaves the
+        other shards' groups committed, exactly like two independent bulk
+        loads.  Returns the committed annotations in input order.
+        """
+        batch = [
+            item.build() if isinstance(item, AnnotationBuilder) else item
+            for item in annotations
+        ]
+        if not batch:
+            return []
+        groups: dict[int, list[tuple[int, Annotation]]] = {}
+        seen_ids: set[str] = set()
+        for position, annotation in enumerate(batch):
+            index = self._finalize_routing(annotation)
+            # Intra-batch duplicates that route to DIFFERENT shards would
+            # slip past each shard group's own validation; reject them here
+            # like a single service's batch validation does.
+            if annotation.annotation_id in seen_ids:
+                raise AnnotationError(
+                    f"annotation {annotation.annotation_id!r} already committed"
+                )
+            seen_ids.add(annotation.annotation_id)
+            groups.setdefault(index, []).append((position, annotation))
+        futures = {
+            index: self._pool.submit(
+                self._shards[index].bulk_commit, [item for _, item in group]
+            )
+            for index, group in groups.items()
+        }
+        ordered: list[Annotation | None] = [None] * len(batch)
+        for index, group in groups.items():
+            committed = futures[index].result()
+            for (position, _), annotation in zip(group, committed):
+                ordered[position] = annotation
+        return [annotation for annotation in ordered if annotation is not None]
+
+    def delete_annotation(self, annotation_id: str) -> None:
+        """Delete an annotation on its owning shard."""
+        index = self._owning_shard(annotation_id)
+        if index is None:
+            raise AnnotationError(f"no annotation {annotation_id!r}")
+        self._shards[index].delete_annotation(annotation_id)
+
+    # -- read path -------------------------------------------------------------
+
+    def _query_shape(self, text_or_query: str | Query) -> tuple[ReturnKind, int | None]:
+        if isinstance(text_or_query, Query):
+            return text_or_query.return_kind, text_or_query.limit
+        normalized = normalize_gql(text_or_query)
+        with self._shapes_mutex:
+            shape = self._shapes.get(normalized)
+            if shape is not None:
+                self._shapes.move_to_end(normalized)
+                return shape
+        query = parse_query(text_or_query)
+        shape = (query.return_kind, query.limit)
+        with self._shapes_mutex:
+            self._shapes[normalized] = shape
+            self._shapes.move_to_end(normalized)
+            while len(self._shapes) > 512:
+                self._shapes.popitem(last=False)
+        return shape
+
+    def query(self, text_or_query: str | Query) -> QueryResult:
+        """Scatter the query to every shard and gather one merged result.
+
+        The query shape is parsed once up front, so malformed text fails
+        here — it can never reach (or alias) a shard's memoized plan.  Each
+        shard serves from its own cache when its epoch allows, which is the
+        sharding win: a write invalidates one shard's entry, not all N.
+        """
+        return_kind, limit = self._query_shape(text_or_query)
+        results = self._scatter(lambda shard: shard.query(text_or_query))
+        return self._merge_results(return_kind, limit, results)
+
+    def _merge_results(
+        self,
+        return_kind: ReturnKind,
+        limit: int | None,
+        results: list[QueryResult],
+    ) -> QueryResult:
+        """Merge per-shard result pages with stable global ordering.
+
+        Annotation ids merge lexicographically (each shard's list is already
+        sorted by the executor's collation), ``LIMIT`` re-applies globally,
+        fragments follow their ids, referents dedup in merged annotation
+        order (matching the single-service collation), and subgraph pages
+        order by their smallest member.
+        """
+        merged = QueryResult(return_kind=return_kind)
+        digest = hashlib.sha256(
+            "|".join(result.plan_fingerprint for result in results).encode("utf-8")
+        ).hexdigest()[:16]
+        merged.plan_fingerprint = f"shards[{len(results)}]:{digest}"
+        entries: list[tuple[str, int, Any]] = []
+        for index, result in enumerate(results):
+            aligned = len(result.fragments) == len(result.annotation_ids)
+            for position, annotation_id in enumerate(result.annotation_ids):
+                fragment = result.fragments[position] if aligned else None
+                entries.append((annotation_id, index, fragment))
+        entries.sort(key=lambda entry: entry[0])
+        if limit is not None:
+            entries = entries[:limit]
+        merged.annotation_ids = [annotation_id for annotation_id, _, _ in entries]
+        if return_kind is ReturnKind.CONTENTS:
+            merged.fragments = [fragment for _, _, fragment in entries]
+        elif return_kind is ReturnKind.REFERENTS:
+            # Rebuild the global dedup-in-annotation-order page.  The flat
+            # per-shard referent lists cannot be interleaved (first-occurrence
+            # order is shard-local), so each annotation's referents are read
+            # from the owning shard's committed-annotation dict — a GIL-atomic
+            # lookup, not a per-id read-lock acquisition.
+            seen: set[str] = set()
+            for annotation_id, index, _ in entries:
+                holder = self._shards[index].manager._annotations.get(annotation_id)  # noqa: SLF001
+                if holder is None:
+                    continue  # deleted between the shard query and the merge
+                for referent in holder.referents:
+                    if referent.referent_id not in seen:
+                        seen.add(referent.referent_id)
+                        merged.referents.append(referent)
+        else:  # GRAPH
+            # Re-apply the global LIMIT: keep only pages whose members all
+            # survived the merged cut, so every subgraph member is a returned
+            # id and the page count can never exceed the limit.  (A component
+            # split across the cut is dropped whole rather than rebuilt — the
+            # shard-local grouping caveat in the module docstring.)
+            limited = set(merged.annotation_ids)
+            subgraphs = [
+                subgraph
+                for result in results
+                for subgraph in result.subgraphs
+                if all(terminal in limited for terminal in subgraph.terminals)
+            ]
+            subgraphs.sort(
+                key=lambda subgraph: min(subgraph.terminals) if subgraph.terminals else ""
+            )
+            merged.subgraphs = subgraphs
+        for index, result in enumerate(results):
+            for detail in result.step_details:
+                attributed = dict(detail)
+                attributed["shard"] = index
+                merged.step_details.append(attributed)
+        return merged
+
+    def explain(self, text_or_query: str | Query) -> dict:
+        """Aggregate EXPLAIN: the scatter plan, one per-shard plan each."""
+        plans = self._scatter(lambda shard: shard.explain(text_or_query))
+        return {
+            "query": plans[0]["query"],
+            "mode": "scatter-gather",
+            "shards": len(self._shards),
+            "routing": ROUTING_SCHEME,
+            "plans": plans,
+            "estimated_rows_total": sum(
+                sum(rows for _, rows in plan.get("estimated_rows", []))
+                for plan in plans
+            ),
+        }
+
+    # -- read passthroughs -----------------------------------------------------
+
+    def annotation(self, annotation_id: str) -> Annotation:
+        """The committed annotation with id *annotation_id* (owner-routed)."""
+        index = self._owning_shard(annotation_id)
+        if index is None:
+            raise AnnotationError(f"no annotation {annotation_id!r}")
+        return self._shards[index].annotation(annotation_id)
+
+    def search_by_keyword(self, keyword: str, mode: str = "and") -> list[str]:
+        """Keyword search scattered to every shard; merged sorted union."""
+        results = self._scatter(lambda shard: shard.search_by_keyword(keyword, mode=mode))
+        return sorted(set().union(*map(set, results)))
+
+    def search_by_ontology(self, term: str, **kwargs: Any) -> list[str]:
+        """Ontology search scattered to every shard; merged sorted union."""
+        results = self._scatter(lambda shard: shard.search_by_ontology(term, **kwargs))
+        return sorted(set().union(*map(set, results)))
+
+    def related_annotations(self, annotation_id: str) -> list[str]:
+        """Indirectly related annotations.
+
+        Referent-sharing is shard-local by construction (annotations of one
+        object co-locate), so only the owning shard can answer.
+        """
+        index = self._owning_shard(annotation_id)
+        if index is None:
+            raise AnnotationError(f"no annotation {annotation_id!r}")
+        return self._shards[index].related_annotations(annotation_id)
+
+    def check_integrity(self) -> ShardedIntegrityReport:
+        """Integrity checks on every shard, gathered into one report."""
+        reports = self._scatter(lambda shard: shard.check_integrity())
+        merged = ShardedIntegrityReport(reports=reports)
+        for index, report in enumerate(reports):
+            for error in getattr(report, "errors", []):
+                merged.errors.append(f"shard {index}: {error}")
+        return merged
+
+    def resolve_ontology_term(self, text: str) -> str:
+        """Term resolution for builders (ontologies are replicated)."""
+        return self._shards[0].resolve_ontology_term(text)
+
+    def data_object(self, object_id: str):
+        """Data-object lookup for builders (objects are replicated)."""
+        return self._shards[0].data_object(object_id)
+
+    @property
+    def annotation_count(self) -> int:
+        return sum(self._scatter(lambda shard: shard.annotation_count))
+
+    # -- statistics ------------------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        """Aggregated instance statistics.
+
+        Numeric leaves sum across shards (annotations, referents, index and
+        catalogue sizes, extent summaries); replicated substrates (data
+        objects, ontologies) report one copy's value; the ``service``
+        counters sum with the cache hit rate recomputed from the summed
+        lookups.  ``sharding`` carries the topology plus compact per-shard
+        rows, and ``per_shard`` under it keeps the full breakdown reachable.
+        """
+        per_shard = self._scatter(lambda shard: shard.statistics())
+        without_service = [
+            {key: value for key, value in stats.items() if key != "service"}
+            for stats in per_shard
+        ]
+        aggregated = _sum_tree(without_service)
+        for key in _REPLICATED_STATS_KEYS:
+            if key in per_shard[0]:
+                aggregated[key] = per_shard[0][key]
+        service = _sum_tree([stats["service"] for stats in per_shard])
+        cache = service.get("query_cache")
+        if isinstance(cache, dict):
+            lookups = cache.get("hits", 0) + cache.get("misses", 0)
+            cache["hit_rate"] = (cache.get("hits", 0) / lookups) if lookups else 0.0
+        aggregated["service"] = service
+        aggregated["sharding"] = {
+            "shards": len(self._shards),
+            "routing": ROUTING_SCHEME,
+            "checkpoints": self._checkpoints,
+            "per_shard": [
+                {
+                    "annotations": stats.get("annotations", 0),
+                    "referents": stats.get("referents", 0),
+                    "mutation_epoch": stats.get("mutation_epoch", 0),
+                    "cache_hits": stats["service"]["query_cache"]["hits"],
+                }
+                for stats in per_shard
+            ],
+        }
+        return aggregated
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self) -> Path | None:
+        """Checkpoint every shard in parallel, then land the manifest.
+
+        Each shard's checkpoint is individually atomic (snapshot rename +
+        WAL truncate); the manifest — written last, write-temp + fsync +
+        rename — records the coordinated point.  A crash between shard
+        checkpoints leaves every shard independently consistent and the old
+        manifest in place, which recovery handles like any mid-checkpoint
+        crash: replay skips what each shard's snapshot already covers.
+        """
+        self._scatter(lambda shard: shard.checkpoint())
+        self._checkpoints += 1
+        if self._root is None:
+            return None
+        return self._write_manifest()
+
+    def _write_manifest(self) -> Path | None:
+        if self._root is None:
+            return None
+        wal_seqs = [
+            shard._store.wal.last_seq if shard._store is not None else 0  # noqa: SLF001
+            for shard in self._shards
+        ]
+        return write_manifest(
+            self._root,
+            {
+                "version": 1,
+                "shards": len(self._shards),
+                "routing": ROUTING_SCHEME,
+                "checkpoints": self._checkpoints,
+                "wal_seqs": wal_seqs,
+            },
+        )

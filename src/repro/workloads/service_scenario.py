@@ -1,10 +1,18 @@
-"""Concurrent mixed read/write workload against a :class:`GraphittiService`.
+"""Concurrent mixed read/write workload against a Graphitti service.
 
 Models the serving-layer traffic shape the paper's deployment implies: many
 scientists browsing and querying (read-heavy, with heavily repeated
 structural queries) while a few annotate (writes), occasionally retracting an
 annotation.  Used by the ``repro serve`` CLI demo, the concurrency stress
 test, and as a template for custom drivers.
+
+The driver only uses the common service surface (``register`` /
+``new_annotation`` / ``commit`` / ``bulk_commit`` / ``delete_annotation`` /
+``query`` / ``annotation`` / ``check_integrity`` / ``statistics``), so it
+runs unchanged against a single :class:`~repro.service.GraphittiService` or
+a :class:`~repro.shard.ShardedGraphittiService` — seed more sequences than
+shards (see :func:`seed_service_objects`) so the hash router spreads the
+object pool across every shard.
 
 The driver is deterministic per thread (seeded RNGs) and returns a summary of
 what every thread did plus the service's own counters, so callers can assert
@@ -34,13 +42,19 @@ READER_QUERIES = (
 _KEYWORD_POOL = ("workload", "binding", "cleavage", "regulatory", "conserved", "mutation")
 
 
-def seed_service_objects(service, sequences: int = 4, length: int = 1200, seed: int = 97) -> list[str]:
+def seed_service_objects(service, sequences: int | None = None, length: int = 1200, seed: int = 97) -> list[str]:
     """Register a pool of sequences (shared domain ``svc:chr1``) to annotate.
 
     Ids carry a generation suffix chosen to avoid whatever a previous run (or
     a recovered instance holding unmarkable catalogue placeholders) already
     registered, so the pool is always freshly markable.
+
+    *sequences* defaults to 4 per shard for a sharded service (hash routing
+    spreads annotations over objects, so a pool several times the shard
+    count keeps every shard busy) and 4 otherwise.
     """
+    if sequences is None:
+        sequences = 4 * max(1, getattr(service, "shard_count", 1))
     rng = random.Random(seed)
     generation = 0
     while True:

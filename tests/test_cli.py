@@ -97,3 +97,33 @@ def test_serve_help_lists_options():
     parser = build_parser()
     args = parser.parse_args(["serve", "somewhere"])
     assert args.readers == 4 and args.durability == "always"
+    assert args.shards is None  # unset; a sharded root's manifest decides
+
+
+def test_serve_sharded_fresh_then_reopen_without_flag(tmp_path, capsys):
+    """Regression: reopening a sharded root WITHOUT --shards must adopt the
+    manifest and serve the shards — not open a fresh empty unsharded
+    instance next to them."""
+    root = str(tmp_path / "sharded-served")
+    assert main([
+        "serve", root, "--shards", "3",
+        "--readers", "2", "--writers", "1", "--queries", "12", "--commits", "4",
+        "--durability", "never",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "opened fresh 3-shard instance" in out
+    assert "shards: 3" in out
+
+    # no --shards on reopen: the manifest wins and prior state is served
+    assert main([
+        "serve", root, "--readers", "1", "--writers", "1",
+        "--queries", "6", "--commits", "2", "--durability", "never",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "recovered 3-shard instance" in out
+
+    # an explicitly conflicting count is refused, not silently resharded
+    assert main([
+        "serve", root, "--shards", "2",
+        "--readers", "1", "--writers", "1", "--queries", "2", "--commits", "1",
+    ]) == 1

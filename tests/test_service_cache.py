@@ -1,6 +1,9 @@
 """Tests for the epoch-tagged LRU query-result cache."""
 
+import threading
+
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.service.cache import QueryResultCache, normalize_gql
 
@@ -76,3 +79,109 @@ def test_normalize_gql_preserves_quoted_whitespace():
     assert a != b
     # Outside quotes still collapses.
     assert normalize_gql('A   "x y"  B') == normalize_gql('A "x y" B')
+
+
+# -- unbalanced-quote keying ---------------------------------------------------
+
+
+def _reference_form(text: str) -> tuple:
+    """The semantic identity normalization may (and must only) collapse to:
+    quote-delimited segments with whitespace canonicalized outside quotes,
+    plus whether the final quote never closes."""
+    segments = text.split('"')
+    outside = [" ".join(segment.split()) for segment in segments[0::2]]
+    inside = segments[1::2]
+    return tuple(outside), tuple(inside), len(segments) % 2 == 0
+
+
+def test_unbalanced_quote_cannot_alias_balanced_query():
+    """Regression: a malformed query (unbalanced trailing quote) must never
+    produce the same cache key as any well-formed query — a collision would
+    serve the well-formed query's memoized plan for garbage input."""
+    malformed = 'SELECT contents WHERE { CONTENT CONTAINS "x }'
+    for balanced in (
+        'SELECT contents WHERE { CONTENT CONTAINS "x }"',
+        'SELECT contents WHERE { CONTENT CONTAINS "x" }',
+        normalize_gql('SELECT contents WHERE { CONTENT CONTAINS "x }'),
+    ):
+        if balanced.count('"') % 2 == 0:
+            assert normalize_gql(malformed) != normalize_gql(balanced)
+    # normalization stays deterministic for malformed input
+    assert normalize_gql(malformed) == normalize_gql(malformed)
+
+
+_GQL_ALPHABET = st.text(
+    alphabet=list('abXY{}[]()<>,.:;"  \t\n'), min_size=0, max_size=40
+)
+
+
+@given(_GQL_ALPHABET, _GQL_ALPHABET)
+def test_normalize_injective_modulo_outside_whitespace(left, right):
+    """Property: two texts normalize equal iff they differ only in whitespace
+    outside quotes (same quote structure, same quoted content, same
+    balancedness) — normalization is injective modulo outside whitespace."""
+    same_key = normalize_gql(left) == normalize_gql(right)
+    same_meaning = _reference_form(left) == _reference_form(right)
+    assert same_key == same_meaning
+
+
+@given(_GQL_ALPHABET)
+def test_normalize_idempotent_and_parity_preserving(text):
+    normalized = normalize_gql(text)
+    assert normalize_gql(normalized) == normalized or text.count('"') % 2 == 1
+    # quote count is preserved, so balancedness can never be laundered
+    assert normalized.count('"') == text.count('"')
+
+
+# -- concurrent readers sharing a hot entry ------------------------------------
+
+
+def test_concurrent_readers_cannot_corrupt_hot_entry():
+    """Regression: two threads hammering the same hot cache entry, one of
+    them consuming its result destructively, must never corrupt what the
+    other (or any later reader) receives."""
+    from repro.core.manager import Graphitti
+    from repro.datatypes.sequence import DnaSequence
+    from repro.service import GraphittiService
+
+    manager = Graphitti("cache-corruption-test")
+    manager.register(DnaSequence("seqc", "ACGT" * 200, domain="cc:chr1"))
+    for index in range(8):
+        (
+            manager.new_annotation(f"cc-{index}", keywords=["hot"], body=f"entry {index}")
+            .mark_sequence("seqc", index * 10, index * 10 + 5)
+            .commit()
+        )
+    service = GraphittiService(manager=manager)
+    probe = 'SELECT contents WHERE { CONTENT CONTAINS "hot" }'
+    expected = sorted(f"cc-{index}" for index in range(8))
+    assert service.query(probe).annotation_ids == expected  # warm the entry
+
+    errors: list[str] = []
+    barrier = threading.Barrier(2)
+
+    def consumer() -> None:
+        barrier.wait()
+        for _ in range(200):
+            result = service.query(probe)
+            # destructive consumption: drain the page in place
+            while result.annotation_ids:
+                result.annotation_ids.pop()
+            result.step_details.clear()
+
+    def reader() -> None:
+        barrier.wait()
+        for _ in range(200):
+            result = service.query(probe)
+            if result.annotation_ids != expected:
+                errors.append(f"saw corrupted page {result.annotation_ids!r}")
+                return
+
+    threads = [threading.Thread(target=consumer), threading.Thread(target=reader)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors[0]
+    # the cached entry itself survived every destructive consumer
+    assert service.query(probe).annotation_ids == expected

@@ -63,7 +63,9 @@ def test_cached_result_always_matches_current_plan(service):
     _commit(service, "a0", ["shared"], 0, 40)
     warm = service.query(QUERY)
     hit = service.query(QUERY)
-    assert hit is warm  # same epoch, same plan -> cache hit
+    # Same epoch, same plan -> cache hit (served as an equal, independent copy).
+    assert hit.to_dict() == warm.to_dict()
+    assert service.statistics()["service"]["query_cache"]["hits"] >= 1
     assert hit.plan_fingerprint == warm.plan_fingerprint
     _commit(service, "a1", ["shared"], 10, 30)
     fresh = service.query(QUERY)

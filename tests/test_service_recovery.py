@@ -208,6 +208,102 @@ def test_wal_numbering_survives_reopen_after_checkpoint(tmp_path):
     assert recovered.annotation("reopen-1").content.keywords() == ["reopened"]
 
 
+def test_crash_tears_checkpoint_boundary_record(tmp_path):
+    """Crash matrix: the torn tail IS the checkpoint-boundary record.
+
+    A checkpoint that crashed between the snapshot rename and the WAL
+    truncate leaves the full log behind; if the crash additionally tore the
+    log's final line — the very record the snapshot's ``wal_seq`` points at —
+    recovery must neither lose that record's effects (the snapshot covers
+    them) nor double-apply any earlier record, and the reopened WAL must
+    keep numbering above the snapshot's mark."""
+    import json
+
+    root = scripted_root(tmp_path)
+    records, _ = read_records(root / "wal.jsonl")
+
+    service = GraphittiService.recover(root, config=NO_CLOSE_CHECKPOINT)
+    reference_stats = service.statistics()
+    service.checkpoint()  # snapshot embeds wal_seq == records[-1]["seq"]
+    boundary_seq = json.loads((root / "snapshot.json").read_text())["wal_seq"]
+    assert boundary_seq == records[-1]["seq"]
+    service.close()
+
+    # Undo the truncate and tear the boundary record's line.
+    wal_path = root / "wal.jsonl"
+    with WriteAheadLog(wal_path, durability="never") as wal:
+        for record in records:
+            wal.append(record["op"], record["payload"])
+    raw = wal_path.read_bytes()
+    cut = raw.rstrip(b"\n").rfind(b"\n") + 5  # a few bytes into the last line
+    wal_path.write_bytes(raw[:cut])
+
+    recovered, info = recover_manager(root)
+    assert info["torn_tail"] is True
+    assert info["replayed"] == 0  # everything is snapshot-covered
+    assert info["skipped"] == len(records) - 1
+    recovered_stats = recovered.statistics()
+    for volatile in ("mutation_epoch", "service"):
+        recovered_stats.pop(volatile, None)
+        reference_stats.pop(volatile, None)
+    assert recovered_stats == reference_stats
+
+    # Reopening must not mis-advance (or regress) wal_seq: the next append
+    # lands strictly above the snapshot's boundary mark.
+    service = GraphittiService.recover(root, config=NO_CLOSE_CHECKPOINT)
+    assert service._store.wal.last_seq == boundary_seq
+    service.register(DnaSequence("rec_seq9", "ACGT" * 50, domain="rec:chr1", offset=4000))
+    service.close()
+    post_records, _ = read_records(root / "wal.jsonl")
+    assert post_records[-1]["seq"] == boundary_seq + 1
+    recovered, info = recover_manager(root)
+    assert info["replayed"] == 1  # the new record is NOT skipped
+    assert "rec_seq9" in recovered.registry
+
+
+def test_snapshotless_torn_only_wal_recovers_to_fresh(tmp_path):
+    """Crash matrix: the very first append tore and no snapshot exists.
+
+    Nothing was ever acknowledged, so recovery must hand back an empty
+    instance (and report the torn tail) instead of refusing to open."""
+    root = tmp_path / "first-append"
+    root.mkdir()
+    (root / "wal.jsonl").write_bytes(b'{"seq": 1, "op": "comm')  # torn mid-append
+
+    recovered, info = recover_manager(root)
+    assert info == {
+        "snapshot": False,
+        "base_seq": 0,
+        "replayed": 0,
+        "skipped": 0,
+        "torn_tail": True,
+    }
+    assert recovered.annotation_count == 0
+
+    service = GraphittiService.open(root, config=NO_CLOSE_CHECKPOINT)
+    assert service.recovery_info is not None
+    assert service.recovery_info["torn_tail"] is True
+    service.register(DnaSequence("fresh_seq", "ACGT" * 50, domain="fa:1"))
+    service.close()
+    records, torn = read_records(root / "wal.jsonl")
+    assert not torn and [record["seq"] for record in records] == [1]
+
+
+def test_non_monotonic_wal_seq_is_corruption(tmp_path):
+    """A repeated or regressing seq means acknowledged history was rewritten;
+    silently replaying it would double-apply — recovery must refuse."""
+    from repro.errors import WalCorruptionError
+
+    root = scripted_root(tmp_path)
+    wal_path = root / "wal.jsonl"
+    records, _ = read_records(wal_path)
+    lines = wal_path.read_bytes().splitlines(keepends=True)
+    # duplicate the first commit record's line at the end (a doctored log)
+    wal_path.write_bytes(b"".join(lines) + lines[3])
+    with pytest.raises(WalCorruptionError):
+        recover_manager(root)
+
+
 def test_open_reports_torn_tail(tmp_path):
     """Regression: open() must not silently repair a torn WAL tail before
     recovery gets to see (and report) it."""
