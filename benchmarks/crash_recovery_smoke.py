@@ -15,8 +15,14 @@ then recovers the instance and verifies:
 * the recovered instance answers queries.
 
 Run as ``PYTHONPATH=src python -m benchmarks.crash_recovery_smoke``; exits
-non-zero on any failure.  CI runs it twice: unsharded and with
-``CRASH_SMOKE_SHARDS=4``.
+non-zero on any failure.  CI runs it three ways: unsharded, with
+``CRASH_SMOKE_SHARDS=4``, and with ``CRASH_SMOKE_CHURN=1`` — where the child
+runs the full mutation lifecycle (commit / in-place update / delete) instead
+of pure ingest, so the kill can tear an ``update_annotation`` or
+``delete_annotation`` record and recovery must replay a mixed history.  In
+churn mode the expected live-annotation set is computed symbolically from
+the snapshot plus the acknowledged WAL suffix (commit adds an id, delete
+removes it, update keeps it), and the recovered count must match exactly.
 """
 
 from __future__ import annotations
@@ -35,6 +41,9 @@ INGEST_WINDOW = float(os.environ.get("CRASH_SMOKE_WINDOW", "1.0"))
 
 #: Shard count; 1 runs the original single-service smoke.
 SHARDS = int(os.environ.get("CRASH_SMOKE_SHARDS", "1"))
+
+#: Churn mode: the child mixes commits, in-place updates and deletes.
+CHURN = bool(int(os.environ.get("CRASH_SMOKE_CHURN", "0")))
 
 _CHILD_CODE = """
 import sys
@@ -55,46 +64,75 @@ for index, object_id in enumerate(objects):
     )
 service.checkpoint()
 print("READY", flush=True)
+churn = bool(int(sys.argv[3]))
+import random
+rng = random.Random(11)
 serial = 0
+live = []
 while True:
-    (
-        service.new_annotation(
-            f"crash-{serial}",
-            title=f"crash smoke {serial}",
-            creator="crash-smoke",
-            keywords=["crash", "smoke"],
-            body="annotation committed while waiting to be killed",
+    op = serial % 5 if churn and live else 0
+    if op in (0, 1, 2):  # commit
+        (
+            service.new_annotation(
+                f"crash-{serial}",
+                title=f"crash smoke {serial}",
+                creator="crash-smoke",
+                keywords=["crash", "smoke"],
+                body="annotation committed while waiting to be killed",
+            )
+            .mark_sequence(objects[serial % len(objects)], serial % 1000, serial % 1000 + 20)
+            .commit()
         )
-        .mark_sequence(objects[serial % len(objects)], serial % 1000, serial % 1000 + 20)
-        .commit()
-    )
+        live.append(f"crash-{serial}")
+    elif op == 3:  # in-place update of a live annotation
+        victim = live[rng.randrange(len(live))]
+        service.update_annotation(
+            victim,
+            {
+                "title": f"revised {serial}",
+                "keywords": ["crash", "smoke", f"rev{serial}"],
+                "body": f"updated while waiting to be killed ({serial})",
+            },
+        )
+    else:  # delete a live annotation
+        victim = live.pop(rng.randrange(len(live)))
+        service.delete_annotation(victim)
     serial += 1
 """
 
 
-def _acknowledged_commits(shard_root: Path) -> int:
-    """Commit records acknowledged at *shard_root* and not yet snapshotted,
-    plus annotations already inside the snapshot."""
+def _acknowledged_live(shard_root: Path) -> int:
+    """Annotations live per the acknowledged history at *shard_root*.
+
+    Symbolic replay of the id set: the snapshot's annotations, then — for
+    every WAL record logged after it — a commit adds its id, a delete
+    removes it, and an update keeps it (updates replay in full during real
+    recovery, but cannot change liveness).
+    """
     from repro.service import read_records
 
-    snapshot_annotations = 0
+    live: set[str] = set()
     snapshot_seq = 0
     snapshot_path = shard_root / "snapshot.json"
     if snapshot_path.exists():
         payload = json.loads(snapshot_path.read_text())
-        snapshot_annotations = len(payload.get("annotations", []))
+        live = {item["annotation_id"] for item in payload.get("annotations", [])}
         snapshot_seq = int(payload.get("wal_seq", 0))
     records, _ = read_records(shard_root / "wal.jsonl")
-    replayable = sum(
-        1 for record in records if record["op"] == "commit" and record["seq"] > snapshot_seq
-    )
-    return snapshot_annotations + replayable
+    for record in records:
+        if record["seq"] <= snapshot_seq:
+            continue
+        if record["op"] == "commit":
+            live.add(record["payload"]["annotation_id"])
+        elif record["op"] == "delete_annotation":
+            live.discard(record["payload"]["annotation_id"])
+    return len(live)
 
 
 def main() -> int:
     root = Path(tempfile.mkdtemp(prefix="crash-smoke-"))
     child = subprocess.Popen(
-        [sys.executable, "-c", _CHILD_CODE, str(root), str(SHARDS)],
+        [sys.executable, "-c", _CHILD_CODE, str(root), str(SHARDS), str(int(CHURN))],
         stdout=subprocess.PIPE,
         text=True,
         env=dict(os.environ),
@@ -116,7 +154,7 @@ def main() -> int:
         from repro.shard import ShardedGraphittiService
 
         shard_roots = sorted(root.glob("shard-*"))
-        acknowledged_commits = sum(_acknowledged_commits(path) for path in shard_roots)
+        acknowledged_live = sum(_acknowledged_live(path) for path in shard_roots)
         torn_tails = 0
         service = ShardedGraphittiService.recover(root)
         info = service.recovery_info or {}
@@ -127,7 +165,7 @@ def main() -> int:
 
         _, torn = read_records(root / "wal.jsonl")
         torn_tails = int(torn)
-        acknowledged_commits = _acknowledged_commits(root)
+        acknowledged_live = _acknowledged_live(root)
         service = GraphittiService.recover(root)
         replayed = service.recovery_info["replayed"]
 
@@ -137,8 +175,9 @@ def main() -> int:
     service.close()
 
     print(
-        f"killed mid-ingest after {INGEST_WINDOW:.1f}s ({SHARDS} shard(s)): "
-        f"{acknowledged_commits} acknowledged commits, torn tails: {torn_tails}"
+        f"killed mid-{'churn' if CHURN else 'ingest'} after {INGEST_WINDOW:.1f}s "
+        f"({SHARDS} shard(s)): {acknowledged_live} acknowledged live annotations, "
+        f"torn tails: {torn_tails}"
     )
     print(
         f"recovered: replayed {replayed} records over snapshot(s); "
@@ -146,12 +185,12 @@ def main() -> int:
         f"probe query hits: {probe.count}"
     )
     failures = []
-    if acknowledged_commits < 1:
+    if acknowledged_live < 1:
         failures.append("child was killed before committing anything; raise CRASH_SMOKE_WINDOW")
-    if stats["annotations"] != acknowledged_commits:
+    if stats["annotations"] != acknowledged_live:
         failures.append(
             f"recovered {stats['annotations']} annotations but the WAL(s) acknowledged "
-            f"{acknowledged_commits}"
+            f"{acknowledged_live} live"
         )
     if not report.ok:
         failures.append(f"integrity check failed: {report.errors}")

@@ -120,6 +120,23 @@ class AGraph:
         self._require_kind(right_id, NodeKind.REFERENT)
         return self._graph.add_edge(left_id, right_id, label=label, **attributes)
 
+    def unlink_annotation(self, content_id: Hashable, referent_id: Hashable) -> int:
+        """Remove the ``content --annotates--> referent`` edge(s).
+
+        The update path uses this when an annotation drops a referent: the
+        edge goes, the referent node's survival is decided separately (it
+        stays while any *other* content still annotates it).
+        """
+        return self._graph.remove_edges(content_id, referent_id, label=ANNOTATES)
+
+    def unlink_ontology(self, source_id: Hashable, term_id: Hashable) -> int:
+        """Remove the ``source --refers_to--> ontology`` edge(s).
+
+        Ontology nodes themselves are never dropped here — they are shared
+        vocabulary, and an unreferenced term node is harmless (and cheap).
+        """
+        return self._graph.remove_edges(source_id, term_id, label=REFERS_TO)
+
     def _require_kind(self, node_id: Hashable, kind: NodeKind) -> None:
         if node_id not in self._graph:
             raise UnknownNodeError(f"no node {node_id!r} in the a-graph")

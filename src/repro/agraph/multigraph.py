@@ -230,6 +230,46 @@ class LabeledMultigraph:
             del self._label_counts[edge.label]
         self._edge_count -= 1
 
+    def remove_edges(self, source: Hashable, target: Hashable, label: str | None = None) -> int:
+        """Remove every directed ``source -> target`` edge (optionally only
+        those carrying *label*); returns how many edges were removed.
+
+        This is the surgical counterpart of :meth:`remove_node` for the
+        mutation-lifecycle paths that rewire one relationship (an annotation
+        dropping a referent it no longer marks, a content unlinking an
+        ontology term) without touching either endpoint node.  Removing an
+        edge can split a component, so the union-find index is marked stale
+        exactly like :meth:`remove_node` does.
+        """
+        if source not in self._nodes:
+            raise UnknownNodeError(f"no node {source!r} in the graph")
+        if target not in self._nodes:
+            raise UnknownNodeError(f"no node {target!r} in the graph")
+        doomed = [
+            edge
+            for edge in self._pairs.get((source, target), ())
+            if label is None or edge.label == label
+        ]
+        for edge in doomed:
+            self._unindex_edge(edge)
+            out_bucket = self._out[source]
+            out_bucket[edge.label] = [item for item in out_bucket[edge.label] if item is not edge]
+            if not out_bucket[edge.label]:
+                del out_bucket[edge.label]
+            in_bucket = self._in[target]
+            in_bucket[edge.label] = [item for item in in_bucket[edge.label] if item is not edge]
+            if not in_bucket[edge.label]:
+                del in_bucket[edge.label]
+            self._out_degree[source] -= 1
+            self._in_degree[target] -= 1
+            self._drop_neighbor(source, edge.label, target)
+            if source != target:
+                self._drop_neighbor(target, edge.label, source)
+        if doomed:
+            # Splitting a union-find set is not incremental; rebuild lazily.
+            self._components_stale = True
+        return len(doomed)
+
     # -- edges ----------------------------------------------------------------
 
     def add_edge(

@@ -14,6 +14,10 @@ Commands
     Print the administrative report (integrity, economy, orphans, activity).
 ``query PATH GQL``
     Run a GQL query and print the result.
+``update PATH ANNOTATION_ID [--title/--body/--keywords/...]``
+    Update a committed annotation in place (delta index maintenance).
+``delete-object PATH OBJECT_ID [--no-cascade]``
+    Retire a data object, cascading through its annotations.
 ``scenarios``
     List the built-in scenarios.
 ``serve ROOT``
@@ -193,6 +197,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    instance = load_instance(args.path)
+    changes: dict = {}
+    if args.title is not None:
+        changes["title"] = args.title
+    if args.creator is not None:
+        changes["creator"] = args.creator
+    if args.body is not None:
+        changes["body"] = args.body
+    if args.keywords is not None:
+        changes["keywords"] = [part.strip() for part in args.keywords.split(",") if part.strip()]
+    if args.ontology_terms is not None:
+        changes["ontology_terms"] = [
+            part.strip() for part in args.ontology_terms.split(",") if part.strip()
+        ]
+    if args.remove_referent:
+        changes["remove_referents"] = list(args.remove_referent)
+    if args.move_referent:
+        moves = {}
+        for referent_id, start, end in args.move_referent:
+            moves[referent_id] = {"start": float(start), "end": float(end)}
+        changes["move_referents"] = moves
+    if not changes:
+        print("nothing to update (pass at least one change flag)", file=sys.stderr)
+        return 2
+    instance.update_annotation(args.annotation_id, changes)
+    save_instance(instance, args.path)
+    print(f"updated {args.annotation_id} ({', '.join(sorted(changes))}) -> {args.path}")
+    return 0
+
+
+def _cmd_delete_object(args: argparse.Namespace) -> int:
+    from repro.core.persistence import hydrate_catalogue
+
+    instance = load_instance(args.path)
+    # Snapshot loads are catalogue-only; give every metadata row its registry
+    # placeholder so the delete can validate and unregister it.
+    hydrate_catalogue(instance)
+    cascaded = instance.delete_object(args.object_id, cascade=not args.no_cascade)
+    save_instance(instance, args.path)
+    print(
+        f"deleted object {args.object_id} "
+        f"(cascaded {len(cascaded)} annotation(s)) -> {args.path}"
+    )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     instance = load_instance(args.path)
     try:
@@ -242,6 +293,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("path")
     p_query.add_argument("gql")
     p_query.set_defaults(func=_cmd_query)
+
+    p_update = sub.add_parser(
+        "update", help="update a committed annotation in place (delta index maintenance)"
+    )
+    p_update.add_argument("path")
+    p_update.add_argument("annotation_id")
+    p_update.add_argument("--title", default=None)
+    p_update.add_argument("--creator", default=None)
+    p_update.add_argument("--body", default=None)
+    p_update.add_argument("--keywords", default=None, help="comma-separated replacement keywords")
+    p_update.add_argument("--ontology-terms", default=None,
+                          help="comma-separated replacement content-level ontology terms")
+    p_update.add_argument("--remove-referent", action="append", default=[],
+                          metavar="REFERENT_ID", help="detach a referent (repeatable)")
+    p_update.add_argument("--move-referent", action="append", default=[], nargs=3,
+                          metavar=("REFERENT_ID", "START", "END"),
+                          help="move a 1D referent's extent in place (repeatable)")
+    p_update.set_defaults(func=_cmd_update)
+
+    p_delobj = sub.add_parser(
+        "delete-object", help="retire a data object, cascading through its annotations"
+    )
+    p_delobj.add_argument("path")
+    p_delobj.add_argument("object_id")
+    p_delobj.add_argument("--no-cascade", action="store_true",
+                          help="refuse instead of cascading when annotations still reference it")
+    p_delobj.set_defaults(func=_cmd_delete_object)
 
     p_explain = sub.add_parser("explain", help="show a query plan without executing")
     p_explain.add_argument("path")

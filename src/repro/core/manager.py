@@ -24,7 +24,7 @@ from typing import Any, Callable, Iterable
 
 from repro.agraph.agraph import AGraph
 from repro.agraph.connection import ConnectionSubgraph
-from repro.core.annotation import Annotation
+from repro.core.annotation import Annotation, Referent
 from repro.core.builder import AnnotationBuilder
 from repro.core.dublin_core import DublinCore
 from repro.core.annotation import AnnotationContent
@@ -40,6 +40,39 @@ from repro.relational.database import Database
 from repro.relational.schema import Column, ColumnType, TableSchema
 from repro.spatial.coordinate import CoordinateSystemRegistry
 from repro.xmlstore.collection import DocumentCollection
+
+
+def _element_text_parts(element) -> list[str]:
+    """Every searchable text part of an XML element subtree.
+
+    Mirrors ``DocumentCollection._searchable_text``'s extraction rules (text
+    nodes plus attribute values) for one element, so the update path can
+    account a removed/added referent's exact index contribution.
+    """
+    parts: list[str] = []
+    for node in element.iter():
+        if node.text:
+            parts.append(node.text)
+        parts.extend(node.attributes.values())
+    return parts
+
+
+def _rect_text_parts(rect) -> tuple[str, str]:
+    """The rendered ``lo``/``hi`` attribute strings of a region element."""
+    return (
+        ",".join(str(value) for value in rect.lo),
+        ",".join(str(value) for value in rect.hi),
+    )
+
+
+def _extent_text_parts(ref) -> list[str]:
+    """The rendered coordinate strings of a spatial extent (its document
+    text contribution that changes under a move)."""
+    if ref.interval is not None:
+        return [str(ref.interval.start), str(ref.interval.end)]
+    if ref.rect is not None:
+        return list(_rect_text_parts(ref.rect))
+    return []
 
 
 class Graphitti:
@@ -373,6 +406,292 @@ class Graphitti:
         self.idspace.release(annotation_id)
         self.stats_catalogue.on_delete(annotation)
         self._bump_epoch()
+
+    #: Keys :meth:`update_annotation` understands.
+    _UPDATE_KEYS = frozenset(
+        {
+            "title", "creator", "description", "keywords", "body", "user_tags",
+            "ontology_terms", "add_referents", "remove_referents", "move_referents",
+        }
+    )
+
+    def update_annotation(self, annotation_id: str, changes: dict[str, Any]) -> Annotation:
+        """Apply *changes* to a committed annotation with **delta** index
+        maintenance — the edit stays in place instead of delete+recommit.
+
+        Supported keys:
+
+        * ``title`` / ``creator`` / ``description`` / ``keywords`` / ``body``
+          / ``user_tags`` — replace the corresponding content field;
+        * ``ontology_terms`` — replace the *content-level* ontology pointers
+          (``refers_to`` edges are diffed, not rebuilt);
+        * ``add_referents`` — :class:`Referent` objects (or their codec
+          dicts) to attach, wired exactly like a commit wires them;
+        * ``remove_referents`` — referent ids to detach; a referent still
+          annotated by another annotation survives (the shared-referent
+          survival rule deletes obey);
+        * ``move_referents`` — ``{referent_id: {"start": .., "end": ..}}``
+          (or ``{"lo": .., "hi": ..}``) extent moves applied in place inside
+          the interval tree / R-tree.
+
+        Index maintenance is proportional to the *diff*: the inverted index
+        re-posts only changed terms (via the doc→terms reverse map), spatial
+        trees see one remove+insert per moved extent, the statistics
+        catalogue adjusts by set differences, and the annotation keeps its
+        dense id-space slot (no release/re-intern, so no slot churn).  The
+        whole change set is validated before anything applies.
+        """
+        annotation = self.annotation(annotation_id)
+        changes = dict(changes)
+        unknown = set(changes) - self._UPDATE_KEYS
+        if unknown:
+            raise AnnotationError(
+                f"unknown update key(s) {sorted(unknown)!r} for annotation {annotation_id!r}"
+            )
+        from repro.core.persistence import decode_referent
+
+        additions = [
+            item if isinstance(item, Referent) else decode_referent(item)
+            for item in changes.get("add_referents", ())
+        ]
+        removals = list(changes.get("remove_referents", ()))
+        moves = {
+            referent_id: dict(extent)
+            for referent_id, extent in dict(changes.get("move_referents", {})).items()
+        }
+        # -- validate the whole change set before anything applies ---------
+        for referent in additions:
+            if referent.ref.object_id not in self.registry:
+                raise UnknownObjectError(
+                    f"annotation references unregistered object {referent.ref.object_id!r}"
+                )
+        existing_ids = [ref.referent_id for ref in annotation.referents]
+        for referent_id in removals:
+            if referent_id not in existing_ids:
+                raise AnnotationError(
+                    f"annotation {annotation_id!r} has no referent {referent_id!r}"
+                )
+        for referent_id, extent in moves.items():
+            if referent_id not in existing_ids or referent_id in removals:
+                raise AnnotationError(
+                    f"annotation {annotation_id!r} cannot move referent {referent_id!r}"
+                )
+            # Fully vet the move here: steps 1-3 below mutate state before the
+            # move applies, so a bad extent spec must never get past
+            # validation (the whole change set applies or none of it does).
+            target = next(
+                referent for referent in annotation.referents
+                if referent.referent_id == referent_id
+            )
+            if target.ref.interval is not None:
+                if not set(extent) <= {"start", "end"} or not extent:
+                    raise AnnotationError(
+                        f"referent {referent_id!r} is 1D; move it with start/end"
+                    )
+            elif target.ref.rect is not None:
+                if not set(extent) <= {"lo", "hi"} or not extent:
+                    raise AnnotationError(
+                        f"referent {referent_id!r} is 2D/3D; move it with lo/hi"
+                    )
+                dimension = len(target.ref.rect.lo)
+                for corner in ("lo", "hi"):
+                    if corner in extent and len(tuple(extent[corner])) != dimension:
+                        raise AnnotationError(
+                            f"move for referent {referent_id!r} needs {dimension} "
+                            f"coordinate(s) per corner"
+                        )
+            else:
+                raise AnnotationError(
+                    f"referent {referent_id!r} has no spatial extent to move"
+                )
+        surviving = len(existing_ids) - len(set(removals)) + len(additions)
+        final_content_terms = (
+            list(dict.fromkeys(changes["ontology_terms"]))
+            if "ontology_terms" in changes
+            else list(annotation.content.ontology_terms)
+        )
+        if surviving <= 0 and not final_content_terms:
+            raise AnnotationError(
+                "an annotation must keep at least one referent or ontology reference"
+            )
+
+        # -- capture pre-update statistics inputs --------------------------
+        old_types = {referent.ref.data_type.value for referent in annotation.referents}
+        old_terms = set(annotation.ontology_terms())
+        # Exact searchable-text delta of the edit: every part (field text,
+        # attribute value) the edit removes/adds, accumulated as the change
+        # applies.  Token counts are additive over parts (the document codec
+        # joins them with whitespace), so the inverted index can re-post
+        # O(edit) terms instead of re-tokenizing the whole document.
+        removed_parts: list[str] = []
+        added_parts: list[str] = []
+
+        # -- 1. content field edits (in place) ------------------------------
+        content = annotation.content
+        dublin_core = content.dublin_core
+        if "title" in changes:
+            removed_parts.append(dublin_core.title)
+            dublin_core.title = changes["title"]
+            added_parts.append(dublin_core.title)
+        if "creator" in changes:
+            removed_parts.append(dublin_core.creator)
+            dublin_core.creator = changes["creator"]
+            added_parts.append(dublin_core.creator)
+        if "description" in changes:
+            removed_parts.append(dublin_core.description)
+            dublin_core.description = changes["description"]
+            added_parts.append(dublin_core.description)
+        if "keywords" in changes:
+            removed_parts.extend(str(item) for item in dublin_core.subject if item)
+            dublin_core.subject = list(changes["keywords"])
+            added_parts.extend(str(item) for item in dublin_core.subject if item)
+        if "body" in changes:
+            removed_parts.append(content.body)
+            content.body = changes["body"]
+            added_parts.append(content.body)
+        if "user_tags" in changes:
+            removed_parts.extend(str(value) for value in content.user_tags.values())
+            content.user_tags = dict(changes["user_tags"])
+            added_parts.extend(str(value) for value in content.user_tags.values())
+        if "ontology_terms" in changes:
+            removed_parts.extend(str(term) for term in content.ontology_terms)
+            content.ontology_terms = [
+                self.resolve_ontology_term(term) for term in final_content_terms
+            ]
+            added_parts.extend(str(term) for term in content.ontology_terms)
+
+        # -- 2. referent removals (shared-referent survival rule) -----------
+        for referent_id in dict.fromkeys(removals):
+            for referent in annotation._referents:  # noqa: SLF001 - owning mutation path
+                if referent.referent_id == referent_id:
+                    removed_parts.extend(_element_text_parts(referent.to_element()))
+            annotation._referents = [  # noqa: SLF001 - owning mutation path
+                referent for referent in annotation._referents
+                if referent.referent_id != referent_id
+            ]
+            if referent_id in self.agraph:
+                self.agraph.unlink_annotation(annotation_id, referent_id)
+                if not self.agraph.contents_annotating(referent_id):
+                    # No other annotation needs this referent; drop node + index.
+                    self.agraph.graph.remove_node(referent_id)
+                    self.substructures.discard(referent_id)
+
+        # -- 3. referent additions (same wiring as a commit) -----------------
+        for referent in additions:
+            annotation._referents.append(referent)  # noqa: SLF001 - owning mutation path
+            referent_id = self.substructures.add(referent)
+            self.agraph.add_referent(
+                referent_id,
+                object=referent.ref.object_id,
+                data_type=referent.ref.data_type.value,
+            )
+            self.agraph.link_annotation(annotation_id, referent_id)
+            for term in referent.ontology_terms:
+                self.agraph.add_ontology_node(term)
+                self.agraph.link_ontology(referent_id, term)
+            self._link_same_object(referent_id, referent.ref.object_id, annotation)
+            added_parts.extend(_element_text_parts(referent.to_element()))
+
+        # -- 4. extent moves (one remove+insert inside the owning tree) ------
+        for referent_id, extent in moves.items():
+            moved = self.substructures.get(referent_id)
+            move_removed = _extent_text_parts(moved.ref)
+            self.substructures.move(referent_id, **extent)
+            move_added = _extent_text_parts(moved.ref)
+            removed_parts.extend(move_removed)
+            added_parts.extend(move_added)
+            # A shared substructure moves for EVERY annotation marking it.
+            # The store's referent is canonical (its ref just mutated); each
+            # sharer's own Referent copy adopts it, and each sharer's stored
+            # document gets the same coordinate delta so every index stays
+            # exact.  The updating annotation syncs too, but its delta is
+            # already accumulated above and its document lands in step 6.
+            for sharer_id in self.agraph.contents_annotating(referent_id):
+                sharer = self._annotations.get(sharer_id)
+                if sharer is None:
+                    continue
+                for shared_referent in sharer._referents:  # noqa: SLF001 - sync path
+                    if shared_referent.referent_id == referent_id:
+                        shared_referent.ref = moved.ref
+                if sharer_id != annotation_id:
+                    self.contents.update_delta(
+                        sharer_id, sharer.to_document, move_removed, move_added
+                    )
+
+        # -- 5. content->ontology edge rewiring (diff, not rebuild) ----------
+        linked = set(self.agraph.ontology_terms_of(annotation_id))
+        wanted = set(content.ontology_terms)
+        for term in linked - wanted:
+            self.agraph.unlink_ontology(annotation_id, term)
+        for term in wanted - linked:
+            self.agraph.add_ontology_node(term)
+            self.agraph.link_ontology(annotation_id, term)
+
+        # -- 6. content node attributes + delta document re-index ------------
+        self.agraph.add_content(
+            annotation_id,
+            title=dublin_core.title,
+            keywords=tuple(content.keywords()),
+        )
+        # The index adjusts now (exactly, from the parts); the stored XML
+        # regenerates lazily on first read — churn never renders documents
+        # nobody reads between edits.
+        self.contents.update_delta(
+            annotation_id, annotation.to_document, removed_parts, added_parts
+        )
+
+        # -- 7. catalogue delta; the id-space slot stays put by design -------
+        self.stats_catalogue.on_update(annotation, old_types, old_terms)
+        self._bump_epoch()
+        return annotation
+
+    def annotations_on_object(self, object_id: str) -> list[str]:
+        """Ids of every committed annotation with a referent on *object_id*.
+
+        Answered from the substructure store's per-object index plus the
+        a-graph's ``annotates`` in-edges — O(answer), no annotation scan.
+        """
+        referents = self.substructures.referents_on_object(object_id)
+        return sorted(
+            self.agraph.annotation_counts(
+                referent.referent_id for referent in referents
+            )
+        )
+
+    def delete_object(self, object_id: str, cascade: bool = True) -> list[str]:
+        """Retire a data object; returns the ids of cascade-deleted annotations.
+
+        With ``cascade=True`` (default) every annotation with a referent on
+        the object is deleted first — including annotations that also mark
+        *other* objects (their referents elsewhere follow the shared-referent
+        survival rule).  With ``cascade=False`` the call refuses while any
+        annotation still references the object.  The object's registry entry
+        and metadata row are then removed, along with any referent of the
+        object left in the store.
+        """
+        if object_id not in self.registry:
+            raise UnknownObjectError(f"no data object {object_id!r} registered")
+        annotation_ids = self.annotations_on_object(object_id)
+        if annotation_ids and not cascade:
+            raise AnnotationError(
+                f"data object {object_id!r} is referenced by "
+                f"{len(annotation_ids)} annotation(s); pass cascade=True to delete them"
+            )
+        for annotation_id in annotation_ids:
+            self.delete_annotation(annotation_id)
+        # Defensive sweep: a referent of the object that somehow survived the
+        # cascade (e.g. wired without an annotation) must not outlive it.
+        for referent in self.substructures.referents_on_object(object_id):
+            referent_id = referent.referent_id
+            self.substructures.discard(referent_id)
+            if referent_id in self.agraph:
+                self.agraph.graph.remove_node(referent_id)
+        self.registry.unregister(object_id)
+        from repro.relational.query import eq
+
+        self.database.table(self._OBJECT_TABLE).delete(eq("object_id", object_id))
+        self._bump_epoch()
+        return annotation_ids
 
     def annotations(self) -> list[Annotation]:
         """Every committed annotation."""

@@ -39,6 +39,50 @@ from repro.ontology.model import Ontology
 # -- annotation record codec ---------------------------------------------------
 
 
+def encode_referent(referent: Referent) -> dict[str, Any]:
+    """Encode one referent as a JSON-compatible record (shared by the
+    annotation codec and the update-changes codec)."""
+    return {
+        "referent_id": referent.referent_id,
+        "ref": referent.ref.to_dict(),
+        "ontology_terms": list(referent.ontology_terms),
+    }
+
+
+def decode_referent(payload: dict[str, Any]) -> Referent:
+    """Rebuild a :class:`Referent` from :func:`encode_referent` output."""
+    return Referent(
+        ref=SubstructureRef.from_dict(payload["ref"]),
+        ontology_terms=list(payload.get("ontology_terms", [])),
+        referent_id=payload.get("referent_id"),
+    )
+
+
+def encode_update_changes(changes: dict[str, Any]) -> dict[str, Any]:
+    """Encode an ``update_annotation`` changes dict as a JSON-compatible record.
+
+    Only ``add_referents`` needs translation (live :class:`Referent` objects
+    become their codec dicts; dicts pass through unchanged); every other key
+    is already JSON-shaped.  The WAL logs exactly this form, and
+    :meth:`Graphitti.update_annotation` accepts it directly, so live apply
+    and recovery replay run the same code path.
+    """
+    encoded = dict(changes)
+    if "add_referents" in encoded:
+        encoded["add_referents"] = [
+            encode_referent(item) if isinstance(item, Referent) else dict(item)
+            for item in encoded["add_referents"]
+        ]
+    if "remove_referents" in encoded:
+        encoded["remove_referents"] = list(encoded["remove_referents"])
+    if "move_referents" in encoded:
+        encoded["move_referents"] = {
+            referent_id: dict(extent)
+            for referent_id, extent in encoded["move_referents"].items()
+        }
+    return encoded
+
+
 def encode_annotation(annotation: Annotation) -> dict[str, Any]:
     """Encode one annotation as a JSON-compatible record.
 
@@ -55,14 +99,7 @@ def encode_annotation(annotation: Annotation) -> dict[str, Any]:
         "user_tags": dict(content.user_tags),
         "content_ontology_terms": list(content.ontology_terms),
         "keywords": content.keywords(),
-        "referents": [
-            {
-                "referent_id": referent.referent_id,
-                "ref": referent.ref.to_dict(),
-                "ontology_terms": list(referent.ontology_terms),
-            }
-            for referent in annotation.referents
-        ],
+        "referents": [encode_referent(referent) for referent in annotation.referents],
     }
 
 
@@ -88,12 +125,7 @@ def decode_annotation(payload: dict[str, Any]) -> Annotation:
     )
     annotation = Annotation(annotation_id, content)
     for ref_payload in payload.get("referents", []):
-        referent = Referent(
-            ref=SubstructureRef.from_dict(ref_payload["ref"]),
-            ontology_terms=list(ref_payload.get("ontology_terms", [])),
-            referent_id=ref_payload["referent_id"],
-        )
-        annotation._referents.append(referent)  # noqa: SLF001 - codec rebuild path
+        annotation._referents.append(decode_referent(ref_payload))  # noqa: SLF001 - codec rebuild path
     return annotation
 
 

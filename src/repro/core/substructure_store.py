@@ -14,6 +14,7 @@ from typing import Iterable
 
 from repro.core.annotation import Referent
 from repro.datatypes.base import DataType
+from repro.errors import SpatialError
 from repro.spatial.interval import Interval
 from repro.spatial.interval_tree import IntervalIndexFamily
 from repro.spatial.rect import Rect
@@ -141,6 +142,71 @@ class SubstructureStore:
                 if summary.count <= 0:
                     del self._region_summaries[space]
         return True
+
+    def move(
+        self,
+        referent_id: str,
+        start: float | None = None,
+        end: float | None = None,
+        lo: Iterable[float] | None = None,
+        hi: Iterable[float] | None = None,
+    ) -> Referent:
+        """Move a referent's indexed extent in place (the delta-update path).
+
+        The extent is removed from its interval tree / R-tree, the referent's
+        :class:`~repro.datatypes.base.SubstructureRef` is rewritten with the
+        new coordinates (omitted ones keep their old value), and the new
+        extent is re-inserted into the *same* tree — one remove + one insert
+        instead of the full referent teardown a delete+recommit pays.  The
+        extent summary adjusts by the measure delta, the referent id stays
+        stable (a referent shared by several annotations moves for all of
+        them — the substructure itself was refined), and the domain/space is
+        immutable: moving across domains is a remove+add, not a move.
+        """
+        referent = self._referents.get(referent_id)
+        if referent is None:
+            raise SpatialError(f"no referent {referent_id!r} to move")
+        ref = referent.ref
+        if ref.interval is not None:
+            if lo is not None or hi is not None:
+                raise SpatialError(f"referent {referent_id!r} is 1D; move it with start/end")
+            domain = ref.interval.domain or ref.object_id
+            old = Interval(ref.interval.start, ref.interval.end, domain=domain, payload=referent_id)
+            # Values keep their numeric type (int stays int): the referent's
+            # document rendering stringifies them, and a move must produce
+            # the same text a recommit with the same numbers would.
+            new_start = ref.interval.start if start is None else start
+            new_end = ref.interval.end if end is None else end
+            moved = Interval(new_start, new_end, domain=domain, payload=referent_id)
+            self._intervals.tree(domain).remove(old)
+            self._intervals.insert(domain, moved)
+            ref.interval = Interval(new_start, new_end, domain=ref.interval.domain)
+            if "start" in ref.descriptor:
+                ref.descriptor["start"] = new_start
+            if "end" in ref.descriptor:
+                ref.descriptor["end"] = new_end
+            summary = self._interval_summaries[domain]
+            summary.total_measure += moved.length - old.length
+        elif ref.rect is not None:
+            if start is not None or end is not None:
+                raise SpatialError(f"referent {referent_id!r} is 2D/3D; move it with lo/hi")
+            space = ref.rect.space or ref.object_id
+            old = Rect(ref.rect.lo, ref.rect.hi, space=space, payload=referent_id)
+            new_lo = ref.rect.lo if lo is None else tuple(lo)
+            new_hi = ref.rect.hi if hi is None else tuple(hi)
+            moved = Rect(new_lo, new_hi, space=space, payload=referent_id)
+            self._rtrees.tree(space).remove(old)
+            self._rtrees.insert(space, moved)
+            ref.rect = Rect(new_lo, new_hi, space=ref.rect.space)
+            if "lo" in ref.descriptor:
+                ref.descriptor["lo"] = list(new_lo)
+            if "hi" in ref.descriptor:
+                ref.descriptor["hi"] = list(new_hi)
+            summary = self._region_summaries[space]
+            summary.total_measure += moved.area() - old.area()
+        else:
+            raise SpatialError(f"referent {referent_id!r} has no spatial extent to move")
+        return referent
 
     def get(self, referent_id: str) -> Referent:
         """The referent with id *referent_id* (raises KeyError when absent)."""

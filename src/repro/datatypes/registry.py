@@ -39,6 +39,19 @@ class DataTypeRegistry:
         self._by_type[obj.data_type].add(obj.object_id)
         return obj
 
+    def unregister(self, object_id: str) -> DataObject:
+        """Remove a registered data object and return it (raises when absent).
+
+        Only the catalogue entry is dropped; callers (the manager's
+        ``delete_object``) are responsible for cascading through annotations
+        and the metadata relation first.
+        """
+        obj = self._objects.pop(object_id, None)
+        if obj is None:
+            raise UnknownObjectError(f"no data object {object_id!r} registered")
+        self._by_type[obj.data_type].discard(object_id)
+        return obj
+
     def get(self, object_id: str) -> DataObject:
         """The registered object with id *object_id* (raises when absent)."""
         try:

@@ -10,6 +10,18 @@ where AND/OR/NOT are single big-int operations and cardinality is one
 Slots freed by :meth:`AnnotationIdSpace.release` are recycled so the bitmaps
 stay dense across delete-heavy workloads, and :attr:`live_mask` always equals
 the bitset of every live annotation (the NOT-constraint universe).
+
+**Slot-reuse contract:** a bitset is only meaningful at the mutation epoch it
+was computed at — after a release, the next ``intern`` may hand the same slot
+to a different annotation.  Audited for the mutation-lifecycle PR: every
+bitset in the codebase is built and consumed inside one ``QueryExecutor``
+execution (under the serving layer's read lock), the statistics catalogue's
+TYPE index and cached query results hold *string* ids, and memoized plans
+hold no bitsets — so no bitset survives across an epoch.  An in-place
+``update_annotation`` deliberately keeps its slot (no release/intern), which
+is what makes update cheaper than delete+recommit here.  The
+delete→commit→query aliasing property test (``test_property_mutation``) pins
+this.
 """
 
 from __future__ import annotations

@@ -100,6 +100,33 @@ class StatisticsCatalogue:
             else:
                 self._term_counts.pop(term, None)
 
+    def on_update(self, annotation, old_types: set[str], old_terms: set[str]) -> None:
+        """Delta-adjust for an in-place update (the live total is unchanged).
+
+        *old_types* / *old_terms* are the annotation's pre-update referent
+        type values and ontology terms; only the symmetric differences touch
+        the catalogue, so an update that edits a title costs nothing here.
+        """
+        annotation_id = annotation.annotation_id
+        new_types = {referent.ref.data_type.value for referent in annotation.referents}
+        for value in old_types - new_types:
+            members = self._by_type.get(value)
+            if members is not None:
+                members.discard(annotation_id)
+                if not members:
+                    del self._by_type[value]
+        for value in new_types - old_types:
+            self._by_type.setdefault(value, set()).add(annotation_id)
+        new_terms = set(annotation.ontology_terms())
+        for term in old_terms - new_terms:
+            remaining = self._term_counts.get(term, 0) - 1
+            if remaining > 0:
+                self._term_counts[term] = remaining
+            else:
+                self._term_counts.pop(term, None)
+        for term in new_terms - old_terms:
+            self._term_counts[term] = self._term_counts.get(term, 0) + 1
+
     def rebuild(self, manager) -> None:
         """Recompute the catalogue from *manager*'s committed annotations."""
         self._annotation_total = 0

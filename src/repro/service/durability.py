@@ -116,6 +116,13 @@ def apply_record(manager, record: dict[str, Any]) -> None:
         wire_annotation(manager, decode_annotation(payload), add_content_document=True)
     elif op == "delete_annotation":
         manager.delete_annotation(payload["annotation_id"])
+    elif op == "update_annotation":
+        # The logged changes are already codec-shaped (encode_update_changes);
+        # update_annotation accepts that form directly, so replay runs the
+        # exact delta-maintenance path the live apply ran.
+        manager.update_annotation(payload["annotation_id"], payload["changes"])
+    elif op == "delete_object":
+        manager.delete_object(payload["object_id"], cascade=payload.get("cascade", True))
     else:  # pragma: no cover - read_records already validates ops
         raise ServiceError(f"unknown WAL op {op!r}")
 
@@ -158,6 +165,12 @@ def recover_manager(root: str | Path):
 
         manager = Graphitti(root.name or "graphitti")
 
+    # Hydrate registry placeholders BEFORE replay: update/delete_object
+    # records validate against the registry, and objects registered before
+    # the snapshot exist only as metadata rows until hydration.  (Register
+    # records replayed below are idempotent over the placeholders.)
+    hydrate_catalogue(manager)
+
     replayed = skipped = 0
     previous_seq = 0
     for record in records:
@@ -175,6 +188,8 @@ def recover_manager(root: str | Path):
         apply_record(manager, record)
         replayed += 1
 
+    # A register record replayed above may have inserted a metadata row whose
+    # placeholder the pre-replay hydration could not see; sweep once more.
     hydrate_catalogue(manager)
     # Recovery is a natural quiesce point: rebuild the component index now so
     # the first query after a crash never pays a surprise rebuild.

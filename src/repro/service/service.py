@@ -176,20 +176,23 @@ class GraphittiService:
 
     @contextmanager
     def _read_view(self) -> Iterator[None]:
-        """A consistent read view: shared lock + fully flushed keyword index.
+        """A consistent read view: shared lock + fully drained deferred work.
 
-        Deferred index work (from bulk commits) must not be flushed by a
-        reader mid-search, so when pending work exists the view first drains
-        it under the write lock, then downgrades to the shared lock.  The
-        re-check loop covers a writer sneaking new deferred work in between
-        the drain and the read acquisition.
+        Deferred index work (from bulk commits) and stale document bodies
+        (from in-place updates) must not be drained by a reader mid-search —
+        materialization mutates shared dicts — so when either exists the
+        view first drains both under the write lock, then downgrades to the
+        shared lock.  The re-check loop covers a writer sneaking new
+        deferred work in between the drain and the read acquisition.
         """
+        contents = self._manager.contents
         while True:
-            if self._manager.contents.pending_index_count:
+            if contents.pending_index_count or contents.stale_document_count:
                 with self._lock.write_locked():
-                    self._manager.contents.flush_index()
+                    contents.flush_index()
+                    contents.materialize_documents()
             self._lock.acquire_read()
-            if self._manager.contents.pending_index_count:
+            if contents.pending_index_count or contents.stale_document_count:
                 self._lock.release_read()
                 continue
             break
@@ -306,6 +309,43 @@ class GraphittiService:
             self._manager.agraph.graph.rebuild_components()
             self._log("delete_annotation", {"annotation_id": annotation_id})
             self._after_mutation_locked(1)
+
+    def update_annotation(self, annotation_id: str, changes: dict[str, Any]):
+        """Update an annotation in place (serialized; WAL-logged).
+
+        The delta maintenance happens inside the manager; here the update is
+        one write-lock hold, one WAL record (carrying the codec-shaped
+        changes), and one epoch bump — where a delete+recommit pays two lock
+        acquisitions, two WAL records, and two index churns.  The component
+        index is only rebuilt when the update actually removed graph edges
+        (referent removals / ontology unlinks); a content edit or extent move
+        leaves it untouched.
+        """
+        from repro.core.persistence import encode_update_changes
+
+        self._ensure_open()
+        encoded = encode_update_changes(changes)
+        with self._lock.write_locked():
+            updated = self._manager.update_annotation(annotation_id, changes)
+            self._manager.agraph.graph.rebuild_components()  # no-op unless stale
+            self._log("update_annotation", {"annotation_id": annotation_id, "changes": encoded})
+            self._after_mutation_locked(1)
+        return updated
+
+    def delete_object(self, object_id: str, cascade: bool = True) -> list[str]:
+        """Retire a data object, cascading through its annotations (WAL-logged)."""
+        self._ensure_open()
+        with self._lock.write_locked():
+            cascaded = self._manager.delete_object(object_id, cascade=cascade)
+            self._manager.agraph.graph.rebuild_components()
+            self._log("delete_object", {"object_id": object_id, "cascade": cascade})
+            self._after_mutation_locked(1 + len(cascaded))
+        return cascaded
+
+    def annotations_on_object(self, object_id: str) -> list[str]:
+        """Ids of annotations referencing *object_id* (read-locked)."""
+        with self._read_view():
+            return self._manager.annotations_on_object(object_id)
 
     def _log(self, op: str, payload: dict[str, Any]) -> None:
         if self._store is None:

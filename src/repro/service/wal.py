@@ -30,7 +30,14 @@ from typing import Any, Iterable
 from repro.errors import ServiceError, WalCorruptionError
 
 #: Operations the serving layer logs.
-WAL_OPS = ("register_ontology", "register", "commit", "delete_annotation")
+WAL_OPS = (
+    "register_ontology",
+    "register",
+    "commit",
+    "delete_annotation",
+    "update_annotation",
+    "delete_object",
+)
 
 #: fsync policies: every record, every batch/explicit sync, or never.
 DURABILITY_MODES = ("always", "batch", "never")

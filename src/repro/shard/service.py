@@ -52,7 +52,7 @@ from repro.core.annotation import Annotation, AnnotationContent
 from repro.core.builder import AnnotationBuilder
 from repro.core.dublin_core import DublinCore
 from repro.core.manager import Graphitti
-from repro.errors import AnnotationError, ServiceError
+from repro.errors import AnnotationError, ServiceError, UnknownObjectError
 from repro.query.ast import Query, ReturnKind
 from repro.query.parser import parse_query
 from repro.query.result import QueryResult
@@ -442,6 +442,65 @@ class ShardedGraphittiService:
         if index is None:
             raise AnnotationError(f"no annotation {annotation_id!r}")
         self._shards[index].delete_annotation(annotation_id)
+
+    def update_annotation(self, annotation_id: str, changes: dict[str, Any]):
+        """Update an annotation in place on its owning shard.
+
+        The update stays on the shard that holds the annotation even when it
+        rewires referents to objects that would *hash* elsewhere — objects
+        are replicated to every shard, so the owning shard can validate and
+        index any referent, and an annotation never migrates mid-life
+        (re-homing is a delete+recommit, exactly like resharding is a
+        migration).  Only the owning shard's epoch bumps, so the other
+        shards' cached pages keep serving.
+        """
+        index = self._owning_shard(annotation_id)
+        if index is None:
+            raise AnnotationError(f"no annotation {annotation_id!r}")
+        return self._shards[index].update_annotation(annotation_id, changes)
+
+    def delete_object(self, object_id: str, cascade: bool = True) -> list[str]:
+        """Retire a data object: broadcast the delete, cascade per shard.
+
+        Objects are replicated, and annotations routed by their *first*
+        referent's object can still reference this object from any shard —
+        so the delete goes to every shard and each cascades through the
+        annotations it holds.  With ``cascade=False`` the check aggregates
+        across shards *before* any shard mutates; like ``bulk_commit``,
+        cross-shard atomicity is not provided, so under a concurrent commit
+        the precheck is advisory and one shard's own locked re-check may
+        still refuse after others deleted their copies.  The broadcast is
+        **convergent** to make that recoverable: a shard whose copy is
+        already gone reports no work instead of failing, so re-running (with
+        ``cascade=True``) finishes the retirement.  Raises only when *no*
+        shard knows the object.  Returns the cascaded annotation ids.
+        """
+        if not cascade:
+            referencing = self._scatter(
+                lambda shard: shard.annotations_on_object(object_id)
+            )
+            held = sorted(set().union(*map(set, referencing)))
+            if held:
+                raise AnnotationError(
+                    f"data object {object_id!r} is referenced by "
+                    f"{len(held)} annotation(s); pass cascade=True to delete them"
+                )
+
+        def _delete(shard: GraphittiService) -> list[str] | None:
+            try:
+                return shard.delete_object(object_id, cascade=cascade)
+            except UnknownObjectError:
+                return None  # this replica is already gone; converge
+
+        results = self._scatter(_delete)
+        if all(result is None for result in results):
+            raise UnknownObjectError(f"no data object {object_id!r} registered")
+        return sorted(set().union(*(set(result) for result in results if result)))
+
+    def annotations_on_object(self, object_id: str) -> list[str]:
+        """Ids of annotations referencing *object_id*, across every shard."""
+        results = self._scatter(lambda shard: shard.annotations_on_object(object_id))
+        return sorted(set().union(*map(set, results)))
 
     # -- read path -------------------------------------------------------------
 

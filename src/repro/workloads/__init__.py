@@ -27,6 +27,11 @@ from repro.workloads.scenarios import (
     build_neuroscience_instance,
 )
 from repro.workloads.reporting import study_report
+from repro.workloads.churn_scenario import (
+    CHURN_KEYWORDS,
+    run_churn_workload,
+    seed_churn_corpus,
+)
 from repro.workloads.service_scenario import (
     READER_QUERIES,
     run_service_workload,
@@ -49,4 +54,7 @@ __all__ = [
     "READER_QUERIES",
     "run_service_workload",
     "seed_service_objects",
+    "CHURN_KEYWORDS",
+    "run_churn_workload",
+    "seed_churn_corpus",
 ]

@@ -1,0 +1,251 @@
+"""Churn-heavy mutation workload: the annotation lifecycle under edits.
+
+The paper's annotation system assumes annotations *evolve* — curators refine
+extents, fix ontology terms, retire source objects.  This driver models that
+traffic shape: a corpus is bulk-ingested once, then a deterministic mixed
+stream of in-place updates (content edits, extent moves, referent rewires),
+legacy delete+recommit cycles, annotation deletes and cascading object
+retirements churns it.  A ledger of every acknowledged mutation lets
+:func:`run_churn_workload` verify afterwards that the served state matches —
+live annotation count, keyword visibility of the *latest* content, integrity.
+
+The driver only uses the common mutation surface (``register`` /
+``new_annotation`` / ``commit`` / ``bulk_commit`` / ``update_annotation`` /
+``delete_annotation`` / ``delete_object`` / ``query`` / ``check_integrity``),
+so it runs unchanged against a bare :class:`~repro.core.manager.Graphitti`,
+a :class:`~repro.service.GraphittiService`, or a
+:class:`~repro.shard.ShardedGraphittiService`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.datatypes.sequence import DnaSequence
+
+#: Keyword pool; every annotation carries "churn" plus one rotating keyword.
+CHURN_KEYWORDS = ("refined", "retracted", "curated", "remapped", "revised", "flagged")
+
+#: Sequence length of every seeded churn object.
+CHURN_OBJECT_LENGTH = 1200
+
+
+def seed_churn_corpus(
+    service,
+    objects: int = 8,
+    annotations: int = 200,
+    domain: str = "churn:chr1",
+    seed: int = 13,
+    tag: str = "base",
+) -> dict[str, Any]:
+    """Register a pool of sequences and bulk-ingest a churnable corpus.
+
+    Returns ``{"object_ids": [...], "annotation_ids": [...], "domain": ...}``.
+    Annotation ids are explicit (``churn-<tag>-<n>``) so reruns and recovery
+    checks can reason about them.
+    """
+    rng = random.Random(seed)
+    object_ids = []
+    for index in range(objects):
+        object_id = f"churn_{tag}_seq_{index}"
+        residues = "".join(rng.choice("ACGT") for _ in range(CHURN_OBJECT_LENGTH))
+        service.register(
+            DnaSequence(object_id, residues, domain=domain, offset=index * CHURN_OBJECT_LENGTH)
+        )
+        object_ids.append(object_id)
+    builders = []
+    for serial in range(annotations):
+        object_id = object_ids[serial % len(object_ids)]
+        start = rng.randrange(0, CHURN_OBJECT_LENGTH - 150)
+        builders.append(
+            service.new_annotation(
+                f"churn-{tag}-{serial}",
+                title=f"churn annotation {serial}",
+                creator=f"curator-{serial % 3}",
+                keywords=["churn", CHURN_KEYWORDS[serial % len(CHURN_KEYWORDS)]],
+                body=f"initial mark {serial} on {object_id}",
+            ).mark_sequence(object_id, start, start + rng.randrange(10, 120))
+        )
+    if hasattr(service, "bulk_commit"):
+        committed = service.bulk_commit(builders)
+    else:  # a bare Graphitti manager
+        committed = service.commit_many(builder.build() for builder in builders)
+    return {
+        "object_ids": list(object_ids),
+        "annotation_ids": [annotation.annotation_id for annotation in committed],
+        "domain": domain,
+        "tag": tag,
+    }
+
+
+def run_churn_workload(
+    service,
+    corpus: dict[str, Any],
+    operations: int = 300,
+    seed: int = 29,
+    verify: bool = True,
+) -> dict[str, Any]:
+    """Drive *service* with a deterministic churn stream; return a summary.
+
+    The operation mix (per 10 ops): 4 content updates, 2 extent moves,
+    1 referent rewire (add a referent on another object, or remove one when
+    the annotation has several), 1 delete+recommit (the legacy edit path,
+    kept hot for comparison and coverage), 1 plain delete, and — every 40th
+    op — one cascading ``delete_object`` with a replacement object registered
+    to keep the pool full.  With ``verify=True`` the summary gains a
+    ``"verification"`` dict asserting the served state matches the ledger.
+    """
+    rng = random.Random(seed)
+    domain = corpus["domain"]
+    tag = corpus.get("tag", "base")
+    live = list(corpus["annotation_ids"])
+    objects = list(corpus["object_ids"])
+    # The workload only ever touches its own corpus; annotations that were
+    # already on the instance (a recovered deployment, another tag's corpus)
+    # are bystanders the final count check must account for.
+    bystanders = service.annotation_count - len(live)
+    counters = {
+        "updates": 0,
+        "moves": 0,
+        "rewires": 0,
+        "recommits": 0,
+        "deletes": 0,
+        "object_deletes": 0,
+        "cascaded": 0,
+    }
+    errors: list[str] = []
+    #: annotation id -> the keyword its latest acknowledged edit stamped.
+    stamped: dict[str, str] = {}
+    serial = 0
+    replacement = 0
+    for op_index in range(operations):
+        if not live:
+            break
+        try:
+            if op_index and op_index % 40 == 0 and len(objects) > 2:
+                victim_object = objects.pop(rng.randrange(len(objects)))
+                cascaded = service.delete_object(victim_object)
+                counters["object_deletes"] += 1
+                counters["cascaded"] += len(cascaded)
+                doomed = set(cascaded)
+                # a bystander marking a churn object cascades with it
+                bystanders -= len(doomed.difference(live))
+                live = [annotation_id for annotation_id in live if annotation_id not in doomed]
+                for annotation_id in doomed:
+                    stamped.pop(annotation_id, None)
+                object_id = f"churn_{tag}_replacement_{replacement}"
+                replacement += 1
+                service.register(
+                    DnaSequence(
+                        object_id,
+                        "ACGT" * (CHURN_OBJECT_LENGTH // 4),
+                        domain=domain,
+                        offset=(len(objects) + replacement + 40) * CHURN_OBJECT_LENGTH,
+                    )
+                )
+                objects.append(object_id)
+                continue
+            victim = live[rng.randrange(len(live))]
+            bucket = op_index % 10
+            if bucket < 4:
+                keyword = CHURN_KEYWORDS[rng.randrange(len(CHURN_KEYWORDS))]
+                service.update_annotation(
+                    victim,
+                    {
+                        "title": f"edited {op_index}",
+                        "keywords": ["churn", keyword, f"stamp{op_index}"],
+                        "body": f"revised body {op_index} ({keyword})",
+                    },
+                )
+                stamped[victim] = f"stamp{op_index}"
+                counters["updates"] += 1
+            elif bucket < 6:
+                annotation = service.annotation(victim)
+                spatial = [
+                    referent.referent_id
+                    for referent in annotation.referents
+                    if referent.ref.interval is not None
+                ]
+                if spatial:
+                    start = rng.randrange(0, CHURN_OBJECT_LENGTH - 150)
+                    service.update_annotation(
+                        victim,
+                        {"move_referents": {spatial[0]: {"start": start, "end": start + 60}}},
+                    )
+                    counters["moves"] += 1
+            elif bucket < 7:
+                annotation = service.annotation(victim)
+                if annotation.referent_count > 1:
+                    doomed_ref = annotation.referents[-1].referent_id
+                    service.update_annotation(victim, {"remove_referents": [doomed_ref]})
+                else:
+                    target = objects[rng.randrange(len(objects))]
+                    start = rng.randrange(0, 200)
+                    addition = service.data_object(target).mark(start, start + 30)
+                    from repro.core.annotation import Referent
+
+                    service.update_annotation(
+                        victim, {"add_referents": [Referent(ref=addition)]}
+                    )
+                counters["rewires"] += 1
+            elif bucket < 8:
+                # The legacy edit path: delete + recommit under a fresh id.
+                service.delete_annotation(victim)
+                live.remove(victim)
+                stamped.pop(victim, None)
+                object_id = objects[rng.randrange(len(objects))]
+                start = rng.randrange(0, CHURN_OBJECT_LENGTH - 150)
+                recommitted = service.commit(
+                    service.new_annotation(
+                        f"churn-{tag}-rc-{serial}",
+                        title=f"recommitted {serial}",
+                        keywords=["churn", "recommitted"],
+                        body=f"delete+recommit cycle {serial}",
+                    )
+                    .mark_sequence(object_id, start, start + 45)
+                    .build()  # a built Annotation commits on any surface
+                )
+                serial += 1
+                live.append(recommitted.annotation_id)
+                counters["recommits"] += 1
+            else:
+                service.delete_annotation(victim)
+                live.remove(victim)
+                stamped.pop(victim, None)
+                counters["deletes"] += 1
+        except Exception as exc:  # pragma: no cover - surfaced via summary
+            errors.append(f"op {op_index}: {type(exc).__name__}: {exc}")
+    summary: dict[str, Any] = dict(counters)
+    summary["errors"] = errors
+    summary["live_ids"] = sorted(live)
+    if verify:
+        summary["verification"] = _verify(service, live, stamped, errors, bystanders)
+    return summary
+
+
+def _verify(service, live, stamped, errors, bystanders=0) -> dict[str, Any]:
+    """Check the served state against the ledger; appends to *errors*."""
+    count = service.annotation_count
+    if count != len(live) + bystanders:
+        errors.append(
+            f"live count mismatch: served {count}, "
+            f"ledger {len(live)} + {bystanders} bystander(s)"
+        )
+    report = service.check_integrity()
+    if not report.ok:
+        errors.append(f"integrity failed after churn: {report.errors}")
+    checked = 0
+    for annotation_id, stamp in sorted(stamped.items())[:10]:
+        hits = service.query(f'SELECT contents WHERE {{ CONTENT CONTAINS "{stamp}" }}')
+        if annotation_id not in hits.annotation_ids:
+            errors.append(
+                f"latest edit invisible: {annotation_id} missing from keyword {stamp!r}"
+            )
+        checked += 1
+    return {
+        "annotation_count": count,
+        "ledger_count": len(live),
+        "integrity_ok": report.ok,
+        "stamps_checked": checked,
+    }

@@ -31,6 +31,12 @@ class DocumentCollection:
         # Documents stored with ``defer_index=True`` whose text has not been
         # fed to the inverted index yet (an ordered set of doc ids).
         self._pending_index: dict[str, None] = {}
+        # Documents whose stored body is stale after an in-place update: the
+        # index already reflects the edit (exact text delta), but the XML
+        # regenerates lazily — doc id -> zero-arg regenerator.  The write
+        # path never pays document rendering; the first *reader* of the
+        # document does, once.
+        self._stale: dict[str, Callable[[], XmlDocument]] = {}
         self._next_serial = 1
 
     # -- container protocol -----------------------------------------------------
@@ -42,7 +48,35 @@ class DocumentCollection:
         return doc_id in self._documents
 
     def __iter__(self) -> Iterator[XmlDocument]:
+        self._materialize_all()
         return iter(self._documents.values())
+
+    # -- lazy materialization ---------------------------------------------------
+
+    def _materialize(self, doc_id: str) -> None:
+        """Regenerate one stale document before a reader sees it."""
+        regenerator = self._stale.pop(doc_id, None)
+        if regenerator is not None:
+            document = regenerator()
+            document.doc_id = doc_id
+            self._documents[doc_id] = document
+
+    def _materialize_all(self) -> None:
+        """Regenerate every stale document (bulk readers call this first)."""
+        while self._stale:
+            doc_id, regenerator = self._stale.popitem()
+            document = regenerator()
+            document.doc_id = doc_id
+            self._documents[doc_id] = document
+
+    @property
+    def stale_document_count(self) -> int:
+        """Number of stored documents pending lazy regeneration."""
+        return len(self._stale)
+
+    def materialize_documents(self) -> None:
+        """Drain every pending lazy regeneration now (a quiesce point)."""
+        self._materialize_all()
 
     @property
     def indexed(self) -> bool:
@@ -94,6 +128,7 @@ class DocumentCollection:
             return 0
         pending, self._pending_index = self._pending_index, {}
         for identifier in pending:
+            self._materialize(identifier)  # index the *latest* body
             document = self._documents.get(identifier)
             if document is not None:
                 self._index.add_document(identifier, self._searchable_text(document))
@@ -104,18 +139,68 @@ class DocumentCollection:
         return self.add(parse_xml(text), doc_id=doc_id)
 
     def replace(self, doc_id: str, document: XmlDocument) -> None:
-        """Replace a stored document under the same id."""
+        """Replace a stored document under the same id (alias of :meth:`update`)."""
+        self.update(doc_id, document)
+
+    def update(self, doc_id: str, document: XmlDocument) -> None:
+        """Replace a stored document with *delta* index maintenance.
+
+        Unlike :meth:`replace` (which re-feeds the whole text through
+        ``add_document``), this hands the new text to
+        :meth:`InvertedIndex.update_document`, so only the postings whose
+        terms actually changed are touched — the inverted-index half of the
+        mutation lifecycle's delta maintenance.  A document whose indexing is
+        still deferred keeps its pending entry: the eventual flush reads the
+        *stored* document, which is now the new one, so the deferral stays
+        invisible to searches.
+        """
         if doc_id not in self._documents:
             raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
+        self._stale.pop(doc_id, None)  # superseded before it was ever read
         document.doc_id = doc_id
         self._documents[doc_id] = document
         if self._index is not None and doc_id not in self._pending_index:
-            self._index.add_document(doc_id, self._searchable_text(document))
+            self._index.update_document(doc_id, self._searchable_text(document))
+
+    def update_delta(
+        self,
+        doc_id: str,
+        regenerate: Callable[[], XmlDocument],
+        removed_parts: list[str],
+        added_parts: list[str],
+    ) -> None:
+        """In-place document update paying only the *delta*, at write time.
+
+        The fast half of :meth:`update`, and the document-store leg of the
+        mutation lifecycle:
+
+        * the inverted index adjusts immediately and exactly from the text
+          parts the edit removed/added (:meth:`InvertedIndex.apply_text_delta`
+          — O(edit), not O(document));
+        * the stored XML is merely marked stale with a *regenerator*; the
+          first reader of the document (keyword verification, XPath, export,
+          snapshot) materializes it once.  A write-heavy churn stream never
+          pays document rendering for bodies nobody reads in between.
+
+        The caller is trusted to hand exact parts — the manager's update
+        path derives them from the same rendering rules ``to_document``
+        uses, and the property tests pin the live index against a
+        from-scratch rebuild.  A document whose *initial* indexing is still
+        deferred only swaps its regenerator: the pending flush reads the
+        regenerated (latest) body anyway.
+        """
+        if doc_id not in self._documents:
+            raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
+        self._stale[doc_id] = regenerate
+        if self._index is None or doc_id in self._pending_index:
+            return
+        self._index.apply_text_delta(doc_id, removed_parts, added_parts)
 
     def remove(self, doc_id: str) -> None:
         """Remove a document (raises when absent)."""
         if doc_id not in self._documents:
             raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
+        self._stale.pop(doc_id, None)
         del self._documents[doc_id]
         if doc_id in self._pending_index:
             del self._pending_index[doc_id]  # never reached the index
@@ -141,6 +226,7 @@ class DocumentCollection:
 
     def get(self, doc_id: str) -> XmlDocument:
         """The stored document with id *doc_id* (raises when absent)."""
+        self._materialize(doc_id)
         try:
             return self._documents[doc_id]
         except KeyError:
@@ -166,6 +252,7 @@ class DocumentCollection:
             return sorted(candidates)
         matches = []
         for doc_id in candidates:
+            self._materialize(doc_id)  # verify against the latest body
             text = self._searchable_text(self._documents[doc_id]).lower()
             if phrase in text or all(token in text for token in phrase.split()):
                 matches.append(doc_id)
@@ -191,6 +278,7 @@ class DocumentCollection:
         elif mode == "or":
             # Mirrors search_keyword's index-free OR path (every document).
             return True
+        self._materialize(doc_id)
         text = self._searchable_text(self._documents[doc_id]).lower()
         return phrase in text or all(token in text for token in phrase.split())
 
@@ -217,6 +305,7 @@ class DocumentCollection:
 
     def scan_keyword(self, keyword: str) -> list[str]:
         """Index-free keyword search (full scan); baseline for benchmarks."""
+        self._materialize_all()
         phrase = keyword.strip().lower()
         matches = []
         for doc_id, document in self._documents.items():
@@ -230,6 +319,7 @@ class DocumentCollection:
 
         Returns ``(doc_id, node_or_value)`` pairs.
         """
+        self._materialize_all()
         compiled = XPath(xpath)
         results: list[tuple[str, Any]] = []
         for doc_id, document in self._documents.items():
@@ -239,10 +329,12 @@ class DocumentCollection:
 
     def query(self) -> FlworQuery:
         """Start a FLWOR-lite query over the whole collection."""
+        self._materialize_all()
         return FlworQuery(self._documents.values())
 
     def filter_documents(self, predicate: Callable[[XmlDocument], bool]) -> list[XmlDocument]:
         """Documents satisfying an arbitrary predicate."""
+        self._materialize_all()
         return [document for document in self._documents.values() if predicate(document)]
 
     def fragments(self, xpath: str) -> list[XmlElement]:
@@ -253,6 +345,7 @@ class DocumentCollection:
 
     def save(self, path: str | Path) -> Path:
         """Write the collection to a JSON file."""
+        self._materialize_all()
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -288,6 +381,7 @@ class DocumentCollection:
         database of XML documents"; this renders that database as a single
         corpus document that :meth:`from_corpus_xml` can read back.
         """
+        self._materialize_all()
         root = XmlElement("corpus", attributes={"name": self.name})
         for doc_id in self._documents:
             document = self._documents[doc_id]

@@ -67,6 +67,59 @@ def test_query_graph_return(tmp_path, capsys):
     assert "subgraph" in out
 
 
+def test_update_roundtrip(tmp_path, capsys):
+    path = str(tmp_path / "flu.json")
+    main(["build", "influenza", path])
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "update", path, "flu-a1",
+                "--title", "revised cleavage note",
+                "--keywords", "cleavage,curated-edit",
+                "--body", "refined by the command line",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "updated flu-a1" in out
+    assert main(["query", path, 'SELECT contents WHERE { CONTENT CONTAINS "curated-edit" }']) == 0
+    out = capsys.readouterr().out
+    assert "result count: 1" in out
+    assert "flu-a1" in out
+
+
+def test_update_requires_a_change(tmp_path, capsys):
+    path = str(tmp_path / "flu.json")
+    main(["build", "influenza", path])
+    capsys.readouterr()
+    assert main(["update", path, "flu-a1"]) == 2
+    assert "nothing to update" in capsys.readouterr().err
+
+
+def test_delete_object_roundtrip(tmp_path, capsys):
+    path = str(tmp_path / "flu.json")
+    main(["build", "influenza", path])
+    capsys.readouterr()
+    assert main(["delete-object", path, "HA_duck"]) == 0
+    out = capsys.readouterr().out
+    assert "cascaded 1 annotation(s)" in out
+    assert main(["stats", path]) == 0
+    assert "annotations: 3" in capsys.readouterr().out
+
+
+def test_delete_object_no_cascade_refuses(tmp_path, capsys):
+    path = str(tmp_path / "flu.json")
+    main(["build", "influenza", path])
+    capsys.readouterr()
+    assert main(["delete-object", path, "HA_duck", "--no-cascade"]) == 1
+    assert "error:" in capsys.readouterr().err
+    # the snapshot is untouched
+    assert main(["stats", path]) == 0
+    assert "annotations: 4" in capsys.readouterr().out
+
+
 def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):

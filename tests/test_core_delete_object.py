@@ -1,0 +1,96 @@
+"""Manager-level ``delete_object``: cascade semantics and bookkeeping."""
+
+import pytest
+
+from repro.core.manager import Graphitti
+from repro.datatypes import DnaSequence
+from repro.errors import AnnotationError, UnknownObjectError
+from repro.query.stats import StatisticsCatalogue
+
+
+@pytest.fixture
+def instance():
+    g = Graphitti("delete-object-test")
+    g.register(DnaSequence("seq1", "ACGT" * 200, domain="del:chr1"))
+    g.register(DnaSequence("seq2", "TGCA" * 200, domain="del:chr1", offset=800))
+    g.new_annotation("only1", keywords=["one"], body="marks seq1").mark_sequence(
+        "seq1", 10, 30
+    ).commit()
+    g.new_annotation("only2", keywords=["two"], body="marks seq2").mark_sequence(
+        "seq2", 10, 30
+    ).commit()
+    (
+        g.new_annotation("both", keywords=["span"], body="marks both")
+        .mark_sequence("seq1", 100, 130)
+        .mark_sequence("seq2", 100, 130)
+        .commit()
+    )
+    return g
+
+
+def test_annotations_on_object(instance):
+    assert instance.annotations_on_object("seq1") == ["both", "only1"]
+    assert instance.annotations_on_object("seq2") == ["both", "only2"]
+    assert instance.annotations_on_object("seq_unknown") == []
+
+
+def test_cascade_deletes_all_referencing_annotations(instance):
+    cascaded = instance.delete_object("seq1")
+    assert cascaded == ["both", "only1"]
+    # the multi-object annotation went whole; its seq2 referent did not linger
+    assert [a.annotation_id for a in instance.annotations()] == ["only2"]
+    assert instance.search_by_overlap_interval("del:chr1", 90, 140) == []
+    assert "seq1" not in instance.registry
+    with pytest.raises(UnknownObjectError):
+        instance.object_metadata("seq1")
+    report = instance.check_integrity()
+    assert report.ok, report.errors
+
+
+def test_cascade_keeps_other_objects_annotations(instance):
+    instance.delete_object("seq1")
+    assert instance.search_by_keyword("two") == ["only2"]
+    assert instance.search_by_overlap_interval("del:chr1", 805, 835) == ["only2"]
+
+
+def test_no_cascade_refuses_while_referenced(instance):
+    with pytest.raises(AnnotationError):
+        instance.delete_object("seq1", cascade=False)
+    # nothing was applied
+    assert instance.annotation_count == 3
+    assert "seq1" in instance.registry
+
+
+def test_no_cascade_deletes_unannotated_object(instance):
+    instance.delete_annotation("only2")
+    instance.delete_annotation("both")
+    cascaded = instance.delete_object("seq2", cascade=False)
+    assert cascaded == []
+    assert "seq2" not in instance.registry
+
+
+def test_unknown_object_raises(instance):
+    with pytest.raises(UnknownObjectError):
+        instance.delete_object("ghost")
+
+
+def test_catalogue_matches_rebuild_after_object_delete(instance):
+    instance.delete_object("seq2")
+    fresh = StatisticsCatalogue()
+    fresh.rebuild(instance)
+    assert instance.stats_catalogue.counts() == fresh.counts()
+    stats = instance.statistics()
+    assert stats["annotations"] == 1
+    assert stats["data_objects"] == 1
+
+
+def test_delete_object_then_reregister(instance):
+    """A retired object's id can be reused by a fresh registration."""
+    instance.delete_object("seq1")
+    instance.register(DnaSequence("seq1", "AAAA" * 100, domain="del:chr1"))
+    instance.new_annotation("fresh", keywords=["again"], body="new era").mark_sequence(
+        "seq1", 1, 9
+    ).commit()
+    assert instance.search_by_keyword("again") == ["fresh"]
+    report = instance.check_integrity()
+    assert report.ok, report.errors

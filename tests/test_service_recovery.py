@@ -53,6 +53,20 @@ def scripted_root(tmp_path, name="scripted"):
         .mark_sequence("rec_seq1", 300, 340)
         .commit()
     )
+    # The two mutation-lifecycle record types join the crash matrix: an
+    # in-place update (content edit + extent move) and a cascading object
+    # retirement (rec_seq2 still carries rec-3; rec-1 is already gone).
+    moved = service.annotation("rec-2").referents[0].referent_id
+    service.update_annotation(
+        "rec-2",
+        {
+            "title": "recovery annotation 2 (revised)",
+            "keywords": ["recovery", "revised"],
+            "body": "recovery scripted annotation 2, refined by a curator",
+            "move_referents": {moved: {"start": 410, "end": 440}},
+        },
+    )
+    service.delete_object("rec_seq2")
     service.close()
     return root
 
@@ -81,9 +95,11 @@ def assert_equivalent(recovered, expected):
 def test_recover_full_log(tmp_path):
     root = scripted_root(tmp_path)
     records, torn = read_records(root / "wal.jsonl")
-    assert not torn and len(records) == 10  # 1 ontology + 2 registers + 6 commits + 1 delete
+    # 1 ontology + 2 registers + 6 commits + 1 delete + 1 update + 1 delete_object
+    assert not torn and len(records) == 12
+    assert [record["op"] for record in records[-2:]] == ["update_annotation", "delete_object"]
     service = GraphittiService.recover(root)
-    assert service.recovery_info["replayed"] == 10
+    assert service.recovery_info["replayed"] == 12
     assert_equivalent(service.manager, replay_reference(records))
     # Recovery pre-rebuilt the component index (the delete left it stale).
     assert service.manager.agraph.graph.components_stale is False

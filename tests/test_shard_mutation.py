@@ -1,0 +1,183 @@
+"""Sharded mutation lifecycle: owner routing, broadcast cascades, and the
+legacy-id / cache-invalidation regressions."""
+
+import pytest
+
+from repro.datatypes import DnaSequence
+from repro.errors import AnnotationError
+from repro.shard import ShardedGraphittiService
+from repro.shard.router import shard_for_key
+
+
+@pytest.fixture
+def sharded():
+    service = ShardedGraphittiService(shards=2)
+    # find two object ids that hash to different shards
+    first = "obj_a"
+    other = next(
+        f"obj_{suffix}"
+        for suffix in "bcdefgh"
+        if shard_for_key(f"obj_{suffix}", 2) != shard_for_key(first, 2)
+    )
+    service.register(DnaSequence(first, "ACGT" * 200, domain="sh:chr1"))
+    service.register(DnaSequence(other, "TGCA" * 200, domain="sh:chr1", offset=800))
+    service.commit(
+        service.new_annotation("on-a", keywords=["alpha"], body="marks obj a").mark_sequence(
+            first, 10, 40
+        )
+    )
+    service.commit(
+        service.new_annotation("on-b", keywords=["alpha"], body="marks obj b").mark_sequence(
+            other, 10, 40
+        )
+    )
+    yield service, first, other
+    service.close()
+
+
+def _epochs(service):
+    return [shard.manager.mutation_epoch for shard in service.shards]
+
+
+def test_update_routes_to_owning_shard_only(sharded):
+    service, first, other = sharded
+    owner = service._owning_shard("on-a")
+    before = _epochs(service)
+    service.update_annotation("on-a", {"keywords": ["beta"]})
+    after = _epochs(service)
+    for index, (was, now) in enumerate(zip(before, after)):
+        if index == owner:
+            assert now > was
+        else:
+            assert now == was
+    assert service.search_by_keyword("beta") == ["on-a"]
+
+
+def test_update_unknown_annotation_raises(sharded):
+    service, _, _ = sharded
+    with pytest.raises(AnnotationError):
+        service.update_annotation("missing", {"title": "x"})
+
+
+def test_delete_object_broadcasts_and_cascades(sharded):
+    service, first, other = sharded
+    # an annotation owned by first's shard that ALSO marks the other object:
+    # only a broadcast delete of `other` can reach it
+    service.commit(
+        service.new_annotation("spans", keywords=["span"], body="marks both")
+        .mark_sequence(first, 100, 130)
+        .mark_sequence(other, 100, 130)
+    )
+    cascaded = service.delete_object(other)
+    assert cascaded == ["on-b", "spans"]
+    assert service.search_by_keyword("alpha") == ["on-a"]
+    assert service.annotations_on_object(other) == []
+    # the object is gone from every shard's registry
+    for shard in service.shards:
+        assert other not in shard.manager.registry
+    report = service.check_integrity()
+    assert report.ok, report.errors
+
+
+def test_delete_object_no_cascade_prechecks_every_shard(sharded):
+    service, first, other = sharded
+    with pytest.raises(AnnotationError):
+        service.delete_object(other, cascade=False)
+    # the refusal left every shard untouched (no half-deleted object)
+    for shard in service.shards:
+        assert other in shard.manager.registry
+    assert service.search_by_keyword("alpha") == ["on-a", "on-b"]
+
+
+def test_delete_object_converges_after_partial_broadcast(sharded):
+    """A shard whose replica is already gone reports no work instead of
+    failing, so a raced/interrupted broadcast is finished by re-running."""
+    service, first, other = sharded
+    # simulate a half-applied earlier broadcast: one shard already lost it
+    lagging = service._owning_shard("on-b")
+    for index, shard in enumerate(service.shards):
+        if index != lagging:
+            shard.delete_object(other)
+    cascaded = service.delete_object(other)  # converges, no UnknownObjectError
+    assert cascaded == ["on-b"]
+    for shard in service.shards:
+        assert other not in shard.manager.registry
+
+
+def test_delete_object_unknown_everywhere_raises(sharded):
+    from repro.errors import UnknownObjectError
+
+    service, _, _ = sharded
+    with pytest.raises(UnknownObjectError):
+        service.delete_object("ghost-object")
+
+
+# -- legacy / foreign annotation-id routing (broadcast-probe fallback) ---------
+
+
+def test_legacy_ids_resolve_by_broadcast_probe(sharded):
+    service, first, other = sharded
+    # pre-shard id (no shard encoding), caller-chosen
+    service.commit(
+        service.new_annotation("anno-000042", keywords=["legacy"], body="old world").mark_sequence(
+            first, 50, 70
+        )
+    )
+    # foreign shard-encoded id whose encoded index is out of range here
+    service.commit(
+        service.new_annotation("anno-s99-000001", keywords=["legacy"], body="imported").mark_sequence(
+            first, 80, 95
+        )
+    )
+    # shard-encoded id that actually lives on a different shard than encoded
+    owner = shard_for_key(first, 2)
+    mismatched = f"anno-s{(owner + 1) % 2:02d}-777777"
+    service.commit(
+        service.new_annotation(mismatched, keywords=["legacy"], body="migrated").mark_sequence(
+            first, 120, 140
+        )
+    )
+    for annotation_id in ("anno-000042", "anno-s99-000001", mismatched):
+        assert service.annotation(annotation_id).annotation_id == annotation_id
+        service.update_annotation(annotation_id, {"title": f"touched {annotation_id}"})
+    assert sorted(service.search_by_keyword("legacy")) == sorted(
+        ["anno-000042", "anno-s99-000001", mismatched]
+    )
+    service.delete_annotation("anno-000042")
+    with pytest.raises(AnnotationError):
+        service.annotation("anno-000042")
+
+
+# -- per-shard cache invalidation on delete (two-shard regression) -------------
+
+
+def test_delete_invalidates_only_owning_shard_cache(sharded):
+    service, first, other = sharded
+    probe = 'SELECT contents WHERE { CONTENT CONTAINS "alpha" }'
+    assert service.query(probe).annotation_ids == ["on-a", "on-b"]
+    assert service.query(probe).annotation_ids == ["on-a", "on-b"]  # warm both shards
+    owner_b = service._owning_shard("on-b")
+    hits_before = [
+        shard.statistics()["service"]["query_cache"]["hits"] for shard in service.shards
+    ]
+    epochs_before = _epochs(service)
+
+    service.delete_annotation("on-b")
+
+    # only the owning shard's epoch moved
+    epochs_after = _epochs(service)
+    for index, (was, now) in enumerate(zip(epochs_before, epochs_after)):
+        assert (now > was) if index == owner_b else (now == was)
+
+    # every merged page stops showing the deleted annotation immediately...
+    assert service.query(probe).annotation_ids == ["on-a"]
+    # ...yet the untouched shard answered from its cache (hits grew there,
+    # while the owning shard re-executed on a miss)
+    hits_after = [
+        shard.statistics()["service"]["query_cache"]["hits"] for shard in service.shards
+    ]
+    for index, (was, now) in enumerate(zip(hits_before, hits_after)):
+        if index == owner_b:
+            assert now == was  # miss: invalidated by the epoch bump
+        else:
+            assert now == was + 1  # served from cache
