@@ -1,0 +1,223 @@
+"""Replication read scaling: follower reads vs. a single node, with a floor.
+
+The 95/5 read/write mix (see
+:mod:`repro.workloads.replication_scenario`) models the serving shape
+replication exists for: many readers cycling a hot structural query set, a
+trickle of writers.  On a single durable
+:class:`~repro.service.GraphittiService` every commit bumps the mutation
+epoch and the whole hot set re-executes.  Behind a
+:class:`~repro.replica.ReplicatedGraphittiService` the commits land on the
+primary while eventual-consistency reads round-robin :data:`REPLICAS`
+followers — whose result caches are invalidated only when a WAL shipment
+is applied, i.e. per ship interval rather than per write.
+
+Measured throughput (ops/second, best of three rounds per system):
+
+* baseline — one durable ``GraphittiService``;
+* candidate — ``ReplicatedGraphittiService`` with :data:`REPLICAS` followers.
+
+Floor: **>= 1.7x** at 3 replicas.  Two correctness gates run first: a
+deterministic write set must read back identically from a drained replica
+deployment (``consistency="fresh"``) and from an unreplicated oracle; and
+after the measured workload every acknowledged commit must be present on
+every follower (zero acked-write loss in the healthy run).
+
+``python -m benchmarks.bench_replication`` prints the table, writes
+``BENCH_replication.json`` via the harness, and exits non-zero below the
+floor (or on a gate failure).  Set ``BENCH_SMOKE=1`` for the CI-sized run
+(the floor still applies).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from benchmarks._harness import format_row, speedup, write_results
+from repro.replica import ReplicatedGraphittiService, ReplicationConfig
+from repro.service import GraphittiService, ServiceConfig
+from repro.workloads.replication_scenario import (
+    REPLICATION_QUERIES,
+    run_replication_workload,
+    seed_replication_corpus,
+)
+
+#: Minimum acceptable 95/5-mix throughput multiple at REPLICAS followers.
+REPLICATION_SPEEDUP_FLOOR = 1.7
+
+#: Followers in the candidate configuration.
+REPLICAS = 3
+
+_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+#: (corpus annotations, ops per worker thread, measurement rounds).
+SCALE = (600, 120, 3) if _SMOKE else (1500, 240, 3)
+
+#: Worker threads driving the mixed workload.
+THREADS = 4
+
+#: One commit per this many ops per thread — the 95/5 split.
+WRITE_EVERY = 20
+
+
+def _service_config() -> ServiceConfig:
+    # The WAL still persists every record (replication reads it from disk);
+    # "never" skips only the per-record fsync so the read path dominates.
+    return ServiceConfig(durability="never")
+
+
+def check_oracle_equivalence(root: Path) -> None:
+    """Drained fresh reads off replicas must match an unreplicated oracle."""
+    replicated = ReplicatedGraphittiService.open(
+        root / "oracle-rep",
+        replicas=REPLICAS,
+        config=_service_config(),
+        replication=ReplicationConfig(auto_ship=False),
+    )
+    single = GraphittiService.open(root / "oracle-single", config=_service_config())
+    for service in (replicated, single):
+        objects = seed_replication_corpus(service, 200)
+        run_replication_workload(
+            service, objects, threads=1, ops_per_thread=80, seed=31, tag="oracle"
+        )
+    replicated.ship()
+    for text in REPLICATION_QUERIES:
+        left = replicated.query(text, consistency="fresh")
+        right = single.query(text)
+        if left.annotation_ids != right.annotation_ids:
+            raise AssertionError(f"replica read diverges from oracle for {text!r}")
+    stats = replicated.replication_stats()
+    if stats["reads"]["degraded"]:
+        raise AssertionError("fresh reads degraded to primary in a drained deployment")
+    replicated.close()
+    single.close()
+
+
+def check_no_acked_loss(replicated, summary) -> None:
+    """Every acknowledged commit must be applied on every follower."""
+    replicated.checkpoint()  # drains the shipper first
+    frontier = replicated.last_acked_seq
+    for follower in replicated.followers:
+        if follower.applied_seq < frontier:
+            raise AssertionError(
+                f"{follower.name} stopped at seq {follower.applied_seq} < {frontier}"
+            )
+        for annotation_id in summary["committed_ids"]:
+            follower.service.annotation(annotation_id)  # raises if missing
+
+
+def measure(root: Path) -> list[dict[str, float]]:
+    """Best-of-rounds 95/5 throughput for single vs. replicated."""
+    corpus, ops, rounds = SCALE
+    single = GraphittiService.open(root / "single", config=_service_config())
+    replicated = ReplicatedGraphittiService.open(
+        root / "replicated", replicas=REPLICAS, config=_service_config()
+    )
+    single_objects = seed_replication_corpus(single, corpus)
+    replicated_objects = seed_replication_corpus(replicated, corpus)
+    for text in REPLICATION_QUERIES:  # warm caches (and let the shipper settle)
+        single.query(text)
+        replicated.query(text, consistency="fresh")
+    total_ops = THREADS * ops
+    best = {"single": 0.0, "replicated": 0.0}
+    last_summary = None
+    # Alternate systems per round so machine drift hits both equally.
+    for round_index in range(rounds):
+        single_summary = run_replication_workload(
+            single, single_objects, THREADS, ops, WRITE_EVERY, tag=f"s{round_index}"
+        )
+        replicated_summary = run_replication_workload(
+            replicated, replicated_objects, THREADS, ops, WRITE_EVERY, tag=f"r{round_index}"
+        )
+        for summary in (single_summary, replicated_summary):
+            if summary["errors"]:
+                raise AssertionError(f"workload errors: {summary['errors']}")
+        best["single"] = max(best["single"], total_ops / single_summary["elapsed"])
+        best["replicated"] = max(best["replicated"], total_ops / replicated_summary["elapsed"])
+        last_summary = replicated_summary
+    check_no_acked_loss(replicated, last_summary)
+    reads = replicated.replication_stats()["reads"]
+    single.close()
+    replicated.close()
+    return [
+        {
+            "workload": "mixed_95_5",
+            "replicas": 0,
+            "ops_per_second": best["single"],
+            "threads": THREADS,
+            "corpus": corpus,
+        },
+        {
+            "workload": "mixed_95_5",
+            "replicas": REPLICAS,
+            "ops_per_second": best["replicated"],
+            "threads": THREADS,
+            "corpus": corpus,
+            "replica_reads": reads["replica"],
+            "degraded_reads": reads["degraded"],
+            "speedup": speedup(1.0 / best["single"], 1.0 / best["replicated"]),
+        },
+    ]
+
+
+def report() -> int:
+    root = Path(tempfile.mkdtemp(prefix="bench-replication-"))
+    try:
+        check_oracle_equivalence(root)
+        print("oracle check: drained fresh replica reads == unreplicated (zero acked loss)")
+        rows = measure(root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    widths = (14, 10, 14, 14, 10)
+    print(format_row(("workload", "replicas", "ops/second", "replica reads", "speedup"), widths))
+    for row in rows:
+        print(
+            format_row(
+                (
+                    row["workload"],
+                    row["replicas"],
+                    f"{row['ops_per_second']:.0f}",
+                    row.get("replica_reads", "-"),
+                    f"{row.get('speedup', 1.0):.2f}x",
+                ),
+                widths,
+            )
+        )
+    write_results(
+        "replication",
+        rows,
+        smoke=_SMOKE,
+        floor=REPLICATION_SPEEDUP_FLOOR,
+        replicas=REPLICAS,
+        write_every=WRITE_EVERY,
+    )
+    achieved = rows[-1].get("speedup", 0.0)
+    if achieved < REPLICATION_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: {REPLICAS}-replica 95/5 speedup {achieved:.2f}x "
+            f"is below the {REPLICATION_SPEEDUP_FLOOR:.1f}x floor"
+        )
+        return 1
+    print(
+        f"replication floor OK: {achieved:.2f}x >= {REPLICATION_SPEEDUP_FLOOR:.1f}x "
+        f"at {REPLICAS} replicas"
+    )
+    return 0
+
+
+def test_replica_reads_match_oracle(tmp_path):
+    check_oracle_equivalence(tmp_path)
+
+
+@pytest.mark.benchmark(group="replication")
+def test_replication_throughput_floor(benchmark, tmp_path):
+    rows = benchmark.pedantic(measure, args=(tmp_path,), rounds=1, iterations=1)
+    assert rows[-1]["speedup"] >= REPLICATION_SPEEDUP_FLOOR
+
+
+if __name__ == "__main__":
+    raise SystemExit(report())

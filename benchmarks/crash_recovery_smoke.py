@@ -15,13 +15,19 @@ then recovers the instance and verifies:
 * the recovered instance answers queries.
 
 Run as ``PYTHONPATH=src python -m benchmarks.crash_recovery_smoke``; exits
-non-zero on any failure.  CI runs it three ways: unsharded, with
-``CRASH_SMOKE_SHARDS=4``, and with ``CRASH_SMOKE_CHURN=1`` — where the child
+non-zero on any failure.  CI runs it four ways: unsharded, with
+``CRASH_SMOKE_SHARDS=4``, with ``CRASH_SMOKE_CHURN=1`` — where the child
 runs the full mutation lifecycle (commit / in-place update / delete) instead
 of pure ingest, so the kill can tear an ``update_annotation`` or
-``delete_annotation`` record and recovery must replay a mixed history.  In
-churn mode the expected live-annotation set is computed symbolically from
-the snapshot plus the acknowledged WAL suffix (commit adds an id, delete
+``delete_annotation`` record and recovery must replay a mixed history — and
+with ``CRASH_SMOKE_FAILOVER=1``, where the child serves a replicated
+deployment (one primary, two followers) and the parent, instead of
+recovering the primary, declares it dead, promotes the most-caught-up
+follower under a bumped term, and verifies the new primary holds exactly
+the acknowledged ledger: fenced failover must lose zero acknowledged
+writes even though the followers lag the WAL at kill time.  In churn mode
+the expected live-annotation set is computed symbolically from the
+snapshot plus the acknowledged WAL suffix (commit adds an id, delete
 removes it, update keeps it), and the recovered count must match exactly.
 """
 
@@ -45,14 +51,25 @@ SHARDS = int(os.environ.get("CRASH_SMOKE_SHARDS", "1"))
 #: Churn mode: the child mixes commits, in-place updates and deletes.
 CHURN = bool(int(os.environ.get("CRASH_SMOKE_CHURN", "0")))
 
+#: Failover mode: the child serves a replicated deployment; the parent
+#: promotes a follower instead of recovering the killed primary.
+FAILOVER = bool(int(os.environ.get("CRASH_SMOKE_FAILOVER", "0")))
+
+#: Followers behind the primary in failover mode.
+FAILOVER_REPLICAS = 2
+
 _CHILD_CODE = """
 import sys
 from repro.datatypes.sequence import DnaSequence
 
 root, shards = sys.argv[1], int(sys.argv[2])
+failover = bool(int(sys.argv[4]))
 from repro.service import GraphittiService, ServiceConfig
 config = ServiceConfig(durability="always")
-if shards > 1:
+if failover:
+    from repro.replica import ReplicatedGraphittiService
+    service = ReplicatedGraphittiService.open(root, replicas=int(sys.argv[5]), config=config)
+elif shards > 1:
     from repro.shard import ShardedGraphittiService
     service = ShardedGraphittiService.open(root, shards=shards, config=config)
 else:
@@ -132,7 +149,16 @@ def _acknowledged_live(shard_root: Path) -> int:
 def main() -> int:
     root = Path(tempfile.mkdtemp(prefix="crash-smoke-"))
     child = subprocess.Popen(
-        [sys.executable, "-c", _CHILD_CODE, str(root), str(SHARDS), str(int(CHURN))],
+        [
+            sys.executable,
+            "-c",
+            _CHILD_CODE,
+            str(root),
+            str(SHARDS),
+            str(int(CHURN)),
+            str(int(FAILOVER)),
+            str(FAILOVER_REPLICAS),
+        ],
         stdout=subprocess.PIPE,
         text=True,
         env=dict(os.environ),
@@ -150,7 +176,25 @@ def main() -> int:
             child.kill()
             child.wait()
 
-    if SHARDS > 1:
+    promotion = None
+    if FAILOVER:
+        from repro.replica import ReplicatedGraphittiService, ReplicationConfig
+        from repro.service import read_records
+
+        manifest = json.loads((root / "replication.json").read_text())
+        old_term = int(manifest["term"])
+        primary_root = root / manifest["primary"]
+        _, torn = read_records(primary_root / "wal.jsonl")
+        torn_tails = int(torn)
+        acknowledged_live = _acknowledged_live(primary_root)
+        service = ReplicatedGraphittiService.recover(
+            root,
+            replication=ReplicationConfig(auto_ship=False, auto_failover=False),
+            assume_primary_dead=True,
+        )
+        promotion = service.failover()
+        replayed = promotion["promoted_at_seq"]
+    elif SHARDS > 1:
         from repro.shard import ShardedGraphittiService
 
         shard_roots = sorted(root.glob("shard-*"))
@@ -179,12 +223,21 @@ def main() -> int:
         f"({SHARDS} shard(s)): {acknowledged_live} acknowledged live annotations, "
         f"torn tails: {torn_tails}"
     )
+    if promotion is not None:
+        print(
+            f"promoted {promotion['primary']} (term {promotion['term']}) "
+            f"at seq {promotion['promoted_at_seq']}; old primary left fenced"
+        )
     print(
         f"recovered: replayed {replayed} records over snapshot(s); "
         f"{stats['annotations']} annotations, integrity ok: {report.ok}, "
         f"probe query hits: {probe.count}"
     )
     failures = []
+    if promotion is not None and promotion["term"] != old_term + 1:
+        failures.append(
+            f"promotion term {promotion['term']} did not bump the manifest term {old_term}"
+        )
     if acknowledged_live < 1:
         failures.append("child was killed before committing anything; raise CRASH_SMOKE_WINDOW")
     if stats["annotations"] != acknowledged_live:

@@ -23,7 +23,14 @@ Commands
 ``serve ROOT``
     Open (or recover) a durable served instance at ROOT, drive it with a
     concurrent mixed read/write workload, checkpoint, and print the
-    serving-layer statistics.
+    serving-layer statistics.  ``--shards N`` serves hash-routed shards;
+    ``--replicas N`` adds WAL-shipping read replicas (composable with
+    ``--shards``).
+``promote ROOT``
+    Fenced failover for a replicated ROOT: fence the primary, drain the
+    followers from its WAL, promote the most-caught-up one (or ``--target``)
+    under a bumped term.  ``--assume-primary-dead`` runs the crash drill
+    (the primary directory is only read, never opened live).
 """
 
 from __future__ import annotations
@@ -123,6 +130,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     manifest = read_manifest(args.root) if Path(args.root).exists() else None
     sharded_root = manifest is not None or any(Path(args.root).glob("shard-*"))
+    replicated_root = (Path(args.root) / "replication.json").exists()
     if (args.shards is not None and args.shards > 1) or sharded_root:
         from repro.shard import ShardedGraphittiService
 
@@ -132,7 +140,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "are single-manager; sharded roots start empty)",
                 file=sys.stderr,
             )
-        service = ShardedGraphittiService.open(args.root, shards=args.shards, config=config)
+        service = ShardedGraphittiService.open(
+            args.root, shards=args.shards, config=config, replicas=args.replicas
+        )
         if service.recovery_info is not None:
             info = service.recovery_info
             print(
@@ -142,6 +152,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         else:
             print(f"opened fresh {service.shard_count}-shard instance at {args.root}")
+    elif args.replicas is not None or replicated_root:
+        from repro.replica import ReplicatedGraphittiService
+
+        service = ReplicatedGraphittiService.open(
+            args.root, replicas=args.replicas, config=config, manager_factory=factory
+        )
+        rep = service.replication_stats()
+        print(
+            f"opened replicated instance at {args.root}: term {rep['term']}, "
+            f"primary {rep['primary']}, {len(rep['followers'])} follower(s)"
+        )
     else:
         service = GraphittiService.open(args.root, config=config, manager_factory=factory)
         if service.recovery_info is not None:
@@ -189,11 +210,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"shards: {stats['sharding']['shards']} "
             f"({stats['sharding']['routing']}); annotations per shard: {per_shard}"
         )
+    if "replication" in stats:
+        rep = stats["replication"]
+        followers = ", ".join(
+            f"{row['name']}@{row['applied_seq']}" for row in rep["followers"]
+        )
+        print(
+            f"replication: term {rep['term']}, primary {rep['primary']}, "
+            f"followers [{followers}]"
+        )
+        reads = rep["reads"]
+        print(
+            f"reads served: {reads['replica']} replica, {reads['primary']} primary, "
+            f"{reads['degraded']} degraded ({reads['retries']} staleness retries)"
+        )
     service.close()
     if summary["errors"]:
         for error in summary["errors"]:
             print(f"workload error: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from repro.replica import ReplicatedGraphittiService, ReplicationConfig
+
+    root = Path(args.root)
+    manual = ReplicationConfig(auto_ship=False, auto_failover=False)
+    if (root / "shards.json").exists() or any(root.glob("shard-*")):
+        from repro.shard import ShardedGraphittiService
+
+        if args.shard is None:
+            print("sharded root: pass --shard to pick which shard fails over",
+                  file=sys.stderr)
+            return 2
+        service = ShardedGraphittiService.open(root)
+        try:
+            shard = service.shards[args.shard]
+        except IndexError:
+            print(f"no shard {args.shard} (topology has {service.shard_count})",
+                  file=sys.stderr)
+            service.close()
+            return 2
+        if not hasattr(shard, "promote"):
+            print(f"shard {args.shard} is not replicated; nothing to promote",
+                  file=sys.stderr)
+            service.close()
+            return 2
+        report = shard.promote(args.target)
+        service.close()
+    else:
+        service = ReplicatedGraphittiService.recover(
+            root, replication=manual, assume_primary_dead=args.assume_primary_dead
+        )
+        report = service.promote(args.target)
+        service.close()
+    print(
+        f"promoted {report['primary']} (term {report['term']}, "
+        f"caught up to seq {report['promoted_at_seq']}); "
+        f"fenced {report['demoted']}"
+    )
     return 0
 
 
@@ -334,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve N hash-routed shards under ROOT (scatter-gather queries). "
                               "A previously sharded root fixes N: reopening adopts its manifest "
                               "and a conflicting value is an error")
+    p_serve.add_argument("--replicas", type=int, default=None,
+                         help="attach N WAL-shipping read replicas (per shard when "
+                              "combined with --shards); reads route to followers under "
+                              "bounded staleness. A previously replicated root adopts "
+                              "its manifest topology")
     p_serve.add_argument("--scenario", choices=sorted(_SCENARIOS), default=None,
                          help="seed a fresh instance from a paper scenario")
     p_serve.add_argument("--readers", type=int, default=4)
@@ -345,6 +426,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="mutations between automatic checkpoints (0 = manual)")
     p_serve.add_argument("--cache-capacity", type=int, default=256)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_promote = sub.add_parser(
+        "promote", help="fenced failover: promote a follower of a replicated root"
+    )
+    p_promote.add_argument("root", help="directory holding replication.json (or shards.json)")
+    p_promote.add_argument("--target", default=None,
+                           help="follower directory name to promote (default: the "
+                                "most-caught-up follower)")
+    p_promote.add_argument("--shard", type=int, default=None,
+                           help="for sharded roots: which shard's replica group fails over")
+    p_promote.add_argument("--assume-primary-dead", action="store_true",
+                           help="crash drill: never open the primary live, only read "
+                                "its WAL as the shipping source")
+    p_promote.set_defaults(func=_cmd_promote)
     return parser
 
 

@@ -13,7 +13,11 @@ orders them for execution.  Three ordering modes exist:
   and the constraints run smallest-estimate first; the adaptive executor
   then re-orders the remainder after every step and switches index-backed
   constraints into semi-join probe mode when the surviving candidate set is
-  far smaller than a constraint's estimated match set.
+  far smaller than a constraint's estimated match set.  On corpora below
+  :data:`SMALL_CORPUS_THRESHOLD` annotations the implicit default falls
+  back to ``static`` per plan — the estimate pass costs more than ordering
+  can win at that scale (an explicit ``mode="cost"`` disables the
+  fallback).
 * ``static`` — the pre-statistics behaviour: a hard-coded per-class
   selectivity constant table (kept as the benchmark baseline and as the
   fallback when no manager is attached).
@@ -62,6 +66,15 @@ _SELECTIVITY: dict[type, int] = {
 MODE_OFF = "off"
 MODE_STATIC = "static"
 MODE_COST = "cost"
+
+#: Below this live corpus size (annotations in the statistics catalogue) the
+#: implicitly chosen cost mode falls back to the static table: on a small
+#: corpus every constraint's candidate set is small, the orders rarely
+#: differ, and the per-plan estimate pass (a catalogue probe per constraint)
+#: costs more than any ordering win repays.  An *explicit* ``mode="cost"``
+#: is honored regardless — the override exists for exactly the callers
+#: (tests, benchmarks) that want the estimate pass on any corpus.
+SMALL_CORPUS_THRESHOLD = 3000
 
 
 @dataclass
@@ -169,6 +182,7 @@ class QueryPlanner:
     """
 
     def __init__(self, enable_ordering: bool = True, manager=None, mode: str | None = None):
+        self._explicit_mode = mode is not None
         if mode is None:
             mode = (MODE_COST if manager is not None else MODE_STATIC) if enable_ordering else MODE_OFF
         if mode not in (MODE_OFF, MODE_STATIC, MODE_COST):
@@ -179,14 +193,27 @@ class QueryPlanner:
         self.enable_ordering = mode != MODE_OFF
         self._manager = manager
 
+    def effective_mode(self) -> str:
+        """The mode the next plan will use, small-corpus fallback applied.
+
+        Per-plan, not per-planner: the catalogue's annotation total is live,
+        so a corpus that grows past :data:`SMALL_CORPUS_THRESHOLD` starts
+        getting cost-based plans without anyone reconstructing the planner.
+        """
+        if self.mode == MODE_COST and not self._explicit_mode:
+            if self._manager.stats_catalogue.annotation_total < SMALL_CORPUS_THRESHOLD:
+                return MODE_STATIC
+        return self.mode
+
     def plan(self, query: Query) -> QueryPlan:
         """Produce an execution plan for *query*."""
         groups: dict[Target, list[Constraint]] = {}
         for constraint in query.constraints:
             groups.setdefault(constraint.target, []).append(constraint)
 
+        mode = self.effective_mode()
         estimated_rows: list[int] | None = None
-        if self.mode == MODE_COST:
+        if mode == MODE_COST:
             from repro.query.stats import CardinalityEstimator
 
             estimator = CardinalityEstimator(self._manager)
@@ -200,7 +227,7 @@ class QueryPlanner:
                 ),
             )
             estimated_rows = [estimates[id(constraint)] for constraint in ordered]
-        elif self.mode == MODE_STATIC:
+        elif mode == MODE_STATIC:
             ordered = sorted(
                 query.constraints,
                 key=lambda constraint: (_SELECTIVITY.get(type(constraint), 50), constraint.describe()),
@@ -213,7 +240,7 @@ class QueryPlanner:
             ordered_constraints=ordered,
             groups=groups,
             ordering_enabled=self.enable_ordering,
-            mode=self.mode,
+            mode=mode,
             estimated_rows=estimated_rows,
         )
 

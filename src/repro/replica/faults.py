@@ -1,0 +1,205 @@
+"""Deterministic fault injection for the replication pipeline.
+
+Every interesting replication bug lives in a narrow window — the fsync that
+fails at the acknowledgement point, the datagram torn mid-record, the
+follower that silently stops applying, the primary that dies *after* the WAL
+append but *before* the client sees the ack.  This module makes those
+windows schedulable: a :class:`FaultSchedule` is a list of rules of the form
+"at the Nth occurrence of fault point P (optionally against target T), fire
+for C occurrences", evaluated against monotonically counted occurrences — no
+wall clock, no randomness at evaluation time, so a failing matrix entry
+replays identically every run.
+
+Fault points:
+
+``wal.fsync``
+    The primary WAL's fsync raises ``OSError`` (full disk / dying device) at
+    exactly the durability point.  The serving layer's existing poisoning
+    takes over: the op is not acknowledged and the primary refuses further
+    writes, which the failure detector reads as a dead primary.
+``primary.kill_after_append``
+    The primary "dies" in the append→ack window: the record is durable in
+    its WAL but the caller gets :class:`PrimaryCrashed` instead of an ack.
+    The write is *allowed* (not required) to survive failover — the
+    classical indeterminacy of a crash at that point.
+``ship.tear``
+    The shipment datagram to one follower is truncated mid-record in
+    transit.  The follower drops the torn record; the shipper re-ships it
+    whole next pump.
+``follower.stall``
+    One follower's apply loop does nothing for C rounds (GC pause, disk
+    stall); its ``applied_seq`` freezes and bounded-staleness reads route
+    around it.
+
+Schedules can also be *generated* deterministically from a seed
+(:meth:`FaultSchedule.random`) to sweep the crash/failover matrix without
+hand-writing every case.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.replica.replicated import ReplicatedGraphittiService
+
+#: The schedulable fault points.
+FAULT_POINTS = (
+    "wal.fsync",
+    "primary.kill_after_append",
+    "ship.tear",
+    "follower.stall",
+)
+
+
+class PrimaryCrashed(ServiceError):
+    """The injected crash in the WAL-append → acknowledgement window.
+
+    The caller must treat the write as *indeterminate*: it was never
+    acknowledged, but the record may be durable and may legitimately survive
+    failover.  (Zero-acked-loss means every acknowledged write survives, not
+    that unacknowledged ones vanish.)
+    """
+
+
+class InjectedFsyncError(OSError):
+    """The injected device failure at the WAL durability point."""
+
+
+@dataclass
+class FaultRule:
+    """Fire *point* (against *target*) on occurrences [at, at + count)."""
+
+    point: str
+    at: int
+    target: str | None = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ServiceError(f"unknown fault point {self.point!r}; expected {FAULT_POINTS}")
+        if self.at < 1:
+            raise ServiceError("fault occurrences are 1-based; at must be >= 1")
+
+
+@dataclass
+class FaultSchedule:
+    """A deterministic set of fault rules plus the occurrence counters."""
+
+    rules: list[FaultRule] = field(default_factory=list)
+    _occurrences: dict[tuple[str, str | None], int] = field(default_factory=dict)
+    fired: list[dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        points: tuple[str, ...] = FAULT_POINTS,
+        targets: tuple[str | None, ...] = (None,),
+        rules: int = 3,
+        horizon: int = 20,
+    ) -> "FaultSchedule":
+        """A seed-derived schedule: same seed, same faults, every run."""
+        rng = random.Random(seed)
+        generated = [
+            FaultRule(
+                point=rng.choice(points),
+                at=rng.randint(1, horizon),
+                target=rng.choice(targets),
+                count=rng.randint(1, 3),
+            )
+            for _ in range(rules)
+        ]
+        return cls(rules=generated)
+
+    def fires(self, point: str, target: str | None = None) -> bool:
+        """Count one occurrence of *point* against *target*; True to fire.
+
+        Rules with ``target=None`` match any target; targeted rules count
+        and match only their own target's occurrence stream.
+        """
+        key = (point, target)
+        occurrence = self._occurrences.get(key, 0) + 1
+        self._occurrences[key] = occurrence
+        for rule in self.rules:
+            if rule.point != point:
+                continue
+            if rule.target is not None and rule.target != target:
+                continue
+            if rule.at <= occurrence < rule.at + rule.count:
+                self.fired.append(
+                    {"point": point, "target": target, "occurrence": occurrence}
+                )
+                return True
+        return False
+
+    # -- installation -----------------------------------------------------------
+
+    def install(self, replicated: ReplicatedGraphittiService) -> None:
+        """Attach this schedule's hooks to a replicated deployment.
+
+        Hooks attach to the *current* primary and followers; after a
+        promotion the new primary starts clean (its hooks were never
+        installed), which is exactly the post-failover reality — the faulty
+        device died with the old primary.
+        """
+        primary = replicated.primary
+        if primary is not None:
+            self.install_primary(primary, replicated)
+        replicated.ship_tear_hook = self._tear_hook
+        for follower in replicated.followers:
+            self.install_follower(follower)
+
+    def install_primary(self, primary, replicated: ReplicatedGraphittiService | None = None) -> None:
+        """Install the primary-side fault points (fsync failure, kill window)."""
+        store = primary._store  # noqa: SLF001 - fault points live below the facade
+        if store is not None:
+            def fsync_hook(fd: int) -> None:
+                if self.fires("wal.fsync"):
+                    raise InjectedFsyncError("injected fsync failure at the durability point")
+                os.fsync(fd)
+
+            store.wal.fsync_hook = fsync_hook
+
+        def after_append(op: str, seq: int) -> None:
+            if self.fires("primary.kill_after_append"):
+                if replicated is not None:
+                    replicated.mark_primary_dead()
+                raise PrimaryCrashed(
+                    f"primary crashed after appending seq {seq} ({op}) but before "
+                    "acknowledging it"
+                )
+
+        primary.after_append_hook = after_append
+
+    def install_follower(self, follower) -> None:
+        """Install the follower-side stall point."""
+        name = follower.name
+
+        def stall_hook() -> bool:
+            return self.fires("follower.stall", name)
+
+        follower.stall_hook = stall_hook
+
+    def _tear_hook(self, follower_name: str, payload: bytes) -> bytes:
+        if self.fires("ship.tear", follower_name):
+            return tear_payload(payload)
+        return payload
+
+
+def tear_payload(payload: bytes) -> bytes:
+    """Truncate a shipment mid-way through its final record.
+
+    Deterministic: cuts at the midpoint of the last record's line, leaving
+    earlier records intact — the canonical partial-delivery shape the
+    decoder must tolerate (and re-ship whole next round).
+    """
+    body = payload.rstrip(b"\n")
+    if not body:
+        return payload
+    start = body.rfind(b"\n") + 1
+    cut = start + max(1, (len(body) - start) // 2)
+    return payload[:cut]

@@ -1,0 +1,184 @@
+"""Incremental WAL tailing: the shipping side of replication.
+
+:func:`~repro.service.wal.read_records` slurps a whole log — fine for
+recovery, useless for a follower that must see each new record once.
+:class:`WalCursor` reads the same file **incrementally** from a byte offset:
+
+* ``poll()`` returns only the records appended since the last poll, and the
+  cursor's ``offset`` advances past exactly the records it returned;
+* a **torn tail** (the incomplete final line a crash — or a write caught
+  mid-flush — leaves) is never consumed and never an error: the cursor stops
+  before it and re-reads it next poll, by which time the writer has either
+  completed the line or a reopened :class:`~repro.service.wal.WriteAheadLog`
+  has truncated it away;
+* damage **before** the tail raises :class:`~repro.errors.WalCorruptionError`
+  — a mid-file unreadable record means acknowledged history is lost and the
+  follower must not silently skip it;
+* a file that *shrank* below the cursor's offset is a checkpoint truncation:
+  the cursor restarts at offset 0 and relies on its sequence filter (records
+  at or below ``last_seq`` are already applied) to stay idempotent.  If the
+  first record after a truncation leaves a **gap** above ``last_seq + 1``,
+  the records in between were checkpointed away before this cursor saw them
+  and :class:`ReplicationGapError` tells the caller to re-seed from the
+  primary's snapshot instead of replaying an incomplete history.
+
+The module also provides the **shipment codec**: :func:`encode_shipment`
+turns records back into the same JSONL bytes the WAL holds, and
+:func:`decode_shipment` parses a shipment datagram tolerating a torn final
+record (the transit analogue of the crash-torn tail).  Each shipment is
+self-contained — a torn record is simply re-shipped whole next round.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ServiceError, WalCorruptionError
+from repro.service.wal import encode_record, parse_record
+
+
+class ReplicationGapError(ServiceError):
+    """The WAL no longer holds the records a cursor still needs.
+
+    Raised when a truncation-restarted cursor finds the log resuming above
+    ``last_seq + 1``: the missing records were folded into a snapshot the
+    cursor has not seen.  The fix is a snapshot re-seed, not a replay.
+    """
+
+    def __init__(self, needed: int, available: int, path: str | Path):
+        super().__init__(
+            f"WAL at {path} resumes at seq {available} but the cursor has only "
+            f"applied up to {needed - 1}; the gap was checkpointed away — "
+            "re-seed from the primary snapshot"
+        )
+        self.needed = needed
+        self.available = available
+
+
+class WalCursor:
+    """An offset-based incremental reader over one WAL file.
+
+    Parameters
+    ----------
+    path:
+        The WAL file to tail (may not exist yet).
+    offset:
+        Byte offset to resume from (0 for a fresh cursor; a persisted
+        follower passes the offset it had reached).
+    last_seq:
+        Highest sequence number already consumed; records at or below it are
+        skipped (the idempotence filter that makes truncation restarts and
+        re-ships safe).
+    """
+
+    def __init__(self, path: str | Path, offset: int = 0, last_seq: int = 0):
+        self.path = Path(path)
+        self.offset = int(offset)
+        self.last_seq = int(last_seq)
+        self.truncation_restarts = 0
+
+    def poll(self, max_records: int | None = None) -> list[dict[str, Any]]:
+        """Return the complete, unseen records appended since the last poll.
+
+        Never consumes a torn tail; raises :class:`WalCorruptionError` for
+        mid-file damage and :class:`ReplicationGapError` when a truncation
+        skipped history this cursor never saw.
+        """
+        if not self.path.exists():
+            return []
+        size = self.path.stat().st_size
+        if size < self.offset:
+            # Checkpoint truncated (or rewrote) the file under us; restart
+            # and let the seq filter drop everything already applied.
+            self.offset = 0
+            self.truncation_restarts += 1
+        if size == self.offset:
+            return []
+        with self.path.open("rb") as handle:
+            handle.seek(self.offset)
+            raw = handle.read()
+        records: list[dict[str, Any]] = []
+        consumed = 0
+        scan = 0
+        while True:
+            newline = raw.find(b"\n", scan)
+            if newline < 0:
+                break  # incomplete final line: the torn tail, never consumed
+            line = raw[scan:newline]
+            record = parse_record(line)
+            if record is None:
+                if raw.find(b"\n", newline + 1) < 0:
+                    # The damaged line is the final one in the file; treat it
+                    # like a torn tail (a crash can flush a partial line that
+                    # happens to end in a newline).  Do not consume it: the
+                    # writer reopening the log truncates it away, at which
+                    # point the shrink-restart path takes over.
+                    break
+                raise WalCorruptionError(
+                    f"unreadable WAL record before the tail of {self.path} "
+                    f"(byte offset {self.offset + scan})"
+                )
+            scan = newline + 1
+            if record["seq"] <= self.last_seq:
+                consumed = scan  # already applied; safe to skip past
+                continue
+            if record["seq"] > self.last_seq + 1:
+                # The records between last_seq and this one are not in the
+                # file (checkpointed away before this cursor saw them, or the
+                # cursor was pointed at a log whose snapshot it never loaded).
+                raise ReplicationGapError(self.last_seq + 1, record["seq"], self.path)
+            records.append(record)
+            self.last_seq = record["seq"]
+            consumed = scan
+            if max_records is not None and len(records) >= max_records:
+                break
+        self.offset += consumed
+        return records
+
+    def state(self) -> dict[str, int]:
+        """The resumable cursor position (offset + seq high-water mark)."""
+        return {"offset": self.offset, "last_seq": self.last_seq}
+
+
+# -- shipment codec ------------------------------------------------------------
+
+
+def encode_shipment(records: list[dict[str, Any]]) -> bytes:
+    """Encode records as a self-contained JSONL shipment datagram."""
+    return "".join(encode_record(record) + "\n" for record in records).encode("utf-8")
+
+
+def decode_shipment(
+    payload: bytes, last_seq: int = 0
+) -> tuple[list[dict[str, Any]], bool]:
+    """Parse a shipment; returns ``(records, torn_tail)``.
+
+    Tolerates exactly one torn record at the end (a transit tear — the
+    shipper re-ships it whole next round, so losing it here is safe).
+    Damage anywhere earlier raises :class:`WalCorruptionError`, and records
+    must advance strictly past *last_seq* and each other — a shipment that
+    rewinds the sequence is a double-apply attempt, not a retry.
+    """
+    records: list[dict[str, Any]] = []
+    torn = False
+    previous = last_seq
+    lines = payload.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    last = len(lines) - 1
+    for position, line in enumerate(lines):
+        record = parse_record(line)
+        if record is None:
+            if position == last:
+                torn = True
+                break
+            raise WalCorruptionError("unreadable record before the tail of a shipment")
+        if record["seq"] <= previous:
+            raise WalCorruptionError(
+                f"shipment seq {record['seq']} does not advance past {previous} "
+                "(stale or duplicated history rejected)"
+            )
+        previous = record["seq"]
+        records.append(record)
+    return records, torn

@@ -13,10 +13,10 @@ epoch-invalidated query-result cache, and a group-committed bulk ingest path:
 """
 
 from repro.service.cache import QueryResultCache, normalize_gql
-from repro.service.durability import DurableStore, recover_manager
+from repro.service.durability import DurableStore, apply_record, recover_manager
 from repro.service.locks import ReadWriteLock
 from repro.service.service import GraphittiService, ServiceConfig
-from repro.service.wal import WriteAheadLog, read_records
+from repro.service.wal import WriteAheadLog, encode_record, fsync_dir, parse_record, read_records
 
 __all__ = [
     "GraphittiService",
@@ -26,6 +26,10 @@ __all__ = [
     "normalize_gql",
     "WriteAheadLog",
     "read_records",
+    "parse_record",
+    "encode_record",
+    "fsync_dir",
     "DurableStore",
+    "apply_record",
     "recover_manager",
 ]

@@ -36,7 +36,7 @@ from repro.core.persistence import (
 )
 from repro.errors import ServiceError, WalCorruptionError
 from repro.ontology.model import Ontology
-from repro.service.wal import WriteAheadLog, read_records
+from repro.service.wal import WriteAheadLog, fsync_dir, read_records
 
 SNAPSHOT_FILE = "snapshot.json"
 WAL_FILE = "wal.jsonl"
@@ -91,11 +91,7 @@ class DurableStore:
         # The rename itself is only durable once the directory entry reaches
         # disk; fsync the directory BEFORE truncating the log, or a power
         # failure could leave the old snapshot next to an already-empty WAL.
-        directory_fd = os.open(self.root, os.O_RDONLY)
-        try:
-            os.fsync(directory_fd)
-        finally:
-            os.close(directory_fd)
+        fsync_dir(self.root)
         self.wal.truncate()
         self.checkpoints += 1
         return self.snapshot_path

@@ -60,6 +60,9 @@ class ServiceConfig:
     durability: str = "always"
     #: Whether the planner applies selectivity ordering.
     enable_ordering: bool = True
+    #: Explicit planner mode ("off", "static", "cost"); None keeps the
+    #: implicit default (cost with the small-corpus static fallback).
+    planner_mode: str | None = None
     #: Checkpoint once more when the service closes.
     checkpoint_on_close: bool = True
 
@@ -91,11 +94,19 @@ class GraphittiService:
         self._plans_mutex = threading.Lock()
         self._store = DurableStore(root, durability=self.config.durability) if root else None
         self._wal_failed = False
+        self._fenced = False
+        #: Called after every successful WAL append, before the mutation is
+        #: acknowledged to the caller.  The replication fault harness uses it
+        #: to model a primary dying *between* append and acknowledgement —
+        #: the window where a record is durable but was never acked.
+        self.after_append_hook: Callable[[str, int], None] | None = None
         self._ops_since_checkpoint = 0
         self._recovery_info: dict[str, Any] | None = None
         self._closed = False
         self._planner = QueryPlanner(
-            enable_ordering=self.config.enable_ordering, manager=self._manager
+            enable_ordering=self.config.enable_ordering,
+            manager=self._manager,
+            mode=self.config.planner_mode,
         )
         self._manager.stats_providers.append(self._service_stats)
 
@@ -201,11 +212,39 @@ class GraphittiService:
         finally:
             self._lock.release_read()
 
+    # -- fencing ---------------------------------------------------------------
+
+    def fence(self) -> None:
+        """Permanently refuse mutations on this service (demotion fencing).
+
+        Failover promotes a follower and fences the old primary: a zombie —
+        a demoted primary that still holds the write path — must not be able
+        to acknowledge (or log) writes the promoted primary will never see.
+        Reads stay allowed; a fenced instance serves at its last applied
+        state like any stale follower.  Fencing is one-way.
+        """
+        self._fenced = True
+
+    @property
+    def fenced(self) -> bool:
+        return self._fenced
+
+    @property
+    def last_wal_seq(self) -> int:
+        """The highest WAL sequence number this service has logged (0 when
+        non-durable).  Every acknowledged mutation is at or below it."""
+        return self._store.wal.last_seq if self._store is not None else 0
+
     # -- write path ------------------------------------------------------------
 
     def _ensure_open(self) -> None:
         if self._closed:
             raise ServiceError("service is closed")
+        if self._fenced:
+            raise ServiceError(
+                "service is fenced: a newer primary was promoted; "
+                "writes here would be lost or double-applied"
+            )
 
     def register_ontology(self, ontology, cache: bool = True):
         """Register an ontology (serialized with other writers; WAL-logged)."""
@@ -296,6 +335,8 @@ class GraphittiService:
                 except Exception:
                     self._wal_failed = True
                     raise
+                if self.after_append_hook is not None:
+                    self.after_append_hook("commit", self._store.wal.last_seq)
             self._after_mutation_locked(len(committed))
         return committed
 
@@ -359,7 +400,7 @@ class GraphittiService:
                 "recover from the existing snapshot + WAL before writing again"
             )
         try:
-            self._store.wal.append(op, payload)
+            seq = self._store.wal.append(op, payload)
         except Exception:
             # The in-memory apply preceded the append; the caller sees this
             # exception (the op is NOT acknowledged), and poisoning the
@@ -367,6 +408,10 @@ class GraphittiService:
             # state the log never acknowledged.
             self._wal_failed = True
             raise
+        if self.after_append_hook is not None:
+            # Fault window: the record is durable but the caller has not been
+            # acknowledged yet.  A raise here models a crash in that window.
+            self.after_append_hook(op, seq)
 
     def _after_mutation_locked(self, ops: int) -> None:
         """Post-mutation bookkeeping; caller holds the write lock."""

@@ -18,6 +18,13 @@ Crash semantics:
 Batched appends (:meth:`WriteAheadLog.append_many`) write the whole group and
 sync **once** — the group-commit optimization behind the serving layer's bulk
 ingest path.
+
+Payload encoding is **strict**: a payload holding any value the JSON codec
+cannot represent natively raises :class:`~repro.errors.ServiceError` *before*
+anything reaches the file.  (An earlier revision silently stringified such
+values via ``default=str``, which produced records that parsed but could not
+be replayed — a WAL that accepts what it cannot replay is corruption with
+extra steps.)
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.errors import ServiceError, WalCorruptionError
 
@@ -41,6 +48,38 @@ WAL_OPS = (
 
 #: fsync policies: every record, every batch/explicit sync, or never.
 DURABILITY_MODES = ("always", "batch", "never")
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync the directory at *path* so a completed rename survives power loss.
+
+    ``os.replace`` makes a rename atomic, but the new directory entry only
+    becomes durable once the *directory* itself reaches disk — without this,
+    a crash after the rename can resurrect the replaced file.  Called after
+    every atomic-rename in the WAL/snapshot/manifest lifecycle.
+    """
+    directory_fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(directory_fd)
+    finally:
+        os.close(directory_fd)
+
+
+def encode_record(record: dict[str, Any]) -> str:
+    """Strictly encode one WAL record as its JSONL line (no trailing newline).
+
+    Raises :class:`ServiceError` when the payload holds a value JSON cannot
+    represent natively (sets, objects, NaN/Infinity, non-string keys...): a
+    record that cannot round-trip through :func:`read_records` must never be
+    acknowledged, because replay — the whole point of the log — would lose it.
+    """
+    try:
+        return json.dumps(record, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(
+            f"WAL record for op {record.get('op')!r} is not strictly "
+            f"JSON-serializable and would be unreplayable: {exc}"
+        ) from exc
 
 
 def read_records(path: str | Path) -> tuple[list[dict[str, Any]], bool]:
@@ -74,6 +113,16 @@ def read_records(path: str | Path) -> tuple[list[dict[str, Any]], bool]:
     return records, False
 
 
+def parse_record(line: bytes) -> dict[str, Any] | None:
+    """Parse one JSONL line into a WAL record; None when it is not one.
+
+    Shared with the replication tailer (:mod:`repro.replica.tailer`), whose
+    shipped byte stream must accept exactly the records :func:`read_records`
+    accepts.
+    """
+    return _parse_record(line)
+
+
 def _parse_record(line: bytes) -> dict[str, Any] | None:
     try:
         record = json.loads(line.decode("utf-8"))
@@ -102,6 +151,9 @@ class WriteAheadLog:
             )
         self.path = Path(path)
         self.durability = durability
+        #: Injectable fsync (the fault harness swaps in a failing one to model
+        #: a full disk / dying device at exactly the acknowledgement point).
+        self.fsync_hook: Callable[[int], None] = os.fsync
         self.path.parent.mkdir(parents=True, exist_ok=True)
         existing, torn = read_records(self.path)
         self.last_seq = existing[-1]["seq"] if existing else 0
@@ -118,7 +170,7 @@ class WriteAheadLog:
         seq = self._write(op, payload)
         self._handle.flush()
         if self.durability == "always":
-            os.fsync(self._handle.fileno())
+            self.fsync_hook(self._handle.fileno())
         return seq
 
     def append_many(self, operations: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
@@ -128,15 +180,46 @@ class WriteAheadLog:
             return seqs
         self._handle.flush()
         if self.durability in ("always", "batch"):
-            os.fsync(self._handle.fileno())
+            self.fsync_hook(self._handle.fileno())
         return seqs
+
+    def append_record(self, record: dict[str, Any]) -> int:
+        """Append an already-sequenced record verbatim (the replication path).
+
+        A follower persisting a shipped record must keep the **primary's**
+        sequence number — local renumbering would break the idempotent
+        skip-on-replay rule that recovery and re-shipping both rely on.  The
+        sequence must strictly advance; a record at or below ``last_seq`` is
+        the signature of a double-apply (a zombie primary re-shipping history
+        it no longer owns) and raises :class:`WalCorruptionError` — this is
+        the same non-monotonic-seq guard recovery enforces, applied at append
+        time as the promotion fencing check.
+        """
+        seq = record.get("seq")
+        op = record.get("op")
+        if not isinstance(seq, int) or op not in WAL_OPS or "payload" not in record:
+            raise ServiceError(f"malformed WAL record (seq={seq!r}, op={op!r})")
+        if seq <= self.last_seq:
+            raise WalCorruptionError(
+                f"record seq {seq} does not advance past {self.last_seq} in {self.path} "
+                "(stale append rejected by the seq-fencing guard)"
+            )
+        self._handle.write(
+            encode_record({"seq": seq, "op": op, "payload": record["payload"]}) + "\n"
+        )
+        self.last_seq = seq
+        self.record_count += 1
+        self._handle.flush()
+        if self.durability == "always":
+            self.fsync_hook(self._handle.fileno())
+        return seq
 
     def _write(self, op: str, payload: dict[str, Any]) -> int:
         if op not in WAL_OPS:
             raise ServiceError(f"unknown WAL op {op!r}")
+        line = encode_record({"seq": self.last_seq + 1, "op": op, "payload": payload})
         self.last_seq += 1
-        record = {"seq": self.last_seq, "op": op, "payload": payload}
-        self._handle.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+        self._handle.write(line + "\n")
         self.record_count += 1
         return self.last_seq
 
@@ -146,7 +229,7 @@ class WriteAheadLog:
         """Flush and fsync whatever has been written so far."""
         self._handle.flush()
         if self.durability != "never":
-            os.fsync(self._handle.fileno())
+            self.fsync_hook(self._handle.fileno())
 
     def truncate(self) -> None:
         """Drop every record (sequence numbering continues where it left off).
@@ -158,7 +241,7 @@ class WriteAheadLog:
         self._handle.seek(0)
         self._handle.flush()
         if self.durability != "never":
-            os.fsync(self._handle.fileno())
+            self.fsync_hook(self._handle.fileno())
         self.record_count = 0
 
     def _truncate_to_records(self, records: list[dict[str, Any]]) -> None:
@@ -166,10 +249,12 @@ class WriteAheadLog:
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         with tmp.open("w", encoding="utf-8") as handle:
             for record in records:
-                handle.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+                handle.write(encode_record(record) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, self.path)
+        # The rename is only durable once the directory entry reaches disk.
+        fsync_dir(self.path.parent)
 
     def close(self) -> None:
         """Flush, sync and close the underlying file."""

@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ServiceError
+from repro.service.wal import fsync_dir
 
 #: Topology manifest written next to the per-shard directories.
 MANIFEST_FILE = "shards.json"
@@ -101,9 +102,5 @@ def write_manifest(root: str | Path, manifest: dict[str, Any]) -> Path:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
-    directory_fd = os.open(root, os.O_RDONLY)
-    try:
-        os.fsync(directory_fd)
-    finally:
-        os.close(directory_fd)
+    fsync_dir(root)
     return path

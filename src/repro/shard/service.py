@@ -56,6 +56,11 @@ from repro.errors import AnnotationError, ServiceError, UnknownObjectError
 from repro.query.ast import Query, ReturnKind
 from repro.query.parser import parse_query
 from repro.query.result import QueryResult
+from repro.replica.replicated import (
+    REPLICATION_MANIFEST,
+    ReplicatedGraphittiService,
+    ReplicationConfig,
+)
 from repro.service.cache import normalize_gql
 from repro.service.service import GraphittiService, ServiceConfig
 from repro.shard.router import (
@@ -155,6 +160,8 @@ class ShardedGraphittiService:
         shards: int | None = None,
         config: ServiceConfig | None = None,
         name: str = "graphitti",
+        replicas: int | None = None,
+        replication: ReplicationConfig | None = None,
     ) -> "ShardedGraphittiService":
         """Open (or recover) the sharded deployment at *root*.
 
@@ -165,6 +172,15 @@ class ShardedGraphittiService:
         each shard's empty baseline, and writes the manifest.  Every shard
         holding prior state is recovered — WAL replay, torn-tail rules and
         all — before the instance is returned.
+
+        With ``replicas=N`` (or when the shard directories already hold
+        replication manifests) each shard opens as a
+        :class:`~repro.replica.replicated.ReplicatedGraphittiService` —
+        writes land on the shard's primary, scatter-gather reads serve from
+        its followers.  The default per-shard read contract is ``"fresh"``
+        (a read waits for a follower to reach the last acknowledged write,
+        then degrades to the primary), so scatter-gather semantics match the
+        unreplicated deployment exactly.
         """
         root = Path(root)
         manifest = read_manifest(root)
@@ -204,6 +220,12 @@ class ShardedGraphittiService:
                     "GraphittiService, or migrate it before sharding"
                 )
             count = shards if shards is not None else 4
+        # A shard directory holding a replication manifest was deployed
+        # replicated; reopen it that way even without an explicit replicas=.
+        replicated = replicas is not None or any(
+            (root / shard_dir_name(index) / REPLICATION_MANIFEST).exists()
+            for index in range(count)
+        )
         services = []
         recovery: list[dict[str, Any] | None] = []
         for index in range(count):
@@ -213,9 +235,18 @@ class ShardedGraphittiService:
                     f"{name}-{namespace}", id_namespace=namespace
                 )
             )
-            service = GraphittiService.open(
-                root / shard_dir_name(index), config=config, manager_factory=factory
-            )
+            if replicated:
+                service: Any = ReplicatedGraphittiService.open(
+                    root / shard_dir_name(index),
+                    replicas=replicas,
+                    config=config,
+                    replication=replication or ReplicationConfig(default_read="fresh"),
+                    manager_factory=factory,
+                )
+            else:
+                service = GraphittiService.open(
+                    root / shard_dir_name(index), config=config, manager_factory=factory
+                )
             # WAL-only recoveries predate the namespace; (re)pin it so ids
             # generated after a failover still encode their shard.
             service.manager.id_namespace = namespace
@@ -684,7 +715,11 @@ class ShardedGraphittiService:
         """
         per_shard = self._scatter(lambda shard: shard.statistics())
         without_service = [
-            {key: value for key, value in stats.items() if key != "service"}
+            {
+                key: value
+                for key, value in stats.items()
+                if key not in ("service", "replication")
+            }
             for stats in per_shard
         ]
         aggregated = _sum_tree(without_service)
@@ -711,6 +746,9 @@ class ShardedGraphittiService:
                 for stats in per_shard
             ],
         }
+        replication_rows = [stats.get("replication") for stats in per_shard]
+        if any(row is not None for row in replication_rows):
+            aggregated["sharding"]["replication"] = replication_rows
         return aggregated
 
     # -- checkpointing ---------------------------------------------------------
@@ -738,13 +776,18 @@ class ShardedGraphittiService:
             shard._store.wal.last_seq if shard._store is not None else 0  # noqa: SLF001
             for shard in self._shards
         ]
-        return write_manifest(
-            self._root,
-            {
-                "version": 1,
-                "shards": len(self._shards),
-                "routing": ROUTING_SCHEME,
-                "checkpoints": self._checkpoints,
-                "wal_seqs": wal_seqs,
-            },
-        )
+        manifest = {
+            "version": 1,
+            "shards": len(self._shards),
+            "routing": ROUTING_SCHEME,
+            "checkpoints": self._checkpoints,
+            "wal_seqs": wal_seqs,
+        }
+        if isinstance(self._shards[0], ReplicatedGraphittiService):
+            manifest["replicas"] = len(self._shards[0].followers)
+            manifest["terms"] = [
+                shard.term
+                for shard in self._shards
+                if isinstance(shard, ReplicatedGraphittiService)
+            ]
+        return write_manifest(self._root, manifest)

@@ -162,7 +162,7 @@ def test_explain_shows_estimated_and_actual(workload):
     from repro.query.executor import QueryExecutor
     from repro.query.planner import QueryPlanner
 
-    plan = QueryPlanner(manager=workload).plan(query)
+    plan = QueryPlanner(manager=workload, mode="cost").plan(query)
     assert "est~" in plan.explain()
     assert "act=" not in plan.explain()
     result = QueryExecutor(workload).execute_plan(plan)
@@ -181,9 +181,9 @@ def test_fingerprint_reflects_chosen_order(workload):
         'SELECT contents WHERE { CONTENT CONTAINS "epitope" '
         "INTERVAL OVERLAPS genome:chrX [100, 250] TYPE dna_sequence }"
     )
-    cost_plan = QueryPlanner(manager=workload).plan(parse_query(text))
+    cost_plan = QueryPlanner(manager=workload, mode="cost").plan(parse_query(text))
     empty = Graphitti("adaptive-empty")
-    empty_plan = QueryPlanner(manager=empty).plan(parse_query(text))
+    empty_plan = QueryPlanner(manager=empty, mode="cost").plan(parse_query(text))
     assert cost_plan.mode == empty_plan.mode == "cost"
     orders = [c.describe() for c in cost_plan.ordered_constraints]
     empty_orders = [c.describe() for c in empty_plan.ordered_constraints]
@@ -194,16 +194,37 @@ def test_fingerprint_reflects_chosen_order(workload):
     assert empty_orders[0].startswith("content")
     assert cost_plan.fingerprint() != empty_plan.fingerprint()
     # Same manager, same stats -> deterministic fingerprint.
-    again = QueryPlanner(manager=workload).plan(parse_query(text))
+    again = QueryPlanner(manager=workload, mode="cost").plan(parse_query(text))
     assert again.fingerprint() == cost_plan.fingerprint()
 
 
-def test_executor_defaults_to_cost_mode(workload):
+def test_executor_default_mode_tracks_corpus_size(workload):
+    """The implicit default is cost mode — but only past the small-corpus
+    threshold, below which the estimate pass cannot pay for itself and the
+    planner falls back to the static table per plan."""
     from repro.query.executor import QueryExecutor
+    from repro.query.planner import SMALL_CORPUS_THRESHOLD, QueryPlanner
 
+    # The workload fixture is below the threshold: implicit -> static.
+    assert workload.stats_catalogue.annotation_total < SMALL_CORPUS_THRESHOLD
+    assert QueryPlanner(manager=workload).effective_mode() == "static"
     executor = QueryExecutor(workload)
     result = executor.execute(QueryBuilder.contents().contains("epitope").build())
+    assert result.step_details and result.step_details[0]["estimated"] is None
+
+    # An explicit mode="cost" disables the fallback on the same corpus.
+    explicit = QueryExecutor(workload, planner=QueryPlanner(manager=workload, mode="cost"))
+    result = explicit.execute(QueryBuilder.contents().contains("epitope").build())
     assert result.step_details and result.step_details[0]["estimated"] is not None
+
+    # Once the catalogue reports a large corpus the implicit default IS cost
+    # again — the fallback is per plan, against the live annotation total.
+    planner = QueryPlanner(manager=workload)
+    workload.stats_catalogue._annotation_total += SMALL_CORPUS_THRESHOLD  # noqa: SLF001
+    try:
+        assert planner.effective_mode() == "cost"
+    finally:
+        workload.stats_catalogue._annotation_total -= SMALL_CORPUS_THRESHOLD  # noqa: SLF001
 
 
 # -- sweep-based type extension vs. the quadratic baseline ---------------------

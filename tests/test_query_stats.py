@@ -115,7 +115,8 @@ def test_estimates_rank_skewed_constraints():
         QueryBuilder.contents()
         .of_type("dna_sequence")
         .overlaps_interval("genome:chrX", 100, 300)
-        .build()
+        .build(),
+        mode="cost",
     )
     assert explanation["mode"] == "cost"
     rows = dict(explanation["estimated_rows"])

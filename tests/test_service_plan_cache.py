@@ -35,7 +35,9 @@ def _commit(service, annotation_id: str, keywords, start: float, end: float) -> 
 
 @pytest.fixture
 def service():
-    svc = GraphittiService(manager=_manager())
+    # Explicit cost mode: the corpus here is far below the small-corpus
+    # fallback threshold, and these tests exercise stats-driven re-planning.
+    svc = GraphittiService(manager=_manager(), config=ServiceConfig(planner_mode="cost"))
     yield svc
     svc.close()
 

@@ -5,7 +5,13 @@ import json
 import pytest
 
 from repro.errors import ServiceError, WalCorruptionError
-from repro.service.wal import WriteAheadLog, read_records
+from repro.service.wal import (
+    WAL_OPS,
+    WriteAheadLog,
+    encode_record,
+    parse_record,
+    read_records,
+)
 
 
 def _wal(tmp_path, durability="never"):
@@ -119,3 +125,48 @@ def test_missing_and_empty_files(tmp_path):
 def test_bad_durability_mode_rejected(tmp_path):
     with pytest.raises(ServiceError):
         WriteAheadLog(tmp_path / "wal.jsonl", durability="sometimes")
+
+
+# -- strict encoding and codec round-trips -------------------------------------
+
+
+def test_unserializable_payload_rejected_before_append(tmp_path):
+    """A record that cannot round-trip through JSON must never be acked."""
+    with _wal(tmp_path) as wal:
+        with pytest.raises(ServiceError):
+            wal.append("commit", {"keywords": {"a", "set"}})
+        with pytest.raises(ServiceError):
+            wal.append("commit", {"score": float("nan")})
+        # The refusals left no partial line behind: the log is still clean.
+        assert wal.append("commit", {"n": 1}) == 1
+    records, torn = read_records(tmp_path / "wal.jsonl")
+    assert not torn
+    assert [record["seq"] for record in records] == [1]
+
+
+def test_encode_record_strictness():
+    assert encode_record({"seq": 1, "op": "commit", "payload": {"n": 2}}) == (
+        '{"seq":1,"op":"commit","payload":{"n":2}}'
+    )
+    for payload in ({"bad": {1, 2}}, {"bad": float("inf")}, {"bad": object()}):
+        with pytest.raises(ServiceError):
+            encode_record({"seq": 1, "op": "commit", "payload": payload})
+
+
+def test_codec_round_trips_every_op_shape(tmp_path):
+    """encode -> parse is the identity for every record the service logs.
+
+    The scripted recovery sequence emits all six WAL_OPS with their real
+    payload shapes (nested referents, ontology terms, move_referents...),
+    so this pins the full codec surface, not toy payloads.
+    """
+    from test_service_recovery import scripted_root
+
+    records, torn = read_records(scripted_root(tmp_path) / "wal.jsonl")
+    assert not torn
+    assert {record["op"] for record in records} == set(WAL_OPS)
+    for record in records:
+        line = encode_record(record)
+        assert parse_record(line.encode("utf-8")) == record
+        # Shipping frames records exactly as the log stores them.
+        assert parse_record((line + "\n").encode("utf-8").rstrip(b"\n")) == record
