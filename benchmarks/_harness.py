@@ -18,14 +18,57 @@ from typing import Any, Callable
 
 def time_call(fn: Callable, repeat: int = 5, number: int = 1) -> float:
     """Return the best per-call wall-clock time (seconds) over *repeat* rounds."""
-    best = float("inf")
+    return min(time_samples(fn, repeat=repeat, number=number))
+
+
+def time_samples(fn: Callable, repeat: int = 5, number: int = 1) -> list[float]:
+    """Per-round mean per-call times (seconds), one sample per round.
+
+    The raw samples are what percentile reporting needs: the *best* round
+    (what :func:`time_call` returns) tracks the code's floor, while
+    p50/p95/p99 of the rounds expose the latency tail a mean hides — the
+    reason the known small-corpus planner regression went unnoticed.
+    """
+    samples: list[float] = []
     for _ in range(repeat):
         start = time.perf_counter()
         for _ in range(number):
             fn()
-        elapsed = (time.perf_counter() - start) / number
-        best = min(best, elapsed)
-    return best
+        samples.append((time.perf_counter() - start) / number)
+    return samples
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The *q*-th percentile (0..100) of *samples*, linearly interpolated."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+
+def sample_stats(samples: list[float], prefix: str = "") -> dict[str, float]:
+    """Summary keys for one measurement's samples: best/mean/p50/p95/p99.
+
+    With *prefix* (e.g. ``"candidate"``) the keys become
+    ``candidate_p50_seconds`` etc., ready to merge into an existing result
+    row without renaming the keys CI floors already read.
+    """
+    stats = {
+        "best_seconds": min(samples) if samples else 0.0,
+        "mean_seconds": (sum(samples) / len(samples)) if samples else 0.0,
+        "p50_seconds": percentile(samples, 50),
+        "p95_seconds": percentile(samples, 95),
+        "p99_seconds": percentile(samples, 99),
+    }
+    if prefix:
+        return {f"{prefix}_{key}": value for key, value in stats.items()}
+    return stats
 
 
 def speedup(baseline_seconds: float, candidate_seconds: float) -> float:

@@ -23,7 +23,7 @@ import random
 
 import pytest
 
-from benchmarks._harness import format_row, speedup, time_call, write_results
+from benchmarks._harness import format_row, sample_stats, speedup, time_samples, write_results
 from repro.agraph.agraph import AGraph
 from repro.baselines.unindexed_multigraph import UnindexedMultigraph, mirror_agraph
 
@@ -187,18 +187,21 @@ def report() -> tuple[str, bool]:
         if name == "path_constraint":
             # Sanity: the two-sweep evaluation never loses a pairwise result.
             assert baseline_result <= indexed_result, "two-sweep eval lost results"
-        indexed_time = time_call(indexed_fn, repeat=5)
-        baseline_time = time_call(baseline_fn, repeat=2)
+        indexed_samples = time_samples(indexed_fn, repeat=5)
+        baseline_samples = time_samples(baseline_fn, repeat=2)
+        indexed_time = min(indexed_samples)
+        baseline_time = min(baseline_samples)
         factor = speedup(baseline_time, indexed_time)
         ok = ok and factor >= SPEEDUP_FLOOR
-        rows.append(
-            {
-                "workload": name,
-                "indexed_seconds": indexed_time,
-                "baseline_seconds": baseline_time,
-                "speedup": factor,
-            }
-        )
+        row = {
+            "workload": name,
+            "indexed_seconds": indexed_time,
+            "baseline_seconds": baseline_time,
+            "speedup": factor,
+        }
+        row.update(sample_stats(baseline_samples, prefix="baseline"))
+        row.update(sample_stats(indexed_samples, prefix="indexed"))
+        rows.append(row)
         lines.append(
             format_row(
                 [name, f"{indexed_time * 1e3:.3f}", f"{baseline_time * 1e3:.3f}", f"{factor:.1f}x"],

@@ -10,7 +10,7 @@ import random
 
 import pytest
 
-from benchmarks._harness import format_row, speedup, time_call, write_results
+from benchmarks._harness import format_row, sample_stats, speedup, time_call, time_samples, write_results
 from repro.agraph.agraph import AGraph
 from repro.baselines.naive_graph import NaiveGraph, networkx_shortest_path
 
@@ -83,7 +83,8 @@ def report() -> str:
         g, contents, _ = _build_agraph(size)
         edges = _edges_of(g)
         source, target = contents[0], contents[-1]
-        agraph_time = time_call(lambda: g.path(source, target), repeat=10)
+        agraph_samples = time_samples(lambda: g.path(source, target), repeat=10)
+        agraph_time = min(agraph_samples)
 
         def naive_run():
             naive = NaiveGraph()
@@ -93,15 +94,15 @@ def report() -> str:
 
         naive_time = time_call(naive_run, repeat=3)
         nx_time = time_call(lambda: networkx_shortest_path(edges, source, target), repeat=3)
-        rows.append(
-            {
-                "nodes": g.node_count,
-                "agraph_seconds": agraph_time,
-                "naive_seconds": naive_time,
-                "networkx_seconds": nx_time,
-                "speedup": speedup(naive_time, agraph_time),
-            }
-        )
+        row = {
+            "nodes": g.node_count,
+            "agraph_seconds": agraph_time,
+            "naive_seconds": naive_time,
+            "networkx_seconds": nx_time,
+            "speedup": speedup(naive_time, agraph_time),
+        }
+        row.update(sample_stats(agraph_samples, prefix="agraph"))
+        rows.append(row)
         lines.append(
             format_row(
                 [

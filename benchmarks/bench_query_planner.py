@@ -29,7 +29,14 @@ import random
 
 import pytest
 
-from benchmarks._harness import format_row, speedup, time_call, write_results
+from benchmarks._harness import (
+    format_row,
+    sample_stats,
+    speedup,
+    time_call,
+    time_samples,
+    write_results,
+)
 from repro import Graphitti
 from repro.datatypes import DnaSequence
 from repro.query.builder import QueryBuilder
@@ -131,9 +138,11 @@ def measure_skewed() -> dict[str, float]:
         "adaptive and static planners disagree"
     )
     probe_steps = [d for d in adaptive_result.step_details if d["mode"] == "probe"]
-    static_seconds = time_call(lambda: manager.query(query, mode="static"), repeat=5)
-    adaptive_seconds = time_call(lambda: manager.query(query, mode="cost"), repeat=5)
-    return {
+    static_samples = time_samples(lambda: manager.query(query, mode="static"), repeat=5)
+    adaptive_samples = time_samples(lambda: manager.query(query, mode="cost"), repeat=5)
+    static_seconds = min(static_samples)
+    adaptive_seconds = min(adaptive_samples)
+    row = {
         "workload": "skewed_cardinalities",
         "annotations": SKEW_ANNOTATIONS,
         "matches": len(adaptive_result.annotation_ids),
@@ -143,6 +152,9 @@ def measure_skewed() -> dict[str, float]:
         "probe_steps": len(probe_steps),
         "speedup_floor": ADAPTIVE_SPEEDUP_FLOOR,
     }
+    row.update(sample_stats(static_samples, prefix="baseline"))
+    row.update(sample_stats(adaptive_samples, prefix="candidate"))
+    return row
 
 
 def measure_small_end() -> list[dict[str, float]]:
@@ -165,20 +177,23 @@ def measure_small_end() -> list[dict[str, float]]:
         )
         # Sub-millisecond calls: best-of-many with several calls per round,
         # or scheduler noise alone can breach the 5% floor margin.
-        static_seconds = time_call(lambda: g.query(query, mode="static"), repeat=15, number=3)
-        default_seconds = time_call(lambda: g.query(query), repeat=15, number=3)
+        static_samples = time_samples(lambda: g.query(query, mode="static"), repeat=15, number=3)
+        default_samples = time_samples(lambda: g.query(query), repeat=15, number=3)
         cost_seconds = time_call(lambda: g.query(query, mode="cost"), repeat=15, number=3)
-        rows.append(
-            {
-                "workload": "small_end_default",
-                "annotations": size,
-                "baseline_seconds": static_seconds,
-                "candidate_seconds": default_seconds,
-                "explicit_cost_seconds": cost_seconds,
-                "speedup": speedup(static_seconds, default_seconds),
-                "speedup_floor": SMALL_END_FLOOR,
-            }
-        )
+        static_seconds = min(static_samples)
+        default_seconds = min(default_samples)
+        row = {
+            "workload": "small_end_default",
+            "annotations": size,
+            "baseline_seconds": static_seconds,
+            "candidate_seconds": default_seconds,
+            "explicit_cost_seconds": cost_seconds,
+            "speedup": speedup(static_seconds, default_seconds),
+            "speedup_floor": SMALL_END_FLOOR,
+        }
+        row.update(sample_stats(static_samples, prefix="baseline"))
+        row.update(sample_stats(default_samples, prefix="candidate"))
+        rows.append(row)
     return rows
 
 
@@ -224,17 +239,20 @@ def report() -> tuple[str, bool]:
     for size in SIZES:
         g = _make_graphitti(size)
         query = _query()
-        ordered = time_call(lambda: g.query(query, enable_ordering=True), repeat=5)
-        naive = time_call(lambda: g.query(query, enable_ordering=False), repeat=5)
-        ordering_rows.append(
-            {
-                "workload": "ordering_on_vs_off",
-                "annotations": size,
-                "baseline_seconds": naive,
-                "candidate_seconds": ordered,
-                "speedup": speedup(naive, ordered),
-            }
-        )
+        ordered_samples = time_samples(lambda: g.query(query, enable_ordering=True), repeat=5)
+        naive_samples = time_samples(lambda: g.query(query, enable_ordering=False), repeat=5)
+        ordered = min(ordered_samples)
+        naive = min(naive_samples)
+        ordering_row = {
+            "workload": "ordering_on_vs_off",
+            "annotations": size,
+            "baseline_seconds": naive,
+            "candidate_seconds": ordered,
+            "speedup": speedup(naive, ordered),
+        }
+        ordering_row.update(sample_stats(naive_samples, prefix="baseline"))
+        ordering_row.update(sample_stats(ordered_samples, prefix="candidate"))
+        ordering_rows.append(ordering_row)
         lines.append(
             format_row(
                 [size, f"{ordered * 1e6:.1f}", f"{naive * 1e6:.1f}", f"{speedup(naive, ordered):.2f}x"],

@@ -37,7 +37,7 @@ from pathlib import Path
 
 import pytest
 
-from benchmarks._harness import format_row, speedup, write_results
+from benchmarks._harness import format_row, sample_stats, speedup, write_results
 from repro.replica import ReplicatedGraphittiService, ReplicationConfig
 from repro.service import GraphittiService, ServiceConfig
 from repro.workloads.replication_scenario import (
@@ -123,7 +123,7 @@ def measure(root: Path) -> list[dict[str, float]]:
         single.query(text)
         replicated.query(text, consistency="fresh")
     total_ops = THREADS * ops
-    best = {"single": 0.0, "replicated": 0.0}
+    samples = {"single": [], "replicated": []}
     last_summary = None
     # Alternate systems per round so machine drift hits both equally.
     for round_index in range(rounds):
@@ -136,32 +136,34 @@ def measure(root: Path) -> list[dict[str, float]]:
         for summary in (single_summary, replicated_summary):
             if summary["errors"]:
                 raise AssertionError(f"workload errors: {summary['errors']}")
-        best["single"] = max(best["single"], total_ops / single_summary["elapsed"])
-        best["replicated"] = max(best["replicated"], total_ops / replicated_summary["elapsed"])
+        samples["single"].append(single_summary["elapsed"])
+        samples["replicated"].append(replicated_summary["elapsed"])
         last_summary = replicated_summary
+    best = {name: total_ops / min(rounds_s) for name, rounds_s in samples.items()}
     check_no_acked_loss(replicated, last_summary)
     reads = replicated.replication_stats()["reads"]
     single.close()
     replicated.close()
-    return [
-        {
-            "workload": "mixed_95_5",
-            "replicas": 0,
-            "ops_per_second": best["single"],
-            "threads": THREADS,
-            "corpus": corpus,
-        },
-        {
-            "workload": "mixed_95_5",
-            "replicas": REPLICAS,
-            "ops_per_second": best["replicated"],
-            "threads": THREADS,
-            "corpus": corpus,
-            "replica_reads": reads["replica"],
-            "degraded_reads": reads["degraded"],
-            "speedup": speedup(1.0 / best["single"], 1.0 / best["replicated"]),
-        },
-    ]
+    single_row = {
+        "workload": "mixed_95_5",
+        "replicas": 0,
+        "ops_per_second": best["single"],
+        "threads": THREADS,
+        "corpus": corpus,
+    }
+    single_row.update(sample_stats(samples["single"]))
+    replicated_row = {
+        "workload": "mixed_95_5",
+        "replicas": REPLICAS,
+        "ops_per_second": best["replicated"],
+        "threads": THREADS,
+        "corpus": corpus,
+        "replica_reads": reads["replica"],
+        "degraded_reads": reads["degraded"],
+        "speedup": speedup(1.0 / best["single"], 1.0 / best["replicated"]),
+    }
+    replicated_row.update(sample_stats(samples["replicated"]))
+    return [single_row, replicated_row]
 
 
 def report() -> int:

@@ -26,7 +26,7 @@ import time
 
 import pytest
 
-from benchmarks._harness import format_row, speedup, time_call, write_results
+from benchmarks._harness import format_row, sample_stats, speedup, time_samples, write_results
 from repro.core.manager import Graphitti
 from repro.service import GraphittiService, ServiceConfig
 from repro.workloads.service_scenario import READER_QUERIES, seed_service_objects
@@ -93,9 +93,11 @@ def measure_cache() -> dict[str, float]:
         for _ in range(repetitions):
             _run_queries(cached)
 
-    uncached_seconds = time_call(uncached_pass, repeat=3)
-    cached_seconds = time_call(cached_pass, repeat=3)
-    return {
+    uncached_samples = time_samples(uncached_pass, repeat=3)
+    cached_samples = time_samples(cached_pass, repeat=3)
+    uncached_seconds = min(uncached_samples)
+    cached_seconds = min(cached_samples)
+    row = {
         "workload": "cached_repeated_queries",
         "baseline_seconds": uncached_seconds,
         "candidate_seconds": cached_seconds,
@@ -103,6 +105,9 @@ def measure_cache() -> dict[str, float]:
         "queries_per_pass": repetitions * len(READER_QUERIES),
         "hit_rate": cached.statistics()["service"]["query_cache"]["hit_rate"],
     }
+    row.update(sample_stats(uncached_samples, prefix="baseline"))
+    row.update(sample_stats(cached_samples, prefix="candidate"))
+    return row
 
 
 def _build_batch(manager: Graphitti, object_ids: list[str], count: int) -> list:
@@ -122,10 +127,10 @@ def _build_batch(manager: Graphitti, object_ids: list[str], count: int) -> list:
     return batch
 
 
-def _time_ingest(bulk: bool, rounds: int = 3) -> float:
-    """Best wall-clock seconds to durably commit the batch, fresh state per round."""
+def _time_ingest(bulk: bool, rounds: int = 3) -> list[float]:
+    """Wall-clock seconds per round to durably commit the batch, fresh state per round."""
     _, _, batch_size = SCALE
-    best = float("inf")
+    samples: list[float] = []
     for _ in range(rounds):
         root = tempfile.mkdtemp(prefix="bench-service-")
         try:
@@ -143,25 +148,30 @@ def _time_ingest(bulk: bool, rounds: int = 3) -> float:
             else:
                 for annotation in batch:
                     service.commit(annotation)
-            best = min(best, time.perf_counter() - start)
+            samples.append(time.perf_counter() - start)
             service.close()
         finally:
             shutil.rmtree(root, ignore_errors=True)
-    return best
+    return samples
 
 
 def measure_bulk() -> dict[str, float]:
     """Durable ingest: one group-committed batch vs. per-annotation commits."""
     _, _, batch_size = SCALE
-    sequential_seconds = _time_ingest(bulk=False)
-    bulk_seconds = _time_ingest(bulk=True)
-    return {
+    sequential_samples = _time_ingest(bulk=False)
+    bulk_samples = _time_ingest(bulk=True)
+    sequential_seconds = min(sequential_samples)
+    bulk_seconds = min(bulk_samples)
+    row = {
         "workload": "bulk_commit",
         "baseline_seconds": sequential_seconds,
         "candidate_seconds": bulk_seconds,
         "speedup": speedup(sequential_seconds, bulk_seconds),
         "batch_size": batch_size,
     }
+    row.update(sample_stats(sequential_samples, prefix="baseline"))
+    row.update(sample_stats(bulk_samples, prefix="candidate"))
+    return row
 
 
 def _bulk_equivalence_check() -> None:

@@ -34,7 +34,7 @@ import time
 
 import pytest
 
-from benchmarks._harness import format_row, speedup, write_results
+from benchmarks._harness import format_row, sample_stats, speedup, write_results
 from repro.core.manager import Graphitti
 from repro.datatypes.sequence import DnaSequence
 from repro.service import GraphittiService
@@ -180,36 +180,36 @@ def measure() -> list[dict[str, float]]:
         single.query(text)
         sharded.query(text)
     total_ops = THREADS * ops
-    best = {"single": 0.0, "sharded": 0.0}
+    samples = {"single": [], "sharded": []}
     # Alternate systems per round so machine drift hits both equally.
     for round_index in range(rounds):
-        elapsed_single = run_mixed_workload(single, single_objects, ops, f"s{round_index}")
-        elapsed_sharded = run_mixed_workload(sharded, sharded_objects, ops, f"h{round_index}")
-        best["single"] = max(best["single"], total_ops / elapsed_single)
-        best["sharded"] = max(best["sharded"], total_ops / elapsed_sharded)
+        samples["single"].append(run_mixed_workload(single, single_objects, ops, f"s{round_index}"))
+        samples["sharded"].append(run_mixed_workload(sharded, sharded_objects, ops, f"h{round_index}"))
+    best = {name: total_ops / min(rounds_s) for name, rounds_s in samples.items()}
     single_stats = single.statistics()["service"]["query_cache"]
     sharded_stats = sharded.statistics()["service"]["query_cache"]
     single.close()
     sharded.close()
-    return [
-        {
-            "workload": "mixed_concurrent",
-            "shards": 1,
-            "ops_per_second": best["single"],
-            "cache_hit_rate": single_stats["hit_rate"],
-            "threads": THREADS,
-            "corpus": corpus,
-        },
-        {
-            "workload": "mixed_concurrent",
-            "shards": SHARD_COUNT,
-            "ops_per_second": best["sharded"],
-            "cache_hit_rate": sharded_stats["hit_rate"],
-            "threads": THREADS,
-            "corpus": corpus,
-            "speedup": speedup(1.0 / best["single"], 1.0 / best["sharded"]),
-        },
-    ]
+    single_row = {
+        "workload": "mixed_concurrent",
+        "shards": 1,
+        "ops_per_second": best["single"],
+        "cache_hit_rate": single_stats["hit_rate"],
+        "threads": THREADS,
+        "corpus": corpus,
+    }
+    single_row.update(sample_stats(samples["single"]))
+    sharded_row = {
+        "workload": "mixed_concurrent",
+        "shards": SHARD_COUNT,
+        "ops_per_second": best["sharded"],
+        "cache_hit_rate": sharded_stats["hit_rate"],
+        "threads": THREADS,
+        "corpus": corpus,
+        "speedup": speedup(1.0 / best["single"], 1.0 / best["sharded"]),
+    }
+    sharded_row.update(sample_stats(samples["sharded"]))
+    return [single_row, sharded_row]
 
 
 def report() -> int:

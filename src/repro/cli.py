@@ -31,6 +31,16 @@ Commands
     followers from its WAL, promote the most-caught-up one (or ``--target``)
     under a bumped term.  ``--assume-primary-dead`` runs the crash drill
     (the primary directory is only read, never opened live).
+``metrics ROOT``
+    Open the instance at ROOT (single, sharded or replicated — the topology
+    is detected like ``serve`` does) and print its merged observability
+    snapshot as JSON or Prometheus text.  ``--exercise N`` first runs the
+    reader query mix N times so a cold instance has distributions to show.
+``trace ROOT GQL``
+    Run one query and pretty-print its span tree — parse, plan, per-
+    constraint execution, cache behavior, and (sharded) one child span per
+    shard under the scatter stage.  ``--warm`` runs the query once first so
+    the traced run shows the cached path.
 """
 
 from __future__ import annotations
@@ -229,6 +239,96 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for error in summary["errors"]:
             print(f"workload error: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _open_service_for_root(root: str | Path, config=None):
+    """Open the service at *root* with the same topology detection as serve.
+
+    A ``shards.json`` manifest (or ``shard-*`` directories) opens sharded; a
+    ``replication.json`` opens replicated; otherwise a single service.
+    """
+    from repro.service import GraphittiService
+    from repro.shard import ShardedGraphittiService, read_manifest
+
+    root_path = Path(root)
+    manifest = read_manifest(root_path) if root_path.exists() else None
+    if manifest is not None or any(root_path.glob("shard-*")):
+        return ShardedGraphittiService.open(root_path, config=config)
+    if (root_path / "replication.json").exists():
+        from repro.replica import ReplicatedGraphittiService
+
+        return ReplicatedGraphittiService.open(root_path, config=config)
+    return GraphittiService.open(root_path, config=config)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_prometheus
+
+    service = _open_service_for_root(args.root)
+    try:
+        if args.exercise:
+            from repro.workloads.service_scenario import READER_QUERIES
+
+            for _ in range(args.exercise):
+                for text in READER_QUERIES:
+                    service.query(text)
+        snapshot = service.metrics()
+        if not snapshot.get("enabled"):
+            print("observability is disabled for this service", file=sys.stderr)
+            return 1
+        if args.format == "prometheus":
+            print(render_prometheus(snapshot), end="")
+        else:
+            print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import format_span
+
+    service = _open_service_for_root(args.root)
+    try:
+        if not service.obs.enabled:
+            print("observability is disabled for this service", file=sys.stderr)
+            return 1
+        if args.warm:
+            try:
+                service.query(args.gql)
+            except GraphittiError as exc:
+                print(f"query error: {exc}", file=sys.stderr)
+                return 1
+        # A wrapper span captures the query's whole tree without touching
+        # the service internals: the query's root span parents to it via
+        # the thread-local span stack.
+        with service.obs.tracer.span("trace") as capture:
+            try:
+                result = service.query(args.gql)
+            except GraphittiError as exc:
+                print(f"query error: {exc}", file=sys.stderr)
+                return 1
+        print(f"result count: {result.count}")
+        print()
+        if capture.children:
+            for child in capture.children:
+                print(format_span(child))
+        else:
+            # A result-cache hit is deliberately span-free (it is the
+            # latency floor the overhead gate protects).
+            print("(served from the result cache — no spans recorded)")
+        slow = service.slow_ops()
+        if slow:
+            newest = slow[-1]
+            print(
+                f"\nslow-op log: {len(slow)} entr{'y' if len(slow) == 1 else 'ies'} "
+                f"(newest: {newest['op']} at {newest['duration_s'] * 1000:.1f} ms)"
+            )
+    finally:
+        service.close()
     return 0
 
 
@@ -440,6 +540,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="crash drill: never open the primary live, only read "
                                 "its WAL as the shipping source")
     p_promote.set_defaults(func=_cmd_promote)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="print the merged observability snapshot of a served root"
+    )
+    p_metrics.add_argument("root", help="service root (single, sharded, or replicated)")
+    p_metrics.add_argument("--format", choices=["json", "prometheus"], default="json")
+    p_metrics.add_argument("--exercise", type=int, default=0, metavar="N",
+                           help="run the reader query mix N times first so a cold "
+                                "instance has latency distributions to show")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one GQL query and pretty-print its span tree"
+    )
+    p_trace.add_argument("root", help="service root (single, sharded, or replicated)")
+    p_trace.add_argument("gql")
+    p_trace.add_argument("--warm", action="store_true",
+                         help="run the query once before tracing so the traced run "
+                              "shows the cached path")
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

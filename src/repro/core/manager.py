@@ -759,7 +759,8 @@ class Graphitti:
         """A path in the a-graph between two annotation contents."""
         return self.agraph.path(annotation1, annotation2)
 
-    def query(self, text_or_query, enable_ordering: bool = True, mode: str | None = None):
+    def query(self, text_or_query, enable_ordering: bool = True, mode: str | None = None,
+              tracer=None):
         """Run a GQL query (text or :class:`~repro.query.ast.Query`) and return
         its :class:`~repro.query.result.QueryResult`.
 
@@ -768,7 +769,9 @@ class Graphitti:
         :mod:`repro.query.stats`) and the executor adapts as the candidate
         set shrinks.  *mode* overrides the planning mode explicitly
         (``"off"``, ``"static"``, ``"cost"``) — the benchmarks use
-        ``"static"`` to measure the old constant-table planner.
+        ``"static"`` to measure the old constant-table planner.  *tracer*
+        (a :class:`repro.obs.Tracer`) makes the executor emit per-constraint
+        and collation spans under whatever span is open on this thread.
         """
         from repro.query.ast import Query as _Query
         from repro.query.executor import QueryExecutor
@@ -777,7 +780,7 @@ class Graphitti:
 
         query = text_or_query if isinstance(text_or_query, _Query) else parse_query(text_or_query)
         planner = QueryPlanner(enable_ordering=enable_ordering, manager=self, mode=mode)
-        executor = QueryExecutor(self, planner=planner)
+        executor = QueryExecutor(self, planner=planner, tracer=tracer)
         return executor.execute(query)
 
     def explain(self, text_or_query, enable_ordering: bool = True, mode: str | None = None) -> dict:

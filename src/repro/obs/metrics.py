@@ -1,0 +1,357 @@
+"""Lock-cheap metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the per-instance sink every layer of the stack
+records into.  Three metric kinds cover the serving workloads:
+
+* :class:`Counter` — a monotonically increasing total (queries served, WAL
+  appends, slow ops);
+* :class:`Gauge` — a point-in-time level (writers queued on the RW lock,
+  cache entries);
+* :class:`Histogram` — a fixed-bucket latency distribution with
+  p50/p95/p99 extraction.  Buckets are log-spaced over the latency range a
+  Python serving stack actually produces (10µs .. 10s); observation is one
+  bisect plus one slock-guarded increment, and two histograms with the same
+  boundaries **merge by adding bucket counts** — the property that lets
+  shard and replica registries aggregate exactly the way ``statistics()``
+  sums its per-shard dicts.
+
+Everything here is process-local and deliberately dependency-free: snapshots
+are plain JSON-compatible dicts, merging works on snapshots (not live
+objects) so a future wire protocol can ship them as-is, and
+:func:`render_prometheus` turns a snapshot into the text exposition format.
+
+:func:`merge_stats` also lives here: the recursive numeric-leaf summing both
+the sharded and the replicated aggregation paths use (previously hand-rolled
+per call site).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Sequence
+
+#: Default histogram bucket upper bounds, in seconds.  Log-spaced from 10µs
+#: to 10s; values above the last bound land in the implicit +inf bucket.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time level that can move both ways."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: int | float) -> None:
+        self._value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+
+def _histogram_quantiles(
+    counts: Sequence[int],
+    boundaries: Sequence[float],
+    total: int,
+    minimum: float,
+    maximum: float,
+    quantiles: Iterable[float] = (0.5, 0.95, 0.99),
+) -> dict[str, float]:
+    """Quantile estimates from bucket counts (shared by live + merged views).
+
+    Within the winning bucket the estimate interpolates linearly between the
+    bucket's bounds by rank, then clamps to the observed [min, max] — so a
+    single-sample histogram reports that sample exactly, and estimates never
+    leave the observed range.
+    """
+    out: dict[str, float] = {}
+    for q in quantiles:
+        key = f"p{int(q * 100)}"
+        if total == 0:
+            out[key] = 0.0
+            continue
+        rank = max(1, int(q * total + 0.9999999))  # ceil without float drama
+        cumulative = 0
+        value = maximum
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = boundaries[index - 1] if index > 0 else 0.0
+                upper = boundaries[index] if index < len(boundaries) else maximum
+                fraction = (rank - cumulative) / bucket_count
+                value = lower + fraction * (upper - lower)
+                break
+            cumulative += bucket_count
+        out[key] = min(max(value, minimum), maximum)
+    return out
+
+
+class Histogram:
+    """A fixed-bucket distribution; observe is one bisect + one increment."""
+
+    __slots__ = ("name", "boundaries", "_counts", "_sum", "_min", "_max", "_count", "_lock")
+
+    def __init__(self, name: str, boundaries: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.boundaries = tuple(boundaries)
+        if list(self.boundaries) != sorted(set(self.boundaries)):
+            raise ValueError("histogram boundaries must be strictly increasing")
+        self._counts = [0] * (len(self.boundaries) + 1)  # +1: the +inf bucket
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.boundaries, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-compatible view: count/sum/min/max, quantiles, bucket counts."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+            minimum = self._min if total else 0.0
+            maximum = self._max if total else 0.0
+        snap: dict[str, Any] = {
+            "count": total,
+            "sum": total_sum,
+            "min": minimum,
+            "max": maximum,
+            "buckets": counts,
+            "boundaries": list(self.boundaries),
+        }
+        snap.update(_histogram_quantiles(counts, self.boundaries, total, minimum, maximum))
+        return snap
+
+
+class MetricsRegistry:
+    """A named collection of metrics; creation is locked, updates are per-metric.
+
+    One registry per service instance.  Aggregation across shards / replicas
+    merges **snapshots** (see :func:`merge_metrics`) so the aggregate view
+    needs no access to (or locking of) the children's live objects.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(name, Counter(name))
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(name, Gauge(name))
+        return metric
+
+    def histogram(self, name: str, boundaries: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(name, Histogram(name, boundaries))
+        return metric
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-compatible dict of every metric's current state."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: metric.value for name, metric in sorted(counters.items())},
+            "gauges": {name: metric.value for name, metric in sorted(gauges.items())},
+            "histograms": {
+                name: metric.snapshot() for name, metric in sorted(histograms.items())
+            },
+        }
+
+
+def merge_histogram_snapshots(snapshots: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Merge same-boundary histogram snapshots by adding bucket counts.
+
+    The operation is associative and commutative over the integer fields
+    (bucket counts, count) and over min/max; the float ``sum`` commutes up to
+    rounding.  Mismatched boundaries refuse loudly — silently merging two
+    different bucketings would fabricate a distribution.
+    """
+    if not snapshots:
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "buckets": [], "boundaries": []}
+    boundaries = snapshots[0]["boundaries"]
+    for snap in snapshots[1:]:
+        if snap["boundaries"] != boundaries:
+            raise ValueError("cannot merge histograms with different bucket boundaries")
+    counts = [0] * (len(boundaries) + 1)
+    total = 0
+    total_sum = 0.0
+    minimum = float("inf")
+    maximum = float("-inf")
+    for snap in snapshots:
+        for index, bucket_count in enumerate(snap["buckets"]):
+            counts[index] += bucket_count
+        total += snap["count"]
+        total_sum += snap["sum"]
+        if snap["count"]:
+            minimum = min(minimum, snap["min"])
+            maximum = max(maximum, snap["max"])
+    if not total:
+        minimum = maximum = 0.0
+    merged: dict[str, Any] = {
+        "count": total,
+        "sum": total_sum,
+        "min": minimum,
+        "max": maximum,
+        "buckets": counts,
+        "boundaries": list(boundaries),
+    }
+    merged.update(_histogram_quantiles(counts, boundaries, total, minimum, maximum))
+    return merged
+
+
+def merge_metrics(snapshots: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Merge registry snapshots: counters and gauges sum, histograms add buckets.
+
+    This is how the sharded and replicated facades aggregate their children's
+    registries — the metrics analogue of how ``statistics()`` sums per-shard
+    dicts (see :func:`merge_stats`).
+    """
+    counters: dict[str, int | float] = {}
+    gauges: dict[str, int | float] = {}
+    histogram_parts: dict[str, list[dict[str, Any]]] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, hist in snap.get("histograms", {}).items():
+            histogram_parts.setdefault(name, []).append(hist)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {
+            name: merge_histogram_snapshots(parts)
+            for name, parts in sorted(histogram_parts.items())
+        },
+    }
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    sanitized = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    return f"{prefix}_{sanitized}"
+
+
+def render_prometheus(snapshot: dict[str, Any], prefix: str = "repro") -> str:
+    """Render a registry (or merged) snapshot in Prometheus text format.
+
+    Counters become ``<prefix>_<name>_total``, gauges plain values, and
+    histograms the standard cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _prometheus_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, hist in snapshot.get("histograms", {}).items():
+        metric = _prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        boundaries = hist.get("boundaries", [])
+        for index, bound in enumerate(boundaries):
+            cumulative += hist["buckets"][index]
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        cumulative += hist["buckets"][len(boundaries)] if hist.get("buckets") else 0
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {hist['sum']}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_stats(values: Sequence[Any]) -> Any:
+    """Recursively merge parallel per-instance statistics dicts.
+
+    Numeric leaves sum, booleans AND (every instance must agree), dicts merge
+    key-wise over whichever instances carry the key, and any other leaf
+    (strings, None) reports the first instance's value.  Extracted from the
+    sharded scatter-gather aggregation so every aggregation path (sharded
+    substrate stats, sharded service counters, replicated fleets) merges with
+    the same rules — the drift this replaces was two hand-rolled copies.
+    """
+    head = values[0]
+    if isinstance(head, dict):
+        merged: dict[str, Any] = {}
+        for item in values:
+            for key in item:
+                if key not in merged:
+                    merged[key] = merge_stats([it[key] for it in values if key in it])
+        return merged
+    if isinstance(head, bool):
+        return all(values)
+    if isinstance(head, (int, float)):
+        return sum(values)
+    return head

@@ -1,0 +1,70 @@
+"""Ring-buffer slow-operation log.
+
+Holds the most recent N operations that exceeded the configured latency
+threshold, each with its full span tree and (for queries) the planner's
+``explain()`` output — enough to answer "why was that slow" after the fact
+without re-running anything.  Bounded by construction; recording is a
+single lock-guarded deque append so writers never block on readers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Optional
+
+
+class SlowOpLog:
+    """Bounded, thread-safe log of slow operations."""
+
+    def __init__(self, capacity: int = 128, threshold_s: float = 0.25):
+        if capacity < 1:
+            raise ValueError("slow-op log capacity must be >= 1")
+        self.capacity = capacity
+        self.threshold_s = threshold_s
+        self._entries: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    def is_slow(self, duration_s: float) -> bool:
+        return duration_s >= self.threshold_s
+
+    def record(self, op: str, span: Any,
+               explain: Optional[dict] = None, **extra: Any) -> None:
+        """Record one slow op: its kind, span tree, and optional explain()."""
+        entry: dict[str, Any] = {
+            "op": op,
+            "recorded_at": time.time(),
+            "duration_s": getattr(span, "duration", 0.0),
+            "trace": span.to_dict() if hasattr(span, "to_dict") else span,
+        }
+        if explain is not None:
+            entry["explain"] = explain
+        if extra:
+            entry.update(extra)
+        with self._lock:
+            self._entries.append(entry)
+            self._recorded += 1
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Newest-last copy of the retained entries."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "threshold_s": self.threshold_s,
+                "entries": len(self._entries),
+                "recorded_total": self._recorded,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -42,6 +42,7 @@ from repro.query.ast import (
     ReturnKind,
     TypeConstraint,
 )
+from repro.obs.tracing import NULL_SPAN
 from repro.query.planner import MODE_COST, QueryPlan, QueryPlanner
 from repro.query.result import QueryResult
 from repro.agraph.connection import ConnectionSubgraph
@@ -66,9 +67,19 @@ _PROBEABLE = (
 class QueryExecutor:
     """Executes query plans against a :class:`~repro.core.manager.Graphitti`."""
 
-    def __init__(self, manager, planner: QueryPlanner | None = None):
+    def __init__(self, manager, planner: QueryPlanner | None = None, tracer=None):
         self._manager = manager
         self._planner = planner or QueryPlanner(manager=manager)
+        # Optional repro.obs Tracer: when attached, each constraint
+        # evaluation and the collation emit child spans of whatever span is
+        # open on the calling thread (the serving layer's "execute" span).
+        self._tracer = tracer
+
+    def _span(self, name: str):
+        tracer = self._tracer
+        if tracer is None:
+            return NULL_SPAN
+        return tracer.span(name)
 
     # -- entry points ---------------------------------------------------------
 
@@ -85,7 +96,9 @@ class QueryExecutor:
             surviving = self._run_adaptive(plan, result)
         else:
             surviving = self._run_static(plan, result)
-        self._collate(query, surviving, result)
+        with self._span("collate") as span:
+            span.set("survivors", len(surviving))
+            self._collate(query, surviving, result)
         return result
 
     # -- static (materialize-and-intersect) execution -------------------------
@@ -93,8 +106,11 @@ class QueryExecutor:
     def _run_static(self, plan: QueryPlan, result: QueryResult) -> list[str]:
         candidates: set[str] | None = None
         for position, constraint in enumerate(plan.ordered_constraints):
-            matched = self._evaluate(constraint, candidates)
-            candidates = matched if candidates is None else (candidates & matched)
+            with self._span("execute.constraint") as span:
+                matched = self._evaluate(constraint, candidates)
+                candidates = matched if candidates is None else (candidates & matched)
+                span.set("constraint", constraint.describe())
+                span.set("survivors", len(candidates))
             result.record_step(constraint.describe(), len(candidates), position=position)
             if not candidates:
                 break
@@ -128,26 +144,30 @@ class QueryExecutor:
                 and isinstance(constraint, _PROBEABLE)
                 and candidates.bit_count() * PROBE_COST_FACTOR < estimate
             )
-            if probe:
-                matched_ids = self._probe(constraint, idspace.iter_ids(candidates))
-                candidates &= idspace.to_bits(matched_ids)
-                mode = "probe"
-            else:
-                # Only the universe-restricted evaluators (type, NOT, OR —
-                # whose parts may be either) read the candidate set; skip the
-                # bitset -> string-set conversion for the rest.
-                consumes_candidates = isinstance(
-                    constraint, (TypeConstraint, NotConstraint, OrConstraint)
-                )
-                candidate_ids = (
-                    set(idspace.iter_ids(candidates))
-                    if candidates is not None and consumes_candidates
-                    else None
-                )
-                matched_bits = idspace.to_bits(self._evaluate(constraint, candidate_ids))
-                candidates = matched_bits if candidates is None else candidates & matched_bits
-                mode = "materialize"
-            survivors = candidates.bit_count()
+            with self._span("execute.constraint") as span:
+                if probe:
+                    matched_ids = self._probe(constraint, idspace.iter_ids(candidates))
+                    candidates &= idspace.to_bits(matched_ids)
+                    mode = "probe"
+                else:
+                    # Only the universe-restricted evaluators (type, NOT, OR —
+                    # whose parts may be either) read the candidate set; skip
+                    # the bitset -> string-set conversion for the rest.
+                    consumes_candidates = isinstance(
+                        constraint, (TypeConstraint, NotConstraint, OrConstraint)
+                    )
+                    candidate_ids = (
+                        set(idspace.iter_ids(candidates))
+                        if candidates is not None and consumes_candidates
+                        else None
+                    )
+                    matched_bits = idspace.to_bits(self._evaluate(constraint, candidate_ids))
+                    candidates = matched_bits if candidates is None else candidates & matched_bits
+                    mode = "materialize"
+                survivors = candidates.bit_count()
+                span.set("constraint", constraint.describe())
+                span.set("mode", mode)
+                span.set("survivors", survivors)
             result.record_step(
                 constraint.describe(), survivors, estimated=estimate, mode=mode, position=position
             )

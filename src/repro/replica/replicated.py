@@ -43,6 +43,7 @@ from repro.core.annotation import Annotation
 from repro.core.builder import AnnotationBuilder
 from repro.core.manager import Graphitti
 from repro.errors import ServiceError
+from repro.obs import Observability, merge_observability
 from repro.query.result import QueryResult
 from repro.replica.follower import ReplicaFollower
 from repro.replica.tailer import ReplicationGapError, WalCursor, encode_shipment
@@ -167,6 +168,16 @@ class ReplicatedGraphittiService:
             self._reset_cursor(follower)
         self._rr = 0  # round-robin position of the follower read pool
         self._reads = {"replica": 0, "primary": 0, "degraded": 0, "retries": 0}
+        # The facade's own registry records shipment spans and fleet
+        # counters; per-role registries live in the primary/follower
+        # services and merge into metrics().  Observability config follows
+        # the primary's (or, primary dead, a follower's) ServiceConfig.
+        obs_source = primary if primary is not None else (
+            followers[0].service if followers else None
+        )
+        self.obs = Observability(
+            getattr(getattr(obs_source, "config", None), "observability", None)
+        )
         self._ships = 0
         self._records_shipped = 0
         self._reseeds = 0
@@ -435,22 +446,30 @@ class ReplicatedGraphittiService:
                 # otherwise flag).  Re-seed now; the tail ships next pump.
                 self._reseed_follower(follower)
             return 0
-        payload = encode_shipment(records)
-        if self.ship_tear_hook is not None:
-            payload = self.ship_tear_hook(follower.name, payload)
-        before = follower.applied_seq
-        try:
-            applied_seq = follower.apply_shipment(payload, self._term)
-        except ReplicationGapError:
-            self._reseed_follower(follower)
-            return 0
-        # Anything the follower did not apply (a transit tear dropped the
-        # datagram's tail, or a stall hook swallowed the round) stays pending
-        # and is re-shipped whole next pump — the cursor never rewinds.
-        self._pending[follower.name] = [r for r in records if r["seq"] > applied_seq]
-        self._ships += 1
-        newly = max(0, applied_seq - before)
-        self._records_shipped += newly
+        # Only shipping rounds that carry records are traced — the idle
+        # background pump would otherwise dominate the span histogram.
+        with self.obs.span("replication.ship") as span:
+            span.set("follower", follower.name)
+            span.set("records", len(records))
+            payload = encode_shipment(records)
+            if self.ship_tear_hook is not None:
+                payload = self.ship_tear_hook(follower.name, payload)
+            before = follower.applied_seq
+            try:
+                applied_seq = follower.apply_shipment(payload, self._term)
+            except ReplicationGapError:
+                self._reseed_follower(follower)
+                return 0
+            # Anything the follower did not apply (a transit tear dropped the
+            # datagram's tail, or a stall hook swallowed the round) stays
+            # pending and is re-shipped whole next pump — the cursor never
+            # rewinds.
+            self._pending[follower.name] = [r for r in records if r["seq"] > applied_seq]
+            self._ships += 1
+            newly = max(0, applied_seq - before)
+            self._records_shipped += newly
+            span.set("applied", newly)
+        self.obs.count("replication.records_shipped", newly)
         return newly
 
     def _snapshot_base_seq(self) -> int:
@@ -828,3 +847,40 @@ class ReplicatedGraphittiService:
             "reseeds": self._reseeds,
             "promotions": self._promotions,
         }
+
+    def metrics(self) -> dict[str, Any]:
+        """Fleet-wide observability snapshot: facade + primary + followers.
+
+        Counters/gauges sum and histograms add buckets across every role's
+        registry (the primary's mutation path, each follower's read/apply
+        path, and the facade's shipment spans), matching the aggregation
+        contract of :meth:`statistics`.  ``per_role`` keeps each role's own
+        snapshot reachable.
+        """
+        per_role: dict[str, dict[str, Any]] = {}
+        if self._primary is not None:
+            per_role[self._primary_dir] = self._primary.metrics()
+        for follower in self._followers:
+            per_role[follower.name] = follower.service.metrics()
+        snapshots = [self.obs.snapshot()] + list(per_role.values())
+        merged = merge_observability(snapshots)
+        if merged.get("enabled"):
+            merged["per_role"] = per_role
+        return merged
+
+    def slow_ops(self) -> list[dict[str, Any]]:
+        """Slow-op entries across the facade and every role (oldest first)."""
+        entries = []
+        if self.obs.enabled:
+            entries.extend(self.obs.slow_log.entries())
+        roles: list[tuple[str, GraphittiService]] = []
+        if self._primary is not None:
+            roles.append((self._primary_dir, self._primary))
+        roles.extend((follower.name, follower.service) for follower in self._followers)
+        for name, service in roles:
+            for entry in service.slow_ops():
+                attributed = dict(entry)
+                attributed["role"] = name
+                entries.append(attributed)
+        entries.sort(key=lambda entry: entry.get("recorded_at", 0.0))
+        return entries

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Iterator
 
 
@@ -23,6 +24,11 @@ class ReadWriteLock:
     Not reentrant: a thread must not acquire the write side while holding the
     read side (or vice versa) — the serving layer's call structure never
     nests acquisitions.
+
+    Contention is observable: after :meth:`instrument`, the lock records
+    wait-time histograms for both sides, a hold-time histogram for writers,
+    and a writers-queued gauge into the given metrics registry.  The
+    uninstrumented (and the uncontended-read) paths stay metric-free.
     """
 
     def __init__(self) -> None:
@@ -30,15 +36,39 @@ class ReadWriteLock:
         self._active_readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._metrics: dict | None = None
+        self._write_acquired_at = 0.0
+
+    def instrument(self, registry) -> None:
+        """Record wait/hold distributions into *registry* from now on.
+
+        Read-side wait time is only observed when the reader actually had to
+        wait — the uncontended read acquisition (the serving layer's hottest
+        lock path) pays one extra attribute load and nothing else.
+        """
+        self._metrics = {
+            "read_wait": registry.histogram("lock.read.wait"),
+            "write_wait": registry.histogram("lock.write.wait"),
+            "write_hold": registry.histogram("lock.write.hold"),
+            "writers_queued": registry.gauge("lock.writers_queued"),
+        }
 
     # -- read side -------------------------------------------------------------
 
     def acquire_read(self) -> None:
         """Block until no writer is active or waiting, then enter as a reader."""
+        metrics = self._metrics
+        waited = 0.0
         with self._monitor:
-            while self._writer_active or self._writers_waiting:
-                self._monitor.wait()
+            if self._writer_active or self._writers_waiting:
+                start = perf_counter() if metrics is not None else 0.0
+                while self._writer_active or self._writers_waiting:
+                    self._monitor.wait()
+                if metrics is not None:
+                    waited = perf_counter() - start
             self._active_readers += 1
+        if metrics is not None and waited:
+            metrics["read_wait"].observe(waited)
 
     def release_read(self) -> None:
         """Leave the reader side, waking writers when the last reader exits."""
@@ -60,6 +90,10 @@ class ReadWriteLock:
 
     def acquire_write(self) -> None:
         """Block until the lock is free of readers and writers, then own it."""
+        metrics = self._metrics
+        start = perf_counter() if metrics is not None else 0.0
+        if metrics is not None:
+            metrics["writers_queued"].inc()
         with self._monitor:
             self._writers_waiting += 1
             try:
@@ -68,9 +102,17 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+        if metrics is not None:
+            metrics["writers_queued"].dec()
+            now = perf_counter()
+            metrics["write_wait"].observe(now - start)
+            self._write_acquired_at = now
 
     def release_write(self) -> None:
         """Release exclusive ownership and wake every waiter."""
+        metrics = self._metrics
+        if metrics is not None and self._write_acquired_at:
+            metrics["write_hold"].observe(perf_counter() - self._write_acquired_at)
         with self._monitor:
             self._writer_active = False
             self._monitor.notify_all()

@@ -25,6 +25,7 @@ and checkpoint counts without new plumbing.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -36,6 +37,7 @@ from repro.core.builder import AnnotationBuilder
 from repro.core.manager import Graphitti
 from repro.core.persistence import encode_annotation, encode_register
 from repro.errors import ServiceError
+from repro.obs import Observability, ObservabilityConfig
 from repro.query.ast import Query
 from repro.query.executor import QueryExecutor
 from repro.query.parser import parse_query
@@ -65,6 +67,11 @@ class ServiceConfig:
     planner_mode: str | None = None
     #: Checkpoint once more when the service closes.
     checkpoint_on_close: bool = True
+    #: Observability knobs (metrics/tracing/slow-op log).  The config rides
+    #: in ServiceConfig so it persists across recovery the same way the
+    #: durability policy does; the registry itself is in-memory per instance,
+    #: so recovery naturally resets counters while keeping the config.
+    observability: ObservabilityConfig = ObservabilityConfig()
 
 
 class GraphittiService:
@@ -83,7 +90,15 @@ class GraphittiService:
     ):
         self._manager = manager if manager is not None else Graphitti()
         self.config = config or ServiceConfig()
+        self.obs = Observability(self.config.observability)
         self._lock = ReadWriteLock()
+        if self.obs.enabled:
+            self._lock.instrument(self.obs.registry)
+            # Pre-resolved: the cache-hit path pays one .inc(), not a
+            # locked registry lookup per query.
+            self._cache_hit_counter = self.obs.registry.counter("query.cache_hits")
+        else:
+            self._cache_hit_counter = None
         self._cache = QueryResultCache(self.config.cache_capacity)
         # normalized text -> (mutation epoch the plan was computed at, plan,
         # fingerprint).  Cost-based plans depend on live statistics, so a
@@ -93,6 +108,8 @@ class GraphittiService:
         self._plans: OrderedDict[str, tuple[int, QueryPlan, str]] = OrderedDict()
         self._plans_mutex = threading.Lock()
         self._store = DurableStore(root, durability=self.config.durability) if root else None
+        if self._store is not None and self.obs.enabled:
+            self._store.wal.tracer = self.obs.tracer
         self._wal_failed = False
         self._fenced = False
         #: Called after every successful WAL append, before the mutation is
@@ -246,11 +263,31 @@ class GraphittiService:
                 "writes here would be lost or double-applied"
             )
 
+    @contextmanager
+    def _traced_write(self, op: str) -> Iterator[None]:
+        """One traced write-lock hold: lock wait → (caller's apply/log) spans.
+
+        The root span is ``mutation.<op>``; the slow-op check runs after the
+        lock is released so a slow mutation's trace lands in the log without
+        extending the critical section.
+        """
+        obs = self.obs
+        with obs.span(f"mutation.{op}") as root:
+            with obs.span("lock.wait"):
+                self._lock.acquire_write()
+            try:
+                yield
+            finally:
+                self._lock.release_write()
+        if obs.is_slow(root):
+            obs.record_slow(op, root)
+
     def register_ontology(self, ontology, cache: bool = True):
         """Register an ontology (serialized with other writers; WAL-logged)."""
         self._ensure_open()
-        with self._lock.write_locked():
-            ops = self._manager.register_ontology(ontology, cache=cache)
+        with self._traced_write("register_ontology"):
+            with self.obs.span("apply"):
+                ops = self._manager.register_ontology(ontology, cache=cache)
             self._log("register_ontology", ontology.to_dict())
             self._after_mutation_locked(1)
         return ops
@@ -263,8 +300,9 @@ class GraphittiService:
         as snapshots do.
         """
         self._ensure_open()
-        with self._lock.write_locked():
-            registered = self._manager.register(obj, raw=raw, **metadata)
+        with self._traced_write("register"):
+            with self.obs.span("apply"):
+                registered = self._manager.register(obj, raw=raw, **metadata)
             # Log exactly the metadata row the manager stored, so the WAL can
             # never drift from the relational table's contents.
             stored = self._manager.object_metadata(obj.object_id)
@@ -300,8 +338,9 @@ class GraphittiService:
         if isinstance(annotation, AnnotationBuilder):
             annotation = annotation.build()
         self._ensure_open()
-        with self._lock.write_locked():
-            committed = self._manager.commit(annotation)
+        with self._traced_write("commit"):
+            with self.obs.span("apply"):
+                committed = self._manager.commit(annotation)
             self._log("commit", encode_annotation(committed))
             self._after_mutation_locked(1)
         return committed
@@ -320,21 +359,24 @@ class GraphittiService:
         if not batch:
             return []
         self._ensure_open()
-        with self._lock.write_locked():
+        with self._traced_write("bulk_commit"):
             if self._store is not None and self._wal_failed:
                 raise ServiceError(
                     "a WAL append failed earlier; the log may end in a torn record — "
                     "recover from the existing snapshot + WAL before writing again"
                 )
-            committed = self._manager.commit_many(batch)
+            with self.obs.span("apply") as apply_span:
+                committed = self._manager.commit_many(batch)
+                apply_span.set("annotations", len(committed))
             if self._store is not None:
-                try:
-                    self._store.wal.append_many(
-                        ("commit", encode_annotation(annotation)) for annotation in committed
-                    )
-                except Exception:
-                    self._wal_failed = True
-                    raise
+                with self.obs.span("wal.append"):
+                    try:
+                        self._store.wal.append_many(
+                            ("commit", encode_annotation(annotation)) for annotation in committed
+                        )
+                    except Exception:
+                        self._wal_failed = True
+                        raise
                 if self.after_append_hook is not None:
                     self.after_append_hook("commit", self._store.wal.last_seq)
             self._after_mutation_locked(len(committed))
@@ -343,11 +385,13 @@ class GraphittiService:
     def delete_annotation(self, annotation_id: str) -> None:
         """Delete an annotation (serialized with other writers; WAL-logged)."""
         self._ensure_open()
-        with self._lock.write_locked():
-            self._manager.delete_annotation(annotation_id)
-            # Deleting removes a-graph nodes, which marks the component index
-            # stale; rebuild before any reader can race the lazy rebuild.
-            self._manager.agraph.graph.rebuild_components()
+        with self._traced_write("delete_annotation"):
+            with self.obs.span("apply"):
+                self._manager.delete_annotation(annotation_id)
+                # Deleting removes a-graph nodes, which marks the component
+                # index stale; rebuild before any reader can race the lazy
+                # rebuild.
+                self._manager.agraph.graph.rebuild_components()
             self._log("delete_annotation", {"annotation_id": annotation_id})
             self._after_mutation_locked(1)
 
@@ -366,9 +410,10 @@ class GraphittiService:
 
         self._ensure_open()
         encoded = encode_update_changes(changes)
-        with self._lock.write_locked():
-            updated = self._manager.update_annotation(annotation_id, changes)
-            self._manager.agraph.graph.rebuild_components()  # no-op unless stale
+        with self._traced_write("update_annotation"):
+            with self.obs.span("apply"):
+                updated = self._manager.update_annotation(annotation_id, changes)
+                self._manager.agraph.graph.rebuild_components()  # no-op unless stale
             self._log("update_annotation", {"annotation_id": annotation_id, "changes": encoded})
             self._after_mutation_locked(1)
         return updated
@@ -376,9 +421,10 @@ class GraphittiService:
     def delete_object(self, object_id: str, cascade: bool = True) -> list[str]:
         """Retire a data object, cascading through its annotations (WAL-logged)."""
         self._ensure_open()
-        with self._lock.write_locked():
-            cascaded = self._manager.delete_object(object_id, cascade=cascade)
-            self._manager.agraph.graph.rebuild_components()
+        with self._traced_write("delete_object"):
+            with self.obs.span("apply"):
+                cascaded = self._manager.delete_object(object_id, cascade=cascade)
+                self._manager.agraph.graph.rebuild_components()
             self._log("delete_object", {"object_id": object_id, "cascade": cascade})
             self._after_mutation_locked(1 + len(cascaded))
         return cascaded
@@ -400,7 +446,8 @@ class GraphittiService:
                 "recover from the existing snapshot + WAL before writing again"
             )
         try:
-            seq = self._store.wal.append(op, payload)
+            with self.obs.span("wal.append"):
+                seq = self._store.wal.append(op, payload)
         except Exception:
             # The in-memory apply preceded the append; the caller sees this
             # exception (the op is NOT acknowledged), and poisoning the
@@ -434,17 +481,20 @@ class GraphittiService:
             return self._checkpoint_locked()
 
     def _checkpoint_locked(self) -> Path | None:
-        self._manager.contents.flush_index()
-        self._manager.agraph.graph.rebuild_components()
-        self._ops_since_checkpoint = 0
-        if self._store is None:
-            return None
-        if self._wal_failed:
-            raise ServiceError(
-                "a WAL append failed earlier; refusing to checkpoint state the "
-                "log never acknowledged — recover from the existing snapshot + WAL"
-            )
-        return self._store.checkpoint(self._manager)
+        with self.obs.span("checkpoint"):
+            self._manager.contents.flush_index()
+            self._manager.agraph.graph.rebuild_components()
+            self._ops_since_checkpoint = 0
+            if self._store is None:
+                return None
+            if self._wal_failed:
+                raise ServiceError(
+                    "a WAL append failed earlier; refusing to checkpoint state the "
+                    "log never acknowledged — recover from the existing snapshot + WAL"
+                )
+            path = self._store.checkpoint(self._manager)
+        self.obs.count("checkpoints")
+        return path
 
     # -- read path -------------------------------------------------------------
 
@@ -460,24 +510,54 @@ class GraphittiService:
         ontology registry) that a concurrent writer may be mutating, so the
         estimate pass needs the same shared lock the execution does.
         """
+        obs = self.obs
+        prep_spans: list = []
+        began = time.perf_counter()
         with self._read_view():
-            normalized, plan, fingerprint = self._prepare(text_or_query)
+            normalized, plan, fingerprint = self._prepare(text_or_query, prep_spans)
             key = (normalized, fingerprint)
             epoch = self._manager.mutation_epoch
             cached = self._cache.get(key, epoch)
             if cached is not None:
-                # Defensive copy: concurrent readers share the hot entry, and
-                # a caller consuming its pages in place must not corrupt the
-                # entry for everyone else.
+                # Defensive copy: concurrent readers share the hot entry,
+                # and a caller consuming its pages in place must not
+                # corrupt the entry for everyone else.  A hit pays ONE
+                # counter increment and no span: a cached query runs in a
+                # few microseconds, so even a single span would breach the
+                # <10% overhead gate the cached path is the floor for.
+                if self._cache_hit_counter is not None:
+                    self._cache_hit_counter.inc()
                 return cached.copy()
-            executor = QueryExecutor(self._manager, planner=self._planner)
-            result = executor.execute_plan(plan)
-            # Cache a private copy so post-return mutations by THIS caller
-            # cannot leak into future hits either.
-            self._cache.put(key, epoch, result.copy())
+            with obs.span("query") as root:
+                if root:
+                    # Backdate to before _prepare: the root span covers the
+                    # parse/plan work even though it was opened only once
+                    # the cache missed (the hit path must not pay for it).
+                    root.start = began
+                root.set("cache", "miss")
+                # The parse/plan spans finished before the root existed;
+                # adopt them so the trace still reads parse -> plan -> execute.
+                for span in prep_spans:
+                    span.reparent(root)
+                with obs.span("execute") as execute_span:
+                    executor = QueryExecutor(
+                        self._manager, planner=self._planner, tracer=obs.tracer
+                    )
+                    result = executor.execute_plan(plan)
+                    execute_span.set("rows", result.count)
+                # Cache a private copy so post-return mutations by THIS caller
+                # cannot leak into future hits either.
+                self._cache.put(key, epoch, result.copy())
+        if obs.is_slow(root):
+            # explain() re-takes the read lock, so the slow capture runs only
+            # after the query's own view is released.
+            root.set("gql", normalized)
+            obs.record_slow("query", root, explain=self.explain(text_or_query))
         return result
 
-    def _prepare(self, text_or_query: str | Query) -> tuple[str, QueryPlan, str]:
+    def _prepare(
+        self, text_or_query: str | Query, trace_sink: list | None = None
+    ) -> tuple[str, QueryPlan, str]:
         """Normalize + parse + plan, memoized on (normalized text, epoch).
 
         A memoized plan is reused only while the manager's mutation epoch
@@ -486,18 +566,33 @@ class GraphittiService:
         which fingerprint) the planner picks.  Re-planning after a mutation
         is what makes stats-driven plan changes miss stale result-cache
         entries naturally — the fingerprint is part of the result key.
+
+        *trace_sink* collects the parse/plan spans so the caller can adopt
+        them under a root span it opens only after the cache misses.
         """
         epoch = self._manager.mutation_epoch
         if isinstance(text_or_query, Query):
-            plan = self._planner.plan(text_or_query)
+            with self.obs.span("plan") as plan_span:
+                plan = self._planner.plan(text_or_query)
+            if plan_span and trace_sink is not None:
+                trace_sink.append(plan_span)
             return text_or_query.describe(), plan, plan.fingerprint()
         normalized = normalize_gql(text_or_query)
         with self._plans_mutex:
             prepared = self._plans.get(normalized)
             if prepared is not None and prepared[0] == epoch:
+                # Memo hit: deliberately span-free — repeated hot queries
+                # skip parse AND plan, and the trace should show that.
                 self._plans.move_to_end(normalized)
                 return (normalized, prepared[1], prepared[2])
-        plan = self._planner.plan(parse_query(text_or_query))
+        with self.obs.span("parse") as parse_span:
+            parsed = parse_query(text_or_query)
+        with self.obs.span("plan") as plan_span:
+            plan = self._planner.plan(parsed)
+            plan_span.set("mode", getattr(plan, "mode", None))
+        if plan_span and trace_sink is not None:
+            trace_sink.append(parse_span)
+            trace_sink.append(plan_span)
         fingerprint = plan.fingerprint()
         if self.config.plan_cache_capacity:
             with self._plans_mutex:
@@ -552,6 +647,23 @@ class GraphittiService:
             stats = self._manager.statistics()
         stats.update(self._service_stats())
         return stats
+
+    def metrics(self) -> dict[str, Any]:
+        """This instance's observability snapshot (JSON-compatible).
+
+        ``{"enabled": False}`` when observability is off; otherwise counters,
+        gauges, histograms (with p50/p95/p99), and slow-op-log stats.  The
+        sharded and replicated facades merge these snapshots across their
+        children; render with :func:`repro.obs.render_prometheus` for the
+        text exposition format.
+        """
+        return self.obs.snapshot()
+
+    def slow_ops(self) -> list[dict[str, Any]]:
+        """Retained slow-op log entries, oldest first (empty when disabled)."""
+        if not self.obs.enabled:
+            return []
+        return self.obs.slow_log.entries()
 
     @property
     def annotation_count(self) -> int:

@@ -154,6 +154,11 @@ class WriteAheadLog:
         #: Injectable fsync (the fault harness swaps in a failing one to model
         #: a full disk / dying device at exactly the acknowledgement point).
         self.fsync_hook: Callable[[int], None] = os.fsync
+        #: When the owning service enables observability it attaches its
+        #: tracer here; every record-path fsync is then emitted as a
+        #: ``wal.fsync`` span (child of the current mutation trace) whose
+        #: duration feeds the span histogram.  None keeps the raw call.
+        self.tracer = None
         self.path.parent.mkdir(parents=True, exist_ok=True)
         existing, torn = read_records(self.path)
         self.last_seq = existing[-1]["seq"] if existing else 0
@@ -165,12 +170,25 @@ class WriteAheadLog:
 
     # -- appends ---------------------------------------------------------------
 
+    def _fsync(self) -> None:
+        """Run the configured fsync hook, traced when a tracer is attached.
+
+        Exceptions from the hook propagate raw — the fault harness depends
+        on seeing exactly what its injected hook raised, traced or not.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            self.fsync_hook(self._handle.fileno())
+            return
+        with tracer.span("wal.fsync"):
+            self.fsync_hook(self._handle.fileno())
+
     def append(self, op: str, payload: dict[str, Any]) -> int:
         """Append one record and make it durable per the configured policy."""
         seq = self._write(op, payload)
         self._handle.flush()
         if self.durability == "always":
-            self.fsync_hook(self._handle.fileno())
+            self._fsync()
         return seq
 
     def append_many(self, operations: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
@@ -180,7 +198,7 @@ class WriteAheadLog:
             return seqs
         self._handle.flush()
         if self.durability in ("always", "batch"):
-            self.fsync_hook(self._handle.fileno())
+            self._fsync()
         return seqs
 
     def append_record(self, record: dict[str, Any]) -> int:
@@ -211,7 +229,7 @@ class WriteAheadLog:
         self.record_count += 1
         self._handle.flush()
         if self.durability == "always":
-            self.fsync_hook(self._handle.fileno())
+            self._fsync()
         return seq
 
     def _write(self, op: str, payload: dict[str, Any]) -> int:
@@ -229,7 +247,7 @@ class WriteAheadLog:
         """Flush and fsync whatever has been written so far."""
         self._handle.flush()
         if self.durability != "never":
-            self.fsync_hook(self._handle.fileno())
+            self._fsync()
 
     def truncate(self) -> None:
         """Drop every record (sequence numbering continues where it left off).
@@ -241,7 +259,7 @@ class WriteAheadLog:
         self._handle.seek(0)
         self._handle.flush()
         if self.durability != "never":
-            self.fsync_hook(self._handle.fileno())
+            self._fsync()
         self.record_count = 0
 
     def _truncate_to_records(self, records: list[dict[str, Any]]) -> None:

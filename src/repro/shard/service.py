@@ -53,6 +53,7 @@ from repro.core.builder import AnnotationBuilder
 from repro.core.dublin_core import DublinCore
 from repro.core.manager import Graphitti
 from repro.errors import AnnotationError, ServiceError, UnknownObjectError
+from repro.obs import Observability, merge_observability, merge_stats
 from repro.query.ast import Query, ReturnKind
 from repro.query.parser import parse_query
 from repro.query.result import QueryResult
@@ -95,23 +96,6 @@ class ShardedIntegrityReport:
         return not self.errors
 
 
-def _sum_tree(values: Sequence[Any]) -> Any:
-    """Recursively sum numeric leaves across parallel per-shard dicts."""
-    head = values[0]
-    if isinstance(head, dict):
-        merged: dict[str, Any] = {}
-        for item in values:
-            for key in item:
-                if key not in merged:
-                    merged[key] = _sum_tree([it[key] for it in values if key in it])
-        return merged
-    if isinstance(head, bool):
-        return all(values)
-    if isinstance(head, (int, float)):
-        return sum(values)
-    return head
-
-
 class ShardedGraphittiService:
     """Hash-routed scatter-gather facade over N GraphittiService shards."""
 
@@ -138,6 +122,10 @@ class ShardedGraphittiService:
                     GraphittiService(manager=manager, root=shard_root, config=config)
                 )
         self.config = self._shards[0].config
+        # The facade's own registry records the scatter/merge stages; the
+        # per-shard registries live in the shard services and merge into
+        # metrics() the same way statistics() sums per-shard dicts.
+        self.obs = Observability(getattr(self.config, "observability", None))
         self._root = Path(root) if root is not None else None
         self._pool = ThreadPoolExecutor(
             max_workers=max(2, len(self._shards)), thread_name_prefix="shard"
@@ -561,9 +549,37 @@ class ShardedGraphittiService:
         shard serves from its own cache when its epoch allows, which is the
         sharding win: a write invalidates one shard's entry, not all N.
         """
-        return_kind, limit = self._query_shape(text_or_query)
-        results = self._scatter(lambda shard: shard.query(text_or_query))
-        return self._merge_results(return_kind, limit, results)
+        obs = self.obs
+        if not obs.enabled:
+            return_kind, limit = self._query_shape(text_or_query)
+            results = self._scatter(lambda shard: shard.query(text_or_query))
+            return self._merge_results(return_kind, limit, results)
+        with obs.span("query") as root:
+            with obs.span("parse"):
+                return_kind, limit = self._query_shape(text_or_query)
+            with obs.span("scatter") as scatter:
+                # Pool threads have their own (empty) span stacks, so each
+                # shard task is handed the scatter span as explicit parent;
+                # everything the shard's own service traces on that thread
+                # then hangs off its shard.query span automatically.
+                futures = [
+                    self._pool.submit(self._traced_shard_query, index, text_or_query, scatter)
+                    for index in range(len(self._shards))
+                ]
+                results = [future.result() for future in futures]
+            with obs.span("merge") as merge_span:
+                merged = self._merge_results(return_kind, limit, results)
+                merge_span.set("rows", merged.count)
+        if obs.is_slow(root):
+            if isinstance(text_or_query, str):
+                root.set("gql", normalize_gql(text_or_query))
+            obs.record_slow("query", root, explain=self.explain(text_or_query))
+        return merged
+
+    def _traced_shard_query(self, index: int, text_or_query: str | Query, parent) -> QueryResult:
+        with self.obs.tracer.span("shard.query", parent=parent) as span:
+            span.set("shard", index)
+            return self._shards[index].query(text_or_query)
 
     def _merge_results(
         self,
@@ -722,11 +738,11 @@ class ShardedGraphittiService:
             }
             for stats in per_shard
         ]
-        aggregated = _sum_tree(without_service)
+        aggregated = merge_stats(without_service)
         for key in _REPLICATED_STATS_KEYS:
             if key in per_shard[0]:
                 aggregated[key] = per_shard[0][key]
-        service = _sum_tree([stats["service"] for stats in per_shard])
+        service = merge_stats([stats["service"] for stats in per_shard])
         cache = service.get("query_cache")
         if isinstance(cache, dict):
             lookups = cache.get("hits", 0) + cache.get("misses", 0)
@@ -750,6 +766,35 @@ class ShardedGraphittiService:
         if any(row is not None for row in replication_rows):
             aggregated["sharding"]["replication"] = replication_rows
         return aggregated
+
+    def metrics(self) -> dict[str, Any]:
+        """Fleet-wide observability snapshot: facade + every shard, merged.
+
+        Counters and gauges sum across shards, histograms add buckets (so
+        the aggregate p50/p95/p99 come from the combined distribution), and
+        slow-op-log stats sum — the same aggregation contract as
+        :meth:`statistics`.  ``per_shard`` keeps each shard's own snapshot
+        reachable.
+        """
+        per_shard = [shard.metrics() for shard in self._shards]
+        snapshots = [self.obs.snapshot()] + per_shard
+        merged = merge_observability(snapshots)
+        if merged.get("enabled"):
+            merged["per_shard"] = per_shard
+        return merged
+
+    def slow_ops(self) -> list[dict[str, Any]]:
+        """Slow-op entries across the facade and every shard (oldest first)."""
+        entries = []
+        if self.obs.enabled:
+            entries.extend(self.obs.slow_log.entries())
+        for index, shard in enumerate(self._shards):
+            for entry in shard.slow_ops():
+                attributed = dict(entry)
+                attributed["shard"] = index
+                entries.append(attributed)
+        entries.sort(key=lambda entry: entry.get("recorded_at", 0.0))
+        return entries
 
     # -- checkpointing ---------------------------------------------------------
 

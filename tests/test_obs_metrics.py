@@ -1,0 +1,205 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, merging, export."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    merge_histogram_snapshots,
+    merge_metrics,
+    merge_stats,
+    render_prometheus,
+)
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("ops")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    gauge = registry.gauge("depth")
+    gauge.inc()
+    gauge.inc()
+    gauge.dec()
+    assert gauge.value == 1
+    gauge.set(7)
+    assert gauge.value == 7
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.histogram("h") is registry.histogram("h")
+    assert registry.gauge("g") is registry.gauge("g")
+
+
+def test_histogram_snapshot_quantiles():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency")
+    for _ in range(50):
+        histogram.observe(0.001)
+    for _ in range(45):
+        histogram.observe(0.01)
+    for _ in range(5):
+        histogram.observe(0.1)
+    snap = histogram.snapshot()
+    assert snap["count"] == 100
+    assert snap["sum"] == pytest.approx(0.001 * 50 + 0.01 * 45 + 0.1 * 5)
+    assert snap["min"] == pytest.approx(0.001)
+    assert snap["max"] == pytest.approx(0.1)
+    # p50 lands in the 1ms bucket region, p99 in the 100ms region.
+    assert snap["p50"] <= 0.002
+    assert 0.01 <= snap["p99"] <= 0.1
+    assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+
+def test_histogram_quantiles_clamped_to_observed_range():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("one")
+    histogram.observe(0.007)
+    snap = histogram.snapshot()
+    for key in ("p50", "p95", "p99"):
+        assert snap["min"] <= snap[key] <= snap["max"]
+
+
+def test_counter_thread_safety():
+    registry = MetricsRegistry()
+    counter = registry.counter("contended")
+
+    def hammer():
+        for _ in range(2000):
+            counter.inc()
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 16000
+
+
+def test_merge_histogram_snapshots_doubles():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("lat")
+    for value in (0.001, 0.02, 0.5):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    merged = merge_histogram_snapshots([snap, snap])
+    assert merged["count"] == 2 * snap["count"]
+    assert merged["sum"] == pytest.approx(2 * snap["sum"])
+    assert merged["min"] == snap["min"]
+    assert merged["max"] == snap["max"]
+    assert merged["buckets"] == [2 * count for count in snap["buckets"]]
+
+
+def test_merge_histogram_snapshots_rejects_boundary_mismatch():
+    registry = MetricsRegistry()
+    snap = registry.histogram("lat")
+    snap.observe(0.001)
+    other = dict(snap.snapshot())
+    other["boundaries"] = list(other["boundaries"])[:-1]
+    with pytest.raises(ValueError):
+        merge_histogram_snapshots([snap.snapshot(), other])
+
+
+def test_merge_metrics_sums_counters_and_gauges():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.counter("queries").inc(3)
+    right.counter("queries").inc(4)
+    right.counter("only_right").inc()
+    left.gauge("depth").set(2)
+    right.gauge("depth").set(5)
+    left.histogram("lat").observe(0.01)
+    right.histogram("lat").observe(0.02)
+    merged = merge_metrics([left.snapshot(), right.snapshot()])
+    assert merged["counters"]["queries"] == 7
+    assert merged["counters"]["only_right"] == 1
+    assert merged["gauges"]["depth"] == 7
+    assert merged["histograms"]["lat"]["count"] == 2
+
+
+def test_merge_stats_recursive_numeric_sum():
+    values = [
+        {"a": 1, "nested": {"b": 2.5, "ok": True}, "label": "x"},
+        {"a": 4, "nested": {"b": 0.5, "ok": True}, "label": "y"},
+    ]
+    merged = merge_stats(values)
+    assert merged["a"] == 5
+    assert merged["nested"]["b"] == pytest.approx(3.0)
+    assert merged["nested"]["ok"] is True
+    assert merged["label"] == "x"  # non-numeric: first wins
+
+
+def test_render_prometheus_exposition():
+    registry = MetricsRegistry()
+    registry.counter("query.cache_hits").inc(3)
+    registry.gauge("lock.writers_queued").set(1)
+    histogram = registry.histogram("span.query")
+    histogram.observe(0.003)
+    histogram.observe(0.03)
+    text = render_prometheus(registry.snapshot())
+    assert "# TYPE repro_query_cache_hits_total counter" in text
+    assert "repro_query_cache_hits_total 3" in text
+    assert "# TYPE repro_lock_writers_queued gauge" in text
+    assert "# TYPE repro_span_query histogram" in text
+    assert 'le="+Inf"' in text
+    assert "repro_span_query_count 2" in text
+    # Buckets are cumulative: the +Inf bucket equals the count.
+    inf_line = [line for line in text.splitlines() if 'le="+Inf"' in line][0]
+    assert inf_line.endswith(" 2")
+
+
+def _histogram_from(samples):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h")
+    for sample in samples:
+        histogram.observe(sample)
+    return histogram.snapshot()
+
+
+_SAMPLES = st.lists(
+    st.floats(min_value=1e-7, max_value=50.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _assert_equivalent(left, right):
+    assert left["count"] == right["count"]
+    assert left["buckets"] == right["buckets"]
+    assert left["min"] == pytest.approx(right["min"])
+    assert left["max"] == pytest.approx(right["max"])
+    assert left["sum"] == pytest.approx(right["sum"])
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=_SAMPLES, b=_SAMPLES)
+def test_histogram_merge_is_commutative(a, b):
+    ha, hb = _histogram_from(a), _histogram_from(b)
+    _assert_equivalent(
+        merge_histogram_snapshots([ha, hb]), merge_histogram_snapshots([hb, ha])
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=_SAMPLES, b=_SAMPLES, c=_SAMPLES)
+def test_histogram_merge_is_associative(a, b, c):
+    ha, hb, hc = _histogram_from(a), _histogram_from(b), _histogram_from(c)
+    left = merge_histogram_snapshots([merge_histogram_snapshots([ha, hb]), hc])
+    right = merge_histogram_snapshots([ha, merge_histogram_snapshots([hb, hc])])
+    _assert_equivalent(left, right)
+    # And both equal the one-shot three-way merge.
+    _assert_equivalent(left, merge_histogram_snapshots([ha, hb, hc]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(samples=_SAMPLES)
+def test_histogram_merge_with_empty_is_identity(samples):
+    snap = _histogram_from(samples)
+    _assert_equivalent(merge_histogram_snapshots([snap]), snap)
+    assert len(snap["buckets"]) == len(DEFAULT_BUCKETS) + 1
