@@ -55,6 +55,14 @@ CHURN = bool(int(os.environ.get("CRASH_SMOKE_CHURN", "0")))
 #: promotes a follower instead of recovering the killed primary.
 FAILOVER = bool(int(os.environ.get("CRASH_SMOKE_FAILOVER", "0")))
 
+#: Network mode: ingest through process-per-shard TCP workers, SIGKILL a
+#: live worker mid-ingest, and verify heartbeat-driven restart plus a
+#: ledger-intact recovery of the same root through the threaded facade.
+NETSHARD = bool(int(os.environ.get("CRASH_SMOKE_NETSHARD", "0")))
+
+#: Shards in network mode (workers are whole OS processes; keep it small).
+NETSHARD_SHARDS = int(os.environ.get("CRASH_SMOKE_NETSHARD_SHARDS", "3"))
+
 #: Followers behind the primary in failover mode.
 FAILOVER_REPLICAS = 2
 
@@ -146,7 +154,150 @@ def _acknowledged_live(shard_root: Path) -> int:
     return len(live)
 
 
+def _netshard_main() -> int:
+    """SIGKILL a live TCP shard worker mid-ingest; restart must lose nothing.
+
+    Unlike the child-process modes, the workers here already *are* separate
+    OS processes: the parent ingests through the network facade, SIGKILLs
+    one worker mid-stream, and keeps writing while the heartbeat monitor
+    detects the death and respawns the worker (recovery replays its WAL).
+    Every acknowledged write must survive — first as seen over the network,
+    then again when the same root is recovered through the *threaded*
+    facade and checked against the WALs' symbolic acknowledged history.
+    """
+    from repro.datatypes.sequence import DnaSequence
+    from repro.errors import ShardTimeoutError, ShardUnavailableError
+    from repro.net import NetworkShardedGraphittiService, RetryPolicy
+    from repro.shard import ShardedGraphittiService
+
+    root = Path(tempfile.mkdtemp(prefix="crash-smoke-net-"))
+    service = NetworkShardedGraphittiService.open(
+        root,
+        shards=NETSHARD_SHARDS,
+        heartbeat_interval_s=0.2,
+        miss_threshold=2,
+        retry=RetryPolicy(attempts=3, base_backoff_s=0.01, max_backoff_s=0.05),
+        op_timeout_s=15.0,
+    )
+    failures: list[str] = []
+    acked: list[str] = []
+    try:
+        objects = [f"crash_seq_{index}" for index in range(8)]
+        for index, object_id in enumerate(objects):
+            service.register(
+                DnaSequence(object_id, "ACGT" * 300, domain="crash:chr1", offset=index * 1200)
+            )
+        victim = 0
+        kill_at = time.monotonic() + INGEST_WINDOW / 2
+        deadline = time.monotonic() + max(30.0, INGEST_WINDOW * 20)
+        killed = False
+        serial = 0
+        restarts = lambda: service.obs.registry.counter("net.worker_restarts").value
+        while time.monotonic() < deadline:
+            if not killed and time.monotonic() >= kill_at:
+                service.kill_shard(victim)
+                killed = True
+            try:
+                annotation = (
+                    service.new_annotation(
+                        f"crash-{serial}",
+                        title=f"crash smoke {serial}",
+                        creator="crash-smoke",
+                        keywords=["crash", "smoke"],
+                        body="committed while a worker dies mid-stream",
+                    )
+                    .mark_sequence(objects[serial % len(objects)], serial % 1000, serial % 1000 + 20)
+                    .commit()
+                )
+            except (ShardUnavailableError, ShardTimeoutError):
+                time.sleep(0.1)  # the dead shard's window; the monitor restarts it
+                continue
+            acked.append(annotation.annotation_id)
+            serial += 1
+            if killed and restarts() >= 1 and serial >= 40:
+                break
+        worker_restarts = restarts()
+        declared_dead = service.obs.registry.counter("net.workers_declared_dead").value
+        missing = [
+            annotation_id
+            for annotation_id in acked
+            if not _holds(service, annotation_id)
+        ]
+        integrity = service.check_integrity()
+        probe = service.query('SELECT contents WHERE { CONTENT CONTAINS "smoke" }')
+        net_count = service.annotation_count
+        print(
+            f"SIGKILLed worker {victim} mid-ingest: {len(acked)} acked writes, "
+            f"{declared_dead} dead declaration(s), {worker_restarts} restart(s)"
+        )
+        print(
+            f"network view after restart: {net_count} annotations, "
+            f"integrity ok: {integrity.ok}, probe hits: {probe.count}"
+        )
+        if not killed:
+            failures.append("ingest finished before the kill fired; raise CRASH_SMOKE_WINDOW")
+        if worker_restarts < 1:
+            failures.append("the heartbeat monitor never restarted the killed worker")
+        if missing:
+            failures.append(f"{len(missing)} acknowledged write(s) lost: {missing[:5]}")
+        if not integrity.ok:
+            failures.append(f"integrity check failed over the network: {integrity.errors}")
+        if net_count < len(acked):
+            failures.append(
+                f"network view holds {net_count} annotations but {len(acked)} were acked"
+            )
+    finally:
+        service.close()
+
+    # The same root must recover through the threaded facade: the WALs are
+    # the contract, regardless of which serving tier wrote them.
+    shard_roots = sorted(root.glob("shard-*"))
+    acknowledged_live = sum(_acknowledged_live(path) for path in shard_roots)
+    recovered = ShardedGraphittiService.recover(root)
+    stats = recovered.statistics()
+    report = recovered.check_integrity()
+    recovered_ids = {
+        annotation_id
+        for shard in recovered.shards
+        for annotation_id in (
+            annotation.annotation_id for annotation in shard.manager.annotations()
+        )
+    }
+    recovered.close()
+    print(
+        f"threaded recovery of the same root: {stats['annotations']} annotations "
+        f"(WALs acknowledge {acknowledged_live} live), integrity ok: {report.ok}"
+    )
+    if stats["annotations"] != acknowledged_live:
+        failures.append(
+            f"recovered {stats['annotations']} annotations but the WALs acknowledged "
+            f"{acknowledged_live} live"
+        )
+    lost = [annotation_id for annotation_id in acked if annotation_id not in recovered_ids]
+    if lost:
+        failures.append(f"{len(lost)} acked write(s) missing after recovery: {lost[:5]}")
+    if not report.ok:
+        failures.append(f"threaded integrity check failed: {report.errors}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("network crash-recovery smoke OK")
+    return 1 if failures else 0
+
+
+def _holds(service, annotation_id: str) -> bool:
+    from repro.errors import GraphittiError
+
+    try:
+        service.annotation(annotation_id)
+    except GraphittiError:
+        return False
+    return True
+
+
 def main() -> int:
+    if NETSHARD:
+        return _netshard_main()
     root = Path(tempfile.mkdtemp(prefix="crash-smoke-"))
     child = subprocess.Popen(
         [

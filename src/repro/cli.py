@@ -51,7 +51,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core.persistence import load_instance, save_instance
-from repro.errors import GraphittiError
+from repro.errors import GraphittiError, ServiceError
 from repro.workloads import build_influenza_instance, build_neuroscience_instance
 
 _SCENARIOS = {
@@ -123,6 +123,28 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.net.server import run_worker
+    from repro.obs import ObservabilityConfig
+    from repro.service import ServiceConfig
+
+    config = ServiceConfig(
+        durability=args.durability,
+        checkpoint_interval=args.checkpoint_interval,
+        cache_capacity=args.cache_capacity,
+        observability=ObservabilityConfig(enabled=not args.no_obs),
+    )
+    run_worker(
+        args.root,
+        args.shard_index,
+        host=args.host,
+        port=args.port,
+        config=config,
+        max_inflight=args.max_inflight,
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import GraphittiService, ServiceConfig
     from repro.workloads.service_scenario import run_service_workload, seed_service_objects
@@ -141,7 +163,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     manifest = read_manifest(args.root) if Path(args.root).exists() else None
     sharded_root = manifest is not None or any(Path(args.root).glob("shard-*"))
     replicated_root = (Path(args.root) / "replication.json").exists()
-    if (args.shards is not None and args.shards > 1) or sharded_root:
+    if args.net:
+        from repro.net import NetworkShardedGraphittiService
+
+        if args.scenario:
+            print(
+                "note: --scenario is ignored for network-sharded roots",
+                file=sys.stderr,
+            )
+        service = NetworkShardedGraphittiService.open(
+            args.root,
+            shards=args.shards,
+            config=config,
+            port_base=args.port_base,
+            max_inflight=args.max_inflight,
+            heartbeat_interval_s=args.heartbeat_interval,
+        )
+        status = service.network_status()
+        workers = ", ".join(
+            f"shard {row['shard']}@{row['host']}:{row['port']}"
+            + (f" pid {row['pid']}" if row.get("pid") else "")
+            for row in status["workers"]
+        )
+        print(f"serving {status['shards']} shard worker process(es) over TCP: {workers}")
+        if service.recovery_info is not None:
+            info = service.recovery_info
+            print(
+                f"recovered {info['shards']}-shard instance at {args.root}: "
+                f"replayed {info['replayed']} WAL record(s), "
+                f"{info['torn_tails']} torn tail(s) dropped"
+            )
+    elif (args.shards is not None and args.shards > 1) or sharded_root:
         from repro.shard import ShardedGraphittiService
 
         if args.scenario:
@@ -204,6 +256,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"workload: {summary['queries']} queries, {summary['commits']} commits "
         f"({summary['bulk_commits']} bulk batches), {summary['deletes']} deletes"
     )
+    if summary.get("backpressure_waits"):
+        print(f"backpressure: writers waited {summary['backpressure_waits']} time(s)")
     cache = summary["cache"]
     print(
         f"cache: {cache['hits']} hits / {cache['misses']} misses "
@@ -242,11 +296,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_service_for_root(root: str | Path, config=None):
+def _open_service_for_root(root: str | Path, config=None, net: bool = False):
     """Open the service at *root* with the same topology detection as serve.
 
     A ``shards.json`` manifest (or ``shard-*`` directories) opens sharded; a
-    ``replication.json`` opens replicated; otherwise a single service.
+    ``replication.json`` opens replicated; otherwise a single service.  With
+    ``net=True`` a sharded root is served by worker processes over TCP.
     """
     from repro.service import GraphittiService
     from repro.shard import ShardedGraphittiService, read_manifest
@@ -254,7 +309,13 @@ def _open_service_for_root(root: str | Path, config=None):
     root_path = Path(root)
     manifest = read_manifest(root_path) if root_path.exists() else None
     if manifest is not None or any(root_path.glob("shard-*")):
+        if net:
+            from repro.net import NetworkShardedGraphittiService
+
+            return NetworkShardedGraphittiService.open(root_path, config=config)
         return ShardedGraphittiService.open(root_path, config=config)
+    if net:
+        raise ServiceError(f"--net requires a sharded root; {root} is not sharded")
     if (root_path / "replication.json").exists():
         from repro.replica import ReplicatedGraphittiService
 
@@ -267,7 +328,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     from repro.obs import render_prometheus
 
-    service = _open_service_for_root(args.root)
+    # Only pass net= when requested: test doubles wrap the opener with the
+    # historical (root, config) signature.
+    opener_kwargs = {"net": True} if getattr(args, "net", False) else {}
+    service = _open_service_for_root(args.root, **opener_kwargs)
     try:
         if args.exercise:
             from repro.workloads.service_scenario import READER_QUERIES
@@ -525,7 +589,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--checkpoint-interval", type=int, default=0,
                          help="mutations between automatic checkpoints (0 = manual)")
     p_serve.add_argument("--cache-capacity", type=int, default=256)
+    p_serve.add_argument("--net", action="store_true",
+                         help="serve each shard from its own worker process over TCP")
+    p_serve.add_argument("--port-base", type=int, default=None,
+                         help="with --net: first worker port (shard i gets port-base+i); "
+                              "default ephemeral")
+    p_serve.add_argument("--heartbeat-interval", type=float, default=0.5,
+                         help="with --net: seconds between supervisor heartbeat probes")
+    p_serve.add_argument("--max-inflight", type=int, default=64,
+                         help="with --net: per-shard write-window size before backpressure")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "shard-worker",
+        help="run one shard worker process (normally spawned by serve --net)",
+    )
+    p_worker.add_argument("root", help="this shard's directory (snapshot.json + wal.jsonl)")
+    p_worker.add_argument("--shard-index", type=int, required=True)
+    p_worker.add_argument("--host", default="127.0.0.1")
+    p_worker.add_argument("--port", type=int, default=0,
+                          help="listen port; 0 picks an ephemeral port (announced in net.json)")
+    p_worker.add_argument("--max-inflight", type=int, default=64)
+    p_worker.add_argument("--durability", choices=["always", "batch", "never"], default="always")
+    p_worker.add_argument("--checkpoint-interval", type=int, default=0)
+    p_worker.add_argument("--cache-capacity", type=int, default=256)
+    p_worker.add_argument("--no-obs", action="store_true",
+                          help="disable the worker's observability layer")
+    p_worker.set_defaults(func=_cmd_shard_worker)
 
     p_promote = sub.add_parser(
         "promote", help="fenced failover: promote a follower of a replicated root"
@@ -546,6 +636,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_metrics.add_argument("root", help="service root (single, sharded, or replicated)")
     p_metrics.add_argument("--format", choices=["json", "prometheus"], default="json")
+    p_metrics.add_argument("--net", action="store_true",
+                           help="serve a sharded root via worker processes while sampling")
     p_metrics.add_argument("--exercise", type=int, default=0, metavar="N",
                            help="run the reader query mix N times first so a cold "
                                 "instance has latency distributions to show")

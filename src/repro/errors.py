@@ -120,3 +120,41 @@ class WalCorruptionError(ServiceError):
     A truncated *final* record is expected after a crash and is tolerated by
     replay; corruption anywhere earlier means the log cannot be trusted and
     recovery refuses to guess."""
+
+
+class WireError(ServiceError):
+    """A network frame could not be encoded, decoded, or fully delivered.
+
+    Raised for torn/truncated frames, oversized frames, and bodies that are
+    not valid JSON.  A client treats it like a connection loss: the request
+    outcome is unknown and the connection must be discarded."""
+
+
+class ShardTimeoutError(ServiceError):
+    """A shard did not answer within the configured deadline.
+
+    Shared by the threaded scatter path (a hung shard callable) and the
+    network path (a slow or black-holed worker), so callers handle both
+    topologies with one except clause."""
+
+
+class ShardUnavailableError(ServiceError):
+    """A shard is unreachable (dead, restarting, or past its retry budget).
+
+    Carries the shard indices that were unavailable so degraded-read callers
+    can report exactly which part of the keyspace is missing."""
+
+    def __init__(self, message: str, shards: tuple[int, ...] = ()):  # pragma: no cover - trivial
+        super().__init__(message)
+        self.shards = tuple(shards)
+
+
+class BackpressureError(ServiceError):
+    """A shard refused a write because its in-flight window is full.
+
+    ``retry_after`` is the server's hint (seconds) for when to try again —
+    the wire-level equivalent of an HTTP ``Retry-After`` header."""
+
+    def __init__(self, message: str, retry_after: float = 0.05):
+        super().__init__(message)
+        self.retry_after = float(retry_after)

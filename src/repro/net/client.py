@@ -1,0 +1,470 @@
+"""Connection-pooled RPC client for one shard worker.
+
+A :class:`ShardClient` is the network twin of a local
+:class:`~repro.service.service.GraphittiService`: it exposes the same method
+surface (so :class:`~repro.shard.service.ShardedGraphittiService`'s routing
+and merging code drives it unchanged) and translates each call into one
+framed request/response exchange.
+
+Reliability mechanics, all client-side:
+
+* **per-op timeouts** — every exchange runs under a socket deadline; a slow
+  or black-holed worker costs one timeout, not a hung scatter.
+* **capped exponential backoff with jitter** — transient failures (refused
+  connection, torn frame, timeout, backpressure) retry with
+  ``base * 2^attempt`` sleep, capped, jittered to avoid thundering herds;
+  a ``BackpressureError`` uses the server's ``retry_after`` hint instead.
+* **idempotency keys** — a mutation generates one key *before* the first
+  attempt and reuses it on every retry, so the worker can dedup a commit
+  whose ack was lost to a torn frame or timeout.  Retrying reads needs no
+  key.
+* **typed failure** — a dead shard surfaces as
+  :class:`~repro.errors.ShardUnavailableError` (fast, without dialing, once
+  the supervisor marks the shard dead), a deadline as
+  :class:`~repro.errors.ShardTimeoutError`; remote service errors re-raise
+  as the same :class:`~repro.errors.GraphittiError` subclass the worker
+  raised, found by name in the error hierarchy.
+
+The optional ``fault_hook`` is the deterministic fault-injection seam used
+by :meth:`repro.replica.faults.FaultSchedule.install_network`; see
+:data:`NET_FAULT_POINTS` there for what each point simulates.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.admin import IntegrityReport
+from repro.core.annotation import Annotation
+from repro.core.persistence import (
+    CatalogueObject,
+    decode_annotation,
+    encode_annotation,
+    encode_register,
+    encode_update_changes,
+)
+from repro.datatypes.base import DataType
+from repro.errors import (
+    BackpressureError,
+    GraphittiError,
+    ServiceError,
+    ShardTimeoutError,
+    ShardUnavailableError,
+    WireError,
+)
+from repro.net.codec import decode_query_result
+from repro.net.wire import encode_frame, read_frame, send_frame
+from repro.obs import Observability
+from repro.query.result import QueryResult
+from repro.service.service import ServiceConfig
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff shape for transient RPC failures."""
+
+    #: Total attempts per logical call (first try + retries).
+    attempts: int = 4
+    #: First backoff sleep; doubles each retry.
+    base_backoff_s: float = 0.02
+    #: Backoff cap — retries never sleep longer than this.
+    max_backoff_s: float = 0.5
+    #: Jitter fraction: each sleep is scaled by ``1 ± jitter * U(0, 1)``.
+    jitter: float = 0.5
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry *attempt* (1-based), capped and jittered."""
+        base = min(self.base_backoff_s * (2 ** (attempt - 1)), self.max_backoff_s)
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+def _error_classes() -> dict[str, type[GraphittiError]]:
+    classes: dict[str, type[GraphittiError]] = {}
+    stack: list[type[GraphittiError]] = [GraphittiError]
+    while stack:
+        cls = stack.pop()
+        classes[cls.__name__] = cls
+        stack.extend(cls.__subclasses__())
+    return classes
+
+
+class ShardClient:
+    """RPC proxy for one shard worker, shaped like a ``GraphittiService``."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        host: str,
+        port: int,
+        config: ServiceConfig | None = None,
+        connect_timeout_s: float = 2.0,
+        op_timeout_s: float = 30.0,
+        retry: RetryPolicy | None = None,
+        pool_size: int = 4,
+        obs: Observability | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.shard_index = int(shard_index)
+        self.host = host
+        self.port = int(port)
+        self.config = config or ServiceConfig()
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.op_timeout_s = float(op_timeout_s)
+        self.retry = retry or RetryPolicy()
+        self.obs = obs if obs is not None else Observability(None)
+        #: Deterministic fault seam: ``hook(point, target) -> bool`` — see
+        #: :meth:`repro.replica.faults.FaultSchedule.install_network`.
+        self.fault_hook: Callable[[str, str | None], bool] | None = None
+        self.name = f"shard-{self.shard_index}"
+        self._rng = rng or random.Random()
+        self._pool: list[socket.socket] = []
+        self._pool_size = int(pool_size)
+        self._pool_lock = threading.Lock()
+        self._dead = False
+        self._request_serial = 0
+        self._serial_lock = threading.Lock()
+        self._errors = _error_classes()
+
+    # -- supervisor hooks ------------------------------------------------------
+
+    @property
+    def dead(self) -> bool:
+        """True while the supervisor considers this shard down."""
+        return self._dead
+
+    def mark_dead(self) -> None:
+        """Fail calls fast (no dial, no timeout) until the shard returns."""
+        self._dead = True
+        self.close_pool()
+
+    def mark_alive(self) -> None:
+        self._dead = False
+
+    def update_address(self, host: str, port: int) -> None:
+        """Point the client at a restarted worker's new listener."""
+        self.host = host
+        self.port = int(port)
+        self.close_pool()
+
+    def close_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close race
+                pass
+
+    def close(self) -> None:
+        """Release pooled connections (the worker process outlives us)."""
+        self.close_pool()
+
+    # -- transport -------------------------------------------------------------
+
+    def _fires(self, point: str) -> bool:
+        return self.fault_hook is not None and bool(self.fault_hook(point, self.name))
+
+    def _next_id(self) -> int:
+        with self._serial_lock:
+            self._request_serial += 1
+            return self._request_serial
+
+    def _dial(self, timeout: float) -> socket.socket:
+        if self._fires("net.refused"):
+            raise ConnectionRefusedError(f"injected: connection to {self.name} refused")
+        sock = socket.create_connection((self.host, self.port), timeout=self.connect_timeout_s)
+        sock.settimeout(timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _checkout(self, timeout: float) -> socket.socket:
+        with self._pool_lock:
+            if self._pool:
+                sock = self._pool.pop()
+                sock.settimeout(timeout)
+                return sock
+        return self._dial(timeout)
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._pool_lock:
+            if not self._dead and len(self._pool) < self._pool_size:
+                self._pool.append(sock)
+                return
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - close race
+            pass
+
+    def _exchange_once(
+        self, op: str, args: dict[str, Any], idem: str | None, timeout: float
+    ) -> dict[str, Any]:
+        """One request/response exchange.  Any raise discards the connection."""
+        sock = self._checkout(timeout)
+        try:
+            request: dict[str, Any] = {"id": self._next_id(), "op": op, "args": args}
+            if idem is not None:
+                request["idem"] = idem
+            if self._fires("net.tear"):
+                # Deliver a torn frame: the worker cannot parse it and drops
+                # the connection; the request was never executed.
+                frame = encode_frame(request)
+                sock.sendall(frame[: max(1, len(frame) // 2)])
+                sock.close()
+                raise WireError(f"injected: frame to {self.name} torn mid-send")
+            if self._fires("net.blackhole"):
+                # The request vanishes in the network: never delivered, and
+                # the client burns its full read deadline waiting.
+                sock.close()
+                raise socket.timeout(f"injected: request to {self.name} black-holed")
+            send_frame(sock, request)
+            if self._fires("net.slow"):
+                # Slow-loris response: the worker EXECUTED the op but the
+                # reply does not arrive within the deadline.  The retry (same
+                # idempotency key) must dedup, not double-apply.
+                sock.close()
+                raise socket.timeout(f"injected: response from {self.name} too slow")
+            response = read_frame(sock)
+        except (socket.timeout, WireError, ConnectionError, OSError):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close race
+                pass
+            raise
+        if response is None:
+            self._checkin_or_close(sock, reuse=False)
+            raise WireError(f"{self.name} closed the connection before responding")
+        self._checkin(sock)
+        return response
+
+    def _checkin_or_close(self, sock: socket.socket, reuse: bool) -> None:
+        if reuse:
+            self._checkin(sock)
+        else:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close race
+                pass
+
+    # -- call core -------------------------------------------------------------
+
+    def call(
+        self,
+        op: str,
+        args: dict[str, Any] | None = None,
+        write: bool = False,
+        timeout: float | None = None,
+    ) -> Any:
+        """Issue one logical RPC with retries; returns the decoded value."""
+        if self._dead:
+            raise ShardUnavailableError(
+                f"{self.name} is marked dead (restarting or unreachable)",
+                shards=(self.shard_index,),
+            )
+        args = args or {}
+        idem = uuid.uuid4().hex if write else None
+        deadline = timeout if timeout is not None else self.op_timeout_s
+        with self.obs.span("rpc.request") as span:
+            span.set("shard", self.shard_index)
+            span.set("op", op)
+            value = self._call_with_retries(op, args, idem, deadline, span)
+        if self.obs.enabled:
+            # Per-op latency distribution; the generic span.rpc.request
+            # histogram is recorded by the tracer on span exit.
+            self.obs.observe(f"rpc.client.{op}", span.duration)
+        return value
+
+    def _call_with_retries(
+        self, op: str, args: dict[str, Any], idem: str | None, deadline: float, span: Any
+    ) -> Any:
+        obs = self.obs
+        last_exc: Exception | None = None
+        timed_out = False
+        for attempt in range(1, self.retry.attempts + 1):
+            if attempt > 1:
+                obs.count("rpc.retries")
+                if isinstance(last_exc, BackpressureError):
+                    time.sleep(min(last_exc.retry_after, self.retry.max_backoff_s))
+                else:
+                    time.sleep(self.retry.backoff(attempt - 1, self._rng))
+            try:
+                response = self._exchange_once(op, args, idem, deadline)
+            except socket.timeout as exc:
+                last_exc, timed_out = exc, True
+                obs.count("rpc.timeouts")
+                continue
+            except (WireError, ConnectionError, OSError) as exc:
+                last_exc, timed_out = exc, False
+                obs.count("rpc.transport_errors")
+                continue
+            if response.get("ok"):
+                span.set("attempts", attempt)
+                return response.get("value")
+            error = self._decode_error(response)
+            if isinstance(error, BackpressureError):
+                last_exc, timed_out = error, False
+                obs.count("rpc.backpressure")
+                continue
+            raise error
+        span.set("failed", True)
+        if timed_out:
+            raise ShardTimeoutError(
+                f"{self.name} op {op!r} timed out after {self.retry.attempts} "
+                f"attempt(s) with a {deadline}s deadline"
+            ) from last_exc
+        if isinstance(last_exc, BackpressureError):
+            raise last_exc
+        raise ShardUnavailableError(
+            f"{self.name} unreachable after {self.retry.attempts} attempt(s): {last_exc}",
+            shards=(self.shard_index,),
+        ) from last_exc
+
+    def _decode_error(self, response: dict[str, Any]) -> GraphittiError:
+        name = response.get("error", "ServiceError")
+        message = response.get("message", f"{self.name} rpc failed")
+        cls = self._errors.get(name, ServiceError)
+        if cls is BackpressureError:
+            return BackpressureError(message, retry_after=float(response.get("retry_after", 0.05)))
+        if cls is ShardUnavailableError:
+            return ShardUnavailableError(message, shards=(self.shard_index,))
+        try:
+            return cls(message)
+        except TypeError:  # pragma: no cover - exotic constructor
+            return ServiceError(message)
+
+    # -- liveness --------------------------------------------------------------
+
+    def ping(self, timeout: float = 1.0) -> dict[str, Any]:
+        """One heartbeat probe — single attempt, no retry, ignores dead-mark."""
+        response = self._exchange_once("ping", {}, None, timeout)
+        if not response.get("ok"):
+            raise self._decode_error(response)
+        return response["value"]
+
+    def status(self) -> dict[str, Any]:
+        return self.call("status")
+
+    # -- GraphittiService surface ----------------------------------------------
+
+    def register_ontology(self, ontology, cache: bool = True):
+        self.call("register_ontology", {"ontology": ontology.to_dict()}, write=True)
+        return None
+
+    def register(self, obj, raw: bytes | None = None, **metadata: Any):
+        combined = dict(obj.metadata)
+        combined.update(metadata)
+        self.call("register", {"record": encode_register(obj, combined)}, write=True)
+        return obj
+
+    def reserve_annotation_id(self) -> str:
+        return self.call("reserve_annotation_id", write=True)
+
+    def commit(self, annotation: Annotation) -> Annotation:
+        payload = self.call("commit", {"annotation": encode_annotation(annotation)}, write=True)
+        return decode_annotation(payload)
+
+    def bulk_commit(self, annotations: list[Annotation]) -> list[Annotation]:
+        payload = self.call(
+            "bulk_commit",
+            {"annotations": [encode_annotation(annotation) for annotation in annotations]},
+            write=True,
+        )
+        return [decode_annotation(item) for item in payload]
+
+    def delete_annotation(self, annotation_id: str) -> None:
+        self.call("delete_annotation", {"annotation_id": annotation_id}, write=True)
+
+    def update_annotation(self, annotation_id: str, changes: dict[str, Any]) -> Annotation:
+        payload = self.call(
+            "update_annotation",
+            {"annotation_id": annotation_id, "changes": encode_update_changes(changes)},
+            write=True,
+        )
+        return decode_annotation(payload)
+
+    def delete_object(self, object_id: str, cascade: bool = True) -> list[str]:
+        return self.call("delete_object", {"object_id": object_id, "cascade": cascade}, write=True)
+
+    def annotations_on_object(self, object_id: str) -> list[str]:
+        return self.call("annotations_on_object", {"object_id": object_id})
+
+    def query(self, gql: str) -> QueryResult:
+        return decode_query_result(self.call("query", {"gql": gql}))
+
+    def explain(self, gql: str) -> dict:
+        return self.call("explain", {"gql": gql})
+
+    def annotation(self, annotation_id: str) -> Annotation:
+        return decode_annotation(self.call("annotation", {"annotation_id": annotation_id}))
+
+    def holds(self, annotation_id: str) -> bool:
+        return bool(self.call("holds", {"annotation_id": annotation_id}))
+
+    def search_by_keyword(self, keyword: str, mode: str = "and") -> list[str]:
+        return self.call("search_by_keyword", {"keyword": keyword, "mode": mode})
+
+    def search_by_ontology(self, term: str, **kwargs: Any) -> list[str]:
+        return self.call("search_by_ontology", {"term": term, "kwargs": kwargs})
+
+    def related_annotations(self, annotation_id: str) -> list[str]:
+        return self.call("related_annotations", {"annotation_id": annotation_id})
+
+    def resolve_ontology_term(self, text: str) -> str:
+        return self.call("resolve_ontology_term", {"text": text})
+
+    def data_object(self, object_id: str) -> CatalogueObject:
+        record = self.call("data_object", {"object_id": object_id})
+        return CatalogueObject(
+            record["object_id"],
+            DataType(record["data_type"]),
+            domain=record.get("domain"),
+            description=record.get("description", ""),
+            metadata=record.get("metadata"),
+        )
+
+    def check_integrity(self) -> IntegrityReport:
+        payload = self.call("check_integrity")
+        report = IntegrityReport(
+            ok=bool(payload.get("ok", True)),
+            errors=list(payload.get("errors", [])),
+            warnings=list(payload.get("warnings", [])),
+            checks_run=int(payload.get("checks_run", 0)),
+        )
+        return report
+
+    @property
+    def annotation_count(self) -> int:
+        return int(self.call("annotation_count"))
+
+    @property
+    def last_wal_seq(self) -> int:
+        return int(self.call("status")["last_wal_seq"])
+
+    @property
+    def recovery_info(self) -> dict[str, Any] | None:
+        return self.call("status").get("recovery")
+
+    def statistics(self) -> dict[str, Any]:
+        return self.call("statistics")
+
+    def metrics(self) -> dict[str, Any]:
+        return self.call("metrics")
+
+    def slow_ops(self) -> list[dict[str, Any]]:
+        return self.call("slow_ops")
+
+    def checkpoint(self) -> str | None:
+        return self.call("checkpoint", write=True)
+
+    def shutdown(self) -> None:
+        """Ask the worker to checkpoint (per its config) and exit cleanly."""
+        try:
+            self.call("shutdown", timeout=10.0)
+        except (ShardUnavailableError, ShardTimeoutError):
+            pass  # already gone — the supervisor escalates to SIGKILL
+        self.close_pool()

@@ -1,0 +1,482 @@
+"""Network sharded service: the process-per-shard drop-in facade.
+
+:class:`NetworkShardedGraphittiService` subclasses the threaded
+:class:`~repro.shard.service.ShardedGraphittiService` and swaps the shard
+list from in-process ``GraphittiService`` objects to
+:class:`~repro.net.client.ShardClient` RPC proxies — the routing, merging,
+manifest and aggregation logic is inherited, so the two topologies cannot
+drift apart.  Only the seams that reach *into* a shard's memory are
+overridden: membership probes become ``holds`` RPCs, the REFERENTS merge
+reads the referent map each worker ships with its result page, and builder
+support (``data_object`` / ``resolve_ontology_term``) is served from a
+client-side catalog of the objects and ontologies registered through this
+facade (objects are replicated to every worker, but native payloads never
+cross the wire).
+
+Two worker modes:
+
+* ``"process"`` — each shard is an independent OS process spawned via
+  ``repro shard-worker`` (true GIL isolation, crash isolation, SIGKILL
+  testing).  Requires a durable *root*.
+* ``"thread"``  — each shard is an in-process ``ShardWorkerServer`` on a
+  real TCP socket (full wire/retry/timeout semantics without process spawn
+  cost; used by the oracle-equivalence and fault-matrix tests).
+
+Robustness contract:
+
+* a :class:`~repro.net.supervisor.HeartbeatMonitor` probes every worker;
+  after ``miss_threshold`` consecutive misses the shard is marked dead and
+  (``auto_restart=True``) its process is respawned — WAL recovery brings
+  back every acknowledged write, and the client re-points to the new port.
+* reads against a topology with a dead shard fail fast with
+  :class:`~repro.errors.ShardUnavailableError`, or — ``degraded_reads=True``
+  — return partial results tagged ``degraded=True`` with the missing shard
+  list.  Writes are never degraded.
+* write admission is bounded per shard; an overloaded worker answers
+  :class:`~repro.errors.BackpressureError` with a retry-after hint.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any
+
+from repro.core.manager import Graphitti
+from repro.errors import (
+    GraphittiError,
+    ServiceError,
+    ShardTimeoutError,
+    ShardUnavailableError,
+)
+from repro.net.client import RetryPolicy, ShardClient
+from repro.net.server import ShardWorkerServer
+from repro.net.supervisor import HeartbeatMonitor, WorkerHandle
+from repro.query.ast import Query, ReturnKind
+from repro.query.result import QueryResult
+from repro.service.cache import normalize_gql
+from repro.service.service import GraphittiService, ServiceConfig
+from repro.shard.router import shard_dir_name, shard_namespace
+from repro.shard.service import ShardedGraphittiService, resolve_topology
+
+
+class NetworkShardedGraphittiService(ShardedGraphittiService):
+    """Scatter-gather facade over process-per-shard workers on TCP."""
+
+    def __init__(
+        self,
+        clients: list[ShardClient],
+        root: str | Path | None = None,
+        catalog: Graphitti | None = None,
+        handles: list[WorkerHandle] | None = None,
+        servers: list[ShardWorkerServer] | None = None,
+        worker_services: list[GraphittiService] | None = None,
+        degraded_reads: bool = False,
+        heartbeat_interval_s: float = 0.5,
+        miss_threshold: int = 3,
+        auto_restart: bool = True,
+        start_monitor: bool = True,
+    ):
+        super().__init__(services=clients, root=root)
+        # The inherited pool is sized for CPU-bound in-process shards (one
+        # worker per shard).  Network scatter tasks BLOCK on sockets, so that
+        # sizing serialises concurrent queries; widen it so several callers
+        # can have their full fan-out in flight at once.
+        self._pool.shutdown(wait=False)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(8, 4 * len(clients)), thread_name_prefix="netshard"
+        )
+        self._catalog = catalog if catalog is not None else Graphitti("graphitti-catalog")
+        self._handles = handles
+        self._servers = servers
+        self._worker_services = worker_services
+        self.degraded_reads = bool(degraded_reads)
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.miss_threshold = int(miss_threshold)
+        self.auto_restart = bool(auto_restart)
+        self._restart_lock = threading.Lock()
+        for client in clients:
+            client.obs = self.obs
+        self.monitor = HeartbeatMonitor(
+            clients,
+            interval_s=self.heartbeat_interval_s,
+            miss_threshold=self.miss_threshold,
+            on_dead=self._on_shard_dead,
+            obs=self.obs,
+        )
+        if start_monitor:
+            self.monitor.start()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        root: str | Path | None,
+        shards: int | None = None,
+        config: ServiceConfig | None = None,
+        name: str = "graphitti",
+        worker_mode: str = "process",
+        host: str = "127.0.0.1",
+        port_base: int | None = None,
+        max_inflight: int = 64,
+        heartbeat_interval_s: float = 0.5,
+        miss_threshold: int = 3,
+        degraded_reads: bool = False,
+        auto_restart: bool = True,
+        start_monitor: bool = True,
+        op_timeout_s: float = 30.0,
+        retry: RetryPolicy | None = None,
+        spawn_timeout_s: float = 60.0,
+        worker_env: dict[int, dict[str, str]] | None = None,
+    ) -> "NetworkShardedGraphittiService":
+        """Open (or recover) a network sharded deployment.
+
+        With a durable *root* the topology resolves exactly like the
+        threaded facade (manifest wins, shard directories count, a fresh
+        root defaults to 4); ``worker_mode="thread"`` additionally accepts
+        ``root=None`` for a purely in-memory deployment.
+        """
+        if worker_mode not in ("process", "thread"):
+            raise ServiceError(f"unknown worker mode {worker_mode!r}")
+        if root is None:
+            if worker_mode != "thread":
+                raise ServiceError("process workers need a durable root directory")
+            count = shards if shards is not None else 4
+            if count < 1:
+                raise ServiceError("a sharded service needs at least one shard")
+            manifest = None
+        else:
+            root = Path(root)
+            count, manifest = resolve_topology(root, shards)
+
+        config = config or ServiceConfig()
+        handles: list[WorkerHandle] | None = None
+        servers: list[ShardWorkerServer] | None = None
+        worker_services: list[GraphittiService] | None = None
+        recovery: list[dict[str, Any] | None] = []
+        addresses: list[tuple[str, int]] = []
+
+        if worker_mode == "process":
+            handles = []
+            for index in range(count):
+                handles.append(
+                    WorkerHandle(
+                        Path(root) / shard_dir_name(index),
+                        index,
+                        config=config,
+                        host=host,
+                        port=(port_base + index) if port_base else 0,
+                        max_inflight=max_inflight,
+                        spawn_timeout_s=spawn_timeout_s,
+                        env=(worker_env or {}).get(index),
+                    )
+                )
+            # Launch every process before waiting on any announce file, so
+            # worker startup (interpreter + recovery) overlaps across shards.
+            for handle in handles:
+                handle.launch()
+            for handle in handles:
+                announce = handle.await_announce()
+                addresses.append((announce["host"], announce["port"]))
+                recovery.append(announce.get("recovery"))
+        else:
+            servers = []
+            worker_services = []
+            for index in range(count):
+                namespace = shard_namespace(index)
+                factory = lambda namespace=namespace: Graphitti(  # noqa: E731
+                    f"{name}-{namespace}", id_namespace=namespace
+                )
+                if root is not None:
+                    service = GraphittiService.open(
+                        Path(root) / shard_dir_name(index), config=config, manager_factory=factory
+                    )
+                    service.manager.id_namespace = namespace
+                else:
+                    service = GraphittiService(manager=factory(), config=config)
+                server = ShardWorkerServer(
+                    service,
+                    index,
+                    host=host,
+                    port=(port_base + index) if port_base else 0,
+                    max_inflight=max_inflight,
+                )
+                addresses.append(server.start())
+                worker_services.append(service)
+                servers.append(server)
+                recovery.append(service.recovery_info)
+
+        clients = [
+            ShardClient(
+                index,
+                address[0],
+                address[1],
+                config=config,
+                op_timeout_s=op_timeout_s,
+                retry=retry,
+            )
+            for index, address in enumerate(addresses)
+        ]
+        instance = cls(
+            clients,
+            root=root,
+            catalog=Graphitti(f"{name}-catalog"),
+            handles=handles,
+            servers=servers,
+            worker_services=worker_services,
+            degraded_reads=degraded_reads,
+            heartbeat_interval_s=heartbeat_interval_s,
+            miss_threshold=miss_threshold,
+            auto_restart=auto_restart,
+            start_monitor=start_monitor,
+        )
+        if any(info is not None for info in recovery):
+            instance._recovery_info = {
+                "shards": count,
+                "replayed": sum((info or {}).get("replayed", 0) for info in recovery),
+                "skipped": sum((info or {}).get("skipped", 0) for info in recovery),
+                "torn_tails": sum(1 for info in recovery if (info or {}).get("torn_tail")),
+                "per_shard": recovery,
+            }
+        if root is not None and manifest is None:
+            instance._write_manifest()
+        elif manifest is not None:
+            instance._checkpoints = int(manifest.get("checkpoints", 0))
+        return instance
+
+    # -- supervision -----------------------------------------------------------
+
+    def _on_shard_dead(self, index: int) -> None:
+        if self.auto_restart:
+            try:
+                self.restart_shard(index)
+            except GraphittiError:  # pragma: no cover - restart race
+                pass
+
+    def restart_shard(self, index: int) -> None:
+        """Respawn a dead worker and re-point its client.
+
+        Process mode SIGKILLs any straggler and re-runs WAL recovery in the
+        fresh process; thread mode re-serves the same (still live) service on
+        a new listener.  Counted as ``net.worker_restarts``.
+        """
+        with self._restart_lock:
+            client = self._shards[index]
+            if self._handles is not None:
+                announce = self._handles[index].restart()
+                client.update_address(announce["host"], announce["port"])
+            elif self._servers is not None:
+                self._servers[index].stop()
+                server = ShardWorkerServer(
+                    self._servers[index].service,
+                    index,
+                    host=client.host,
+                    port=0,
+                    max_inflight=self._servers[index].max_inflight,
+                )
+                host, port = server.start()
+                self._servers[index] = server
+                client.update_address(host, port)
+            else:  # pragma: no cover - constructed without workers
+                raise ServiceError(f"no worker to restart for shard {index}")
+            client.mark_alive()
+            self.monitor.misses[index] = 0
+            self.obs.count("net.worker_restarts")
+
+    def kill_shard(self, index: int) -> None:
+        """SIGKILL shard *index*'s worker (crash-testing hook)."""
+        if self._handles is not None:
+            self._handles[index].kill()
+        elif self._servers is not None:
+            self._servers[index].stop()
+
+    def network_status(self) -> dict[str, Any]:
+        """Topology + liveness: one row per worker, plus detector config."""
+        workers = []
+        for index, client in enumerate(self._shards):
+            row: dict[str, Any] = {
+                "shard": index,
+                "host": client.host,
+                "port": client.port,
+                "dead": client.dead,
+                "heartbeat_misses": self.monitor.misses[index],
+            }
+            if self._handles is not None:
+                row["pid"] = self._handles[index].pid
+                row["alive"] = self._handles[index].alive()
+            workers.append(row)
+        return {
+            "mode": "process" if self._handles is not None else "thread",
+            "shards": len(self._shards),
+            "degraded_reads": self.degraded_reads,
+            "heartbeat": {
+                "interval_s": self.heartbeat_interval_s,
+                "miss_threshold": self.miss_threshold,
+                "auto_restart": self.auto_restart,
+            },
+            "workers": workers,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the monitor, land the manifest, stop workers, free the pool."""
+        if self._closed:
+            return
+        self.monitor.stop()
+        if self._root is not None:
+            try:
+                self._write_manifest()
+            except GraphittiError:  # pragma: no cover - dead shard at close
+                pass
+        for client in self._shards:
+            try:
+                client.shutdown()
+            except GraphittiError:  # pragma: no cover - already gone
+                pass
+        if self._handles is not None:
+            for handle in self._handles:
+                handle.terminate()
+        if self._servers is not None:
+            for server in self._servers:
+                server.stop()
+        if self._worker_services is not None:
+            for service in self._worker_services:
+                service.close()
+        for client in self._shards:
+            client.close_pool()
+        self._pool.shutdown(wait=True)
+        self._closed = True
+
+    def _shard_wal_seq(self, shard: Any) -> int:
+        try:
+            return super()._shard_wal_seq(shard)
+        except GraphittiError:  # dead worker at manifest time: record unknown
+            return 0
+
+    # -- overridden shard-memory seams ----------------------------------------
+
+    def _shard_holds(self, index: int, annotation_id: str) -> bool:
+        return self._shards[index].holds(annotation_id)
+
+    def _annotation_referents(self, index: int, annotation_id: str, result: QueryResult):
+        shipped = getattr(result, "_net_referents_by_annotation", None) or {}
+        return shipped.get(annotation_id, ())
+
+    # -- builder support (client-side catalog) ---------------------------------
+
+    def register(self, obj, raw: bytes | None = None, **metadata: Any):
+        """Register locally (native object, so builders can mark it) and
+        broadcast the catalogue record to every worker."""
+        self._catalog.register(obj, raw=raw, **metadata)
+        self._scatter(lambda shard: shard.register(obj, raw=raw, **metadata))
+        return obj
+
+    def register_ontology(self, ontology, cache: bool = True):
+        ops = self._catalog.register_ontology(ontology, cache=cache)
+        self._scatter(lambda shard: shard.register_ontology(ontology, cache=cache))
+        return ops
+
+    def data_object(self, object_id: str):
+        try:
+            return self._catalog.data_object(object_id)
+        except GraphittiError:
+            # Reopened root: the native object never existed client-side.
+            # Workers hold the catalogue entry (same contract as recovery).
+            return self._shards[0].data_object(object_id)
+
+    def resolve_ontology_term(self, text: str) -> str:
+        if self._catalog.ontologies():
+            return self._catalog.resolve_ontology_term(text)
+        return self._shards[0].resolve_ontology_term(text)
+
+    # -- read path (degraded-aware scatter) ------------------------------------
+
+    def query(self, text_or_query: str | Query) -> QueryResult:
+        if isinstance(text_or_query, Query):
+            raise ServiceError(
+                "the network sharded service scatters GQL text; "
+                "pre-built Query objects cannot cross the wire"
+            )
+        obs = self.obs
+        if not obs.enabled:
+            return_kind, limit = self._query_shape(text_or_query)
+            results, missing = self._collect_query(
+                [
+                    self._pool.submit(self._shards[index].query, text_or_query)
+                    for index in range(len(self._shards))
+                ]
+            )
+            return self._finish_query(return_kind, limit, results, missing)
+        with obs.span("query") as root:
+            with obs.span("parse"):
+                return_kind, limit = self._query_shape(text_or_query)
+            with obs.span("scatter") as scatter:
+                futures = [
+                    self._pool.submit(self._traced_shard_query, index, text_or_query, scatter)
+                    for index in range(len(self._shards))
+                ]
+                results, missing = self._collect_query(futures)
+            with obs.span("merge") as merge_span:
+                merged = self._finish_query(return_kind, limit, results, missing)
+                merge_span.set("rows", merged.count)
+        if obs.is_slow(root):
+            root.set("gql", normalize_gql(text_or_query))
+            explain = None
+            if not missing:
+                try:
+                    explain = self.explain(text_or_query)
+                except GraphittiError:  # pragma: no cover - shard died mid-op
+                    explain = None
+            obs.record_slow("query", root, explain=explain)
+        return merged
+
+    def _collect_query(self, futures) -> tuple[list[QueryResult | None], list[int]]:
+        results: list[QueryResult | None] = []
+        missing: list[int] = []
+        self._last_scatter_causes: list[GraphittiError] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except (ShardUnavailableError, ShardTimeoutError) as exc:
+                results.append(None)
+                missing.append(index)
+                self._last_scatter_causes.append(exc)
+        return results, missing
+
+    def _finish_query(
+        self,
+        return_kind: ReturnKind,
+        limit: int | None,
+        results: list[QueryResult | None],
+        missing: list[int],
+    ) -> QueryResult:
+        if missing:
+            if not self.degraded_reads or len(missing) == len(self._shards):
+                causes = getattr(self, "_last_scatter_causes", [])
+                if causes and all(isinstance(exc, ShardTimeoutError) for exc in causes):
+                    # Pure deadline misses keep their type — the same signal
+                    # the threaded scatter deadline raises.
+                    raise ShardTimeoutError(
+                        f"shard(s) {missing} missed the query deadline"
+                    ) from causes[0]
+                raise ShardUnavailableError(
+                    f"shard(s) {missing} unavailable for query "
+                    f"(degraded reads {'exhausted' if self.degraded_reads else 'disabled'})",
+                    shards=tuple(missing),
+                )
+            self.obs.count("query.degraded")
+        merged = self._merge_results(return_kind, limit, results)
+        if missing:
+            merged.degraded = True
+            merged.missing_shards = list(missing)
+        return merged
+
+    # -- aggregation extras ----------------------------------------------------
+
+    def statistics(self) -> dict[str, Any]:
+        stats = super().statistics()
+        stats["network"] = self.network_status()
+        return stats

@@ -1,0 +1,231 @@
+"""Worker-process supervision: spawn, discover, heartbeat, restart.
+
+A :class:`WorkerHandle` owns one shard worker OS process: it spawns
+``python -m repro shard-worker`` against the shard's directory, waits for
+the worker's announce file (written only after the listener is bound and
+WAL recovery finished), and can kill or respawn it.  Restart re-runs full
+recovery — the WAL is the contract that no acknowledged write is lost.
+
+A :class:`HeartbeatMonitor` probes every shard on a fixed interval with a
+single-attempt ``ping``.  ``miss_threshold`` consecutive failures declare
+the shard dead: its client is marked (so callers fail fast with
+``ShardUnavailableError`` instead of burning timeouts), and — when the
+supervisor owns the process — the worker is restarted and the client is
+re-pointed at the new ephemeral port.  Gauges ``heartbeat.age_s.<shard>``
+and counters ``net.heartbeat_misses`` / ``net.worker_restarts`` make the
+detector observable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ServiceError
+from repro.net.server import ANNOUNCE_FILE
+from repro.obs import Observability
+from repro.service.service import ServiceConfig
+
+
+class WorkerHandle:
+    """One shard worker OS process and its announce-file discovery."""
+
+    def __init__(
+        self,
+        root: Path,
+        shard_index: int,
+        config: ServiceConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+        spawn_timeout_s: float = 30.0,
+        env: dict[str, str] | None = None,
+    ):
+        self.root = Path(root)
+        self.shard_index = int(shard_index)
+        self.config = config
+        self.host = host
+        self.port = int(port)
+        self.max_inflight = int(max_inflight)
+        self.spawn_timeout_s = float(spawn_timeout_s)
+        self.env = dict(env) if env else {}
+        self.process: subprocess.Popen | None = None
+        self.announce: dict[str, Any] | None = None
+
+    @property
+    def announce_path(self) -> Path:
+        return self.root / ANNOUNCE_FILE
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def _command(self) -> list[str]:
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "shard-worker",
+            str(self.root),
+            "--shard-index",
+            str(self.shard_index),
+            "--host",
+            self.host,
+            "--port",
+            str(self.port),
+            "--max-inflight",
+            str(self.max_inflight),
+        ]
+        config = self.config
+        if config is not None:
+            command += ["--durability", config.durability]
+            command += ["--cache-capacity", str(config.cache_capacity)]
+            command += ["--checkpoint-interval", str(config.checkpoint_interval)]
+            if not config.observability.enabled:
+                command += ["--no-obs"]
+        return command
+
+    def launch(self) -> None:
+        """Start the worker process without waiting for readiness.
+
+        The stale announce file from a previous incarnation is removed first
+        so discovery can never adopt a dead worker's port.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            self.announce_path.unlink()
+        except FileNotFoundError:
+            pass
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _pythonpath()
+        env.update(self.env)
+        self.process = subprocess.Popen(self._command(), env=env)
+
+    def spawn(self) -> dict[str, Any]:
+        """Start the worker and block until its announce file appears."""
+        self.launch()
+        return self.await_announce()
+
+    def await_announce(self) -> dict[str, Any]:
+        deadline = time.monotonic() + self.spawn_timeout_s
+        while time.monotonic() < deadline:
+            if self.process is not None and self.process.poll() is not None:
+                raise ServiceError(
+                    f"shard worker {self.shard_index} exited with code "
+                    f"{self.process.returncode} before announcing"
+                )
+            try:
+                payload = json.loads(self.announce_path.read_text(encoding="utf-8"))
+            except (FileNotFoundError, json.JSONDecodeError):
+                time.sleep(0.02)
+                continue
+            self.announce = payload
+            return payload
+        raise ServiceError(
+            f"shard worker {self.shard_index} did not announce within {self.spawn_timeout_s}s"
+        )
+
+    def kill(self) -> None:
+        """SIGKILL the worker (crash simulation; no cleanup runs)."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        """Graceful stop: SIGTERM, then SIGKILL if the worker lingers."""
+        if self.process is None:
+            return
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+                self.process.kill()
+                self.process.wait(timeout=timeout)
+
+    def restart(self) -> dict[str, Any]:
+        """Replace a dead (or killed) worker; recovery replays its WAL."""
+        self.kill()
+        return self.spawn()
+
+
+def _pythonpath() -> str:
+    """PYTHONPATH for worker processes: this repro's src dir first."""
+    src = str(Path(__file__).resolve().parents[2])
+    existing = os.environ.get("PYTHONPATH", "")
+    if existing and src not in existing.split(os.pathsep):
+        return src + os.pathsep + existing
+    return existing or src
+
+
+class HeartbeatMonitor:
+    """Periodic single-attempt pings with miss-threshold dead detection."""
+
+    def __init__(
+        self,
+        clients: list,
+        interval_s: float = 0.5,
+        miss_threshold: int = 3,
+        on_dead: Callable[[int], None] | None = None,
+        obs: Observability | None = None,
+    ):
+        self.clients = clients
+        self.interval_s = float(interval_s)
+        self.miss_threshold = int(miss_threshold)
+        self.on_dead = on_dead
+        self.obs = obs if obs is not None else Observability(None)
+        self.misses = [0] * len(clients)
+        self.last_seen = [time.monotonic()] * len(clients)
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._run, name="shard-heartbeat", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval_s * 4 + 2.0)
+            self._thread = None
+
+    def probe_all(self) -> None:
+        """One synchronous heartbeat round (tests drive this directly)."""
+        for index, client in enumerate(self.clients):
+            self._probe(index, client)
+
+    def _probe(self, index: int, client) -> None:
+        obs = self.obs
+        try:
+            client.ping(timeout=max(0.1, self.interval_s))
+        except Exception:
+            self.misses[index] += 1
+            obs.count("net.heartbeat_misses")
+            if self.misses[index] >= self.miss_threshold and not client.dead:
+                client.mark_dead()
+                obs.count("net.workers_declared_dead")
+                if self.on_dead is not None:
+                    self.on_dead(index)
+        else:
+            self.misses[index] = 0
+            self.last_seen[index] = time.monotonic()
+            if client.dead:
+                client.mark_alive()
+        if obs.enabled:
+            obs.registry.gauge(f"heartbeat.age_s.shard{index}").set(
+                round(time.monotonic() - self.last_seen[index], 6)
+            )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.probe_all()

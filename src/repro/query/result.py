@@ -34,6 +34,13 @@ class QueryResult:
     #: :meth:`repro.query.planner.QueryPlan.fingerprint`); the serving layer
     #: uses it as part of the result-cache key.
     plan_fingerprint: str = ""
+    #: Set by the network sharded service when the merge ran without every
+    #: shard (opt-in partial results while a worker is dead or restarting).
+    #: A degraded result is complete for the shards listed as present but may
+    #: be missing any row owned by ``missing_shards``.
+    degraded: bool = False
+    #: Shard indices that did not contribute to a degraded merge.
+    missing_shards: list[int] = field(default_factory=list)
 
     def copy(self) -> "QueryResult":
         """An independent shallow copy (fresh page lists, shared elements).
@@ -52,6 +59,8 @@ class QueryResult:
             step_details=[dict(detail) for detail in self.step_details],
             fragments=list(self.fragments),
             plan_fingerprint=self.plan_fingerprint,
+            degraded=self.degraded,
+            missing_shards=list(self.missing_shards),
         )
 
     @property
@@ -127,4 +136,6 @@ class QueryResult:
             "subgraphs": [subgraph.to_dict() for subgraph in self.subgraphs],
             "steps": list(self.steps),
             "step_details": [dict(detail) for detail in self.step_details],
+            "degraded": self.degraded,
+            "missing_shards": list(self.missing_shards),
         }

@@ -31,6 +31,27 @@ Fault points:
     stall); its ``applied_seq`` freezes and bounded-staleness reads route
     around it.
 
+Network fault points (the ``repro.net`` RPC layer; installed client-side
+via :meth:`FaultSchedule.install_network`, with the shard client's name —
+``shard-0`` etc. — as the target):
+
+``net.refused``
+    Dialing the worker fails with ``ConnectionRefusedError`` (worker dead,
+    listener not yet bound).  The request was never delivered.
+``net.tear``
+    The request frame is torn mid-send: the worker reads a partial frame,
+    drops the connection, and never executes the op.
+``net.blackhole``
+    The request vanishes in transit — never delivered, and the client burns
+    its full read deadline before timing out.
+``net.slow``
+    Slow-loris response: the worker *executed* the op but the reply misses
+    the client deadline.  The retry (same idempotency key) must dedup.
+
+The fifth network fault — worker SIGKILL between WAL apply and ack — is a
+process-level fault, armed with the ``REPRO_NET_KILL_AFTER_APPLY``
+environment variable on the worker (see :mod:`repro.net.server`).
+
 Schedules can also be *generated* deterministically from a seed
 (:meth:`FaultSchedule.random`) to sweep the crash/failover matrix without
 hand-writing every case.
@@ -46,13 +67,22 @@ from typing import Any
 from repro.errors import ServiceError
 from repro.replica.replicated import ReplicatedGraphittiService
 
+#: Network fault points evaluated by the RPC client (see
+#: :meth:`FaultSchedule.install_network`).
+NET_FAULT_POINTS = (
+    "net.refused",
+    "net.tear",
+    "net.blackhole",
+    "net.slow",
+)
+
 #: The schedulable fault points.
 FAULT_POINTS = (
     "wal.fsync",
     "primary.kill_after_append",
     "ship.tear",
     "follower.stall",
-)
+) + NET_FAULT_POINTS
 
 
 class PrimaryCrashed(ServiceError):
@@ -174,6 +204,17 @@ class FaultSchedule:
                 )
 
         primary.after_append_hook = after_append
+
+    def install_network(self, service) -> None:
+        """Attach this schedule to every shard client of a network facade.
+
+        The client evaluates the ``net.*`` points at its transport seams
+        (dial, send, await-response) by calling :meth:`fires` with its own
+        name (``shard-N``) as the target, so rules can hit one shard's
+        stream or — with ``target=None`` — any shard's.
+        """
+        for client in service.shards:
+            client.fault_hook = self.fires
 
     def install_follower(self, follower) -> None:
         """Install the follower-side stall point."""

@@ -67,6 +67,10 @@ class ServiceConfig:
     planner_mode: str | None = None
     #: Checkpoint once more when the service closes.
     checkpoint_on_close: bool = True
+    #: Whole-scatter deadline (seconds) for the sharded facades; a shard
+    #: that does not answer in time raises ShardTimeoutError instead of
+    #: blocking the merge forever.  None disables the deadline.
+    scatter_deadline_s: float | None = None
     #: Observability knobs (metrics/tracing/slow-op log).  The config rides
     #: in ServiceConfig so it persists across recovery the same way the
     #: durability policy does; the registry itself is in-memory per instance,

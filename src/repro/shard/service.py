@@ -41,9 +41,11 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 import uuid
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
@@ -52,7 +54,12 @@ from repro.core.annotation import Annotation, AnnotationContent
 from repro.core.builder import AnnotationBuilder
 from repro.core.dublin_core import DublinCore
 from repro.core.manager import Graphitti
-from repro.errors import AnnotationError, ServiceError, UnknownObjectError
+from repro.errors import (
+    AnnotationError,
+    ServiceError,
+    ShardTimeoutError,
+    UnknownObjectError,
+)
 from repro.obs import Observability, merge_observability, merge_stats
 from repro.query.ast import Query, ReturnKind
 from repro.query.parser import parse_query
@@ -81,6 +88,58 @@ _PENDING_PREFIX = "anno-pending-"
 #: every shard holds the same value, so aggregation reports it once instead
 #: of summing N copies.
 _REPLICATED_STATS_KEYS = ("data_objects", "objects_by_type", "ontologies")
+
+
+def resolve_topology(root: Path, shards: int | None) -> tuple[int, dict[str, Any] | None]:
+    """Resolve the shard count for *root*; returns ``(count, manifest)``.
+
+    The manifest's shard count wins; without one, existing ``shard-*``
+    directories ARE the topology; a root holding unsharded single-service
+    state is refused; a fresh root takes *shards* (default 4).  Passing a
+    *shards* value that contradicts existing state raises — resharding is a
+    data migration, not an open-time flag.  Shared by the threaded facade
+    and :class:`repro.net.facade.NetworkShardedGraphittiService` so the two
+    topologies resolve identically.
+    """
+    root = Path(root)
+    manifest = read_manifest(root)
+    existing_dirs = len(list(root.glob("shard-*"))) if root.exists() else 0
+    if manifest is not None:
+        count = int(manifest["shards"])
+        if shards is not None and shards != count:
+            raise ServiceError(
+                f"root {root} is sharded {count} ways (per {MANIFEST_FILE}); "
+                f"got shards={shards} — resharding requires a migration"
+            )
+    elif existing_dirs:
+        # A lost/never-landed manifest must not default the topology:
+        # opening an 8-shard root 4 ways would serve half the data and
+        # misroute every write.  The shard directories ARE the topology.
+        count = existing_dirs
+        if shards is not None and shards != count:
+            raise ServiceError(
+                f"root {root} holds {count} shard director(ies) but no "
+                f"{MANIFEST_FILE}; got shards={shards} — resharding requires "
+                "a migration"
+            )
+    else:
+        # Refuse to lay shards over a single-service root: creating N
+        # empty shard directories (and a manifest every later open
+        # adopts) next to an existing snapshot/WAL would permanently
+        # hide that data behind an empty sharded instance.
+        from repro.service.durability import SNAPSHOT_FILE, WAL_FILE
+
+        wal_path = root / WAL_FILE
+        if (root / SNAPSHOT_FILE).exists() or (
+            wal_path.exists() and wal_path.stat().st_size > 0
+        ):
+            raise ServiceError(
+                f"root {root} holds unsharded service state "
+                f"({SNAPSHOT_FILE}/{WAL_FILE}); open it with "
+                "GraphittiService, or migrate it before sharding"
+            )
+        count = shards if shards is not None else 4
+    return count, manifest
 
 
 @dataclass
@@ -171,43 +230,7 @@ class ShardedGraphittiService:
         unreplicated deployment exactly.
         """
         root = Path(root)
-        manifest = read_manifest(root)
-        existing_dirs = len(list(root.glob("shard-*"))) if root.exists() else 0
-        if manifest is not None:
-            count = int(manifest["shards"])
-            if shards is not None and shards != count:
-                raise ServiceError(
-                    f"root {root} is sharded {count} ways (per {MANIFEST_FILE}); "
-                    f"got shards={shards} — resharding requires a migration"
-                )
-        elif existing_dirs:
-            # A lost/never-landed manifest must not default the topology:
-            # opening an 8-shard root 4 ways would serve half the data and
-            # misroute every write.  The shard directories ARE the topology.
-            count = existing_dirs
-            if shards is not None and shards != count:
-                raise ServiceError(
-                    f"root {root} holds {count} shard director(ies) but no "
-                    f"{MANIFEST_FILE}; got shards={shards} — resharding requires "
-                    "a migration"
-                )
-        else:
-            # Refuse to lay shards over a single-service root: creating N
-            # empty shard directories (and a manifest every later open
-            # adopts) next to an existing snapshot/WAL would permanently
-            # hide that data behind an empty sharded instance.
-            from repro.service.durability import SNAPSHOT_FILE, WAL_FILE
-
-            wal_path = root / WAL_FILE
-            if (root / SNAPSHOT_FILE).exists() or (
-                wal_path.exists() and wal_path.stat().st_size > 0
-            ):
-                raise ServiceError(
-                    f"root {root} holds unsharded service state "
-                    f"({SNAPSHOT_FILE}/{WAL_FILE}); open it with "
-                    "GraphittiService, or migrate it before sharding"
-                )
-            count = shards if shards is not None else 4
+        count, manifest = resolve_topology(root, shards)
         # A shard directory holding a replication manifest was deployed
         # replicated; reopen it that way even without an explicit replicas=.
         replicated = replicas is not None or any(
@@ -307,7 +330,33 @@ class ShardedGraphittiService:
         so waiting on the futures from the caller thread cannot deadlock.
         """
         futures = [self._pool.submit(call, shard) for shard in self._shards]
-        return [future.result() for future in futures]
+        return self._gather(futures)
+
+    def _gather(self, futures: list[Any]) -> list[Any]:
+        """Collect scatter futures, honouring the configured shard deadline.
+
+        With ``ServiceConfig.scatter_deadline_s`` set, a shard that does not
+        answer within the deadline raises :class:`ShardTimeoutError` — the
+        same typed error the network path maps its per-op timeouts to —
+        instead of blocking the merge forever behind one hung shard.  The
+        deadline covers the whole scatter (it is a budget, not per shard):
+        remaining futures get whatever budget is left.
+        """
+        deadline = getattr(self.config, "scatter_deadline_s", None)
+        if deadline is None:
+            return [future.result() for future in futures]
+        end = time.monotonic() + deadline
+        results = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result(timeout=max(0.0, end - time.monotonic())))
+            except FuturesTimeoutError:
+                for pending in futures[index:]:
+                    pending.cancel()
+                raise ShardTimeoutError(
+                    f"shard {index} did not answer within the {deadline}s scatter deadline"
+                ) from None
+        return results
 
     def _owning_shard(self, annotation_id: str) -> int | None:
         """The shard holding *annotation_id*, or None.
@@ -566,7 +615,7 @@ class ShardedGraphittiService:
                     self._pool.submit(self._traced_shard_query, index, text_or_query, scatter)
                     for index in range(len(self._shards))
                 ]
-                results = [future.result() for future in futures]
+                results = self._gather(futures)
             with obs.span("merge") as merge_span:
                 merged = self._merge_results(return_kind, limit, results)
                 merge_span.set("rows", merged.count)
@@ -597,11 +646,17 @@ class ShardedGraphittiService:
         """
         merged = QueryResult(return_kind=return_kind)
         digest = hashlib.sha256(
-            "|".join(result.plan_fingerprint for result in results).encode("utf-8")
+            "|".join(
+                "" if result is None else result.plan_fingerprint for result in results
+            ).encode("utf-8")
         ).hexdigest()[:16]
         merged.plan_fingerprint = f"shards[{len(results)}]:{digest}"
+        # A None result is a shard that contributed nothing (the network
+        # facade's degraded-read path); its rows are simply absent.
         entries: list[tuple[str, int, Any]] = []
         for index, result in enumerate(results):
+            if result is None:
+                continue
             aligned = len(result.fragments) == len(result.annotation_ids)
             for position, annotation_id in enumerate(result.annotation_ids):
                 fragment = result.fragments[position] if aligned else None
@@ -620,10 +675,9 @@ class ShardedGraphittiService:
             # lookup, not a per-id read-lock acquisition.
             seen: set[str] = set()
             for annotation_id, index, _ in entries:
-                holder = self._shards[index].manager._annotations.get(annotation_id)  # noqa: SLF001
-                if holder is None:
-                    continue  # deleted between the shard query and the merge
-                for referent in holder.referents:
+                for referent in self._annotation_referents(
+                    index, annotation_id, results[index]
+                ):
                     if referent.referent_id not in seen:
                         seen.add(referent.referent_id)
                         merged.referents.append(referent)
@@ -637,6 +691,7 @@ class ShardedGraphittiService:
             subgraphs = [
                 subgraph
                 for result in results
+                if result is not None
                 for subgraph in result.subgraphs
                 if all(terminal in limited for terminal in subgraph.terminals)
             ]
@@ -645,11 +700,27 @@ class ShardedGraphittiService:
             )
             merged.subgraphs = subgraphs
         for index, result in enumerate(results):
+            if result is None:
+                continue
             for detail in result.step_details:
                 attributed = dict(detail)
                 attributed["shard"] = index
                 merged.step_details.append(attributed)
         return merged
+
+    def _annotation_referents(
+        self, index: int, annotation_id: str, result: QueryResult
+    ) -> Iterable[Any]:
+        """Referents of *annotation_id* for the REFERENTS merge.
+
+        The threaded facade reads the owning shard's committed-annotation
+        dict (a GIL-atomic lookup); the network facade overrides this to use
+        the referent map each worker ships with its result page.
+        """
+        holder = self._shards[index].manager._annotations.get(annotation_id)  # noqa: SLF001
+        if holder is None:
+            return ()  # deleted between the shard query and the merge
+        return holder.referents
 
     def explain(self, text_or_query: str | Query) -> dict:
         """Aggregate EXPLAIN: the scatter plan, one per-shard plan each."""
@@ -814,13 +885,14 @@ class ShardedGraphittiService:
             return None
         return self._write_manifest()
 
+    def _shard_wal_seq(self, shard: Any) -> int:
+        """A shard's WAL high-water mark for the manifest (0 if non-durable)."""
+        return int(getattr(shard, "last_wal_seq", 0))
+
     def _write_manifest(self) -> Path | None:
         if self._root is None:
             return None
-        wal_seqs = [
-            shard._store.wal.last_seq if shard._store is not None else 0  # noqa: SLF001
-            for shard in self._shards
-        ]
+        wal_seqs = [self._shard_wal_seq(shard) for shard in self._shards]
         manifest = {
             "version": 1,
             "shards": len(self._shards),

@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 import uuid
 from typing import Any
 
 from repro.datatypes.sequence import DnaSequence
-from repro.errors import GraphittiError
+from repro.errors import BackpressureError, GraphittiError
 
 #: The repeated structural queries readers cycle through (heavy repetition is
 #: the point: it is what the result cache exploits).
@@ -113,6 +114,7 @@ def run_service_workload(
         "bulk_commits": 0,
         "deletes": 0,
         "integrity_checks": 0,
+        "backpressure_waits": 0,
     }
     counters_mutex = threading.Lock()
     committed_ids: list[str] = []
@@ -122,6 +124,22 @@ def run_service_workload(
     def _count(key: str, amount: int = 1) -> None:
         with counters_mutex:
             counters[key] += amount
+
+    def _admit(call):
+        """Run a write, honouring backpressure's Retry-After hint.
+
+        A network-sharded service sheds writes beyond its per-shard in-flight
+        window; a well-behaved writer waits the advertised interval and
+        retries rather than dropping or hammering.  Bounded so a shard that
+        never drains still surfaces as a workload error.
+        """
+        for _ in range(50):
+            try:
+                return call()
+            except BackpressureError as exc:
+                _count("backpressure_waits")
+                time.sleep(min(max(exc.retry_after, 0.001), 0.25))
+        return call()
 
     def writer_loop(worker: int) -> None:
         rng = random.Random(seed * 1000 + worker)
@@ -135,12 +153,13 @@ def run_service_workload(
                     for _ in range(bulk_size):
                         batch.append(_build(worker, serial, rng))
                         serial += 1
-                    committed = service.bulk_commit(batch)
+                    committed = _admit(lambda: service.bulk_commit(batch))
                     _count("bulk_commits")
                     _count("commits", len(committed))
                     new_ids = [annotation.annotation_id for annotation in committed]
                 else:
-                    annotation = service.commit(_build(worker, serial, rng))
+                    builder = _build(worker, serial, rng)
+                    annotation = _admit(lambda: service.commit(builder))
                     serial += 1
                     _count("commits")
                     new_ids = [annotation.annotation_id]
@@ -151,7 +170,7 @@ def run_service_workload(
                 if delete_every and since_delete >= delete_every and own_ids:
                     since_delete = 0
                     victim = own_ids.pop(rng.randrange(len(own_ids)))
-                    service.delete_annotation(victim)
+                    _admit(lambda: service.delete_annotation(victim))
                     _count("deletes")
                     with ledger_mutex:
                         deleted_ids.append(victim)

@@ -180,3 +180,37 @@ def test_serve_sharded_fresh_then_reopen_without_flag(tmp_path, capsys):
         "serve", root, "--shards", "2",
         "--readers", "1", "--writers", "1", "--queries", "2", "--commits", "1",
     ]) == 1
+
+
+def test_serve_net_flags_have_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "somewhere", "--net"])
+    assert args.net is True
+    assert args.port_base is None
+    assert args.heartbeat_interval == 0.5
+    assert args.max_inflight == 64
+    worker = parser.parse_args(["shard-worker", "somewhere", "--shard-index", "2"])
+    assert worker.shard_index == 2 and worker.port == 0
+    assert worker.func.__name__ == "_cmd_shard_worker"
+
+
+def test_serve_net_spawns_workers_and_metrics_net_reads_them(tmp_path, capsys):
+    root = str(tmp_path / "net-served")
+    assert main([
+        "serve", root, "--net", "--shards", "2",
+        "--readers", "1", "--writers", "1", "--queries", "5", "--commits", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "shard worker process(es) over TCP" in out
+    assert "annotations served:" in out
+    # The same root reopens through worker processes for metrics sampling.
+    assert main(["metrics", root, "--net", "--exercise", "1"]) == 0
+    out = capsys.readouterr().out
+    assert '"rpc.requests"' in out
+
+
+def test_metrics_net_refuses_an_unsharded_root(tmp_path, capsys):
+    root = str(tmp_path / "plain")
+    assert main(["build", "influenza", root + "/instance.json"]) == 0
+    capsys.readouterr()
+    assert main(["metrics", str(tmp_path / "missing"), "--net"]) == 1

@@ -1,0 +1,193 @@
+"""Network facade vs the threaded oracle: bit-identical results.
+
+The tentpole acceptance bar: a :class:`NetworkShardedGraphittiService` must
+be observationally identical to the threaded :class:`ShardedGraphittiService`
+on the full query/mutation matrix — same annotation ids in the same order,
+same referent pages — because both are views of the same routed shards.
+Thread-mode workers (real sockets, in-process services) keep the matrix
+fast and deterministic; process-mode coverage lives in test_net_process.py.
+"""
+
+import pytest
+
+from repro.core.manager import Graphitti
+from repro.errors import ShardUnavailableError
+from repro.net import NetworkShardedGraphittiService, RetryPolicy
+from repro.service import GraphittiService
+
+from test_shard_service import PROBES, assert_bit_identical, populate
+
+FAST_RETRY = RetryPolicy(attempts=2, base_backoff_s=0.001, max_backoff_s=0.005)
+
+
+def open_net(**kwargs):
+    kwargs.setdefault("worker_mode", "thread")
+    kwargs.setdefault("start_monitor", False)
+    kwargs.setdefault("retry", FAST_RETRY)
+    kwargs.setdefault("op_timeout_s", 10.0)
+    return NetworkShardedGraphittiService.open(None, shards=4, **kwargs)
+
+
+@pytest.fixture
+def pair():
+    net = open_net()
+    oracle = GraphittiService(manager=Graphitti("net-oracle"))
+    populate(net)
+    populate(oracle)
+    yield net, oracle
+    net.close()
+    oracle.close()
+
+
+def test_queries_bit_identical_to_unsharded(pair):
+    assert_bit_identical(*pair)
+
+
+def test_queries_bit_identical_after_deletes(pair):
+    net, oracle = pair
+    for index in (3, 10, 25):
+        net.delete_annotation(f"x-{index:03d}")
+        oracle.delete_annotation(f"x-{index:03d}")
+    assert_bit_identical(net, oracle)
+
+
+def test_queries_bit_identical_after_updates(pair):
+    net, oracle = pair
+    changes = {"title": "retitled", "keywords": ["alpha", "common", "edited"]}
+    for service in pair:
+        service.update_annotation("x-005", dict(changes))
+    assert_bit_identical(net, oracle)
+    assert net.annotation("x-005").content.dublin_core.title == "retitled"
+
+
+def test_queries_bit_identical_after_object_delete(pair):
+    net, oracle = pair
+    left = net.delete_object("obj2")
+    right = oracle.delete_object("obj2")
+    assert sorted(left) == sorted(right)
+    assert_bit_identical(net, oracle)
+
+
+def test_bulk_commit_routes_and_matches(pair):
+    net, oracle = pair
+    for service in pair:
+        batch = [
+            service.new_annotation(
+                f"bulk-{index}", title=f"bulk {index}", keywords=["alpha", "common"]
+            ).mark_sequence(f"obj{index % 6}", 10, 50)
+            for index in range(6)
+        ]
+        committed = service.bulk_commit(batch)
+        assert len(committed) == 6
+    assert_bit_identical(net, oracle)
+
+
+def test_reads_match_shard_surface(pair):
+    net, oracle = pair
+    assert net.annotation_count == oracle.annotation_count == 36
+    assert net.annotation("x-001").annotation_id == "x-001"
+    assert sorted(net.search_by_keyword("alpha")) == sorted(oracle.search_by_keyword("alpha"))
+    assert sorted(net.annotations_on_object("obj1")) == sorted(
+        oracle.annotations_on_object("obj1")
+    )
+    report = net.check_integrity()
+    assert report.ok
+
+
+def test_explain_exposes_the_fan_out(pair):
+    net, _oracle = pair
+    explanation = net.explain(PROBES[0])
+    assert explanation
+
+
+def test_statistics_and_metrics_cover_the_network_tier(pair):
+    net, _oracle = pair
+    stats = net.statistics()
+    assert stats["network"]["mode"] == "thread"
+    assert stats["network"]["shards"] == 4
+    net.query(PROBES[0])
+    snapshot = net.metrics()
+    assert snapshot["counters"]["rpc.requests"] > 0
+    assert any(key.startswith("rpc.client.") for key in snapshot["histograms"])
+    assert any(key.startswith("rpc.serve.") for key in snapshot["histograms"])
+    assert "net.inflight" in snapshot["gauges"]
+
+
+def test_worker_slow_log_carries_shard_and_rpc_attribution(pair):
+    net, _oracle = pair
+    # Force every rpc to be "slow" on one worker, then look at its entries.
+    worker = net._worker_services[2]
+    worker.obs.slow_log.threshold_s = 0.0
+    net.query(PROBES[1])
+    entries = net.slow_ops()
+    rpc_entries = [
+        entry
+        for entry in entries
+        if entry.get("shard") == 2 and entry["op"].startswith("rpc.")
+    ]
+    assert rpc_entries  # every rpc-level entry names its shard and rpc op
+
+
+def test_strict_reads_raise_when_a_shard_is_down():
+    net = open_net()
+    populate(net, count=12)
+    net._servers[1].stop()
+    with pytest.raises(ShardUnavailableError) as excinfo:
+        net.query(PROBES[0])
+    assert 1 in excinfo.value.shards
+    net.close()
+
+
+def test_degraded_reads_tag_partial_results():
+    net = open_net(degraded_reads=True)
+    populate(net, count=12)
+    full = net.query(PROBES[0])
+    assert not full.degraded
+    net._servers[1].stop()
+    partial = net.query(PROBES[0])
+    assert partial.degraded
+    assert partial.missing_shards == [1]
+    # The surviving shards' rows are intact and correctly ordered.
+    expected = [
+        annotation_id
+        for annotation_id in full.annotation_ids
+        if annotation_id not in net._shards[1].__dict__.get("_gone", ())
+    ]
+    assert set(partial.annotation_ids) <= set(full.annotation_ids)
+    assert partial.annotation_ids == [
+        annotation_id
+        for annotation_id in full.annotation_ids
+        if annotation_id in partial.annotation_ids
+    ]
+    assert net.obs.registry.counter("query.degraded").value >= 1
+    net.close()
+
+
+def test_degraded_reads_still_raise_when_every_shard_is_down():
+    net = open_net(degraded_reads=True)
+    populate(net, count=8)
+    for server in net._servers:
+        server.stop()
+    with pytest.raises(ShardUnavailableError):
+        net.query(PROBES[0])
+    net.close()
+
+
+def test_thread_mode_restart_revives_a_stopped_listener():
+    net = open_net()
+    populate(net, count=8)
+    before = net.query(PROBES[0]).annotation_ids
+    net.kill_shard(2)
+    net.restart_shard(2)
+    assert net.query(PROBES[0]).annotation_ids == before
+    assert net.obs.registry.counter("net.worker_restarts").value == 1
+    net.close()
+
+
+def test_query_ast_objects_are_rejected():
+    net = open_net()
+    from repro.query.parser import parse_query
+
+    with pytest.raises(Exception):
+        net.query(parse_query(PROBES[0]))
+    net.close()

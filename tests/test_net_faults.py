@@ -1,0 +1,166 @@
+"""Deterministic network fault matrix: zero acked-write loss, oracle reads.
+
+Every transport fault the RPC layer claims to survive is scheduled here via
+:class:`FaultSchedule` (occurrence-counted, no wall clock, no randomness at
+evaluation time) and asserted against the two contracts that matter:
+
+* an acknowledged write is never lost, and a retried mutation never
+  double-applies — even when the fault fires *after* the worker executed
+  the op (``net.slow``, the lost-ack case);
+* reads remain oracle-equivalent once the fault clears, and a fault burst
+  longer than the retry budget surfaces as a *typed* error, not a hang or
+  a silent wrong answer.
+"""
+
+import pytest
+
+from repro.core.manager import Graphitti
+from repro.errors import ServiceError, ShardTimeoutError, ShardUnavailableError
+from repro.net import NetworkShardedGraphittiService, RetryPolicy
+from repro.replica.faults import NET_FAULT_POINTS, FaultRule, FaultSchedule
+from repro.service import GraphittiService
+
+from test_shard_service import PROBES, assert_bit_identical, populate
+
+FAST_RETRY = RetryPolicy(attempts=4, base_backoff_s=0.001, max_backoff_s=0.01)
+
+
+def open_net(**kwargs):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("worker_mode", "thread")
+    kwargs.setdefault("start_monitor", False)
+    kwargs.setdefault("retry", FAST_RETRY)
+    kwargs.setdefault("op_timeout_s", 10.0)
+    return NetworkShardedGraphittiService.open(None, **kwargs)
+
+
+def install(service, *rules):
+    schedule = FaultSchedule(rules=list(rules))
+    schedule.install_network(service)
+    return schedule
+
+
+def test_net_points_are_schedulable():
+    for point in NET_FAULT_POINTS:
+        FaultRule(point=point, at=1)
+    with pytest.raises(ServiceError):
+        FaultRule(point="net.nonsense", at=1)
+
+
+def test_torn_frame_never_executes_and_retry_applies_once():
+    service = open_net()
+    populate(service, count=8)
+    before = service.annotation_count
+    schedule = install(service, FaultRule(point="net.tear", at=1, target="shard-0"))
+    result = service.query(PROBES[0])  # first shard-0 exchange is torn
+    assert schedule.fired and schedule.fired[0]["point"] == "net.tear"
+    assert result.count == service.query(PROBES[0]).count
+    assert service.annotation_count == before
+    # The worker counted the torn frame and dropped the connection.
+    torn = sum(
+        worker.obs.registry.counter("net.torn_frames").value
+        for worker in service._worker_services
+    )
+    assert torn == 1
+    service.close()
+
+
+def test_refused_connection_retries_through():
+    service = open_net()
+    populate(service, count=8)
+    service._shards[0].close_pool()  # force the next exchange to dial
+    schedule = install(service, FaultRule(point="net.refused", at=1, target="shard-0"))
+    assert service.query(PROBES[0]).count > 0
+    assert schedule.fired[0]["point"] == "net.refused"
+    assert service.obs.registry.counter("rpc.retries").value >= 1
+    service.close()
+
+
+def test_blackholed_request_times_out_then_recovers():
+    service = open_net()
+    populate(service, count=8)
+    schedule = install(service, FaultRule(point="net.blackhole", at=1, target="shard-1"))
+    assert service.query(PROBES[0]).count > 0
+    assert schedule.fired[0]["point"] == "net.blackhole"
+    assert service.obs.registry.counter("rpc.timeouts").value >= 1
+    service.close()
+
+
+def test_slow_loris_lost_ack_dedups_via_idempotency_key():
+    # net.slow = the worker EXECUTED the mutation but the ack missed the
+    # deadline.  The retried exchange carries the same idempotency key; the
+    # worker must replay the recorded ack, not apply twice.
+    service = open_net()
+    populate(service, count=8)
+    before = service.annotation_count
+    install(service, FaultRule(point="net.slow", at=1, target="shard-0"))
+    annotation = (
+        service.new_annotation(title="lost-ack", keywords=["common"])
+        .mark_sequence("obj0", 1, 20)
+        .commit()
+    )
+    assert service.annotation_count == before + 1  # exactly one apply
+    assert service.annotation(annotation.annotation_id).annotation_id == annotation.annotation_id
+    replays = sum(
+        worker.obs.registry.counter("rpc.idempotent_replays").value
+        for worker in service._worker_services
+    )
+    assert replays == 1
+    service.close()
+
+
+def test_fault_burst_beyond_retry_budget_is_a_typed_error():
+    service = open_net()
+    populate(service, count=8)
+    # Burst as long as the whole retry budget: the call must fail typed.
+    install(
+        service,
+        FaultRule(point="net.tear", at=1, target="shard-0", count=FAST_RETRY.attempts),
+    )
+    with pytest.raises(ShardUnavailableError) as excinfo:
+        service.query(PROBES[0])
+    assert 0 in excinfo.value.shards
+    # The burst is spent; the next query sails through unchanged.
+    assert service.query(PROBES[0]).count > 0
+    service.close()
+
+
+def test_timeout_burst_maps_to_shard_timeout():
+    service = open_net()
+    populate(service, count=8)
+    install(
+        service,
+        FaultRule(point="net.blackhole", at=1, target="shard-1", count=FAST_RETRY.attempts),
+    )
+    with pytest.raises(ShardTimeoutError):
+        service.query(PROBES[0])
+    service.close()
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_seeded_fault_matrix_zero_acked_loss_and_oracle_reads(seed):
+    # A seed-derived schedule sweeps tears, black holes, refused dials and
+    # slow-loris acks across both shards.  Burst lengths (<= 3) stay inside
+    # the retry budget (4), so every op must ultimately ack — and every
+    # acked write must survive with reads bit-identical to an unfaulted
+    # oracle.
+    service = open_net()
+    oracle = GraphittiService(manager=Graphitti(f"fault-oracle-{seed}"))
+    schedule = FaultSchedule.random(
+        seed,
+        points=NET_FAULT_POINTS,
+        targets=(None, "shard-0", "shard-1"),
+        rules=4,
+        horizon=30,
+    )
+    schedule.install_network(service)
+    populate(service)
+    populate(oracle)
+    for index in (3, 10):
+        service.delete_annotation(f"x-{index:03d}")
+        oracle.delete_annotation(f"x-{index:03d}")
+    assert_bit_identical(service, oracle)
+    assert service.annotation_count == oracle.annotation_count
+    assert not service.check_integrity().errors
+    service.close()
+    oracle.close()

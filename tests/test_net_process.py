@@ -1,0 +1,150 @@
+"""Process-per-shard workers: spawn, crash, restart, recover.
+
+The robustness headline lives here: a worker SIGKILLed mid-service is
+detected by the heartbeat monitor within its miss threshold, restarted by
+the supervisor, and comes back having replayed its WAL — no acknowledged
+write lost.  The ``REPRO_NET_KILL_AFTER_APPLY`` window proves the nastiest
+case: the worker dies *after* the WAL append but *before* the ack, and the
+client's idempotent retry against the recovered worker converges to exactly
+one apply.
+"""
+
+import pytest
+
+from repro.errors import ShardUnavailableError
+from repro.net import NetworkShardedGraphittiService, RetryPolicy
+
+from test_shard_service import PROBES, populate
+
+FAST_RETRY = RetryPolicy(attempts=4, base_backoff_s=0.01, max_backoff_s=0.05)
+
+
+def open_process(root, **kwargs):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("start_monitor", False)
+    kwargs.setdefault("heartbeat_interval_s", 0.2)
+    kwargs.setdefault("miss_threshold", 2)
+    kwargs.setdefault("retry", FAST_RETRY)
+    kwargs.setdefault("op_timeout_s", 15.0)
+    return NetworkShardedGraphittiService.open(root, worker_mode="process", **kwargs)
+
+
+def test_durable_round_trip_and_reopen(tmp_path):
+    root = tmp_path / "net"
+    service = open_process(root)
+    try:
+        populate(service, count=12)
+        before = service.query(PROBES[0]).annotation_ids
+        assert service.annotation_count == 12
+    finally:
+        service.close()
+    reopened = open_process(root, shards=None)
+    try:
+        assert reopened.annotation_count == 12
+        assert reopened.query(PROBES[0]).annotation_ids == before
+        assert reopened.recovery_info is not None
+    finally:
+        reopened.close()
+
+
+def test_sigkill_detect_restart_ledger_intact(tmp_path):
+    service = open_process(tmp_path / "net", auto_restart=True)
+    try:
+        populate(service, count=12)
+        before = service.query(PROBES[0]).annotation_ids
+        victim = service._handles[1]
+        old_pid = victim.pid
+        service.kill_shard(1)
+        # Drive the detector deterministically: miss_threshold consecutive
+        # failed probes declare the shard dead and trigger the restart.
+        for _ in range(service.miss_threshold + 1):
+            service.monitor.probe_all()
+        status = service.network_status()
+        assert all(row["alive"] for row in status["workers"])
+        assert victim.pid != old_pid
+        assert service.query(PROBES[0]).annotation_ids == before
+        counters = service.obs.registry
+        assert counters.counter("net.workers_declared_dead").value == 1
+        assert counters.counter("net.worker_restarts").value == 1
+        assert counters.counter("net.heartbeat_misses").value >= service.miss_threshold
+    finally:
+        service.close()
+
+
+def test_dead_shard_fails_fast_when_not_auto_restarted(tmp_path):
+    service = open_process(tmp_path / "net", auto_restart=False)
+    try:
+        populate(service, count=8)
+        service.kill_shard(0)
+        for _ in range(service.miss_threshold):
+            service.monitor.probe_all()
+        assert service._shards[0].dead
+        with pytest.raises(ShardUnavailableError):
+            service.query(PROBES[0])
+        # Manual restart revives it, with the ledger intact.
+        service.restart_shard(0)
+        assert service.annotation_count == 8
+    finally:
+        service.close()
+
+
+def test_kill_after_apply_loses_no_acked_write(tmp_path):
+    # The nastiest crash window: the worker dies AFTER the WAL append but
+    # BEFORE acknowledging the client.  One object pins every commit to one
+    # shard; that worker is armed to die on its 5th WAL append (1 register +
+    # 4 commits), so the kill fires mid-commit, deterministically.  The
+    # heartbeat monitor restarts the worker, recovery replays the WAL, and
+    # every *acknowledged* write must survive; the killed (unacked) write is
+    # classically indeterminate and may legitimately survive too.
+    import time
+
+    from repro.datatypes.sequence import DnaSequence
+    from repro.errors import ShardTimeoutError
+    from repro.shard import shard_for_key
+
+    armed_shard = shard_for_key("durable-obj", 2)
+    root = tmp_path / "net"
+    service = open_process(
+        root,
+        auto_restart=True,
+        start_monitor=True,
+        worker_env={armed_shard: {"REPRO_NET_KILL_AFTER_APPLY": "5"}},
+    )
+    acked = []
+    attempts_total = 0
+    try:
+        service.register(DnaSequence("durable-obj", "ACGT" * 50, domain="dur:chr1"))
+        for index in range(6):
+            for _attempt in range(12):
+                attempts_total += 1
+                try:
+                    annotation = (
+                        service.new_annotation(
+                            f"durable-{index}-{_attempt}",
+                            title=f"durable {index}",
+                            keywords=["common"],
+                        )
+                        .mark_sequence("durable-obj", index * 10, index * 10 + 5)
+                        .commit()
+                    )
+                except (ShardUnavailableError, ShardTimeoutError):
+                    time.sleep(0.5)  # wait out detection + respawn
+                    continue
+                acked.append(annotation.annotation_id)
+                break
+            else:
+                pytest.fail(f"write {index} never succeeded across restarts")
+        assert len(acked) == 6
+        # Zero acked-write loss: every acknowledged id is durably present.
+        for annotation_id in acked:
+            assert service.annotation(annotation_id).annotation_id == annotation_id
+        assert len(acked) <= service.annotation_count <= attempts_total
+        assert service.obs.registry.counter("net.worker_restarts").value >= 1
+    finally:
+        service.close()
+    reopened = open_process(root, shards=None)
+    try:
+        for annotation_id in acked:
+            assert reopened.annotation(annotation_id).annotation_id == annotation_id
+    finally:
+        reopened.close()

@@ -1,0 +1,165 @@
+"""Framing codec: round-trip fidelity and arbitrary chunk boundaries.
+
+The wire layer is the only code that touches raw bytes, so its contract is
+absolute: every JSON-object payload round-trips bit-exactly, no matter how
+TCP slices the stream — one byte at a time, many frames per chunk, cuts
+inside the length prefix.  A stream that ends mid-frame must surface as a
+torn frame (:class:`WireError`), never as a silently dropped or truncated
+message.
+"""
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireError
+from repro.net import FrameDecoder, decode_frames, encode_frame, read_frame, send_frame
+from repro.net.wire import HEADER_SIZE, MAX_FRAME_BYTES
+
+# -- payload strategies: WAL-op-shaped messages -------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=12), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+#: Messages shaped like real WAL records / RPC envelopes: an op name, a
+#: sequence number, and an arbitrarily nested JSON args payload (unicode
+#: titles, referent lists, interval coordinates...).
+wal_ops = st.fixed_dictionaries(
+    {
+        "op": st.sampled_from(
+            ["commit", "bulk_commit", "delete", "update", "register", "checkpoint"]
+        ),
+        "seq": st.integers(min_value=0, max_value=2**32),
+        "args": _json_values,
+    }
+)
+
+
+@settings(deadline=None, max_examples=60)
+@given(message=wal_ops)
+def test_single_frame_round_trips(message):
+    frames = list(decode_frames(encode_frame(message)))
+    assert frames == [message]
+
+
+@settings(deadline=None, max_examples=40)
+@given(messages=st.lists(wal_ops, min_size=1, max_size=6), data=st.data())
+def test_arbitrary_chunk_boundaries(messages, data):
+    raw = b"".join(encode_frame(message) for message in messages)
+    cuts = sorted(
+        data.draw(
+            st.sets(st.integers(min_value=1, max_value=len(raw) - 1), max_size=16),
+            label="cut_points",
+        )
+    )
+    bounds = [0, *cuts, len(raw)]
+    decoder = FrameDecoder()
+    decoded = []
+    for low, high in zip(bounds, bounds[1:]):
+        decoded.extend(decoder.feed(raw[low:high]))
+    decoder.close()
+    assert decoded == messages
+    assert decoder.pending_bytes == 0
+
+
+@settings(deadline=None, max_examples=30)
+@given(message=wal_ops, cut=st.integers(min_value=1, max_value=200))
+def test_torn_tail_is_a_wire_error(message, cut):
+    raw = encode_frame(message)
+    cut = min(cut, len(raw) - 1)
+    decoder = FrameDecoder()
+    assert decoder.feed(raw[:cut]) == []
+    assert decoder.pending_bytes == cut
+    with pytest.raises(WireError):
+        decoder.close()
+
+
+def test_byte_at_a_time_delivery():
+    message = {"op": "commit", "args": {"title": "τίτλος", "interval": [0, 99]}}
+    raw = encode_frame(message)
+    decoder = FrameDecoder()
+    decoded = []
+    for index in range(len(raw)):
+        decoded.extend(decoder.feed(raw[index : index + 1]))
+    assert decoded == [message]
+
+
+def test_oversize_frame_rejected_on_encode_and_decode():
+    with pytest.raises(WireError):
+        encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+    # A corrupted length prefix must not make the decoder buffer gigabytes.
+    bogus = (MAX_FRAME_BYTES + 1).to_bytes(HEADER_SIZE, "big")
+    with pytest.raises(WireError):
+        FrameDecoder().feed(bogus + b"{}")
+
+
+def test_non_object_and_unserialisable_payloads_rejected():
+    with pytest.raises(WireError):
+        encode_frame({"bad": object()})
+    length = len(b"[1,2]").to_bytes(HEADER_SIZE, "big")
+    with pytest.raises(WireError):
+        FrameDecoder().feed(length + b"[1,2]")
+    length = len(b"not json").to_bytes(HEADER_SIZE, "big")
+    with pytest.raises(WireError):
+        FrameDecoder().feed(length + b"not json")
+
+
+def test_send_and_read_frame_over_a_real_socket():
+    server, client = socket.socketpair()
+    try:
+        message = {"op": "ping", "args": {"deep": [{"k": "v"}] * 3}}
+        send_frame(client, message)
+        assert read_frame(server) == message
+        client.close()
+        assert read_frame(server) is None  # clean EOF between frames
+    finally:
+        server.close()
+
+
+def test_read_frame_raises_on_mid_frame_close():
+    server, client = socket.socketpair()
+    try:
+        raw = encode_frame({"op": "commit", "args": {"x": 1}})
+        client.sendall(raw[: len(raw) // 2])
+        client.close()
+        with pytest.raises(WireError):
+            read_frame(server)
+    finally:
+        server.close()
+
+
+def test_read_frame_survives_trickled_chunks():
+    server, client = socket.socketpair()
+    raw = encode_frame({"op": "status", "seq": 7, "args": None})
+    received = {}
+
+    def _reader():
+        received["message"] = read_frame(server)
+
+    thread = threading.Thread(target=_reader)
+    thread.start()
+    try:
+        for index in range(len(raw)):
+            client.sendall(raw[index : index + 1])
+        thread.join(timeout=10)
+        assert received["message"] == {"op": "status", "seq": 7, "args": None}
+    finally:
+        client.close()
+        server.close()

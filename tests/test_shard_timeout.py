@@ -1,0 +1,76 @@
+"""Threaded scatter deadline: one hung shard cannot hang the merge.
+
+``ServiceConfig.scatter_deadline_s`` gives the threaded facade the same
+bounded-waiting contract the network facade gets from per-op socket
+deadlines — and it fails with the same typed error
+(:class:`ShardTimeoutError`), so callers handle a hung local shard and a
+slow remote worker identically.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ShardTimeoutError
+from repro.service import ServiceConfig
+from repro.shard import ShardedGraphittiService
+
+from test_shard_service import PROBES, populate
+
+
+def _hang(service, shard_index, delay=1.0):
+    """Make one shard's query block for *delay* seconds."""
+    original = service.shards[shard_index].query
+
+    def slow_query(text):
+        time.sleep(delay)
+        return original(text)
+
+    service.shards[shard_index].query = slow_query
+
+
+def test_no_deadline_by_default():
+    service = ShardedGraphittiService(shards=2, name="deadline-off")
+    assert service.config.scatter_deadline_s is None
+    populate(service, count=8)
+    _hang(service, 1, delay=0.2)
+    # Without a deadline the scatter simply waits the 0.2s out.
+    assert service.query(PROBES[0]).count > 0
+    service.close()
+
+
+def test_hung_shard_raises_typed_timeout():
+    config = ServiceConfig(scatter_deadline_s=0.15)
+    service = ShardedGraphittiService(shards=2, name="deadline-on", config=config)
+    populate(service, count=8)
+    _hang(service, 1, delay=1.0)
+    start = time.monotonic()
+    with pytest.raises(ShardTimeoutError):
+        service.query(PROBES[0])
+    # The deadline is a whole-scatter budget, not one budget per shard.
+    assert time.monotonic() - start < 0.9
+    service.close()
+
+
+def test_generous_deadline_does_not_fire():
+    config = ServiceConfig(scatter_deadline_s=5.0)
+    service = ShardedGraphittiService(shards=2, name="deadline-slack", config=config)
+    populate(service, count=8)
+    _hang(service, 0, delay=0.05)
+    result = service.query(PROBES[0])
+    assert result.count > 0
+    service.close()
+
+
+def test_deadline_covers_the_obs_disabled_path():
+    from repro.obs import ObservabilityConfig
+
+    config = ServiceConfig(
+        scatter_deadline_s=0.15, observability=ObservabilityConfig(enabled=False)
+    )
+    service = ShardedGraphittiService(shards=2, name="deadline-noobs", config=config)
+    populate(service, count=8)
+    _hang(service, 1, delay=1.0)
+    with pytest.raises(ShardTimeoutError):
+        service.query(PROBES[0])
+    service.close()
