@@ -11,6 +11,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+import resource
+import subprocess
+import sys
 import time
 from pathlib import Path
 from typing import Any, Callable
@@ -76,6 +79,68 @@ def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
     if candidate_seconds <= 0:
         return float("inf")
     return baseline_seconds / candidate_seconds
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process so far, in bytes.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; normalising here
+    keeps the ``rss_bytes`` keys in BENCH files comparable across platforms.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def current_rss_bytes() -> int:
+    """Resident-set size of this process right now, in bytes.
+
+    Unlike :func:`peak_rss_bytes` this is not monotonic: transient spikes
+    (e.g. parsing a whole snapshot into one dict) fall back out of it, so
+    it is the number that answers "what does this process cost to keep
+    running" — measure it after the transient work, ideally post-gc.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:  # pragma: no cover - non-Linux platform
+        pass
+    return peak_rss_bytes()  # pragma: no cover - non-Linux fallback
+
+
+def subprocess_probe(module: str, *args: str, env: dict[str, str] | None = None) -> dict[str, Any]:
+    """Run ``python -m module args...`` and parse its last stdout line as JSON.
+
+    Memory measurements demand a fresh process: peak RSS is monotonic, so a
+    probe that ran after a bigger workload in the same interpreter would
+    inherit its high-water mark.  The probe prints a single JSON object as
+    its final line; everything before it is free-form progress output.
+    """
+    merged = dict(os.environ)
+    merged["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    if env:
+        merged.update(env)
+    completed = subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True,
+        text=True,
+        env=merged,
+        check=True,
+    )
+    lines = [line for line in completed.stdout.splitlines() if line.strip()]
+    if not lines:
+        raise RuntimeError(f"probe {module} produced no output: {completed.stderr}")
+    return json.loads(lines[-1])
+
+
+def measure_recovery(open_fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Time a cold open/recovery; returns ``(opened, seconds)``."""
+    start = time.perf_counter()
+    opened = open_fn()
+    return opened, time.perf_counter() - start
 
 
 def format_row(values, widths) -> str:

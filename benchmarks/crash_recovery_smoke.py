@@ -15,8 +15,11 @@ then recovers the instance and verifies:
 * the recovered instance answers queries.
 
 Run as ``PYTHONPATH=src python -m benchmarks.crash_recovery_smoke``; exits
-non-zero on any failure.  CI runs it four ways: unsharded, with
-``CRASH_SMOKE_SHARDS=4``, with ``CRASH_SMOKE_CHURN=1`` — where the child
+non-zero on any failure.  CI runs it several ways: unsharded, with
+``CRASH_SMOKE_SHARDS=4``, with ``CRASH_SMOKE_COMPACT=1`` — where the child
+churns and periodically runs ``compact()`` so the kill can land between a
+checkpoint's segment seal, snapshot write, rename, and prune — and with
+``CRASH_SMOKE_CHURN=1`` — where the child
 runs the full mutation lifecycle (commit / in-place update / delete) instead
 of pure ingest, so the kill can tear an ``update_annotation`` or
 ``delete_annotation`` record and recovery must replay a mixed history — and
@@ -60,6 +63,13 @@ FAILOVER = bool(int(os.environ.get("CRASH_SMOKE_FAILOVER", "0")))
 #: ledger-intact recovery of the same root through the threaded facade.
 NETSHARD = bool(int(os.environ.get("CRASH_SMOKE_NETSHARD", "0")))
 
+#: Compact mode: the child churns AND periodically calls ``compact()``, so
+#: the SIGKILL can land mid-compaction — between the WAL segment seal, the
+#: snapshot temp write, the rename, and the segment prune — and recovery
+#: must reassemble the acknowledged ledger from whatever mix of snapshot,
+#: sealed segments, and active WAL survived.
+COMPACT = bool(int(os.environ.get("CRASH_SMOKE_COMPACT", "0")))
+
 #: Shards in network mode (workers are whole OS processes; keep it small).
 NETSHARD_SHARDS = int(os.environ.get("CRASH_SMOKE_NETSHARD_SHARDS", "3"))
 
@@ -90,12 +100,15 @@ for index, object_id in enumerate(objects):
 service.checkpoint()
 print("READY", flush=True)
 churn = bool(int(sys.argv[3]))
+compact = bool(int(sys.argv[6]))
 import random
 rng = random.Random(11)
 serial = 0
 live = []
 while True:
-    op = serial % 5 if churn and live else 0
+    if compact and serial and serial % 40 == 0:
+        service.compact()
+    op = serial % 5 if (churn or compact) and live else 0
     if op in (0, 1, 2):  # commit
         (
             service.new_annotation(
@@ -133,8 +146,13 @@ def _acknowledged_live(shard_root: Path) -> int:
     every WAL record logged after it — a commit adds its id, a delete
     removes it, and an update keeps it (updates replay in full during real
     recovery, but cannot change liveness).
+
+    Reads sealed segments plus the active file: a crash between a
+    checkpoint's segment seal and its snapshot landing leaves acknowledged
+    records only in sealed segments, which counting the active file alone
+    would silently drop.
     """
-    from repro.service import read_records
+    from repro.service import read_segmented_records
 
     live: set[str] = set()
     snapshot_seq = 0
@@ -143,7 +161,7 @@ def _acknowledged_live(shard_root: Path) -> int:
         payload = json.loads(snapshot_path.read_text())
         live = {item["annotation_id"] for item in payload.get("annotations", [])}
         snapshot_seq = int(payload.get("wal_seq", 0))
-    records, _ = read_records(shard_root / "wal.jsonl")
+    records, _ = read_segmented_records(shard_root / "wal.jsonl")
     for record in records:
         if record["seq"] <= snapshot_seq:
             continue
@@ -309,6 +327,7 @@ def main() -> int:
             str(int(CHURN)),
             str(int(FAILOVER)),
             str(FAILOVER_REPLICAS),
+            str(int(COMPACT)),
         ],
         stdout=subprocess.PIPE,
         text=True,
@@ -330,12 +349,12 @@ def main() -> int:
     promotion = None
     if FAILOVER:
         from repro.replica import ReplicatedGraphittiService, ReplicationConfig
-        from repro.service import read_records
+        from repro.service import read_segmented_records
 
         manifest = json.loads((root / "replication.json").read_text())
         old_term = int(manifest["term"])
         primary_root = root / manifest["primary"]
-        _, torn = read_records(primary_root / "wal.jsonl")
+        _, torn = read_segmented_records(primary_root / "wal.jsonl")
         torn_tails = int(torn)
         acknowledged_live = _acknowledged_live(primary_root)
         service = ReplicatedGraphittiService.recover(
@@ -356,9 +375,9 @@ def main() -> int:
         torn_tails = info.get("torn_tails", 0)
         replayed = info.get("replayed", 0)
     else:
-        from repro.service import GraphittiService, read_records
+        from repro.service import GraphittiService, read_segmented_records
 
-        _, torn = read_records(root / "wal.jsonl")
+        _, torn = read_segmented_records(root / "wal.jsonl")
         torn_tails = int(torn)
         acknowledged_live = _acknowledged_live(root)
         service = GraphittiService.recover(root)
@@ -369,8 +388,9 @@ def main() -> int:
     probe = service.query('SELECT contents WHERE { CONTENT CONTAINS "smoke" }')
     service.close()
 
+    mode = "compact churn" if COMPACT else ("churn" if CHURN else "ingest")
     print(
-        f"killed mid-{'churn' if CHURN else 'ingest'} after {INGEST_WINDOW:.1f}s "
+        f"killed mid-{mode} after {INGEST_WINDOW:.1f}s "
         f"({SHARDS} shard(s)): {acknowledged_live} acknowledged live annotations, "
         f"torn tails: {torn_tails}"
     )

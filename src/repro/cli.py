@@ -36,6 +36,11 @@ Commands
     is detected like ``serve`` does) and print its merged observability
     snapshot as JSON or Prometheus text.  ``--exercise N`` first runs the
     reader query mix N times so a cold instance has distributions to show.
+``compact ROOT``
+    Compact the column storage of a served root (single, sharded or
+    replicated): rewrite the annotation/referent heaps dropping tombstoned
+    rows, checkpoint, and prune superseded WAL segments.  Prints before/after
+    storage gauges (``--json`` for the full report).
 ``trace ROOT GQL``
     Run one query and pretty-print its span tree — parse, plan, per-
     constraint execution, cache behavior, and (sharded) one child span per
@@ -352,6 +357,38 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compact(args: argparse.Namespace) -> int:
+    import json
+
+    service = _open_service_for_root(args.root)
+    try:
+        report = service.compact()
+    finally:
+        service.close()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+        return 0
+    shard_reports = report.get("shards", [report])
+    for index, shard_report in enumerate(shard_reports):
+        if shard_report is None:
+            continue
+        label = f"shard {index}: " if "shards" in report else ""
+        before = shard_report.get("before", {}).get("annotations", {})
+        after = shard_report.get("after", {}).get("annotations", {})
+        wal = shard_report.get("wal", {})
+        print(
+            f"{label}annotations {after.get('live_slots', 0)} live / "
+            f"{after.get('tombstone_slots', 0)} tombstoned; "
+            f"heap {before.get('heap_dead_ints', 0)} dead ints -> "
+            f"{after.get('heap_dead_ints', 0)}, "
+            f"blobs {before.get('blob_dead_bytes', 0)} dead bytes -> "
+            f"{after.get('blob_dead_bytes', 0)}; "
+            f"wal segments sealed={wal.get('sealed_segments', 0)} "
+            f"active_bytes={wal.get('active_bytes', 0)}"
+        )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import format_span
 
@@ -642,6 +679,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run the reader query mix N times first so a cold "
                                 "instance has latency distributions to show")
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_compact = sub.add_parser(
+        "compact",
+        help="compact a served root's column storage and prune WAL segments",
+    )
+    p_compact.add_argument("root", help="service root (single, sharded, or replicated)")
+    p_compact.add_argument("--json", action="store_true",
+                           help="print the full before/after storage report as JSON")
+    p_compact.set_defaults(func=_cmd_compact)
 
     p_trace = sub.add_parser(
         "trace", help="run one GQL query and pretty-print its span tree"

@@ -96,7 +96,7 @@ class Administrator:
         manager = self._manager
         report.checks_run += 1
         for content_id in manager.agraph.contents():
-            if content_id not in manager._annotations:  # noqa: SLF001 - admin introspection
+            if not manager.has_annotation(content_id):
                 report.fail(f"a-graph content node {content_id!r} has no annotation")
         for referent_id in manager.agraph.referents():
             if referent_id not in manager.substructures:

@@ -20,12 +20,14 @@ It exposes the paper's three workflows: **annotate** (``new_annotation`` +
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Iterable
 
 from repro.agraph.agraph import AGraph
 from repro.agraph.connection import ConnectionSubgraph
 from repro.core.annotation import Annotation, Referent
 from repro.core.builder import AnnotationBuilder
+from repro.core.columns import AnnotationColumns
 from repro.core.dublin_core import DublinCore
 from repro.core.annotation import AnnotationContent
 from repro.core.substructure_store import SubstructureStore
@@ -111,7 +113,14 @@ class Graphitti:
         self.coordinate_systems = CoordinateSystemRegistry()
         self._ontologies: dict[str, Ontology] = {}
         self._ontology_ops: dict[str, OntologyOperations] = {}
-        self._annotations: dict[str, Annotation] = {}
+        #: Committed annotations live in columnar storage (see
+        #: :mod:`repro.core.columns`) keyed by the dense id-space slots.
+        #: Commit order and membership come from `_annotation_order`; a small
+        #: LRU of materialized row views serves repeated point reads (commit
+        #: seeds it with the committed object itself).
+        self.columns = AnnotationColumns(pool=self.substructures.columns.pool)
+        self._annotation_order: dict[str, None] = {}
+        self._row_cache: OrderedDict[str, Annotation] = OrderedDict()
         self._next_annotation_serial = 1
         #: True for instances rebuilt from a snapshot (data objects not
         #: reconstructed; see :mod:`repro.core.persistence`).
@@ -260,7 +269,7 @@ class Graphitti:
     ) -> AnnotationBuilder:
         """Start building a new annotation (the annotation-tab workflow)."""
         identifier = annotation_id or self._generate_annotation_id()
-        if identifier in self._annotations:
+        if identifier in self._annotation_order:
             raise AnnotationError(f"annotation id {identifier!r} already exists")
         dublin_core = DublinCore(
             title=title,
@@ -277,7 +286,7 @@ class Graphitti:
         while True:
             identifier = f"{prefix}{self._next_annotation_serial:06d}"
             self._next_annotation_serial += 1
-            if identifier not in self._annotations:
+            if identifier not in self._annotation_order:
                 return identifier
 
     def commit(self, annotation: Annotation, defer_index: bool = False) -> Annotation:
@@ -289,7 +298,7 @@ class Graphitti:
         flush the deferred work before reading, so results are unaffected.
         :meth:`commit_many` uses this to amortize indexing out of bulk ingest.
         """
-        if annotation.annotation_id in self._annotations:
+        if annotation.annotation_id in self._annotation_order:
             raise AnnotationError(f"annotation {annotation.annotation_id!r} already committed")
         # Validate referents reference registered objects.
         for referent in annotation.referents:
@@ -325,8 +334,13 @@ class Graphitti:
         for term in annotation.content.ontology_terms:
             self.agraph.add_ontology_node(term)
             self.agraph.link_ontology(annotation.annotation_id, term)
-        self._annotations[annotation.annotation_id] = annotation
-        self.idspace.intern(annotation.annotation_id)
+        # Columnar store: the annotation's content blob + packed term/referent
+        # spans land at its dense id-space slot; the committed object itself
+        # seeds the row cache for the commit-then-read pattern.
+        slot = self.idspace.intern(annotation.annotation_id)
+        self.columns.store(slot, annotation, self.substructures.columns)
+        self._annotation_order[annotation.annotation_id] = None
+        self._cache_row(annotation.annotation_id, annotation)
         self.stats_catalogue.on_commit(annotation)
         self._bump_epoch()
         return annotation
@@ -346,7 +360,7 @@ class Graphitti:
         batch = list(annotations)
         seen: set[str] = set()
         for annotation in batch:
-            if annotation.annotation_id in self._annotations or annotation.annotation_id in seen:
+            if annotation.annotation_id in self._annotation_order or annotation.annotation_id in seen:
                 raise AnnotationError(
                     f"annotation {annotation.annotation_id!r} already committed"
                 )
@@ -371,12 +385,42 @@ class Graphitti:
 
                 self.agraph.link_referents(referent_id, other_id, label=SAME_OBJECT)
 
+    #: Materialized row views kept hot (commit seeds entries; reads refresh).
+    _ROW_CACHE_SIZE = 2048
+
+    def _cache_row(self, annotation_id: str, annotation: Annotation) -> None:
+        cache = self._row_cache
+        cache[annotation_id] = annotation
+        cache.move_to_end(annotation_id)
+        while len(cache) > self._ROW_CACHE_SIZE:
+            cache.popitem(last=False)
+
     def annotation(self, annotation_id: str) -> Annotation:
-        """The committed annotation with id *annotation_id*."""
-        try:
-            return self._annotations[annotation_id]
-        except KeyError:
-            raise AnnotationError(f"no annotation {annotation_id!r}") from None
+        """The committed annotation with id *annotation_id*.
+
+        Served from the columnar store: a small LRU keeps recently used row
+        views; misses materialize a fresh view from the columns (wrapping the
+        canonical shared referent extents, so a view never goes stale under
+        extent moves).
+        """
+        cached = self._row_cache.get(annotation_id)
+        if cached is not None:
+            self._row_cache.move_to_end(annotation_id)
+            return cached
+        slot = self.idspace.slot(annotation_id)
+        if slot is None or not self.columns.is_live(slot):
+            raise AnnotationError(f"no annotation {annotation_id!r}")
+        annotation = self.columns.materialize(annotation_id, slot, self.substructures.columns)
+        self._cache_row(annotation_id, annotation)
+        return annotation
+
+    def has_annotation(self, annotation_id: str) -> bool:
+        """Whether *annotation_id* is a committed annotation."""
+        return annotation_id in self._annotation_order
+
+    def annotation_ids(self) -> list[str]:
+        """Ids of every committed annotation, in commit order."""
+        return list(self._annotation_order)
 
     def delete_annotation(self, annotation_id: str) -> None:
         """Remove a committed annotation and tidy the wired substrates.
@@ -402,7 +446,11 @@ class Graphitti:
                 self.substructures.discard(referent_id)
         if annotation_id in self.agraph:
             self.agraph.graph.remove_node(annotation_id)
-        del self._annotations[annotation_id]
+        slot = self.idspace.slot(annotation_id)
+        if slot is not None:
+            self.columns.clear(slot)
+        del self._annotation_order[annotation_id]
+        self._row_cache.pop(annotation_id, None)
         self.idspace.release(annotation_id)
         self.stats_catalogue.on_delete(annotation)
         self._bump_epoch()
@@ -601,21 +649,26 @@ class Graphitti:
             removed_parts.extend(move_removed)
             added_parts.extend(move_added)
             # A shared substructure moves for EVERY annotation marking it.
-            # The store's referent is canonical (its ref just mutated); each
-            # sharer's own Referent copy adopts it, and each sharer's stored
-            # document gets the same coordinate delta so every index stays
-            # exact.  The updating annotation syncs too, but its delta is
-            # already accumulated above and its document lands in step 6.
+            # The store's referent is canonical (its ref just mutated), and
+            # column-materialized row views wrap that same ref object, so
+            # they see the move automatically.  Only cached rows seeded at
+            # commit hold their own Referent copies and need the explicit
+            # adoption; each sharer's stored document gets the same
+            # coordinate delta so every index stays exact.  The updating
+            # annotation syncs too, but its delta is already accumulated
+            # above and its document lands in step 6.
             for sharer_id in self.agraph.contents_annotating(referent_id):
-                sharer = self._annotations.get(sharer_id)
-                if sharer is None:
-                    continue
-                for shared_referent in sharer._referents:  # noqa: SLF001 - sync path
-                    if shared_referent.referent_id == referent_id:
-                        shared_referent.ref = moved.ref
+                cached = self._row_cache.get(sharer_id)
+                if cached is not None:
+                    for shared_referent in cached._referents:  # noqa: SLF001 - sync path
+                        if shared_referent.referent_id == referent_id:
+                            shared_referent.ref = moved.ref
                 if sharer_id != annotation_id:
                     self.contents.update_delta(
-                        sharer_id, sharer.to_document, move_removed, move_added
+                        sharer_id,
+                        self._document_regenerator(sharer_id),
+                        move_removed,
+                        move_added,
                     )
 
         # -- 5. content->ontology edge rewiring (diff, not rebuild) ----------
@@ -641,9 +694,23 @@ class Graphitti:
         )
 
         # -- 7. catalogue delta; the id-space slot stays put by design -------
+        # Re-store the edited row at its (unchanged) slot: the old blob/span
+        # becomes tombstone garbage reclaimed by compaction.
+        slot = self.idspace.slot(annotation_id)
+        if slot is not None:
+            self.columns.store(slot, annotation, self.substructures.columns)
+        self._cache_row(annotation_id, annotation)
         self.stats_catalogue.on_update(annotation, old_types, old_terms)
         self._bump_epoch()
         return annotation
+
+    def _document_regenerator(self, annotation_id: str) -> Callable[[], Any]:
+        """A lazy ``to_document`` for *annotation_id* (materializes the row
+        view only if the collection actually needs to regenerate the XML)."""
+        def regenerate():
+            return self.annotation(annotation_id).to_document()
+
+        return regenerate
 
     def annotations_on_object(self, object_id: str) -> list[str]:
         """Ids of every committed annotation with a referent on *object_id*.
@@ -694,13 +761,39 @@ class Graphitti:
         return annotation_ids
 
     def annotations(self) -> list[Annotation]:
-        """Every committed annotation."""
-        return list(self._annotations.values())
+        """Every committed annotation, materialized in commit order.
+
+        This walks the columns and builds a full row view per annotation —
+        prefer :meth:`annotation_ids` plus targeted reads (or the column
+        accessors) on large instances.
+        """
+        return [self.annotation(annotation_id) for annotation_id in self._annotation_order]
 
     @property
     def annotation_count(self) -> int:
         """Number of committed annotations."""
-        return len(self._annotations)
+        return len(self._annotation_order)
+
+    # -- columnar storage management ------------------------------------------
+
+    def storage_stats(self) -> dict[str, Any]:
+        """Live/tombstone slot counts and heap sizes of the columnar store."""
+        return {
+            "annotations": self.columns.storage_stats(),
+            "referents": self.substructures.columns.storage_stats(),
+            "row_cache_entries": len(self._row_cache),
+        }
+
+    def compact_storage(self) -> dict[str, Any]:
+        """Rewrite the column heaps dropping tombstoned rows.
+
+        Safe against an in-flight frozen snapshot view: compaction swaps in
+        new heap objects, leaving the frozen references intact.
+        """
+        reclaimed = self.columns.compact()
+        self.substructures.columns.compact()
+        self._bump_epoch()
+        return reclaimed
 
     # -- query workflow --------------------------------------------------------
 

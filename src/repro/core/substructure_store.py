@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.annotation import Referent
+from repro.core.columns import ReferentColumns
 from repro.datatypes.base import DataType
 from repro.errors import SpatialError
 from repro.spatial.interval import Interval
@@ -49,7 +50,10 @@ class SubstructureStore:
     """Referent registry plus the interval-tree and R-tree families."""
 
     def __init__(self, rtree_max_entries: int = 16):
-        self._referents: dict[str, Referent] = {}
+        # Referents live in slot-keyed columns: the canonical Referent object
+        # per unique substructure plus packed extent columns the executor's
+        # probe paths scan without materializing anything.
+        self.columns = ReferentColumns()
         self._intervals = IntervalIndexFamily()
         self._rtrees = RTreeFamily(max_entries=rtree_max_entries)
         # object id -> referent ids touching that object
@@ -62,10 +66,10 @@ class SubstructureStore:
         self._region_summaries: dict[str, ExtentSummary] = {}
 
     def __len__(self) -> int:
-        return len(self._referents)
+        return len(self.columns)
 
     def __contains__(self, referent_id: str) -> bool:
-        return referent_id in self._referents
+        return referent_id in self.columns
 
     @property
     def interval_family(self) -> IntervalIndexFamily:
@@ -87,9 +91,9 @@ class SubstructureStore:
         """
         referent_id = referent.referent_id
         assert referent_id is not None
-        if referent_id in self._referents:
+        if referent_id in self.columns:
             return referent_id
-        self._referents[referent_id] = referent
+        self.columns.add(referent)
         ref = referent.ref
         self._by_object.setdefault(ref.object_id, set()).add(referent_id)
         self._by_type.setdefault(ref.data_type, set()).add(referent_id)
@@ -111,9 +115,10 @@ class SubstructureStore:
 
     def discard(self, referent_id: str) -> bool:
         """Remove a referent and its indexed extent; returns ``True`` if present."""
-        referent = self._referents.pop(referent_id, None)
+        referent = self.columns.view(referent_id)
         if referent is None:
             return False
+        self.columns.discard(referent_id)
         ref = referent.ref
         self._by_object.get(ref.object_id, set()).discard(referent_id)
         self._by_type.get(ref.data_type, set()).discard(referent_id)
@@ -163,7 +168,7 @@ class SubstructureStore:
         them — the substructure itself was refined), and the domain/space is
         immutable: moving across domains is a remove+add, not a move.
         """
-        referent = self._referents.get(referent_id)
+        referent = self.columns.view(referent_id)
         if referent is None:
             raise SpatialError(f"no referent {referent_id!r} to move")
         ref = referent.ref
@@ -206,23 +211,32 @@ class SubstructureStore:
             summary.total_measure += moved.area() - old.area()
         else:
             raise SpatialError(f"referent {referent_id!r} has no spatial extent to move")
+        # Re-derive the copy-on-write payload snapshot + packed extent columns
+        # (the old payload dict is left intact for any in-flight frozen view).
+        self.columns.refresh(self.columns.slot_of(referent_id))
         return referent
 
     def get(self, referent_id: str) -> Referent:
         """The referent with id *referent_id* (raises KeyError when absent)."""
-        return self._referents[referent_id]
+        referent = self.columns.view(referent_id)
+        if referent is None:
+            raise KeyError(referent_id)
+        return referent
 
     def all_referents(self) -> list[Referent]:
         """Every registered referent."""
-        return list(self._referents.values())
+        columns = self.columns
+        return [columns.view(rid) for rid in columns.referent_ids()]
 
     def referents_on_object(self, object_id: str) -> list[Referent]:
         """All referents that mark substructures of *object_id*."""
-        return [self._referents[rid] for rid in sorted(self._by_object.get(object_id, set()))]
+        columns = self.columns
+        return [columns.view(rid) for rid in sorted(self._by_object.get(object_id, set()))]
 
     def referents_of_type(self, data_type: DataType) -> list[Referent]:
         """All referents of a given data type."""
-        return [self._referents[rid] for rid in sorted(self._by_type.get(data_type, set()))]
+        columns = self.columns
+        return [columns.view(rid) for rid in sorted(self._by_type.get(data_type, set()))]
 
     # -- spatial queries ------------------------------------------------------
 
@@ -230,13 +244,15 @@ class SubstructureStore:
         """Referents whose 1D extent overlaps ``[start, end]`` in *domain*."""
         query = Interval(start, end, domain=domain)
         hits = self._intervals.search_overlap(domain, query)
-        return [self._referents[interval.payload] for interval in hits if interval.payload in self._referents]
+        columns = self.columns
+        return [columns.view(i.payload) for i in hits if i.payload in columns]
 
     def overlapping_regions(self, space: str, lo: Iterable[float], hi: Iterable[float]) -> list[Referent]:
         """Referents whose 2D/3D extent overlaps the query box in *space*."""
         query = Rect(tuple(lo), tuple(hi), space=space)
         hits = self._rtrees.search_overlap(space, query)
-        return [self._referents[rect.payload] for rect in hits if rect.payload in self._referents]
+        columns = self.columns
+        return [columns.view(r.payload) for r in hits if r.payload in columns]
 
     def point_intervals(self, domain: str, point: float) -> list[Referent]:
         """Referents whose 1D extent contains *point*."""

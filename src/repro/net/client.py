@@ -461,6 +461,10 @@ class ShardClient:
     def checkpoint(self) -> str | None:
         return self.call("checkpoint", write=True)
 
+    def compact(self) -> dict[str, Any]:
+        """Compact the worker's column storage; returns its before/after report."""
+        return self.call("compact", write=True)
+
     def shutdown(self) -> None:
         """Ask the worker to checkpoint (per its config) and exit cleanly."""
         try:

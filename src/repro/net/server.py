@@ -63,6 +63,7 @@ WRITE_OPS = frozenset(
         "register_ontology",
         "reserve_annotation_id",
         "checkpoint",
+        "compact",
     }
 )
 
@@ -323,6 +324,7 @@ class ShardWorkerServer:
             "metrics": lambda args: self.service.metrics(),
             "slow_ops": self._op_slow_ops,
             "checkpoint": self._op_checkpoint,
+            "compact": lambda args: self.service.compact(),
             "shutdown": self._op_shutdown,
         }
 
@@ -334,7 +336,7 @@ class ShardWorkerServer:
             "shard": self.shard_index,
             "pid": os.getpid(),
             "last_wal_seq": self.service.last_wal_seq,
-            "annotations": len(self.service.manager._annotations),  # noqa: SLF001
+            "annotations": self.service.manager.annotation_count,
             "inflight": self._inflight,
         }
 
@@ -352,14 +354,20 @@ class ShardWorkerServer:
             # threaded merge does — ship each annotation's referent list.
             from repro.core.persistence import encode_referent
 
-            annotations = self.service.manager._annotations  # noqa: SLF001 - GIL-atomic read
+            # Materialize straight from the columns (GIL-atomic reads; no
+            # row-cache mutation), mirroring the old lock-free dict read.
+            manager = self.service.manager
             referents_by_annotation = {}
             for annotation_id in result.annotation_ids:
-                holder = annotations.get(annotation_id)
-                if holder is not None:
-                    referents_by_annotation[annotation_id] = [
-                        encode_referent(referent) for referent in holder.referents
-                    ]
+                slot = manager.idspace.slot(annotation_id)
+                if slot is None or not manager.columns.is_live(slot):
+                    continue
+                holder = manager.columns.materialize(
+                    annotation_id, slot, manager.substructures.columns
+                )
+                referents_by_annotation[annotation_id] = [
+                    encode_referent(referent) for referent in holder.referents
+                ]
         return encode_query_result(result, referents_by_annotation)
 
     def _op_commit(self, args: dict[str, Any]) -> dict[str, Any]:
@@ -398,7 +406,7 @@ class ShardWorkerServer:
         return None
 
     def _op_holds(self, args: dict[str, Any]) -> bool:
-        return args["annotation_id"] in self.service.manager._annotations  # noqa: SLF001
+        return self.service.manager.has_annotation(args["annotation_id"])
 
     def _op_data_object(self, args: dict[str, Any]) -> dict[str, Any]:
         obj = self.service.data_object(args["object_id"])

@@ -42,6 +42,7 @@ from repro.query.ast import (
     ReturnKind,
     TypeConstraint,
 )
+from repro.core.annotation import Referent
 from repro.obs.tracing import NULL_SPAN
 from repro.query.planner import MODE_COST, QueryPlan, QueryPlanner
 from repro.query.result import QueryResult
@@ -234,16 +235,22 @@ class QueryExecutor:
 
     def _probe_interval(self, constraint: OverlapConstraint, candidate_ids: Iterable[str]) -> set[str]:
         manager = self._manager
+        columns = manager.columns
+        refcols = manager.substructures.columns
+        # A domain never interned cannot match any packed row.
+        domain_ref = refcols.pool.lookup(constraint.domain)
+        if domain_ref is None:
+            return set()
+        idspace = manager.idspace
+        start, end = constraint.start, constraint.end
         matched: set[str] = set()
         for annotation_id in candidate_ids:
+            slot = idspace.slot(annotation_id)
+            if slot is None or not columns.is_live(slot):
+                continue
             count = 0
-            for referent in manager.annotation(annotation_id).referents:
-                interval = referent.ref.interval
-                if interval is None:
-                    continue
-                if (interval.domain or referent.ref.object_id) != constraint.domain:
-                    continue
-                if interval.start <= constraint.end and constraint.start <= interval.end:
+            for rslot in columns.referent_slots(slot):
+                if refcols.interval_overlaps(rslot, domain_ref, start, end):
                     count += 1
                     if count >= constraint.min_count:
                         matched.add(annotation_id)
@@ -252,20 +259,21 @@ class QueryExecutor:
 
     def _probe_region(self, constraint: RegionConstraint, candidate_ids: Iterable[str]) -> set[str]:
         manager = self._manager
+        columns = manager.columns
+        refcols = manager.substructures.columns
+        space_ref = refcols.pool.lookup(constraint.space)
+        if space_ref is None:
+            return set()
+        idspace = manager.idspace
         lo, hi = constraint.lo, constraint.hi
         matched: set[str] = set()
         for annotation_id in candidate_ids:
+            slot = idspace.slot(annotation_id)
+            if slot is None or not columns.is_live(slot):
+                continue
             count = 0
-            for referent in manager.annotation(annotation_id).referents:
-                rect = referent.ref.rect
-                if rect is None or len(rect.lo) != len(lo):
-                    continue
-                if (rect.space or referent.ref.object_id) != constraint.space:
-                    continue
-                if all(
-                    rect.lo[axis] <= hi[axis] and lo[axis] <= rect.hi[axis]
-                    for axis in range(len(lo))
-                ):
+            for rslot in columns.referent_slots(slot):
+                if refcols.rect_overlaps(rslot, space_ref, lo, hi):
                     count += 1
                     if count >= constraint.min_count:
                         matched.add(annotation_id)
@@ -411,13 +419,27 @@ class QueryExecutor:
             result.fragments = [self._manager.contents.get(annotation_id) for annotation_id in limited]
         elif query.return_kind is ReturnKind.REFERENTS:
             result.annotation_ids = limited
+            manager = self._manager
+            columns = manager.columns
+            refcols = manager.substructures.columns
             referents = []
             seen = set()
             for annotation_id in limited:
-                for referent in self._manager.annotation(annotation_id).referents:
-                    if referent.referent_id not in seen:
-                        seen.add(referent.referent_id)
-                        referents.append(referent)
+                slot = manager.idspace.slot(annotation_id)
+                if slot is None or not columns.is_live(slot):
+                    continue
+                for rslot, terms in columns.referent_entries(slot):
+                    canonical = refcols.view_at(rslot)
+                    if canonical is None or canonical.referent_id in seen:
+                        continue
+                    seen.add(canonical.referent_id)
+                    referents.append(
+                        Referent(
+                            ref=canonical.ref,
+                            ontology_terms=terms,
+                            referent_id=canonical.referent_id,
+                        )
+                    )
             result.referents = referents
         else:  # GRAPH
             result.annotation_ids = limited
@@ -465,10 +487,21 @@ class QueryExecutor:
         axis) instead of testing every referent pair — O(n log n + pairs)
         instead of O(n^2) per type.
         """
+        manager = self._manager
+        columns = manager.columns
+        refcols = manager.substructures.columns
         by_type: dict[str, list] = {}
         for annotation_id in members:
-            for referent in self._manager.annotation(annotation_id).referents:
-                by_type.setdefault(referent.ref.data_type.value, []).append(referent)
+            slot = manager.idspace.slot(annotation_id)
+            if slot is None or not columns.is_live(slot):
+                continue
+            # Canonical referent views carry everything the sweep reads
+            # (extents, object id, referent id) — no row materialization.
+            for rslot in columns.referent_slots(slot):
+                canonical = refcols.view_at(rslot)
+                if canonical is None:
+                    continue
+                by_type.setdefault(canonical.ref.data_type.value, []).append(canonical)
         for data_type, referents in by_type.items():
             intersections = [
                 {
@@ -482,7 +515,7 @@ class QueryExecutor:
             )
 
     def _all_annotation_ids(self) -> list[str]:
-        return [annotation.annotation_id for annotation in self._manager.annotations()]
+        return list(self._manager.annotation_ids())
 
 
 def _overlapping_pairs(referents: list) -> list[tuple]:

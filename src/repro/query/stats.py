@@ -128,12 +128,26 @@ class StatisticsCatalogue:
             self._term_counts[term] = self._term_counts.get(term, 0) + 1
 
     def rebuild(self, manager) -> None:
-        """Recompute the catalogue from *manager*'s committed annotations."""
+        """Recompute the catalogue from *manager*'s committed annotations.
+
+        Reads type values and ontology terms straight off the columnar store
+        (packed per-row spans) — no annotation objects are materialized.
+        """
         self._annotation_total = 0
         self._by_type = {}
         self._term_counts = {}
-        for annotation in manager.annotations():
-            self.on_commit(annotation)
+        columns = manager.columns
+        refcols = manager.substructures.columns
+        for annotation_id in manager.annotation_ids():
+            slot = manager.idspace.slot(annotation_id)
+            if slot is None or not columns.is_live(slot):
+                continue  # pragma: no cover - order and columns stay in sync
+            types, terms = columns.stat_row(slot, refcols)
+            self._annotation_total += 1
+            for value in types:
+                self._by_type.setdefault(value, set()).add(annotation_id)
+            for term in terms:
+                self._term_counts[term] = self._term_counts.get(term, 0) + 1
 
     # -- reads ----------------------------------------------------------------
 

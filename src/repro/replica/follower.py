@@ -33,7 +33,7 @@ from repro.errors import ServiceError
 from repro.replica.tailer import ReplicationGapError, decode_shipment
 from repro.service.durability import SNAPSHOT_FILE, WAL_FILE, apply_record
 from repro.service.service import GraphittiService, ServiceConfig
-from repro.service.wal import fsync_dir
+from repro.service.wal import fsync_dir, sealed_segment_paths
 
 import json
 import os
@@ -170,9 +170,15 @@ class ReplicaFollower:
             os.fsync(handle.fileno())
         os.replace(tmp, snapshot_path)
         fsync_dir(self.root)
-        # The old WAL's records are all covered by (or behind) the snapshot.
+        # The old WAL's records are all covered by (or behind) the snapshot —
+        # the active file AND any segments this replica's own checkpoints
+        # sealed (leaving them would make the next recovery replay history
+        # the adopted snapshot already contains).
         wal_path = self.root / WAL_FILE
         wal_path.write_text("")
+        for segment in sealed_segment_paths(wal_path):
+            segment.unlink()
+        fsync_dir(self.root)
         self.service = GraphittiService.recover(self.root, config=self._config)
         self.reseeds += 1
         return self.applied_seq

@@ -47,7 +47,7 @@ from repro.obs import Observability, merge_observability
 from repro.query.result import QueryResult
 from repro.replica.follower import ReplicaFollower
 from repro.replica.tailer import ReplicationGapError, WalCursor, encode_shipment
-from repro.service.durability import SNAPSHOT_FILE, WAL_FILE
+from repro.service.durability import SNAPSHOT_FILE, WAL_FILE, peek_snapshot_wal_seq
 from repro.service.service import GraphittiService, ServiceConfig
 from repro.service.wal import fsync_dir
 
@@ -482,8 +482,7 @@ class ReplicatedGraphittiService:
         if not snapshot_path.exists():
             return 0
         try:
-            with snapshot_path.open("r", encoding="utf-8") as handle:
-                return int(json.load(handle).get("wal_seq", 0))
+            return peek_snapshot_wal_seq(snapshot_path)
         except (OSError, ValueError, json.JSONDecodeError):
             return 0
 
@@ -647,6 +646,20 @@ class ReplicatedGraphittiService:
             self._require_primary().checkpoint()
             for follower in self._followers:
                 follower.checkpoint()
+
+    def compact(self) -> dict[str, Any]:
+        """Compact the primary's column storage at a replication quiesce point.
+
+        Ships first under the mutex (same discipline as :meth:`checkpoint`) so
+        the segment pruning inside the primary's compaction cannot open a gap
+        under a cursor; followers compact their own storage afterwards.
+        """
+        with self._ship_mutex:
+            self.ship()
+            report = self._require_primary().compact()
+            for follower in self._followers:
+                follower.service.compact()
+            return report
 
     # -- read passthroughs (primary-coherent) -----------------------------------
 

@@ -35,7 +35,13 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ServiceError, WalCorruptionError
-from repro.service.wal import encode_record, parse_record
+from repro.service.wal import (
+    _last_seq_in,
+    encode_record,
+    parse_record,
+    sealed_segment_paths,
+    segment_index,
+)
 
 
 class ReplicationGapError(ServiceError):
@@ -77,16 +83,29 @@ class WalCursor:
         self.offset = int(offset)
         self.last_seq = int(last_seq)
         self.truncation_restarts = 0
+        self.segment_rollovers = 0
+        #: Sealed segments with index below this are fully consumed (or were
+        #: skipped as already-applied history).  Deliberately NOT part of
+        #: :meth:`state`: a re-created cursor rescans the sealed directory and
+        #: the seq filter makes the rescan idempotent.
+        self._next_sealed = 0
 
     def poll(self, max_records: int | None = None) -> list[dict[str, Any]]:
         """Return the complete, unseen records appended since the last poll.
 
-        Never consumes a torn tail; raises :class:`WalCorruptionError` for
-        mid-file damage and :class:`ReplicationGapError` when a truncation
-        skipped history this cursor never saw.
+        Sealed segments (a checkpoint rotated the active log out from under
+        us) are drained first, in seal order; rollover is ordinary operation,
+        not a gap.  Never consumes a torn active tail; raises
+        :class:`WalCorruptionError` for mid-file damage and
+        :class:`ReplicationGapError` only when the records this cursor still
+        needs were pruned away entirely.
         """
+        records: list[dict[str, Any]] = []
+        self._drain_sealed(records, max_records)
+        if max_records is not None and len(records) >= max_records:
+            return records
         if not self.path.exists():
-            return []
+            return records
         size = self.path.stat().st_size
         if size < self.offset:
             # Checkpoint truncated (or rewrote) the file under us; restart
@@ -94,11 +113,10 @@ class WalCursor:
             self.offset = 0
             self.truncation_restarts += 1
         if size == self.offset:
-            return []
+            return records
         with self.path.open("rb") as handle:
             handle.seek(self.offset)
             raw = handle.read()
-        records: list[dict[str, Any]] = []
         consumed = 0
         scan = 0
         while True:
@@ -115,6 +133,12 @@ class WalCursor:
                     # writer reopening the log truncates it away, at which
                     # point the shrink-restart path takes over.
                     break
+                if self._has_unseen_sealed():
+                    # A seal raced this poll: the bytes at our offset belong
+                    # to a different (fresh) active file.  Consume nothing;
+                    # the next poll drains the new sealed segment first and
+                    # resets the offset.
+                    break
                 raise WalCorruptionError(
                     f"unreadable WAL record before the tail of {self.path} "
                     f"(byte offset {self.offset + scan})"
@@ -124,9 +148,11 @@ class WalCursor:
                 consumed = scan  # already applied; safe to skip past
                 continue
             if record["seq"] > self.last_seq + 1:
-                # The records between last_seq and this one are not in the
-                # file (checkpointed away before this cursor saw them, or the
-                # cursor was pointed at a log whose snapshot it never loaded).
+                if self._has_unseen_sealed():
+                    break  # the missing records are in a just-sealed segment
+                # The records between last_seq and this one are in no file
+                # (pruned away before this cursor saw them, or the cursor was
+                # pointed at a log whose snapshot it never loaded).
                 raise ReplicationGapError(self.last_seq + 1, record["seq"], self.path)
             records.append(record)
             self.last_seq = record["seq"]
@@ -135,6 +161,62 @@ class WalCursor:
                 break
         self.offset += consumed
         return records
+
+    def _has_unseen_sealed(self) -> bool:
+        for candidate in sealed_segment_paths(self.path):
+            index = segment_index(self.path, candidate)
+            if index is not None and index >= self._next_sealed:
+                return True
+        return False
+
+    def _drain_sealed(self, out: list[dict[str, Any]], max_records: int | None) -> None:
+        """Replay sealed segments this cursor has not fully consumed yet.
+
+        Sealed files are immutable and end on a complete line, so a torn or
+        damaged line inside one is real corruption.  A segment whose final
+        sequence number is at or below ``last_seq`` is skipped from its tail
+        alone.  Fully consuming a segment resets ``offset`` to 0: the active
+        path now names a file younger than everything just replayed.
+        """
+        for segment in sealed_segment_paths(self.path):
+            index = segment_index(self.path, segment)
+            if index is None or index < self._next_sealed:
+                continue
+            if max_records is not None and len(out) >= max_records:
+                return  # resume this segment next poll; the seq filter dedups
+            if _last_seq_in(segment) <= self.last_seq:
+                self._next_sealed = index + 1
+                self.offset = 0
+                continue
+            raw = segment.read_bytes()
+            scan = 0
+            while scan < len(raw):
+                if max_records is not None and len(out) >= max_records:
+                    return
+                newline = raw.find(b"\n", scan)
+                if newline < 0:
+                    raise WalCorruptionError(
+                        f"sealed WAL segment {segment} has a torn tail; sealed "
+                        "history must be whole"
+                    )
+                record = parse_record(raw[scan:newline])
+                if record is None:
+                    raise WalCorruptionError(
+                        f"unreadable record in sealed WAL segment {segment} "
+                        f"(byte offset {scan})"
+                    )
+                scan = newline + 1
+                if record["seq"] <= self.last_seq:
+                    continue
+                if record["seq"] > self.last_seq + 1:
+                    # Sealed history resumes above what we need: the segments
+                    # in between were pruned before this cursor saw them.
+                    raise ReplicationGapError(self.last_seq + 1, record["seq"], segment)
+                out.append(record)
+                self.last_seq = record["seq"]
+            self._next_sealed = index + 1
+            self.segment_rollovers += 1
+            self.offset = 0
 
     def state(self) -> dict[str, int]:
         """The resumable cursor position (offset + seq high-water mark)."""

@@ -16,7 +16,14 @@ from repro.service.cache import QueryResultCache, normalize_gql
 from repro.service.durability import DurableStore, apply_record, recover_manager
 from repro.service.locks import ReadWriteLock
 from repro.service.service import GraphittiService, ServiceConfig
-from repro.service.wal import WriteAheadLog, encode_record, fsync_dir, parse_record, read_records
+from repro.service.wal import (
+    WriteAheadLog,
+    encode_record,
+    fsync_dir,
+    parse_record,
+    read_records,
+    read_segmented_records,
+)
 
 __all__ = [
     "GraphittiService",
@@ -26,6 +33,7 @@ __all__ = [
     "normalize_gql",
     "WriteAheadLog",
     "read_records",
+    "read_segmented_records",
     "parse_record",
     "encode_record",
     "fsync_dir",

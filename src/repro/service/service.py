@@ -35,7 +35,12 @@ from contextlib import contextmanager
 from repro.core.annotation import Annotation
 from repro.core.builder import AnnotationBuilder
 from repro.core.manager import Graphitti
-from repro.core.persistence import encode_annotation, encode_register
+from repro.core.persistence import (
+    encode_annotation,
+    encode_register,
+    freeze_manager,
+    snapshot_from_frozen,
+)
 from repro.errors import ServiceError
 from repro.obs import Observability, ObservabilityConfig
 from repro.query.ast import Query
@@ -44,8 +49,15 @@ from repro.query.parser import parse_query
 from repro.query.planner import QueryPlan, QueryPlanner
 from repro.query.result import QueryResult
 from repro.service.cache import QueryResultCache, normalize_gql
-from repro.service.durability import SNAPSHOT_FILE, WAL_FILE, DurableStore, recover_manager
+from repro.service.durability import (
+    SNAPSHOT_FILE,
+    WAL_FILE,
+    DurableStore,
+    gil_courtesy,
+    recover_manager,
+)
 from repro.service.locks import ReadWriteLock
+from repro.service.wal import sealed_segment_paths
 
 
 @dataclass
@@ -124,6 +136,13 @@ class GraphittiService:
         self._ops_since_checkpoint = 0
         self._recovery_info: dict[str, Any] | None = None
         self._closed = False
+        # Background-checkpoint state: at most one snapshot thread in flight.
+        # Automatic (interval) checkpoints seal under the write lock and hand
+        # serialization to the thread; manual checkpoint() waits for the
+        # thread so its post-conditions (snapshot durable, segments pruned)
+        # hold on return — but writers never wait on serialization.
+        self._ckpt_thread: threading.Thread | None = None
+        self._ckpt_error: Exception | None = None
         self._planner = QueryPlanner(
             enable_ordering=self.config.enable_ordering,
             manager=self._manager,
@@ -152,8 +171,12 @@ class GraphittiService:
         # (recovery and the WAL constructor each parse it once already).
         root_path = Path(root)
         wal_file = root_path / WAL_FILE
-        has_state = (root_path / SNAPSHOT_FILE).exists() or (
-            wal_file.exists() and wal_file.stat().st_size > 0
+        has_state = (
+            (root_path / SNAPSHOT_FILE).exists()
+            or (wal_file.exists() and wal_file.stat().st_size > 0)
+            # A crash after a seal but before the snapshot landed leaves an
+            # empty active file next to sealed segments — that is state too.
+            or bool(sealed_segment_paths(wal_file))
         )
         if has_state:
             return cls.recover(root, config=config)
@@ -186,8 +209,12 @@ class GraphittiService:
         """Checkpoint (per config) and release the WAL file handle."""
         if self._closed:
             return
+        # A background snapshot still in flight uses the store; wait it out
+        # before the final checkpoint / handle release.
+        self._join_checkpoint()
         if self._store is not None and self.config.checkpoint_on_close and not self._wal_failed:
             self.checkpoint()
+        self._join_checkpoint()
         if self._store is not None:
             self._store.close()
         # Detach our stats provider so a long-lived manager neither reports a
@@ -472,19 +499,49 @@ class GraphittiService:
             self._checkpoint_locked()
 
     # -- checkpointing ---------------------------------------------------------
+    #
+    # A checkpoint no longer serializes the corpus under the write lock.  The
+    # under-lock part is O(1) + a copy-on-write freeze (array copies): seal
+    # the active WAL segment, freeze the column store, release.  A background
+    # thread then builds the snapshot payload from the frozen view, lands it
+    # via temp-file + rename, and prunes the sealed segments it supersedes.
+    # Writers proceed against the live columns the whole time (append-only
+    # heaps are shared by length cap; fixed-width arrays were copied).
 
     def checkpoint(self) -> Path | None:
-        """Snapshot + WAL truncation at a quiesce point (takes the write lock).
+        """Durable checkpoint at a quiesce point; waits for completion.
 
-        Also drains deferred index work and rebuilds the a-graph component
-        index, so recovery (and the next reader) starts from a fully indexed
-        state.  Returns the snapshot path, or None for a non-durable service
-        (the index/component drain still runs).
+        Drains deferred index work, rebuilds the a-graph component index,
+        seals + freezes under the write lock, then serializes OFF-lock and
+        joins the background thread before returning — callers observe the
+        old post-conditions (snapshot durable, WAL empty) while concurrent
+        writers never block on serialization.  Returns the snapshot path, or
+        None for a non-durable service (the index/component drain still runs).
         """
-        with self._lock.write_locked():
-            return self._checkpoint_locked()
+        while True:
+            self._join_checkpoint()
+            self._raise_checkpoint_error()
+            with self._lock.write_locked():
+                thread = self._ckpt_thread
+                if thread is not None and thread.is_alive():
+                    # An interval checkpoint snuck in between the join and
+                    # the lock; wait it out and seal again so the snapshot
+                    # covers everything up to THIS call.
+                    continue
+                started = self._checkpoint_locked()
+            if started is None:
+                return None if self._store is None else self._store.snapshot_path
+            self._join_checkpoint()
+            self._raise_checkpoint_error()
+            return self._store.snapshot_path
 
-    def _checkpoint_locked(self) -> Path | None:
+    def _checkpoint_locked(self) -> threading.Thread | None:
+        """Seal + freeze + schedule the background snapshot (write lock held).
+
+        Returns the snapshot thread, or None when nothing was scheduled
+        (non-durable service, or a previous checkpoint still in flight — the
+        interval path simply tries again later rather than stacking seals).
+        """
         with self.obs.span("checkpoint"):
             self._manager.contents.flush_index()
             self._manager.agraph.graph.rebuild_components()
@@ -496,9 +553,72 @@ class GraphittiService:
                     "a WAL append failed earlier; refusing to checkpoint state the "
                     "log never acknowledged — recover from the existing snapshot + WAL"
                 )
-            path = self._store.checkpoint(self._manager)
+            previous = self._ckpt_thread
+            if previous is not None and previous.is_alive():
+                return None
+            wal_seq = self._store.seal_for_checkpoint()
+            frozen = freeze_manager(self._manager)
+            thread = threading.Thread(
+                target=self._run_checkpoint,
+                args=(frozen, wal_seq),
+                name="repro-checkpoint",
+                daemon=True,
+            )
+            self._ckpt_thread = thread
+            thread.start()
         self.obs.count("checkpoints")
-        return path
+        return thread
+
+    def _run_checkpoint(self, frozen, wal_seq: int) -> None:
+        """Background half of a checkpoint: serialize, land, prune.
+
+        Serialization is pure CPU; inside a :func:`gil_courtesy` window the
+        interpreter hands the GIL back to concurrent committers promptly
+        instead of making each of their re-acquisitions wait out the default
+        5 ms switch interval.
+        """
+        try:
+            with gil_courtesy():
+                payload = snapshot_from_frozen(frozen)
+                payload["wal_seq"] = wal_seq
+                self._store.write_snapshot(payload)
+            self._store.finish_checkpoint(wal_seq)
+        except Exception as exc:  # surfaced on the next checkpoint/close
+            self._ckpt_error = exc
+
+    def _join_checkpoint(self) -> None:
+        """Wait for any in-flight background checkpoint (never under the lock)."""
+        thread = self._ckpt_thread
+        if thread is not None:
+            thread.join()
+
+    def _raise_checkpoint_error(self) -> None:
+        error = self._ckpt_error
+        if error is not None:
+            self._ckpt_error = None
+            raise ServiceError(f"background checkpoint failed: {error}") from error
+
+    def compact(self) -> dict[str, Any]:
+        """Compact column storage and prune WAL segments (manual maintenance).
+
+        Rewrites the column heaps dropping tombstoned rows (under the write
+        lock — compaction swaps in fresh arrays, so any in-flight frozen
+        snapshot view keeps reading the old ones), then checkpoints, which
+        seals and prunes every superseded WAL segment.  Returns before/after
+        storage gauges.
+        """
+        self._ensure_open()
+        with self._lock.write_locked():
+            with self.obs.span("compact"):
+                before = self._manager.storage_stats()
+                self._manager.compact_storage()
+                after = self._manager.storage_stats()
+        path = self.checkpoint()
+        report: dict[str, Any] = {"before": before, "after": after}
+        report["snapshot"] = str(path) if path is not None else None
+        if self._store is not None:
+            report["wal"] = self._store.wal.segment_stats()
+        return report
 
     # -- read path -------------------------------------------------------------
 
@@ -660,8 +780,29 @@ class GraphittiService:
         sharded and replicated facades merge these snapshots across their
         children; render with :func:`repro.obs.render_prometheus` for the
         text exposition format.
+
+        Column-storage and WAL-segment gauges are refreshed into the registry
+        here, so a scrape always reports the current slot/heap/segment
+        occupancy without a counter on every mutation.
         """
+        if self.obs.enabled:
+            self._refresh_storage_gauges()
         return self.obs.snapshot()
+
+    def _refresh_storage_gauges(self) -> None:
+        registry = self.obs.registry
+        storage = getattr(self._manager, "storage_stats", None)
+        if storage is not None:
+            stats = storage()
+            for section in ("annotations", "referents"):
+                for key, value in stats.get(section, {}).items():
+                    registry.gauge(f"storage.{section}.{key}").set(value)
+            registry.gauge("storage.row_cache_entries").set(
+                stats.get("row_cache_entries", 0)
+            )
+        if self._store is not None:
+            for key, value in self._store.wal.segment_stats().items():
+                registry.gauge(f"wal.{key}").set(value)
 
     def slow_ops(self) -> list[dict[str, Any]]:
         """Retained slow-op log entries, oldest first (empty when disabled)."""
@@ -700,6 +841,10 @@ class GraphittiService:
                 "records": self._store.wal.record_count,
                 "last_seq": self._store.wal.last_seq,
                 "durability": self._store.wal.durability,
+                **self._store.wal.segment_stats(),
             }
             stats["checkpoints"] = self._store.checkpoints
+        storage = getattr(self._manager, "storage_stats", None)
+        if storage is not None:
+            stats["storage"] = storage()
         return {"service": stats}

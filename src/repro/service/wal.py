@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
@@ -63,6 +64,84 @@ def fsync_dir(path: str | Path) -> None:
         os.fsync(directory_fd)
     finally:
         os.close(directory_fd)
+
+
+def sealed_segment_name(active: Path, index: int) -> str:
+    """Filename of sealed segment *index* for the active log at *active*.
+
+    ``wal.jsonl`` seals to ``wal.000017.jsonl`` — the zero-padded index keeps
+    lexical and numeric ordering identical, so a plain directory sort walks
+    segments in commit order.
+    """
+    return f"{active.stem}.{index:06d}{active.suffix}"
+
+
+def segment_index(active: Path, candidate: Path) -> int | None:
+    """The sealed-segment index of *candidate*, or None when it is not one."""
+    pattern = re.escape(active.stem) + r"\.(\d{6})" + re.escape(active.suffix) + r"$"
+    match = re.fullmatch(pattern, candidate.name)
+    if match is None:
+        return None
+    return int(match.group(1))
+
+
+def sealed_segment_paths(active: str | Path) -> list[Path]:
+    """Sealed segments next to the active log at *active*, in seal order."""
+    active = Path(active)
+    if not active.parent.exists():
+        return []
+    found: list[tuple[int, Path]] = []
+    for candidate in active.parent.iterdir():
+        index = segment_index(active, candidate)
+        if index is not None:
+            found.append((index, candidate))
+    return [path for _, path in sorted(found)]
+
+
+def read_segmented_records(active: str | Path) -> tuple[list[dict[str, Any]], bool]:
+    """Parse sealed segments plus the active log, in order.
+
+    Sealed segments are fsynced whole before the rename that seals them, so a
+    torn tail inside one is acknowledged history gone bad — that raises
+    :class:`WalCorruptionError` rather than being shrugged off as a crash
+    artifact.  Only the *active* file may legitimately end mid-line.
+    """
+    active = Path(active)
+    records: list[dict[str, Any]] = []
+    for segment in sealed_segment_paths(active):
+        segment_records, torn = read_records(segment)
+        if torn:
+            raise WalCorruptionError(
+                f"sealed WAL segment {segment} has a torn tail; sealed history "
+                "must be whole (segments are fsynced before the sealing rename)"
+            )
+        records.extend(segment_records)
+    active_records, torn = read_records(active)
+    records.extend(active_records)
+    return records, torn
+
+
+def _last_seq_in(path: Path) -> int:
+    """Sequence number of the final record in a sealed segment.
+
+    Reads only the file tail — sealed segments end on a complete line, so the
+    last parseable line is the last record.
+    """
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return 0
+    if size == 0:
+        return 0
+    with path.open("rb") as handle:
+        if size > 65536:
+            handle.seek(size - 65536)
+        tail = handle.read()
+    for line in reversed(tail.split(b"\n")):
+        record = _parse_record(line)
+        if record is not None:
+            return record["seq"]
+    return 0
 
 
 def encode_record(record: dict[str, Any]) -> str:
@@ -160,8 +239,16 @@ class WriteAheadLog:
         #: duration feeds the span histogram.  None keeps the raw call.
         self.tracer = None
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: Sealed, immutable segments preceding the active file, oldest first,
+        #: as ``(index, path, last_seq)``.  Segment files are read-only once
+        #: sealed; only :meth:`prune_sealed` removes them.
+        self._sealed: list[tuple[int, Path, int]] = []
+        for segment in sealed_segment_paths(self.path):
+            index = segment_index(self.path, segment)
+            self._sealed.append((index, segment, _last_seq_in(segment)))
         existing, torn = read_records(self.path)
-        self.last_seq = existing[-1]["seq"] if existing else 0
+        sealed_last = self._sealed[-1][2] if self._sealed else 0
+        self.last_seq = existing[-1]["seq"] if existing else sealed_last
         self.record_count = len(existing)
         if torn:
             # Drop the torn tail so new appends start on a clean line.
@@ -261,6 +348,78 @@ class WriteAheadLog:
         if self.durability != "never":
             self._fsync()
         self.record_count = 0
+
+    # -- segments --------------------------------------------------------------
+
+    def seal_segment(self) -> Path | None:
+        """Seal the active file into an immutable numbered segment — O(1).
+
+        Flushes and fsyncs the active file (regardless of durability mode: a
+        sealed segment must be whole), renames it to ``wal.NNNNNN.jsonl``, and
+        reopens a fresh empty active file.  Sequence numbering continues.
+        Returns the sealed path, or None when the active file holds no
+        records (nothing to seal).
+
+        This is the only under-the-lock step of a checkpoint: rename + reopen,
+        no serialization, no dependence on corpus size.
+        """
+        if self.record_count == 0:
+            return None
+        self._handle.flush()
+        self._fsync()
+        self._handle.close()
+        index = (self._sealed[-1][0] + 1) if self._sealed else 1
+        sealed_path = self.path.with_name(sealed_segment_name(self.path, index))
+        os.replace(self.path, sealed_path)
+        self._sealed.append((index, sealed_path, self.last_seq))
+        self._handle = self.path.open("a", encoding="utf-8")
+        self.record_count = 0
+        # One directory fsync covers both the rename and the new active file.
+        fsync_dir(self.path.parent)
+        return sealed_path
+
+    def sealed_segments(self) -> list[Path]:
+        """Paths of the sealed segments, oldest first."""
+        return [path for _, path, _ in self._sealed]
+
+    def prune_sealed(self, upto_seq: int) -> list[Path]:
+        """Delete sealed segments whose records are all at or below *upto_seq*.
+
+        Called once a snapshot embedding *upto_seq* is durable — the records
+        are superseded and replay will skip them anyway.  Segments holding any
+        newer record are kept whole (pruning is per-segment, never per-record).
+        Returns the paths removed.
+        """
+        removed: list[Path] = []
+        kept: list[tuple[int, Path, int]] = []
+        for index, path, last_seq in self._sealed:
+            if last_seq <= upto_seq:
+                path.unlink(missing_ok=True)
+                removed.append(path)
+            else:
+                kept.append((index, path, last_seq))
+        self._sealed = kept
+        if removed:
+            fsync_dir(self.path.parent)
+        return removed
+
+    def segment_stats(self) -> dict[str, int]:
+        """Gauges for the metrics surface: segment count and on-disk bytes."""
+        sealed_bytes = 0
+        for _, path, _ in self._sealed:
+            try:
+                sealed_bytes += path.stat().st_size
+            except OSError:
+                continue
+        try:
+            active_bytes = self.path.stat().st_size
+        except OSError:
+            active_bytes = 0
+        return {
+            "sealed_segments": len(self._sealed),
+            "sealed_bytes": sealed_bytes,
+            "active_bytes": active_bytes,
+        }
 
     def _truncate_to_records(self, records: list[dict[str, Any]]) -> None:
         """Rewrite the file to exactly *records* (tears a damaged tail off)."""

@@ -382,7 +382,7 @@ class ShardedGraphittiService:
         return None
 
     def _shard_holds(self, index: int, annotation_id: str) -> bool:
-        return annotation_id in self._shards[index].manager._annotations  # noqa: SLF001
+        return self._shards[index].manager.has_annotation(annotation_id)
 
     # -- write path ------------------------------------------------------------
 
@@ -713,13 +713,18 @@ class ShardedGraphittiService:
     ) -> Iterable[Any]:
         """Referents of *annotation_id* for the REFERENTS merge.
 
-        The threaded facade reads the owning shard's committed-annotation
-        dict (a GIL-atomic lookup); the network facade overrides this to use
-        the referent map each worker ships with its result page.
+        The threaded facade materializes from the owning shard's columns
+        (GIL-atomic reads, no row-cache mutation); the network facade
+        overrides this to use the referent map each worker ships with its
+        result page.
         """
-        holder = self._shards[index].manager._annotations.get(annotation_id)  # noqa: SLF001
-        if holder is None:
+        manager = self._shards[index].manager
+        slot = manager.idspace.slot(annotation_id)
+        if slot is None or not manager.columns.is_live(slot):
             return ()  # deleted between the shard query and the merge
+        holder = manager.columns.materialize(
+            annotation_id, slot, manager.substructures.columns
+        )
         return holder.referents
 
     def explain(self, text_or_query: str | Query) -> dict:
@@ -884,6 +889,11 @@ class ShardedGraphittiService:
         if self._root is None:
             return None
         return self._write_manifest()
+
+    def compact(self) -> dict[str, Any]:
+        """Compact every shard's column storage; returns per-shard reports."""
+        reports = self._scatter(lambda shard: shard.compact())
+        return {"shards": reports}
 
     def _shard_wal_seq(self, shard: Any) -> int:
         """A shard's WAL high-water mark for the manifest (0 if non-durable)."""

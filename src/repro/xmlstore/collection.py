@@ -37,6 +37,11 @@ class DocumentCollection:
         # path never pays document rendering; the first *reader* of the
         # document does, once.
         self._stale: dict[str, Callable[[], XmlDocument]] = {}
+        # Exact searchable text of documents registered via :meth:`add_lazy`
+        # whose trees were never materialized: keyword verification reads
+        # this string instead of rendering the document.  Entries drop on
+        # materialization or when an in-place edit changes the text.
+        self._lazy_text: dict[str, str] = {}
         self._next_serial = 1
 
     # -- container protocol -----------------------------------------------------
@@ -60,6 +65,7 @@ class DocumentCollection:
             document = regenerator()
             document.doc_id = doc_id
             self._documents[doc_id] = document
+            self._lazy_text.pop(doc_id, None)
 
     def _materialize_all(self) -> None:
         """Regenerate every stale document (bulk readers call this first)."""
@@ -68,6 +74,7 @@ class DocumentCollection:
             document = regenerator()
             document.doc_id = doc_id
             self._documents[doc_id] = document
+            self._lazy_text.pop(doc_id, None)
 
     @property
     def stale_document_count(self) -> int:
@@ -113,6 +120,36 @@ class DocumentCollection:
                 self._index.add_document(identifier, self._searchable_text(document))
         return identifier
 
+    def add_lazy(
+        self, doc_id: str, searchable_text: str, regenerate: Callable[[], XmlDocument]
+    ) -> str:
+        """Register a document WITHOUT materializing its tree.
+
+        The caller supplies the document's exact searchable text (the same
+        string :meth:`_searchable_text` would extract) and a zero-arg
+        regenerator producing the tree on demand.  The inverted index is fed
+        from the text immediately; keyword verification also reads the cached
+        text, so a lazily-registered document that is never read never builds
+        a tree at all.  Recovery uses this to register every annotation
+        content document from the snapshot dump — cold-start cost and RSS
+        scale with the index, not with the XML object graph.
+        """
+        if doc_id in self._documents:
+            raise XmlStoreError(f"document id {doc_id!r} already present in {self.name!r}")
+        # Placeholder entry: every reader materializes (via ``_stale``)
+        # before touching the stored value.
+        self._documents[doc_id] = None
+        self._stale[doc_id] = regenerate
+        self._lazy_text[doc_id] = searchable_text
+        if self._index is not None:
+            self._index.add_document(doc_id, searchable_text)
+        return doc_id
+
+    @property
+    def lazy_document_count(self) -> int:
+        """Documents registered lazily whose trees were never built."""
+        return len(self._lazy_text)
+
     @property
     def pending_index_count(self) -> int:
         """Number of stored documents whose indexing is still deferred."""
@@ -157,6 +194,7 @@ class DocumentCollection:
         if doc_id not in self._documents:
             raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
         self._stale.pop(doc_id, None)  # superseded before it was ever read
+        self._lazy_text.pop(doc_id, None)
         document.doc_id = doc_id
         self._documents[doc_id] = document
         if self._index is not None and doc_id not in self._pending_index:
@@ -192,6 +230,7 @@ class DocumentCollection:
         if doc_id not in self._documents:
             raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
         self._stale[doc_id] = regenerate
+        self._lazy_text.pop(doc_id, None)  # text changed; recompute on next verify
         if self._index is None or doc_id in self._pending_index:
             return
         self._index.apply_text_delta(doc_id, removed_parts, added_parts)
@@ -201,6 +240,7 @@ class DocumentCollection:
         if doc_id not in self._documents:
             raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
         self._stale.pop(doc_id, None)
+        self._lazy_text.pop(doc_id, None)
         del self._documents[doc_id]
         if doc_id in self._pending_index:
             del self._pending_index[doc_id]  # never reached the index
@@ -232,6 +272,22 @@ class DocumentCollection:
         except KeyError:
             raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}") from None
 
+    def document_dict(self, doc_id: str) -> dict[str, Any]:
+        """``to_dict`` of the latest body WITHOUT retaining a lazy tree.
+
+        Snapshot dumps use this: a lazily-registered or stale document is
+        regenerated, serialized and dropped, so snapshotting a large recovered
+        instance does not pin every annotation tree into memory.
+        """
+        if doc_id not in self._documents:
+            raise XmlStoreError(f"no document {doc_id!r} in collection {self.name!r}")
+        regenerator = self._stale.get(doc_id)
+        if regenerator is not None:
+            document = regenerator()
+            document.doc_id = doc_id
+            return document.to_dict()
+        return self._documents[doc_id].to_dict()
+
     def search_keyword(self, keyword: str, mode: str = "and") -> list[str]:
         """Document ids whose content contains the keyword(s).
 
@@ -252,11 +308,23 @@ class DocumentCollection:
             return sorted(candidates)
         matches = []
         for doc_id in candidates:
-            self._materialize(doc_id)  # verify against the latest body
-            text = self._searchable_text(self._documents[doc_id]).lower()
-            if phrase in text or all(token in text for token in phrase.split()):
+            if self._verify_text(doc_id, phrase):
                 matches.append(doc_id)
         return sorted(matches)
+
+    def _verify_text(self, doc_id: str, phrase: str) -> bool:
+        """Phrase-verify *doc_id* against its latest searchable text.
+
+        Lazily-registered documents verify against the cached text string
+        without ever building the tree; everything else materializes the
+        latest body first (the pre-lazy behavior).
+        """
+        text = self._lazy_text.get(doc_id)
+        if text is None:
+            self._materialize(doc_id)  # verify against the latest body
+            text = self._searchable_text(self._documents[doc_id])
+        text = text.lower()
+        return phrase in text or all(token in text for token in phrase.split())
 
     def document_matches_keyword(self, doc_id: str, keyword: str, mode: str = "and") -> bool:
         """Membership probe: would *doc_id* appear in ``search_keyword``?
@@ -278,9 +346,7 @@ class DocumentCollection:
         elif mode == "or":
             # Mirrors search_keyword's index-free OR path (every document).
             return True
-        self._materialize(doc_id)
-        text = self._searchable_text(self._documents[doc_id]).lower()
-        return phrase in text or all(token in text for token in phrase.split())
+        return self._verify_text(doc_id, phrase)
 
     def keyword_document_frequency(self, keyword: str, mode: str = "and") -> int:
         """Estimated number of documents matching *keyword* (planner input).
