@@ -1,0 +1,171 @@
+"""PERF-11: the lock-order monitor must be free when it is not installed.
+
+``repro.analysis.runtime.monitoring()`` patches the four
+:class:`~repro.service.locks.ReadWriteLock` methods *class-wide* for the
+duration of the context and restores the originals on exit.  The design
+contract is zero cost by construction in default mode: when no monitor is
+active, the lock methods are the pristine class functions — not wrappers
+with a disabled flag — so the serving path pays nothing for the analysis
+subsystem existing.  This benchmark enforces that contract two ways:
+
+* an **identity check** — after a ``monitoring()`` round has been entered
+  and exited, the four methods must be the very same function objects the
+  class shipped with (``is``, not equality);
+* a **throughput gate** — a lock-hot read/write workload timed on the
+  pristine class vs. the same workload after a monitoring cycle (any
+  residue would show up here) must differ by less than
+  :data:`OVERHEAD_GATE`.
+
+The instrumented cost (workload *inside* ``monitoring()``) is reported as
+an informational row — the opt-in mode is allowed to be slow, so it is not
+gated.
+
+Measurement alternates baseline/candidate rounds (machine drift hits both
+sides equally) and compares best-of-rounds; a microsecond-scale path needs
+best-of, not means, or scheduler noise alone can breach the gate.  Up to
+:data:`MAX_BATCHES` extra sample batches are taken before declaring
+failure.
+
+``python -m benchmarks.bench_lock_analysis`` prints the table, writes
+``BENCH_lock_analysis.json``, and exits non-zero over the gate.  Set
+``BENCH_SMOKE=1`` for the CI-sized run (the gate still applies).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks._harness import format_row, sample_stats, time_samples, write_results
+from repro.analysis.runtime import monitoring
+from repro.service.locks import ReadWriteLock
+
+#: Maximum acceptable slowdown of the default (uninstrumented) lock path
+#: after a monitoring cycle, vs. the pristine class.
+OVERHEAD_GATE = 0.10
+
+_SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+#: Lock acquisitions per timed sample (read-heavy, 1 write per 8 reads).
+OPS_PER_PASS = 2_000 if _SMOKE else 12_000
+
+#: Alternating baseline/candidate rounds per batch, and retry batches.
+ROUNDS_PER_BATCH = 7
+MAX_BATCHES = 4
+
+#: The methods monitoring() swaps; each must be pristine when it is off.
+PATCHED_METHODS = ("acquire_read", "release_read", "acquire_write", "release_write")
+
+_PRISTINE = {name: getattr(ReadWriteLock, name) for name in PATCHED_METHODS}
+
+
+def assert_methods_pristine(when: str) -> None:
+    for name in PATCHED_METHODS:
+        current = getattr(ReadWriteLock, name)
+        assert current is _PRISTINE[name], (
+            f"ReadWriteLock.{name} is not the pristine class function {when}: "
+            f"{current!r} — default mode must not carry monitor residue"
+        )
+
+
+def lock_pass(lock: ReadWriteLock) -> None:
+    """A read-heavy lock workload: the shape of the serving fast path."""
+    for index in range(OPS_PER_PASS):
+        if index % 8 == 0:
+            with lock.write_locked():
+                pass
+        else:
+            with lock.read_locked():
+                pass
+
+
+def measure() -> dict[str, float]:
+    lock = ReadWriteLock()
+    assert_methods_pristine("before any monitoring round")
+    lock_pass(lock)  # warm allocator / bytecode caches once
+
+    baseline_samples: list[float] = []
+    candidate_samples: list[float] = []
+    instrumented_samples: list[float] = []
+    overhead = float("inf")
+    for _ in range(MAX_BATCHES):
+        # Alternate sides within the batch so drift hits both equally.  The
+        # candidate side runs a full install/uninstall cycle *before* its
+        # timed pass: any residue the cycle leaves behind is what we gate.
+        for _ in range(ROUNDS_PER_BATCH):
+            baseline_samples.extend(time_samples(lambda: lock_pass(lock), repeat=1))
+            with monitoring() as monitor:
+                instrumented_samples.extend(
+                    time_samples(lambda: lock_pass(lock), repeat=1)
+                )
+            assert monitor.edges is not None  # the round actually recorded
+            assert_methods_pristine("after a monitoring round")
+            candidate_samples.extend(time_samples(lambda: lock_pass(lock), repeat=1))
+        overhead = min(candidate_samples) / min(baseline_samples) - 1.0
+        if overhead < OVERHEAD_GATE:
+            break
+
+    row = {
+        "workload": "rwlock_default_mode",
+        "baseline_seconds": min(baseline_samples),
+        "candidate_seconds": min(candidate_samples),
+        "instrumented_seconds": min(instrumented_samples),
+        "overhead": overhead,
+        "overhead_gate": OVERHEAD_GATE,
+        "ops_per_pass": OPS_PER_PASS,
+    }
+    row.update(sample_stats(baseline_samples, prefix="baseline"))
+    row.update(sample_stats(candidate_samples, prefix="candidate"))
+    row.update(sample_stats(instrumented_samples, prefix="instrumented"))
+    return row
+
+
+def test_default_mode_lock_overhead_under_gate():
+    row = measure()
+    assert row["overhead"] < OVERHEAD_GATE
+
+
+def report() -> tuple[str, bool]:
+    row = measure()
+    ok = row["overhead"] < OVERHEAD_GATE
+    widths = [22, 14, 14, 14, 10, 8]
+    lines = [
+        "PERF-11  lock-order monitor residue on the default lock path "
+        f"({OPS_PER_PASS} lock ops/sample{', smoke' if _SMOKE else ''})",
+        format_row(
+            ["workload", "pristine (ms)", "cycled (ms)", "monitored (ms)", "overhead", "gate"],
+            widths,
+        ),
+        format_row(
+            [
+                row["workload"],
+                f"{row['baseline_seconds'] * 1e3:.3f}",
+                f"{row['candidate_seconds'] * 1e3:.3f}",
+                f"{row['instrumented_seconds'] * 1e3:.3f}",
+                f"{row['overhead']:+.1%}",
+                f"<{OVERHEAD_GATE:.0%}",
+            ],
+            widths,
+        ),
+    ]
+    path = write_results(
+        "lock_analysis",
+        [row],
+        ops_per_pass=OPS_PER_PASS,
+        smoke=_SMOKE,
+        overhead_gate=OVERHEAD_GATE,
+    )
+    for key in ("baseline_p99_seconds", "candidate_p99_seconds"):
+        assert key in row, f"percentile key {key} missing from the results row"
+    lines.append(f"results written to {path}")
+    if not ok:
+        lines.append(
+            f"FAIL: a monitoring cycle leaves {row['overhead']:+.1%} residue on "
+            f"the default lock path (gate <{OVERHEAD_GATE:.0%})"
+        )
+    return "\n".join(lines), ok
+
+
+if __name__ == "__main__":
+    text, ok = report()
+    print(text)
+    raise SystemExit(0 if ok else 1)

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable, Iterator
 
 from repro.errors import AGraphError, UnknownNodeError
+from repro.analysis.annotations import requires_write_lock
 
 
 @dataclass
@@ -491,6 +492,7 @@ class LabeledMultigraph:
         """True when a ``remove_node`` left the component index pending rebuild."""
         return self._components_stale
 
+    @requires_write_lock
     def rebuild_components(self) -> bool:
         """Rebuild the component index now if (and only if) it is stale.
 

@@ -1,0 +1,61 @@
+"""Lock-discipline decorator convention consumed by ``repro lint``.
+
+These decorators are **annotations, not enforcement**: each one tags the
+function with an attribute and returns it unchanged, so decorated mutation
+paths pay zero runtime cost.  The static checkers in
+:mod:`repro.analysis.lockcheck` read the decorator names from the AST and
+prove the declared contracts hold at every call site.
+
+Conventions
+-----------
+``@mutates_state``
+    A public serving-layer entry point that mutates shared state.  The
+    checker proves its body acquires the write lock (directly, or via the
+    ``_traced_write`` helper) before any annotated mutation runs.
+
+``@requires_write_lock``
+    A method that must only ever run while the owning service's write lock
+    is held.  The checker proves every call site inside a lock-owning class
+    is dominated by ``with ...write_locked():`` (or sits in another
+    ``@requires_write_lock`` body, which inherits the obligation).
+
+``@io_under_lock_ok``
+    A reviewed exception to the no-blocking-I/O-under-the-write-lock rule.
+    The WAL append fsync *is* the acknowledged-durability point and the O(1)
+    segment seal is the designed under-lock checkpoint step; everything else
+    (snapshot serialization, socket sends) must stay off-lock, and the
+    checker walks the call graph to prove it.
+
+This module must stay import-light (stdlib only): it is imported by
+``repro.core`` and ``repro.service`` at module load.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+#: Attribute names the AST checkers match by decorator name; the runtime
+#: attributes exist so tooling (and tests) can introspect live objects too.
+MUTATES_STATE_ATTR = "__repro_mutates_state__"
+REQUIRES_WRITE_LOCK_ATTR = "__repro_requires_write_lock__"
+IO_UNDER_LOCK_OK_ATTR = "__repro_io_under_lock_ok__"
+
+
+def mutates_state(fn: F) -> F:
+    """Tag *fn* as a serving-layer mutation entry point (self-locking)."""
+    setattr(fn, MUTATES_STATE_ATTR, True)
+    return fn
+
+
+def requires_write_lock(fn: F) -> F:
+    """Tag *fn* as callable only while the service write lock is held."""
+    setattr(fn, REQUIRES_WRITE_LOCK_ATTR, True)
+    return fn
+
+
+def io_under_lock_ok(fn: F) -> F:
+    """Tag *fn* as reviewed, intentional blocking I/O under the write lock."""
+    setattr(fn, IO_UNDER_LOCK_OK_ATTR, True)
+    return fn

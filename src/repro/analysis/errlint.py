@@ -1,0 +1,167 @@
+"""Error-taxonomy lint (rules ``error-taxonomy`` and ``silent-except``).
+
+The serving layer promises callers a typed error surface rooted at
+:class:`repro.errors.GraphittiError` — the net tier maps taxonomy classes to
+wire error codes, and the replica tier retries on specific subclasses.  A
+``raise ValueError(...)`` deep in the shard router silently breaks both.
+
+``error-taxonomy``
+    Every ``raise X(...)`` in the scoped packages must instantiate a class in
+    the ``GraphittiError`` subclass closure (computed from ``errors.py``'s
+    AST, so new subclasses are picked up automatically).  Bare re-raises
+    (``raise`` / ``raise exc``) and ``NotImplementedError`` (the abstract-
+    method convention) are allowed.  Injected-fault raises in test harness
+    paths carry ``# repro: allow-error-taxonomy`` pragmas.
+
+``silent-except``
+    Durability and serving paths may not swallow errors blind: a bare
+    ``except:`` is always a finding, and ``except Exception:`` /
+    ``except BaseException:`` whose body is only ``pass`` / ``continue`` /
+    ``...`` is a finding.  Narrow handlers (``except OSError:``) and
+    handlers that log, count, or re-raise are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.report import Finding
+
+#: Builtin raises that are conventionally fine anywhere.
+ALWAYS_ALLOWED_RAISES = frozenset({"NotImplementedError"})
+
+#: Lowercase names that ARE exception classes (socket's legacy aliases);
+#: other lowercase calls (``self._decode_error(...)``) are error factories
+#: whose type the AST cannot know — the factory's own body is in scope, so
+#: flagging the raise too would only manufacture pragma noise.
+LOWERCASE_EXCEPTION_NAMES = frozenset({"timeout", "error", "gaierror", "herror"})
+
+#: Exception names treated as "broad" for the silent-except rule.
+BROAD_HANDLERS = frozenset({"Exception", "BaseException"})
+
+
+def taxonomy_closure(
+    errors_path: str | Path, extra_paths: list[str | Path] | None = None
+) -> set[str]:
+    """Class names in the ``GraphittiError`` subclass closure.
+
+    Derived from the AST so the lint tracks the taxonomy without importing it
+    (fixture taxonomies stay import-free too).  *extra_paths* lets scanned
+    modules contribute their own subclasses (``StaleTermError(ServiceError)``
+    defined next to the code that raises it is taxonomy, not a violation).
+    """
+    bases: dict[str, set[str]] = {}
+    for path in [Path(errors_path), *map(Path, extra_paths or [])]:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                names = set()
+                for base in node.bases:
+                    if isinstance(base, ast.Name):
+                        names.add(base.id)
+                    elif isinstance(base, ast.Attribute):
+                        names.add(base.attr)
+                bases.setdefault(node.name, set()).update(names)
+    closure = {"GraphittiError"}
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in closure and parents & closure:
+                closure.add(name)
+                changed = True
+    return closure
+
+
+def _terminal_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+def check_raises(paths: list[str | Path], errors_path: str | Path) -> list[Finding]:
+    """The ``error-taxonomy`` rule over *paths*."""
+    allowed = taxonomy_closure(errors_path, list(paths)) | ALWAYS_ALLOWED_RAISES
+    findings: list[Finding] = []
+    for path in [Path(p) for p in paths]:
+        for node in ast.walk(_parse(path)):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            if not isinstance(node.exc, ast.Call):
+                continue  # `raise exc` re-raise of a caught object
+            name = _terminal_name(node.exc.func)
+            if name is None or name in allowed:
+                continue
+            looks_like_class = name.lstrip("_")[:1].isupper()
+            if not looks_like_class and name not in LOWERCASE_EXCEPTION_NAMES:
+                continue  # lowercase call: an error factory, not a class
+            findings.append(
+                Finding(
+                    rule="error-taxonomy",
+                    path=str(path),
+                    line=node.lineno,
+                    message=(
+                        f"raise {name}(...) is outside the GraphittiError "
+                        "taxonomy; raise a typed subclass (or add one to "
+                        "errors.py) so the net/replica tiers can classify it"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_silent_excepts(paths: list[str | Path]) -> list[Finding]:
+    """The ``silent-except`` rule over *paths*."""
+    findings: list[Finding] = []
+    for path in [Path(p) for p in paths]:
+        for node in ast.walk(_parse(path)):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                findings.append(
+                    Finding(
+                        rule="silent-except",
+                        path=str(path),
+                        line=node.lineno,
+                        message="bare `except:` catches SystemExit/KeyboardInterrupt; "
+                        "name the exception type",
+                    )
+                )
+                continue
+            if _is_broad(node.type) and _body_is_silent(node.body):
+                findings.append(
+                    Finding(
+                        rule="silent-except",
+                        path=str(path),
+                        line=node.lineno,
+                        message=(
+                            "`except Exception: pass` swallows failures on a "
+                            "durability/serving path; log, count, narrow, or "
+                            "re-raise"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _is_broad(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(elt) for elt in expr.elts)
+    return _terminal_name(expr) in BROAD_HANDLERS
+
+
+def _body_is_silent(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass) or isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True

@@ -1,0 +1,159 @@
+"""Finding model, inline-pragma handling and report rendering for ``repro lint``.
+
+A checker emits :class:`Finding` rows.  A finding can be whitelisted with an
+inline pragma on the offending line (or the line directly above it)::
+
+    risky_call()  # repro: allow-lock-io — reviewed: O(1) seal fsync
+
+Pragmas must name the rule they suppress; a pragma naming an unknown rule, or
+one that suppresses nothing, is itself a lint error (``stale-pragma``) — a
+whitelist that outlives its finding is how exceptions silently become policy.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+#: Every rule a checker may emit (and a pragma may name).
+RULES = (
+    "lock-discipline",
+    "lock-io",
+    "wal-lifecycle",
+    "error-taxonomy",
+    "silent-except",
+    "stale-pragma",
+)
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow-([A-Za-z0-9_-]+)")
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Pragma:
+    """One ``# repro: allow-<rule>`` comment."""
+
+    rule: str
+    path: str
+    line: int
+    used: bool = field(default=False)
+
+
+def collect_pragmas(path: str | Path, source: str | None = None) -> list[Pragma]:
+    """Every allow-pragma in the file at *path* (source may be pre-read)."""
+    if source is None:
+        source = Path(path).read_text(encoding="utf-8")
+    pragmas: list[Pragma] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        for match in _PRAGMA_RE.finditer(text):
+            pragmas.append(Pragma(rule=match.group(1), path=str(path), line=lineno))
+    return pragmas
+
+
+def apply_pragmas(
+    findings: Iterable[Finding], pragmas: Iterable[Pragma]
+) -> tuple[list[Finding], list[Finding]]:
+    """Suppress findings their pragmas cover; lint the pragmas themselves.
+
+    Returns ``(kept, suppressed)``.  A pragma covers a finding when it names
+    the finding's rule and sits on the finding's line or the line directly
+    above it.  ``kept`` additionally gains one ``stale-pragma`` finding per
+    pragma that named an unknown rule or suppressed nothing.
+    """
+    pragma_list = list(pragmas)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        match = None
+        for pragma in pragma_list:
+            if (
+                pragma.rule == finding.rule
+                and pragma.path == finding.path
+                and pragma.line in (finding.line, finding.line - 1)
+            ):
+                match = pragma
+                break
+        if match is not None:
+            match.used = True
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    for pragma in pragma_list:
+        if pragma.rule not in RULES:
+            kept.append(
+                Finding(
+                    rule="stale-pragma",
+                    path=pragma.path,
+                    line=pragma.line,
+                    message=(
+                        f"pragma names unknown rule {pragma.rule!r}; "
+                        f"pragmas must name one of: {', '.join(RULES)}"
+                    ),
+                )
+            )
+        elif not pragma.used:
+            kept.append(
+                Finding(
+                    rule="stale-pragma",
+                    path=pragma.path,
+                    line=pragma.line,
+                    message=(
+                        f"pragma allow-{pragma.rule} suppresses nothing; "
+                        "remove it (stale whitelists become policy)"
+                    ),
+                )
+            )
+    return kept, suppressed
+
+
+def render_human(findings: list[Finding], suppressed_count: int = 0) -> str:
+    """The human-readable report body."""
+    lines = [finding.render() for finding in sorted(findings, key=_sort_key)]
+    if findings:
+        lines.append(f"{len(findings)} finding(s)")
+    else:
+        lines.append("clean: no findings")
+    if suppressed_count:
+        lines.append(f"({suppressed_count} finding(s) suppressed by allow-pragmas)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], suppressed_count: int = 0) -> str:
+    """The machine-readable report body (one JSON object)."""
+    return json.dumps(
+        {
+            "findings": [finding.to_dict() for finding in sorted(findings, key=_sort_key)],
+            "count": len(findings),
+            "suppressed": suppressed_count,
+            "rules": list(RULES),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def _sort_key(finding: Finding) -> tuple:
+    return (finding.path, finding.line, finding.rule)

@@ -541,6 +541,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import driver as analysis_driver
+    from repro.analysis.report import render_human, render_json
+
+    findings, suppressed = analysis_driver.run_lint(args.paths or None)
+    if args.json:
+        print(render_json(findings, suppressed))
+    else:
+        print(render_human(findings, suppressed))
+    gating = findings if args.strict else [
+        finding for finding in findings if finding.rule != "stale-pragma"
+    ]
+    return 1 if gating else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro", description="Graphitti command-line interface")
@@ -698,6 +713,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the query once before tracing so the traced run "
                               "shows the cached path")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific static checkers (lock discipline, WAL "
+             "lifecycle, error taxonomy)",
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories to lint as a self-contained "
+                             "mini-tree (default: the installed repro package)")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="fail on every finding including stale-pragma "
+                             "(the CI contract); without it stale-pragma is "
+                             "advisory")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -42,6 +42,7 @@ from array import array
 from typing import Any, Iterator
 
 from repro.core.annotation import Annotation, AnnotationContent, Referent
+from repro.analysis.annotations import requires_write_lock
 from repro.core.dublin_core import DC_ELEMENTS, DublinCore
 from repro.errors import AnnotationError
 
@@ -182,6 +183,7 @@ class ReferentColumns:
         self._rect_dim.append(0)
         return slot
 
+    @requires_write_lock
     def add(self, referent: Referent) -> int:
         """Store *referent* (first copy wins, like the store always did) and
         return its slot."""
@@ -196,6 +198,7 @@ class ReferentColumns:
         self.refresh(slot)
         return slot
 
+    @requires_write_lock
     def discard(self, referent_id: str) -> int | None:
         slot = self._slot_of.pop(referent_id, None)
         if slot is None:
@@ -219,6 +222,7 @@ class ReferentColumns:
     def payload_at(self, slot: int) -> dict[str, Any] | None:
         return self._payload[slot]
 
+    @requires_write_lock
     def refresh(self, slot: int) -> None:
         """Re-derive the payload snapshot + packed columns from the canonical
         referent at *slot* (called after an extent move)."""
@@ -282,6 +286,7 @@ class ReferentColumns:
     def freeze(self) -> "FrozenReferents":
         return FrozenReferents(list(self._id_at), list(self._payload))
 
+    @requires_write_lock
     def compact(self) -> None:
         """Rewrite the rect heap dropping dead spans (new array, swapped in)."""
         new_heap = array("d")
@@ -349,6 +354,7 @@ class AnnotationColumns:
             self._span_off.append(0)
             self._span_len.append(0)
 
+    @requires_write_lock
     def store(self, slot: int, annotation: Annotation, referents: "ReferentColumns") -> None:
         """Write (or overwrite) the row for *annotation* at *slot*."""
         self._ensure_slot(slot)
@@ -380,6 +386,7 @@ class AnnotationColumns:
         if blob_index >= 0:
             self._dead_blob_bytes += len(self._blob_heap[blob_index])
 
+    @requires_write_lock
     def clear(self, slot: int) -> None:
         """Tombstone the row at *slot* (space reclaimed by :meth:`compact`)."""
         if slot < len(self._live) and self._live[slot]:
@@ -491,6 +498,7 @@ class AnnotationColumns:
             pool_cap=len(self.pool),
         )
 
+    @requires_write_lock
     def compact(self) -> dict[str, int]:
         """Rewrite the heaps keeping only live rows; returns bytes reclaimed.
 

@@ -24,6 +24,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Iterable
 
 from repro.agraph.agraph import AGraph
+from repro.analysis.annotations import requires_write_lock
 from repro.agraph.connection import ConnectionSubgraph
 from repro.core.annotation import Annotation, Referent
 from repro.core.builder import AnnotationBuilder
@@ -164,6 +165,7 @@ class Graphitti:
 
     # -- ontology management --------------------------------------------------
 
+    @requires_write_lock
     def register_ontology(self, ontology: Ontology, cache: bool = True) -> OntologyOperations:
         """Register an ontology and return its operation interface."""
         if ontology.name in self._ontologies:
@@ -211,6 +213,7 @@ class Graphitti:
 
     # -- data object registration ---------------------------------------------
 
+    @requires_write_lock
     def register(self, obj: DataObject, raw: bytes | None = None, **metadata: Any) -> DataObject:
         """Register an annotable data object and record its metadata row."""
         self.registry.register(obj)
@@ -258,6 +261,7 @@ class Graphitti:
 
     # -- annotation workflow ---------------------------------------------------
 
+    @requires_write_lock
     def new_annotation(
         self,
         annotation_id: str | None = None,
@@ -281,6 +285,7 @@ class Graphitti:
         content = AnnotationContent(dublin_core=dublin_core, body=body)
         return AnnotationBuilder(self, identifier, content)
 
+    @requires_write_lock
     def _generate_annotation_id(self) -> str:
         prefix = f"anno-{self.id_namespace}-" if self.id_namespace else "anno-"
         while True:
@@ -289,6 +294,7 @@ class Graphitti:
             if identifier not in self._annotation_order:
                 return identifier
 
+    @requires_write_lock
     def commit(self, annotation: Annotation, defer_index: bool = False) -> Annotation:
         """Commit an annotation: store content, index referents, wire a-graph.
 
@@ -345,6 +351,7 @@ class Graphitti:
         self._bump_epoch()
         return annotation
 
+    @requires_write_lock
     def commit_many(self, annotations: Iterable[Annotation]) -> list[Annotation]:
         """Commit a batch of annotations with deferred content indexing.
 
@@ -422,6 +429,7 @@ class Graphitti:
         """Ids of every committed annotation, in commit order."""
         return list(self._annotation_order)
 
+    @requires_write_lock
     def delete_annotation(self, annotation_id: str) -> None:
         """Remove a committed annotation and tidy the wired substrates.
 
@@ -463,6 +471,7 @@ class Graphitti:
         }
     )
 
+    @requires_write_lock
     def update_annotation(self, annotation_id: str, changes: dict[str, Any]) -> Annotation:
         """Apply *changes* to a committed annotation with **delta** index
         maintenance — the edit stays in place instead of delete+recommit.
@@ -725,6 +734,7 @@ class Graphitti:
             )
         )
 
+    @requires_write_lock
     def delete_object(self, object_id: str, cascade: bool = True) -> list[str]:
         """Retire a data object; returns the ids of cascade-deleted annotations.
 
@@ -784,6 +794,7 @@ class Graphitti:
             "row_cache_entries": len(self._row_cache),
         }
 
+    @requires_write_lock
     def compact_storage(self) -> dict[str, Any]:
         """Rewrite the column heaps dropping tombstoned rows.
 

@@ -114,6 +114,14 @@ class ServiceError(GraphittiError):
     """Error raised by the serving layer (:mod:`repro.service`)."""
 
 
+class ConfigError(GraphittiError, ValueError):
+    """An invalid configuration value (capacity, interval, policy name).
+
+    Also a :class:`ValueError` so idiomatic callers (and existing tests)
+    that guard constructor arguments with ``except ValueError`` keep
+    working while the typed taxonomy stays closed."""
+
+
 class WalCorruptionError(ServiceError):
     """The write-ahead log contains an unreadable record before its tail.
 

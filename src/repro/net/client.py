@@ -177,7 +177,9 @@ class ShardClient:
 
     def _dial(self, timeout: float) -> socket.socket:
         if self._fires("net.refused"):
-            raise ConnectionRefusedError(f"injected: connection to {self.name} refused")
+            raise ConnectionRefusedError(  # repro: allow-error-taxonomy - injected fault
+                f"injected: connection to {self.name} refused"
+            )
         sock = socket.create_connection((self.host, self.port), timeout=self.connect_timeout_s)
         sock.settimeout(timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -221,14 +223,18 @@ class ShardClient:
                 # The request vanishes in the network: never delivered, and
                 # the client burns its full read deadline waiting.
                 sock.close()
-                raise socket.timeout(f"injected: request to {self.name} black-holed")
+                raise socket.timeout(  # repro: allow-error-taxonomy - injected fault
+                    f"injected: request to {self.name} black-holed"
+                )
             send_frame(sock, request)
             if self._fires("net.slow"):
                 # Slow-loris response: the worker EXECUTED the op but the
                 # reply does not arrive within the deadline.  The retry (same
                 # idempotency key) must dedup, not double-apply.
                 sock.close()
-                raise socket.timeout(f"injected: response from {self.name} too slow")
+                raise socket.timeout(  # repro: allow-error-taxonomy - injected fault
+                    f"injected: response from {self.name} too slow"
+                )
             response = read_frame(sock)
         except (socket.timeout, WireError, ConnectionError, OSError):
             try:

@@ -189,7 +189,9 @@ class FaultSchedule:
         if store is not None:
             def fsync_hook(fd: int) -> None:
                 if self.fires("wal.fsync"):
-                    raise InjectedFsyncError("injected fsync failure at the durability point")
+                    raise InjectedFsyncError(  # repro: allow-error-taxonomy - injected fault
+                        "injected fsync failure at the durability point"
+                    )
                 os.fsync(fd)
 
             store.wal.fsync_hook = fsync_hook

@@ -799,7 +799,7 @@ class ReplicatedGraphittiService:
             if old_primary is not None:
                 try:
                     old_primary.close()
-                except Exception:  # noqa: BLE001
+                except Exception:  # noqa: BLE001  # repro: allow-silent-except - funeral
                     # The node being discarded may sit on a dying device (a
                     # failing close-time fsync is how it got fenced in the
                     # first place); its funeral cannot abort the promotion.

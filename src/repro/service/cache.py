@@ -21,6 +21,8 @@ service read lock, which does not exclude other readers).
 from __future__ import annotations
 
 import threading
+
+from repro.errors import ConfigError
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -68,7 +70,7 @@ class QueryResultCache:
 
     def __init__(self, capacity: int = 256):
         if capacity < 0:
-            raise ValueError("cache capacity must be >= 0")
+            raise ConfigError("cache capacity must be >= 0")
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, tuple[int, Any]] = OrderedDict()
         self._mutex = threading.Lock()

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 from contextlib import contextmanager
 
+from repro.analysis.annotations import mutates_state, requires_write_lock
 from repro.core.annotation import Annotation
 from repro.core.builder import AnnotationBuilder
 from repro.core.manager import Graphitti
@@ -313,6 +314,7 @@ class GraphittiService:
         if obs.is_slow(root):
             obs.record_slow(op, root)
 
+    @mutates_state
     def register_ontology(self, ontology, cache: bool = True):
         """Register an ontology (serialized with other writers; WAL-logged)."""
         self._ensure_open()
@@ -323,6 +325,7 @@ class GraphittiService:
             self._after_mutation_locked(1)
         return ops
 
+    @mutates_state
     def register(self, obj, raw: bytes | None = None, **metadata: Any):
         """Register a data object (serialized with other writers; WAL-logged).
 
@@ -341,6 +344,7 @@ class GraphittiService:
             self._after_mutation_locked(1)
         return registered
 
+    @mutates_state
     def reserve_annotation_id(self) -> str:
         """Generate (and reserve) a fresh annotation id on this instance.
 
@@ -352,6 +356,7 @@ class GraphittiService:
         with self._lock.write_locked():
             return self._manager._generate_annotation_id()  # noqa: SLF001 - id authority
 
+    @mutates_state
     def new_annotation(self, *args: Any, **kwargs: Any) -> AnnotationBuilder:
         """Start building an annotation whose commit routes through the service.
 
@@ -364,6 +369,7 @@ class GraphittiService:
         builder._manager = self  # noqa: SLF001 - route the builder's commit here
         return builder
 
+    @mutates_state
     def commit(self, annotation: Annotation | AnnotationBuilder) -> Annotation:
         """Commit one annotation (serialized with other writers; WAL-logged)."""
         if isinstance(annotation, AnnotationBuilder):
@@ -376,6 +382,7 @@ class GraphittiService:
             self._after_mutation_locked(1)
         return committed
 
+    @mutates_state
     def bulk_commit(self, annotations: Iterable[Annotation | AnnotationBuilder]) -> list[Annotation]:
         """Commit a batch under ONE lock acquisition and ONE WAL group commit.
 
@@ -413,6 +420,7 @@ class GraphittiService:
             self._after_mutation_locked(len(committed))
         return committed
 
+    @mutates_state
     def delete_annotation(self, annotation_id: str) -> None:
         """Delete an annotation (serialized with other writers; WAL-logged)."""
         self._ensure_open()
@@ -426,6 +434,7 @@ class GraphittiService:
             self._log("delete_annotation", {"annotation_id": annotation_id})
             self._after_mutation_locked(1)
 
+    @mutates_state
     def update_annotation(self, annotation_id: str, changes: dict[str, Any]):
         """Update an annotation in place (serialized; WAL-logged).
 
@@ -449,6 +458,7 @@ class GraphittiService:
             self._after_mutation_locked(1)
         return updated
 
+    @mutates_state
     def delete_object(self, object_id: str, cascade: bool = True) -> list[str]:
         """Retire a data object, cascading through its annotations (WAL-logged)."""
         self._ensure_open()
@@ -465,6 +475,7 @@ class GraphittiService:
         with self._read_view():
             return self._manager.annotations_on_object(object_id)
 
+    @requires_write_lock
     def _log(self, op: str, payload: dict[str, Any]) -> None:
         if self._store is None:
             return
@@ -491,6 +502,7 @@ class GraphittiService:
             # acknowledged yet.  A raise here models a crash in that window.
             self.after_append_hook(op, seq)
 
+    @requires_write_lock
     def _after_mutation_locked(self, ops: int) -> None:
         """Post-mutation bookkeeping; caller holds the write lock."""
         self._ops_since_checkpoint += ops
@@ -508,6 +520,7 @@ class GraphittiService:
     # Writers proceed against the live columns the whole time (append-only
     # heaps are shared by length cap; fixed-width arrays were copied).
 
+    @mutates_state
     def checkpoint(self) -> Path | None:
         """Durable checkpoint at a quiesce point; waits for completion.
 
@@ -535,6 +548,7 @@ class GraphittiService:
             self._raise_checkpoint_error()
             return self._store.snapshot_path
 
+    @requires_write_lock
     def _checkpoint_locked(self) -> threading.Thread | None:
         """Seal + freeze + schedule the background snapshot (write lock held).
 
@@ -598,6 +612,7 @@ class GraphittiService:
             self._ckpt_error = None
             raise ServiceError(f"background checkpoint failed: {error}") from error
 
+    @mutates_state
     def compact(self) -> dict[str, Any]:
         """Compact column storage and prune WAL segments (manual maintenance).
 
@@ -769,7 +784,12 @@ class GraphittiService:
         """
         with self._read_view():
             stats = self._manager.statistics()
-        stats.update(self._service_stats())
+            # The service-stats merge reads live shared state (cache stats,
+            # WAL gauges, storage occupancy) and must happen under the same
+            # read view as the manager statistics — outside it, a concurrent
+            # writer can mutate between the two reads and the merged report
+            # mixes two epochs.
+            stats.update(self._service_stats())
         return stats
 
     def metrics(self) -> dict[str, Any]:
@@ -786,7 +806,11 @@ class GraphittiService:
         occupancy without a counter on every mutation.
         """
         if self.obs.enabled:
-            self._refresh_storage_gauges()
+            # Storage/WAL gauge sources (column occupancy, segment stats) are
+            # shared mutable state; refresh them under the read lock so a
+            # scrape cannot race a compaction swapping the arrays out.
+            with self._lock.read_locked():
+                self._refresh_storage_gauges()
         return self.obs.snapshot()
 
     def _refresh_storage_gauges(self) -> None:
@@ -830,9 +854,15 @@ class GraphittiService:
     # -- stats provider ---------------------------------------------------------
 
     def _service_stats(self) -> dict[str, Any]:
+        # Runs under the caller's read view (via manager.stats_providers or
+        # statistics() above) — it must NOT touch self._lock, which is not
+        # reentrant.  The plan memo has its own mutex; hold it for the read
+        # so a concurrent _prepare eviction can't be observed mid-resize.
+        with self._plans_mutex:
+            prepared_plans = len(self._plans)
         stats: dict[str, Any] = {
             "query_cache": self._cache.stats(),
-            "prepared_plans": len(self._plans),
+            "prepared_plans": prepared_plans,
             "ops_since_checkpoint": self._ops_since_checkpoint,
             "durable": self._store is not None,
         }

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable
 
 from repro.errors import ServiceError, WalCorruptionError
+from repro.analysis.annotations import io_under_lock_ok
 
 #: Operations the serving layer logs.
 WAL_OPS = (
@@ -270,6 +271,7 @@ class WriteAheadLog:
         with tracer.span("wal.fsync"):
             self.fsync_hook(self._handle.fileno())
 
+    @io_under_lock_ok
     def append(self, op: str, payload: dict[str, Any]) -> int:
         """Append one record and make it durable per the configured policy."""
         seq = self._write(op, payload)
@@ -278,6 +280,7 @@ class WriteAheadLog:
             self._fsync()
         return seq
 
+    @io_under_lock_ok
     def append_many(self, operations: Iterable[tuple[str, dict[str, Any]]]) -> list[int]:
         """Append a batch of records with a single flush + sync (group commit)."""
         seqs = [self._write(op, payload) for op, payload in operations]
@@ -288,6 +291,7 @@ class WriteAheadLog:
             self._fsync()
         return seqs
 
+    @io_under_lock_ok
     def append_record(self, record: dict[str, Any]) -> int:
         """Append an already-sequenced record verbatim (the replication path).
 
@@ -351,6 +355,7 @@ class WriteAheadLog:
 
     # -- segments --------------------------------------------------------------
 
+    @io_under_lock_ok
     def seal_segment(self) -> Path | None:
         """Seal the active file into an immutable numbered segment — O(1).
 

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from repro.errors import XmlStoreError
+from repro.analysis.annotations import requires_write_lock
 from repro.xmlstore.document import XmlDocument, XmlElement
 from repro.xmlstore.flwor import FlworQuery
 from repro.xmlstore.parser import parse_xml, serialize_xml
@@ -81,6 +82,7 @@ class DocumentCollection:
         """Number of stored documents pending lazy regeneration."""
         return len(self._stale)
 
+    @requires_write_lock
     def materialize_documents(self) -> None:
         """Drain every pending lazy regeneration now (a quiesce point)."""
         self._materialize_all()
@@ -155,6 +157,7 @@ class DocumentCollection:
         """Number of stored documents whose indexing is still deferred."""
         return len(self._pending_index)
 
+    @requires_write_lock
     def flush_index(self) -> int:
         """Index every deferred document now; returns how many were indexed.
 

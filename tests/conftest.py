@@ -1,8 +1,20 @@
 """Shared pytest fixtures for the Graphitti test suite."""
 
 import random
+import sys
 
 import pytest
+
+from repro.analysis.runtime import RACE_SWITCH_INTERVAL, race_enabled
+
+
+def pytest_configure(config):
+    # Seeded race-stress mode (REPRO_ANALYSIS_RACE=1): shrink the interpreter
+    # switch interval for the whole run so thread interleavings are maximally
+    # hostile; the race tests additionally barrier-align their thread starts
+    # and scale up their iteration counts (see repro.analysis.runtime).
+    if race_enabled():
+        sys.setswitchinterval(RACE_SWITCH_INTERVAL)
 
 from repro import Graphitti
 from repro.datatypes import DnaSequence, Image, ProteinSequence

@@ -1,0 +1,9 @@
+"""Mini taxonomy for the seeded-violation tree."""
+
+
+class GraphittiError(Exception):
+    pass
+
+
+class StoreError(GraphittiError):
+    pass

@@ -1,0 +1,17 @@
+"""Raises outside the taxonomy and swallows failures blind."""
+
+
+def load(path):
+    try:
+        handle = open(path)
+    except:  # VIOLATION: bare except
+        return None
+    try:
+        return handle.read()
+    except Exception:
+        pass  # VIOLATION: broad handler that swallows the failure
+
+
+def save(path, data):
+    if not path:
+        raise ValueError("path required")  # VIOLATION: outside the taxonomy

@@ -1,0 +1,9 @@
+"""Mini taxonomy for the clean twin."""
+
+
+class GraphittiError(Exception):
+    pass
+
+
+class StoreError(GraphittiError):
+    pass

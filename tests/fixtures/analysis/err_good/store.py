@@ -1,0 +1,16 @@
+"""Typed raises; narrow handlers; failures surfaced."""
+
+from tests.fixtures.analysis.err_good.errors_mod import StoreError
+
+
+def load(path):
+    try:
+        handle = open(path)
+    except OSError:
+        return None
+    return handle.read()
+
+
+def save(path, data):
+    if not path:
+        raise StoreError("path required")

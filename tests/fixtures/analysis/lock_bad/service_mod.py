@@ -1,0 +1,35 @@
+"""Seeded lock-discipline violations; every rule here must fire.
+
+The twin in ``../lock_good`` is the same service with the locking done
+right — the checker must stay silent there.
+"""
+
+import os
+
+from repro.analysis.annotations import mutates_state, requires_write_lock
+from repro.service.locks import ReadWriteLock
+
+
+class BadService:
+    def __init__(self, manager):
+        self._lock = ReadWriteLock()
+        self._manager = manager
+        self._snapshot_fd = 0
+
+    @requires_write_lock
+    def _apply_locked(self, row):
+        self._manager.store(row)
+
+    @mutates_state
+    def put(self, row):
+        # VIOLATION (lock-discipline): a @mutates_state entry point that
+        # never acquires the write lock, calling a @requires_write_lock
+        # helper with no dominating `with ...write_locked():`.
+        self._apply_locked(row)
+
+    @mutates_state
+    def put_durable(self, row):
+        with self._lock.write_locked():
+            self._apply_locked(row)
+            # VIOLATION (lock-io): blocking I/O while the write lock is held.
+            os.fsync(self._snapshot_fd)

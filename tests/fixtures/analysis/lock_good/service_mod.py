@@ -1,0 +1,39 @@
+"""The clean twin of ``../lock_bad``: same shape, locking done right."""
+
+import os
+
+from repro.analysis.annotations import io_under_lock_ok, mutates_state, requires_write_lock
+from repro.service.locks import ReadWriteLock
+
+
+class GoodService:
+    def __init__(self, manager):
+        self._lock = ReadWriteLock()
+        self._manager = manager
+        self._wal_fd = 0
+
+    @requires_write_lock
+    def _apply_locked(self, row):
+        self._manager.store(row)
+
+    @requires_write_lock
+    @io_under_lock_ok
+    def _ack_locked(self):
+        # Reviewed exception: the WAL-append fsync is the durability point.
+        os.fsync(self._wal_fd)
+
+    @mutates_state
+    def put(self, row):
+        with self._lock.write_locked():
+            self._apply_locked(row)
+
+    @mutates_state
+    def put_durable(self, row):
+        with self._lock.write_locked():
+            self._apply_locked(row)
+            self._ack_locked()
+        self._publish(row)
+
+    def _publish(self, row):
+        # Off-lock I/O is fine.
+        os.fsync(self._wal_fd)

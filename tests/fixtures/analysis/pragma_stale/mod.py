@@ -1,0 +1,7 @@
+"""Pragmas that suppress nothing, or name unknown rules."""
+
+
+def quiet():
+    value = 1  # repro: allow-lock-io
+    other = 2  # repro: allow-made-up-rule
+    return value + other

@@ -1,0 +1,6 @@
+"""Crash tests: only the put op is ever crash-tested."""
+
+
+def check_put_replay(harness):
+    harness.crash_after("put")
+    harness.recover()

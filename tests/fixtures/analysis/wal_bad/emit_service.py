@@ -1,0 +1,13 @@
+"""Emit sites: only "put" is ever logged — "erase" mutates without a record."""
+
+
+class MiniService:
+    def __init__(self, wal):
+        self._wal = wal
+
+    def put(self, row):
+        self._wal.append("put", row)
+
+    def erase(self, key):
+        # BUG: mutation acknowledged with no WAL record emitted.
+        del row_store[key]  # noqa: F821 - illustrative

@@ -1,0 +1,7 @@
+"""Wire dispatch: erase is unreachable over the network."""
+
+
+def build_dispatch(service):
+    return {
+        "put": service.put,
+    }

@@ -1,0 +1,10 @@
+"""Replay: handles "put" and a branch for an op that was never registered."""
+
+
+def apply_record(state, record):
+    op = record["op"]
+    if op == "put":
+        state[record["key"]] = record["value"]
+    elif op == "rename":
+        # BUG: "rename" is not in WAL_OPS — dead branch or unregistered op.
+        state[record["new"]] = state.pop(record["old"])

@@ -1,0 +1,9 @@
+"""Routing facade: only put routes; erase has no shard method."""
+
+
+class MiniRouter:
+    def put(self, row):
+        return self._shard_for(row).put(row)
+
+    def _shard_for(self, row):
+        raise NotImplementedError

@@ -1,0 +1,6 @@
+"""Mini WAL module: op registry for the seeded-violation tree."""
+
+WAL_OPS = (
+    "put",
+    "erase",
+)

@@ -1,0 +1,12 @@
+"""Emit sites: every WAL op is logged before acknowledgement."""
+
+
+class MiniService:
+    def __init__(self, wal):
+        self._wal = wal
+
+    def put(self, row):
+        self._wal.append("put", row)
+
+    def erase(self, key):
+        self._wal.append("erase", {"key": key})

@@ -1,0 +1,8 @@
+"""Wire dispatch: every op reachable over the network."""
+
+
+def build_dispatch(service):
+    return {
+        "put": service.put,
+        "erase": service.erase,
+    }

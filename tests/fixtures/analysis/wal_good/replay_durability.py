@@ -1,0 +1,9 @@
+"""Replay: one branch per registered op, nothing else."""
+
+
+def apply_record(state, record):
+    op = record["op"]
+    if op == "put":
+        state[record["key"]] = record["value"]
+    elif op == "erase":
+        state.pop(record["key"], None)

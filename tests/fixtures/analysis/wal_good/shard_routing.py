@@ -1,0 +1,12 @@
+"""Routing facade: every op routes to its owning shard."""
+
+
+class MiniRouter:
+    def put(self, row):
+        return self._shard_for(row).put(row)
+
+    def erase(self, key):
+        return self._shard_for(key).erase(key)
+
+    def _shard_for(self, key):
+        raise NotImplementedError

@@ -1,0 +1,6 @@
+"""Mini WAL module: op registry for the clean twin."""
+
+WAL_OPS = (
+    "put",
+    "erase",
+)

@@ -1,0 +1,91 @@
+"""The error-taxonomy lint: seeded violations fire, the clean twin passes."""
+
+from pathlib import Path
+
+from repro.analysis.errlint import (
+    check_raises,
+    check_silent_excepts,
+    taxonomy_closure,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+
+def test_bad_fixture_raise_outside_taxonomy():
+    findings = check_raises(
+        [FIXTURES / "err_bad" / "store.py"], FIXTURES / "err_bad" / "errors_mod.py"
+    )
+    assert [f.rule for f in findings] == ["error-taxonomy"]
+    assert "ValueError" in findings[0].message
+
+
+def test_bad_fixture_silent_excepts():
+    findings = check_silent_excepts([FIXTURES / "err_bad" / "store.py"])
+    assert [f.rule for f in findings] == ["silent-except", "silent-except"]
+    messages = " | ".join(f.message for f in findings)
+    assert "bare `except:`" in messages
+    assert "except Exception: pass" in messages
+
+
+def test_good_fixture_is_clean():
+    assert (
+        check_raises(
+            [FIXTURES / "err_good" / "store.py"], FIXTURES / "err_good" / "errors_mod.py"
+        )
+        == []
+    )
+    assert check_silent_excepts([FIXTURES / "err_good" / "store.py"]) == []
+
+
+def test_taxonomy_closure_spans_scanned_files(tmp_path):
+    errors = tmp_path / "errors.py"
+    errors.write_text(
+        "class GraphittiError(Exception):\n    pass\n"
+        "class ServiceError(GraphittiError):\n    pass\n"
+    )
+    module = tmp_path / "replica.py"
+    module.write_text(
+        "class StaleTermError(ServiceError):\n    pass\n"
+        "def f():\n    raise StaleTermError('behind')\n"
+    )
+    # The locally-defined ServiceError subclass is taxonomy, not a finding.
+    assert check_raises([module], errors) == []
+    closure = taxonomy_closure(errors, [module])
+    assert "StaleTermError" in closure
+
+
+def test_error_factories_are_not_flagged(tmp_path):
+    errors = tmp_path / "errors.py"
+    errors.write_text("class GraphittiError(Exception):\n    pass\n")
+    module = tmp_path / "client.py"
+    module.write_text(
+        "def f(self, resp):\n    raise self._decode_error(resp)\n"
+        "def g():\n    raise make_error('x')\n"
+    )
+    assert check_raises([module], errors) == []
+
+
+def test_lowercase_builtin_exceptions_are_flagged(tmp_path):
+    errors = tmp_path / "errors.py"
+    errors.write_text("class GraphittiError(Exception):\n    pass\n")
+    module = tmp_path / "client.py"
+    module.write_text("import socket\ndef f():\n    raise socket.timeout('slow')\n")
+    findings = check_raises([module], errors)
+    assert [f.rule for f in findings] == ["error-taxonomy"]
+
+
+def test_handlers_that_do_work_are_fine(tmp_path):
+    module = tmp_path / "mod.py"
+    module.write_text(
+        "def f():\n"
+        "    try:\n"
+        "        risky()\n"
+        "    except Exception as exc:\n"
+        "        log(exc)\n"
+        "    try:\n"
+        "        risky()\n"
+        "    except OSError:\n"
+        "        pass\n"
+    )
+    # Broad-but-logging and narrow-but-silent are both acceptable.
+    assert check_silent_excepts([module]) == []

@@ -1,0 +1,143 @@
+"""Runtime lock-order monitor: cycles fire, clean orders pass, patching is scoped."""
+
+import threading
+
+import pytest
+
+from repro.analysis.runtime import (
+    LockOrderMonitor,
+    LockOrderViolation,
+    MonitoredLock,
+    monitoring,
+    name_lock,
+    run_racing,
+    wrap_lock,
+)
+from repro.service.locks import ReadWriteLock
+
+
+def test_consistent_order_has_no_cycles():
+    monitor = LockOrderMonitor()
+    for _ in range(3):
+        monitor.record_acquire("A")
+        monitor.record_acquire("B")
+        monitor.record_release("B")
+        monitor.record_release("A")
+    assert monitor.cycles() == []
+    monitor.assert_no_cycles()
+
+
+def test_inverted_order_is_a_cycle_without_a_deadlock():
+    # The whole point: the inversion is caught from acquisition order alone,
+    # single-threaded, with no actual deadlock ever occurring.
+    monitor = LockOrderMonitor()
+    monitor.record_acquire("A")
+    monitor.record_acquire("B")
+    monitor.record_release("B")
+    monitor.record_release("A")
+    monitor.record_acquire("B")
+    monitor.record_acquire("A")
+    monitor.record_release("A")
+    monitor.record_release("B")
+    cycles = monitor.cycles()
+    assert cycles, "inverted acquisition order must produce a cycle"
+    with pytest.raises(LockOrderViolation, match="lock-order cycle"):
+        monitor.assert_no_cycles()
+
+
+def test_inverted_order_fixture_with_real_locks():
+    # Two real ReadWriteLocks acquired in opposite orders on two threads.
+    lock_a = name_lock(ReadWriteLock(), "svc")
+    lock_b = name_lock(ReadWriteLock(), "cache")
+    with monitoring() as monitor:
+        def forward():
+            with lock_a.write_locked():
+                with lock_b.write_locked():
+                    pass
+
+        def backward():
+            with lock_b.write_locked():
+                with lock_a.write_locked():
+                    pass
+
+        forward()
+        backward()
+        cycles = monitor.cycles()
+    assert any({"svc", "cache"} == set(c[:-1]) for c in cycles)
+
+
+def test_monitoring_restores_the_class():
+    before = (
+        ReadWriteLock.acquire_read,
+        ReadWriteLock.acquire_write,
+        ReadWriteLock.release_read,
+        ReadWriteLock.release_write,
+    )
+    with monitoring():
+        assert ReadWriteLock.acquire_write is not before[1]
+    after = (
+        ReadWriteLock.acquire_read,
+        ReadWriteLock.acquire_write,
+        ReadWriteLock.release_read,
+        ReadWriteLock.release_write,
+    )
+    assert before == after
+
+
+def test_read_acquisitions_are_recorded_too():
+    lock = name_lock(ReadWriteLock(), "svc")
+    with monitoring() as monitor:
+        with lock.read_locked():
+            pass
+    assert monitor.acquisitions == 1
+
+
+def test_wrapped_plain_mutex_joins_the_graph():
+    monitor = LockOrderMonitor()
+    rw = name_lock(ReadWriteLock(), "svc")
+    plain = wrap_lock("cache-mutex", threading.Lock(), monitor)
+    assert isinstance(plain, MonitoredLock)
+    with monitoring(monitor):
+        with rw.write_locked():
+            with plain:
+                pass
+    assert monitor.edges.get("svc") == {"cache-mutex"}
+    assert not plain.locked()
+
+
+def test_out_of_order_release_keeps_the_stack_sane():
+    # Hand-over-hand: acquire A, acquire B, release A, release B.
+    monitor = LockOrderMonitor()
+    monitor.record_acquire("A")
+    monitor.record_acquire("B")
+    monitor.record_release("A")
+    monitor.record_acquire("C")
+    monitor.record_release("C")
+    monitor.record_release("B")
+    assert monitor.edges == {"A": {"B"}, "B": {"C"}}
+    assert monitor.held_by_current_thread() == ()
+
+
+def test_edges_accumulate_across_threads():
+    monitor = LockOrderMonitor()
+
+    def use(first, second):
+        def thunk():
+            monitor.record_acquire(first)
+            monitor.record_acquire(second)
+            monitor.record_release(second)
+            monitor.record_release(first)
+        return thunk
+
+    run_racing([use("A", "B"), use("A", "B"), use("A", "B")], repeat=2)
+    assert monitor.edges == {"A": {"B"}}
+    assert monitor.acquisitions == 12
+    monitor.assert_no_cycles()
+
+
+def test_run_racing_propagates_the_first_error():
+    def boom():
+        raise RuntimeError("seeded failure")
+
+    with pytest.raises(RuntimeError, match="seeded failure"):
+        run_racing([boom, lambda: None])

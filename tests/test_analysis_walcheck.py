@@ -1,0 +1,54 @@
+"""The WAL-lifecycle checker: seeded holes fire, the clean twin passes."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.walcheck import (
+    WalCheckConfig,
+    check_wal_lifecycle,
+    classify_directory,
+    discover_wal_ops,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+
+
+def test_bad_fixture_reports_every_missing_stage():
+    findings = check_wal_lifecycle(classify_directory(FIXTURES / "wal_bad"))
+    assert all(f.rule == "wal-lifecycle" for f in findings)
+    erase = [f for f in findings if "'erase'" in f.message]
+    stages = {"emit", "replay", "routing", "dispatch", "crash"}
+    hit = {s for s in stages for f in erase if s in f.message}
+    assert hit == stages, f"missing stages only partially reported: {hit}"
+    # The registered-but-complete op stays silent.
+    assert not any("'put'" in f.message for f in findings)
+    # The unknown replay branch is flagged in the reverse direction.
+    assert any("'rename'" in f.message and "not in WAL_OPS" in f.message for f in findings)
+
+
+def test_good_fixture_is_clean():
+    assert check_wal_lifecycle(classify_directory(FIXTURES / "wal_good")) == []
+
+
+def test_discover_wal_ops_reads_the_tuple():
+    ops, line = discover_wal_ops(FIXTURES / "wal_good" / "wal.py")
+    assert ops == ["put", "erase"]
+    assert line > 0
+
+
+def test_unconfigured_stage_is_not_applicable():
+    # A config with no net files must not report net holes (fixture trees
+    # may model a subset of the lifecycle).
+    config = WalCheckConfig(
+        wal_path=FIXTURES / "wal_bad" / "wal.py",
+        emit_paths=[FIXTURES / "wal_bad" / "emit_service.py"],
+    )
+    findings = check_wal_lifecycle(config)
+    assert all("emit" in f.message for f in findings)
+
+
+def test_classify_requires_a_wal_module(tmp_path):
+    (tmp_path / "service.py").write_text("X = 1\n")
+    with pytest.raises(FileNotFoundError):
+        classify_directory(tmp_path)

@@ -1,0 +1,101 @@
+"""Regression pins for the stats/metrics read-path locking audit.
+
+Three bugs were found by the lock audit and fixed; each test here fails on
+the pre-fix code:
+
+* ``statistics()`` merged ``_service_stats()`` into the report *outside* the
+  read view — the merge could interleave with a concurrent writer and mix
+  two mutation epochs in one report.
+* ``metrics()`` refreshed storage/WAL gauges with no lock at all — a scrape
+  could race a compaction swapping the column arrays out.
+* ``_service_stats()`` read ``len(self._plans)`` without ``_plans_mutex`` —
+  racing a concurrent ``_prepare`` eviction.
+"""
+
+from collections import OrderedDict
+
+from repro.obs import ObservabilityConfig
+from repro.service import GraphittiService, ServiceConfig
+
+
+def _open(tmp_path, **config):
+    return GraphittiService.open(tmp_path / "svc", config=ServiceConfig(**config))
+
+
+def test_statistics_merges_service_stats_under_the_read_view(tmp_path):
+    service = _open(tmp_path)
+    try:
+        seen = []
+        original = service._service_stats
+
+        def probing_service_stats():
+            seen.append(service._lock.snapshot())
+            return original()
+
+        service._service_stats = probing_service_stats
+        report = service.statistics()
+        assert "service" in report
+        assert seen, "statistics() never called _service_stats"
+        # The direct call from statistics() must run as a reader.  (The
+        # stats-provider path through manager.statistics() is also in
+        # `seen`; every recorded snapshot must hold the read lock.)
+        assert all(snap["active_readers"] >= 1 for snap in seen), seen
+    finally:
+        service.close()
+
+
+def test_metrics_refreshes_gauges_under_the_read_lock(tmp_path):
+    service = _open(tmp_path, observability=ObservabilityConfig(enabled=True))
+    try:
+        seen = []
+        original = service._refresh_storage_gauges
+
+        def probing_refresh():
+            seen.append(service._lock.snapshot())
+            return original()
+
+        service._refresh_storage_gauges = probing_refresh
+        snapshot = service.metrics()
+        assert snapshot["enabled"] is True
+        assert seen, "metrics() never refreshed the storage gauges"
+        assert all(snap["active_readers"] >= 1 for snap in seen), seen
+    finally:
+        service.close()
+
+
+class _MutexAssertingPlans(OrderedDict):
+    """A plan memo whose __len__ insists the memo mutex is held."""
+
+    def __init__(self, mutex):
+        super().__init__()
+        self._probe_mutex = mutex
+        self.probed = 0
+
+    def __len__(self):
+        assert self._probe_mutex.locked(), "len(self._plans) read without _plans_mutex"
+        self.probed += 1
+        return super().__len__()
+
+
+def test_service_stats_reads_plan_memo_under_its_mutex(tmp_path):
+    service = _open(tmp_path)
+    try:
+        plans = _MutexAssertingPlans(service._plans_mutex)
+        service._plans = plans
+        stats = service._service_stats()
+        assert stats["service"]["prepared_plans"] == 0
+        assert plans.probed >= 1
+    finally:
+        service.close()
+
+
+def test_statistics_still_reports_service_counters_end_to_end(tmp_path):
+    # The lock fixes must not change the report shape.
+    service = _open(tmp_path)
+    try:
+        report = service.statistics()
+        section = report["service"]
+        assert {"query_cache", "prepared_plans", "ops_since_checkpoint", "durable"} <= set(section)
+        assert section["durable"] is True
+    finally:
+        service.close()
